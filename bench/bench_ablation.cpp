@@ -1,0 +1,344 @@
+// Ablation microbenchmarks (google-benchmark): the design choices DESIGN.md
+// calls out.
+//
+//  - FlatHashMap vs std::unordered_map as the live well's hash table
+//    (the paper's "very space efficient hash table").
+//  - Full Paragraph analysis vs the critical-path-only baseline (what the
+//    extra DDG metrics cost).
+//  - One-pass vs two-pass deadness (live-well peak occupancy trade).
+//  - Analyzer throughput under each renaming configuration and windowing.
+//  - Simulator and compiler throughput (the trace-generation substrate).
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "core/baseline.hpp"
+#include "core/paragraph.hpp"
+#include "minic/compiler.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/prng.hpp"
+#include "trace/buffer.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/file_io.hpp"
+#include "trace/last_use.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+/** A captured mid-size trace shared by the analyzer benchmarks. */
+const trace::TraceBuffer &
+sharedTrace()
+{
+    static trace::TraceBuffer buffer = [] {
+        auto &suite = workloads::WorkloadSuite::instance();
+        auto src = suite.makeSource(suite.find("espresso"),
+                                    workloads::Scale::Small);
+        trace::TraceBuffer buf;
+        buf.capture(*src);
+        return buf;
+    }();
+    return buffer;
+}
+
+const trace::TraceBuffer &
+sharedAnnotatedTrace()
+{
+    static trace::TraceBuffer buffer = [] {
+        trace::TraceBuffer buf = sharedTrace();
+        trace::annotateLastUses(buf);
+        return buf;
+    }();
+    return buffer;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Live-well hash table.
+// ---------------------------------------------------------------------------
+
+static void
+BM_LiveWellHash_FlatHashMap(benchmark::State &state)
+{
+    Prng prng(1);
+    std::vector<uint64_t> keys(1u << 16);
+    for (auto &k : keys)
+        k = prng.nextBelow(1u << 14) + 1;
+    for (auto _ : state) {
+        FlatHashMap<uint64_t, uint64_t> map;
+        for (uint64_t k : keys) {
+            map.insertOrAssign(k, k);
+            if ((k & 3) == 0)
+                map.erase(k ^ 1);
+            benchmark::DoNotOptimize(map.find(k ^ 2));
+        }
+        benchmark::DoNotOptimize(map.size());
+        state.counters["tableBytes"] = static_cast<double>(map.memoryBytes());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_LiveWellHash_FlatHashMap);
+
+static void
+BM_LiveWellHash_StdUnorderedMap(benchmark::State &state)
+{
+    Prng prng(1);
+    std::vector<uint64_t> keys(1u << 16);
+    for (auto &k : keys)
+        k = prng.nextBelow(1u << 14) + 1;
+    for (auto _ : state) {
+        std::unordered_map<uint64_t, uint64_t> map;
+        for (uint64_t k : keys) {
+            map[k] = k;
+            if ((k & 3) == 0)
+                map.erase(k ^ 1);
+            benchmark::DoNotOptimize(map.count(k ^ 2));
+        }
+        benchmark::DoNotOptimize(map.size());
+        // Approximate node-based footprint: per-node heap block (key, value,
+        // next pointer, cached hash + allocator overhead) plus the bucket
+        // array.
+        state.counters["tableBytes"] = static_cast<double>(
+            map.size() * (sizeof(uint64_t) * 2 + 2 * sizeof(void *) + 16) +
+            map.bucket_count() * sizeof(void *));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_LiveWellHash_StdUnorderedMap);
+
+// ---------------------------------------------------------------------------
+// Analyzer throughput: full engine vs baseline, and per configuration.
+// ---------------------------------------------------------------------------
+
+static void
+BM_Paragraph_Dataflow(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::Paragraph engine(core::AnalysisConfig::dataflowConservative());
+        benchmark::DoNotOptimize(engine.analyze(src).criticalPathLength);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Paragraph_Dataflow);
+
+static void
+BM_Paragraph_NoRenaming(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::Paragraph engine(core::AnalysisConfig::noRenaming());
+        benchmark::DoNotOptimize(engine.analyze(src).criticalPathLength);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Paragraph_NoRenaming);
+
+static void
+BM_Paragraph_Windowed(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    uint64_t window = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::Paragraph engine(core::AnalysisConfig::windowed(window));
+        benchmark::DoNotOptimize(engine.analyze(src).criticalPathLength);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Paragraph_Windowed)->Arg(16)->Arg(1024)->Arg(65536);
+
+static void
+BM_Paragraph_WithFuLimits(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::AnalysisConfig cfg =
+            core::AnalysisConfig::dataflowConservative();
+        cfg.totalFuLimit = 8;
+        core::Paragraph engine(cfg);
+        benchmark::DoNotOptimize(engine.analyze(src).criticalPathLength);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Paragraph_WithFuLimits);
+
+static void
+BM_Baseline_CriticalPathOnly(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::CriticalPathAnalyzer engine(
+            core::AnalysisConfig::dataflowConservative());
+        benchmark::DoNotOptimize(engine.analyze(src).criticalPathLength);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Baseline_CriticalPathOnly);
+
+// ---------------------------------------------------------------------------
+// One-pass vs two-pass deadness (paper Section 3.2's two methods).
+// ---------------------------------------------------------------------------
+
+static void
+BM_Deadness_OnePass(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    uint64_t peak = 0;
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::Paragraph engine(core::AnalysisConfig::dataflowConservative());
+        auto res = engine.analyze(src);
+        peak = res.liveWellPeak;
+        benchmark::DoNotOptimize(res.criticalPathLength);
+    }
+    state.counters["liveWellPeak"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_Deadness_OnePass);
+
+static void
+BM_Deadness_TwoPass(benchmark::State &state)
+{
+    const auto &buf = sharedAnnotatedTrace();
+    uint64_t peak = 0;
+    for (auto _ : state) {
+        trace::BufferSource src(buf);
+        core::AnalysisConfig cfg =
+            core::AnalysisConfig::dataflowConservative();
+        cfg.useLastUseEviction = true;
+        core::Paragraph engine(cfg);
+        auto res = engine.analyze(src);
+        peak = res.liveWellPeak;
+        benchmark::DoNotOptimize(res.criticalPathLength);
+    }
+    state.counters["liveWellPeak"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_Deadness_TwoPass);
+
+static void
+BM_Deadness_AnnotationPass(benchmark::State &state)
+{
+    for (auto _ : state) {
+        trace::TraceBuffer buf = sharedTrace();
+        benchmark::DoNotOptimize(trace::annotateLastUses(buf));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(sharedTrace().size()));
+}
+BENCHMARK(BM_Deadness_AnnotationPass);
+
+// ---------------------------------------------------------------------------
+// Substrate throughput.
+// ---------------------------------------------------------------------------
+
+static void
+BM_TraceFile_FixedFormatWrite(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    std::string path = "/tmp/para_bench_fixed.ptrc";
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        trace::TraceFileWriter writer(path);
+        trace::BufferSource src(buf);
+        writer.writeAll(src);
+        writer.close();
+        bytes = buf.size() * sizeof(trace::PackedRecord) + 24;
+    }
+    state.counters["bytesPerRecord"] =
+        static_cast<double>(bytes) / static_cast<double>(buf.size());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceFile_FixedFormatWrite);
+
+static void
+BM_TraceFile_CompressedWrite(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    std::string path = "/tmp/para_bench_packed.ptrz";
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        trace::CompressedTraceWriter writer(path);
+        trace::BufferSource src(buf);
+        writer.writeAll(src);
+        bytes = writer.bytesWritten();
+        writer.close();
+    }
+    state.counters["bytesPerRecord"] =
+        static_cast<double>(bytes) / static_cast<double>(buf.size());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceFile_CompressedWrite);
+
+static void
+BM_TraceFile_CompressedRead(benchmark::State &state)
+{
+    const auto &buf = sharedTrace();
+    std::string path = "/tmp/para_bench_packed_read.ptrz";
+    {
+        trace::CompressedTraceWriter writer(path);
+        trace::BufferSource src(buf);
+        writer.writeAll(src);
+    }
+    for (auto _ : state) {
+        trace::CompressedTraceReader reader(path);
+        trace::TraceRecord rec;
+        uint64_t n = 0;
+        while (reader.next(rec))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(buf.size()));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceFile_CompressedRead);
+
+static void
+BM_Simulator_TraceGeneration(benchmark::State &state)
+{
+    auto &suite = workloads::WorkloadSuite::instance();
+    const auto &w = suite.find("xlisp");
+    uint64_t n = 0;
+    for (auto _ : state) {
+        auto src = suite.makeSource(w, workloads::Scale::Small);
+        trace::TraceRecord rec;
+        n = 0;
+        while (src->next(rec))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Simulator_TraceGeneration);
+
+static void
+BM_MiniC_CompileWorkload(benchmark::State &state)
+{
+    auto &suite = workloads::WorkloadSuite::instance();
+    const auto &w = suite.find("spice2g6");
+    for (auto _ : state) {
+        casm::Program prog = minic::compile(w.source);
+        benchmark::DoNotOptimize(prog.text.size());
+    }
+}
+BENCHMARK(BM_MiniC_CompileWorkload);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef PARAGRAPH_BENCH_COMMON_HPP
+#define PARAGRAPH_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/paragraph.hpp"
+#include "workloads/workload.hpp"
+
+namespace paragraph {
+namespace bench {
+
+/** Run one full-scale analysis of @p w under @p cfg. */
+core::AnalysisResult
+analyzeWorkload(const workloads::Workload &w, const core::AnalysisConfig &cfg)
+{
+    auto src = workloads::WorkloadSuite::instance().makeSource(
+        w, workloads::Scale::Full);
+    core::Paragraph engine(cfg);
+    return engine.analyze(*src);
+}
+
+/** Print the standard harness banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s\n", what);
+    std::printf("Reproduces %s of Austin & Sohi, \"Dynamic Dependency "
+                "Analysis of Ordinary\nPrograms\", ISCA 1992.\n",
+                paper_ref);
+    std::printf("==========================================================="
+                "=====================\n\n");
+}
+
+} // namespace bench
+} // namespace paragraph
+
+#endif

@@ -1,0 +1,70 @@
+// Extension: the storage (waiting-token) profile of paper Section 2.3.
+//
+// "The value lifetimes are useful in determining the amount of temporary
+// storage required to exploit the parallelism in the DDG." For every
+// workload this harness reports how many values an abstract dataflow
+// machine would have to buffer at once (peak and mean live values), the
+// lifetime distribution, and — for two contrasting benchmarks — the full
+// live-values-per-level plot (Culler & Arvind's waiting-token profile).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/report.hpp"
+#include "support/ascii_table.hpp"
+
+using namespace paragraph;
+
+int
+main()
+{
+    bench::banner("Extension: Storage (Waiting-Token) Profiles",
+                  "the storage discussion of Section 2.3");
+
+    AsciiTable table;
+    table.addColumn("Benchmark", AsciiTable::Align::Left);
+    table.addColumn("Avail Par");
+    table.addColumn("Peak Live Values");
+    table.addColumn("Mean Live Values");
+    table.addColumn("Lifetime p50");
+    table.addColumn("Lifetime p99");
+    table.addColumn("Live-Well Peak");
+
+    auto &suite = workloads::WorkloadSuite::instance();
+    for (const auto &w : suite.all()) {
+        core::AnalysisResult res = bench::analyzeWorkload(
+            w, core::AnalysisConfig::dataflowConservative());
+        table.beginRow();
+        table.cell(w.name);
+        table.cell(res.availableParallelism, 2);
+        table.cell(res.storageProfile.peakLive(), 0);
+        table.cell(res.storageProfile.meanLive(), 1);
+        table.cell(res.lifetimes.percentile(0.50));
+        table.cell(res.lifetimes.percentile(0.99));
+        table.cell(res.liveWellPeak);
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\n(Peak/mean live values: tokens an abstract dataflow machine "
+        "buffers while\nexecuting the DDG at full parallelism. Live-well "
+        "peak: locations the *analyzer*\ntracked, i.e. the paper's 32 MB "
+        "working-set concern, scaled down.)\n\n");
+
+    for (const char *name : {"matrix300", "xlisp"}) {
+        const auto &w = suite.find(name);
+        core::AnalysisResult res = bench::analyzeWorkload(
+            w, core::AnalysisConfig::dataflowConservative());
+        std::printf("---- %s: values live per DDG level ----\n", name);
+        core::printStorageProfile(std::cout, res);
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Shape note: the high-parallelism codes need storage proportional "
+        "to their\nparallelism (tens of thousands of simultaneously live "
+        "values for matrix300),\nwhile xlisp's serial profile keeps only a "
+        "handful alive — renaming everything is\ncheap exactly where it "
+        "buys nothing.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: Parallelism Profiles for the SPEC Benchmarks.
+//
+// For each workload, the number of operations available per DDG level
+// (conservative syscalls, all renaming, unlimited window) — rendered as a
+// bucketed series and a coarse ASCII area plot per benchmark, the data
+// behind the paper's ten per-benchmark plots.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/report.hpp"
+
+using namespace paragraph;
+
+int
+main()
+{
+    bench::banner("Figure 7: Parallelism Profiles", "Figure 7");
+
+    auto &suite = workloads::WorkloadSuite::instance();
+    for (const auto &w : suite.all()) {
+        core::AnalysisConfig cfg =
+            core::AnalysisConfig::dataflowConservative();
+        core::AnalysisResult res = bench::analyzeWorkload(w, cfg);
+
+        std::printf("---- %s parallelism profile ----\n", w.name.c_str());
+        std::printf("critical path %llu levels, available parallelism "
+                    "%.2f, peak %.1f ops/level\n",
+                    static_cast<unsigned long long>(res.criticalPathLength),
+                    res.availableParallelism,
+                    res.profile.peakOpsPerLevel());
+        core::printProfilePlot(std::cout, res, 24, 56);
+        core::printDistributions(std::cout, res);
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Shape notes from the paper: parallelism is bursty (spikes far "
+        "above the mean);\nxlisp's profile is flat and low; matrix300 and "
+        "tomcatv show enormous plateaus\n(tens of thousands of ops per "
+        "level at full scale).\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Table 1: Instruction Class Operation Times.
+//
+// Prints the latency model every analysis in this repository uses — the
+// number of DDG levels an operation spans before its value is available.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "isa/op_class.hpp"
+#include "support/ascii_table.hpp"
+
+using namespace paragraph;
+
+int
+main()
+{
+    bench::banner("Table 1: Instruction Class Operation Times", "Table 1");
+
+    AsciiTable table;
+    table.addColumn("Operation Class", AsciiTable::Align::Left);
+    table.addColumn("Steps");
+    for (size_t i = 0; i < isa::numOpClasses; ++i) {
+        auto cls = static_cast<isa::OpClass>(i);
+        if (cls == isa::OpClass::Control)
+            continue; // control instructions are not placed in the DDG
+        table.beginRow();
+        table.cell(std::string(isa::opClassName(cls)));
+        table.cell(static_cast<uint64_t>(isa::opLatency(cls)));
+    }
+    table.print(std::cout);
+    std::printf("\nPaper values: Integer ALU 1, Integer Multiply 6, Integer "
+                "Division 12,\nFP Add/Sub 6, FP Multiply 6, FP Division 12, "
+                "Load/Store 1, System Calls 1.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Renaming study: how much parallelism each storage-renaming step exposes
+// for one workload — a single row of the paper's Table 4, with extra
+// diagnostics (storage-delayed op counts and live-well sizes).
+//
+//   $ ./renaming_study [workload] [--small]     (default: fpppp)
+#include <cstring>
+#include <iostream>
+
+#include "core/paragraph.hpp"
+#include "support/ascii_table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = "fpppp";
+    workloads::Scale scale = workloads::Scale::Full;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0)
+            scale = workloads::Scale::Small;
+        else
+            name = argv[i];
+    }
+
+    auto &suite = workloads::WorkloadSuite::instance();
+    const workloads::Workload &w = suite.find(name);
+    std::cout << "Renaming study for '" << w.name << "': " << w.description
+              << "\n\n";
+
+    struct Row
+    {
+        const char *label;
+        core::AnalysisConfig cfg;
+    } rows[] = {
+        {"no renaming", core::AnalysisConfig::noRenaming()},
+        {"registers renamed", core::AnalysisConfig::regsRenamed()},
+        {"registers + stack", core::AnalysisConfig::regsStackRenamed()},
+        {"registers + all memory", core::AnalysisConfig::regsMemRenamed()},
+    };
+
+    AsciiTable table;
+    table.addColumn("Condition", AsciiTable::Align::Left);
+    table.addColumn("Critical Path");
+    table.addColumn("Avail Parallelism");
+    table.addColumn("Storage-Delayed Ops");
+    table.addColumn("Live-Well Peak");
+
+    for (const Row &row : rows) {
+        auto src = suite.makeSource(w, scale);
+        core::AnalysisResult res = core::Paragraph(row.cfg).analyze(*src);
+        table.beginRow();
+        table.cell(std::string(row.label));
+        table.cell(res.criticalPathLength);
+        table.cell(res.availableParallelism, 2);
+        table.cell(res.storageDelayedOps);
+        table.cell(res.liveWellPeak);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading the table: every condition places the same "
+                 "operations; renaming only\nremoves storage (WAR/WAW) "
+                 "edges, so parallelism can only grow downwards the "
+                 "table.\n";
+    return 0;
+}

@@ -1,0 +1,502 @@
+#include "casm/assembler.hpp"
+
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "isa/registers.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace casm {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OperandPattern;
+
+namespace {
+
+/** One parsed statement (post label-stripping). */
+struct Statement
+{
+    int lineNo;
+    std::string label;             // possibly empty
+    std::string mnemonic;          // possibly empty (label-only line)
+    std::vector<std::string> args; // comma-separated operand texts
+};
+
+[[noreturn]] void
+syntaxError(int line_no, const std::string &msg)
+{
+    PARA_FATAL("asm line %d: %s", line_no, msg.c_str());
+}
+
+/** Pseudo-instruction expansion sizes (instructions emitted). */
+int
+statementSize(const Statement &st)
+{
+    if (st.mnemonic.empty())
+        return 0;
+    if (st.mnemonic == "bge" || st.mnemonic == "blt" ||
+        st.mnemonic == "ble" || st.mnemonic == "bgt") {
+        return 2;
+    }
+    return 1; // real opcodes, la, b
+}
+
+class Assembler
+{
+  public:
+    Program
+    run(std::string_view source)
+    {
+        parseLines(source);
+        layoutPass();
+        encodePass();
+        if (auto it = program_.symbols.find("main");
+            it != program_.symbols.end()) {
+            program_.entry = it->second;
+        }
+        return std::move(program_);
+    }
+
+  private:
+    Program program_;
+    std::vector<Statement> textStmts_;
+
+    void
+    defineSymbol(const std::string &name, uint64_t value, int line_no)
+    {
+        auto [it, inserted] = program_.symbols.emplace(name, value);
+        if (!inserted)
+            syntaxError(line_no, "duplicate label '" + name + "'");
+    }
+
+    /** Split a raw line into statements, handling labels and directives.
+     *  Data directives are applied immediately during parseLines (pass 1
+     *  assigns data addresses on the fly); text statements are queued. */
+    void
+    parseLines(std::string_view source)
+    {
+        bool in_text = true;
+        int line_no = 0;
+        size_t pos = 0;
+        while (pos <= source.size()) {
+            size_t eol = source.find('\n', pos);
+            std::string_view raw =
+                eol == std::string_view::npos
+                    ? source.substr(pos)
+                    : source.substr(pos, eol - pos);
+            pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+            ++line_no;
+
+            if (size_t hash = raw.find('#'); hash != std::string_view::npos)
+                raw = raw.substr(0, hash);
+            std::string_view line = trim(raw);
+            if (line.empty())
+                continue;
+
+            // Labels (possibly several on one line).
+            while (true) {
+                size_t colon = line.find(':');
+                if (colon == std::string_view::npos)
+                    break;
+                std::string_view head = trim(line.substr(0, colon));
+                if (head.empty() || head.find(' ') != std::string_view::npos)
+                    syntaxError(line_no, "malformed label");
+                if (in_text) {
+                    defineSymbol(std::string(head), textSize_, line_no);
+                } else {
+                    defineSymbol(std::string(head),
+                                 MemoryLayout::dataBase +
+                                     program_.data.size(),
+                                 line_no);
+                }
+                line = trim(line.substr(colon + 1));
+            }
+            if (line.empty())
+                continue;
+
+            // Mnemonic / directive and operands.
+            size_t sp = line.find_first_of(" \t");
+            std::string mnemonic(
+                sp == std::string_view::npos ? line : line.substr(0, sp));
+            std::string_view rest =
+                sp == std::string_view::npos ? std::string_view{}
+                                             : trim(line.substr(sp));
+
+            if (mnemonic == ".text") {
+                in_text = true;
+                continue;
+            }
+            if (mnemonic == ".data") {
+                in_text = false;
+                continue;
+            }
+            if (mnemonic[0] == '.') {
+                if (in_text)
+                    syntaxError(line_no, "data directive in .text");
+                applyDataDirective(mnemonic, rest, line_no);
+                continue;
+            }
+
+            if (!in_text)
+                syntaxError(line_no, "instruction in .data");
+            Statement st;
+            st.lineNo = line_no;
+            st.mnemonic = mnemonic;
+            if (!rest.empty())
+                st.args = splitAndTrim(rest, ',');
+            textSize_ += static_cast<uint64_t>(statementSize(st));
+            textStmts_.push_back(std::move(st));
+        }
+    }
+
+    void
+    applyDataDirective(const std::string &dir, std::string_view args,
+                       int line_no)
+    {
+        if (dir == ".space") {
+            int64_t n = 0;
+            if (!parseInt(args, n) || n < 0)
+                syntaxError(line_no, ".space needs a non-negative size");
+            program_.data.insert(program_.data.end(),
+                                 static_cast<size_t>(n), 0);
+        } else if (dir == ".word") {
+            for (const std::string &piece : splitAndTrim(args, ',')) {
+                int64_t v = 0;
+                if (!parseInt(piece, v))
+                    syntaxError(line_no, "bad .word value '" + piece + "'");
+                uint32_t w = static_cast<uint32_t>(v);
+                for (int b = 0; b < 4; ++b)
+                    program_.data.push_back(
+                        static_cast<uint8_t>(w >> (8 * b)));
+            }
+        } else if (dir == ".double") {
+            for (const std::string &piece : splitAndTrim(args, ',')) {
+                double v = 0;
+                if (!parseDouble(piece, v))
+                    syntaxError(line_no, "bad .double value '" + piece + "'");
+                uint64_t bits;
+                std::memcpy(&bits, &v, sizeof(bits));
+                for (int b = 0; b < 8; ++b)
+                    program_.data.push_back(
+                        static_cast<uint8_t>(bits >> (8 * b)));
+            }
+        } else if (dir == ".align") {
+            int64_t k = 0;
+            if (!parseInt(args, k) || k < 0 || k > 12)
+                syntaxError(line_no, ".align needs 0..12");
+            uint64_t mask = (1ULL << k) - 1;
+            while ((MemoryLayout::dataBase + program_.data.size()) & mask)
+                program_.data.push_back(0);
+        } else {
+            syntaxError(line_no, "unknown directive '" + dir + "'");
+        }
+    }
+
+    /** Nothing else to lay out: text indices and data addresses were
+     *  assigned during parsing. */
+    void layoutPass() {}
+
+    uint8_t
+    parseIntReg(const std::string &text, int line_no) const
+    {
+        uint8_t idx = 0;
+        bool is_fp = false;
+        if (!isa::parseRegName(text, idx, is_fp) || is_fp)
+            syntaxError(line_no, "bad integer register '" + text + "'");
+        return idx;
+    }
+
+    uint8_t
+    parseFpReg(const std::string &text, int line_no) const
+    {
+        uint8_t idx = 0;
+        bool is_fp = false;
+        if (!isa::parseRegName(text, idx, is_fp) || !is_fp)
+            syntaxError(line_no, "bad FP register '" + text + "'");
+        return idx;
+    }
+
+    int32_t
+    parseImmediate(const std::string &text, int line_no) const
+    {
+        int64_t v = 0;
+        if (parseInt(text, v)) {
+            if (v < INT32_MIN || v > INT32_MAX)
+                syntaxError(line_no, "immediate out of range");
+            return static_cast<int32_t>(v);
+        }
+        auto it = program_.symbols.find(text);
+        if (it == program_.symbols.end())
+            syntaxError(line_no, "undefined symbol '" + text + "'");
+        return static_cast<int32_t>(it->second);
+    }
+
+    /** Parse "off(reg)" / "sym" / "imm" memory operand forms. */
+    void
+    parseMemOperand(const std::string &text, int line_no, uint8_t &base,
+                    int32_t &offset) const
+    {
+        size_t open = text.find('(');
+        if (open == std::string_view::npos) {
+            base = isa::regZero;
+            offset = parseImmediate(text, line_no);
+            return;
+        }
+        size_t close = text.find(')', open);
+        if (close == std::string::npos)
+            syntaxError(line_no, "unterminated memory operand");
+        std::string off_text(trim(std::string_view(text).substr(0, open)));
+        std::string reg_text(trim(
+            std::string_view(text).substr(open + 1, close - open - 1)));
+        base = parseIntReg(reg_text, line_no);
+        offset = off_text.empty() ? 0 : parseImmediate(off_text, line_no);
+    }
+
+    int32_t
+    parseTarget(const std::string &text, int line_no) const
+    {
+        return parseImmediate(text, line_no);
+    }
+
+    void
+    expectArgs(const Statement &st, size_t n) const
+    {
+        if (st.args.size() != n) {
+            syntaxError(st.lineNo,
+                        strFormat("'%s' expects %zu operands, got %zu",
+                                  st.mnemonic.c_str(), n, st.args.size()));
+        }
+    }
+
+    void
+    encodePass()
+    {
+        for (const Statement &st : textStmts_)
+            encodeStatement(st);
+        PARA_ASSERT(program_.text.size() == textSize_,
+                    "pass-1/pass-2 size mismatch");
+    }
+
+    void
+    emit(const Instruction &inst)
+    {
+        program_.text.push_back(inst);
+    }
+
+    void
+    encodeStatement(const Statement &st)
+    {
+        // Pseudo-instructions first.
+        if (st.mnemonic == "la" || st.mnemonic == "b" ||
+            st.mnemonic == "bge" || st.mnemonic == "blt" ||
+            st.mnemonic == "ble" || st.mnemonic == "bgt") {
+            encodePseudo(st);
+            return;
+        }
+
+        Opcode op;
+        if (!isa::parseOpcodeName(st.mnemonic, op))
+            syntaxError(st.lineNo, "unknown mnemonic '" + st.mnemonic + "'");
+
+        Instruction inst;
+        inst.op = op;
+        int line = st.lineNo;
+        switch (isa::opcodePattern(op)) {
+          case OperandPattern::None:
+            expectArgs(st, 0);
+            break;
+          case OperandPattern::R3:
+            expectArgs(st, 3);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseIntReg(st.args[1], line);
+            inst.rt = parseIntReg(st.args[2], line);
+            break;
+          case OperandPattern::R2Imm:
+            expectArgs(st, 3);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseIntReg(st.args[1], line);
+            inst.imm = parseImmediate(st.args[2], line);
+            break;
+          case OperandPattern::R1Imm:
+            expectArgs(st, 2);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.imm = parseImmediate(st.args[1], line);
+            break;
+          case OperandPattern::R2:
+            expectArgs(st, 2);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseIntReg(st.args[1], line);
+            break;
+          case OperandPattern::MemLoad:
+            expectArgs(st, 2);
+            inst.rd = parseIntReg(st.args[0], line);
+            parseMemOperand(st.args[1], line, inst.rs, inst.imm);
+            break;
+          case OperandPattern::MemStore:
+            expectArgs(st, 2);
+            inst.rt = parseIntReg(st.args[0], line);
+            parseMemOperand(st.args[1], line, inst.rs, inst.imm);
+            break;
+          case OperandPattern::FMemLoad:
+            expectArgs(st, 2);
+            inst.rd = parseFpReg(st.args[0], line);
+            parseMemOperand(st.args[1], line, inst.rs, inst.imm);
+            break;
+          case OperandPattern::FMemStore:
+            expectArgs(st, 2);
+            inst.rt = parseFpReg(st.args[0], line);
+            parseMemOperand(st.args[1], line, inst.rs, inst.imm);
+            break;
+          case OperandPattern::F3:
+            expectArgs(st, 3);
+            inst.rd = parseFpReg(st.args[0], line);
+            inst.rs = parseFpReg(st.args[1], line);
+            inst.rt = parseFpReg(st.args[2], line);
+            break;
+          case OperandPattern::F2:
+            expectArgs(st, 2);
+            inst.rd = parseFpReg(st.args[0], line);
+            inst.rs = parseFpReg(st.args[1], line);
+            break;
+          case OperandPattern::FCmp:
+            expectArgs(st, 3);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseFpReg(st.args[1], line);
+            inst.rt = parseFpReg(st.args[2], line);
+            break;
+          case OperandPattern::CvtToFp:
+            expectArgs(st, 2);
+            inst.rd = parseFpReg(st.args[0], line);
+            inst.rs = parseIntReg(st.args[1], line);
+            break;
+          case OperandPattern::CvtToInt:
+            expectArgs(st, 2);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseFpReg(st.args[1], line);
+            break;
+          case OperandPattern::Branch2:
+            expectArgs(st, 3);
+            inst.rs = parseIntReg(st.args[0], line);
+            inst.rt = parseIntReg(st.args[1], line);
+            inst.imm = parseTarget(st.args[2], line);
+            break;
+          case OperandPattern::Branch1:
+            expectArgs(st, 2);
+            inst.rs = parseIntReg(st.args[0], line);
+            inst.imm = parseTarget(st.args[1], line);
+            break;
+          case OperandPattern::Jump:
+          case OperandPattern::JumpLink:
+            expectArgs(st, 1);
+            inst.imm = parseTarget(st.args[0], line);
+            break;
+          case OperandPattern::JumpReg:
+            expectArgs(st, 1);
+            inst.rs = parseIntReg(st.args[0], line);
+            break;
+          case OperandPattern::JumpLinkReg:
+            expectArgs(st, 2);
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.rs = parseIntReg(st.args[1], line);
+            break;
+          case OperandPattern::SysCallOp:
+            expectArgs(st, 0);
+            break;
+          default:
+            syntaxError(line, "unsupported pattern");
+        }
+        emit(inst);
+    }
+
+    void
+    encodePseudo(const Statement &st)
+    {
+        int line = st.lineNo;
+        if (st.mnemonic == "la") {
+            expectArgs(st, 2);
+            Instruction inst;
+            inst.op = Opcode::Li;
+            inst.rd = parseIntReg(st.args[0], line);
+            inst.imm = parseImmediate(st.args[1], line);
+            emit(inst);
+            return;
+        }
+        if (st.mnemonic == "b") {
+            expectArgs(st, 1);
+            Instruction inst;
+            inst.op = Opcode::J;
+            inst.imm = parseTarget(st.args[0], line);
+            emit(inst);
+            return;
+        }
+        // bge/blt/ble/bgt rs, rt, target  ->  slt at, ...; beq/bne at, ...
+        expectArgs(st, 3);
+        uint8_t rs = parseIntReg(st.args[0], line);
+        uint8_t rt = parseIntReg(st.args[1], line);
+        int32_t target = parseTarget(st.args[2], line);
+
+        Instruction slt;
+        slt.op = Opcode::Slt;
+        slt.rd = isa::regAt;
+        Instruction br;
+        br.rs = isa::regAt;
+        br.rt = isa::regZero;
+        br.imm = target;
+
+        if (st.mnemonic == "bge") {
+            slt.rs = rs;
+            slt.rt = rt;
+            br.op = Opcode::Beq; // !(rs < rt)
+        } else if (st.mnemonic == "blt") {
+            slt.rs = rs;
+            slt.rt = rt;
+            br.op = Opcode::Bne; // rs < rt
+        } else if (st.mnemonic == "ble") {
+            slt.rs = rt;
+            slt.rt = rs;
+            br.op = Opcode::Beq; // !(rt < rs)
+        } else { // bgt
+            slt.rs = rt;
+            slt.rt = rs;
+            br.op = Opcode::Bne; // rt < rs
+        }
+        emit(slt);
+        emit(br);
+    }
+
+    uint64_t textSize_ = 0;
+};
+
+} // namespace
+
+Program
+assemble(std::string_view source)
+{
+    Assembler assembler;
+    return assembler.run(source);
+}
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        PARA_FATAL("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < text.size(); ++i)
+        oss << i << ":\t" << isa::disassemble(text[i]) << '\n';
+    return oss.str();
+}
+
+} // namespace casm
+} // namespace paragraph

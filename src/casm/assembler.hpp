@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-pass assembler for the MIPS-like target.
+ *
+ * Syntax (one statement per line, '#' comments):
+ *
+ *     .data                        # switch to the data segment
+ *     vec:   .space 800            # 800 zero bytes
+ *     tbl:   .word 1, 2, 3         # 32-bit little-endian words
+ *     pi:    .double 3.14159       # 64-bit doubles
+ *            .align 3              # align to 2^3 bytes
+ *     .text                        # switch to the text segment
+ *     main:  li   t0, 100
+ *     loop:  addi t0, t0, -1
+ *            bgtz t0, loop
+ *            li   v0, 5            # exit service
+ *            syscall
+ *
+ * Registers accept ABI names (t0, sp), raw names (r8, f2), and an optional
+ * leading '$'. Branches/jumps take label operands; `lw t0, sym` addresses a
+ * data symbol absolutely, `lw t0, 8(sp)` uses base+offset form.
+ *
+ * Pseudo-instructions: la (load address), b (branch always), and the
+ * compare-and-branch family bge/bgt/ble/blt (expands to slt + beq/bne via
+ * the assembler temporary register at).
+ */
+
+#ifndef PARAGRAPH_CASM_ASSEMBLER_HPP
+#define PARAGRAPH_CASM_ASSEMBLER_HPP
+
+#include <string>
+#include <string_view>
+
+#include "casm/program.hpp"
+
+namespace paragraph {
+namespace casm {
+
+/**
+ * Assemble @p source into a Program.
+ * @throws FatalError with file:line context on any syntax error,
+ *         unknown mnemonic, bad register, or undefined/duplicate label.
+ */
+Program assemble(std::string_view source);
+
+} // namespace casm
+} // namespace paragraph
+
+#endif // PARAGRAPH_CASM_ASSEMBLER_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Program: an assembled executable image for the MIPS-like target.
+ *
+ * Holds the decoded text segment (a vector of instructions; branch targets
+ * are absolute instruction indices), the initialized data segment image, the
+ * symbol table, and the memory-layout constants the simulator loads it with.
+ */
+
+#ifndef PARAGRAPH_CASM_PROGRAM_HPP
+#define PARAGRAPH_CASM_PROGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace paragraph {
+namespace casm {
+
+/** Fixed memory layout (word-addressed little-endian flat space). */
+struct MemoryLayout
+{
+    static constexpr uint64_t dataBase = 0x10000000;  ///< globals
+    static constexpr uint64_t stackTop = 0x7fffff00;  ///< grows downward
+    /** Heap begins at the first 4 KiB boundary after the data image. */
+    static constexpr uint64_t heapAlign = 0x1000;
+};
+
+struct Program
+{
+    /** Decoded text segment. */
+    std::vector<isa::Instruction> text;
+
+    /** Initialized data image, loaded at MemoryLayout::dataBase. */
+    std::vector<uint8_t> data;
+
+    /** Label -> value (text labels: instruction index; data labels: address). */
+    std::map<std::string, uint64_t> symbols;
+
+    /** Entry instruction index (label "main" when present, else 0). */
+    uint64_t entry = 0;
+
+    /** First heap address (past the data image, page aligned). */
+    uint64_t
+    heapBase() const
+    {
+        uint64_t end = MemoryLayout::dataBase + data.size();
+        return (end + MemoryLayout::heapAlign - 1) &
+               ~(MemoryLayout::heapAlign - 1);
+    }
+
+    /** Look up a symbol; throws FatalError when missing. */
+    uint64_t symbol(const std::string &name) const;
+
+    /** Render the whole text segment as assembly (round-trip debugging). */
+    std::string disassemble() const;
+};
+
+} // namespace casm
+} // namespace paragraph
+
+#endif // PARAGRAPH_CASM_PROGRAM_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CriticalPathAnalyzer: the "previous work" baseline (paper Section 3.1).
+ *
+ * "These studies typically find the length of the critical path through the
+ * computation, and compute the average parallelism as the total number of
+ * instructions divided by the length of the critical path. ... Because they
+ * are interested in only a single measure ... they do not need to construct
+ * the entire DDG, or even parts of it."
+ *
+ * This analyzer keeps only a per-location availability level — no profile,
+ * no lifetime/sharing accounting, no storage-dependency bookkeeping beyond
+ * what the critical path itself needs. With matching configuration it must
+ * report exactly the same critical path and available parallelism as the
+ * full Paragraph engine (a differential test), while running faster and in
+ * less memory (an ablation bench) — demonstrating what extra information the
+ * full DDG analysis buys and what it costs.
+ */
+
+#ifndef PARAGRAPH_CORE_BASELINE_HPP
+#define PARAGRAPH_CORE_BASELINE_HPP
+
+#include <cstdint>
+
+#include "core/branch_predictor.hpp"
+#include "core/config.hpp"
+#include "support/flat_hash_map.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace core {
+
+/** The two numbers the average-parallelism literature reports. */
+struct BaselineResult
+{
+    uint64_t instructions = 0;
+    uint64_t placedOps = 0;
+    uint64_t criticalPathLength = 0;
+    double availableParallelism = 0.0;
+};
+
+class CriticalPathAnalyzer
+{
+  public:
+    /**
+     * Only the dependence-affecting switches of @p cfg are honoured
+     * (renaming flags, syscall assumption, latencies, maxInstructions);
+     * windows and FU limits are outside this baseline's scope, as in the
+     * cited studies' simplest configurations.
+     */
+    explicit CriticalPathAnalyzer(AnalysisConfig cfg = {});
+
+    /** Run over a whole trace. */
+    BaselineResult analyze(trace::TraceSource &src);
+
+    // Incremental interface mirroring Paragraph's.
+    void begin();
+    void process(const trace::TraceRecord &rec);
+    BaselineResult finish();
+
+  private:
+    /** Availability level of the value in a location, and the deepest level
+     *  of any computation that accessed it (storage dependencies). */
+    struct Slot
+    {
+        int64_t level;
+        int64_t deepestAccess;
+    };
+
+    AnalysisConfig cfg_;
+    BranchPredictor predictor_;
+    FlatHashMap<uint64_t, Slot> levels_;
+    BaselineResult result_;
+    int64_t highestLevel_ = 0;
+    int64_t deepestLevel_ = -1;
+    bool done_ = false;
+
+    bool destRenamed(const trace::Operand &op) const;
+};
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_BASELINE_HPP

@@ -1,0 +1,78 @@
+#include "core/branch_predictor.hpp"
+
+#include "support/flat_hash_map.hpp"
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace core {
+
+const char *
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Perfect:     return "perfect";
+      case PredictorKind::Bimodal:     return "bimodal";
+      case PredictorKind::AlwaysTaken: return "always-taken";
+      case PredictorKind::NeverTaken:  return "never-taken";
+      case PredictorKind::AlwaysWrong: return "always-wrong";
+      default:                         return "?";
+    }
+}
+
+BranchPredictor::BranchPredictor(PredictorKind kind, uint32_t table_bits)
+    : kind_(kind)
+{
+    PARA_ASSERT(table_bits >= 1 && table_bits <= 24);
+    if (kind_ == PredictorKind::Bimodal) {
+        counters_.assign(size_t{1} << table_bits, 1); // weakly not-taken
+        mask_ = (uint64_t{1} << table_bits) - 1;
+    }
+}
+
+bool
+BranchPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    ++predictions_;
+    bool predicted_taken;
+    switch (kind_) {
+      case PredictorKind::Perfect:
+        predicted_taken = taken;
+        break;
+      case PredictorKind::AlwaysTaken:
+        predicted_taken = true;
+        break;
+      case PredictorKind::NeverTaken:
+        predicted_taken = false;
+        break;
+      case PredictorKind::AlwaysWrong:
+        predicted_taken = !taken;
+        break;
+      case PredictorKind::Bimodal: {
+        uint8_t &counter = counters_[(mixHash64(pc) & mask_)];
+        predicted_taken = counter >= 2;
+        if (taken && counter < 3)
+            ++counter;
+        if (!taken && counter > 0)
+            --counter;
+        break;
+      }
+      default:
+        PARA_PANIC("bad predictor kind");
+    }
+    bool correct = predicted_taken == taken;
+    if (!correct)
+        ++mispredictions_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    if (kind_ == PredictorKind::Bimodal)
+        counters_.assign(counters_.size(), 1);
+    predictions_ = 0;
+    mispredictions_ = 0;
+}
+
+} // namespace core
+} // namespace paragraph

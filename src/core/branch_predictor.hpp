@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch predictor models for control-dependency firewalls.
+ *
+ * Paper Section 3.2: "The firewall can also be used to represent the effect
+ * of a mispredicted conditional branch, resulting in all operations after
+ * the conditional branch being placed into the DDG with a control
+ * dependency to the firewall." And Section 4 argues that "the branch
+ * predictors currently available are not accurate enough to expose even
+ * hundreds of instructions."
+ *
+ * This extension provides the predictor models that argument needs: every
+ * conditional branch in the trace is predicted; a misprediction raises the
+ * firewall floor to the branch's resolution level, so no later operation
+ * can start before the branch outcome is known.
+ */
+
+#ifndef PARAGRAPH_CORE_BRANCH_PREDICTOR_HPP
+#define PARAGRAPH_CORE_BRANCH_PREDICTOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paragraph {
+namespace core {
+
+/** Predictor models, from oracle to adversary. */
+enum class PredictorKind : uint8_t
+{
+    Perfect,     ///< never mispredicts (the paper's default assumption)
+    Bimodal,     ///< per-branch 2-bit saturating counters
+    AlwaysTaken, ///< static predict-taken
+    NeverTaken,  ///< static predict-not-taken
+    AlwaysWrong, ///< adversarial lower bound: every branch mispredicts
+};
+
+/** Human-readable model name. */
+const char *predictorKindName(PredictorKind kind);
+
+class BranchPredictor
+{
+  public:
+    /**
+     * @param kind       model to simulate
+     * @param table_bits log2 of the bimodal counter-table size
+     */
+    explicit BranchPredictor(PredictorKind kind = PredictorKind::Perfect,
+                             uint32_t table_bits = 12);
+
+    /**
+     * Predict the branch at static address @p pc, then update with the
+     * actual outcome.
+     * @return true when the prediction was correct.
+     */
+    bool predictAndUpdate(uint64_t pc, bool taken);
+
+    /** Reset all predictor state (fresh analysis). */
+    void reset();
+
+    PredictorKind kind() const { return kind_; }
+
+    uint64_t predictions() const { return predictions_; }
+    uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Fraction of branches predicted correctly (1.0 when none seen). */
+    double
+    accuracy() const
+    {
+        return predictions_
+                   ? 1.0 - static_cast<double>(mispredictions_) /
+                               static_cast<double>(predictions_)
+                   : 1.0;
+    }
+
+  private:
+    PredictorKind kind_;
+    std::vector<uint8_t> counters_; ///< 2-bit saturating, bimodal only
+    uint64_t mask_ = 0;
+    uint64_t predictions_ = 0;
+    uint64_t mispredictions_ = 0;
+};
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_BRANCH_PREDICTOR_HPP

@@ -1,0 +1,92 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+namespace paragraph {
+namespace core {
+
+std::string
+AnalysisConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << (sysCallsStall ? "syscalls=stall" : "syscalls=ignore");
+    oss << " rename=";
+    if (renameRegisters)
+        oss << "R";
+    if (renameStack)
+        oss << "S";
+    if (renameData)
+        oss << "M";
+    if (!renameRegisters && !renameStack && !renameData)
+        oss << "none";
+    if (windowSize)
+        oss << " window=" << windowSize;
+    else
+        oss << " window=unlimited";
+    if (totalFuLimit)
+        oss << " fus=" << totalFuLimit;
+    return oss.str();
+}
+
+AnalysisConfig
+AnalysisConfig::dataflowConservative()
+{
+    AnalysisConfig cfg;
+    cfg.sysCallsStall = true;
+    cfg.renameRegisters = true;
+    cfg.renameData = true;
+    cfg.renameStack = true;
+    cfg.windowSize = 0;
+    return cfg;
+}
+
+AnalysisConfig
+AnalysisConfig::dataflowOptimistic()
+{
+    AnalysisConfig cfg = dataflowConservative();
+    cfg.sysCallsStall = false;
+    return cfg;
+}
+
+AnalysisConfig
+AnalysisConfig::noRenaming()
+{
+    AnalysisConfig cfg = dataflowConservative();
+    cfg.renameRegisters = false;
+    cfg.renameData = false;
+    cfg.renameStack = false;
+    return cfg;
+}
+
+AnalysisConfig
+AnalysisConfig::regsRenamed()
+{
+    AnalysisConfig cfg = noRenaming();
+    cfg.renameRegisters = true;
+    return cfg;
+}
+
+AnalysisConfig
+AnalysisConfig::regsStackRenamed()
+{
+    AnalysisConfig cfg = regsRenamed();
+    cfg.renameStack = true;
+    return cfg;
+}
+
+AnalysisConfig
+AnalysisConfig::regsMemRenamed()
+{
+    return dataflowConservative();
+}
+
+AnalysisConfig
+AnalysisConfig::windowed(uint64_t window_size)
+{
+    AnalysisConfig cfg = dataflowConservative();
+    cfg.windowSize = window_size;
+    return cfg;
+}
+
+} // namespace core
+} // namespace paragraph

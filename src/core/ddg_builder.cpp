@@ -1,0 +1,323 @@
+#include "core/ddg_builder.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/branch_predictor.hpp"
+#include "core/fu_throttle.hpp"
+#include "support/flat_hash_map.hpp"
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace core {
+
+using trace::Operand;
+using trace::Segment;
+using trace::TraceRecord;
+
+const char *
+depKindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::True:    return "true";
+      case DepKind::Storage: return "storage";
+      case DepKind::Control: return "control";
+      default:               return "?";
+    }
+}
+
+size_t
+Ddg::countEdges(DepKind kind) const
+{
+    return static_cast<size_t>(
+        std::count_if(edges.begin(), edges.end(),
+                      [kind](const Edge &e) { return e.kind == kind; }));
+}
+
+std::vector<uint64_t>
+Ddg::levelHistogram() const
+{
+    int64_t deepest = -1;
+    for (const Node &n : nodes)
+        deepest = std::max(deepest, n.level);
+    std::vector<uint64_t> hist(static_cast<size_t>(deepest + 1), 0);
+    for (const Node &n : nodes)
+        ++hist[static_cast<size_t>(n.level)];
+    return hist;
+}
+
+std::string
+Ddg::toDot() const
+{
+    std::ostringstream oss;
+    oss << "digraph ddg {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+
+    int64_t deepest = -1;
+    for (const Node &n : nodes)
+        deepest = std::max(deepest, n.level);
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        oss << "  n" << i << " [label=\"" << nodes[i].label << "\\nL"
+            << nodes[i].level << "\"];\n";
+    }
+    for (int64_t level = 0; level <= deepest; ++level) {
+        bool any = false;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].level == level) {
+                if (!any)
+                    oss << "  { rank=same;";
+                any = true;
+                oss << " n" << i << ";";
+            }
+        }
+        if (any)
+            oss << " }\n";
+    }
+    for (const Edge &e : edges) {
+        oss << "  n" << e.from << " -> n" << e.to;
+        switch (e.kind) {
+          case DepKind::Storage:
+            oss << " [color=gray, style=solid, arrowhead=odot]";
+            break;
+          case DepKind::Control:
+            oss << " [style=dashed]";
+            break;
+          default:
+            break;
+        }
+        oss << ";\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+namespace {
+
+/** Per-location bookkeeping: the live value plus its producing node and the
+ *  nodes that have read it (for storage-dependence edges). */
+struct BuilderSlot
+{
+    int64_t level = 0;
+    int64_t deepestAccess = 0;
+    int32_t producer = -1; ///< node index, -1 for pre-existing values
+    std::vector<uint32_t> readers;
+};
+
+} // namespace
+
+Ddg
+buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
+{
+    Ddg ddg;
+    FlatHashMap<uint64_t, uint32_t> slot_index; // location -> slots idx
+    std::vector<BuilderSlot> slots;
+    FuThrottle throttle(cfg);
+    BranchPredictor predictor(cfg.branchPredictor, cfg.predictorTableBits);
+    SlidingWindow window(cfg.windowSize ? cfg.windowSize : 1);
+    const bool windowed = cfg.windowSize > 0;
+
+    int64_t highest_level = 0;
+    int64_t deepest_level = -1;
+    int32_t firewall_node = -1; // node that caused the current floor
+
+    auto slot_for = [&](uint64_t key, bool &fresh) -> BuilderSlot & {
+        uint32_t *idx = slot_index.find(key);
+        if (idx) {
+            fresh = false;
+            return slots[*idx];
+        }
+        fresh = true;
+        slots.emplace_back();
+        slot_index.insertOrAssign(key,
+                                  static_cast<uint32_t>(slots.size() - 1));
+        return slots.back();
+    };
+
+    for (size_t ri = 0; ri < buffer.size(); ++ri) {
+        const TraceRecord &rec = buffer[ri];
+
+        if (windowed) {
+            int64_t displaced = window.willEnter();
+            if (displaced != SlidingWindow::notPlaced &&
+                displaced + 1 > highest_level) {
+                highest_level = displaced + 1;
+                // Control constraint now comes from the displaced op; node
+                // identity is not tracked per displacement, so edges for
+                // window firewalls are attributed to no node.
+                firewall_node = -1;
+            }
+        }
+
+        if (rec.isCondBranch &&
+            predictor.kind() != PredictorKind::Perfect &&
+            !predictor.predictAndUpdate(rec.pc, rec.branchTaken)) {
+            int64_t resolve = highest_level;
+            for (int s = 0; s < rec.numSrcs; ++s) {
+                bool fresh = false;
+                BuilderSlot &slot = slot_for(locationKey(rec.srcs[s]), fresh);
+                if (fresh) {
+                    slot.level = highest_level - 1;
+                    slot.deepestAccess = highest_level - 1;
+                    slot.producer = -1;
+                }
+                if (slot.level + 1 > resolve)
+                    resolve = slot.level + 1;
+            }
+            if (resolve > highest_level) {
+                highest_level = resolve;
+                firewall_node = -1; // branch records are not DDG nodes
+            }
+        }
+
+        bool place = rec.createsValue;
+        if (rec.isSysCall && !cfg.sysCallsStall)
+            place = false;
+
+        int64_t placed_level = SlidingWindow::notPlaced;
+        if (place) {
+            uint32_t node_id = static_cast<uint32_t>(ddg.nodes.size());
+
+            // True data dependencies.
+            int64_t issue = highest_level;
+            bool floor_binding = true;
+            for (int s = 0; s < rec.numSrcs; ++s) {
+                bool fresh = false;
+                BuilderSlot &slot = slot_for(locationKey(rec.srcs[s]), fresh);
+                if (fresh) {
+                    slot.level = highest_level - 1;
+                    slot.deepestAccess = highest_level - 1;
+                    slot.producer = -1;
+                }
+                if (slot.level + 1 > issue) {
+                    issue = slot.level + 1;
+                    floor_binding = false;
+                }
+            }
+
+            // Storage dependency on the destination.
+            const bool has_dest = rec.dest.valid();
+            const uint64_t dkey = has_dest ? locationKey(rec.dest) : 0;
+            bool renamed = true;
+            if (has_dest) {
+                switch (rec.dest.kind) {
+                  case Operand::Kind::IntReg:
+                  case Operand::Kind::FpReg:
+                    renamed = cfg.renameRegisters;
+                    break;
+                  case Operand::Kind::Mem:
+                    renamed = rec.dest.seg == Segment::Stack
+                                  ? cfg.renameStack
+                                  : cfg.renameData;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            bool storage_edges = false;
+            if (has_dest && !renamed) {
+                if (uint32_t *idx = slot_index.find(dkey)) {
+                    BuilderSlot &prev = slots[*idx];
+                    if (prev.deepestAccess + 1 > issue) {
+                        issue = prev.deepestAccess + 1;
+                        floor_binding = false;
+                    }
+                    storage_edges = true;
+                }
+            }
+
+            // Resource dependencies.
+            const uint32_t top = cfg.latency[static_cast<size_t>(rec.cls)];
+            if (throttle.enabled())
+                issue = throttle.place(rec.cls, issue, top);
+            const int64_t ldest = issue + static_cast<int64_t>(top) - 1;
+
+            // Emit edges: one true edge per distinct producing node.
+            for (int s = 0; s < rec.numSrcs; ++s) {
+                uint32_t *idx = slot_index.find(locationKey(rec.srcs[s]));
+                PARA_ASSERT(idx != nullptr);
+                BuilderSlot &slot = slots[*idx];
+                if (slot.producer >= 0) {
+                    bool dup = false;
+                    for (const auto &e : ddg.edges) {
+                        if (e.to == node_id &&
+                            e.from == static_cast<uint32_t>(slot.producer) &&
+                            e.kind == DepKind::True) {
+                            dup = true;
+                            break;
+                        }
+                    }
+                    if (!dup) {
+                        ddg.edges.push_back(
+                            Ddg::Edge{static_cast<uint32_t>(slot.producer),
+                                 node_id, DepKind::True});
+                    }
+                }
+            }
+
+            if (storage_edges) {
+                BuilderSlot &prev = slots[*slot_index.find(dkey)];
+                if (prev.producer >= 0) {
+                    ddg.edges.push_back(
+                        Ddg::Edge{static_cast<uint32_t>(prev.producer), node_id,
+                             DepKind::Storage});
+                }
+                for (uint32_t reader : prev.readers) {
+                    if (reader != node_id) {
+                        ddg.edges.push_back(
+                            Ddg::Edge{reader, node_id, DepKind::Storage});
+                    }
+                }
+            }
+
+            if (floor_binding && highest_level > 0 && firewall_node >= 0) {
+                ddg.edges.push_back(
+                    Ddg::Edge{static_cast<uint32_t>(firewall_node), node_id,
+                         DepKind::Control});
+            }
+
+            // Readers update.
+            for (int s = 0; s < rec.numSrcs; ++s) {
+                BuilderSlot &slot = slots[*slot_index.find(
+                    locationKey(rec.srcs[s]))];
+                if (ldest > slot.deepestAccess)
+                    slot.deepestAccess = ldest;
+                slot.readers.push_back(node_id);
+            }
+
+            // Destination defines a new value.
+            if (has_dest) {
+                bool fresh = false;
+                BuilderSlot &slot = slot_for(dkey, fresh);
+                slot.level = ldest;
+                slot.deepestAccess = ldest;
+                slot.producer = static_cast<int32_t>(node_id);
+                slot.readers.clear();
+            }
+
+            ddg.nodes.push_back(Ddg::Node{
+                ri, ldest, issue, rec.cls, trace::toString(rec)});
+            placed_level = ldest;
+            if (ldest > deepest_level)
+                deepest_level = ldest;
+
+            if (rec.isSysCall && cfg.sysCallsStall) {
+                if (deepest_level + 1 > highest_level) {
+                    highest_level = deepest_level + 1;
+                    firewall_node = static_cast<int32_t>(node_id);
+                }
+            }
+        }
+
+        if (windowed)
+            window.entered(placed_level);
+    }
+
+    ddg.criticalPathLength =
+        deepest_level >= 0 ? static_cast<uint64_t>(deepest_level) + 1 : 0;
+    return ddg;
+}
+
+} // namespace core
+} // namespace paragraph

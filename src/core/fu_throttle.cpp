@@ -1,0 +1,102 @@
+#include "core/fu_throttle.hpp"
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace core {
+
+FuThrottle::FuThrottle(const AnalysisConfig &cfg)
+    : pipelined_(cfg.pipelinedFus),
+      totalLimit_(cfg.totalFuLimit),
+      classLimit_(cfg.fuLimit)
+{
+    enabled_ = totalLimit_ > 0;
+    for (uint32_t lim : classLimit_) {
+        if (lim > 0)
+            enabled_ = true;
+    }
+}
+
+uint32_t
+FuThrottle::at(const std::vector<uint32_t> &v, int64_t level)
+{
+    size_t idx = static_cast<size_t>(level);
+    return idx < v.size() ? v[idx] : 0;
+}
+
+bool
+FuThrottle::fits(isa::OpClass cls, int64_t issue, uint32_t span) const
+{
+    uint32_t levels = pipelined_ ? 1 : span;
+    uint32_t class_limit = classLimit_[static_cast<size_t>(cls)];
+    const auto &class_usage = usage_[static_cast<size_t>(cls)];
+    for (uint32_t i = 0; i < levels; ++i) {
+        int64_t level = issue + static_cast<int64_t>(i);
+        if (class_limit > 0 && at(class_usage, level) >= class_limit)
+            return false;
+        if (totalLimit_ > 0 && at(totalUsage_, level) >= totalLimit_)
+            return false;
+    }
+    return true;
+}
+
+void
+FuThrottle::reserve(isa::OpClass cls, int64_t issue, uint32_t span)
+{
+    uint32_t levels = pipelined_ ? 1 : span;
+    auto bump = [](std::vector<uint32_t> &v, int64_t level) {
+        size_t idx = static_cast<size_t>(level);
+        if (idx >= v.size())
+            v.resize(idx + 1 + idx / 2, 0);
+        ++v[idx];
+    };
+    bool class_limited = classLimit_[static_cast<size_t>(cls)] > 0;
+    for (uint32_t i = 0; i < levels; ++i) {
+        int64_t level = issue + static_cast<int64_t>(i);
+        if (class_limited)
+            bump(usage_[static_cast<size_t>(cls)], level);
+        if (totalLimit_ > 0)
+            bump(totalUsage_, level);
+    }
+}
+
+int64_t
+FuThrottle::place(isa::OpClass cls, int64_t min_issue, uint32_t span)
+{
+    if (!enabled_)
+        return min_issue;
+    PARA_ASSERT(min_issue >= 0 && span >= 1);
+    int64_t issue = min_issue;
+    // No operation can land below a saturated frontier.
+    if (totalLimit_ > 0 && totalFrontier_ > issue)
+        issue = totalFrontier_;
+    uint32_t class_limit = classLimit_[static_cast<size_t>(cls)];
+    if (class_limit > 0 && classFrontier_[static_cast<size_t>(cls)] > issue)
+        issue = classFrontier_[static_cast<size_t>(cls)];
+    while (!fits(cls, issue, span))
+        ++issue;
+    reserve(cls, issue, span);
+    if (totalLimit_ > 0) {
+        while (at(totalUsage_, totalFrontier_) >= totalLimit_)
+            ++totalFrontier_;
+    }
+    if (class_limit > 0) {
+        int64_t &frontier = classFrontier_[static_cast<size_t>(cls)];
+        while (at(usage_[static_cast<size_t>(cls)], frontier) >= class_limit)
+            ++frontier;
+    }
+    return issue;
+}
+
+void
+FuThrottle::reset()
+{
+    for (auto &v : usage_)
+        v.clear();
+    totalUsage_.clear();
+    totalFrontier_ = 0;
+    classFrontier_.fill(0);
+}
+
+} // namespace core
+} // namespace paragraph

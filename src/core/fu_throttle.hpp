@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FuThrottle: functional-unit resource dependencies (paper Figure 4).
+ *
+ * "Resource dependencies (sometimes called structural hazards) occur when
+ * operations must delay because some required physical resource has become
+ * exhausted." With k units, at most k operations can coexist in any single
+ * DDG level; an operation that does not fit at its dependence-determined
+ * level slides down to the first level range with free units.
+ */
+
+#ifndef PARAGRAPH_CORE_FU_THROTTLE_HPP
+#define PARAGRAPH_CORE_FU_THROTTLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "isa/op_class.hpp"
+
+namespace paragraph {
+namespace core {
+
+class FuThrottle
+{
+  public:
+    explicit FuThrottle(const AnalysisConfig &cfg);
+
+    /** True when any limit is configured; otherwise place() is identity. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Reserve units for an operation of class @p cls that is ready to issue
+     * at level @p min_issue and spans @p span levels.
+     *
+     * @return the actual issue level (>= min_issue): the first level where
+     *         the class limit and the total limit both have a free unit in
+     *         every occupied level (all span levels, or only the issue level
+     *         when FUs are pipelined).
+     */
+    int64_t place(isa::OpClass cls, int64_t min_issue, uint32_t span);
+
+    /** Reset occupancy for a fresh analysis. */
+    void reset();
+
+  private:
+    bool enabled_ = false;
+    bool pipelined_ = false;
+    uint32_t totalLimit_ = 0;
+    std::array<uint32_t, isa::numOpClasses> classLimit_ = {};
+
+    /** usage_[cls][level] = units of class cls busy in that level. */
+    std::array<std::vector<uint32_t>, isa::numOpClasses> usage_;
+    std::vector<uint32_t> totalUsage_;
+
+    /**
+     * Saturation frontiers: every level below the frontier is completely
+     * full for that limit, so searches may start there — turning the
+     * placement scan from O(critical path) to amortized O(1) per op.
+     */
+    int64_t totalFrontier_ = 0;
+    std::array<int64_t, isa::numOpClasses> classFrontier_ = {};
+
+    bool fits(isa::OpClass cls, int64_t issue, uint32_t span) const;
+    void reserve(isa::OpClass cls, int64_t issue, uint32_t span);
+    static uint32_t at(const std::vector<uint32_t> &v, int64_t level);
+};
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_FU_THROTTLE_HPP

@@ -1,0 +1,45 @@
+#include "core/multi.hpp"
+
+#include <chrono>
+#include <memory>
+
+namespace paragraph {
+namespace core {
+
+std::vector<AnalysisResult>
+analyzeMany(trace::TraceSource &src,
+            const std::vector<AnalysisConfig> &configs)
+{
+    std::vector<std::unique_ptr<Paragraph>> engines;
+    engines.reserve(configs.size());
+    for (const AnalysisConfig &cfg : configs)
+        engines.push_back(std::make_unique<Paragraph>(cfg));
+
+    auto start = std::chrono::steady_clock::now();
+    trace::TraceRecord rec;
+    size_t live = engines.size();
+    while (live > 0 && src.next(rec)) {
+        live = 0;
+        for (auto &engine : engines) {
+            if (!engine->done()) {
+                engine->process(rec);
+                if (!engine->done())
+                    ++live;
+            }
+        }
+    }
+    auto end = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(end - start).count();
+
+    std::vector<AnalysisResult> results;
+    results.reserve(engines.size());
+    for (auto &engine : engines) {
+        AnalysisResult res = engine->finish();
+        res.analysisSeconds = seconds; // shared pass
+        results.push_back(std::move(res));
+    }
+    return results;
+}
+
+} // namespace core
+} // namespace paragraph

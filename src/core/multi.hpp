@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Single-pass multi-configuration analysis.
+ *
+ * The paper's Figure 8 re-extracted the DDG once per window size — "each
+ * point in the graph represents a full DDG extraction and analysis of up to
+ * 100,000,000 instructions (and requires approximately 10 hours on a
+ * DECstation 3100)". The analyses are independent, so one pass over the
+ * trace can feed any number of differently-configured engines: trace
+ * generation (simulation, file decompression) is paid once instead of once
+ * per configuration.
+ */
+
+#ifndef PARAGRAPH_CORE_MULTI_HPP
+#define PARAGRAPH_CORE_MULTI_HPP
+
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace core {
+
+/**
+ * Analyze one trace under several configurations in a single pass.
+ *
+ * Equivalent to running Paragraph::analyze once per configuration over a
+ * reset source (a tested invariant), but the trace is produced only once.
+ * Engines that hit their own maxInstructions simply stop consuming.
+ *
+ * @return one AnalysisResult per configuration, in order.
+ */
+std::vector<AnalysisResult>
+analyzeMany(trace::TraceSource &src,
+            const std::vector<AnalysisConfig> &configs);
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_MULTI_HPP

@@ -1,0 +1,276 @@
+#include "core/paragraph.hpp"
+
+#include <chrono>
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace core {
+
+using trace::Operand;
+using trace::Segment;
+using trace::TraceRecord;
+
+Paragraph::Paragraph(AnalysisConfig cfg)
+    : cfg_(cfg),
+      throttle_(cfg),
+      predictor_(cfg.branchPredictor, cfg.predictorTableBits),
+      result_()
+{
+    if (cfg_.windowSize > 0)
+        window_ = std::make_unique<SlidingWindow>(cfg_.windowSize);
+    begin();
+}
+
+void
+Paragraph::begin()
+{
+    liveWell_.clear();
+    throttle_.reset();
+    predictor_.reset();
+    if (window_)
+        window_->reset();
+    result_ = AnalysisResult();
+    result_.profile = BucketedProfile(cfg_.profileBins);
+    result_.storageProfile = IntervalProfile(cfg_.profileBins);
+    highestLevel_ = 0;
+    deepestLevel_ = -1;
+    lastPlacedLevel_ = -1;
+    done_ = false;
+    finished_ = false;
+}
+
+bool
+Paragraph::destRenamed(const Operand &op) const
+{
+    switch (op.kind) {
+      case Operand::Kind::IntReg:
+      case Operand::Kind::FpReg:
+        return cfg_.renameRegisters;
+      case Operand::Kind::Mem:
+        return op.seg == Segment::Stack ? cfg_.renameStack : cfg_.renameData;
+      default:
+        return true;
+    }
+}
+
+void
+Paragraph::retire(const LiveValue &lv)
+{
+    if (lv.preExisting)
+        return;
+    if (cfg_.collectLifetimes) {
+        result_.lifetimes.add(
+            static_cast<uint64_t>(lv.deepestAccess - lv.level));
+    }
+    if (cfg_.collectSharing)
+        result_.sharing.add(lv.useCount);
+    if (cfg_.collectStorageProfile && lv.level >= 0) {
+        result_.storageProfile.add(
+            static_cast<uint64_t>(lv.level),
+            static_cast<uint64_t>(lv.deepestAccess));
+    }
+}
+
+void
+Paragraph::raiseFloor(int64_t level)
+{
+    if (level > highestLevel_) {
+        highestLevel_ = level;
+        ++result_.firewalls;
+    }
+}
+
+void
+Paragraph::process(const TraceRecord &rec)
+{
+    if (done_)
+        return;
+    ++result_.instructions;
+    if (cfg_.maxInstructions && result_.instructions >= cfg_.maxInstructions)
+        done_ = true;
+
+    // The incoming record displaces the oldest window entry before it is
+    // placed; the displaced operation's level becomes a firewall.
+    if (window_) {
+        int64_t displaced = window_->willEnter();
+        if (displaced != SlidingWindow::notPlaced)
+            raiseFloor(displaced + 1);
+    }
+
+    if (rec.isSysCall)
+        ++result_.sysCalls;
+    if (rec.isCondBranch)
+        handleCondBranch(rec);
+
+    bool place = rec.createsValue;
+    if (rec.isSysCall && !cfg_.sysCallsStall) {
+        // Optimistic assumption: the syscall modifies nothing and is
+        // ignored entirely.
+        place = false;
+    }
+
+    int64_t level = SlidingWindow::notPlaced;
+    if (place)
+        level = placeRecord(rec);
+    lastPlacedLevel_ = place ? level : -1;
+
+    // Conservative assumption: the syscall modified every live value. A
+    // firewall goes immediately after the deepest computation so far; no
+    // later operation may be placed above it.
+    if (rec.isSysCall && cfg_.sysCallsStall)
+        raiseFloor(deepestLevel_ + 1);
+
+    if (window_)
+        window_->entered(level);
+}
+
+void
+Paragraph::handleCondBranch(const TraceRecord &rec)
+{
+    ++result_.condBranches;
+    if (predictor_.kind() == PredictorKind::Perfect) {
+        // Fast path: the paper's default assumption — perfect control flow.
+        return;
+    }
+    bool correct = predictor_.predictAndUpdate(rec.pc, rec.branchTaken);
+    if (correct)
+        return;
+    ++result_.branchMispredictions;
+    // The branch resolves once its sources are available; nothing after a
+    // mispredicted branch may start earlier than that.
+    int64_t resolve = highestLevel_;
+    for (int s = 0; s < rec.numSrcs; ++s) {
+        uint64_t key = locationKey(rec.srcs[s]);
+        const LiveValue *lv = liveWell_.find(key);
+        if (!lv) {
+            lv = &liveWell_.definePreExisting(key, highestLevel_);
+            ++result_.preExistingValues;
+        }
+        if (lv->level + 1 > resolve)
+            resolve = lv->level + 1;
+    }
+    raiseFloor(resolve);
+}
+
+int64_t
+Paragraph::placeRecord(const TraceRecord &rec)
+{
+    // Phase 1: true data dependencies. Sources missing from the live well
+    // are pre-existing values (registers or DATA words untouched so far);
+    // they enter at highestLevel - 1 so they never delay computation.
+    int64_t issue = highestLevel_;
+    for (int s = 0; s < rec.numSrcs; ++s) {
+        uint64_t key = locationKey(rec.srcs[s]);
+        const LiveValue *lv = liveWell_.find(key);
+        if (!lv) {
+            lv = &liveWell_.definePreExisting(key, highestLevel_);
+            ++result_.preExistingValues;
+        }
+        if (lv->level + 1 > issue)
+            issue = lv->level + 1;
+    }
+
+    // Phase 2: storage dependency on the destination location, when its
+    // storage class is not renamed.
+    const bool has_dest = rec.dest.valid();
+    const uint64_t dkey = has_dest ? locationKey(rec.dest) : 0;
+    if (has_dest && !destRenamed(rec.dest)) {
+        const LiveValue *prev = liveWell_.find(dkey);
+        if (prev && prev->deepestAccess + 1 > issue) {
+            issue = prev->deepestAccess + 1;
+            ++result_.storageDelayedOps;
+        }
+    }
+
+    // Phase 3: resource dependencies.
+    const uint32_t top = cfg_.latency[static_cast<size_t>(rec.cls)];
+    if (throttle_.enabled()) {
+        int64_t adjusted = throttle_.place(rec.cls, issue, top);
+        if (adjusted > issue)
+            ++result_.fuDelayedOps;
+        issue = adjusted;
+    }
+
+    const int64_t ldest = issue + static_cast<int64_t>(top) - 1;
+
+    // Phase 4: the operation reads its sources; record the access depth
+    // (for future storage dependencies) and the degree of sharing.
+    for (int s = 0; s < rec.numSrcs; ++s) {
+        LiveValue *lv = liveWell_.find(locationKey(rec.srcs[s]));
+        if (!lv)
+            continue; // duplicate source already evicted
+        ++lv->useCount;
+        if (ldest > lv->deepestAccess)
+            lv->deepestAccess = ldest;
+    }
+
+    // Phase 5: two-pass deadness — evict values whose last use this is.
+    if (cfg_.useLastUseEviction && rec.lastUseMask) {
+        for (int s = 0; s < rec.numSrcs; ++s) {
+            if (!(rec.lastUseMask & (1u << s)))
+                continue;
+            uint64_t key = locationKey(rec.srcs[s]);
+            LiveValue *lv = liveWell_.find(key);
+            if (lv) {
+                retire(*lv);
+                liveWell_.kill(key);
+            }
+        }
+    }
+
+    // Phase 6: the created value enters the live well; the previous
+    // occupant of the location dies (one-pass deadness).
+    if (has_dest) {
+        if (const LiveValue *prev = liveWell_.find(dkey))
+            retire(*prev);
+        liveWell_.define(dkey, ldest);
+    }
+
+    ++result_.placedOps;
+    result_.profile.add(static_cast<uint64_t>(ldest));
+    if (ldest > deepestLevel_)
+        deepestLevel_ = ldest;
+    if (liveWell_.memoryBytes() > result_.liveWellPeakBytes)
+        result_.liveWellPeakBytes = liveWell_.memoryBytes();
+    return ldest;
+}
+
+AnalysisResult
+Paragraph::finish()
+{
+    PARA_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+
+    liveWell_.forEach(
+        [this](uint64_t, const LiveValue &lv) { retire(lv); });
+
+    result_.liveWellFinal = liveWell_.size();
+    result_.liveWellPeak = liveWell_.peakSize();
+    result_.criticalPathLength =
+        deepestLevel_ >= 0 ? static_cast<uint64_t>(deepestLevel_) + 1 : 0;
+    result_.availableParallelism =
+        result_.criticalPathLength
+            ? static_cast<double>(result_.placedOps) /
+                  static_cast<double>(result_.criticalPathLength)
+            : 0.0;
+    return result_;
+}
+
+AnalysisResult
+Paragraph::analyze(trace::TraceSource &src)
+{
+    begin();
+    auto start = std::chrono::steady_clock::now();
+    trace::TraceRecord rec;
+    while (!done_ && src.next(rec))
+        process(rec);
+    AnalysisResult res = finish();
+    auto end = std::chrono::steady_clock::now();
+    res.analysisSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return res;
+}
+
+} // namespace core
+} // namespace paragraph

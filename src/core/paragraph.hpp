@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Paragraph: the DDG extraction and analysis engine (paper Section 3.2).
+ *
+ * Paragraph consumes a serial execution trace one record at a time and
+ * places every value-creating instruction into the dynamic dependency graph
+ * using the live well. The DDG itself is never materialized — only its
+ * topologically-sorted level structure, which suffices for the parallelism
+ * profile, critical path, value lifetimes, and degree-of-sharing metrics.
+ *
+ * Placement rule (levels are 0-based; a value created by an operation of
+ * latency t that issues at level i becomes available at Ldest = i + t - 1):
+ *
+ *     issue = MAX( MAX_over_sources(Lsrc) + 1,   true data dependencies
+ *                  highestLevel,                 firewalls (syscalls, window)
+ *                  Ddest + 1 )                   storage dependencies
+ *
+ * where Ddest is the deepest level of any computation that used (or created)
+ * the previous value in the destination location, applied only when the
+ * destination's storage class is not renamed. Sources absent from the live
+ * well are pre-existing values, entered at highestLevel - 1 so they never
+ * delay computation. Functional-unit limits slide the issue level further
+ * down to the first level range with free units.
+ */
+
+#ifndef PARAGRAPH_CORE_PARAGRAPH_HPP
+#define PARAGRAPH_CORE_PARAGRAPH_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/branch_predictor.hpp"
+#include "core/config.hpp"
+#include "core/fu_throttle.hpp"
+#include "core/live_well.hpp"
+#include "core/result.hpp"
+#include "core/window.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace core {
+
+class Paragraph
+{
+  public:
+    explicit Paragraph(AnalysisConfig cfg = {});
+
+    /** Active configuration. */
+    const AnalysisConfig &config() const { return cfg_; }
+
+    /** Run a complete analysis: begin(), drain @p src, finish(). */
+    AnalysisResult analyze(trace::TraceSource &src);
+
+    // --- Incremental interface (drive record-by-record) ------------------
+
+    /** Reset all state for a new trace. */
+    void begin();
+
+    /** Consume one trace record. */
+    void process(const trace::TraceRecord &rec);
+
+    /** True once maxInstructions records have been consumed. */
+    bool done() const { return done_; }
+
+    /** Retire remaining live values and return the metrics. */
+    AnalysisResult finish();
+
+    // --- Introspection (tests and examples) ------------------------------
+
+    /** Firewall floor: first level available for placement. */
+    int64_t highestLevel() const { return highestLevel_; }
+
+    /** Deepest DDG level used so far (-1 before any placement). */
+    int64_t deepestLevel() const { return deepestLevel_; }
+
+    /** Level the last processed record was placed at (-1 if not placed). */
+    int64_t lastPlacedLevel() const { return lastPlacedLevel_; }
+
+    /** The live well (read-only). */
+    const LiveWell &liveWell() const { return liveWell_; }
+
+  private:
+    AnalysisConfig cfg_;
+    LiveWell liveWell_;
+    FuThrottle throttle_;
+    BranchPredictor predictor_;
+    std::unique_ptr<SlidingWindow> window_;
+    AnalysisResult result_;
+
+    int64_t highestLevel_ = 0;
+    int64_t deepestLevel_ = -1;
+    int64_t lastPlacedLevel_ = -1;
+    bool done_ = false;
+    bool finished_ = false;
+
+    /** Place a value-creating record; returns its Ldest. */
+    int64_t placeRecord(const trace::TraceRecord &rec);
+
+    /** Predict a conditional branch; firewall at its resolution level on a
+     *  miss. */
+    void handleCondBranch(const trace::TraceRecord &rec);
+
+    /** True when @p op's storage class has renaming enabled. */
+    bool destRenamed(const trace::Operand &op) const;
+
+    /** Record lifetime/sharing statistics for a dying value. */
+    void retire(const LiveValue &lv);
+
+    /** Raise the firewall floor to @p level (counts a firewall if raised). */
+    void raiseFloor(int64_t level);
+};
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_PARAGRAPH_HPP

@@ -1,0 +1,173 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "support/ascii_table.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace core {
+
+void
+printSummary(std::ostream &os, const std::string &name,
+             const AnalysisConfig &cfg, const AnalysisResult &res)
+{
+    os << "=== " << name << " [" << cfg.describe() << "]\n";
+    os << strFormat("  instructions        %20s\n",
+                    AsciiTable::withCommas(res.instructions).c_str());
+    os << strFormat("  placed operations   %20s\n",
+                    AsciiTable::withCommas(res.placedOps).c_str());
+    os << strFormat("  system calls        %20s\n",
+                    AsciiTable::withCommas(res.sysCalls).c_str());
+    os << strFormat("  critical path       %20s\n",
+                    AsciiTable::withCommas(res.criticalPathLength).c_str());
+    os << strFormat("  avail. parallelism  %20s\n",
+                    AsciiTable::withCommas(res.availableParallelism, 2)
+                        .c_str());
+    os << strFormat("  live-well peak      %20s values\n",
+                    AsciiTable::withCommas(res.liveWellPeak).c_str());
+    os << strFormat("  pre-existing values %20s\n",
+                    AsciiTable::withCommas(res.preExistingValues).c_str());
+    os << strFormat("  firewalls           %20s\n",
+                    AsciiTable::withCommas(res.firewalls).c_str());
+    if (res.storageDelayedOps) {
+        os << strFormat("  storage-delayed ops %20s\n",
+                        AsciiTable::withCommas(res.storageDelayedOps).c_str());
+    }
+    if (res.fuDelayedOps) {
+        os << strFormat("  FU-delayed ops      %20s\n",
+                        AsciiTable::withCommas(res.fuDelayedOps).c_str());
+    }
+}
+
+void
+printProfile(std::ostream &os, const AnalysisResult &res, size_t max_rows)
+{
+    auto series = res.profile.series();
+    AsciiTable table;
+    table.addColumn("Level range", AsciiTable::Align::Left);
+    table.addColumn("Ops/level");
+    size_t step = series.size() > max_rows
+                      ? (series.size() + max_rows - 1) / max_rows
+                      : 1;
+    for (size_t i = 0; i < series.size(); i += step) {
+        const auto &p = series[i];
+        table.beginRow();
+        table.cell(strFormat("%s .. %s",
+                             AsciiTable::withCommas(p.firstLevel).c_str(),
+                             AsciiTable::withCommas(p.lastLevel).c_str()));
+        table.cell(p.opsPerLevel, 2);
+    }
+    table.print(os);
+}
+
+void
+printProfilePlot(std::ostream &os, const AnalysisResult &res, size_t rows,
+                 size_t width)
+{
+    auto series = res.profile.series();
+    if (series.empty()) {
+        os << "(empty profile)\n";
+        return;
+    }
+    // Re-bucket the series into `rows` rows.
+    std::vector<double> row_vals(rows, 0.0);
+    std::vector<std::pair<uint64_t, uint64_t>> row_ranges(rows, {0, 0});
+    uint64_t max_level = res.profile.maxLevel();
+    uint64_t per_row = max_level / rows + 1;
+    std::vector<uint64_t> row_levels(rows, 0);
+    for (const auto &p : series) {
+        for (uint64_t lvl = p.firstLevel; lvl <= p.lastLevel; ++lvl) {
+            size_t r = static_cast<size_t>(lvl / per_row);
+            if (r >= rows)
+                r = rows - 1;
+            row_vals[r] += p.opsPerLevel;
+            ++row_levels[r];
+        }
+    }
+    double peak = 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+        if (row_levels[r])
+            row_vals[r] /= static_cast<double>(row_levels[r]);
+        row_ranges[r] = {r * per_row,
+                         std::min<uint64_t>((r + 1) * per_row - 1, max_level)};
+        peak = std::max(peak, row_vals[r]);
+    }
+    if (peak <= 0.0)
+        peak = 1.0;
+    for (size_t r = 0; r < rows; ++r) {
+        if (row_ranges[r].first > max_level)
+            break;
+        size_t bar = static_cast<size_t>(row_vals[r] / peak *
+                                         static_cast<double>(width));
+        os << strFormat("%12s |", AsciiTable::withCommas(
+                                      row_ranges[r].first).c_str())
+           << std::string(bar, '#') << std::string(width - bar, ' ')
+           << strFormat("| %s\n",
+                        AsciiTable::withCommas(row_vals[r], 1).c_str());
+    }
+    os << strFormat("(level | ops-per-level, peak %s)\n",
+                    AsciiTable::withCommas(peak, 1).c_str());
+}
+
+void
+printStorageProfile(std::ostream &os, const AnalysisResult &res, size_t rows,
+                    size_t width)
+{
+    auto series = res.storageProfile.series();
+    if (series.empty()) {
+        os << "(empty storage profile)\n";
+        return;
+    }
+    double peak = res.storageProfile.peakLive();
+    if (peak <= 0.0)
+        peak = 1.0;
+    size_t step = series.size() > rows ? (series.size() + rows - 1) / rows : 1;
+    for (size_t i = 0; i < series.size(); i += step) {
+        // Average the step's buckets so coarse rows stay representative.
+        double value = 0.0;
+        size_t count = 0;
+        for (size_t j = i; j < series.size() && j < i + step; ++j) {
+            value += series[j].liveValues;
+            ++count;
+        }
+        value /= static_cast<double>(count);
+        size_t bar = static_cast<size_t>(value / peak *
+                                         static_cast<double>(width));
+        if (bar > width)
+            bar = width;
+        os << strFormat("%12s |",
+                        AsciiTable::withCommas(series[i].firstLevel).c_str())
+           << std::string(bar, '*') << std::string(width - bar, ' ')
+           << strFormat("| %s\n", AsciiTable::withCommas(value, 1).c_str());
+    }
+    os << strFormat("(level | live values; peak %s, mean %s)\n",
+                    AsciiTable::withCommas(peak, 1).c_str(),
+                    AsciiTable::withCommas(res.storageProfile.meanLive(), 1)
+                        .c_str());
+}
+
+void
+printDistributions(std::ostream &os, const AnalysisResult &res)
+{
+    os << strFormat(
+        "value lifetimes:   mean %.2f levels, p50 %llu, p90 %llu, p99 %llu, "
+        "max %llu\n",
+        res.lifetimes.mean(),
+        static_cast<unsigned long long>(res.lifetimes.percentile(0.50)),
+        static_cast<unsigned long long>(res.lifetimes.percentile(0.90)),
+        static_cast<unsigned long long>(res.lifetimes.percentile(0.99)),
+        static_cast<unsigned long long>(res.lifetimes.maxSample()));
+    os << strFormat(
+        "degree of sharing: mean %.2f uses, p50 %llu, p90 %llu, p99 %llu, "
+        "max %llu, unused %llu\n",
+        res.sharing.mean(),
+        static_cast<unsigned long long>(res.sharing.percentile(0.50)),
+        static_cast<unsigned long long>(res.sharing.percentile(0.90)),
+        static_cast<unsigned long long>(res.sharing.percentile(0.99)),
+        static_cast<unsigned long long>(res.sharing.maxSample()),
+        static_cast<unsigned long long>(res.sharing.count(0)));
+}
+
+} // namespace core
+} // namespace paragraph

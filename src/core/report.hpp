@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Report rendering for analysis results (text tables and plot-ready data).
+ */
+
+#ifndef PARAGRAPH_CORE_REPORT_HPP
+#define PARAGRAPH_CORE_REPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace paragraph {
+namespace core {
+
+/** Print a one-result summary block (critical path, parallelism, etc.). */
+void printSummary(std::ostream &os, const std::string &name,
+                  const AnalysisConfig &cfg, const AnalysisResult &res);
+
+/**
+ * Print the parallelism profile as "level-range  ops/level" rows
+ * (the data behind the paper's Figure 7 plots), at most @p max_rows rows.
+ */
+void printProfile(std::ostream &os, const AnalysisResult &res,
+                  size_t max_rows = 64);
+
+/**
+ * Render the profile as a coarse ASCII area plot (rows = level buckets,
+ * bar length proportional to ops/level), mirroring Figure 7's shape.
+ */
+void printProfilePlot(std::ostream &os, const AnalysisResult &res,
+                      size_t rows = 32, size_t width = 60);
+
+/** Print the value-lifetime and degree-of-sharing distributions. */
+void printDistributions(std::ostream &os, const AnalysisResult &res);
+
+/**
+ * Print the storage (waiting-token) profile: values live per DDG level,
+ * as an ASCII area plot — the temporary-storage requirement of an abstract
+ * machine executing the DDG (paper Section 2.3).
+ */
+void printStorageProfile(std::ostream &os, const AnalysisResult &res,
+                         size_t rows = 24, size_t width = 56);
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_REPORT_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Decoded instruction representation and disassembly.
+ *
+ * Instructions are stored pre-decoded (no binary encoding step): programs in
+ * this repository are produced by our own assembler, so the natural program
+ * image is a vector<Instruction>. Branch and jump targets hold absolute
+ * instruction indices, resolved by the assembler.
+ */
+
+#ifndef PARAGRAPH_ISA_INSTRUCTION_HPP
+#define PARAGRAPH_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace paragraph {
+namespace isa {
+
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;  ///< destination register (int or FP per pattern)
+    uint8_t rs = 0;  ///< first source register
+    uint8_t rt = 0;  ///< second source register
+    int32_t imm = 0; ///< immediate / shift amount / offset / target index
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Render @p inst as assembler text ("add t0, t1, t2"). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace isa
+} // namespace paragraph
+
+#endif // PARAGRAPH_ISA_INSTRUCTION_HPP

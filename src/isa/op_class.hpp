@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Operation classes and their DDG latencies (paper Table 1).
+ *
+ * "Table 1 shows the instruction latencies (in DDG levels) for each
+ * operation class in the MIPS processor. These values are used to determine
+ * how many levels an operation will span in the DDG before the value it
+ * creates is available for use by subsequent operations."
+ */
+
+#ifndef PARAGRAPH_ISA_OP_CLASS_HPP
+#define PARAGRAPH_ISA_OP_CLASS_HPP
+
+#include <cstdint>
+
+namespace paragraph {
+namespace isa {
+
+/** Instruction classes distinguished by the DDG latency model. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< integer add/sub/logical/shift/compare, moves, immediates
+    IntMul,     ///< integer multiply
+    IntDiv,     ///< integer divide / remainder
+    FpAddSub,   ///< FP add/subtract (also converts and FP compares)
+    FpMul,      ///< FP multiply
+    FpDiv,      ///< FP divide (also sqrt)
+    Load,       ///< memory read
+    Store,      ///< memory write
+    SysCall,    ///< operating-system call
+    Control,    ///< branches and jumps — never placed in the DDG
+    NumClasses
+};
+
+/** Number of distinct operation classes. */
+constexpr size_t numOpClasses = static_cast<size_t>(OpClass::NumClasses);
+
+/**
+ * DDG levels spanned by an operation of class @p cls before its value is
+ * available (paper Table 1). Control instructions return 1 but create no
+ * value, so the latency is only used for bookkeeping.
+ */
+constexpr uint32_t
+opLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:   return 1;
+      case OpClass::IntMul:   return 6;
+      case OpClass::IntDiv:   return 12;
+      case OpClass::FpAddSub: return 6;
+      case OpClass::FpMul:    return 6;
+      case OpClass::FpDiv:    return 12;
+      case OpClass::Load:     return 1;
+      case OpClass::Store:    return 1;
+      case OpClass::SysCall:  return 1;
+      case OpClass::Control:  return 1;
+      default:                return 1;
+    }
+}
+
+/** Human-readable class name (as printed in the Table 1 bench). */
+const char *opClassName(OpClass cls);
+
+} // namespace isa
+} // namespace paragraph
+
+#endif // PARAGRAPH_ISA_OP_CLASS_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Opcode set of the MIPS-like target ISA.
+ *
+ * The set is a compact R3000-flavoured subset: enough for an optimizing
+ * compiler to produce ordinary integer and floating-point code (loads,
+ * stores, three-address arithmetic, compares, branches, calls, syscalls),
+ * while every opcode maps onto one of the paper's Table 1 operation classes.
+ */
+
+#ifndef PARAGRAPH_ISA_OPCODE_HPP
+#define PARAGRAPH_ISA_OPCODE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/op_class.hpp"
+
+namespace paragraph {
+namespace isa {
+
+enum class Opcode : uint8_t
+{
+    // Integer three-address register ops.
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Nor,
+    Sllv, Srlv, Srav,
+    Slt, Sltu,
+    // Integer register-immediate ops.
+    Addi, Andi, Ori, Xori, Slti,
+    Sll, Srl, Sra,
+    // Immediates and moves.
+    Li, Lui, Move,
+    // Integer memory.
+    Lw, Sw,
+    // FP memory (doubles).
+    Ld, Sd,
+    // FP arithmetic.
+    FAdd, FSub, FMul, FDiv, FSqrt, FNeg, FMov,
+    // Conversions and FP compares (compare result lands in an int reg).
+    CvtDW, CvtWD, FCLt, FCLe, FCEq,
+    // Control transfer.
+    Beq, Bne, Blez, Bgtz, Bltz, Bgez,
+    J, Jal, Jr, Jalr,
+    // Miscellaneous.
+    SysCall, Nop,
+    NumOpcodes
+};
+
+constexpr size_t numOpcodes = static_cast<size_t>(Opcode::NumOpcodes);
+
+/**
+ * Operand shape of an opcode: which fields are read/written and how the
+ * simulator and trace generator should interpret rd/rs/rt/imm.
+ */
+enum class OperandPattern : uint8_t
+{
+    None,        ///< nop
+    R3,          ///< rd <- rs (op) rt          [int]
+    R2Imm,       ///< rd <- rs (op) imm         [int]
+    R1Imm,       ///< rd <- imm                 [li / lui]
+    R2,          ///< rd <- (op) rs             [move]
+    MemLoad,     ///< rd <- mem32[rs + imm]
+    MemStore,    ///< mem32[rs + imm] <- rt
+    FMemLoad,    ///< fd <- mem64[rs + imm]
+    FMemStore,   ///< mem64[rs + imm] <- ft
+    F3,          ///< fd <- fs (op) ft
+    F2,          ///< fd <- (op) fs
+    FCmp,        ///< rd(int) <- fs (cmp) ft
+    CvtToFp,     ///< fd <- double(rs)
+    CvtToInt,    ///< rd <- int(fs)
+    Branch2,     ///< if (rs cmp rt) goto imm   [instruction index]
+    Branch1,     ///< if (rs cmp 0)  goto imm
+    Jump,        ///< goto imm
+    JumpLink,    ///< ra <- return addr; goto imm
+    JumpReg,     ///< goto rs
+    JumpLinkReg, ///< rd <- return addr; goto rs
+    SysCallOp,   ///< OS call; service number in v0, args in a0..a3
+};
+
+/** Static description of an opcode. */
+struct OpcodeInfo
+{
+    const char *name;       ///< assembler mnemonic
+    OpClass cls;            ///< Table 1 operation class
+    OperandPattern pattern; ///< operand shape
+};
+
+/** Metadata for @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Assembler mnemonic for @p op. */
+inline std::string_view opcodeName(Opcode op) { return opcodeInfo(op).name; }
+
+/** Table 1 class of @p op. */
+inline OpClass opcodeClass(Opcode op) { return opcodeInfo(op).cls; }
+
+/** Operand shape of @p op. */
+inline OperandPattern
+opcodePattern(Opcode op)
+{
+    return opcodeInfo(op).pattern;
+}
+
+/** True for branch/jump opcodes (OpClass::Control). */
+inline bool
+isControl(Opcode op)
+{
+    return opcodeClass(op) == OpClass::Control;
+}
+
+/**
+ * Look up an opcode by mnemonic.
+ * @return true when @p name names a valid opcode.
+ */
+bool parseOpcodeName(std::string_view name, Opcode &out);
+
+} // namespace isa
+} // namespace paragraph
+
+#endif // PARAGRAPH_ISA_OPCODE_HPP

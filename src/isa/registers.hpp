@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Register-file layout and ABI names of the MIPS-like target.
+ *
+ * 32 integer registers (r0 hardwired to zero) and 32 floating-point
+ * registers, each FP register holding a full double (a simplification of the
+ * R3000's even/odd pairing that does not affect dependence structure: one
+ * architectural name per FP value either way).
+ */
+
+#ifndef PARAGRAPH_ISA_REGISTERS_HPP
+#define PARAGRAPH_ISA_REGISTERS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paragraph {
+namespace isa {
+
+constexpr uint8_t numIntRegs = 32;
+constexpr uint8_t numFpRegs = 32;
+
+/** ABI aliases for the integer registers. */
+enum IntReg : uint8_t
+{
+    regZero = 0, regAt = 1, regV0 = 2, regV1 = 3,
+    regA0 = 4, regA1 = 5, regA2 = 6, regA3 = 7,
+    regT0 = 8, regT1 = 9, regT2 = 10, regT3 = 11,
+    regT4 = 12, regT5 = 13, regT6 = 14, regT7 = 15,
+    regS0 = 16, regS1 = 17, regS2 = 18, regS3 = 19,
+    regS4 = 20, regS5 = 21, regS6 = 22, regS7 = 23,
+    regT8 = 24, regT9 = 25, regK0 = 26, regK1 = 27,
+    regGp = 28, regSp = 29, regFp = 30, regRa = 31,
+};
+
+/** ABI name of integer register @p idx ("zero", "t0", "sp", ...). */
+std::string intRegName(uint8_t idx);
+
+/** Name of FP register @p idx ("f0".."f31"). */
+std::string fpRegName(uint8_t idx);
+
+/**
+ * Parse a register name into an index. Accepts ABI names ("t0"), raw names
+ * ("r5"), and an optional leading '$'.
+ * @param is_fp set to true when the name denotes an FP register.
+ * @return true on success.
+ */
+bool parseRegName(std::string_view name, uint8_t &idx, bool &is_fp);
+
+} // namespace isa
+} // namespace paragraph
+
+#endif // PARAGRAPH_ISA_REGISTERS_HPP

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Abstract syntax tree, types, and symbols for MiniC.
+ *
+ * MiniC is the imperative source language the SPEC-analog workloads are
+ * written in: ints, floats (doubles), multi-dimensional global and local
+ * arrays, pointers with C-style scaling, functions with recursion, and the
+ * usual control flow. The parser performs semantic analysis inline, so every
+ * expression node carries its resolved type and implicit conversions appear
+ * as explicit Cast nodes.
+ */
+
+#ifndef PARAGRAPH_MINIC_AST_HPP
+#define PARAGRAPH_MINIC_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace paragraph {
+namespace minic {
+
+enum class BaseType : uint8_t { Void, Int, Float };
+
+/** A MiniC type: scalar, pointer, or (possibly multi-dimensional) array. */
+struct Type
+{
+    BaseType base = BaseType::Void;
+    bool pointer = false;   ///< pointer to base (arrays decay to this)
+    std::vector<int> dims;  ///< array dimensions; empty for scalars/pointers
+
+    static Type voidTy() { return {BaseType::Void, false, {}}; }
+    static Type intTy() { return {BaseType::Int, false, {}}; }
+    static Type floatTy() { return {BaseType::Float, false, {}}; }
+
+    static Type
+    pointerTo(BaseType b)
+    {
+        return {b, true, {}};
+    }
+
+    bool isVoid() const { return base == BaseType::Void; }
+    bool isArray() const { return !dims.empty(); }
+    bool isPointer() const { return pointer; }
+    bool isScalarInt() const { return base == BaseType::Int && !pointer && dims.empty(); }
+    bool isScalarFloat() const { return base == BaseType::Float && !pointer && dims.empty(); }
+
+    /** Size in bytes of one element (Int 4, Float 8). */
+    int
+    elemSize() const
+    {
+        return base == BaseType::Float ? 8 : 4;
+    }
+
+    /** Total byte size (arrays: product of dims * elemSize). */
+    int64_t
+    byteSize() const
+    {
+        int64_t n = elemSize();
+        for (int d : dims)
+            n *= d;
+        return n;
+    }
+
+    /** Type of an indexing result: strips the first array dim or the
+     *  pointer. */
+    Type
+    indexed() const
+    {
+        Type t = *this;
+        if (!t.dims.empty())
+            t.dims.erase(t.dims.begin());
+        else
+            t.pointer = false;
+        return t;
+    }
+
+    /** Arrays decay to pointers in value contexts. */
+    Type
+    decayed() const
+    {
+        if (!isArray())
+            return *this;
+        Type t;
+        t.base = base;
+        t.pointer = true;
+        return t;
+    }
+
+    bool operator==(const Type &other) const = default;
+
+    std::string toString() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t
+{
+    IntLit,
+    FloatLit,
+    Var,      ///< resolved identifier (symbolId)
+    Binary,   ///< op, kids[0], kids[1]
+    Logical,  ///< && / || with short-circuit evaluation
+    Unary,    ///< op, kids[0]
+    Assign,   ///< kids[0] = kids[1]; kids[0] is Var or Index
+    Index,    ///< kids[0][kids[1]]
+    Call,     ///< name(kids...)
+    Cast,     ///< implicit int<->float conversion of kids[0]
+};
+
+/** Builtin functions recognized by name at call sites. */
+enum class Builtin : uint8_t
+{
+    None,
+    PrintInt, PrintFloat, ReadInt, ReadFloat, Exit,
+    AllocInt, AllocFloat, Sqrt, ToFloat, ToInt,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    Type type;   ///< result type (post-sema)
+    int line = 0;
+    Tok op = Tok::End;         ///< Binary/Logical/Unary operator
+    int64_t intValue = 0;      ///< IntLit
+    double floatValue = 0.0;   ///< FloatLit
+    std::string name;          ///< Var / Call spelling
+    int symbolId = 0;          ///< Var: resolved symbol (see Symbol ids)
+    int functionId = -1;       ///< Call: resolved function index
+    Builtin builtin = Builtin::None; ///< Call: builtin dispatch
+    std::vector<ExprPtr> kids;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t
+{
+    Block, If, While, For, Return, ExprStmt, Decl, Break, Continue, Empty,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+    ExprPtr expr;      ///< condition / expression / return value / decl init
+    std::vector<StmtPtr> body; ///< Block statements
+    StmtPtr thenStmt;  ///< If
+    StmtPtr elseStmt;  ///< If
+    StmtPtr loopBody;  ///< While / For
+    StmtPtr forInit;   ///< For (Decl or ExprStmt)
+    ExprPtr forStep;   ///< For
+    int symbolId = 0;  ///< Decl target
+};
+
+/**
+ * Symbol ids: locals are non-negative indices into Function::locals;
+ * globals are encoded as -(index + 1) into Module::globals.
+ */
+inline bool isGlobalId(int id) { return id < 0; }
+inline int globalIndex(int id) { return -id - 1; }
+inline int makeGlobalId(int index) { return -index - 1; }
+
+struct Symbol
+{
+    std::string name;
+    Type type;
+    bool isParam = false;
+    /** Global initializers (flattened, element order). */
+    std::vector<int64_t> initInts;
+    std::vector<double> initFloats;
+};
+
+struct Function
+{
+    std::string name;
+    Type returnType;
+    std::vector<int> params; ///< symbol ids (locals)
+    std::vector<Symbol> locals;
+    std::vector<StmtPtr> body;
+    bool defined = false; ///< false for a prototype
+    int line = 0;
+};
+
+struct Module
+{
+    std::vector<Symbol> globals;
+    std::vector<Function> functions;
+
+    /** Find function index by name; -1 when absent. */
+    int findFunction(const std::string &name) const;
+};
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_AST_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MiniC code generator: AST -> assembly text -> assembled Program.
+ *
+ * Code-generation model (deliberately close to a classic optimizing RISC
+ * compiler's output shape, because the renaming experiments depend on it):
+ *
+ *  - Scalar locals live in callee-saved registers (s0-s7 for ints, f20-f30
+ *    for floats) while they fit; overflow scalars, arrays, and spill slots
+ *    live in the stack frame. Loop counters therefore carry their recurrence
+ *    through a *register*, exactly the structure paper Section 3.2 discusses.
+ *  - Expression temporaries come from caller-saved pools (t0-t9 / f4-f17)
+ *    and are spilled around calls.
+ *  - Arguments pass in a0-a3 / f12-f15; results return in v0 / f0.
+ *  - Floating-point literals are pooled in the data segment and loaded with
+ *    l.d, as the MIPS compilers did.
+ *
+ * The generated text is ordinary assembler source for casm::assemble, so
+ * every compiled program is also a readable .s listing.
+ */
+
+#ifndef PARAGRAPH_MINIC_COMPILER_HPP
+#define PARAGRAPH_MINIC_COMPILER_HPP
+
+#include <string>
+#include <string_view>
+
+#include "casm/program.hpp"
+#include "minic/ast.hpp"
+
+namespace paragraph {
+namespace minic {
+
+/** Generate assembly text for a parsed module. */
+std::string generateAssembly(const Module &module);
+
+/** Convenience: parse + generate + assemble in one step. */
+casm::Program compile(std::string_view source);
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_COMPILER_HPP

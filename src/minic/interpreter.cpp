@@ -1,0 +1,567 @@
+#include "minic/interpreter.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "casm/program.hpp"
+#include "sim/memory.hpp"
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace minic {
+
+namespace {
+
+/** A runtime value: a 32-bit integer (also used for pointers) or a double. */
+struct Value
+{
+    bool isF = false;
+    int32_t i = 0;
+    double f = 0.0;
+
+    static Value
+    ofInt(int32_t v)
+    {
+        Value x;
+        x.i = v;
+        return x;
+    }
+
+    static Value
+    ofFloat(double v)
+    {
+        Value x;
+        x.isF = true;
+        x.f = v;
+        return x;
+    }
+};
+
+enum class Flow : uint8_t { Normal, Break, Continue, Return };
+
+int32_t
+clampToInt32(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    if (v >= 2147483647.0)
+        return std::numeric_limits<int32_t>::max();
+    if (v <= -2147483648.0)
+        return std::numeric_limits<int32_t>::min();
+    return static_cast<int32_t>(v);
+}
+
+class Interp
+{
+  public:
+    Interp(const Module &module, std::vector<int32_t> int_input,
+           std::vector<double> fp_input, uint64_t max_steps)
+        : module_(module),
+          intInput_(std::move(int_input)),
+          fpInput_(std::move(fp_input)),
+          maxSteps_(max_steps)
+    {
+        layoutGlobals();
+    }
+
+    InterpResult
+    run()
+    {
+        int mi = module_.findFunction("main");
+        PARA_ASSERT(mi >= 0, "no main");
+        Value v = call(mi, {});
+        if (!exited_) {
+            const Function &fn = module_.functions[static_cast<size_t>(mi)];
+            result_.exitCode = fn.returnType.isScalarInt() ? v.i : 0;
+        }
+        result_.steps = steps_;
+        return result_;
+    }
+
+  private:
+    struct Frame
+    {
+        std::vector<Value> scalars;     ///< by symbol id (scalars only)
+        std::vector<uint64_t> arrayAddr; ///< by symbol id (local arrays)
+        const Function *fn = nullptr;
+        Value returnValue;
+    };
+
+    const Module &module_;
+    sim::Memory mem_;
+    std::vector<uint64_t> globalAddr_;
+    uint64_t heapBrk_ = 0;
+    uint64_t stackPtr_ = casm::MemoryLayout::stackTop;
+
+    std::vector<int32_t> intInput_;
+    std::vector<double> fpInput_;
+    size_t intPos_ = 0;
+    size_t fpPos_ = 0;
+
+    InterpResult result_;
+    bool exited_ = false;
+    uint64_t steps_ = 0;
+    uint64_t maxSteps_;
+    int depth_ = 0;
+
+    void
+    tick()
+    {
+        ++steps_;
+        if (maxSteps_ && steps_ > maxSteps_)
+            PARA_FATAL("interpreter step limit exceeded");
+    }
+
+    // --- Memory layout ----------------------------------------------------
+
+    void
+    layoutGlobals()
+    {
+        uint64_t addr = casm::MemoryLayout::dataBase;
+        globalAddr_.resize(module_.globals.size());
+        for (size_t g = 0; g < module_.globals.size(); ++g) {
+            const Symbol &sym = module_.globals[g];
+            uint64_t align = sym.type.base == BaseType::Float ? 8 : 4;
+            addr = (addr + align - 1) & ~(align - 1);
+            globalAddr_[g] = addr;
+            // Initializers (flattened element order, zero-filled tail).
+            if (sym.type.base == BaseType::Float) {
+                for (size_t i = 0; i < sym.initFloats.size(); ++i)
+                    mem_.writeDouble(addr + 8 * i, sym.initFloats[i]);
+            } else {
+                for (size_t i = 0; i < sym.initInts.size(); ++i) {
+                    mem_.write32(addr + 4 * i,
+                                 static_cast<uint32_t>(sym.initInts[i]));
+                }
+            }
+            addr += static_cast<uint64_t>(sym.type.byteSize());
+        }
+        heapBrk_ = (addr + casm::MemoryLayout::heapAlign - 1) &
+                   ~(casm::MemoryLayout::heapAlign - 1);
+    }
+
+    // --- Calls --------------------------------------------------------------
+
+    Value
+    call(int function_index, const std::vector<Value> &args)
+    {
+        if (++depth_ > 5000)
+            PARA_FATAL("interpreter call depth exceeded");
+        const Function &fn =
+            module_.functions[static_cast<size_t>(function_index)];
+        Frame frame;
+        frame.fn = &fn;
+        frame.scalars.resize(fn.locals.size());
+        frame.arrayAddr.assign(fn.locals.size(), 0);
+
+        uint64_t stack_save = stackPtr_;
+        for (size_t i = 0; i < fn.locals.size(); ++i) {
+            if (fn.locals[i].type.isArray()) {
+                uint64_t bytes = static_cast<uint64_t>(
+                    fn.locals[i].type.byteSize());
+                stackPtr_ = (stackPtr_ - bytes) & ~uint64_t{7};
+                frame.arrayAddr[i] = stackPtr_;
+                // Fresh stack reads as zero on the machine; scrub any reuse.
+                for (uint64_t b = 0; b < bytes; b += 4)
+                    mem_.write32(frame.arrayAddr[i] + b, 0);
+            }
+        }
+        for (size_t a = 0; a < args.size(); ++a)
+            frame.scalars[static_cast<size_t>(fn.params[a])] = args[a];
+
+        Flow flow = Flow::Normal;
+        for (const StmtPtr &st : fn.body) {
+            flow = exec(*st, frame);
+            if (flow == Flow::Return || exited_)
+                break;
+        }
+        stackPtr_ = stack_save;
+        --depth_;
+        return frame.returnValue;
+    }
+
+    // --- Statements ---------------------------------------------------------
+
+    Flow
+    exec(const Stmt &st, Frame &frame)
+    {
+        if (exited_)
+            return Flow::Return;
+        tick();
+        switch (st.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &s : st.body) {
+                Flow flow = exec(*s, frame);
+                if (flow != Flow::Normal)
+                    return flow;
+                if (exited_)
+                    return Flow::Return;
+            }
+            return Flow::Normal;
+          case StmtKind::Decl:
+            if (st.expr) {
+                Value v = eval(*st.expr, frame);
+                storeVar(st.symbolId, v, frame);
+            }
+            return Flow::Normal;
+          case StmtKind::ExprStmt:
+            eval(*st.expr, frame);
+            return Flow::Normal;
+          case StmtKind::If:
+            if (eval(*st.expr, frame).i != 0)
+                return exec(*st.thenStmt, frame);
+            if (st.elseStmt)
+                return exec(*st.elseStmt, frame);
+            return Flow::Normal;
+          case StmtKind::While:
+            while (!exited_ && eval(*st.expr, frame).i != 0) {
+                Flow flow = exec(*st.loopBody, frame);
+                if (flow == Flow::Break)
+                    break;
+                if (flow == Flow::Return)
+                    return flow;
+                tick();
+            }
+            return Flow::Normal;
+          case StmtKind::For: {
+            if (st.forInit)
+                exec(*st.forInit, frame);
+            while (!exited_ &&
+                   (!st.expr || eval(*st.expr, frame).i != 0)) {
+                Flow flow = exec(*st.loopBody, frame);
+                if (flow == Flow::Break)
+                    break;
+                if (flow == Flow::Return)
+                    return flow;
+                if (st.forStep)
+                    eval(*st.forStep, frame);
+                tick();
+            }
+            return Flow::Normal;
+          }
+          case StmtKind::Return:
+            if (st.expr)
+                frame.returnValue = eval(*st.expr, frame);
+            return Flow::Return;
+          case StmtKind::Break:
+            return Flow::Break;
+          case StmtKind::Continue:
+            return Flow::Continue;
+          case StmtKind::Empty:
+            return Flow::Normal;
+        }
+        PARA_PANIC("bad statement kind");
+    }
+
+    // --- Variables ----------------------------------------------------------
+
+    const Symbol &
+    symbolOf(int id, const Frame &frame) const
+    {
+        if (isGlobalId(id))
+            return module_.globals[static_cast<size_t>(globalIndex(id))];
+        return frame.fn->locals[static_cast<size_t>(id)];
+    }
+
+    Value
+    loadVar(int id, const Frame &frame)
+    {
+        const Symbol &sym = symbolOf(id, frame);
+        PARA_ASSERT(!sym.type.isArray(), "loadVar on array");
+        bool is_fp = sym.type.isScalarFloat();
+        if (isGlobalId(id)) {
+            uint64_t addr = globalAddr_[static_cast<size_t>(globalIndex(id))];
+            return is_fp
+                       ? Value::ofFloat(mem_.readDouble(addr))
+                       : Value::ofInt(
+                             static_cast<int32_t>(mem_.read32(addr)));
+        }
+        return frame.scalars[static_cast<size_t>(id)];
+    }
+
+    void
+    storeVar(int id, const Value &v, Frame &frame)
+    {
+        const Symbol &sym = symbolOf(id, frame);
+        bool is_fp = sym.type.isScalarFloat();
+        PARA_ASSERT(v.isF == is_fp, "type confusion in storeVar");
+        if (isGlobalId(id)) {
+            uint64_t addr = globalAddr_[static_cast<size_t>(globalIndex(id))];
+            if (is_fp)
+                mem_.writeDouble(addr, v.f);
+            else
+                mem_.write32(addr, static_cast<uint32_t>(v.i));
+            return;
+        }
+        frame.scalars[static_cast<size_t>(id)] = v;
+    }
+
+    /** Address of an array/pointer expression (mirrors CodeGen::genAddress). */
+    uint64_t
+    address(const Expr &e, Frame &frame)
+    {
+        switch (e.kind) {
+          case ExprKind::Var: {
+            const Symbol &sym = symbolOf(e.symbolId, frame);
+            if (sym.type.isArray()) {
+                if (isGlobalId(e.symbolId)) {
+                    return globalAddr_[static_cast<size_t>(
+                        globalIndex(e.symbolId))];
+                }
+                return frame.arrayAddr[static_cast<size_t>(e.symbolId)];
+            }
+            PARA_ASSERT(sym.type.isPointer(), "address of non-array");
+            return static_cast<uint64_t>(
+                static_cast<uint32_t>(loadVar(e.symbolId, frame).i));
+          }
+          case ExprKind::Index: {
+            uint64_t base = address(*e.kids[0], frame);
+            int64_t stride = e.type.isArray()
+                                 ? e.type.byteSize()
+                                 : e.type.decayed().elemSize();
+            int32_t idx = eval(*e.kids[1], frame).i;
+            return static_cast<uint64_t>(static_cast<uint32_t>(
+                static_cast<int64_t>(base) + idx * stride));
+          }
+          default: {
+            // Pointer-valued rvalue (call result, pointer arithmetic).
+            Value v = eval(e, frame);
+            return static_cast<uint64_t>(static_cast<uint32_t>(v.i));
+          }
+        }
+    }
+
+    // --- Expressions ----------------------------------------------------------
+
+    Value
+    eval(const Expr &e, Frame &frame)
+    {
+        tick();
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return Value::ofInt(static_cast<int32_t>(e.intValue));
+          case ExprKind::FloatLit:
+            return Value::ofFloat(e.floatValue);
+          case ExprKind::Var: {
+            const Symbol &sym = symbolOf(e.symbolId, frame);
+            if (sym.type.isArray()) {
+                return Value::ofInt(
+                    static_cast<int32_t>(address(e, frame)));
+            }
+            return loadVar(e.symbolId, frame);
+          }
+          case ExprKind::Index: {
+            if (e.type.isArray()) {
+                return Value::ofInt(
+                    static_cast<int32_t>(address(e, frame)));
+            }
+            uint64_t addr = address(e, frame);
+            if (e.type.isScalarFloat())
+                return Value::ofFloat(mem_.readDouble(addr));
+            return Value::ofInt(static_cast<int32_t>(mem_.read32(addr)));
+          }
+          case ExprKind::Assign: {
+            const Expr &lhs = *e.kids[0];
+            if (lhs.kind == ExprKind::Var) {
+                Value v = eval(*e.kids[1], frame);
+                storeVar(lhs.symbolId, v, frame);
+                return v;
+            }
+            uint64_t addr = address(lhs, frame);
+            Value v = eval(*e.kids[1], frame);
+            if (v.isF)
+                mem_.writeDouble(addr, v.f);
+            else
+                mem_.write32(addr, static_cast<uint32_t>(v.i));
+            return v;
+          }
+          case ExprKind::Binary:
+            return evalBinary(e, frame);
+          case ExprKind::Logical: {
+            int32_t a = eval(*e.kids[0], frame).i;
+            if (e.op == Tok::AndAnd) {
+                if (a == 0)
+                    return Value::ofInt(0);
+            } else {
+                if (a != 0)
+                    return Value::ofInt(1);
+            }
+            return Value::ofInt(eval(*e.kids[1], frame).i != 0 ? 1 : 0);
+          }
+          case ExprKind::Unary: {
+            Value v = eval(*e.kids[0], frame);
+            switch (e.op) {
+              case Tok::Minus:
+                if (v.isF)
+                    return Value::ofFloat(-v.f);
+                return Value::ofInt(static_cast<int32_t>(
+                    0u - static_cast<uint32_t>(v.i)));
+              case Tok::Not:
+                return Value::ofInt(v.i == 0 ? 1 : 0);
+              case Tok::Tilde:
+                return Value::ofInt(~v.i);
+              default:
+                PARA_PANIC("bad unary");
+            }
+          }
+          case ExprKind::Cast:
+            if (e.type.isScalarFloat()) {
+                Value v = eval(*e.kids[0], frame);
+                return Value::ofFloat(static_cast<double>(v.i));
+            } else {
+                Value v = eval(*e.kids[0], frame);
+                return v.isF ? Value::ofInt(clampToInt32(v.f)) : v;
+            }
+          case ExprKind::Call:
+            return evalCall(e, frame);
+        }
+        PARA_PANIC("bad expression kind");
+    }
+
+    Value
+    evalBinary(const Expr &e, Frame &frame)
+    {
+        Value a = eval(*e.kids[0], frame);
+        Value b = eval(*e.kids[1], frame);
+        if (a.isF || b.isF) {
+            PARA_ASSERT(a.isF && b.isF, "mixed FP binary after sema");
+            switch (e.op) {
+              case Tok::Plus:  return Value::ofFloat(a.f + b.f);
+              case Tok::Minus: return Value::ofFloat(a.f - b.f);
+              case Tok::Star:  return Value::ofFloat(a.f * b.f);
+              case Tok::Slash: return Value::ofFloat(a.f / b.f);
+              case Tok::Lt: return Value::ofInt(a.f < b.f ? 1 : 0);
+              case Tok::Gt: return Value::ofInt(a.f > b.f ? 1 : 0);
+              case Tok::Le: return Value::ofInt(a.f <= b.f ? 1 : 0);
+              case Tok::Ge: return Value::ofInt(a.f >= b.f ? 1 : 0);
+              case Tok::Eq: return Value::ofInt(a.f == b.f ? 1 : 0);
+              case Tok::Ne: return Value::ofInt(a.f != b.f ? 1 : 0);
+              default: PARA_PANIC("bad FP binary");
+            }
+        }
+
+        uint32_t ua = static_cast<uint32_t>(a.i);
+        uint32_t ub = static_cast<uint32_t>(b.i);
+
+        // Pointer arithmetic scales by element size, as in the compiler.
+        if (e.type.isPointer() && (e.op == Tok::Plus || e.op == Tok::Minus)) {
+            Type lt = e.kids[0]->type.decayed();
+            Type rt = e.kids[1]->type.decayed();
+            uint32_t scale = static_cast<uint32_t>(e.type.elemSize());
+            if (lt.isPointer() && !rt.isPointer())
+                ub *= scale;
+            else if (rt.isPointer() && !lt.isPointer())
+                ua *= scale;
+        }
+
+        switch (e.op) {
+          case Tok::Plus:  return Value::ofInt(static_cast<int32_t>(ua + ub));
+          case Tok::Minus: return Value::ofInt(static_cast<int32_t>(ua - ub));
+          case Tok::Star:
+            return Value::ofInt(static_cast<int32_t>(ua * ub));
+          case Tok::Slash: {
+            if (b.i == 0)
+                PARA_FATAL("division by zero (interpreter)");
+            if (a.i == std::numeric_limits<int32_t>::min() && b.i == -1)
+                return Value::ofInt(a.i);
+            return Value::ofInt(a.i / b.i);
+          }
+          case Tok::Percent: {
+            if (b.i == 0)
+                PARA_FATAL("remainder by zero (interpreter)");
+            if (a.i == std::numeric_limits<int32_t>::min() && b.i == -1)
+                return Value::ofInt(0);
+            return Value::ofInt(a.i % b.i);
+          }
+          case Tok::Amp:   return Value::ofInt(static_cast<int32_t>(ua & ub));
+          case Tok::Pipe:  return Value::ofInt(static_cast<int32_t>(ua | ub));
+          case Tok::Caret: return Value::ofInt(static_cast<int32_t>(ua ^ ub));
+          case Tok::Shl:
+            return Value::ofInt(static_cast<int32_t>(ua << (ub & 31)));
+          case Tok::Shr:
+            return Value::ofInt(a.i >> (ub & 31));
+          case Tok::Lt: return Value::ofInt(a.i < b.i ? 1 : 0);
+          case Tok::Gt: return Value::ofInt(a.i > b.i ? 1 : 0);
+          case Tok::Le: return Value::ofInt(a.i <= b.i ? 1 : 0);
+          case Tok::Ge: return Value::ofInt(a.i >= b.i ? 1 : 0);
+          case Tok::Eq: return Value::ofInt(a.i == b.i ? 1 : 0);
+          case Tok::Ne: return Value::ofInt(a.i != b.i ? 1 : 0);
+          default: PARA_PANIC("bad int binary");
+        }
+    }
+
+    Value
+    evalCall(const Expr &e, Frame &frame)
+    {
+        if (e.builtin == Builtin::None) {
+            std::vector<Value> args;
+            args.reserve(e.kids.size());
+            for (const ExprPtr &arg : e.kids)
+                args.push_back(eval(*arg, frame));
+            return call(e.functionId, args);
+        }
+        switch (e.builtin) {
+          case Builtin::PrintInt: {
+            Value v = eval(*e.kids[0], frame);
+            if (!exited_)
+                result_.intOutput.push_back(v.i);
+            return Value::ofInt(0);
+          }
+          case Builtin::PrintFloat: {
+            Value v = eval(*e.kids[0], frame);
+            if (!exited_)
+                result_.fpOutput.push_back(v.f);
+            return Value::ofInt(0);
+          }
+          case Builtin::ReadInt:
+            return Value::ofInt(intPos_ < intInput_.size()
+                                    ? intInput_[intPos_++]
+                                    : 0);
+          case Builtin::ReadFloat:
+            return Value::ofFloat(fpPos_ < fpInput_.size()
+                                      ? fpInput_[fpPos_++]
+                                      : 0.0);
+          case Builtin::Exit: {
+            Value v = eval(*e.kids[0], frame);
+            result_.exitCode = v.i;
+            exited_ = true;
+            return Value::ofInt(0);
+          }
+          case Builtin::AllocInt:
+          case Builtin::AllocFloat: {
+            int32_t n = eval(*e.kids[0], frame).i;
+            uint32_t bytes = static_cast<uint32_t>(n)
+                             << (e.builtin == Builtin::AllocFloat ? 3 : 2);
+            bytes = (bytes + 7u) & ~7u;
+            uint64_t old = heapBrk_;
+            heapBrk_ += bytes;
+            if (heapBrk_ >= sim::Memory::stackFloor)
+                PARA_FATAL("heap overflow (interpreter)");
+            return Value::ofInt(static_cast<int32_t>(old));
+          }
+          case Builtin::Sqrt:
+            return Value::ofFloat(std::sqrt(eval(*e.kids[0], frame).f));
+          case Builtin::ToFloat:
+            return Value::ofFloat(
+                static_cast<double>(eval(*e.kids[0], frame).i));
+          case Builtin::ToInt:
+            return Value::ofInt(clampToInt32(eval(*e.kids[0], frame).f));
+          default:
+            PARA_PANIC("bad builtin");
+        }
+    }
+};
+
+} // namespace
+
+InterpResult
+interpret(const Module &module, std::vector<int32_t> int_input,
+          std::vector<double> fp_input, uint64_t max_steps)
+{
+    Interp interp(module, std::move(int_input), std::move(fp_input),
+                  max_steps);
+    return interp.run();
+}
+
+} // namespace minic
+} // namespace paragraph

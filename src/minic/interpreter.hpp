@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A direct AST interpreter for MiniC.
+ *
+ * This is the *reference semantics* for the language: it shares the parser
+ * with the compiler but nothing downstream, so running a program both ways
+ * (interpret the AST; compile to assembly and simulate) and comparing the
+ * outputs is a differential test of the entire code-generation +
+ * assembler + simulator pipeline. The fuzz tests in
+ * tests/minic/differential_test.cpp lean on this.
+ *
+ * Semantics mirror the compiled target exactly: 32-bit wrapping integer
+ * arithmetic, truncating division, IEEE doubles, C-style short-circuit
+ * logic, arrays/pointers over a flat byte-addressed store with the same
+ * data/heap/stack segmentation.
+ */
+
+#ifndef PARAGRAPH_MINIC_INTERPRETER_HPP
+#define PARAGRAPH_MINIC_INTERPRETER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "minic/ast.hpp"
+
+namespace paragraph {
+namespace minic {
+
+/** Outputs and status of an interpreted run. */
+struct InterpResult
+{
+    std::vector<int64_t> intOutput;
+    std::vector<double> fpOutput;
+    int32_t exitCode = 0;
+    uint64_t steps = 0; ///< statements + expressions evaluated
+};
+
+/**
+ * Interpret @p module (must contain main).
+ *
+ * @param int_input   queue consumed by read_int()
+ * @param fp_input    queue consumed by read_float()
+ * @param max_steps   abort guard for runaway programs (0 = none)
+ * @throws FatalError on division by zero, step-limit overrun, or other
+ *         conditions that would also abort the simulated machine.
+ */
+InterpResult interpret(const Module &module,
+                       std::vector<int32_t> int_input = {},
+                       std::vector<double> fp_input = {},
+                       uint64_t max_steps = 0);
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_INTERPRETER_HPP

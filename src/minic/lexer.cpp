@@ -1,0 +1,233 @@
+#include "minic/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace minic {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End:       return "end of input";
+      case Tok::IntLit:    return "integer literal";
+      case Tok::FloatLit:  return "float literal";
+      case Tok::Ident:     return "identifier";
+      case Tok::KwInt:     return "'int'";
+      case Tok::KwFloat:   return "'float'";
+      case Tok::KwVoid:    return "'void'";
+      case Tok::KwIf:      return "'if'";
+      case Tok::KwElse:    return "'else'";
+      case Tok::KwWhile:   return "'while'";
+      case Tok::KwFor:     return "'for'";
+      case Tok::KwReturn:  return "'return'";
+      case Tok::KwBreak:   return "'break'";
+      case Tok::KwContinue:return "'continue'";
+      case Tok::LParen:    return "'('";
+      case Tok::RParen:    return "')'";
+      case Tok::LBrace:    return "'{'";
+      case Tok::RBrace:    return "'}'";
+      case Tok::LBracket:  return "'['";
+      case Tok::RBracket:  return "']'";
+      case Tok::Comma:     return "','";
+      case Tok::Semicolon: return "';'";
+      case Tok::Assign:    return "'='";
+      case Tok::Plus:      return "'+'";
+      case Tok::Minus:     return "'-'";
+      case Tok::Star:      return "'*'";
+      case Tok::Slash:     return "'/'";
+      case Tok::Percent:   return "'%'";
+      case Tok::Amp:       return "'&'";
+      case Tok::Pipe:      return "'|'";
+      case Tok::Caret:     return "'^'";
+      case Tok::Tilde:     return "'~'";
+      case Tok::Shl:       return "'<<'";
+      case Tok::Shr:       return "'>>'";
+      case Tok::AndAnd:    return "'&&'";
+      case Tok::OrOr:      return "'||'";
+      case Tok::Not:       return "'!'";
+      case Tok::Eq:        return "'=='";
+      case Tok::Ne:        return "'!='";
+      case Tok::Lt:        return "'<'";
+      case Tok::Gt:        return "'>'";
+      case Tok::Le:        return "'<='";
+      case Tok::Ge:        return "'>='";
+      default:             return "?";
+    }
+}
+
+namespace {
+
+Tok
+keywordFor(const std::string &word)
+{
+    if (word == "int")      return Tok::KwInt;
+    if (word == "float")    return Tok::KwFloat;
+    if (word == "double")   return Tok::KwFloat; // synonym
+    if (word == "void")     return Tok::KwVoid;
+    if (word == "if")       return Tok::KwIf;
+    if (word == "else")     return Tok::KwElse;
+    if (word == "while")    return Tok::KwWhile;
+    if (word == "for")      return Tok::KwFor;
+    if (word == "return")   return Tok::KwReturn;
+    if (word == "break")    return Tok::KwBreak;
+    if (word == "continue") return Tok::KwContinue;
+    return Tok::Ident;
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= src.size())
+                PARA_FATAL("minic line %d: unterminated block comment", line);
+            i += 2;
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            size_t start = i;
+            bool is_float = false;
+            bool is_hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (is_hex)
+                i += 2;
+            while (i < src.size()) {
+                char d = src[i];
+                if (std::isdigit(static_cast<unsigned char>(d)) ||
+                    (is_hex && std::isxdigit(static_cast<unsigned char>(d)))) {
+                    ++i;
+                } else if (!is_hex && (d == '.' || d == 'e' || d == 'E')) {
+                    is_float = true;
+                    ++i;
+                    if ((d == 'e' || d == 'E') &&
+                        (peek() == '+' || peek() == '-')) {
+                        ++i;
+                    }
+                } else {
+                    break;
+                }
+            }
+            std::string text(src.substr(start, i - start));
+            if (is_float) {
+                tok.kind = Tok::FloatLit;
+                tok.floatValue = std::strtod(text.c_str(), nullptr);
+            } else {
+                tok.kind = Tok::IntLit;
+                tok.intValue = std::strtoll(text.c_str(), nullptr, 0);
+            }
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_')) {
+                ++i;
+            }
+            tok.text = std::string(src.substr(start, i - start));
+            tok.kind = keywordFor(tok.text);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        auto two = [&](char second, Tok both, Tok single) {
+            if (peek(1) == second) {
+                tok.kind = both;
+                i += 2;
+            } else {
+                tok.kind = single;
+                ++i;
+            }
+        };
+
+        switch (c) {
+          case '(': tok.kind = Tok::LParen;    ++i; break;
+          case ')': tok.kind = Tok::RParen;    ++i; break;
+          case '{': tok.kind = Tok::LBrace;    ++i; break;
+          case '}': tok.kind = Tok::RBrace;    ++i; break;
+          case '[': tok.kind = Tok::LBracket;  ++i; break;
+          case ']': tok.kind = Tok::RBracket;  ++i; break;
+          case ',': tok.kind = Tok::Comma;     ++i; break;
+          case ';': tok.kind = Tok::Semicolon; ++i; break;
+          case '+': tok.kind = Tok::Plus;      ++i; break;
+          case '-': tok.kind = Tok::Minus;     ++i; break;
+          case '*': tok.kind = Tok::Star;      ++i; break;
+          case '/': tok.kind = Tok::Slash;     ++i; break;
+          case '%': tok.kind = Tok::Percent;   ++i; break;
+          case '^': tok.kind = Tok::Caret;     ++i; break;
+          case '~': tok.kind = Tok::Tilde;     ++i; break;
+          case '&': two('&', Tok::AndAnd, Tok::Amp); break;
+          case '|': two('|', Tok::OrOr, Tok::Pipe); break;
+          case '=': two('=', Tok::Eq, Tok::Assign); break;
+          case '!': two('=', Tok::Ne, Tok::Not); break;
+          case '<':
+            if (peek(1) == '<') {
+                tok.kind = Tok::Shl;
+                i += 2;
+            } else {
+                two('=', Tok::Le, Tok::Lt);
+            }
+            break;
+          case '>':
+            if (peek(1) == '>') {
+                tok.kind = Tok::Shr;
+                i += 2;
+            } else {
+                two('=', Tok::Ge, Tok::Gt);
+            }
+            break;
+          default:
+            PARA_FATAL("minic line %d: unexpected character '%c'", line, c);
+        }
+        out.push_back(std::move(tok));
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace minic
+} // namespace paragraph

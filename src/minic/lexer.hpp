@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lexer for MiniC: C-style tokens, // and block comments.
+ */
+
+#ifndef PARAGRAPH_MINIC_LEXER_HPP
+#define PARAGRAPH_MINIC_LEXER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace paragraph {
+namespace minic {
+
+/**
+ * Tokenize @p source.
+ * @throws FatalError on an unrecognized character or malformed literal.
+ */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_LEXER_HPP

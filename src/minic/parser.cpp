@@ -1,0 +1,1092 @@
+#include "minic/parser.hpp"
+
+#include <map>
+#include <utility>
+
+#include "minic/lexer.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace minic {
+
+std::string
+Type::toString() const
+{
+    std::string s;
+    switch (base) {
+      case BaseType::Void:  s = "void"; break;
+      case BaseType::Int:   s = "int"; break;
+      case BaseType::Float: s = "float"; break;
+    }
+    if (pointer)
+        s += "*";
+    for (int d : dims)
+        s += strFormat("[%d]", d);
+    return s;
+}
+
+int
+Module::findFunction(const std::string &name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+namespace {
+
+Builtin
+builtinFor(const std::string &name)
+{
+    if (name == "print_int")   return Builtin::PrintInt;
+    if (name == "print_float") return Builtin::PrintFloat;
+    if (name == "read_int")    return Builtin::ReadInt;
+    if (name == "read_float")  return Builtin::ReadFloat;
+    if (name == "exit")        return Builtin::Exit;
+    if (name == "alloc_int")   return Builtin::AllocInt;
+    if (name == "alloc_float") return Builtin::AllocFloat;
+    if (name == "sqrt")        return Builtin::Sqrt;
+    if (name == "itof")        return Builtin::ToFloat;
+    if (name == "ftoi")        return Builtin::ToInt;
+    return Builtin::None;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+    Module
+    run()
+    {
+        while (!at(Tok::End))
+            parseTopLevel();
+        for (const Function &f : module_.functions) {
+            if (!f.defined) {
+                PARA_FATAL("minic: function '%s' declared but never defined",
+                           f.name.c_str());
+            }
+        }
+        if (module_.findFunction("main") < 0)
+            PARA_FATAL("minic: no 'main' function");
+        return std::move(module_);
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    Module module_;
+
+    Function *currentFn_ = nullptr;
+    std::vector<std::map<std::string, int>> scopes_;
+    int loopDepth_ = 0;
+
+    // --- Token helpers ----------------------------------------------------
+
+    const Token &cur() const { return tokens_[pos_]; }
+    bool at(Tok t) const { return cur().kind == t; }
+    const Token &peek(size_t k = 1) const
+    {
+        size_t i = pos_ + k;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    Token
+    advance()
+    {
+        Token t = cur();
+        if (!at(Tok::End))
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok t)
+    {
+        if (at(t)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok t, const char *what)
+    {
+        if (!at(t)) {
+            PARA_FATAL("minic line %d: expected %s (%s), found %s",
+                       cur().line, tokName(t), what, tokName(cur().kind));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    error(int line, const std::string &msg) const
+    {
+        PARA_FATAL("minic line %d: %s", line, msg.c_str());
+    }
+
+    // --- Symbols ----------------------------------------------------------
+
+    int
+    lookup(const std::string &name, int line) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        for (size_t i = 0; i < module_.globals.size(); ++i) {
+            if (module_.globals[i].name == name)
+                return makeGlobalId(static_cast<int>(i));
+        }
+        PARA_FATAL("minic line %d: undeclared identifier '%s'", line,
+                   name.c_str());
+    }
+
+    const Symbol &
+    symbol(int id) const
+    {
+        if (isGlobalId(id))
+            return module_.globals[static_cast<size_t>(globalIndex(id))];
+        return currentFn_->locals[static_cast<size_t>(id)];
+    }
+
+    int
+    declareLocal(const std::string &name, Type type, int line,
+                 bool is_param = false)
+    {
+        PARA_ASSERT(currentFn_ != nullptr);
+        auto &scope = scopes_.back();
+        if (scope.count(name))
+            error(line, "redeclaration of '" + name + "'");
+        Symbol sym;
+        sym.name = name;
+        sym.type = std::move(type);
+        sym.isParam = is_param;
+        currentFn_->locals.push_back(std::move(sym));
+        int id = static_cast<int>(currentFn_->locals.size() - 1);
+        scope[name] = id;
+        return id;
+    }
+
+    // --- Types ------------------------------------------------------------
+
+    bool
+    atType() const
+    {
+        return at(Tok::KwInt) || at(Tok::KwFloat) || at(Tok::KwVoid);
+    }
+
+    /** Parse "int" / "float" / "void" plus optional '*'. */
+    Type
+    parseTypeSpec()
+    {
+        Type t;
+        if (accept(Tok::KwInt)) {
+            t.base = BaseType::Int;
+        } else if (accept(Tok::KwFloat)) {
+            t.base = BaseType::Float;
+        } else if (accept(Tok::KwVoid)) {
+            t.base = BaseType::Void;
+        } else {
+            error(cur().line, "expected type");
+        }
+        if (accept(Tok::Star)) {
+            if (t.isVoid())
+                error(cur().line, "void* is not supported");
+            t.pointer = true;
+        }
+        return t;
+    }
+
+    /** Parse array suffix "[N][M]..." after a declarator name. */
+    void
+    parseArraySuffix(Type &t, int line)
+    {
+        while (accept(Tok::LBracket)) {
+            if (t.pointer)
+                error(line, "array of pointers is not supported");
+            Token n = expect(Tok::IntLit, "array dimension");
+            if (n.intValue <= 0 || n.intValue > (1 << 24))
+                error(line, "array dimension out of range");
+            t.dims.push_back(static_cast<int>(n.intValue));
+            expect(Tok::RBracket, "array dimension");
+        }
+    }
+
+    // --- Top level ----------------------------------------------------------
+
+    void
+    parseTopLevel()
+    {
+        if (!atType())
+            error(cur().line, "expected declaration");
+        Type type = parseTypeSpec();
+        Token name = expect(Tok::Ident, "declaration name");
+        if (at(Tok::LParen)) {
+            parseFunction(type, name);
+        } else {
+            parseGlobal(type, name);
+        }
+    }
+
+    void
+    parseGlobal(Type type, const Token &name)
+    {
+        if (type.isVoid())
+            error(name.line, "global of type void");
+        parseArraySuffix(type, name.line);
+        for (const Symbol &g : module_.globals) {
+            if (g.name == name.text)
+                error(name.line, "redeclaration of global '" + name.text + "'");
+        }
+
+        Symbol sym;
+        sym.name = name.text;
+        sym.type = type;
+        if (accept(Tok::Assign))
+            parseGlobalInit(sym, name.line);
+        expect(Tok::Semicolon, "global declaration");
+        module_.globals.push_back(std::move(sym));
+    }
+
+    void
+    parseGlobalInit(Symbol &sym, int line)
+    {
+        auto const_value = [&](bool as_float, int64_t &iv, double &fv) {
+            bool neg = accept(Tok::Minus);
+            if (at(Tok::IntLit)) {
+                Token t = advance();
+                iv = neg ? -t.intValue : t.intValue;
+                fv = static_cast<double>(iv);
+            } else if (at(Tok::FloatLit)) {
+                Token t = advance();
+                fv = neg ? -t.floatValue : t.floatValue;
+                iv = static_cast<int64_t>(fv);
+                if (!as_float)
+                    error(t.line, "float initializer for int global");
+            } else {
+                error(cur().line, "global initializers must be constants");
+            }
+        };
+
+        bool is_float = sym.type.base == BaseType::Float;
+        if (sym.type.isArray()) {
+            expect(Tok::LBrace, "array initializer");
+            int64_t capacity = sym.type.byteSize() / sym.type.elemSize();
+            while (!at(Tok::RBrace)) {
+                int64_t iv;
+                double fv;
+                const_value(is_float, iv, fv);
+                if (static_cast<int64_t>(is_float ? sym.initFloats.size()
+                                                  : sym.initInts.size()) >=
+                    capacity) {
+                    error(line, "too many initializers");
+                }
+                if (is_float)
+                    sym.initFloats.push_back(fv);
+                else
+                    sym.initInts.push_back(iv);
+                if (!accept(Tok::Comma))
+                    break;
+            }
+            expect(Tok::RBrace, "array initializer");
+        } else {
+            int64_t iv;
+            double fv;
+            const_value(is_float, iv, fv);
+            if (is_float)
+                sym.initFloats.push_back(fv);
+            else
+                sym.initInts.push_back(iv);
+        }
+    }
+
+    void
+    parseFunction(Type return_type, const Token &name)
+    {
+        if (return_type.isArray())
+            error(name.line, "functions cannot return arrays");
+
+        Function fn;
+        fn.name = name.text;
+        fn.returnType = return_type;
+        fn.line = name.line;
+        currentFn_ = &fn;
+        scopes_.clear();
+        scopes_.emplace_back();
+
+        expect(Tok::LParen, "parameter list");
+        if (!at(Tok::RParen)) {
+            do {
+                Type pt = parseTypeSpec();
+                if (pt.isVoid())
+                    error(cur().line, "void parameter");
+                Token pname = expect(Tok::Ident, "parameter name");
+                // "type name[]" parameters decay to pointers.
+                if (accept(Tok::LBracket)) {
+                    expect(Tok::RBracket, "array parameter");
+                    pt.pointer = true;
+                }
+                fn.params.push_back(
+                    declareLocal(pname.text, pt, pname.line, true));
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "parameter list");
+
+        int existing = module_.findFunction(fn.name);
+        if (accept(Tok::Semicolon)) {
+            // Prototype.
+            if (existing >= 0)
+                error(name.line, "redeclaration of '" + fn.name + "'");
+            fn.defined = false;
+            currentFn_ = nullptr;
+            module_.functions.push_back(std::move(fn));
+            return;
+        }
+
+        if (existing >= 0) {
+            Function &proto = module_.functions[static_cast<size_t>(existing)];
+            if (proto.defined)
+                error(name.line, "redefinition of '" + fn.name + "'");
+            if (proto.params.size() != fn.params.size())
+                error(name.line, "definition of '" + fn.name +
+                                     "' does not match its prototype");
+        } else {
+            // Publish the signature before the body so recursive calls
+            // resolve without a separate prototype.
+            Function sig;
+            sig.name = fn.name;
+            sig.returnType = fn.returnType;
+            sig.params = fn.params;
+            sig.locals = fn.locals;
+            sig.defined = false;
+            sig.line = fn.line;
+            module_.functions.push_back(std::move(sig));
+            existing = static_cast<int>(module_.functions.size() - 1);
+        }
+
+        expect(Tok::LBrace, "function body");
+        scopes_.emplace_back();
+        while (!at(Tok::RBrace))
+            fn.body.push_back(parseStatement());
+        expect(Tok::RBrace, "function body");
+        scopes_.pop_back();
+        fn.defined = true;
+        currentFn_ = nullptr;
+        module_.functions[static_cast<size_t>(existing)] = std::move(fn);
+    }
+
+    // --- Statements ---------------------------------------------------------
+
+    StmtPtr
+    parseStatement()
+    {
+        int line = cur().line;
+        if (at(Tok::LBrace)) {
+            advance();
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::Block;
+            st->line = line;
+            scopes_.emplace_back();
+            while (!at(Tok::RBrace))
+                st->body.push_back(parseStatement());
+            expect(Tok::RBrace, "block");
+            scopes_.pop_back();
+            return st;
+        }
+        if (atType())
+            return parseDecl();
+        if (accept(Tok::KwIf)) {
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::If;
+            st->line = line;
+            expect(Tok::LParen, "if condition");
+            st->expr = parseCondition();
+            expect(Tok::RParen, "if condition");
+            st->thenStmt = parseStatement();
+            if (accept(Tok::KwElse))
+                st->elseStmt = parseStatement();
+            return st;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::While;
+            st->line = line;
+            expect(Tok::LParen, "while condition");
+            st->expr = parseCondition();
+            expect(Tok::RParen, "while condition");
+            ++loopDepth_;
+            st->loopBody = parseStatement();
+            --loopDepth_;
+            return st;
+        }
+        if (accept(Tok::KwFor)) {
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::For;
+            st->line = line;
+            expect(Tok::LParen, "for header");
+            scopes_.emplace_back();
+            if (!accept(Tok::Semicolon)) {
+                if (atType()) {
+                    st->forInit = parseDecl();
+                } else {
+                    st->forInit = parseExprStatement();
+                }
+            }
+            if (!at(Tok::Semicolon))
+                st->expr = parseCondition();
+            expect(Tok::Semicolon, "for condition");
+            if (!at(Tok::RParen))
+                st->forStep = parseExpr();
+            expect(Tok::RParen, "for header");
+            ++loopDepth_;
+            st->loopBody = parseStatement();
+            --loopDepth_;
+            scopes_.pop_back();
+            return st;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::Return;
+            st->line = line;
+            if (!at(Tok::Semicolon)) {
+                st->expr = parseExpr();
+                if (currentFn_->returnType.isVoid())
+                    error(line, "returning a value from a void function");
+                st->expr = convertTo(std::move(st->expr),
+                                     currentFn_->returnType.decayed(), line);
+            } else if (!currentFn_->returnType.isVoid()) {
+                error(line, "missing return value");
+            }
+            expect(Tok::Semicolon, "return");
+            return st;
+        }
+        if (accept(Tok::KwBreak)) {
+            if (loopDepth_ == 0)
+                error(line, "break outside a loop");
+            expect(Tok::Semicolon, "break");
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::Break;
+            st->line = line;
+            return st;
+        }
+        if (accept(Tok::KwContinue)) {
+            if (loopDepth_ == 0)
+                error(line, "continue outside a loop");
+            expect(Tok::Semicolon, "continue");
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::Continue;
+            st->line = line;
+            return st;
+        }
+        if (accept(Tok::Semicolon)) {
+            auto st = std::make_unique<Stmt>();
+            st->kind = StmtKind::Empty;
+            st->line = line;
+            return st;
+        }
+        return parseExprStatement();
+    }
+
+    StmtPtr
+    parseExprStatement()
+    {
+        auto st = std::make_unique<Stmt>();
+        st->kind = StmtKind::ExprStmt;
+        st->line = cur().line;
+        st->expr = parseExpr();
+        expect(Tok::Semicolon, "expression statement");
+        return st;
+    }
+
+    StmtPtr
+    parseDecl()
+    {
+        int line = cur().line;
+        Type type = parseTypeSpec();
+        if (type.isVoid())
+            error(line, "variable of type void");
+        Token name = expect(Tok::Ident, "variable name");
+        parseArraySuffix(type, name.line);
+
+        auto st = std::make_unique<Stmt>();
+        st->kind = StmtKind::Decl;
+        st->line = line;
+        st->symbolId = declareLocal(name.text, type, name.line);
+        if (accept(Tok::Assign)) {
+            if (type.isArray())
+                error(line, "local array initializers are not supported");
+            st->expr = convertTo(parseExpr(), type, line);
+        }
+        expect(Tok::Semicolon, "declaration");
+        return st;
+    }
+
+    /** Conditions must be scalar ints (comparisons already yield int). */
+    ExprPtr
+    parseCondition()
+    {
+        int line = cur().line;
+        ExprPtr e = parseExpr();
+        if (!e->type.isScalarInt() && !e->type.isPointer())
+            error(line, "condition must have integer type, got " +
+                            e->type.toString());
+        return e;
+    }
+
+    // --- Expressions ---------------------------------------------------------
+    //
+    // Precedence (loosest to tightest):
+    //   assignment
+    //   || , &&
+    //   | , ^ , &
+    //   == !=
+    //   < > <= >=
+    //   << >>
+    //   + -
+    //   * / %
+    //   unary - ! ~
+    //   postfix [] ()
+    //   primary
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssignment();
+    }
+
+    ExprPtr
+    parseAssignment()
+    {
+        ExprPtr lhs = parseOrOr();
+        if (!at(Tok::Assign))
+            return lhs;
+        int line = advance().line;
+        if (lhs->kind != ExprKind::Var && lhs->kind != ExprKind::Index)
+            error(line, "assignment target must be a variable or element");
+        if (lhs->kind == ExprKind::Var) {
+            const Symbol &sym = symbol(lhs->symbolId);
+            if (sym.type.isArray())
+                error(line, "cannot assign to an array");
+        }
+        ExprPtr rhs = convertTo(parseAssignment(), lhs->type, line);
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Assign;
+        e->line = line;
+        e->type = lhs->type;
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    ExprPtr
+    parseOrOr()
+    {
+        ExprPtr lhs = parseAndAnd();
+        while (at(Tok::OrOr)) {
+            int line = advance().line;
+            ExprPtr rhs = parseAndAnd();
+            lhs = makeLogical(Tok::OrOr, std::move(lhs), std::move(rhs), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAndAnd()
+    {
+        ExprPtr lhs = parseBitOr();
+        while (at(Tok::AndAnd)) {
+            int line = advance().line;
+            ExprPtr rhs = parseBitOr();
+            lhs = makeLogical(Tok::AndAnd, std::move(lhs), std::move(rhs),
+                              line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr lhs = parseBitXor();
+        while (at(Tok::Pipe)) {
+            int line = advance().line;
+            lhs = makeIntBinary(Tok::Pipe, std::move(lhs), parseBitXor(),
+                                line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr lhs = parseBitAnd();
+        while (at(Tok::Caret)) {
+            int line = advance().line;
+            lhs = makeIntBinary(Tok::Caret, std::move(lhs), parseBitAnd(),
+                                line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr lhs = parseEquality();
+        while (at(Tok::Amp)) {
+            int line = advance().line;
+            lhs = makeIntBinary(Tok::Amp, std::move(lhs), parseEquality(),
+                                line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr lhs = parseRelational();
+        while (at(Tok::Eq) || at(Tok::Ne)) {
+            Tok op = cur().kind;
+            int line = advance().line;
+            lhs = makeComparison(op, std::move(lhs), parseRelational(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr lhs = parseShift();
+        while (at(Tok::Lt) || at(Tok::Gt) || at(Tok::Le) || at(Tok::Ge)) {
+            Tok op = cur().kind;
+            int line = advance().line;
+            lhs = makeComparison(op, std::move(lhs), parseShift(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr lhs = parseAdditive();
+        while (at(Tok::Shl) || at(Tok::Shr)) {
+            Tok op = cur().kind;
+            int line = advance().line;
+            lhs = makeIntBinary(op, std::move(lhs), parseAdditive(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            Tok op = cur().kind;
+            int line = advance().line;
+            lhs = makeArith(op, std::move(lhs), parseMultiplicative(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+            Tok op = cur().kind;
+            int line = advance().line;
+            if (op == Tok::Percent) {
+                lhs = makeIntBinary(op, std::move(lhs), parseUnary(), line);
+            } else {
+                lhs = makeArith(op, std::move(lhs), parseUnary(), line);
+            }
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        int line = cur().line;
+        if (accept(Tok::Minus)) {
+            ExprPtr kid = parseUnary();
+            // Fold negation of literals so "-5" stays a constant.
+            if (kid->kind == ExprKind::IntLit) {
+                kid->intValue = -kid->intValue;
+                return kid;
+            }
+            if (kid->kind == ExprKind::FloatLit) {
+                kid->floatValue = -kid->floatValue;
+                return kid;
+            }
+            requireNumeric(*kid, line);
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Unary;
+            e->op = Tok::Minus;
+            e->line = line;
+            e->type = kid->type.decayed();
+            e->kids.push_back(std::move(kid));
+            return e;
+        }
+        if (accept(Tok::Not)) {
+            ExprPtr kid = parseUnary();
+            requireInt(*kid, line, "'!'");
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Unary;
+            e->op = Tok::Not;
+            e->line = line;
+            e->type = Type::intTy();
+            e->kids.push_back(std::move(kid));
+            return e;
+        }
+        if (accept(Tok::Tilde)) {
+            ExprPtr kid = parseUnary();
+            requireInt(*kid, line, "'~'");
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Unary;
+            e->op = Tok::Tilde;
+            e->line = line;
+            e->type = Type::intTy();
+            e->kids.push_back(std::move(kid));
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (at(Tok::LBracket)) {
+            int line = advance().line;
+            if (!e->type.isArray() && !e->type.isPointer())
+                error(line, "indexing a non-array value of type " +
+                                e->type.toString());
+            ExprPtr idx = parseExpr();
+            requireInt(*idx, line, "array index");
+            expect(Tok::RBracket, "index");
+            auto ix = std::make_unique<Expr>();
+            ix->kind = ExprKind::Index;
+            ix->line = line;
+            ix->type = e->type.indexed();
+            ix->kids.push_back(std::move(e));
+            ix->kids.push_back(std::move(idx));
+            e = std::move(ix);
+        }
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        int line = cur().line;
+        if (at(Tok::IntLit)) {
+            Token t = advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::IntLit;
+            e->line = line;
+            e->type = Type::intTy();
+            e->intValue = t.intValue;
+            return e;
+        }
+        if (at(Tok::FloatLit)) {
+            Token t = advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::FloatLit;
+            e->line = line;
+            e->type = Type::floatTy();
+            e->floatValue = t.floatValue;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "parenthesized expression");
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            Token name = advance();
+            if (at(Tok::LParen))
+                return parseCall(name);
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Var;
+            e->line = line;
+            e->name = name.text;
+            e->symbolId = lookup(name.text, line);
+            e->type = symbol(e->symbolId).type;
+            return e;
+        }
+        error(line, std::string("unexpected token ") + tokName(cur().kind));
+    }
+
+    ExprPtr
+    parseCall(const Token &name)
+    {
+        int line = name.line;
+        expect(Tok::LParen, "call");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Call;
+        e->line = line;
+        e->name = name.text;
+        if (!at(Tok::RParen)) {
+            do {
+                e->kids.push_back(parseExpr());
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "call");
+
+        e->builtin = builtinFor(name.text);
+        if (e->builtin != Builtin::None) {
+            typeBuiltin(*e);
+            return e;
+        }
+
+        int fi = module_.findFunction(name.text);
+        if (fi < 0)
+            error(line, "call to undeclared function '" + name.text + "'");
+        Function &fn = module_.functions[static_cast<size_t>(fi)];
+        if (fn.params.size() != e->kids.size()) {
+            error(line, strFormat("'%s' expects %zu arguments, got %zu",
+                                  name.text.c_str(), fn.params.size(),
+                                  e->kids.size()));
+        }
+        for (size_t i = 0; i < e->kids.size(); ++i) {
+            Type pt = fn.locals[static_cast<size_t>(fn.params[i])]
+                          .type.decayed();
+            e->kids[i] = convertTo(std::move(e->kids[i]), pt, line);
+        }
+        e->functionId = fi;
+        e->type = fn.returnType;
+        return e;
+    }
+
+    void
+    typeBuiltin(Expr &e)
+    {
+        auto arity = [&](size_t n) {
+            if (e.kids.size() != n) {
+                error(e.line, strFormat("'%s' expects %zu arguments, got %zu",
+                                        e.name.c_str(), n, e.kids.size()));
+            }
+        };
+        switch (e.builtin) {
+          case Builtin::PrintInt:
+          case Builtin::Exit:
+            arity(1);
+            e.kids[0] = convertTo(std::move(e.kids[0]), Type::intTy(), e.line);
+            e.type = Type::voidTy();
+            break;
+          case Builtin::PrintFloat:
+            arity(1);
+            e.kids[0] =
+                convertTo(std::move(e.kids[0]), Type::floatTy(), e.line);
+            e.type = Type::voidTy();
+            break;
+          case Builtin::ReadInt:
+            arity(0);
+            e.type = Type::intTy();
+            break;
+          case Builtin::ReadFloat:
+            arity(0);
+            e.type = Type::floatTy();
+            break;
+          case Builtin::AllocInt:
+            arity(1);
+            e.kids[0] = convertTo(std::move(e.kids[0]), Type::intTy(), e.line);
+            e.type = Type::pointerTo(BaseType::Int);
+            break;
+          case Builtin::AllocFloat:
+            arity(1);
+            e.kids[0] = convertTo(std::move(e.kids[0]), Type::intTy(), e.line);
+            e.type = Type::pointerTo(BaseType::Float);
+            break;
+          case Builtin::Sqrt:
+            arity(1);
+            e.kids[0] =
+                convertTo(std::move(e.kids[0]), Type::floatTy(), e.line);
+            e.type = Type::floatTy();
+            break;
+          case Builtin::ToFloat:
+            arity(1);
+            e.kids[0] = convertTo(std::move(e.kids[0]), Type::intTy(), e.line);
+            e.type = Type::floatTy();
+            break;
+          case Builtin::ToInt:
+            arity(1);
+            e.kids[0] =
+                convertTo(std::move(e.kids[0]), Type::floatTy(), e.line);
+            e.type = Type::intTy();
+            break;
+          default:
+            PARA_PANIC("bad builtin");
+        }
+    }
+
+    // --- Typing helpers -----------------------------------------------------
+
+    void
+    requireNumeric(const Expr &e, int line) const
+    {
+        Type t = e.type.decayed();
+        if (t.isPointer())
+            return; // pointers behave like integers where needed
+        if (!t.isScalarInt() && !t.isScalarFloat())
+            error(line, "operand must be numeric, got " + e.type.toString());
+    }
+
+    void
+    requireInt(const Expr &e, int line, const char *what) const
+    {
+        Type t = e.type.decayed();
+        if (!t.isScalarInt() && !t.isPointer()) {
+            error(line, std::string("operand of ") + what +
+                            " must be int, got " + e.type.toString());
+        }
+    }
+
+    /** Insert an implicit conversion so @p e has type @p target. */
+    ExprPtr
+    convertTo(ExprPtr e, const Type &target, int line)
+    {
+        Type from = e->type.decayed();
+        Type to = target.decayed();
+        if (from == to)
+            return e;
+        // int <-> pointer conversions are free (addresses are ints).
+        bool from_intish = from.isScalarInt() || from.isPointer();
+        bool to_intish = to.isScalarInt() || to.isPointer();
+        if (from_intish && to_intish) {
+            e->type = to;
+            return e;
+        }
+        if (from.isScalarFloat() && to_intish) {
+            return makeCast(std::move(e), to, line);
+        }
+        if (from_intish && to.isScalarFloat()) {
+            // Fold literal conversions.
+            if (e->kind == ExprKind::IntLit) {
+                e->kind = ExprKind::FloatLit;
+                e->floatValue = static_cast<double>(e->intValue);
+                e->type = Type::floatTy();
+                return e;
+            }
+            return makeCast(std::move(e), to, line);
+        }
+        error(line, "cannot convert " + e->type.toString() + " to " +
+                        target.toString());
+    }
+
+    ExprPtr
+    makeCast(ExprPtr kid, const Type &to, int line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Cast;
+        e->line = line;
+        e->type = to;
+        e->kids.push_back(std::move(kid));
+        return e;
+    }
+
+    /** Arithmetic + - * / with the usual int->float promotion; pointer
+     *  arithmetic (ptr +/- int) keeps the pointer type. */
+    ExprPtr
+    makeArith(Tok op, ExprPtr lhs, ExprPtr rhs, int line)
+    {
+        requireNumeric(*lhs, line);
+        requireNumeric(*rhs, line);
+        Type lt = lhs->type.decayed();
+        Type rt = rhs->type.decayed();
+
+        Type result;
+        if (lt.isPointer() && rt.isScalarInt() &&
+            (op == Tok::Plus || op == Tok::Minus)) {
+            result = lt;
+        } else if (rt.isPointer() && lt.isScalarInt() && op == Tok::Plus) {
+            result = rt;
+        } else if (lt.isScalarFloat() || rt.isScalarFloat()) {
+            result = Type::floatTy();
+            lhs = convertTo(std::move(lhs), result, line);
+            rhs = convertTo(std::move(rhs), result, line);
+        } else {
+            result = Type::intTy();
+        }
+
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->op = op;
+        e->line = line;
+        e->type = result;
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    /** Bitwise / shift / modulo: both operands int. */
+    ExprPtr
+    makeIntBinary(Tok op, ExprPtr lhs, ExprPtr rhs, int line)
+    {
+        requireInt(*lhs, line, "integer operator");
+        requireInt(*rhs, line, "integer operator");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->op = op;
+        e->line = line;
+        e->type = Type::intTy();
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    /** Comparisons: numeric operands, int result. */
+    ExprPtr
+    makeComparison(Tok op, ExprPtr lhs, ExprPtr rhs, int line)
+    {
+        requireNumeric(*lhs, line);
+        requireNumeric(*rhs, line);
+        Type lt = lhs->type.decayed();
+        Type rt = rhs->type.decayed();
+        if (lt.isScalarFloat() || rt.isScalarFloat()) {
+            lhs = convertTo(std::move(lhs), Type::floatTy(), line);
+            rhs = convertTo(std::move(rhs), Type::floatTy(), line);
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->op = op;
+        e->line = line;
+        e->type = Type::intTy();
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+
+    ExprPtr
+    makeLogical(Tok op, ExprPtr lhs, ExprPtr rhs, int line)
+    {
+        requireInt(*lhs, line, "logical operator");
+        requireInt(*rhs, line, "logical operator");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Logical;
+        e->op = op;
+        e->line = line;
+        e->type = Type::intTy();
+        e->kids.push_back(std::move(lhs));
+        e->kids.push_back(std::move(rhs));
+        return e;
+    }
+};
+
+} // namespace
+
+Module
+parse(std::string_view source)
+{
+    Parser parser(source);
+    return parser.run();
+}
+
+} // namespace minic
+} // namespace paragraph

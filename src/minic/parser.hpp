@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser + semantic analysis for MiniC.
+ */
+
+#ifndef PARAGRAPH_MINIC_PARSER_HPP
+#define PARAGRAPH_MINIC_PARSER_HPP
+
+#include <string_view>
+
+#include "minic/ast.hpp"
+
+namespace paragraph {
+namespace minic {
+
+/**
+ * Parse and type-check a MiniC translation unit.
+ * @throws FatalError with a line number on any syntax or semantic error.
+ */
+Module parse(std::string_view source);
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_PARSER_HPP

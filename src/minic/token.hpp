@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Token definitions for the MiniC lexer.
+ */
+
+#ifndef PARAGRAPH_MINIC_TOKEN_HPP
+#define PARAGRAPH_MINIC_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace paragraph {
+namespace minic {
+
+enum class Tok : uint8_t
+{
+    End,
+    // Literals and identifiers.
+    IntLit, FloatLit, Ident,
+    // Keywords.
+    KwInt, KwFloat, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+    KwBreak, KwContinue,
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon,
+    // Operators.
+    Assign,                  // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    AndAnd, OrOr, Not,
+    Eq, Ne, Lt, Gt, Le, Ge,
+};
+
+/** Human-readable token-kind name (diagnostics). */
+const char *tokName(Tok t);
+
+struct Token
+{
+    Tok kind = Tok::End;
+    int line = 0;
+    std::string text;  ///< identifier spelling
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+};
+
+} // namespace minic
+} // namespace paragraph
+
+#endif // PARAGRAPH_MINIC_TOKEN_HPP

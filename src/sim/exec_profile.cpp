@@ -1,0 +1,80 @@
+#include "sim/exec_profile.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "isa/instruction.hpp"
+#include "support/ascii_table.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace sim {
+
+size_t
+ExecutionProfile::touched() const
+{
+    return static_cast<size_t>(
+        std::count_if(counts_.begin(), counts_.end(),
+                      [](uint64_t c) { return c > 0; }));
+}
+
+std::vector<uint64_t>
+ExecutionProfile::hottest(size_t n) const
+{
+    std::vector<uint64_t> idx(counts_.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    if (n > idx.size())
+        n = idx.size();
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(n),
+                      idx.end(), [this](uint64_t a, uint64_t b) {
+                          if (counts_[a] != counts_[b])
+                              return counts_[a] > counts_[b];
+                          return a < b;
+                      });
+    idx.resize(n);
+    while (!idx.empty() && counts_[idx.back()] == 0)
+        idx.pop_back();
+    return idx;
+}
+
+double
+ExecutionProfile::coverage(size_t n) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t covered = 0;
+    for (uint64_t pc : hottest(n))
+        covered += counts_[pc];
+    return static_cast<double>(covered) / static_cast<double>(total_);
+}
+
+void
+ExecutionProfile::printHot(std::ostream &os, const casm::Program &program,
+                           size_t n) const
+{
+    AsciiTable table;
+    table.addColumn("PC");
+    table.addColumn("Count");
+    table.addColumn("% Dyn");
+    table.addColumn("Instruction", AsciiTable::Align::Left);
+    for (uint64_t pc : hottest(n)) {
+        table.beginRow();
+        table.cell(pc);
+        table.cell(counts_[pc]);
+        table.cell(strFormat("%5.2f%%",
+                             100.0 * static_cast<double>(counts_[pc]) /
+                                 static_cast<double>(total_)));
+        table.cell(pc < program.text.size()
+                       ? isa::disassemble(program.text[pc])
+                       : std::string("?"));
+    }
+    table.print(os);
+    os << strFormat(
+        "%s dynamic instructions over %zu touched static sites; top %zu "
+        "cover %.1f%%\n",
+        AsciiTable::withCommas(total_).c_str(), touched(), n,
+        100.0 * coverage(n));
+}
+
+} // namespace sim
+} // namespace paragraph

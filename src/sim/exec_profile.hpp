@@ -1,0 +1,88 @@
+/**
+ * @file
+ * ExecutionProfile: per-static-instruction execution counts.
+ *
+ * Pixie — the trace capturer the paper used — was "a basic block execution
+ * profiler"; this is the same first-order view over our traces: how often
+ * each static instruction executed, which instructions are hot, and what
+ * fraction of the dynamic stream the hottest code accounts for. Useful for
+ * sanity-checking workload analogs (a benchmark whose inner loop is not
+ * dominant is not the benchmark it claims to be).
+ */
+
+#ifndef PARAGRAPH_SIM_EXEC_PROFILE_HPP
+#define PARAGRAPH_SIM_EXEC_PROFILE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "casm/program.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace sim {
+
+class ExecutionProfile
+{
+  public:
+    /** @param text_size number of static instructions in the program. */
+    explicit ExecutionProfile(size_t text_size)
+        : counts_(text_size, 0) {}
+
+    /** Account one executed instruction at static index @p pc. */
+    void
+    record(uint64_t pc)
+    {
+        if (pc < counts_.size()) {
+            ++counts_[pc];
+            ++total_;
+        }
+    }
+
+    /** Build a profile by draining @p src. */
+    static ExecutionProfile
+    collect(trace::TraceSource &src, size_t text_size)
+    {
+        ExecutionProfile prof(text_size);
+        trace::TraceRecord rec;
+        while (src.next(rec))
+            prof.record(rec.pc);
+        return prof;
+    }
+
+    /** Executions of static instruction @p pc. */
+    uint64_t
+    count(uint64_t pc) const
+    {
+        return pc < counts_.size() ? counts_[pc] : 0;
+    }
+
+    /** Total dynamic instructions recorded. */
+    uint64_t total() const { return total_; }
+
+    /** Static instructions that executed at least once. */
+    size_t touched() const;
+
+    /** The @p n hottest static instruction indices, hottest first. */
+    std::vector<uint64_t> hottest(size_t n) const;
+
+    /** Fraction of the dynamic stream covered by the @p n hottest. */
+    double coverage(size_t n) const;
+
+    /**
+     * Print the top-@p n report with disassembly from @p program
+     * ("index  count  %dynamic  instruction").
+     */
+    void printHot(std::ostream &os, const casm::Program &program,
+                  size_t n = 16) const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace sim
+} // namespace paragraph
+
+#endif // PARAGRAPH_SIM_EXEC_PROFILE_HPP

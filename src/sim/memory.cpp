@@ -1,0 +1,114 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace paragraph {
+namespace sim {
+
+uint8_t *
+Memory::pageFor(uint64_t addr)
+{
+    uint64_t page = addr / pageSize;
+    if (uint32_t *idx = pageIndex_.find(page))
+        return pages_[*idx].get();
+    auto fresh = std::make_unique<uint8_t[]>(pageSize);
+    std::memset(fresh.get(), 0, pageSize);
+    pages_.push_back(std::move(fresh));
+    uint32_t idx = static_cast<uint32_t>(pages_.size() - 1);
+    pageIndex_.insertOrAssign(page, idx);
+    return pages_[idx].get();
+}
+
+void
+Memory::readBytes(uint64_t addr, uint8_t *out, size_t n)
+{
+    while (n > 0) {
+        uint64_t off = addr % pageSize;
+        size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(n, pageSize - off));
+        std::memcpy(out, pageFor(addr) + off, chunk);
+        addr += chunk;
+        out += chunk;
+        n -= chunk;
+    }
+}
+
+void
+Memory::writeBytes(uint64_t addr, const uint8_t *in, size_t n)
+{
+    while (n > 0) {
+        uint64_t off = addr % pageSize;
+        size_t chunk = static_cast<size_t>(
+            std::min<uint64_t>(n, pageSize - off));
+        std::memcpy(pageFor(addr) + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        n -= chunk;
+    }
+}
+
+void
+Memory::loadImage(uint64_t base, const std::vector<uint8_t> &image)
+{
+    if (!image.empty())
+        writeBytes(base, image.data(), image.size());
+}
+
+uint32_t
+Memory::read32(uint64_t addr)
+{
+    uint32_t v;
+    uint64_t off = addr % pageSize;
+    if (off + 4 <= pageSize) {
+        std::memcpy(&v, pageFor(addr) + off, 4);
+    } else {
+        readBytes(addr, reinterpret_cast<uint8_t *>(&v), 4);
+    }
+    return v;
+}
+
+void
+Memory::write32(uint64_t addr, uint32_t value)
+{
+    uint64_t off = addr % pageSize;
+    if (off + 4 <= pageSize) {
+        std::memcpy(pageFor(addr) + off, &value, 4);
+    } else {
+        writeBytes(addr, reinterpret_cast<const uint8_t *>(&value), 4);
+    }
+}
+
+uint64_t
+Memory::read64(uint64_t addr)
+{
+    uint64_t v;
+    uint64_t off = addr % pageSize;
+    if (off + 8 <= pageSize) {
+        std::memcpy(&v, pageFor(addr) + off, 8);
+    } else {
+        readBytes(addr, reinterpret_cast<uint8_t *>(&v), 8);
+    }
+    return v;
+}
+
+void
+Memory::write64(uint64_t addr, uint64_t value)
+{
+    uint64_t off = addr % pageSize;
+    if (off + 8 <= pageSize) {
+        std::memcpy(pageFor(addr) + off, &value, 8);
+    } else {
+        writeBytes(addr, reinterpret_cast<const uint8_t *>(&value), 8);
+    }
+}
+
+void
+Memory::clear()
+{
+    pageIndex_.clear();
+    pages_.clear();
+}
+
+} // namespace sim
+} // namespace paragraph

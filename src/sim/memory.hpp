@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sparse paged memory for the functional simulator.
+ *
+ * A flat 32-bit-ish little-endian address space backed by 4 KiB pages that
+ * materialize on first touch (zero-filled, so .space data and fresh stack
+ * frames read as zero). Also owns the segment classifier that tags every
+ * traced memory access as Data / Heap / Stack — the distinction Paragraph's
+ * rename-data and rename-stack switches depend on.
+ */
+
+#ifndef PARAGRAPH_SIM_MEMORY_HPP
+#define PARAGRAPH_SIM_MEMORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/flat_hash_map.hpp"
+#include "trace/record.hpp"
+
+namespace paragraph {
+namespace sim {
+
+class Memory
+{
+  public:
+    static constexpr uint64_t pageSize = 4096;
+
+    /** Addresses at or above this are classified as stack. */
+    static constexpr uint64_t stackFloor = 0x40000000;
+
+    Memory() = default;
+
+    /** Copy @p image to consecutive addresses starting at @p base. */
+    void loadImage(uint64_t base, const std::vector<uint8_t> &image);
+
+    uint32_t read32(uint64_t addr);
+    void write32(uint64_t addr, uint32_t value);
+    uint64_t read64(uint64_t addr);
+    void write64(uint64_t addr, uint64_t value);
+
+    double
+    readDouble(uint64_t addr)
+    {
+        uint64_t bits = read64(addr);
+        double v;
+        __builtin_memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    void
+    writeDouble(uint64_t addr, double value)
+    {
+        uint64_t bits;
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        write64(addr, bits);
+    }
+
+    /**
+     * Segment of @p addr given the current heap base (heap grows from
+     * heapBase upward; anything >= stackFloor is stack; anything below
+     * heap_base is static data).
+     */
+    static trace::Segment
+    classify(uint64_t addr, uint64_t heap_base)
+    {
+        if (addr >= stackFloor)
+            return trace::Segment::Stack;
+        if (addr >= heap_base)
+            return trace::Segment::Heap;
+        return trace::Segment::Data;
+    }
+
+    /** Pages currently materialized. */
+    size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear();
+
+  private:
+    FlatHashMap<uint64_t, uint32_t> pageIndex_; // page number -> pages_ idx
+    std::vector<std::unique_ptr<uint8_t[]>> pages_;
+
+    uint8_t *pageFor(uint64_t addr);
+
+    void readBytes(uint64_t addr, uint8_t *out, size_t n);
+    void writeBytes(uint64_t addr, const uint8_t *in, size_t n);
+};
+
+} // namespace sim
+} // namespace paragraph
+
+#endif // PARAGRAPH_SIM_MEMORY_HPP

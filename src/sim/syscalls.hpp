@@ -1,0 +1,33 @@
+/**
+ * @file
+ * System-call interface of the simulated machine.
+ *
+ * Services follow the classic MIPS simulator convention: the service number
+ * goes in v0 and arguments in a0 (or f12 for doubles). I/O is fully
+ * deterministic: inputs come from queues primed before the run, outputs are
+ * recorded into vectors — no host interaction, so a re-run reproduces the
+ * identical trace (required by TraceSource::reset()).
+ */
+
+#ifndef PARAGRAPH_SIM_SYSCALLS_HPP
+#define PARAGRAPH_SIM_SYSCALLS_HPP
+
+#include <cstdint>
+
+namespace paragraph {
+namespace sim {
+
+enum class SysCallService : int32_t
+{
+    PrintInt = 1,    ///< record a0 in the integer output stream
+    PrintDouble = 2, ///< record f12 in the FP output stream
+    ReadInt = 3,     ///< v0 <- next queued integer input (0 when exhausted)
+    ReadDouble = 4,  ///< f0 <- next queued FP input (0.0 when exhausted)
+    Exit = 5,        ///< terminate; exit code in a0
+    Sbrk = 6,        ///< v0 <- old break; break += a0 (8-byte aligned)
+};
+
+} // namespace sim
+} // namespace paragraph
+
+#endif // PARAGRAPH_SIM_SYSCALLS_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * AsciiTable: aligned plain-text table rendering for benchmark reports.
+ *
+ * Every table/figure harness in bench/ prints its results through this class
+ * so outputs line up with the paper's tables.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_ASCII_TABLE_HPP
+#define PARAGRAPH_SUPPORT_ASCII_TABLE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paragraph {
+
+class AsciiTable
+{
+  public:
+    enum class Align { Left, Right };
+
+    /** Define one column; call once per column before adding rows. */
+    void addColumn(const std::string &header, Align align = Align::Right);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    void beginRow();
+
+    /** Append a preformatted cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell with thousands separators. */
+    void cell(uint64_t value);
+    void cell(int64_t value);
+    void cell(int value) { cell(static_cast<int64_t>(value)); }
+
+    /** Append a floating-point cell with @p precision decimals. */
+    void cell(double value, int precision = 2);
+
+    /** Number of data rows added so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render the table (headers, rule, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (test-friendly). */
+    std::string toString() const;
+
+    /** Format an integer with thousands separators, e.g. 23,302. */
+    static std::string withCommas(uint64_t value);
+
+    /** Format a double with separators in the integer part, e.g. 23,302.60. */
+    static std::string withCommas(double value, int precision);
+
+  private:
+    struct Column
+    {
+        std::string header;
+        Align align;
+    };
+
+    std::vector<Column> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_ASCII_TABLE_HPP

@@ -1,0 +1,83 @@
+#include "support/bucketed_profile.hpp"
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+
+BucketedProfile::BucketedProfile(size_t num_bins)
+{
+    PARA_ASSERT(num_bins >= 2 && (num_bins & (num_bins - 1)) == 0,
+                "num_bins must be a power of two >= 2");
+    bins_.assign(num_bins, 0);
+}
+
+void
+BucketedProfile::add(uint64_t level, uint64_t count)
+{
+    while (level >= bucketWidth_ * bins_.size())
+        fold();
+    bins_[level / bucketWidth_] += count;
+    totalOps_ += count;
+    if (!any_ || level > maxLevel_)
+        maxLevel_ = level;
+    any_ = true;
+}
+
+void
+BucketedProfile::fold()
+{
+    size_t n = bins_.size();
+    for (size_t i = 0; i < n / 2; ++i)
+        bins_[i] = bins_[2 * i] + bins_[2 * i + 1];
+    for (size_t i = n / 2; i < n; ++i)
+        bins_[i] = 0;
+    bucketWidth_ *= 2;
+}
+
+std::vector<BucketedProfile::Point>
+BucketedProfile::series() const
+{
+    std::vector<Point> out;
+    if (!any_)
+        return out;
+    size_t last_bin = static_cast<size_t>(maxLevel_ / bucketWidth_);
+    out.reserve(last_bin + 1);
+    for (size_t i = 0; i <= last_bin; ++i) {
+        uint64_t first = static_cast<uint64_t>(i) * bucketWidth_;
+        uint64_t last = first + bucketWidth_ - 1;
+        if (last > maxLevel_)
+            last = maxLevel_;
+        uint64_t levels = last - first + 1;
+        out.push_back(Point{first, last,
+                            static_cast<double>(bins_[i]) /
+                                static_cast<double>(levels)});
+    }
+    return out;
+}
+
+double
+BucketedProfile::peakOpsPerLevel() const
+{
+    double peak = 0.0;
+    for (const Point &p : series()) {
+        if (p.opsPerLevel > peak)
+            peak = p.opsPerLevel;
+    }
+    return peak;
+}
+
+void
+BucketedProfile::merge(const BucketedProfile &other)
+{
+    for (const Point &p : other.series()) {
+        // Re-add each level range's mass at its first level; precise enough
+        // for aggregate statistics and keeps widths independent.
+        uint64_t mass = static_cast<uint64_t>(
+            p.opsPerLevel * static_cast<double>(p.lastLevel - p.firstLevel + 1)
+            + 0.5);
+        if (mass > 0)
+            add(p.firstLevel, mass);
+    }
+}
+
+} // namespace paragraph

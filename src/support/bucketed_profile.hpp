@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BucketedProfile: the parallelism-profile distribution of paper Section 3.2.
+ *
+ * "The parallelism profile distribution is updated by incrementing a
+ * distribution entry indexed by Ldest. When the range of Ldest becomes too
+ * large to represent each possible value in a distribution, a range of Ldest
+ * values is mapped to each distribution entry, and in the final output, the
+ * average number of operations per level within the range is computed."
+ *
+ * The profile keeps a fixed number of bins; whenever a sample exceeds the
+ * representable range the bin width doubles and adjacent bins are folded
+ * together, so memory stays constant over arbitrarily deep DDGs.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_BUCKETED_PROFILE_HPP
+#define PARAGRAPH_SUPPORT_BUCKETED_PROFILE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paragraph {
+
+class BucketedProfile
+{
+  public:
+    /** One output point: ops-per-level averaged over [firstLevel, lastLevel]. */
+    struct Point
+    {
+        uint64_t firstLevel;
+        uint64_t lastLevel;
+        double opsPerLevel;
+    };
+
+    /** @param num_bins number of distribution entries kept (power of two). */
+    explicit BucketedProfile(size_t num_bins = 4096);
+
+    /** Record @p count operations placed at DDG level @p level. */
+    void add(uint64_t level, uint64_t count = 1);
+
+    /** Total operations recorded. */
+    uint64_t totalOps() const { return totalOps_; }
+
+    /** Deepest level that received an operation (0 when empty). */
+    uint64_t maxLevel() const { return maxLevel_; }
+
+    /** Current number of levels folded into one bin. */
+    uint64_t bucketWidth() const { return bucketWidth_; }
+
+    /** Number of bins configured. */
+    size_t numBins() const { return bins_.size(); }
+
+    /** Raw count in bin @p idx. */
+    uint64_t binCount(size_t idx) const { return bins_[idx]; }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return totalOps_ == 0; }
+
+    /**
+     * Render the profile as (level range, average ops/level) points,
+     * covering levels [0, maxLevel()]. Empty when no samples recorded.
+     */
+    std::vector<Point> series() const;
+
+    /**
+     * Peak of the series(): the largest average ops/level over any bin.
+     * This is the "burst height" visible in the paper's Figure 7 plots.
+     */
+    double peakOpsPerLevel() const;
+
+    /** Merge another profile into this one (levels are aligned at 0). */
+    void merge(const BucketedProfile &other);
+
+  private:
+    std::vector<uint64_t> bins_;
+    uint64_t bucketWidth_ = 1;
+    uint64_t totalOps_ = 0;
+    uint64_t maxLevel_ = 0;
+    bool any_ = false;
+
+    void fold();
+};
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_BUCKETED_PROFILE_HPP

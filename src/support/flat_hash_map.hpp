@@ -1,0 +1,290 @@
+/**
+ * @file
+ * FlatHashMap: an open-addressing, robin-hood hash map.
+ *
+ * The paper notes that Paragraph's live well used "a very space efficient
+ * hash table ... to minimize the per value memory overhead" (Section 3.2) —
+ * the live well of a 100M-instruction trace holds millions of live values.
+ * This map stores keys and values inline in a single flat array (no per-node
+ * allocation, no pointers), uses robin-hood displacement to keep probe
+ * sequences short at high load factors, and supports erase via backward
+ * shifting so no tombstones accumulate.
+ *
+ * Requirements: Key must be trivially copyable and equality comparable.
+ * One key value must be reserved as the "empty" sentinel (default: all-ones).
+ */
+
+#ifndef PARAGRAPH_SUPPORT_FLAT_HASH_MAP_HPP
+#define PARAGRAPH_SUPPORT_FLAT_HASH_MAP_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+
+/** Mixes a 64-bit key into a well-distributed hash (splitmix64 finalizer). */
+inline uint64_t
+mixHash64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Open-addressing robin-hood hash map with inline storage.
+ *
+ * @tparam Key      trivially copyable key type convertible to uint64_t hash
+ * @tparam Value    mapped type (trivially copyable recommended)
+ * @tparam EmptyKey sentinel key denoting an empty slot; must never be
+ *                  inserted by the user
+ */
+template <typename Key, typename Value, Key EmptyKey = static_cast<Key>(~0ULL)>
+class FlatHashMap
+{
+  public:
+    struct Slot
+    {
+        Key key;
+        Value value;
+    };
+
+    FlatHashMap() { rehash(initialCapacity); }
+
+    /** Preallocate capacity for at least @p n elements. */
+    explicit FlatHashMap(size_t n)
+    {
+        size_t cap = initialCapacity;
+        while (cap * maxLoadNum < n * maxLoadDen)
+            cap <<= 1;
+        rehash(cap);
+    }
+
+    /** Number of live entries. */
+    size_t size() const { return size_; }
+
+    /** True when no entries are stored. */
+    bool empty() const { return size_ == 0; }
+
+    /** Current slot-array capacity (power of two). */
+    size_t capacity() const { return slots_.size(); }
+
+    /** Largest size() ever observed (live-well occupancy statistics). */
+    size_t peakSize() const { return peakSize_; }
+
+    /** Remove all entries, keeping the current capacity. */
+    void
+    clear()
+    {
+        for (auto &s : slots_)
+            s.key = EmptyKey;
+        size_ = 0;
+    }
+
+    /**
+     * Find the value stored under @p key.
+     * @return pointer to the mapped value, or nullptr when absent.
+     */
+    Value *
+    find(Key key)
+    {
+        PARA_ASSERT(key != EmptyKey);
+        size_t mask = slots_.size() - 1;
+        size_t idx = indexFor(key);
+        size_t dist = 0;
+        while (true) {
+            Slot &s = slots_[idx];
+            if (s.key == key)
+                return &s.value;
+            if (s.key == EmptyKey || dist > probeDistance(s.key, idx))
+                return nullptr;
+            idx = (idx + 1) & mask;
+            ++dist;
+        }
+    }
+
+    const Value *
+    find(Key key) const
+    {
+        return const_cast<FlatHashMap *>(this)->find(key);
+    }
+
+    /** True when @p key is present. */
+    bool contains(Key key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert @p value under @p key, or overwrite an existing mapping.
+     * @return reference to the stored value.
+     */
+    Value &
+    insertOrAssign(Key key, const Value &value)
+    {
+        Value *existing = find(key);
+        if (existing) {
+            *existing = value;
+            return *existing;
+        }
+        maybeGrow();
+        Value &ref = insertFresh(key, value);
+        ++size_;
+        if (size_ > peakSize_)
+            peakSize_ = size_;
+        return ref;
+    }
+
+    /**
+     * Fetch the value for @p key, default-constructing it when absent.
+     */
+    Value &
+    operator[](Key key)
+    {
+        Value *existing = find(key);
+        if (existing)
+            return *existing;
+        maybeGrow();
+        Value &ref = insertFresh(key, Value{});
+        ++size_;
+        if (size_ > peakSize_)
+            peakSize_ = size_;
+        return ref;
+    }
+
+    /**
+     * Erase the mapping for @p key using backward-shift deletion.
+     * @return true when an entry was removed.
+     */
+    bool
+    erase(Key key)
+    {
+        PARA_ASSERT(key != EmptyKey);
+        size_t mask = slots_.size() - 1;
+        size_t idx = indexFor(key);
+        size_t dist = 0;
+        while (true) {
+            Slot &s = slots_[idx];
+            if (s.key == key)
+                break;
+            if (s.key == EmptyKey || dist > probeDistance(s.key, idx))
+                return false;
+            idx = (idx + 1) & mask;
+            ++dist;
+        }
+        // Backward-shift the following cluster into the hole.
+        size_t hole = idx;
+        size_t next = (hole + 1) & mask;
+        while (slots_[next].key != EmptyKey &&
+               probeDistance(slots_[next].key, next) > 0) {
+            slots_[hole] = slots_[next];
+            hole = next;
+            next = (next + 1) & mask;
+        }
+        slots_[hole].key = EmptyKey;
+        --size_;
+        return true;
+    }
+
+    /**
+     * Invoke @p fn(key, value&) on every live entry (unspecified order).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &s : slots_) {
+            if (s.key != EmptyKey)
+                fn(s.key, s.value);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &s : slots_) {
+            if (s.key != EmptyKey)
+                fn(s.key, s.value);
+        }
+    }
+
+    /** Approximate heap bytes held by the slot array. */
+    size_t memoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+  private:
+    static constexpr size_t initialCapacity = 16;
+    // Grow when size > 7/8 of capacity.
+    static constexpr size_t maxLoadNum = 7;
+    static constexpr size_t maxLoadDen = 8;
+
+    std::vector<Slot> slots_;
+    size_t size_ = 0;
+    size_t peakSize_ = 0;
+
+    size_t
+    indexFor(Key key) const
+    {
+        return static_cast<size_t>(mixHash64(static_cast<uint64_t>(key))) &
+               (slots_.size() - 1);
+    }
+
+    size_t
+    probeDistance(Key key, size_t current_idx) const
+    {
+        size_t mask = slots_.size() - 1;
+        return (current_idx + slots_.size() - indexFor(key)) & mask;
+    }
+
+    void
+    maybeGrow()
+    {
+        if ((size_ + 1) * maxLoadDen > slots_.size() * maxLoadNum)
+            rehash(slots_.size() * 2);
+    }
+
+    void
+    rehash(size_t new_cap)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_cap, Slot{EmptyKey, Value{}});
+        for (auto &s : old) {
+            if (s.key != EmptyKey)
+                insertFresh(s.key, s.value);
+        }
+    }
+
+    /** Robin-hood insert of a key known to be absent. */
+    Value &
+    insertFresh(Key key, Value value)
+    {
+        size_t mask = slots_.size() - 1;
+        size_t idx = indexFor(key);
+        size_t dist = 0;
+        Slot incoming{key, value};
+        Value *result = nullptr;
+        while (true) {
+            Slot &s = slots_[idx];
+            if (s.key == EmptyKey) {
+                s = incoming;
+                return result ? *result : s.value;
+            }
+            size_t existing_dist = probeDistance(s.key, idx);
+            if (existing_dist < dist) {
+                std::swap(incoming, s);
+                if (!result)
+                    result = &s.value;
+                dist = existing_dist;
+            }
+            idx = (idx + 1) & mask;
+            ++dist;
+        }
+    }
+};
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_FLAT_HASH_MAP_HPP

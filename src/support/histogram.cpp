@@ -1,0 +1,35 @@
+#include "support/histogram.hpp"
+
+namespace paragraph {
+
+uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return 0;
+    if (fraction > 1.0)
+        fraction = 1.0;
+    uint64_t target =
+        static_cast<uint64_t>(std::ceil(fraction * static_cast<double>(total_)));
+    if (target == 0)
+        target = 1;
+    uint64_t running = 0;
+    for (size_t v = 0; v < counts_.size(); ++v) {
+        running += counts_[v];
+        if (running >= target)
+            return v;
+    }
+    return maxSample_;
+}
+
+size_t
+Log2Histogram::highestUsedBucket() const
+{
+    for (size_t b = numBuckets; b > 0; --b) {
+        if (counts_[b - 1] != 0)
+            return b;
+    }
+    return 0;
+}
+
+} // namespace paragraph

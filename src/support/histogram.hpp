@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Distribution-collection helpers.
+ *
+ * Histogram      — exact counts for small non-negative integer samples with a
+ *                  configurable overflow bucket (value-lifetime and
+ *                  degree-of-sharing distributions, paper Section 2.3).
+ * Log2Histogram  — power-of-two bucketed counts for wide-range samples.
+ * RunningStats   — streaming mean / variance / min / max (Welford).
+ */
+
+#ifndef PARAGRAPH_SUPPORT_HISTOGRAM_HPP
+#define PARAGRAPH_SUPPORT_HISTOGRAM_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace paragraph {
+
+/** Exact histogram over [0, maxValue], with an overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param max_value largest sample tracked exactly. */
+    explicit Histogram(uint64_t max_value = 1024)
+        : counts_(max_value + 1, 0) {}
+
+    /** Record one sample. */
+    void
+    add(uint64_t sample)
+    {
+        if (sample < counts_.size())
+            ++counts_[sample];
+        else
+            ++overflow_;
+        ++total_;
+        sum_ += sample;
+        if (sample > maxSample_)
+            maxSample_ = sample;
+    }
+
+    /** Count recorded for exact value @p v (0 when out of range). */
+    uint64_t
+    count(uint64_t v) const
+    {
+        return v < counts_.size() ? counts_[v] : 0;
+    }
+
+    /** Samples larger than the exact range. */
+    uint64_t overflowCount() const { return overflow_; }
+
+    /** Total samples recorded. */
+    uint64_t totalCount() const { return total_; }
+
+    /** Mean of all samples (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /** Largest sample seen. */
+    uint64_t maxSample() const { return maxSample_; }
+
+    /**
+     * Smallest value v such that at least @p fraction of samples are <= v.
+     * Overflowed samples count as maxSample(). @p fraction in (0, 1].
+     */
+    uint64_t percentile(double fraction) const;
+
+    /** Number of exact buckets. */
+    size_t exactRange() const { return counts_.size(); }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t maxSample_ = 0;
+};
+
+/** Histogram with power-of-two buckets: [0], [1], [2,3], [4,7], ... */
+class Log2Histogram
+{
+  public:
+    static constexpr size_t numBuckets = 65;
+
+    /** Record one sample. */
+    void
+    add(uint64_t sample)
+    {
+        ++counts_[bucketFor(sample)];
+        ++total_;
+        sum_ += sample;
+    }
+
+    /** Bucket index for a sample (0 -> 0, otherwise 1 + floor(log2 s)). */
+    static size_t
+    bucketFor(uint64_t sample)
+    {
+        if (sample == 0)
+            return 0;
+        return 1 + static_cast<size_t>(63 - __builtin_clzll(sample));
+    }
+
+    /** Lower bound of bucket @p b. */
+    static uint64_t
+    bucketLow(size_t b)
+    {
+        return b == 0 ? 0 : (1ULL << (b - 1));
+    }
+
+    /** Count in bucket @p b. */
+    uint64_t count(size_t b) const { return counts_[b]; }
+
+    /** Total samples recorded. */
+    uint64_t totalCount() const { return total_; }
+
+    /** Mean of all samples. */
+    double
+    mean() const
+    {
+        return total_ ? static_cast<double>(sum_) / total_ : 0.0;
+    }
+
+    /** Index of the highest non-empty bucket (+1), 0 when empty. */
+    size_t highestUsedBucket() const;
+
+  private:
+    uint64_t counts_[numBuckets] = {};
+    uint64_t total_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/** Streaming mean/variance/min/max accumulator (Welford's algorithm). */
+class RunningStats
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_HISTOGRAM_HPP

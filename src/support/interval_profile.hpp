@@ -1,0 +1,82 @@
+/**
+ * @file
+ * IntervalProfile: concurrently-live intervals per level (the waiting-token
+ * / storage-requirement profile of paper Section 2.3).
+ *
+ * "We can also obtain the distribution of value lifetimes from the DDG. The
+ * value lifetimes are useful in determining the amount of temporary storage
+ * required to exploit the parallelism in the DDG." Culler and Arvind's
+ * dataflow studies plot exactly this: how many tokens are waiting at each
+ * step of the abstract machine.
+ *
+ * Every value contributes the interval [creation level, last-access level].
+ * Like BucketedProfile, the structure keeps a fixed number of bins and
+ * doubles the bin width when a level exceeds the representable range, so
+ * memory stays constant over arbitrarily deep DDGs. Per-bucket live counts
+ * are exact at bucket boundaries and interpolated within buckets.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_INTERVAL_PROFILE_HPP
+#define PARAGRAPH_SUPPORT_INTERVAL_PROFILE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paragraph {
+
+class IntervalProfile
+{
+  public:
+    struct Point
+    {
+        uint64_t firstLevel;
+        uint64_t lastLevel;
+        double liveValues; ///< average values live across this level range
+    };
+
+    /** @param num_bins number of distribution entries (power of two). */
+    explicit IntervalProfile(size_t num_bins = 4096);
+
+    /** Record a value live from @p start_level to @p end_level inclusive. */
+    void add(uint64_t start_level, uint64_t end_level);
+
+    /** Number of intervals recorded. */
+    uint64_t intervals() const { return intervals_; }
+
+    /** Deepest level any interval touches. */
+    uint64_t maxLevel() const { return maxLevel_; }
+
+    /** Current levels-per-bin. */
+    uint64_t bucketWidth() const { return bucketWidth_; }
+
+    bool empty() const { return intervals_ == 0; }
+
+    /** Live-count series over [0, maxLevel()]. */
+    std::vector<Point> series() const;
+
+    /**
+     * Largest boundary-exact live count: the storage high-water mark of an
+     * abstract machine executing the DDG (within one bucket's resolution).
+     */
+    double peakLive() const;
+
+    /** Mean live count over the whole level range. */
+    double meanLive() const;
+
+  private:
+    std::vector<uint64_t> starts_; ///< intervals beginning in each bucket
+    std::vector<uint64_t> ends_;   ///< intervals ending in each bucket
+    std::vector<uint64_t> edgeMass_; ///< in-bucket levels of edge overlaps
+    uint64_t totalLiveLevels_ = 0;   ///< exact sum of interval lengths
+    uint64_t bucketWidth_ = 1;
+    uint64_t intervals_ = 0;
+    uint64_t maxLevel_ = 0;
+    bool any_ = false;
+
+    void fold();
+};
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_INTERVAL_PROFILE_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting primitives in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can pinpoint it.
+ * fatal()  — the *user* asked for something impossible (bad config, bad
+ *            input file); exits with status 1.
+ * warn()   — something is suspicious but execution can continue.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_PANIC_HPP
+#define PARAGRAPH_SUPPORT_PANIC_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace paragraph {
+
+/** Exception thrown by fatal() so callers (and tests) can intercept it. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace paragraph
+
+/** Abort with a message: library invariant violated. */
+#define PARA_PANIC(...)                                                      \
+    ::paragraph::detail::panicImpl(__FILE__, __LINE__,                       \
+        ::paragraph::detail::formatMessage(__VA_ARGS__))
+
+/** Raise FatalError: user-caused, unrecoverable condition. */
+#define PARA_FATAL(...)                                                      \
+    ::paragraph::detail::fatalImpl(__FILE__, __LINE__,                       \
+        ::paragraph::detail::formatMessage(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define PARA_WARN(...)                                                       \
+    ::paragraph::detail::warnImpl(__FILE__, __LINE__,                        \
+        ::paragraph::detail::formatMessage(__VA_ARGS__))
+
+/** Always-on assertion that panics (even in release builds). */
+#define PARA_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            PARA_PANIC("assertion failed: %s", #cond);                       \
+        }                                                                    \
+    } while (0)
+
+#endif // PARAGRAPH_SUPPORT_PANIC_HPP

@@ -1,0 +1,98 @@
+#include "support/string_utils.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace paragraph {
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t b = 0;
+    while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    size_t e = s.size();
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitAndTrim(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(trim(s.substr(start)));
+            break;
+        }
+        out.emplace_back(trim(s.substr(start, pos - start)));
+        start = pos + 1;
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+parseInt(std::string_view s, int64_t &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(std::string_view s, double &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(copy);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, copy);
+    va_end(copy);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+} // namespace paragraph

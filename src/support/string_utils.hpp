@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler, MiniC lexer, and reports.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_STRING_UTILS_HPP
+#define PARAGRAPH_SUPPORT_STRING_UTILS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paragraph {
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep, trimming each piece; empty pieces are kept. */
+std::vector<std::string> splitAndTrim(std::string_view s, char sep);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Parse a signed integer (decimal, or hex with 0x prefix).
+ *  @return true on success. */
+bool parseInt(std::string_view s, int64_t &out);
+
+/** Parse a floating-point literal. @return true on success. */
+bool parseDouble(std::string_view s, double &out);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_STRING_UTILS_HPP

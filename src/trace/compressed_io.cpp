@@ -1,0 +1,341 @@
+#include "trace/compressed_io.hpp"
+
+#include <memory>
+
+#include "support/panic.hpp"
+#include "trace/file_io.hpp"
+
+namespace paragraph {
+namespace trace {
+
+namespace {
+
+struct FileHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t count;
+    uint64_t reserved;
+};
+
+// Operand tag values.
+constexpr uint8_t tagIntReg = 0;
+constexpr uint8_t tagFpReg = 1;
+constexpr uint8_t tagMemData = 2;
+constexpr uint8_t tagMemHeap = 3;
+constexpr uint8_t tagMemStack = 4;
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+} // namespace
+
+// --- Writer ----------------------------------------------------------------
+
+CompressedTraceWriter::CompressedTraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        PARA_FATAL("cannot open trace file for writing: %s", path.c_str());
+    writeHeader();
+}
+
+CompressedTraceWriter::~CompressedTraceWriter()
+{
+    close();
+}
+
+void
+CompressedTraceWriter::writeHeader()
+{
+    FileHeader hdr{compressedTraceMagic, compressedTraceVersion, count_, 0};
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1) {
+        PARA_FATAL("trace file header write failed");
+    }
+}
+
+void
+CompressedTraceWriter::putByte(uint8_t b)
+{
+    if (std::fputc(b, file_) == EOF)
+        PARA_FATAL("trace file write failed");
+    ++bytes_;
+}
+
+void
+CompressedTraceWriter::putVarint(uint64_t v)
+{
+    while (v >= 0x80) {
+        putByte(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    putByte(static_cast<uint8_t>(v));
+}
+
+void
+CompressedTraceWriter::putSignedVarint(int64_t v)
+{
+    putVarint(zigzag(v));
+}
+
+void
+CompressedTraceWriter::putOperand(const Operand &op)
+{
+    switch (op.kind) {
+      case Operand::Kind::IntReg:
+        putByte(tagIntReg);
+        putByte(static_cast<uint8_t>(op.id));
+        return;
+      case Operand::Kind::FpReg:
+        putByte(tagFpReg);
+        putByte(static_cast<uint8_t>(op.id));
+        return;
+      case Operand::Kind::Mem: {
+        uint8_t tag = op.seg == Segment::Heap    ? tagMemHeap
+                      : op.seg == Segment::Stack ? tagMemStack
+                                                 : tagMemData;
+        putByte(tag);
+        putSignedVarint(static_cast<int64_t>(op.id) -
+                        static_cast<int64_t>(lastMemAddr_));
+        lastMemAddr_ = op.id;
+        return;
+      }
+      default:
+        PARA_PANIC("cannot encode an invalid operand");
+    }
+}
+
+void
+CompressedTraceWriter::write(const TraceRecord &rec)
+{
+    PARA_ASSERT(file_, "write after close");
+    uint8_t head = static_cast<uint8_t>(
+        (static_cast<uint8_t>(rec.cls) & 0x0f) |
+        (rec.createsValue ? 0x10 : 0) | (rec.isSysCall ? 0x20 : 0) |
+        (rec.isCondBranch ? 0x40 : 0) | (rec.branchTaken ? 0x80 : 0));
+    bool pc_plus_one = rec.pc == lastPc_ + 1;
+    uint8_t dest_kind =
+        !rec.dest.valid()                           ? 0
+        : rec.dest.kind == Operand::Kind::IntReg    ? 1
+        : rec.dest.kind == Operand::Kind::FpReg     ? 2
+                                                    : 3;
+    uint8_t ops = static_cast<uint8_t>(
+        (rec.numSrcs & 0x03) | ((rec.lastUseMask & 0x07) << 2) |
+        (dest_kind << 5) | (pc_plus_one ? 0x80 : 0));
+    putByte(head);
+    putByte(ops);
+    if (!pc_plus_one) {
+        putSignedVarint(static_cast<int64_t>(rec.pc) -
+                        static_cast<int64_t>(lastPc_));
+    }
+    lastPc_ = rec.pc;
+    for (int s = 0; s < rec.numSrcs; ++s)
+        putOperand(rec.srcs[s]);
+    if (dest_kind == 1 || dest_kind == 2) {
+        putByte(static_cast<uint8_t>(rec.dest.id));
+    } else if (dest_kind == 3) {
+        putOperand(rec.dest);
+    }
+    ++count_;
+}
+
+uint64_t
+CompressedTraceWriter::writeAll(TraceSource &src)
+{
+    TraceRecord rec;
+    uint64_t n = 0;
+    while (src.next(rec)) {
+        write(rec);
+        ++n;
+    }
+    return n;
+}
+
+void
+CompressedTraceWriter::close()
+{
+    if (!file_)
+        return;
+    writeHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+// --- Reader ----------------------------------------------------------------
+
+CompressedTraceReader::CompressedTraceReader(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        PARA_FATAL("cannot open trace file: %s", path.c_str());
+    FileHeader hdr;
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("trace file too short: %s", path.c_str());
+    }
+    if (hdr.magic != compressedTraceMagic) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("bad compressed-trace magic in %s", path.c_str());
+    }
+    if (hdr.version != compressedTraceVersion) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("unsupported compressed-trace version %u in %s",
+                   hdr.version, path.c_str());
+    }
+    count_ = hdr.count;
+}
+
+CompressedTraceReader::~CompressedTraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+uint8_t
+CompressedTraceReader::getByte()
+{
+    int c = std::fgetc(file_);
+    if (c == EOF)
+        PARA_FATAL("trace file truncated: %s", path_.c_str());
+    return static_cast<uint8_t>(c);
+}
+
+uint64_t
+CompressedTraceReader::getVarint()
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        uint8_t b = getByte();
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            PARA_FATAL("malformed varint in %s", path_.c_str());
+    }
+}
+
+int64_t
+CompressedTraceReader::getSignedVarint()
+{
+    return unzigzag(getVarint());
+}
+
+Operand
+CompressedTraceReader::getOperand()
+{
+    uint8_t tag = getByte();
+    switch (tag) {
+      case tagIntReg:
+        return Operand::intReg(getByte());
+      case tagFpReg:
+        return Operand::fpReg(getByte());
+      case tagMemData:
+      case tagMemHeap:
+      case tagMemStack: {
+        uint64_t addr = static_cast<uint64_t>(
+            static_cast<int64_t>(lastMemAddr_) + getSignedVarint());
+        lastMemAddr_ = addr;
+        Segment seg = tag == tagMemHeap    ? Segment::Heap
+                      : tag == tagMemStack ? Segment::Stack
+                                           : Segment::Data;
+        return Operand::mem(addr, seg);
+      }
+      default:
+        PARA_FATAL("bad operand tag %u in %s", tag, path_.c_str());
+    }
+}
+
+bool
+CompressedTraceReader::next(TraceRecord &rec)
+{
+    if (pos_ >= count_)
+        return false;
+    rec = TraceRecord{};
+    uint8_t head = getByte();
+    rec.cls = static_cast<isa::OpClass>(head & 0x0f);
+    rec.createsValue = (head & 0x10) != 0;
+    rec.isSysCall = (head & 0x20) != 0;
+    rec.isCondBranch = (head & 0x40) != 0;
+    rec.branchTaken = (head & 0x80) != 0;
+
+    uint8_t ops = getByte();
+    uint8_t nsrcs = ops & 0x03;
+    rec.lastUseMask = (ops >> 2) & 0x07;
+    uint8_t dest_kind = (ops >> 5) & 0x03;
+    if (ops & 0x80) {
+        rec.pc = lastPc_ + 1;
+    } else {
+        rec.pc = static_cast<uint64_t>(static_cast<int64_t>(lastPc_) +
+                                       getSignedVarint());
+    }
+    lastPc_ = rec.pc;
+
+    for (uint8_t s = 0; s < nsrcs; ++s)
+        rec.addSrc(getOperand());
+    switch (dest_kind) {
+      case 1:
+        rec.dest = Operand::intReg(getByte());
+        break;
+      case 2:
+        rec.dest = Operand::fpReg(getByte());
+        break;
+      case 3:
+        rec.dest = getOperand();
+        break;
+      default:
+        break;
+    }
+    ++pos_;
+    return true;
+}
+
+void
+CompressedTraceReader::reset()
+{
+    PARA_ASSERT(file_, "reset on closed reader");
+    if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
+        PARA_FATAL("trace file seek failed: %s", path_.c_str());
+    pos_ = 0;
+    lastPc_ = 0;
+    lastMemAddr_ = 0;
+}
+
+// --- Format dispatch ---------------------------------------------------------
+
+std::unique_ptr<TraceSource>
+openTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        PARA_FATAL("cannot open trace file: %s", path.c_str());
+    uint32_t magic = 0;
+    size_t got = std::fread(&magic, sizeof(magic), 1, f);
+    std::fclose(f);
+    if (got != 1)
+        PARA_FATAL("trace file too short: %s", path.c_str());
+    if (magic == compressedTraceMagic)
+        return std::make_unique<CompressedTraceReader>(path);
+    if (magic == traceFileMagic)
+        return std::make_unique<TraceFileReader>(path);
+    PARA_FATAL("unrecognized trace file format: %s", path.c_str());
+}
+
+} // namespace trace
+} // namespace paragraph

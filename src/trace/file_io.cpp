@@ -1,0 +1,187 @@
+#include "trace/file_io.hpp"
+
+#include <cstring>
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace trace {
+
+namespace {
+
+struct FileHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t count;
+    uint64_t reserved;
+};
+
+Operand
+unpackOperand(uint8_t kind_seg, uint64_t id)
+{
+    Operand op;
+    op.kind = static_cast<Operand::Kind>(kind_seg & 0x0f);
+    op.seg = static_cast<Segment>(kind_seg >> 4);
+    op.id = id;
+    return op;
+}
+
+uint8_t
+packOperandKind(const Operand &op)
+{
+    return static_cast<uint8_t>(static_cast<uint8_t>(op.kind) |
+                                (static_cast<uint8_t>(op.seg) << 4));
+}
+
+} // namespace
+
+PackedRecord
+packRecord(const TraceRecord &rec)
+{
+    PackedRecord p = {};
+    p.cls = static_cast<uint8_t>(rec.cls);
+    p.flags = static_cast<uint8_t>((rec.createsValue ? 1 : 0) |
+                                   (rec.isSysCall ? 2 : 0) |
+                                   (rec.isCondBranch ? 4 : 0) |
+                                   (rec.branchTaken ? 8 : 0));
+    p.numSrcs = rec.numSrcs;
+    p.lastUseMask = rec.lastUseMask;
+    for (int i = 0; i < maxSrcs; ++i) {
+        p.operandKinds[i] = packOperandKind(rec.srcs[i]);
+        p.operandIds[i] = rec.srcs[i].id;
+    }
+    p.operandKinds[3] = packOperandKind(rec.dest);
+    p.operandIds[3] = rec.dest.id;
+    p.pc = rec.pc;
+    return p;
+}
+
+TraceRecord
+unpackRecord(const PackedRecord &p)
+{
+    TraceRecord rec;
+    rec.cls = static_cast<isa::OpClass>(p.cls);
+    rec.createsValue = (p.flags & 1) != 0;
+    rec.isSysCall = (p.flags & 2) != 0;
+    rec.isCondBranch = (p.flags & 4) != 0;
+    rec.branchTaken = (p.flags & 8) != 0;
+    rec.numSrcs = p.numSrcs;
+    rec.lastUseMask = p.lastUseMask;
+    for (int i = 0; i < maxSrcs; ++i)
+        rec.srcs[i] = unpackOperand(p.operandKinds[i], p.operandIds[i]);
+    rec.dest = unpackOperand(p.operandKinds[3], p.operandIds[3]);
+    rec.pc = p.pc;
+    return rec;
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        PARA_FATAL("cannot open trace file for writing: %s", path.c_str());
+    writeHeader();
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::writeHeader()
+{
+    FileHeader hdr{traceFileMagic, traceFileVersion, count_, 0};
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1) {
+        PARA_FATAL("trace file header write failed");
+    }
+}
+
+void
+TraceFileWriter::write(const TraceRecord &rec)
+{
+    PARA_ASSERT(file_, "write after close");
+    PackedRecord p = packRecord(rec);
+    if (std::fwrite(&p, sizeof(p), 1, file_) != 1)
+        PARA_FATAL("trace file record write failed");
+    ++count_;
+}
+
+uint64_t
+TraceFileWriter::writeAll(TraceSource &src)
+{
+    TraceRecord rec;
+    uint64_t n = 0;
+    while (src.next(rec)) {
+        write(rec);
+        ++n;
+    }
+    return n;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file_)
+        return;
+    writeHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        PARA_FATAL("cannot open trace file: %s", path.c_str());
+    FileHeader hdr;
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("trace file too short: %s", path.c_str());
+    }
+    if (hdr.magic != traceFileMagic) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("bad trace file magic in %s", path.c_str());
+    }
+    if (hdr.version != traceFileVersion) {
+        std::fclose(file_);
+        file_ = nullptr;
+        PARA_FATAL("unsupported trace file version %u in %s", hdr.version,
+                   path.c_str());
+    }
+    count_ = hdr.count;
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::next(TraceRecord &rec)
+{
+    if (pos_ >= count_)
+        return false;
+    PackedRecord p;
+    if (std::fread(&p, sizeof(p), 1, file_) != 1)
+        PARA_FATAL("trace file truncated: %s", path_.c_str());
+    rec = unpackRecord(p);
+    ++pos_;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    PARA_ASSERT(file_, "reset on closed reader");
+    if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
+        PARA_FATAL("trace file seek failed: %s", path_.c_str());
+    pos_ = 0;
+}
+
+} // namespace trace
+} // namespace paragraph

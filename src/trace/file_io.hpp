@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Binary trace file format (reader/writer).
+ *
+ * Layout: a 24-byte header (magic "PTRC", version, record count) followed by
+ * fixed-size little-endian records. The format exists so traces can be
+ * captured once (e.g. from a slow source) and re-analyzed offline, the same
+ * role Pixie output files played for Paragraph.
+ */
+
+#ifndef PARAGRAPH_TRACE_FILE_IO_HPP
+#define PARAGRAPH_TRACE_FILE_IO_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace trace {
+
+/** On-disk encoding of one record (packed, little-endian). */
+struct PackedRecord
+{
+    uint8_t cls;
+    uint8_t flags; ///< bit0 createsValue, bit1 isSysCall
+    uint8_t numSrcs;
+    uint8_t lastUseMask;
+    uint8_t operandKinds[4]; ///< kind | (segment << 4); [3] is dest
+    uint64_t operandIds[4];  ///< [3] is dest
+    uint64_t pc;
+};
+
+constexpr uint32_t traceFileMagic = 0x43525450; // "PTRC"
+constexpr uint32_t traceFileVersion = 1;
+
+/** Streaming trace file writer. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; throws FatalError on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const TraceRecord &rec);
+
+    /** Drain @p src into the file; returns records written. */
+    uint64_t writeAll(TraceSource &src);
+
+    /** Finalize the header and close (also done by the destructor). */
+    void close();
+
+    uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+
+    void writeHeader();
+};
+
+/** Replayable trace file reader. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open @p path; throws FatalError on bad magic/version/truncation. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+    std::string name() const override { return path_; }
+
+    /** Total records in the file. */
+    uint64_t recordCount() const { return count_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+    uint64_t pos_ = 0;
+};
+
+/** Pack / unpack between the in-memory and on-disk record forms. */
+PackedRecord packRecord(const TraceRecord &rec);
+TraceRecord unpackRecord(const PackedRecord &packed);
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_FILE_IO_HPP

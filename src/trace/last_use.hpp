@@ -1,0 +1,38 @@
+/**
+ * @file
+ * LastUseAnnotator: the paper's two-pass deadness method (Section 3.2).
+ *
+ * "Process the trace in two passes, first in the reverse direction and then
+ * in the forward direction. If the instructions are processed in reverse,
+ * the first occurrence of a value is its last use, and value lifetime
+ * information can be easily inserted into the trace for use on a second,
+ * forward pass."
+ *
+ * The annotator performs the reverse pass over a stored TraceBuffer, setting
+ * each record's lastUseMask bit for every source operand that is the final
+ * read of the value live in that location. The live well can then evict an
+ * entry the moment its last reader is processed, instead of waiting for the
+ * location to be overwritten (the one-pass method), shrinking peak
+ * occupancy — the effect the ablation bench measures.
+ */
+
+#ifndef PARAGRAPH_TRACE_LAST_USE_HPP
+#define PARAGRAPH_TRACE_LAST_USE_HPP
+
+#include <cstdint>
+
+#include "trace/buffer.hpp"
+
+namespace paragraph {
+namespace trace {
+
+/**
+ * Annotate @p buffer in place.
+ * @return number of source operands marked as last uses.
+ */
+uint64_t annotateLastUses(TraceBuffer &buffer);
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_LAST_USE_HPP

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * TraceRecord: one dynamic instruction of a serial execution trace.
+ *
+ * This is the interface between trace producers (the functional simulator —
+ * our Pixie substitute — trace files, or synthetic generators) and the
+ * Paragraph analyzer. A record carries exactly what the DDG placement rule
+ * needs: the Table 1 operation class, the source/destination storage
+ * locations (registers or classified memory addresses), and whether the
+ * instruction creates a value / is a system call.
+ */
+
+#ifndef PARAGRAPH_TRACE_RECORD_HPP
+#define PARAGRAPH_TRACE_RECORD_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/op_class.hpp"
+
+namespace paragraph {
+namespace trace {
+
+/** Memory segment of an accessed address; drives the renaming switches. */
+enum class Segment : uint8_t
+{
+    None,  ///< not a memory operand
+    Data,  ///< static data (globals); non-stack
+    Heap,  ///< dynamic allocation; non-stack
+    Stack, ///< procedure frames
+};
+
+/** Human-readable segment name. */
+const char *segmentName(Segment seg);
+
+/** One source or destination storage location. */
+struct Operand
+{
+    enum class Kind : uint8_t { None, IntReg, FpReg, Mem };
+
+    Kind kind = Kind::None;
+    Segment seg = Segment::None; ///< meaningful only for Kind::Mem
+    uint64_t id = 0;             ///< register index, or memory address
+
+    /** Integer-register operand. */
+    static Operand
+    intReg(uint8_t idx)
+    {
+        return Operand{Kind::IntReg, Segment::None, idx};
+    }
+
+    /** FP-register operand. */
+    static Operand
+    fpReg(uint8_t idx)
+    {
+        return Operand{Kind::FpReg, Segment::None, idx};
+    }
+
+    /** Memory operand at @p addr inside @p seg. */
+    static Operand
+    mem(uint64_t addr, Segment seg)
+    {
+        return Operand{Kind::Mem, seg, addr};
+    }
+
+    bool valid() const { return kind != Kind::None; }
+    bool isMem() const { return kind == Kind::Mem; }
+
+    bool operator==(const Operand &other) const = default;
+};
+
+/**
+ * Unique 64-bit storage-location key for the live well. The top two bits
+ * tag the namespace (memory / int reg / FP reg) so register indices can
+ * never collide with addresses.
+ */
+inline uint64_t
+locationKey(const Operand &op)
+{
+    switch (op.kind) {
+      case Operand::Kind::IntReg:
+        return (1ULL << 62) | op.id;
+      case Operand::Kind::FpReg:
+        return (2ULL << 62) | op.id;
+      case Operand::Kind::Mem:
+        return op.id & ~(3ULL << 62);
+      default:
+        return ~0ULL;
+    }
+}
+
+/** Maximum number of source operands a record can carry. */
+constexpr int maxSrcs = 3;
+
+/** One dynamic instruction. */
+struct TraceRecord
+{
+    isa::OpClass cls = isa::OpClass::IntAlu;
+    bool createsValue = false; ///< false for branches/jumps (not in the DDG)
+    bool isSysCall = false;
+    bool isCondBranch = false; ///< conditional branch (prediction target)
+    bool branchTaken = false;  ///< outcome, meaningful when isCondBranch
+    uint8_t numSrcs = 0;
+    /**
+     * Bit i set when srcs[i] is the last read of that live value
+     * (filled by LastUseAnnotator; zero in raw traces).
+     */
+    uint8_t lastUseMask = 0;
+    Operand srcs[maxSrcs] = {};
+    Operand dest = {};
+    uint64_t pc = 0; ///< static instruction index (diagnostics only)
+
+    /** Append a source operand (ignores invalid operands). */
+    void
+    addSrc(const Operand &op)
+    {
+        if (op.valid() && numSrcs < maxSrcs)
+            srcs[numSrcs++] = op;
+    }
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+/** Render a record for diagnostics. */
+std::string toString(const TraceRecord &rec);
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_RECORD_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TraceStats: first-order metrics of a trace (operation frequencies).
+ *
+ * These are the "simple first-order metrics" the paper contrasts DDG
+ * analysis against; they also feed the Table 2 benchmark-inventory report
+ * (instruction counts, syscall counts, per-class mix).
+ */
+
+#ifndef PARAGRAPH_TRACE_STATS_HPP
+#define PARAGRAPH_TRACE_STATS_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace trace {
+
+struct TraceStats
+{
+    uint64_t totalInstructions = 0;
+    uint64_t valueCreating = 0; ///< records placed in the DDG
+    uint64_t controlInstructions = 0;
+    uint64_t sysCalls = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t stackAccesses = 0;
+    uint64_t dataAccesses = 0; ///< data + heap (non-stack)
+    std::array<uint64_t, isa::numOpClasses> byClass = {};
+
+    /** Accumulate one record. */
+    void add(const TraceRecord &rec);
+
+    /** Accumulate an entire source (drains it; caller resets if needed). */
+    static TraceStats collect(TraceSource &src);
+
+    /** Fraction of instructions that are FP operations. */
+    double fpFraction() const;
+
+    /** Mean instructions between system calls (0 when no syscalls). */
+    double instructionsPerSysCall() const;
+};
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_STATS_HPP

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * MiniC sources for the FORTRAN floating-point analogs:
+ * matrix300, tomcatv, fpppp, nasker, doduc.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace paragraph {
+namespace workloads {
+
+/*
+ * matrix300 analog: DAXPY-formulated matrix multiply (order <= 96). The
+ * matrices are procedure locals, so every array access hits the *stack*
+ * segment, and the spilled middle-loop bookkeeping is rewritten in its
+ * frame slot every iteration — the paper singles matrix300 out as needing
+ * stack renaming precisely because of such non-register-allocatable
+ * stack values.
+ *
+ * Inputs: n (matrix order, <= 96), reps.
+ */
+const char *const srcMatrix300 = R"(
+// Triple-loop DAXPY-form multiply, all in one routine as the FORTRAN
+// compiler emits it. The matrices are procedure locals (stack segment);
+// the middle-loop index k and repetition counter r are compiler spills,
+// rewritten in their frame slots every middle iteration — the stack
+// storage dependence that register renaming alone cannot remove.
+void main() {
+    float a[96][96];
+    float b[96][96];
+    float c[96][96];
+    int j;
+    int i;
+    int n;
+    int reps;
+    int k;
+    int r;
+    float t;
+    float s;
+
+    n = read_int();
+    reps = read_int();
+
+    for (i = 0; i < n; i = i + 1) {
+        for (k = 0; k < n; k = k + 1) {
+            a[i][k] = itof(i - k) * 0.5;
+            b[i][k] = itof(i + 2 * k) * 0.25;
+            c[i][k] = 0.0;
+        }
+    }
+
+    for (r = 0; r < reps; r = r + 1) {
+        for (i = 0; i < n; i = i + 1) {
+            for (k = 0; k < n; k = k + 1) {
+                t = a[i][k];
+                for (j = 0; j < n; j = j + 1) {
+                    c[i][j] = c[i][j] + t * b[k][j];
+                }
+            }
+        }
+    }
+
+    s = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + c[i][i];
+    }
+    print_float(s);
+}
+)";
+
+/*
+ * tomcatv analog: Jacobi relaxation sweeps over two mesh grids held in
+ * the routine's frame (stack segment), with spilled loop bookkeeping
+ * rewritten per iteration, as in matrix300.
+ *
+ * Inputs: interior size n (<= 64), iterations.
+ */
+const char *const srcTomcatv = R"(
+// Jacobi relaxation, ping-ponging between two stack-resident grids in a
+// single routine. The sweep counter it and the address temporary jj are
+// compiler spills in the frame; jj is rewritten every inner iteration,
+// so without stack renaming the sweeps serialize through its slot.
+void main() {
+    float x[66][66];
+    float y[66][66];
+    int j;
+    int i;
+    int n;
+    int iters;
+    int it;
+    int jj;
+
+    n = read_int();
+    iters = read_int();
+
+    for (i = 0; i < n + 2; i = i + 1) {
+        for (j = 0; j < n + 2; j = j + 1) {
+            x[i][j] = itof(i * j) * 0.001 + itof(i - j) * 0.01;
+            y[i][j] = x[i][j];
+        }
+    }
+
+    for (it = 0; it < iters; it = it + 1) {
+        for (i = 1; i < n + 1; i = i + 1) {
+            for (j = 1; j < n + 1; j = j + 1) {
+                jj = j + 1;
+                y[i][j] = 0.25 * (x[i - 1][j] + x[i + 1][j]
+                                  + x[i][j - 1] + x[i][jj]);
+            }
+        }
+        for (i = 1; i < n + 1; i = i + 1) {
+            for (j = 1; j < n + 1; j = j + 1) {
+                jj = j + 1;
+                x[i][j] = 0.25 * (y[i - 1][j] + y[i + 1][j]
+                                  + y[i][j - 1] + y[i][jj]);
+            }
+        }
+    }
+
+    print_float(x[n / 2][n / 2]);
+}
+)";
+
+/*
+ * fpppp analog: electron-integral-style shells. Each shell runs a long
+ * FP-dense block that *overwrites* global (COMMON-block) scratch arrays and
+ * accumulates into a result table. Successive shells touch the same scratch
+ * locations, so the data segment must be renamed before shells can overlap —
+ * the signature the paper reports for fpppp (81 -> 2,000).
+ *
+ * Inputs: number of shells.
+ */
+const char *const srcFpppp = R"(
+float f0[512];
+float f1[512];
+float f2[512];
+float f3[512];
+float result[512];
+
+void shell(int s) {
+    int i;
+    int k;
+    float q;
+    float r;
+    float u;
+    float v;
+    float w;
+    float z;
+    w = 0.0;
+    for (i = 0; i < 64; i = i + 1) {
+        q = f0[i] * 1.1 + f1[i] * 0.3;
+        r = f0[i] - f1[i] * 0.9;
+        u = q * r + 0.77;
+        v = u * q - r * 0.5;
+        z = u * v - (q * 0.25 + r * r) * 1.31 + q;
+        f2[i] = u + v * r + z * 0.125;
+        f3[i] = v - u * r + z * 0.0625;
+        result[s & 511] = result[s & 511] + f2[i] * f3[i] - z * 0.001;
+        if (i < 16) {
+            w = w + f2[i] * 0.03125 - f3[i] * 0.015625;
+        }
+    }
+    // Shell epilogue: an indexed gather whose address comes off the
+    // 16-step running sum, so the scratch array has a *deep* reader.
+    // Until the data segment is renamed, the next shell cannot overwrite
+    // that element before this late load fires — the cross-shell
+    // serialization fpppp exhibits in Table 4.
+    k = ftoi(w * 16.0) & 15;
+    result[(s + 1) & 511] = result[(s + 1) & 511]
+        + f2[k] + f3[1] * 0.005;
+}
+
+void main() {
+    int s;
+    int n;
+    int i;
+
+    n = read_int();
+
+    for (i = 0; i < 512; i = i + 1) {
+        f0[i] = itof(i) * 0.01;
+        f1[i] = itof(511 - i) * 0.02;
+        f2[i] = 0.0;
+        f3[i] = 0.0;
+        result[i] = 0.0;
+    }
+
+    for (s = 0; s < n; s = s + 1) {
+        shell(s);
+    }
+
+    print_float(result[0]);
+}
+)";
+
+/*
+ * nasker analog: recurrence-bound numerical kernels (first-order linear
+ * recurrence, tridiagonal substitution, dot products) iterated over
+ * timesteps whose arrays are updated in place — true dependences, so no
+ * amount of renaming raises the parallelism much beyond register renaming,
+ * matching the paper's nasker row.
+ *
+ * Inputs: vector length n (<= 1024), timesteps.
+ */
+const char *const srcNasker = R"(
+float xv[1024];
+float av[1024];
+float bv[1024];
+float cv[1024];
+float dv[1024];
+float partial[32];
+
+void main() {
+    int n;
+    int steps;
+    int t;
+    int i;
+    float acc;
+    float prev;
+
+    n = read_int();
+    steps = read_int();
+
+    for (i = 0; i < n; i = i + 1) {
+        xv[i] = itof(i) * 0.001 + 0.5;
+        av[i] = 0.3 + itof(i & 15) * 0.01;
+        bv[i] = 1.9 + itof(i & 7) * 0.005;
+        cv[i] = 0.1 + itof(i & 3) * 0.002;
+        dv[i] = itof(n - i) * 0.0005;
+    }
+
+    for (t = 0; t < steps; t = t + 1) {
+        // Kernel 1: banded first-order recurrences — one independent
+        // 64-element chain per band, like VPENTA's per-plane solves.
+        for (i = 1; i < n; i = i + 1) {
+            if ((i & 63) != 0) {
+                xv[i] = av[i] + 0.49 * xv[i - 1];
+            } else {
+                xv[i] = av[i];
+            }
+        }
+        // Kernel 2: elementwise update (fully parallel).
+        for (i = 0; i < n; i = i + 1) {
+            dv[i] = dv[i] * 0.999 + xv[i] * 0.01;
+        }
+        // Kernel 3: banded forward substitution (64-element chains).
+        prev = 0.0;
+        for (i = 0; i < n; i = i + 1) {
+            if ((i & 63) == 0) {
+                prev = 0.0;
+            }
+            prev = (dv[i] - cv[i] * prev) / bv[i];
+            xv[i] = prev;
+        }
+        // Kernel 4: blocked dot product — 32 independent partial sums,
+        // then a short serial combine.
+        for (i = 0; i < 32; i = i + 1) {
+            partial[i] = 0.0;
+        }
+        for (i = 0; i < n; i = i + 1) {
+            partial[i & 31] = partial[i & 31] + xv[i] * dv[i];
+        }
+        acc = 0.0;
+        for (i = 0; i < 32; i = i + 1) {
+            acc = acc + partial[i];
+        }
+        av[t & 1023] = av[t & 1023] + acc * 0.0001;
+    }
+
+    print_float(xv[n / 2]);
+}
+)";
+
+/*
+ * doduc analog: Monte-Carlo particle tracking. 64 independent tracks each
+ * carry their own RNG state and energy, advanced by a branchy per-sample
+ * procedure — call-frame reuse gives the stack-renaming sensitivity the
+ * paper reports for doduc (30 -> 104).
+ *
+ * Inputs: steps (samples per track).
+ */
+const char *const srcDoduc = R"(
+int seeds[64];
+float energy[64];
+
+int lcg(int t) {
+    int s;
+    s = seeds[t] * 1103515245 + 12345;
+    seeds[t] = s;
+    return (s >> 16) & 32767;
+}
+
+float sample(float e, int t) {
+    int r;
+    int k;
+    float p;
+    float q;
+    float w;
+    r = lcg(t);
+    p = itof(r) * 0.000030517578125;
+    if (p < 0.3) {
+        q = e * 0.5 + p;
+    } else {
+        if (p < 0.7) {
+            q = e * 1.2 - p * 0.4;
+        } else {
+            q = sqrt(e + p);
+        }
+    }
+    // Cross-section evaluation: a few independent interaction terms.
+    w = 0.0;
+    for (k = 0; k < 3; k = k + 1) {
+        w = w + (q * 0.11 + p * itof(k)) * (e * 0.07 - p * 0.02)
+              + q * p * 0.013;
+    }
+    q = q + w * 0.0001;
+    if (q < 0.001) {
+        q = 1.0;
+    }
+    return q;
+}
+
+void main() {
+    int steps;
+    int s;
+    int t;
+    float acc;
+
+    steps = read_int();
+
+    for (t = 0; t < 64; t = t + 1) {
+        seeds[t] = 7 * t + 1;
+        energy[t] = 1.0 + itof(t) * 0.01;
+    }
+
+    for (s = 0; s < steps; s = s + 1) {
+        for (t = 0; t < 64; t = t + 1) {
+            energy[t] = sample(energy[t], t);
+        }
+    }
+
+    acc = 0.0;
+    for (t = 0; t < 64; t = t + 1) {
+        acc = acc + energy[t];
+    }
+    print_float(acc);
+}
+)";
+
+} // namespace workloads
+} // namespace paragraph

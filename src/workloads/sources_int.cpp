@@ -1,0 +1,442 @@
+/**
+ * @file
+ * MiniC sources for the C integer analogs: cc1, eqntott, espresso, xlisp.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace paragraph {
+namespace workloads {
+
+/*
+ * cc1 analog: compiler-style symbol processing. A pseudo-random token
+ * stream is interned into a hash table of heap-allocated chain nodes, with
+ * periodic output system calls (cc1 is the paper's most syscall-heavy
+ * benchmark, one per ~15k instructions). Pointer chasing and read-modify-
+ * write counters keep the available parallelism modest, as in Table 3.
+ *
+ * Inputs: tokens.
+ */
+const char *const srcCc1 = R"(
+int hashtab[512];
+int pool;
+int pool_next;
+
+// Position-based token hash: stands in for reading the token stream out of
+// a file buffer (no serial generator chain, as in the real front end).
+int token_at(int i) {
+    int x;
+    x = i * 1103515245 + 12345;
+    x = x ^ ((x >> 11) & 1048575);
+    return x & 2047;
+}
+
+void main() {
+    int n;
+    int i;
+    int tok;
+    int h;
+    int p;
+    int found;
+    int* q;
+
+    n = read_int();
+
+    // One arena allocation up front; nodes are carved out by pointer bump
+    // (user-level allocator, so interning does not syscall).
+    pool = alloc_int(16384);
+    pool_next = pool;
+
+    for (i = 0; i < 512; i = i + 1) {
+        hashtab[i] = 0;
+    }
+
+    for (i = 0; i < n; i = i + 1) {
+        tok = token_at(i);
+        h = (tok * 31) & 511;
+
+        p = hashtab[h];
+        found = 0;
+        while (p != 0) {
+            q = p;
+            if (q[0] == tok) {
+                q[1] = q[1] + 1;
+                found = 1;
+                p = 0;
+            } else {
+                p = q[2];
+            }
+        }
+        if (found == 0) {
+            q = pool_next;
+            pool_next = pool_next + 12;
+            q[0] = tok;
+            q[1] = 1;
+            q[2] = hashtab[h];
+            hashtab[h] = q;
+        }
+
+        if ((i & 127) == 127) {
+            print_int(i);
+        }
+    }
+
+    // Dump a few chain lengths (more output syscalls).
+    for (i = 0; i < 8; i = i + 1) {
+        h = 0;
+        p = hashtab[i * 64];
+        while (p != 0) {
+            q = p;
+            h = h + q[1];
+            p = q[2];
+        }
+        print_int(h);
+    }
+}
+)";
+
+/*
+ * eqntott analog: the truth-table sort that dominates eqntott's profile.
+ * Terms are 4-word bit-vectors in a global table, ordered by a bottom-up
+ * merge sort whose passes ping-pong between the table and a global scratch
+ * array — overwritten every pass, which is why full memory renaming buys
+ * eqntott extra parallelism in Table 4.
+ *
+ * Inputs: number of terms (power of two, <= 2048), passes.
+ */
+const char *const srcEqntott = R"(
+int pt[16384];
+int tmp[16384];
+
+// Position-based hash: terms are generated independently of one another,
+// so table setup adds no serial dependence chain.
+int mix(int x) {
+    x = x * 1103515245;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 40503;
+    return x ^ ((x >> 9) & 4194303);
+}
+
+// Compare 8-word terms a and b: negative / zero / positive.
+int cmppt(int a, int b) {
+    int i;
+    int x;
+    int y;
+    for (i = 0; i < 8; i = i + 1) {
+        x = pt[a * 8 + i];
+        y = pt[b * 8 + i];
+        if (x < y) {
+            return 0 - 1;
+        }
+        if (x > y) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
+void copy_term(int* dst, int d, int* src, int s) {
+    dst[d * 8] = src[s * 8];
+    dst[d * 8 + 1] = src[s * 8 + 1];
+    dst[d * 8 + 2] = src[s * 8 + 2];
+    dst[d * 8 + 3] = src[s * 8 + 3];
+    dst[d * 8 + 4] = src[s * 8 + 4];
+    dst[d * 8 + 5] = src[s * 8 + 5];
+    dst[d * 8 + 6] = src[s * 8 + 6];
+    dst[d * 8 + 7] = src[s * 8 + 7];
+}
+
+void merge(int lo, int mid, int hi) {
+    int i;
+    int j;
+    int k;
+    i = lo;
+    j = mid;
+    k = lo;
+    while (i < mid && j < hi) {
+        if (cmppt(i, j) <= 0) {
+            copy_term(tmp, k, pt, i);
+            i = i + 1;
+        } else {
+            copy_term(tmp, k, pt, j);
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i < mid) {
+        copy_term(tmp, k, pt, i);
+        i = i + 1;
+        k = k + 1;
+    }
+    while (j < hi) {
+        copy_term(tmp, k, pt, j);
+        j = j + 1;
+        k = k + 1;
+    }
+    for (i = lo; i < hi; i = i + 1) {
+        copy_term(pt, i, tmp, i);
+    }
+}
+
+void sort(int n) {
+    int width;
+    int lo;
+    int mid;
+    int hi;
+    width = 1;
+    while (width < n) {
+        lo = 0;
+        while (lo < n) {
+            mid = lo + width;
+            if (mid > n) {
+                mid = n;
+            }
+            hi = lo + 2 * width;
+            if (hi > n) {
+                hi = n;
+            }
+            merge(lo, mid, hi);
+            lo = lo + 2 * width;
+        }
+        width = 2 * width;
+    }
+}
+
+void main() {
+    int n;
+    int passes;
+    int p;
+    int i;
+    int check;
+
+    n = read_int();
+    passes = read_int();
+    check = 0;
+
+    for (p = 0; p < passes; p = p + 1) {
+        for (i = 0; i < n * 8; i = i + 1) {
+            pt[i] = mix(i + p * 65536) & 255;
+        }
+        sort(n);
+        for (i = 0; i < n; i = i + 1) {
+            check = check + pt[i * 8] * (i & 7);
+        }
+    }
+    print_int(check);
+}
+)";
+
+/*
+ * espresso analog: two-level cover minimization. Cubes are 4-word bitsets
+ * in a global table; each reduction pass recomputes global distance/cover
+ * scratch tables (overwritten per pass -> memory-renaming sensitivity) and
+ * drops cubes contained in another cube, using heap scratch from alloc_int.
+ *
+ * Inputs: cubes (<= 512), passes.
+ */
+const char *const srcEspresso = R"(
+int cubes[2048];
+int alive[512];
+int colcnt[4];
+
+// Position-based hash (no serial generator chain).
+int mix(int x) {
+    x = x * 1103515245;
+    x = x ^ ((x >> 13) & 262143);
+    x = x * 40503;
+    return x ^ ((x >> 9) & 4194303);
+}
+
+int popcount(int x) {
+    int c;
+    c = 0;
+    while (x != 0) {
+        c = c + (x & 1);
+        x = (x >> 1) & 2147483647;
+    }
+    return c;
+}
+
+// Does cube a contain cube b (b's bits all inside a)?
+int contains(int a, int b) {
+    int i;
+    int bw;
+    for (i = 0; i < 4; i = i + 1) {
+        bw = cubes[b * 4 + i];
+        if ((cubes[a * 4 + i] & bw) != bw) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+void main() {
+    int n;
+    int passes;
+    int p;
+    int i;
+    int j;
+    int w;
+    int removed;
+    int total;
+    int* dist;
+
+    n = read_int();
+    total = 0;
+    passes = read_int();
+
+    dist = alloc_int(512);
+
+    for (i = 0; i < n * 4; i = i + 1) {
+        cubes[i] = mix(i) | (mix(i + 7777) << 8);
+    }
+    for (i = 0; i < n; i = i + 1) {
+        alive[i] = 1;
+    }
+
+    for (p = 0; p < passes; p = p + 1) {
+        // Reset the shared column counters (global scratch rewrite).
+        for (w = 0; w < 4; w = w + 1) {
+            colcnt[w] = 0;
+        }
+        // Distance table: ones-count of each cube (global scratch rewrite).
+        for (i = 0; i < n; i = i + 1) {
+            w = popcount(cubes[i * 4]) + popcount(cubes[i * 4 + 1])
+                + popcount(cubes[i * 4 + 2]) + popcount(cubes[i * 4 + 3]);
+            dist[i] = w;
+        }
+        // Containment sweep: kill cubes covered by a larger one. The
+        // shared column counters are read-modify-written for every pair
+        // considered, as espresso's cofactor counting does.
+        removed = 0;
+        for (i = 0; i < n; i = i + 1) {
+            if (alive[i] == 1) {
+                for (j = 0; j < n; j = j + 1) {
+                    if (j != i && alive[j] == 1 && dist[j] >= dist[i]) {
+                        colcnt[dist[j] & 3] = colcnt[dist[j] & 3] + 1;
+                        if (contains(j, i)) {
+                            alive[i] = 0;
+                            removed = removed + 1;
+                            j = n;
+                        }
+                    }
+                }
+            }
+        }
+        // Mutate survivors so later passes differ.
+        for (i = 0; i < n; i = i + 1) {
+            if (alive[i] == 0) {
+                cubes[i * 4] = mix(i + p * 131) | (mix(i + p) << 8);
+                cubes[i * 4 + 1] = mix(i * 3 + p);
+                alive[i] = 1;
+            } else {
+                cubes[i * 4 + 2] = cubes[i * 4 + 2] ^ (1 << (i & 15));
+            }
+        }
+        total = total + removed;
+    }
+    print_int(total);
+    print_int(colcnt[0] + colcnt[3]);
+}
+)";
+
+/*
+ * xlisp analog: a bytecode interpreter. The interpreted program (an
+ * imperative countdown/accumulate loop, like the paper's prog-structure
+ * observation) executes on a virtual machine whose pc and stack-pointer
+ * recurrences serialize nearly everything — reproducing xlisp's
+ * distinctively flat, low-parallelism profile.
+ *
+ * Inputs: VM steps.
+ */
+const char *const srcXlisp = R"(
+int prog[64];
+int vstack[256];
+int vmem[64];
+
+void main() {
+    int maxsteps;
+    int steps;
+    int pc;
+    int sp;
+    int op;
+    int a;
+    int b;
+
+    maxsteps = read_int();
+
+    // Bytecode: outer loop decrementing vmem[0], inner accumulation into
+    // vmem[1]. Opcodes: 1 PUSHC k, 2 LOAD k, 3 STORE k, 4 ADD, 5 SUB,
+    // 6 JNZ addr (pops condition), 7 JMP addr, 8 PRINT, 0 RESTART.
+    prog[0] = 1;  prog[1] = 200;     // PUSHC 200
+    prog[2] = 3;  prog[3] = 0;       // STORE counter
+    prog[4] = 1;  prog[5] = 0;       // PUSHC 0
+    prog[6] = 3;  prog[7] = 1;       // STORE acc
+    // loop:
+    prog[8] = 2;  prog[9] = 1;       // LOAD acc
+    prog[10] = 2; prog[11] = 0;      // LOAD counter
+    prog[12] = 4;                    // ADD
+    prog[13] = 3; prog[14] = 1;      // STORE acc
+    prog[15] = 2; prog[16] = 0;      // LOAD counter
+    prog[17] = 1; prog[18] = 1;      // PUSHC 1
+    prog[19] = 5;                    // SUB
+    prog[20] = 3; prog[21] = 0;      // STORE counter
+    prog[22] = 2; prog[23] = 0;      // LOAD counter
+    prog[24] = 6; prog[25] = 8;      // JNZ loop
+    prog[26] = 2; prog[27] = 1;      // LOAD acc
+    prog[28] = 8;                    // PRINT
+    prog[29] = 0;                    // RESTART
+
+    pc = 0;
+    sp = 0;
+    steps = 0;
+    while (steps < maxsteps) {
+        op = prog[pc];
+        if (op == 1) {
+            vstack[sp] = prog[pc + 1];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else { if (op == 2) {
+            vstack[sp] = vmem[prog[pc + 1]];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else { if (op == 3) {
+            sp = sp - 1;
+            vmem[prog[pc + 1]] = vstack[sp];
+            pc = pc + 2;
+        } else { if (op == 4) {
+            sp = sp - 1;
+            b = vstack[sp];
+            a = vstack[sp - 1];
+            vstack[sp - 1] = a + b;
+            pc = pc + 1;
+        } else { if (op == 5) {
+            sp = sp - 1;
+            b = vstack[sp];
+            a = vstack[sp - 1];
+            vstack[sp - 1] = a - b;
+            pc = pc + 1;
+        } else { if (op == 6) {
+            sp = sp - 1;
+            if (vstack[sp] != 0) {
+                pc = prog[pc + 1];
+            } else {
+                pc = pc + 2;
+            }
+        } else { if (op == 7) {
+            pc = prog[pc + 1];
+        } else { if (op == 8) {
+            print_int(vmem[1]);
+            pc = pc + 1;
+        } else {
+            pc = 0;
+            sp = 0;
+        } } } } } } } }
+        steps = steps + 1;
+    }
+    print_int(vmem[1]);
+}
+)";
+
+} // namespace workloads
+} // namespace paragraph

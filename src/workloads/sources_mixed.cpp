@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MiniC source for the mixed int/FP analog: spice2g6.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace paragraph {
+namespace workloads {
+
+/*
+ * spice2g6 analog: circuit simulation transient loop. A sparse matrix in
+ * CSR form (global integer index arrays + FP values) is rebuilt from a
+ * nonlinear "device model" each timestep, then solved with Gauss-Seidel
+ * sweeps whose in-place updates form true-dependence chains. The
+ * conductance and right-hand-side tables are overwritten every timestep,
+ * giving the extra headroom under full memory renaming that Table 4 shows
+ * for spice (57 -> 111).
+ *
+ * Inputs: nodes (<= 256), timesteps.
+ */
+const char *const srcSpice = R"(
+int rowp[260];
+int cola[2080];
+float va[2080];
+float xv[256];
+float bv[256];
+float gv[256];
+int seed;
+
+int lcg() {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+void main() {
+    int n;
+    int steps;
+    int t;
+    int i;
+    int k;
+    int nnz;
+    float sum;
+    float diag;
+    float xi;
+
+    n = read_int();
+    steps = read_int();
+    seed = 16180339;
+
+    // Build a sparse pattern: ~8 entries per row, diagonal first.
+    nnz = 0;
+    for (i = 0; i < n; i = i + 1) {
+        rowp[i] = nnz;
+        cola[nnz] = i;
+        va[nnz] = 4.0;
+        nnz = nnz + 1;
+        for (k = 0; k < 7; k = k + 1) {
+            // Keep columns inside this row's 16-node subcircuit: the
+            // matrix is block-diagonal (16 independent partitions), a
+            // narrow-banded circuit topology.
+            cola[nnz] = (i & 240) | (lcg() & 15);
+            va[nnz] = 0.1 + itof(lcg() & 255) * 0.001;
+            nnz = nnz + 1;
+        }
+    }
+    rowp[n] = nnz;
+
+    for (i = 0; i < n; i = i + 1) {
+        xv[i] = 0.1 + itof(i) * 0.001;
+        bv[i] = 1.0;
+        gv[i] = 0.0;
+    }
+
+    for (t = 0; t < steps; t = t + 1) {
+        // Device model evaluation: nonlinear conductances (overwrites gv).
+        for (i = 0; i < n; i = i + 1) {
+            xi = xv[i];
+            if (xi < 0.5) {
+                gv[i] = xi * xi * 3.0 + 0.2;
+            } else {
+                gv[i] = sqrt(xi) + xi * 0.25;
+            }
+        }
+        // Load the RHS (overwrites bv).
+        for (i = 0; i < n; i = i + 1) {
+            bv[i] = gv[i] * 0.8 + itof(t & 15) * 0.01;
+        }
+        // Two Gauss-Seidel sweeps: in-place x updates (true-dep chain).
+        for (k = 0; k < 2; k = k + 1) {
+            for (i = 0; i < n; i = i + 1) {
+                sum = bv[i];
+                diag = va[rowp[i]];
+                for (nnz = rowp[i] + 1; nnz < rowp[i + 1]; nnz = nnz + 1) {
+                    sum = sum - va[nnz] * xv[cola[nnz]];
+                }
+                xv[i] = sum / diag;
+            }
+        }
+    }
+
+    print_float(xv[0]);
+}
+)";
+
+} // namespace workloads
+} // namespace paragraph

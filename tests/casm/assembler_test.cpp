@@ -1,0 +1,244 @@
+// Tests for the two-pass assembler.
+#include <gtest/gtest.h>
+
+#include "casm/assembler.hpp"
+#include "isa/registers.hpp"
+#include "support/panic.hpp"
+
+using namespace paragraph;
+using namespace paragraph::casm;
+using paragraph::isa::Opcode;
+
+TEST(Assembler, EmptySourceIsEmptyProgram)
+{
+    Program p = assemble("");
+    EXPECT_TRUE(p.text.empty());
+    EXPECT_TRUE(p.data.empty());
+    EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, SimpleInstructionForms)
+{
+    Program p = assemble(R"(
+        add t0, t1, t2
+        addi sp, sp, -32
+        li v0, 5
+        lui t3, 0x1000
+        move a0, v0
+        lw t0, 8(sp)
+        sw t1, 12(sp)
+        l.d f2, 0(t0)
+        s.d f4, 8(t0)
+        add.d f0, f2, f4
+        cvt.d.w f6, t0
+        cvt.w.d t5, f6
+        c.lt.d t6, f0, f2
+        jr ra
+        syscall
+        nop
+)");
+    ASSERT_EQ(p.text.size(), 16u);
+    EXPECT_EQ(p.text[0].op, Opcode::Add);
+    EXPECT_EQ(p.text[0].rd, isa::regT0);
+    EXPECT_EQ(p.text[0].rs, isa::regT1);
+    EXPECT_EQ(p.text[0].rt, isa::regT2);
+    EXPECT_EQ(p.text[1].imm, -32);
+    EXPECT_EQ(p.text[2].op, Opcode::Li);
+    EXPECT_EQ(p.text[2].imm, 5);
+    EXPECT_EQ(p.text[3].imm, 0x1000);
+    EXPECT_EQ(p.text[5].op, Opcode::Lw);
+    EXPECT_EQ(p.text[5].rs, isa::regSp);
+    EXPECT_EQ(p.text[5].imm, 8);
+    EXPECT_EQ(p.text[6].rt, isa::regT1);
+    EXPECT_EQ(p.text[9].op, Opcode::FAdd);
+    EXPECT_EQ(p.text[13].op, Opcode::Jr);
+    EXPECT_EQ(p.text[14].op, Opcode::SysCall);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    Program p = assemble(R"(
+top:    addi t0, t0, 1
+        bne t0, t1, top
+        beq t0, t1, done
+        nop
+done:   jr ra
+)");
+    ASSERT_EQ(p.text.size(), 5u);
+    EXPECT_EQ(p.text[1].imm, 0); // top
+    EXPECT_EQ(p.text[2].imm, 4); // done
+    EXPECT_EQ(p.symbol("top"), 0u);
+    EXPECT_EQ(p.symbol("done"), 4u);
+}
+
+TEST(Assembler, EntryIsMainWhenPresent)
+{
+    Program p = assemble(R"(
+helper: jr ra
+main:   jal helper
+        syscall
+)");
+    EXPECT_EQ(p.entry, 1u);
+    EXPECT_EQ(p.text[1].imm, 0);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(R"(
+        .data
+words:  .word 1, 2, -1
+        .align 3
+dbl:    .double 1.5
+buf:    .space 16
+        .text
+        la t0, words
+        la t1, dbl
+)");
+    EXPECT_EQ(p.symbol("words"), MemoryLayout::dataBase);
+    // .word emits 12 bytes; .align 3 pads to 16.
+    EXPECT_EQ(p.symbol("dbl"), MemoryLayout::dataBase + 16);
+    EXPECT_EQ(p.symbol("buf"), MemoryLayout::dataBase + 24);
+    EXPECT_EQ(p.data.size(), 40u);
+    // Word encoding is little-endian.
+    EXPECT_EQ(p.data[0], 1u);
+    EXPECT_EQ(p.data[4], 2u);
+    EXPECT_EQ(p.data[8], 0xffu);
+    EXPECT_EQ(p.data[11], 0xffu);
+    // 1.5 == 0x3FF8000000000000.
+    EXPECT_EQ(p.data[16 + 7], 0x3f);
+    EXPECT_EQ(p.data[16 + 6], 0xf8);
+    // la expands to li with the absolute address.
+    EXPECT_EQ(p.text[0].op, Opcode::Li);
+    EXPECT_EQ(static_cast<uint64_t>(p.text[0].imm), MemoryLayout::dataBase);
+}
+
+TEST(Assembler, HeapBaseIsPageAlignedPastData)
+{
+    Program p = assemble(R"(
+        .data
+        .space 100
+)");
+    EXPECT_EQ(p.heapBase() % MemoryLayout::heapAlign, 0u);
+    EXPECT_GE(p.heapBase(), MemoryLayout::dataBase + 100);
+}
+
+TEST(Assembler, PseudoBranchExpansion)
+{
+    Program p = assemble(R"(
+loop:   bge t0, t1, loop
+        blt t0, t1, loop
+        ble t0, t1, loop
+        bgt t0, t1, loop
+        b loop
+)");
+    // Each compare-branch expands to slt+branch; b expands to j.
+    ASSERT_EQ(p.text.size(), 9u);
+    EXPECT_EQ(p.text[0].op, Opcode::Slt);
+    EXPECT_EQ(p.text[0].rd, isa::regAt);
+    EXPECT_EQ(p.text[1].op, Opcode::Beq); // bge: !(t0<t1)
+    EXPECT_EQ(p.text[3].op, Opcode::Bne); // blt: t0<t1
+    EXPECT_EQ(p.text[4].rs, isa::regT1);  // ble swaps operands
+    EXPECT_EQ(p.text[5].op, Opcode::Beq);
+    EXPECT_EQ(p.text[7].op, Opcode::Bne); // bgt
+    EXPECT_EQ(p.text[8].op, Opcode::J);
+    // Labels after pseudo expansion still resolve to instruction indices.
+    EXPECT_EQ(p.text[8].imm, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+# full-line comment
+        nop      # trailing comment
+
+        nop
+)");
+    EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, MultipleLabelsOneLocation)
+{
+    Program p = assemble(R"(
+a: b:   nop
+)");
+    EXPECT_EQ(p.symbol("a"), 0u);
+    EXPECT_EQ(p.symbol("b"), 0u);
+}
+
+TEST(Assembler, AbsoluteAddressOperand)
+{
+    Program p = assemble(R"(
+        .data
+var:    .word 7
+        .text
+        lw t0, var
+)");
+    EXPECT_EQ(p.text[0].rs, isa::regZero);
+    EXPECT_EQ(static_cast<uint64_t>(p.text[0].imm), MemoryLayout::dataBase);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), FatalError);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), FatalError);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    EXPECT_THROW(assemble("frob t0, t1\n"), FatalError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    EXPECT_THROW(assemble("add t0, t1\n"), FatalError);
+    EXPECT_THROW(assemble("nop t0\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadRegister)
+{
+    EXPECT_THROW(assemble("add q9, t1, t2\n"), FatalError);
+    EXPECT_THROW(assemble("add.d t0, f1, f2\n"), FatalError); // int reg in FP slot
+}
+
+TEST(AssemblerErrors, InstructionInDataSegment)
+{
+    EXPECT_THROW(assemble(".data\nadd t0, t1, t2\n"), FatalError);
+}
+
+TEST(AssemblerErrors, DirectiveInTextSegment)
+{
+    EXPECT_THROW(assemble(".word 5\n"), FatalError);
+}
+
+TEST(AssemblerErrors, BadDirectiveValues)
+{
+    EXPECT_THROW(assemble(".data\n.space -4\n"), FatalError);
+    EXPECT_THROW(assemble(".data\n.word oops\n"), FatalError);
+    EXPECT_THROW(assemble(".data\n.double oops\n"), FatalError);
+    EXPECT_THROW(assemble(".data\n.align 40\n"), FatalError);
+    EXPECT_THROW(assemble(".data\n.bogus 1\n"), FatalError);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange)
+{
+    EXPECT_THROW(assemble("li t0, 99999999999\n"), FatalError);
+}
+
+TEST(Assembler, DisassembleRoundTrip)
+{
+    // Program::disassemble output re-assembles to the same text segment
+    // (labels become @index operands, so compare via disassembly equality).
+    Program p = assemble(R"(
+main:   li t0, 10
+loop:   addi t0, t0, -1
+        bgtz t0, loop
+        jr ra
+)");
+    std::string listing = p.disassemble();
+    EXPECT_NE(listing.find("li t0, 10"), std::string::npos);
+    EXPECT_NE(listing.find("bgtz t0, @1"), std::string::npos);
+}

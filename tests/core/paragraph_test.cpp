@@ -1,0 +1,343 @@
+// Unit tests for the Paragraph engine: placement rules, latencies,
+// firewalls, windows, renaming switches, metrics, and bounds.
+#include <gtest/gtest.h>
+
+#include "core/paragraph.hpp"
+#include "tests/core/trace_helpers.hpp"
+
+using namespace paragraph;
+using namespace paragraph::core;
+using namespace paragraph::testhelpers;
+
+TEST(Placement, LoadImmediateGoesToTopLevel)
+{
+    Paragraph engine;
+    engine.process(alu(1, {})); // no sources
+    EXPECT_EQ(engine.lastPlacedLevel(), 0);
+}
+
+TEST(Placement, ChainFollowsLatency)
+{
+    Paragraph engine;
+    engine.process(alu(1, {}));                                 // L0
+    engine.process(typed(isa::OpClass::IntMul, 2, {1}));        // 0+6 -> L6
+    EXPECT_EQ(engine.lastPlacedLevel(), 6);
+    engine.process(typed(isa::OpClass::IntDiv, 3, {2}));        // 6+12 -> L18
+    EXPECT_EQ(engine.lastPlacedLevel(), 18);
+    engine.process(typed(isa::OpClass::FpAddSub, 4, {3}));      // +6 -> L24
+    EXPECT_EQ(engine.lastPlacedLevel(), 24);
+    engine.process(alu(5, {4}));                                // +1 -> L25
+    EXPECT_EQ(engine.lastPlacedLevel(), 25);
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.criticalPathLength, 26u);
+}
+
+TEST(Placement, CustomLatencyTableHonored)
+{
+    AnalysisConfig cfg;
+    cfg.latency[static_cast<size_t>(isa::OpClass::IntAlu)] = 3;
+    Paragraph engine(cfg);
+    engine.process(alu(1, {}));
+    EXPECT_EQ(engine.lastPlacedLevel(), 2); // occupies levels 0..2
+    engine.process(alu(2, {1}));
+    EXPECT_EQ(engine.lastPlacedLevel(), 5);
+}
+
+TEST(Placement, IndependentOpsShareLevels)
+{
+    Paragraph engine;
+    for (uint8_t r = 1; r <= 6; ++r)
+        engine.process(alu(r, {}));
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.criticalPathLength, 1u);
+    EXPECT_DOUBLE_EQ(res.availableParallelism, 6.0);
+}
+
+TEST(Placement, PreExistingValuesDoNotDelay)
+{
+    Paragraph engine;
+    engine.process(alu(1, {7, 8})); // r7, r8 never written: pre-existing
+    EXPECT_EQ(engine.lastPlacedLevel(), 0);
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.preExistingValues, 2u);
+}
+
+TEST(Placement, MemoryRawChain)
+{
+    Paragraph engine;
+    engine.process(alu(1, {}));          // L0
+    engine.process(store(0x100, 1));     // L1 (reads r1@0)
+    engine.process(load(2, 0x100));      // L2
+    EXPECT_EQ(engine.lastPlacedLevel(), 2);
+}
+
+TEST(Placement, ControlRecordsAreNotPlaced)
+{
+    Paragraph engine;
+    engine.process(branch({1}));
+    EXPECT_EQ(engine.lastPlacedLevel(), -1);
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.instructions, 1u);
+    EXPECT_EQ(res.placedOps, 0u);
+    EXPECT_EQ(res.criticalPathLength, 0u);
+}
+
+TEST(Firewall, ConservativeSysCallStallsLaterOps)
+{
+    Paragraph engine(AnalysisConfig::dataflowConservative());
+    engine.process(typed(isa::OpClass::IntMul, 1, {})); // L5 (deepest)
+    engine.process(syscall());                          // L0; firewall at 6
+    engine.process(alu(3, {}));                         // floor: L6
+    EXPECT_EQ(engine.lastPlacedLevel(), 6);
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.firewalls, 1u);
+    EXPECT_EQ(res.sysCalls, 1u);
+}
+
+TEST(Firewall, OptimisticSysCallIgnored)
+{
+    Paragraph engine(AnalysisConfig::dataflowOptimistic());
+    engine.process(typed(isa::OpClass::IntMul, 1, {}));
+    engine.process(syscall());
+    EXPECT_EQ(engine.lastPlacedLevel(), -1); // not placed
+    engine.process(alu(3, {}));
+    EXPECT_EQ(engine.lastPlacedLevel(), 0);
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.firewalls, 0u);
+    EXPECT_EQ(res.sysCalls, 1u); // still counted
+}
+
+TEST(Firewall, SysCallValueStillFlowsWhenConservative)
+{
+    Paragraph engine(AnalysisConfig::dataflowConservative());
+    engine.process(syscall()); // writes v0 at L0
+    engine.process(alu(3, {2})); // reads v0
+    EXPECT_EQ(engine.lastPlacedLevel(), 1);
+}
+
+TEST(StorageDeps, WawOnUnreadValue)
+{
+    AnalysisConfig cfg;
+    cfg.renameRegisters = false;
+    Paragraph engine(cfg);
+    engine.process(typed(isa::OpClass::IntMul, 1, {})); // r1 created at L5
+    engine.process(alu(1, {}));                         // rewrite r1: must follow
+    EXPECT_EQ(engine.lastPlacedLevel(), 6);
+}
+
+TEST(StorageDeps, WarWaitsForReader)
+{
+    AnalysisConfig cfg;
+    cfg.renameRegisters = false;
+    Paragraph engine(cfg);
+    engine.process(alu(1, {}));                          // r1@0
+    engine.process(typed(isa::OpClass::IntMul, 2, {1})); // reads r1, L6
+    engine.process(alu(1, {}));                          // overwrite r1
+    EXPECT_EQ(engine.lastPlacedLevel(), 7); // after the reader completes
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.storageDelayedOps, 1u);
+}
+
+TEST(StorageDeps, SegmentSelectivity)
+{
+    // Stack renaming off, data renaming on: only stack rewrites stall.
+    AnalysisConfig cfg;
+    cfg.renameStack = false;
+    cfg.renameData = true;
+    Paragraph stack_engine(cfg);
+    stack_engine.process(alu(1, {}));
+    stack_engine.process(store(0x100, 1, Segment::Stack)); // L1
+    stack_engine.process(store(0x100, 1, Segment::Stack)); // WAW -> L2
+    EXPECT_EQ(stack_engine.lastPlacedLevel(), 2);
+
+    Paragraph data_engine(cfg);
+    data_engine.process(alu(1, {}));
+    data_engine.process(store(0x200, 1, Segment::Data)); // L1
+    data_engine.process(store(0x200, 1, Segment::Data)); // renamed -> L1
+    EXPECT_EQ(data_engine.lastPlacedLevel(), 1);
+
+    // Heap follows the data switch.
+    Paragraph heap_engine(cfg);
+    heap_engine.process(alu(1, {}));
+    heap_engine.process(store(0x300, 1, Segment::Heap));
+    heap_engine.process(store(0x300, 1, Segment::Heap));
+    EXPECT_EQ(heap_engine.lastPlacedLevel(), 1);
+}
+
+TEST(Window, SizeOneSerializesEverything)
+{
+    AnalysisConfig cfg = AnalysisConfig::windowed(1);
+    Paragraph engine(cfg);
+    // Six independent immediates: with W=1 each lands strictly below the
+    // previous one.
+    for (uint8_t r = 1; r <= 6; ++r) {
+        engine.process(alu(r, {}));
+        EXPECT_EQ(engine.lastPlacedLevel(), r - 1);
+    }
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.criticalPathLength, 6u);
+    EXPECT_DOUBLE_EQ(res.availableParallelism, 1.0);
+}
+
+TEST(Window, BoundsOpsPerLevel)
+{
+    AnalysisConfig cfg = AnalysisConfig::windowed(3);
+    Paragraph engine(cfg);
+    for (uint8_t i = 0; i < 12; ++i)
+        engine.process(alu(static_cast<uint8_t>(1 + (i % 6)), {}));
+    AnalysisResult res = engine.finish();
+    // 12 independent ops through a 3-wide window: exactly ceil(12/3) + ...
+    // at least 4 levels; and no level can exceed 3 ops.
+    EXPECT_GE(res.criticalPathLength, 4u);
+    for (const auto &pt : res.profile.series())
+        EXPECT_LE(pt.opsPerLevel, 3.0);
+}
+
+TEST(Window, UnplacedRecordsOccupySlots)
+{
+    // Branches take window slots but leave no firewall.
+    AnalysisConfig cfg = AnalysisConfig::windowed(2);
+    Paragraph engine(cfg);
+    engine.process(branch({1}));
+    engine.process(branch({1}));
+    engine.process(alu(1, {}));
+    EXPECT_EQ(engine.lastPlacedLevel(), 0); // no floor raised
+}
+
+TEST(Window, LargeWindowEqualsUnlimited)
+{
+    TraceBuffer buf = randomTrace(42, 2000);
+    trace::BufferSource a(buf), b(buf);
+    Paragraph unlimited(AnalysisConfig::dataflowConservative());
+    AnalysisResult r1 = unlimited.analyze(a);
+    Paragraph windowed(AnalysisConfig::windowed(1u << 20));
+    AnalysisResult r2 = windowed.analyze(b);
+    EXPECT_EQ(r1.criticalPathLength, r2.criticalPathLength);
+    EXPECT_EQ(r1.placedOps, r2.placedOps);
+}
+
+TEST(Metrics, ProfileMassEqualsPlacedOps)
+{
+    TraceBuffer buf = randomTrace(7, 5000);
+    trace::BufferSource src(buf);
+    Paragraph engine;
+    AnalysisResult res = engine.analyze(src);
+    EXPECT_EQ(res.profile.totalOps(), res.placedOps);
+    EXPECT_EQ(res.criticalPathLength, res.profile.maxLevel() + 1);
+    EXPECT_DOUBLE_EQ(res.availableParallelism,
+                     static_cast<double>(res.placedOps) /
+                         static_cast<double>(res.criticalPathLength));
+}
+
+TEST(Metrics, SharingCountsReaders)
+{
+    Paragraph engine;
+    engine.process(alu(1, {}));    // value v in r1
+    engine.process(alu(2, {1}));   // read 1
+    engine.process(alu(3, {1}));   // read 2
+    engine.process(alu(4, {1}));   // read 3
+    engine.process(alu(1, {}));    // overwrite: v dies with 3 uses
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.sharing.count(3), 1u);
+}
+
+TEST(Metrics, LifetimeSpansCreationToLastUse)
+{
+    Paragraph engine;
+    engine.process(alu(1, {}));                          // r1@0
+    engine.process(typed(isa::OpClass::IntMul, 2, {}));  // r2@5
+    engine.process(alu(3, {1, 2}));                      // @6 reads r1
+    engine.process(alu(1, {}));                          // r1 dies
+    AnalysisResult res = engine.finish();
+    // r1 lived from level 0 to its reader's level 6.
+    EXPECT_EQ(res.lifetimes.count(6), 1u);
+}
+
+TEST(Metrics, UnusedValueHasZeroLifetime)
+{
+    Paragraph engine;
+    engine.process(alu(1, {}));
+    engine.process(alu(1, {}));
+    AnalysisResult res = engine.finish();
+    // Both values of r1 die unread: the overwritten one and the one still
+    // live at finish().
+    EXPECT_EQ(res.lifetimes.count(0), 2u);
+    EXPECT_EQ(res.sharing.count(0), 2u);
+}
+
+TEST(Metrics, LiveWellPeakAndFinal)
+{
+    Paragraph engine;
+    for (uint8_t r = 1; r <= 5; ++r)
+        engine.process(alu(r, {}));
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.liveWellFinal, 5u);
+    EXPECT_GE(res.liveWellPeak, 5u);
+}
+
+TEST(Bounds, MaxInstructionsTruncates)
+{
+    AnalysisConfig cfg;
+    cfg.maxInstructions = 100;
+    TraceBuffer buf = randomTrace(3, 1000);
+    trace::BufferSource src(buf);
+    Paragraph engine(cfg);
+    AnalysisResult res = engine.analyze(src);
+    EXPECT_EQ(res.instructions, 100u);
+    EXPECT_TRUE(engine.done());
+}
+
+TEST(Bounds, EmptyTraceYieldsZeros)
+{
+    Paragraph engine;
+    AnalysisResult res = engine.finish();
+    EXPECT_EQ(res.instructions, 0u);
+    EXPECT_EQ(res.criticalPathLength, 0u);
+    EXPECT_DOUBLE_EQ(res.availableParallelism, 0.0);
+}
+
+TEST(Bounds, AnalyzeResetsBetweenRuns)
+{
+    TraceBuffer buf = randomTrace(9, 500);
+    trace::BufferSource src(buf);
+    Paragraph engine;
+    AnalysisResult first = engine.analyze(src);
+    src.reset();
+    AnalysisResult second = engine.analyze(src);
+    EXPECT_EQ(first.criticalPathLength, second.criticalPathLength);
+    EXPECT_EQ(first.placedOps, second.placedOps);
+    EXPECT_EQ(first.liveWellPeak, second.liveWellPeak);
+}
+
+TEST(Config, DescribeMentionsSwitches)
+{
+    EXPECT_NE(AnalysisConfig::dataflowConservative().describe().find(
+                  "syscalls=stall"),
+              std::string::npos);
+    EXPECT_NE(AnalysisConfig::dataflowOptimistic().describe().find(
+                  "syscalls=ignore"),
+              std::string::npos);
+    EXPECT_NE(AnalysisConfig::noRenaming().describe().find("rename=none"),
+              std::string::npos);
+    EXPECT_NE(AnalysisConfig::windowed(64).describe().find("window=64"),
+              std::string::npos);
+}
+
+TEST(Config, PresetSwitchValues)
+{
+    auto none = AnalysisConfig::noRenaming();
+    EXPECT_FALSE(none.renameRegisters);
+    EXPECT_FALSE(none.renameStack);
+    EXPECT_FALSE(none.renameData);
+
+    auto regs = AnalysisConfig::regsRenamed();
+    EXPECT_TRUE(regs.renameRegisters);
+    EXPECT_FALSE(regs.renameStack);
+
+    auto rs = AnalysisConfig::regsStackRenamed();
+    EXPECT_TRUE(rs.renameStack);
+    EXPECT_FALSE(rs.renameData);
+
+    auto all = AnalysisConfig::regsMemRenamed();
+    EXPECT_TRUE(all.renameData);
+}

@@ -1,0 +1,291 @@
+// Parameterized property tests over random traces and the workload suite:
+// the invariants that make DDG analysis trustworthy.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/ddg_builder.hpp"
+#include "core/paragraph.hpp"
+#include "tests/core/trace_helpers.hpp"
+#include "trace/last_use.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+using namespace paragraph::core;
+using namespace paragraph::testhelpers;
+
+// ---------------------------------------------------------------------------
+// Random-trace properties, swept over seeds via TEST_P.
+// ---------------------------------------------------------------------------
+
+class RandomTraceProperty : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    TraceBuffer trace_ = randomTrace(GetParam(), 4000);
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST_P(RandomTraceProperty, RenamingMonotonicallyIncreasesParallelism)
+{
+    AnalysisConfig configs[4] = {
+        AnalysisConfig::noRenaming(), AnalysisConfig::regsRenamed(),
+        AnalysisConfig::regsStackRenamed(), AnalysisConfig::regsMemRenamed()};
+    double par[4];
+    uint64_t placed[4];
+    for (int i = 0; i < 4; ++i) {
+        trace::BufferSource src(trace_);
+        Paragraph engine(configs[i]);
+        AnalysisResult res = engine.analyze(src);
+        par[i] = res.availableParallelism;
+        placed[i] = res.placedOps;
+    }
+    EXPECT_EQ(placed[0], placed[3]); // switches never change what is placed
+    EXPECT_LE(par[0], par[1] + 1e-9);
+    EXPECT_LE(par[1], par[2] + 1e-9);
+    EXPECT_LE(par[2], par[3] + 1e-9);
+}
+
+TEST_P(RandomTraceProperty, WindowMonotonicallyIncreasesParallelism)
+{
+    double prev = 0.0;
+    for (uint64_t w : {1u, 4u, 16u, 64u, 256u, 4096u}) {
+        trace::BufferSource src(trace_);
+        Paragraph engine(AnalysisConfig::windowed(w));
+        AnalysisResult res = engine.analyze(src);
+        EXPECT_GE(res.availableParallelism, prev - 1e-9) << "window " << w;
+        prev = res.availableParallelism;
+    }
+}
+
+TEST_P(RandomTraceProperty, RenamingHelpsUnderAFixedWindowToo)
+{
+    // The switches compose: with any window, removing storage dependencies
+    // can only shorten the critical path.
+    for (uint64_t w : {8u, 128u}) {
+        AnalysisConfig restricted = AnalysisConfig::windowed(w);
+        restricted.renameRegisters = false;
+        restricted.renameStack = false;
+        restricted.renameData = false;
+        AnalysisConfig renamed = AnalysisConfig::windowed(w);
+        trace::BufferSource a(trace_), b(trace_);
+        AnalysisResult r1 = Paragraph(restricted).analyze(a);
+        AnalysisResult r2 = Paragraph(renamed).analyze(b);
+        EXPECT_LE(r2.criticalPathLength, r1.criticalPathLength)
+            << "window " << w;
+    }
+}
+
+TEST_P(RandomTraceProperty, OptimisticSysCallsNeverReduceParallelism)
+{
+    trace::BufferSource a(trace_), b(trace_);
+    AnalysisResult cons =
+        Paragraph(AnalysisConfig::dataflowConservative()).analyze(a);
+    AnalysisResult opt =
+        Paragraph(AnalysisConfig::dataflowOptimistic()).analyze(b);
+    EXPECT_LE(cons.availableParallelism, opt.availableParallelism + 1e-9);
+    EXPECT_GE(cons.criticalPathLength, opt.criticalPathLength);
+}
+
+TEST_P(RandomTraceProperty, FuLimitsOnlyDeepenTheDdg)
+{
+    trace::BufferSource a(trace_), b(trace_);
+    AnalysisResult free_run =
+        Paragraph(AnalysisConfig::dataflowConservative()).analyze(a);
+    AnalysisConfig throttled = AnalysisConfig::dataflowConservative();
+    throttled.totalFuLimit = 4;
+    AnalysisResult limited = Paragraph(throttled).analyze(b);
+    EXPECT_GE(limited.criticalPathLength, free_run.criticalPathLength);
+    EXPECT_EQ(limited.placedOps, free_run.placedOps);
+}
+
+TEST_P(RandomTraceProperty, BaselineAgreesWithFullEngine)
+{
+    for (const AnalysisConfig &cfg :
+         {AnalysisConfig::dataflowConservative(),
+          AnalysisConfig::dataflowOptimistic(), AnalysisConfig::noRenaming(),
+          AnalysisConfig::regsRenamed()}) {
+        trace::BufferSource a(trace_), b(trace_);
+        AnalysisResult full = Paragraph(cfg).analyze(a);
+        BaselineResult fast = CriticalPathAnalyzer(cfg).analyze(b);
+        EXPECT_EQ(full.criticalPathLength, fast.criticalPathLength);
+        EXPECT_EQ(full.placedOps, fast.placedOps);
+        EXPECT_DOUBLE_EQ(full.availableParallelism,
+                         fast.availableParallelism);
+    }
+}
+
+TEST_P(RandomTraceProperty, DdgBuilderMatchesEngineLevels)
+{
+    for (const AnalysisConfig &cfg :
+         {AnalysisConfig::dataflowConservative(), AnalysisConfig::noRenaming(),
+          AnalysisConfig::windowed(32)}) {
+        Ddg ddg = buildDdg(trace_, cfg);
+        Paragraph engine(cfg);
+        std::vector<int64_t> engine_levels;
+        for (size_t i = 0; i < trace_.size(); ++i) {
+            engine.process(trace_[i]);
+            if (engine.lastPlacedLevel() >= 0)
+                engine_levels.push_back(engine.lastPlacedLevel());
+        }
+        AnalysisResult res = engine.finish();
+        ASSERT_EQ(ddg.nodes.size(), engine_levels.size());
+        for (size_t i = 0; i < ddg.nodes.size(); ++i)
+            ASSERT_EQ(ddg.nodes[i].level, engine_levels[i]) << "node " << i;
+        EXPECT_EQ(ddg.criticalPathLength, res.criticalPathLength);
+    }
+}
+
+TEST_P(RandomTraceProperty, WindowCapsOpsPerLevelExactly)
+{
+    constexpr uint64_t window = 8;
+    Ddg ddg = buildDdg(trace_, AnalysisConfig::windowed(window));
+    for (uint64_t count : ddg.levelHistogram())
+        EXPECT_LE(count, window);
+}
+
+TEST_P(RandomTraceProperty, TwoPassEvictionPreservesAllMetrics)
+{
+    TraceBuffer annotated = trace_;
+    trace::annotateLastUses(annotated);
+
+    trace::BufferSource a(trace_), b(annotated);
+    AnalysisConfig one_pass = AnalysisConfig::dataflowConservative();
+    AnalysisConfig two_pass = one_pass;
+    two_pass.useLastUseEviction = true;
+
+    AnalysisResult r1 = Paragraph(one_pass).analyze(a);
+    AnalysisResult r2 = Paragraph(two_pass).analyze(b);
+
+    EXPECT_EQ(r1.criticalPathLength, r2.criticalPathLength);
+    EXPECT_EQ(r1.placedOps, r2.placedOps);
+    EXPECT_DOUBLE_EQ(r1.lifetimes.mean(), r2.lifetimes.mean());
+    EXPECT_DOUBLE_EQ(r1.sharing.mean(), r2.sharing.mean());
+    // Eviction at last use can only shrink the live well.
+    EXPECT_LE(r2.liveWellPeak, r1.liveWellPeak);
+}
+
+TEST_P(RandomTraceProperty, FirewallsNeverReorderBelowFloor)
+{
+    // After any conservative syscall, no later op may land at or above the
+    // level the firewall was raised to.
+    trace::BufferSource src(trace_);
+    Paragraph engine(AnalysisConfig::dataflowConservative());
+    trace::TraceRecord rec;
+    int64_t floor = 0;
+    while (src.next(rec)) {
+        engine.process(rec);
+        if (engine.lastPlacedLevel() >= 0) {
+            ASSERT_GE(engine.lastPlacedLevel(), floor);
+        }
+        floor = engine.highestLevel();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload-level properties (small scale), one per SPEC analog via TEST_P.
+// ---------------------------------------------------------------------------
+
+class WorkloadProperty : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const workloads::Workload &
+    workload()
+    {
+        return workloads::WorkloadSuite::instance().find(GetParam());
+    }
+
+    std::unique_ptr<sim::MachineTraceSource>
+    source()
+    {
+        return workloads::WorkloadSuite::instance().makeSource(
+            workload(), workloads::Scale::Small);
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadProperty,
+                         ::testing::Values("cc1", "doduc", "eqntott",
+                                           "espresso", "fpppp", "matrix300",
+                                           "nasker", "spice2g6", "tomcatv",
+                                           "xlisp"),
+                         [](const auto &param_info) {
+                             std::string name = param_info.param;
+                             for (char &c : name) {
+                                 if (c == '-') {
+                                     c = '_';
+                                 }
+                             }
+                             return name;
+                         });
+
+TEST_P(WorkloadProperty, RunsToCleanExit)
+{
+    auto src = source();
+    trace::TraceRecord rec;
+    uint64_t n = 0;
+    while (src->next(rec))
+        ++n;
+    EXPECT_TRUE(src->machine().exited());
+    EXPECT_EQ(src->machine().exitCode(), 0);
+    EXPECT_GT(n, 1000u);
+}
+
+TEST_P(WorkloadProperty, TraceIsDeterministic)
+{
+    auto src = source();
+    trace::TraceBuffer first;
+    first.capture(*src);
+    src->reset();
+    trace::TraceBuffer second;
+    second.capture(*src);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); i += 97)
+        ASSERT_EQ(first[i], second[i]) << "record " << i;
+}
+
+TEST_P(WorkloadProperty, RenamingMonotone)
+{
+    double prev = 0.0;
+    for (const AnalysisConfig &cfg :
+         {AnalysisConfig::noRenaming(), AnalysisConfig::regsRenamed(),
+          AnalysisConfig::regsStackRenamed(),
+          AnalysisConfig::regsMemRenamed()}) {
+        auto src = source();
+        AnalysisResult res = Paragraph(cfg).analyze(*src);
+        EXPECT_GE(res.availableParallelism, prev - 1e-9) << cfg.describe();
+        prev = res.availableParallelism;
+    }
+}
+
+TEST_P(WorkloadProperty, WindowMonotone)
+{
+    double prev = 0.0;
+    for (uint64_t w : {1u, 16u, 256u, 16384u}) {
+        auto src = source();
+        AnalysisResult res = Paragraph(AnalysisConfig::windowed(w))
+                                 .analyze(*src);
+        EXPECT_GE(res.availableParallelism, prev - 1e-9) << "window " << w;
+        prev = res.availableParallelism;
+    }
+}
+
+TEST_P(WorkloadProperty, BaselineMatchesEngine)
+{
+    auto a = source();
+    auto b = source();
+    AnalysisConfig cfg = AnalysisConfig::dataflowConservative();
+    AnalysisResult full = Paragraph(cfg).analyze(*a);
+    BaselineResult fast = CriticalPathAnalyzer(cfg).analyze(*b);
+    EXPECT_EQ(full.criticalPathLength, fast.criticalPathLength);
+    EXPECT_EQ(full.placedOps, fast.placedOps);
+}
+
+TEST_P(WorkloadProperty, SerialWindowApproachesOne)
+{
+    auto src = source();
+    AnalysisResult res = Paragraph(AnalysisConfig::windowed(1)).analyze(*src);
+    // With a one-instruction window the machine is serial; multi-cycle
+    // latencies push parallelism *below* one operation per level.
+    EXPECT_LE(res.availableParallelism, 1.0 + 1e-9);
+    EXPECT_GT(res.availableParallelism, 0.05);
+}

@@ -1,0 +1,167 @@
+// Tests for the ISA definitions: Table 1 latencies, opcode metadata,
+// register naming, and the disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hpp"
+#include "isa/op_class.hpp"
+#include "isa/opcode.hpp"
+#include "isa/registers.hpp"
+
+using namespace paragraph::isa;
+
+// Paper Table 1: Instruction Class Operation Times.
+TEST(OpClassLatency, MatchesPaperTable1)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMul), 6u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 12u);
+    EXPECT_EQ(opLatency(OpClass::FpAddSub), 6u);
+    EXPECT_EQ(opLatency(OpClass::FpMul), 6u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 12u);
+    EXPECT_EQ(opLatency(OpClass::Load), 1u);
+    EXPECT_EQ(opLatency(OpClass::Store), 1u);
+    EXPECT_EQ(opLatency(OpClass::SysCall), 1u);
+}
+
+TEST(OpClassLatency, NamesAreStable)
+{
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "Integer ALU");
+    EXPECT_STREQ(opClassName(OpClass::FpDiv), "Floating Point Division");
+    EXPECT_STREQ(opClassName(OpClass::SysCall), "System Calls");
+}
+
+TEST(Opcode, ClassAssignments)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opcodeClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Rem), OpClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::FAdd), OpClass::FpAddSub);
+    EXPECT_EQ(opcodeClass(Opcode::FMul), OpClass::FpMul);
+    EXPECT_EQ(opcodeClass(Opcode::FDiv), OpClass::FpDiv);
+    EXPECT_EQ(opcodeClass(Opcode::FSqrt), OpClass::FpDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Lw), OpClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::Sd), OpClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::SysCall), OpClass::SysCall);
+    EXPECT_EQ(opcodeClass(Opcode::Beq), OpClass::Control);
+    EXPECT_EQ(opcodeClass(Opcode::J), OpClass::Control);
+    EXPECT_EQ(opcodeClass(Opcode::Jal), OpClass::Control);
+}
+
+TEST(Opcode, ControlDetection)
+{
+    EXPECT_TRUE(isControl(Opcode::Beq));
+    EXPECT_TRUE(isControl(Opcode::Jr));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_FALSE(isControl(Opcode::SysCall));
+}
+
+TEST(Opcode, NameRoundTrip)
+{
+    for (size_t i = 0; i < numOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        Opcode parsed;
+        ASSERT_TRUE(parseOpcodeName(opcodeName(op), parsed))
+            << opcodeName(op);
+        EXPECT_EQ(parsed, op);
+    }
+}
+
+TEST(Opcode, UnknownNameRejected)
+{
+    Opcode op;
+    EXPECT_FALSE(parseOpcodeName("frobnicate", op));
+    EXPECT_FALSE(parseOpcodeName("", op));
+    EXPECT_FALSE(parseOpcodeName("ADD", op)); // case-sensitive
+}
+
+TEST(Registers, AbiNames)
+{
+    EXPECT_EQ(intRegName(0), "zero");
+    EXPECT_EQ(intRegName(regSp), "sp");
+    EXPECT_EQ(intRegName(regRa), "ra");
+    EXPECT_EQ(intRegName(regT0), "t0");
+    EXPECT_EQ(fpRegName(12), "f12");
+}
+
+TEST(Registers, ParseVariants)
+{
+    uint8_t idx;
+    bool is_fp;
+    ASSERT_TRUE(parseRegName("t0", idx, is_fp));
+    EXPECT_EQ(idx, regT0);
+    EXPECT_FALSE(is_fp);
+
+    ASSERT_TRUE(parseRegName("$sp", idx, is_fp));
+    EXPECT_EQ(idx, regSp);
+
+    ASSERT_TRUE(parseRegName("r31", idx, is_fp));
+    EXPECT_EQ(idx, 31);
+    EXPECT_FALSE(is_fp);
+
+    ASSERT_TRUE(parseRegName("f7", idx, is_fp));
+    EXPECT_EQ(idx, 7);
+    EXPECT_TRUE(is_fp);
+
+    ASSERT_TRUE(parseRegName("$f31", idx, is_fp));
+    EXPECT_EQ(idx, 31);
+    EXPECT_TRUE(is_fp);
+}
+
+TEST(Registers, ParseRejectsBadNames)
+{
+    uint8_t idx;
+    bool is_fp;
+    EXPECT_FALSE(parseRegName("", idx, is_fp));
+    EXPECT_FALSE(parseRegName("$", idx, is_fp));
+    EXPECT_FALSE(parseRegName("t10", idx, is_fp));
+    EXPECT_FALSE(parseRegName("r32", idx, is_fp));
+    EXPECT_FALSE(parseRegName("f32", idx, is_fp));
+    EXPECT_FALSE(parseRegName("x3", idx, is_fp));
+    EXPECT_FALSE(parseRegName("r-1", idx, is_fp));
+}
+
+TEST(Disassemble, RepresentativeFormats)
+{
+    Instruction add{Opcode::Add, regT0, regT1, regT2, 0};
+    EXPECT_EQ(disassemble(add), "add t0, t1, t2");
+
+    Instruction addi{Opcode::Addi, regSp, regSp, 0, -16};
+    EXPECT_EQ(disassemble(addi), "addi sp, sp, -16");
+
+    Instruction li{Opcode::Li, regV0, 0, 0, 5};
+    EXPECT_EQ(disassemble(li), "li v0, 5");
+
+    Instruction lw{Opcode::Lw, regT0, regSp, 0, 8};
+    EXPECT_EQ(disassemble(lw), "lw t0, 8(sp)");
+
+    Instruction sw{Opcode::Sw, 0, regSp, regT1, 4};
+    EXPECT_EQ(disassemble(sw), "sw t1, 4(sp)");
+
+    Instruction fadd{Opcode::FAdd, 2, 4, 6, 0};
+    EXPECT_EQ(disassemble(fadd), "add.d f2, f4, f6");
+
+    Instruction ld{Opcode::Ld, 2, regSp, 0, 16};
+    EXPECT_EQ(disassemble(ld), "l.d f2, 16(sp)");
+
+    Instruction fcmp{Opcode::FCLt, regT3, 0, 2, 0};
+    EXPECT_EQ(disassemble(fcmp), "c.lt.d t3, f0, f2");
+
+    Instruction beq{Opcode::Beq, 0, regT0, regT1, 12};
+    EXPECT_EQ(disassemble(beq), "beq t0, t1, @12");
+
+    Instruction j{Opcode::J, 0, 0, 0, 3};
+    EXPECT_EQ(disassemble(j), "j @3");
+
+    Instruction jr{Opcode::Jr, 0, regRa, 0, 0};
+    EXPECT_EQ(disassemble(jr), "jr ra");
+
+    Instruction sys{Opcode::SysCall, 0, 0, 0, 0};
+    EXPECT_EQ(disassemble(sys), "syscall");
+
+    Instruction nop{Opcode::Nop, 0, 0, 0, 0};
+    EXPECT_EQ(disassemble(nop), "nop");
+
+    Instruction cvt{Opcode::CvtDW, 4, regT0, 0, 0};
+    EXPECT_EQ(disassemble(cvt), "cvt.d.w f4, t0");
+}

@@ -1,0 +1,556 @@
+// Differential execution tests for the MiniC compiler: compile, simulate,
+// and check program outputs against values computed directly in C++.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "minic/compiler.hpp"
+#include "minic/parser.hpp"
+#include "sim/machine.hpp"
+#include "support/panic.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct RunResult
+{
+    std::vector<int64_t> ints;
+    std::vector<double> floats;
+    int32_t exitCode;
+};
+
+RunResult
+runMiniC(const std::string &src, std::vector<int32_t> int_input = {},
+         std::vector<double> fp_input = {})
+{
+    casm::Program prog = minic::compile(src);
+    sim::Machine machine(prog);
+    machine.setIntInput(std::move(int_input));
+    machine.setFpInput(std::move(fp_input));
+    machine.run();
+    EXPECT_TRUE(machine.exited());
+    return RunResult{machine.intOutput(), machine.fpOutput(),
+                     machine.exitCode()};
+}
+
+} // namespace
+
+TEST(MiniC, ArithmeticAndPrecedence)
+{
+    auto r = runMiniC(R"(
+void main() {
+    print_int(2 + 3 * 4);
+    print_int((2 + 3) * 4);
+    print_int(10 - 4 - 3);
+    print_int(17 / 5);
+    print_int(17 % 5);
+    print_int(-7 + 2);
+    print_int(1 << 4);
+    print_int(256 >> 3);
+    print_int(0xF0 & 0x3C);
+    print_int(0xF0 | 0x0C);
+    print_int(0xF0 ^ 0xFF);
+    print_int(~0);
+}
+)");
+    std::vector<int64_t> expect = {14, 20, 3, 3, 2, -5, 16, 32,
+                                   0x30, 0xFC, 0x0F, -1};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, ComparisonsAndLogic)
+{
+    auto r = runMiniC(R"(
+void main() {
+    print_int(3 < 4);
+    print_int(4 < 3);
+    print_int(4 <= 4);
+    print_int(5 > 2);
+    print_int(5 >= 6);
+    print_int(7 == 7);
+    print_int(7 != 7);
+    print_int(1 && 2);
+    print_int(1 && 0);
+    print_int(0 || 3);
+    print_int(0 || 0);
+    print_int(!5);
+    print_int(!0);
+}
+)");
+    std::vector<int64_t> expect = {1, 0, 1, 1, 0, 1, 0, 1, 0, 1, 0, 0, 1};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, ShortCircuitSkipsSideEffects)
+{
+    auto r = runMiniC(R"(
+int count;
+int bump() {
+    count = count + 1;
+    return 1;
+}
+void main() {
+    count = 0;
+    if (0 && bump()) {}
+    print_int(count);
+    if (1 || bump()) {}
+    print_int(count);
+    if (1 && bump()) {}
+    print_int(count);
+}
+)");
+    std::vector<int64_t> expect = {0, 0, 1};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, ControlFlow)
+{
+    auto r = runMiniC(R"(
+void main() {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 1; i <= 10; i = i + 1) {
+        sum = sum + i;
+    }
+    print_int(sum);
+
+    i = 0;
+    while (i < 100) {
+        i = i + 7;
+        if (i > 50) {
+            break;
+        }
+    }
+    print_int(i);
+
+    sum = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) {
+            continue;
+        }
+        sum = sum + i;
+    }
+    print_int(sum);
+
+    if (sum > 20) {
+        print_int(1);
+    } else {
+        print_int(2);
+    }
+}
+)");
+    std::vector<int64_t> expect = {55, 56, 25, 1};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, RecursionFibAndAckermann)
+{
+    auto r = runMiniC(R"(
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int ack(int m, int n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+void main() {
+    print_int(fib(15));
+    print_int(ack(2, 3));
+}
+)");
+    std::vector<int64_t> expect = {610, 9};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, GlobalArraysAndInitializers)
+{
+    auto r = runMiniC(R"(
+int primes[5] = {2, 3, 5, 7, 11};
+int grid[4][4];
+void main() {
+    int i;
+    int j;
+    int sum;
+    sum = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        sum = sum + primes[i];
+    }
+    print_int(sum);
+
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4; j = j + 1) {
+            grid[i][j] = i * 10 + j;
+        }
+    }
+    print_int(grid[2][3]);
+    print_int(grid[3][0]);
+}
+)");
+    std::vector<int64_t> expect = {28, 23, 30};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, LocalArraysLiveOnStack)
+{
+    auto r = runMiniC(R"(
+void main() {
+    int local[8];
+    float flocal[4];
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        local[i] = i * i;
+    }
+    print_int(local[7]);
+    flocal[2] = 1.5;
+    print_float(flocal[2] * 2.0);
+    print_int(local[0]); // untouched after init
+}
+)");
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{49, 0}));
+    ASSERT_EQ(r.floats.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.floats[0], 3.0);
+}
+
+TEST(MiniC, PointersAndHeap)
+{
+    auto r = runMiniC(R"(
+void fill(int* p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 100 + i;
+    }
+}
+void main() {
+    int* a;
+    int* b;
+    a = alloc_int(10);
+    b = alloc_int(10);
+    fill(a, 10);
+    fill(b, 5);
+    print_int(a[9]);
+    print_int(b[4]);
+    b = a + 3;          // pointer arithmetic, scaled by 4 bytes
+    print_int(b[0]);
+    print_int(b[2]);
+}
+)");
+    std::vector<int64_t> expect = {109, 104, 103, 105};
+    EXPECT_EQ(r.ints, expect);
+}
+
+TEST(MiniC, ArrayDecayToFunctionParam)
+{
+    auto r = runMiniC(R"(
+float total(float* v, int n) {
+    int i;
+    float s;
+    s = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + v[i];
+    }
+    return s;
+}
+float rows[2][3];
+void main() {
+    rows[0][0] = 1.0;
+    rows[0][1] = 2.0;
+    rows[0][2] = 3.0;
+    rows[1][0] = 10.0;
+    print_float(total(rows[0], 3));
+    print_float(total(rows[1], 3));
+}
+)");
+    ASSERT_EQ(r.floats.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.floats[0], 6.0);
+    EXPECT_DOUBLE_EQ(r.floats[1], 10.0);
+}
+
+TEST(MiniC, FloatMath)
+{
+    auto r = runMiniC(R"(
+void main() {
+    float a;
+    float b;
+    a = 2.25;
+    b = 0.75;
+    print_float(a + b);
+    print_float(a - b);
+    print_float(a * b);
+    print_float(a / b);
+    print_float(-a);
+    print_float(sqrt(16.0));
+    print_float(itof(7) / 2.0);
+    print_int(ftoi(3.99));
+    print_int(ftoi(-1.5));
+    print_int(a < b);
+    print_int(a > b);
+    print_int(a == a);
+    print_int(a != b);
+    print_int(a >= b);
+    print_int(b <= a);
+}
+)");
+    ASSERT_EQ(r.floats.size(), 7u);
+    EXPECT_DOUBLE_EQ(r.floats[0], 3.0);
+    EXPECT_DOUBLE_EQ(r.floats[1], 1.5);
+    EXPECT_DOUBLE_EQ(r.floats[2], 1.6875);
+    EXPECT_DOUBLE_EQ(r.floats[3], 3.0);
+    EXPECT_DOUBLE_EQ(r.floats[4], -2.25);
+    EXPECT_DOUBLE_EQ(r.floats[5], 4.0);
+    EXPECT_DOUBLE_EQ(r.floats[6], 3.5);
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{3, -1, 0, 1, 1, 1, 1, 1}));
+}
+
+TEST(MiniC, MixedIntFloatPromotion)
+{
+    auto r = runMiniC(R"(
+void main() {
+    float f;
+    int i;
+    i = 3;
+    f = i + 0.5;
+    print_float(f);
+    f = 2 * f;
+    print_float(f);
+    i = 1;
+    print_int(i < f);
+}
+)");
+    EXPECT_DOUBLE_EQ(r.floats[0], 3.5);
+    EXPECT_DOUBLE_EQ(r.floats[1], 7.0);
+    EXPECT_EQ(r.ints[0], 1);
+}
+
+TEST(MiniC, ReadInputs)
+{
+    auto r = runMiniC(R"(
+void main() {
+    int a;
+    float x;
+    a = read_int();
+    x = read_float();
+    print_int(a * 2);
+    print_float(x + 1.0);
+}
+)",
+                      {21}, {2.5});
+    EXPECT_EQ(r.ints[0], 42);
+    EXPECT_DOUBLE_EQ(r.floats[0], 3.5);
+}
+
+TEST(MiniC, ExitCodeFromMain)
+{
+    auto r = runMiniC(R"(
+int main() {
+    return 7;
+}
+)");
+    EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(MiniC, ExplicitExitBuiltin)
+{
+    auto r = runMiniC(R"(
+void main() {
+    print_int(1);
+    exit(3);
+    print_int(2);
+}
+)");
+    EXPECT_EQ(r.exitCode, 3);
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{1}));
+}
+
+TEST(MiniC, DeepExpressionSpillsAcrossCalls)
+{
+    // Temps held across calls must be spilled and restored.
+    auto r = runMiniC(R"(
+int f(int x) { return x * 2; }
+void main() {
+    print_int(1 + f(2) + f(3) * f(4) + f(f(5)));
+    print_int(f(1) + (f(2) + (f(3) + (f(4) + f(5)))));
+}
+)");
+    EXPECT_EQ(r.ints[0], 1 + 4 + 6 * 8 + 20);
+    EXPECT_EQ(r.ints[1], 2 + 4 + 6 + 8 + 10);
+}
+
+TEST(MiniC, ManyLocalsOverflowToFrame)
+{
+    // More scalars than callee-saved home registers.
+    auto r = runMiniC(R"(
+void main() {
+    int a; int b; int c; int d; int e; int f; int g; int h;
+    int i; int j; int k; int l;
+    a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; g = 7; h = 8;
+    i = 9; j = 10; k = 11; l = 12;
+    print_int(a + b + c + d + e + f + g + h + i + j + k + l);
+}
+)");
+    EXPECT_EQ(r.ints[0], 78);
+}
+
+TEST(MiniC, FourIntAndFourFloatParams)
+{
+    auto r = runMiniC(R"(
+float combine(int a, float w, int b, float x, int c, float y, int d, float z) {
+    return itof(a * 1000 + b * 100 + c * 10 + d) + w + x + y + z;
+}
+void main() {
+    print_float(combine(1, 0.1, 2, 0.02, 3, 0.003, 4, 0.0004));
+}
+)");
+    EXPECT_NEAR(r.floats[0], 1234.1234, 1e-9);
+}
+
+TEST(MiniC, ParamsBeyondFourRejected)
+{
+    EXPECT_THROW(runMiniC(R"(
+int f(int a, int b, int c, int d, int e) { return e; }
+void main() { print_int(f(1,2,3,4,5)); }
+)"),
+                 FatalError);
+}
+
+TEST(MiniC, GlobalScalarReadModifyWrite)
+{
+    auto r = runMiniC(R"(
+int counter = 5;
+void tick() { counter = counter + 1; }
+void main() {
+    tick();
+    tick();
+    tick();
+    print_int(counter);
+}
+)");
+    EXPECT_EQ(r.ints[0], 8);
+}
+
+TEST(MiniC, AssignmentIsAnExpression)
+{
+    auto r = runMiniC(R"(
+void main() {
+    int a;
+    int b;
+    a = b = 4;
+    print_int(a + b);
+}
+)");
+    EXPECT_EQ(r.ints[0], 8);
+}
+
+TEST(MiniC, WhileWithComplexCondition)
+{
+    auto r = runMiniC(R"(
+void main() {
+    int i;
+    int j;
+    i = 0;
+    j = 10;
+    while (i < 5 && j > 7) {
+        i = i + 1;
+        j = j - 1;
+    }
+    print_int(i);
+    print_int(j);
+}
+)");
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{3, 7}));
+}
+
+TEST(MiniC, GcdIterative)
+{
+    auto r = runMiniC(R"(
+int gcd(int a, int b) {
+    int t;
+    while (b != 0) {
+        t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+void main() {
+    print_int(gcd(1071, 462));
+    print_int(gcd(17, 5));
+}
+)");
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{21, 1}));
+}
+
+TEST(MiniC, LeafFunctionsHaveNoFrameTraffic)
+{
+    // A leaf with few scalars must not touch sp at all.
+    auto module = minic::parse(R"(
+int square(int x) { return x * x; }
+void main() { print_int(square(9)); }
+)");
+    std::string assembly = minic::generateAssembly(module);
+    size_t fn = assembly.find("fn_square:");
+    size_t fn_end = assembly.find("fn_main:");
+    ASSERT_NE(fn, std::string::npos);
+    std::string body = assembly.substr(fn, fn_end - fn);
+    EXPECT_EQ(body.find("addi sp"), std::string::npos) << body;
+    EXPECT_EQ(body.find("sw ra"), std::string::npos) << body;
+}
+
+TEST(MiniC, NonLeafSavesAndRestoresRa)
+{
+    auto module = minic::parse(R"(
+int helper(int x) { return x + 1; }
+int caller(int x) { return helper(x) * 2; }
+void main() { print_int(caller(3)); }
+)");
+    std::string assembly = minic::generateAssembly(module);
+    size_t fn = assembly.find("fn_caller:");
+    size_t fn_end = assembly.find("fn_main:");
+    std::string body = assembly.substr(fn, fn_end - fn);
+    EXPECT_NE(body.find("sw ra"), std::string::npos);
+    EXPECT_NE(body.find("lw ra"), std::string::npos);
+    EXPECT_NE(body.find("jal fn_helper"), std::string::npos);
+}
+
+TEST(MiniC, CalleeSavedRegistersSurviveCalls)
+{
+    auto r = runMiniC(R"(
+int clobber() {
+    int a; int b; int c; int d; int e; int f;
+    a = 91; b = 92; c = 93; d = 94; e = 95; f = 96;
+    return a + b + c + d + e + f;
+}
+void main() {
+    int x;
+    int y;
+    x = 5;
+    y = clobber();
+    print_int(x);
+    print_int(y - 555);
+}
+)");
+    EXPECT_EQ(r.ints, (std::vector<int64_t>{5, 6}));
+}
+
+TEST(MiniC, FloatLocalsAcrossCalls)
+{
+    auto r = runMiniC(R"(
+float noisy() {
+    float p; float q; float s;
+    p = 9.0; q = 8.0; s = 7.0;
+    return p + q + s;
+}
+void main() {
+    float keep;
+    keep = 1.25;
+    noisy();
+    print_float(keep);
+}
+)");
+    EXPECT_DOUBLE_EQ(r.floats[0], 1.25);
+}

@@ -1,0 +1,528 @@
+// Differential testing: the AST interpreter (reference semantics) against
+// the compile → assemble → simulate pipeline. Any divergence pinpoints a
+// bug in the code generator, assembler, or machine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "minic/compiler.hpp"
+#include "minic/interpreter.hpp"
+#include "minic/parser.hpp"
+#include "sim/machine.hpp"
+#include "support/prng.hpp"
+#include "support/string_utils.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct BothResults
+{
+    minic::InterpResult interp;
+    std::vector<int64_t> machInts;
+    std::vector<double> machFloats;
+    int32_t machExit;
+};
+
+BothResults
+runBoth(const std::string &src, std::vector<int32_t> int_input = {},
+        std::vector<double> fp_input = {})
+{
+    BothResults r;
+    minic::Module module = minic::parse(src);
+    r.interp = minic::interpret(module, int_input, fp_input, 200000000);
+
+    casm::Program prog = minic::compile(src);
+    sim::Machine machine(prog);
+    machine.setIntInput(int_input);
+    machine.setFpInput(fp_input);
+    machine.run();
+    EXPECT_TRUE(machine.exited());
+    r.machInts = machine.intOutput();
+    r.machFloats = machine.fpOutput();
+    r.machExit = machine.exitCode();
+    return r;
+}
+
+void
+expectSame(const BothResults &r)
+{
+    ASSERT_EQ(r.interp.intOutput.size(), r.machInts.size());
+    for (size_t i = 0; i < r.machInts.size(); ++i)
+        ASSERT_EQ(r.interp.intOutput[i], r.machInts[i]) << "int output " << i;
+    ASSERT_EQ(r.interp.fpOutput.size(), r.machFloats.size());
+    for (size_t i = 0; i < r.machFloats.size(); ++i) {
+        // NaN compares unequal to itself; agreeing on NaN is agreement.
+        if (std::isnan(r.interp.fpOutput[i]) &&
+            std::isnan(r.machFloats[i])) {
+            continue;
+        }
+        ASSERT_DOUBLE_EQ(r.interp.fpOutput[i], r.machFloats[i])
+            << "fp output " << i;
+    }
+}
+
+} // namespace
+
+TEST(Differential, HandWrittenPrograms)
+{
+    const char *programs[] = {
+        R"(
+void main() {
+    int i;
+    int acc;
+    acc = -17;
+    for (i = 1; i <= 30; i = i + 1) {
+        acc = acc * 3 + i;
+        if ((acc & 255) > 128) {
+            acc = acc - (i << 3);
+        }
+    }
+    print_int(acc);
+}
+)",
+        R"(
+int squares[32];
+int fill(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        squares[i] = i * i - 7;
+    }
+    return n;
+}
+void main() {
+    int k;
+    k = fill(32);
+    print_int(squares[k - 1]);
+    print_int(squares[0]);
+}
+)",
+        R"(
+float series(int terms) {
+    int k;
+    float s;
+    float sign;
+    s = 0.0;
+    sign = 1.0;
+    for (k = 1; k <= terms; k = k + 1) {
+        s = s + sign / itof(k);
+        sign = -sign;
+    }
+    return s;
+}
+void main() {
+    print_float(series(40) * 1000.0);
+    print_int(ftoi(series(40) * 1000.0));
+}
+)",
+        R"(
+int* make(int n) {
+    int* p;
+    int i;
+    p = alloc_int(n);
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = i * 3 + 1;
+    }
+    return p;
+}
+void main() {
+    int* a;
+    int* b;
+    a = make(10);
+    b = a + 4;
+    print_int(a[0] + b[0] + b[5]);
+}
+)",
+        R"(
+void main() {
+    int x;
+    x = read_int() * read_int() - read_int();
+    print_int(x);
+    print_int(x / ((x & 3) + 1));
+    print_int(x % 7);
+    print_int(-x >> 2);
+}
+)",
+    };
+    int which = 0;
+    for (const char *src : programs) {
+        SCOPED_TRACE(which++);
+        expectSame(runBoth(src, {12, -5, 100}, {}));
+    }
+}
+
+TEST(Differential, WrappingArithmetic)
+{
+    expectSame(runBoth(R"(
+void main() {
+    int big;
+    big = 2000000000;
+    print_int(big + big);
+    print_int(big * 3);
+    print_int((0 - big) - big);
+    print_int(1 << 31);
+    print_int((1 << 31) >> 31);
+}
+)"));
+}
+
+TEST(Differential, IntMinDivision)
+{
+    expectSame(runBoth(R"(
+void main() {
+    int m;
+    m = 1 << 31;
+    print_int(m / (0 - 1));
+    print_int(m % (0 - 1));
+}
+)"));
+}
+
+TEST(Differential, FloatToIntClamping)
+{
+    expectSame(runBoth(R"(
+void main() {
+    print_int(ftoi(3000000000.5));
+    print_int(ftoi(-3000000000.5));
+    print_int(ftoi(0.0 / 1.0));
+    print_int(ftoi(1e18));
+}
+)"));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential fuzzing, swept over seeds.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Generates random MiniC programs whose behaviour is fully defined under
+ *  both engines (bounded loops, guarded divisors, masked shifts). */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : prng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::string src;
+        src += "int g0; int g1; int g2; int g3;\n";
+        src += "int tab[16];\n";
+        // helper sees only its params, the globals, and the table.
+        src += "int helper(int a, int b) {\n";
+        src += "    int t;\n";
+        src += strFormat("    t = (a %s b) %s g0 %s %d;\n", pickOp(),
+                         pickOp(), pickOp(),
+                         static_cast<int>(prng_.nextInRange(-99, 99)));
+        src += strFormat("    if (t < 0) { t = t %s g1; }\n", pickOp());
+        src += strFormat("    return t %s tab[(a ^ b) & 15];\n", pickOp());
+        src += "}\n";
+        src += "void main() {\n";
+        src += "    int i;\n    int j;\n    int x;\n    int y;\n";
+        src += "    x = 1; y = 2;\n";
+        for (int s = 0; s < 12; ++s)
+            src += statement(1);
+        src += "    print_int(g0); print_int(g1); print_int(g2); "
+               "print_int(g3);\n";
+        src += "    print_int(x); print_int(y);\n";
+        src += "    for (i = 0; i < 16; i = i + 1) { "
+               "print_int(tab[i]); }\n";
+        src += "}\n";
+        return src;
+    }
+
+  private:
+    Prng prng_;
+
+    const char *
+    pickOp()
+    {
+        static const char *ops[] = {"+", "-", "*", "&", "|", "^"};
+        return ops[prng_.nextBelow(6)];
+    }
+
+    std::string
+    scalar()
+    {
+        static const char *vars[] = {"g0", "g1", "g2", "g3", "x", "y", "i",
+                                     "j"};
+        return vars[prng_.nextBelow(8)];
+    }
+
+    /** Loop counters are never assignment targets, so loops stay bounded. */
+    std::string
+    assignTarget()
+    {
+        static const char *vars[] = {"g0", "g1", "g2", "g3", "x", "y"};
+        return vars[prng_.nextBelow(6)];
+    }
+
+    std::string
+    expr(int depth)
+    {
+        if (depth <= 0 || prng_.nextBelow(3) == 0) {
+            switch (prng_.nextBelow(3)) {
+              case 0:
+                return std::to_string(prng_.nextInRange(-1000, 1000));
+              case 1:
+                return scalar();
+              default:
+                return strFormat("tab[(%s) & 15]", scalar().c_str());
+            }
+        }
+        switch (prng_.nextBelow(8)) {
+          case 0:
+            return strFormat("(%s %s %s)", expr(depth - 1).c_str(), pickOp(),
+                             expr(depth - 1).c_str());
+          case 1:
+            return strFormat("(%s / ((%s & 7) + 1))", expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          case 2:
+            return strFormat("(%s %% ((%s & 7) + 1))",
+                             expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          case 3:
+            return strFormat("(%s << (%s & 15))", expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          case 4:
+            return strFormat("(%s >> (%s & 15))", expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          case 5:
+            return strFormat("(%s < %s)", expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          case 6:
+            return strFormat("helper(%s, %s)", expr(depth - 1).c_str(),
+                             expr(depth - 1).c_str());
+          default:
+            return strFormat("(~%s)", expr(depth - 1).c_str());
+        }
+    }
+
+    std::string
+    statement(int depth)
+    {
+        switch (prng_.nextBelow(depth > 0 ? 5 : 3)) {
+          case 0:
+            return strFormat("    %s = %s;\n", assignTarget().c_str(),
+                             expr(2).c_str());
+          case 1:
+            return strFormat("    tab[(%s) & 15] = %s;\n", scalar().c_str(),
+                             expr(2).c_str());
+          case 2:
+            return strFormat("    if (%s != 0) { %s = %s; } else { %s = %s; "
+                             "}\n",
+                             expr(1).c_str(), assignTarget().c_str(),
+                             expr(2).c_str(), assignTarget().c_str(),
+                             expr(1).c_str());
+          case 3:
+            return strFormat(
+                "    for (j = 0; j < %d; j = j + 1) {\n    %s    }\n",
+                static_cast<int>(prng_.nextBelow(6) + 1),
+                statement(depth - 1).c_str());
+          default:
+            // The j guard bounds the loop even when the body rewrites x/y.
+            return strFormat("    j = 0;\n    while (j < %d && (x & 63) != "
+                             "17) {\n        j = j + 1;\n        x = x + "
+                             "1;\n    %s    }\n",
+                             static_cast<int>(prng_.nextBelow(40) + 2),
+                             statement(depth - 1).c_str());
+        }
+    }
+};
+
+} // namespace
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST_P(DifferentialFuzz, RandomProgramsAgree)
+{
+    ProgramGen gen(GetParam() * 7919);
+    std::string src = gen.generate();
+    SCOPED_TRACE(src);
+    expectSame(runBoth(src));
+}
+
+namespace {
+
+/** FP-flavoured random programs: exercises FP codegen (register homes,
+ *  temp spilling, constant pools, conversions) against the interpreter.
+ *  Both engines evaluate the same IEEE double operations in the same AST
+ *  order, so outputs must match bit-for-bit. */
+class FpProgramGen
+{
+  public:
+    explicit FpProgramGen(uint64_t seed) : prng_(seed) {}
+
+    std::string
+    generate()
+    {
+        std::string src;
+        src += "float fg0; float fg1;\n";
+        src += "float vec[8];\n";
+        src += strFormat("float blend(float a, float b) {\n"
+                         "    float t;\n"
+                         "    t = a %s b %s %s;\n"
+                         "    if (t < 0.0) { t = t * -0.5; }\n"
+                         "    return t %s fg0;\n"
+                         "}\n",
+                         fpOp(), fpOp(), fpLit().c_str(), fpOp());
+        src += "void main() {\n";
+        src += "    int i;\n    float x;\n    float y;\n";
+        src += "    x = 1.25; y = -0.75;\n";
+        src += "    for (i = 0; i < 8; i = i + 1) { "
+               "vec[i] = itof(i * 3 - 4) * 0.125; }\n";
+        for (int s = 0; s < 8; ++s) {
+            switch (prng_.nextBelow(3)) {
+              case 0:
+                src += strFormat("    %s = %s;\n", fpTarget(),
+                                 fpExpr(2).c_str());
+                break;
+              case 1:
+                src += strFormat("    vec[%d] = %s;\n",
+                                 static_cast<int>(prng_.nextBelow(8)),
+                                 fpExpr(2).c_str());
+                break;
+              default:
+                src += strFormat(
+                    "    for (i = 0; i < %d; i = i + 1) {\n"
+                    "        vec[i & 7] = vec[i & 7] %s %s;\n    }\n",
+                    static_cast<int>(prng_.nextBelow(5) + 1), fpOp(),
+                    fpExpr(1).c_str());
+                break;
+            }
+        }
+        src += "    print_float(x); print_float(y);\n";
+        src += "    print_float(fg0); print_float(fg1);\n";
+        src += "    for (i = 0; i < 8; i = i + 1) { "
+               "print_float(vec[i]); }\n";
+        src += "    print_int(ftoi(x * 100.0) + (x < y) + (fg0 >= fg1));\n";
+        src += "}\n";
+        return src;
+    }
+
+  private:
+    Prng prng_;
+
+    const char *
+    fpOp()
+    {
+        static const char *ops[] = {"+", "-", "*"};
+        return ops[prng_.nextBelow(3)];
+    }
+
+    std::string
+    fpLit()
+    {
+        return strFormat("%d.%02d",
+                         static_cast<int>(prng_.nextInRange(-20, 20)),
+                         static_cast<int>(prng_.nextBelow(100)));
+    }
+
+    const char *
+    fpTarget()
+    {
+        static const char *vars[] = {"x", "y", "fg0", "fg1"};
+        return vars[prng_.nextBelow(4)];
+    }
+
+    std::string
+    fpExpr(int depth)
+    {
+        if (depth <= 0 || prng_.nextBelow(3) == 0) {
+            switch (prng_.nextBelow(4)) {
+              case 0:
+                return fpLit();
+              case 1:
+                return fpTarget();
+              case 2:
+                return strFormat("vec[%d]",
+                                 static_cast<int>(prng_.nextBelow(8)));
+              default:
+                return strFormat("itof(i + %d)",
+                                 static_cast<int>(prng_.nextBelow(10)));
+            }
+        }
+        switch (prng_.nextBelow(4)) {
+          case 0:
+            return strFormat("(%s %s %s)", fpExpr(depth - 1).c_str(), fpOp(),
+                             fpExpr(depth - 1).c_str());
+          case 1:
+            return strFormat("(%s / (%s * %s + 3.0))",
+                             fpExpr(depth - 1).c_str(),
+                             fpExpr(depth - 1).c_str(),
+                             fpExpr(depth - 1).c_str());
+          case 2:
+            return strFormat("sqrt(%s * %s + 1.0)",
+                             fpExpr(depth - 1).c_str(),
+                             fpExpr(depth - 1).c_str());
+          default:
+            return strFormat("blend(%s, %s)", fpExpr(depth - 1).c_str(),
+                             fpExpr(depth - 1).c_str());
+        }
+    }
+};
+
+} // namespace
+
+class FpDifferentialFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpDifferentialFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(FpDifferentialFuzz, RandomFloatProgramsAgree)
+{
+    FpProgramGen gen(GetParam() * 104729);
+    std::string src = gen.generate();
+    SCOPED_TRACE(src);
+    expectSame(runBoth(src));
+}
+
+// ---------------------------------------------------------------------------
+// The ten workload analogs, interpreted vs simulated (small scale).
+// ---------------------------------------------------------------------------
+
+class WorkloadDifferential : public ::testing::TestWithParam<const char *>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadDifferential,
+                         ::testing::Values("cc1", "doduc", "eqntott",
+                                           "espresso", "fpppp", "matrix300",
+                                           "nasker", "spice2g6", "tomcatv",
+                                           "xlisp"));
+
+TEST_P(WorkloadDifferential, InterpreterMatchesSimulator)
+{
+    auto &suite = workloads::WorkloadSuite::instance();
+    const workloads::Workload &w = suite.find(GetParam());
+
+    minic::Module module = minic::parse(w.source);
+    minic::InterpResult ref =
+        minic::interpret(module, w.smallInput, {}, 500000000);
+
+    auto src = suite.makeSource(w, workloads::Scale::Small);
+    trace::TraceRecord rec;
+    while (src->next(rec)) {
+    }
+    const auto &machine = src->machine();
+
+    ASSERT_EQ(ref.intOutput.size(), machine.intOutput().size());
+    for (size_t i = 0; i < ref.intOutput.size(); ++i)
+        ASSERT_EQ(ref.intOutput[i], machine.intOutput()[i]) << "out " << i;
+    ASSERT_EQ(ref.fpOutput.size(), machine.fpOutput().size());
+    for (size_t i = 0; i < ref.fpOutput.size(); ++i) {
+        ASSERT_DOUBLE_EQ(ref.fpOutput[i], machine.fpOutput()[i])
+            << "fp out " << i;
+    }
+    EXPECT_EQ(ref.exitCode, machine.exitCode());
+}

@@ -1,0 +1,179 @@
+// Direct unit tests for the MiniC AST interpreter (the reference
+// semantics; pipeline agreement is covered by differential_test.cpp).
+#include <gtest/gtest.h>
+
+#include "minic/interpreter.hpp"
+#include "minic/parser.hpp"
+#include "support/panic.hpp"
+
+using namespace paragraph;
+using namespace paragraph::minic;
+
+namespace {
+
+InterpResult
+run(const char *src, std::vector<int32_t> ints = {},
+    std::vector<double> floats = {}, uint64_t max_steps = 10000000)
+{
+    return interpret(parse(src), std::move(ints), std::move(floats),
+                     max_steps);
+}
+
+} // namespace
+
+TEST(Interpreter, ReturnsMainExitCode)
+{
+    EXPECT_EQ(run("int main() { return 42; }").exitCode, 42);
+    EXPECT_EQ(run("void main() { }").exitCode, 0);
+}
+
+TEST(Interpreter, ExplicitExitWins)
+{
+    InterpResult r = run(R"(
+int main() {
+    print_int(1);
+    exit(9);
+    print_int(2);
+    return 5;
+}
+)");
+    EXPECT_EQ(r.exitCode, 9);
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{1}));
+}
+
+TEST(Interpreter, ExitInsideCalleeStopsCaller)
+{
+    InterpResult r = run(R"(
+int die() { exit(3); return 7; }
+void main() {
+    print_int(1);
+    die();
+    print_int(2);
+}
+)");
+    EXPECT_EQ(r.exitCode, 3);
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{1}));
+}
+
+TEST(Interpreter, InputQueuesAndExhaustion)
+{
+    InterpResult r = run(R"(
+void main() {
+    print_int(read_int());
+    print_int(read_int());
+    print_int(read_int());
+    print_float(read_float());
+    print_float(read_float());
+}
+)",
+                         {5, 6}, {1.5});
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{5, 6, 0}));
+    ASSERT_EQ(r.fpOutput.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.fpOutput[0], 1.5);
+    EXPECT_DOUBLE_EQ(r.fpOutput[1], 0.0);
+}
+
+TEST(Interpreter, StepLimitGuardsRunaways)
+{
+    EXPECT_THROW(run(R"(
+void main() {
+    int i;
+    i = 1;
+    while (i > 0) { i = i | 1; }
+}
+)",
+                     {}, {}, 5000),
+                 FatalError);
+}
+
+TEST(Interpreter, CallDepthGuardsInfiniteRecursion)
+{
+    EXPECT_THROW(run(R"(
+int down(int n) { return down(n + 1); }
+void main() { print_int(down(0)); }
+)"),
+                 FatalError);
+}
+
+TEST(Interpreter, DivisionByZeroIsFatal)
+{
+    EXPECT_THROW(run(R"(
+void main() {
+    int z;
+    z = 0;
+    print_int(5 / z);
+}
+)"),
+                 FatalError);
+    EXPECT_THROW(run(R"(
+void main() {
+    int z;
+    z = 0;
+    print_int(5 % z);
+}
+)"),
+                 FatalError);
+}
+
+TEST(Interpreter, GlobalInitializersApply)
+{
+    InterpResult r = run(R"(
+int a = 7;
+float b = 2.5;
+int arr[4] = {10, 20, 30};
+void main() {
+    print_int(a + arr[0] + arr[2] + arr[3]);
+    print_float(b);
+}
+)");
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{47}));
+    EXPECT_DOUBLE_EQ(r.fpOutput[0], 2.5);
+}
+
+TEST(Interpreter, LocalArraysAreZeroed)
+{
+    // Two calls reuse the same stack region; the second must see zeros.
+    InterpResult r = run(R"(
+int probe(int fill) {
+    int buf[8];
+    int i;
+    int sum;
+    if (fill == 1) {
+        for (i = 0; i < 8; i = i + 1) { buf[i] = 99; }
+    }
+    sum = 0;
+    for (i = 0; i < 8; i = i + 1) { sum = sum + buf[i]; }
+    return sum;
+}
+void main() {
+    print_int(probe(1));
+    print_int(probe(0));
+}
+)");
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{8 * 99, 0}));
+}
+
+TEST(Interpreter, PointerAliasing)
+{
+    InterpResult r = run(R"(
+int g[8];
+void main() {
+    int* p;
+    p = g;
+    p[3] = 11;
+    g[4] = 22;
+    print_int(g[3] + p[4]);
+    p = p + 3;
+    p[0] = 33;
+    print_int(g[3]);
+}
+)");
+    EXPECT_EQ(r.intOutput, (std::vector<int64_t>{33, 33}));
+}
+
+TEST(Interpreter, StepsAreCounted)
+{
+    InterpResult r = run("void main() { print_int(1 + 2); }");
+    EXPECT_GT(r.steps, 3u);
+    EXPECT_LT(r.steps, 100u);
+}

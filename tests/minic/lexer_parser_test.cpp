@@ -1,0 +1,291 @@
+// Tests for the MiniC lexer and parser/semantic analysis.
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "support/panic.hpp"
+
+using namespace paragraph;
+using namespace paragraph::minic;
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = tokenize("int x = 42;");
+    ASSERT_EQ(toks.size(), 6u); // int x = 42 ; <end>
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "x");
+    EXPECT_EQ(toks[2].kind, Tok::Assign);
+    EXPECT_EQ(toks[3].kind, Tok::IntLit);
+    EXPECT_EQ(toks[3].intValue, 42);
+    EXPECT_EQ(toks[4].kind, Tok::Semicolon);
+    EXPECT_EQ(toks[5].kind, Tok::End);
+}
+
+TEST(Lexer, NumericLiterals)
+{
+    auto toks = tokenize("0x1F 3.5 2e3 1.5e-2 0");
+    EXPECT_EQ(toks[0].intValue, 31);
+    EXPECT_EQ(toks[1].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[1].floatValue, 3.5);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 2000.0);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 0.015);
+    EXPECT_EQ(toks[4].intValue, 0);
+}
+
+TEST(Lexer, OperatorsTwoChar)
+{
+    auto toks = tokenize("== != <= >= && || << >> = < >");
+    EXPECT_EQ(toks[0].kind, Tok::Eq);
+    EXPECT_EQ(toks[1].kind, Tok::Ne);
+    EXPECT_EQ(toks[2].kind, Tok::Le);
+    EXPECT_EQ(toks[3].kind, Tok::Ge);
+    EXPECT_EQ(toks[4].kind, Tok::AndAnd);
+    EXPECT_EQ(toks[5].kind, Tok::OrOr);
+    EXPECT_EQ(toks[6].kind, Tok::Shl);
+    EXPECT_EQ(toks[7].kind, Tok::Shr);
+    EXPECT_EQ(toks[8].kind, Tok::Assign);
+    EXPECT_EQ(toks[9].kind, Tok::Lt);
+    EXPECT_EQ(toks[10].kind, Tok::Gt);
+}
+
+TEST(Lexer, CommentsSkipped)
+{
+    auto toks = tokenize("a // line\n b /* block\n comment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+    EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    auto toks = tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, Errors)
+{
+    EXPECT_THROW(tokenize("@"), FatalError);
+    EXPECT_THROW(tokenize("/* unterminated"), FatalError);
+}
+
+TEST(Lexer, DoubleIsFloatSynonym)
+{
+    auto toks = tokenize("double x;");
+    EXPECT_EQ(toks[0].kind, Tok::KwFloat);
+}
+
+TEST(Parser, GlobalsAndTypes)
+{
+    Module mod = parse(R"(
+int g;
+float f = 2.5;
+int arr[10];
+float m[3][4];
+int* p;
+int init[3] = {1, -2, 3};
+void main() {}
+)");
+    ASSERT_EQ(mod.globals.size(), 6u);
+    EXPECT_EQ(mod.globals[0].type.toString(), "int");
+    EXPECT_EQ(mod.globals[1].type.toString(), "float");
+    EXPECT_DOUBLE_EQ(mod.globals[1].initFloats[0], 2.5);
+    EXPECT_EQ(mod.globals[2].type.toString(), "int[10]");
+    EXPECT_EQ(mod.globals[3].type.toString(), "float[3][4]");
+    EXPECT_EQ(mod.globals[3].type.byteSize(), 3 * 4 * 8);
+    EXPECT_EQ(mod.globals[4].type.toString(), "int*");
+    ASSERT_EQ(mod.globals[5].initInts.size(), 3u);
+    EXPECT_EQ(mod.globals[5].initInts[1], -2);
+}
+
+TEST(Parser, FunctionsAndParams)
+{
+    Module mod = parse(R"(
+int add(int a, int b) { return a + b; }
+float scale(float x, int k) { return x * itof(k); }
+void uses_array_param(int a[], float* f) {}
+void main() {}
+)");
+    int fi = mod.findFunction("add");
+    ASSERT_GE(fi, 0);
+    const Function &add = mod.functions[static_cast<size_t>(fi)];
+    EXPECT_EQ(add.params.size(), 2u);
+    EXPECT_TRUE(add.returnType.isScalarInt());
+
+    int ai = mod.findFunction("uses_array_param");
+    const Function &uap = mod.functions[static_cast<size_t>(ai)];
+    EXPECT_TRUE(uap.locals[0].type.isPointer()); // int a[] decays
+}
+
+TEST(Parser, ImplicitConversionsInsertCasts)
+{
+    Module mod = parse(R"(
+void main() {
+    float f;
+    int i;
+    f = 3;        // literal folded to float
+    f = i;        // cast node
+    i = f;        // cast node
+}
+)");
+    // Walk main's body: stmt 2 (f = 3) rhs is FloatLit (folded).
+    const Function &fn = mod.functions[0];
+    const Stmt &assign1 = *fn.body[2];
+    EXPECT_EQ(assign1.expr->kids[1]->kind, ExprKind::FloatLit);
+    const Stmt &assign2 = *fn.body[3];
+    EXPECT_EQ(assign2.expr->kids[1]->kind, ExprKind::Cast);
+    const Stmt &assign3 = *fn.body[4];
+    EXPECT_EQ(assign3.expr->kids[1]->kind, ExprKind::Cast);
+}
+
+TEST(Parser, MixedArithmeticPromotesToFloat)
+{
+    Module mod = parse(R"(
+void main() {
+    float f;
+    int i;
+    f = f + i;
+}
+)");
+    const Stmt &assign = *mod.functions[0].body[2];
+    const Expr &add = *assign.expr->kids[1];
+    EXPECT_EQ(add.kind, ExprKind::Binary);
+    EXPECT_TRUE(add.type.isScalarFloat());
+    EXPECT_EQ(add.kids[1]->kind, ExprKind::Cast);
+}
+
+TEST(Parser, ComparisonYieldsInt)
+{
+    Module mod = parse(R"(
+void main() {
+    float a;
+    int r;
+    r = a < 2.0;
+}
+)");
+    const Stmt &assign = *mod.functions[0].body[2];
+    EXPECT_TRUE(assign.expr->kids[1]->type.isScalarInt());
+}
+
+TEST(Parser, RecursionWithoutPrototype)
+{
+    EXPECT_NO_THROW(parse(R"(
+int fact(int n) {
+    if (n < 2) { return 1; }
+    return n * fact(n - 1);
+}
+void main() { fact(5); }
+)"));
+}
+
+TEST(Parser, MutualRecursionNeedsPrototype)
+{
+    EXPECT_NO_THROW(parse(R"(
+int odd(int n);
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+void main() {}
+)"));
+}
+
+TEST(ParserErrors, UndeclaredIdentifier)
+{
+    EXPECT_THROW(parse("void main() { x = 1; }"), FatalError);
+}
+
+TEST(ParserErrors, MissingMain)
+{
+    EXPECT_THROW(parse("int f() { return 1; }"), FatalError);
+}
+
+TEST(ParserErrors, UndefinedPrototype)
+{
+    EXPECT_THROW(parse("int f(int x);\nvoid main() {}"), FatalError);
+}
+
+TEST(ParserErrors, ArityMismatch)
+{
+    EXPECT_THROW(parse(R"(
+int f(int a, int b) { return a; }
+void main() { f(1); }
+)"),
+                 FatalError);
+}
+
+TEST(ParserErrors, Redeclarations)
+{
+    EXPECT_THROW(parse("int g; int g; void main() {}"), FatalError);
+    EXPECT_THROW(parse("void main() { int x; int x; }"), FatalError);
+    EXPECT_THROW(parse(R"(
+void f() {}
+void f() {}
+void main() {}
+)"),
+                 FatalError);
+}
+
+TEST(ParserErrors, BreakOutsideLoop)
+{
+    EXPECT_THROW(parse("void main() { break; }"), FatalError);
+    EXPECT_THROW(parse("void main() { continue; }"), FatalError);
+}
+
+TEST(ParserErrors, AssignToArray)
+{
+    EXPECT_THROW(parse("int a[4];\nvoid main() { a = 0; }"), FatalError);
+}
+
+TEST(ParserErrors, IndexNonArray)
+{
+    EXPECT_THROW(parse("void main() { int x; x[0] = 1; }"), FatalError);
+}
+
+TEST(ParserErrors, FloatCondition)
+{
+    EXPECT_THROW(parse("void main() { float f; if (f) {} }"), FatalError);
+}
+
+TEST(ParserErrors, ModuloOnFloat)
+{
+    EXPECT_THROW(parse("void main() { float f; f = f % 2.0; }"), FatalError);
+}
+
+TEST(ParserErrors, ReturnValueMismatch)
+{
+    EXPECT_THROW(parse("void f() { return 3; }\nvoid main() {}"), FatalError);
+    EXPECT_THROW(parse("int f() { return; }\nvoid main() {}"), FatalError);
+}
+
+TEST(ParserErrors, VoidVariable)
+{
+    EXPECT_THROW(parse("void main() { void x; }"), FatalError);
+}
+
+TEST(Parser, ScopeShadowing)
+{
+    EXPECT_NO_THROW(parse(R"(
+int x;
+void main() {
+    int x;
+    {
+        int x;
+        x = 1;
+    }
+    x = 2;
+}
+)"));
+}
+
+TEST(Parser, ForScopedDeclaration)
+{
+    EXPECT_NO_THROW(parse(R"(
+void main() {
+    for (int i = 0; i < 3; i = i + 1) {}
+    for (int i = 0; i < 3; i = i + 1) {}
+}
+)"));
+}

@@ -1,0 +1,82 @@
+// Tests for the Pixie-style execution profile.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casm/assembler.hpp"
+#include "sim/exec_profile.hpp"
+#include "sim/machine.hpp"
+
+using namespace paragraph;
+using namespace paragraph::sim;
+
+TEST(ExecutionProfile, CountsAndTotals)
+{
+    ExecutionProfile prof(4);
+    prof.record(0);
+    prof.record(2);
+    prof.record(2);
+    prof.record(99); // out of range: ignored
+    EXPECT_EQ(prof.count(0), 1u);
+    EXPECT_EQ(prof.count(1), 0u);
+    EXPECT_EQ(prof.count(2), 2u);
+    EXPECT_EQ(prof.total(), 3u);
+    EXPECT_EQ(prof.touched(), 2u);
+}
+
+TEST(ExecutionProfile, HottestOrderingAndTies)
+{
+    ExecutionProfile prof(5);
+    for (int i = 0; i < 5; ++i)
+        prof.record(3);
+    for (int i = 0; i < 2; ++i)
+        prof.record(1);
+    for (int i = 0; i < 2; ++i)
+        prof.record(4);
+    auto hot = prof.hottest(10);
+    ASSERT_EQ(hot.size(), 3u); // zero-count entries dropped
+    EXPECT_EQ(hot[0], 3u);
+    EXPECT_EQ(hot[1], 1u); // tie broken by lower pc
+    EXPECT_EQ(hot[2], 4u);
+    EXPECT_DOUBLE_EQ(prof.coverage(1), 5.0 / 9.0);
+    EXPECT_DOUBLE_EQ(prof.coverage(3), 1.0);
+}
+
+TEST(ExecutionProfile, LoopDominatesAProgram)
+{
+    casm::Program prog = casm::assemble(R"(
+main:   li t0, 100
+        li t1, 0
+loop:   add t1, t1, t0
+        addi t0, t0, -1
+        bgtz t0, loop
+        move a0, t1
+        li v0, 5
+        syscall
+)");
+    MachineTraceSource src(prog);
+    ExecutionProfile prof =
+        ExecutionProfile::collect(src, prog.text.size());
+    // Loop body (pcs 2,3,4) executes 100x; straight-line code once.
+    EXPECT_EQ(prof.count(2), 100u);
+    EXPECT_EQ(prof.count(3), 100u);
+    EXPECT_EQ(prof.count(4), 100u);
+    EXPECT_EQ(prof.count(0), 1u);
+    auto hot = prof.hottest(3);
+    ASSERT_EQ(hot.size(), 3u);
+    EXPECT_EQ(hot[0], 2u);
+    EXPECT_GT(prof.coverage(3), 0.95);
+
+    std::ostringstream oss;
+    prof.printHot(oss, prog, 3);
+    EXPECT_NE(oss.str().find("add t1, t1, t0"), std::string::npos);
+    EXPECT_NE(oss.str().find("bgtz"), std::string::npos);
+}
+
+TEST(ExecutionProfile, EmptyProfile)
+{
+    ExecutionProfile prof(8);
+    EXPECT_EQ(prof.total(), 0u);
+    EXPECT_TRUE(prof.hottest(4).empty());
+    EXPECT_DOUBLE_EQ(prof.coverage(4), 0.0);
+}

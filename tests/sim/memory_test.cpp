@@ -1,0 +1,95 @@
+// Tests for the sparse paged memory.
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+using namespace paragraph;
+using namespace paragraph::sim;
+using paragraph::trace::Segment;
+
+TEST(Memory, ZeroFilledOnFirstTouch)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read32(0x1000), 0u);
+    EXPECT_EQ(mem.read64(0x7fffff00), 0u);
+}
+
+TEST(Memory, Word32RoundTrip)
+{
+    Memory mem;
+    mem.write32(0x2000, 0xdeadbeef);
+    EXPECT_EQ(mem.read32(0x2000), 0xdeadbeefu);
+    // Adjacent word untouched.
+    EXPECT_EQ(mem.read32(0x2004), 0u);
+}
+
+TEST(Memory, Word64RoundTrip)
+{
+    Memory mem;
+    mem.write64(0x3000, 0x0123456789abcdefULL);
+    EXPECT_EQ(mem.read64(0x3000), 0x0123456789abcdefULL);
+}
+
+TEST(Memory, DoubleRoundTrip)
+{
+    Memory mem;
+    mem.writeDouble(0x4000, 3.14159);
+    EXPECT_DOUBLE_EQ(mem.readDouble(0x4000), 3.14159);
+}
+
+TEST(Memory, LittleEndianLayout)
+{
+    Memory mem;
+    mem.write32(0x100, 0x04030201);
+    EXPECT_EQ(mem.read32(0x100) & 0xff, 0x01u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    uint64_t addr = Memory::pageSize - 2; // straddles the page boundary
+    mem.write32(addr, 0xa1b2c3d4);
+    EXPECT_EQ(mem.read32(addr), 0xa1b2c3d4u);
+    uint64_t addr64 = 2 * Memory::pageSize - 4;
+    mem.write64(addr64, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read64(addr64), 0x1122334455667788ULL);
+}
+
+TEST(Memory, LoadImage)
+{
+    Memory mem;
+    std::vector<uint8_t> image = {1, 2, 3, 4, 5};
+    mem.loadImage(0x10000000, image);
+    EXPECT_EQ(mem.read32(0x10000000), 0x04030201u);
+    EXPECT_EQ(mem.read32(0x10000004) & 0xff, 5u);
+}
+
+TEST(Memory, PageCountGrowsOnDemand)
+{
+    Memory mem;
+    EXPECT_EQ(mem.pageCount(), 0u);
+    mem.write32(0, 1);
+    mem.write32(Memory::pageSize * 10, 1);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(Memory, ClearDropsEverything)
+{
+    Memory mem;
+    mem.write32(0x500, 42);
+    mem.clear();
+    EXPECT_EQ(mem.pageCount(), 0u);
+    EXPECT_EQ(mem.read32(0x500), 0u);
+}
+
+TEST(Memory, SegmentClassification)
+{
+    uint64_t heap_base = 0x10002000;
+    EXPECT_EQ(Memory::classify(0x10000000, heap_base), Segment::Data);
+    EXPECT_EQ(Memory::classify(0x10001fff, heap_base), Segment::Data);
+    EXPECT_EQ(Memory::classify(0x10002000, heap_base), Segment::Heap);
+    EXPECT_EQ(Memory::classify(0x20000000, heap_base), Segment::Heap);
+    EXPECT_EQ(Memory::classify(Memory::stackFloor, heap_base),
+              Segment::Stack);
+    EXPECT_EQ(Memory::classify(0x7fffff00, heap_base), Segment::Stack);
+}

@@ -1,0 +1,34 @@
+// End-to-end pipeline smoke test: MiniC -> asm -> simulate -> analyze.
+#include <gtest/gtest.h>
+
+#include "core/paragraph.hpp"
+#include "minic/compiler.hpp"
+#include "sim/machine.hpp"
+
+using namespace paragraph;
+
+TEST(Smoke, CompileRunAnalyze)
+{
+    const char *src = R"(
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() {
+    print_int(fib(12));
+}
+)";
+    casm::Program prog = minic::compile(src);
+    sim::MachineTraceSource source(prog);
+    core::Paragraph engine(core::AnalysisConfig::dataflowConservative());
+    core::AnalysisResult res = engine.analyze(source);
+    EXPECT_GT(res.instructions, 1000u);
+    EXPECT_GT(res.availableParallelism, 1.0);
+
+    sim::MachineTraceSource check(prog);
+    check.reset();
+    trace::TraceRecord rec;
+    while (check.next(rec)) {}
+    ASSERT_EQ(check.machine().intOutput().size(), 1u);
+    EXPECT_EQ(check.machine().intOutput()[0], 144);
+}

@@ -1,0 +1,123 @@
+// Tests for BucketedProfile — the parallelism-profile distribution.
+#include <gtest/gtest.h>
+
+#include "support/bucketed_profile.hpp"
+#include "support/prng.hpp"
+
+using paragraph::BucketedProfile;
+using paragraph::Prng;
+
+TEST(BucketedProfile, ExactWhenSmall)
+{
+    BucketedProfile p(16);
+    p.add(0);
+    p.add(0);
+    p.add(1);
+    p.add(3);
+    EXPECT_EQ(p.bucketWidth(), 1u);
+    EXPECT_EQ(p.totalOps(), 4u);
+    EXPECT_EQ(p.maxLevel(), 3u);
+    auto series = p.series();
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_DOUBLE_EQ(series[0].opsPerLevel, 2.0);
+    EXPECT_DOUBLE_EQ(series[1].opsPerLevel, 1.0);
+    EXPECT_DOUBLE_EQ(series[2].opsPerLevel, 0.0);
+    EXPECT_DOUBLE_EQ(series[3].opsPerLevel, 1.0);
+}
+
+TEST(BucketedProfile, FoldsWhenRangeExceedsBins)
+{
+    BucketedProfile p(4);
+    p.add(0);
+    p.add(1);
+    p.add(2);
+    p.add(3);
+    EXPECT_EQ(p.bucketWidth(), 1u);
+    p.add(4); // forces a fold: width 2
+    EXPECT_EQ(p.bucketWidth(), 2u);
+    auto series = p.series();
+    // Levels 0-1 (2 ops), 2-3 (2 ops), 4-4 (1 op over 1 level).
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series[0].opsPerLevel, 1.0);
+    EXPECT_DOUBLE_EQ(series[1].opsPerLevel, 1.0);
+    EXPECT_DOUBLE_EQ(series[2].opsPerLevel, 1.0);
+    EXPECT_EQ(series[2].firstLevel, 4u);
+    EXPECT_EQ(series[2].lastLevel, 4u);
+}
+
+TEST(BucketedProfile, DeepSampleFoldsRepeatedly)
+{
+    BucketedProfile p(8);
+    p.add(1000);
+    // width must now cover level 1000 with 8 bins: 128 * 8 = 1024.
+    EXPECT_EQ(p.bucketWidth(), 128u);
+    EXPECT_EQ(p.totalOps(), 1u);
+    EXPECT_EQ(p.maxLevel(), 1000u);
+}
+
+TEST(BucketedProfile, MassConservedAcrossFolds)
+{
+    Prng prng(7);
+    BucketedProfile p(64);
+    uint64_t total = 0;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t level = prng.nextBelow(1u << (prng.nextBelow(20) + 1));
+        p.add(level);
+        ++total;
+    }
+    EXPECT_EQ(p.totalOps(), total);
+    double mass = 0;
+    for (const auto &pt : p.series())
+        mass += pt.opsPerLevel *
+                static_cast<double>(pt.lastLevel - pt.firstLevel + 1);
+    EXPECT_NEAR(mass, static_cast<double>(total), 1e-6);
+}
+
+TEST(BucketedProfile, AddWithCount)
+{
+    BucketedProfile p(16);
+    p.add(2, 10);
+    EXPECT_EQ(p.totalOps(), 10u);
+    EXPECT_DOUBLE_EQ(p.series()[2].opsPerLevel, 10.0);
+}
+
+TEST(BucketedProfile, PeakOpsPerLevel)
+{
+    BucketedProfile p(16);
+    p.add(0, 3);
+    p.add(1, 7);
+    p.add(2, 5);
+    EXPECT_DOUBLE_EQ(p.peakOpsPerLevel(), 7.0);
+}
+
+TEST(BucketedProfile, EmptySeries)
+{
+    BucketedProfile p(16);
+    EXPECT_TRUE(p.empty());
+    EXPECT_TRUE(p.series().empty());
+    EXPECT_DOUBLE_EQ(p.peakOpsPerLevel(), 0.0);
+}
+
+TEST(BucketedProfile, MergePreservesMass)
+{
+    BucketedProfile a(64);
+    BucketedProfile b(64);
+    a.add(1, 5);
+    a.add(100, 2);
+    b.add(3, 4);
+    b.add(50, 1);
+    uint64_t total = a.totalOps() + b.totalOps();
+    a.merge(b);
+    EXPECT_EQ(a.totalOps(), total);
+}
+
+TEST(BucketedProfile, LevelZeroOnly)
+{
+    BucketedProfile p(16);
+    p.add(0);
+    EXPECT_FALSE(p.empty());
+    EXPECT_EQ(p.maxLevel(), 0u);
+    auto series = p.series();
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].opsPerLevel, 1.0);
+}

@@ -1,0 +1,203 @@
+// Unit and property tests for FlatHashMap (the live well's hash table).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/flat_hash_map.hpp"
+#include "support/prng.hpp"
+
+using paragraph::FlatHashMap;
+using paragraph::Prng;
+using paragraph::mixHash64;
+
+TEST(FlatHashMap, StartsEmpty)
+{
+    FlatHashMap<uint64_t, int> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_FALSE(map.contains(42));
+}
+
+TEST(FlatHashMap, InsertAndFind)
+{
+    FlatHashMap<uint64_t, int> map;
+    map.insertOrAssign(1, 10);
+    map.insertOrAssign(2, 20);
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), 10);
+    ASSERT_NE(map.find(2), nullptr);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMap, InsertOrAssignOverwrites)
+{
+    FlatHashMap<uint64_t, int> map;
+    map.insertOrAssign(7, 1);
+    map.insertOrAssign(7, 2);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.find(7), 2);
+}
+
+TEST(FlatHashMap, SubscriptDefaultConstructs)
+{
+    FlatHashMap<uint64_t, int> map;
+    EXPECT_EQ(map[5], 0);
+    map[5] = 99;
+    EXPECT_EQ(*map.find(5), 99);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, EraseRemoves)
+{
+    FlatHashMap<uint64_t, int> map;
+    map.insertOrAssign(1, 10);
+    map.insertOrAssign(2, 20);
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_EQ(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_FALSE(map.erase(1));
+}
+
+TEST(FlatHashMap, EraseFromCollisionCluster)
+{
+    // Force many keys through growth; erase half, verify the rest survive
+    // backward-shift deletion.
+    FlatHashMap<uint64_t, uint64_t> map;
+    for (uint64_t k = 1; k <= 1000; ++k)
+        map.insertOrAssign(k, k * 3);
+    for (uint64_t k = 1; k <= 1000; k += 2)
+        EXPECT_TRUE(map.erase(k));
+    EXPECT_EQ(map.size(), 500u);
+    for (uint64_t k = 1; k <= 1000; ++k) {
+        if (k % 2 == 0) {
+            ASSERT_NE(map.find(k), nullptr) << k;
+            EXPECT_EQ(*map.find(k), k * 3);
+        } else {
+            EXPECT_EQ(map.find(k), nullptr) << k;
+        }
+    }
+}
+
+TEST(FlatHashMap, GrowthPreservesEntries)
+{
+    FlatHashMap<uint64_t, uint64_t> map;
+    size_t initial_cap = map.capacity();
+    for (uint64_t k = 1; k <= 10000; ++k)
+        map.insertOrAssign(k, ~k);
+    EXPECT_GT(map.capacity(), initial_cap);
+    for (uint64_t k = 1; k <= 10000; ++k) {
+        ASSERT_NE(map.find(k), nullptr);
+        EXPECT_EQ(*map.find(k), ~k);
+    }
+}
+
+TEST(FlatHashMap, PeakSizeTracksHighWater)
+{
+    FlatHashMap<uint64_t, int> map;
+    for (uint64_t k = 1; k <= 100; ++k)
+        map.insertOrAssign(k, 0);
+    for (uint64_t k = 1; k <= 90; ++k)
+        map.erase(k);
+    EXPECT_EQ(map.size(), 10u);
+    EXPECT_EQ(map.peakSize(), 100u);
+}
+
+TEST(FlatHashMap, ClearKeepsCapacity)
+{
+    FlatHashMap<uint64_t, int> map;
+    for (uint64_t k = 1; k <= 500; ++k)
+        map.insertOrAssign(k, 1);
+    size_t cap = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(13), nullptr);
+}
+
+TEST(FlatHashMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatHashMap<uint64_t, uint64_t> map;
+    for (uint64_t k = 1; k <= 257; ++k)
+        map.insertOrAssign(k, k);
+    uint64_t sum = 0;
+    size_t count = 0;
+    map.forEach([&](uint64_t key, uint64_t &value) {
+        sum += value;
+        EXPECT_EQ(key, value);
+        ++count;
+    });
+    EXPECT_EQ(count, 257u);
+    EXPECT_EQ(sum, 257u * 258u / 2);
+}
+
+TEST(FlatHashMap, ReservedConstructorAvoidsEarlyGrowth)
+{
+    FlatHashMap<uint64_t, int> map(1000);
+    size_t cap = map.capacity();
+    for (uint64_t k = 1; k <= 1000; ++k)
+        map.insertOrAssign(k, 0);
+    EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatHashMap, MemoryBytesMatchesCapacity)
+{
+    FlatHashMap<uint64_t, uint64_t> map;
+    EXPECT_EQ(map.memoryBytes(),
+              map.capacity() * sizeof(FlatHashMap<uint64_t, uint64_t>::Slot));
+}
+
+TEST(FlatHashMap, HashMixerSpreadsSequentialKeys)
+{
+    // Adjacent keys must not map to adjacent hashes (would cause clustering
+    // for register indices and sequential addresses).
+    int adjacent = 0;
+    for (uint64_t k = 0; k < 1000; ++k) {
+        if (mixHash64(k) + 1 == mixHash64(k + 1))
+            ++adjacent;
+    }
+    EXPECT_EQ(adjacent, 0);
+}
+
+// Differential property test: random operation sequences behave exactly like
+// std::unordered_map.
+TEST(FlatHashMapProperty, MatchesStdUnorderedMap)
+{
+    Prng prng(12345);
+    FlatHashMap<uint64_t, uint64_t> map;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    for (int op = 0; op < 200000; ++op) {
+        uint64_t key = prng.nextBelow(4096) + 1;
+        switch (prng.nextBelow(4)) {
+          case 0:
+          case 1: {
+            uint64_t value = prng.next();
+            map.insertOrAssign(key, value);
+            ref[key] = value;
+            break;
+          }
+          case 2: {
+            bool erased = map.erase(key);
+            EXPECT_EQ(erased, ref.erase(key) > 0);
+            break;
+          }
+          default: {
+            uint64_t *found = map.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(found, nullptr);
+            } else {
+                ASSERT_NE(found, nullptr);
+                EXPECT_EQ(*found, it->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+}

@@ -1,0 +1,142 @@
+// Tests for Histogram, Log2Histogram, and RunningStats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/histogram.hpp"
+#include "support/prng.hpp"
+
+using paragraph::Histogram;
+using paragraph::Log2Histogram;
+using paragraph::Prng;
+using paragraph::RunningStats;
+
+TEST(Histogram, CountsExactValues)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(3), 2u);
+    EXPECT_EQ(h.count(7), 1u);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.add(4);  // exact range is [0, 4]
+    h.add(5);  // overflow
+    h.add(100);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.maxSample(), 100u);
+}
+
+TEST(Histogram, MeanIncludesOverflowSamples)
+{
+    Histogram h(2);
+    h.add(1);
+    h.add(9);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, PercentileBasics)
+{
+    Histogram h(100);
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.50), 50u);
+    EXPECT_EQ(h.percentile(0.90), 90u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.01), 1u);
+}
+
+TEST(Histogram, PercentileOnEmpty)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketFor(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketFor(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketFor(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketFor(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketFor(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketFor(7), 3u);
+    EXPECT_EQ(Log2Histogram::bucketFor(8), 4u);
+    EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketLow(4), 8u);
+}
+
+TEST(Log2Histogram, CountsAndHighestBucket)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.highestUsedBucket(), 0u);
+    h.add(0);
+    h.add(5);
+    h.add(5);
+    h.add(1000);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(Log2Histogram::bucketFor(5)), 2u);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_EQ(h.highestUsedBucket(), Log2Histogram::bucketFor(1000) + 1);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 5 + 5 + 1000) / 4.0);
+}
+
+TEST(RunningStats, AgainstDirectComputation)
+{
+    Prng prng(99);
+    RunningStats stats;
+    std::vector<double> xs;
+    for (int i = 0; i < 10000; ++i) {
+        double x = prng.nextDouble() * 100.0 - 50.0;
+        xs.push_back(x);
+        stats.add(x);
+    }
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0;
+    double mn = xs[0];
+    double mx = xs[0];
+    for (double x : xs) {
+        var += (x - mean) * (x - mean);
+        mn = std::min(mn, x);
+        mx = std::max(mx, x);
+    }
+    var /= static_cast<double>(xs.size());
+
+    EXPECT_EQ(stats.count(), xs.size());
+    EXPECT_NEAR(stats.mean(), mean, 1e-9);
+    EXPECT_NEAR(stats.variance(), var, 1e-6);
+    EXPECT_DOUBLE_EQ(stats.min(), mn);
+    EXPECT_DOUBLE_EQ(stats.max(), mx);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats stats;
+    stats.add(42.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}

@@ -1,0 +1,346 @@
+// paragraph — the command-line DDG analysis tool, mirroring the original
+// Paragraph's parameterization (paper Section 3.2).
+//
+// Usage:
+//   paragraph [options] <workload-name | trace-file.ptrc | program.s | program.mc>
+//
+// Input selection (by extension):
+//   name of a bundled workload  analog suite (cc1, fpppp, matrix300, ...)
+//   *.ptrc                      binary trace file (captured earlier)
+//   *.s                         assembly program, simulated for its trace
+//   *.mc                        MiniC program, compiled then simulated
+//
+// Paper switches:
+//   --syscalls=stall|ignore     conservative firewall vs. optimistic (stall)
+//   --no-rename-regs            keep register storage dependencies
+//   --no-rename-stack           keep stack-segment storage dependencies
+//   --no-rename-data            keep non-stack memory storage dependencies
+//   --window=N                  instruction window size (0 = unlimited)
+//   --fus=N                     total functional units (0 = unlimited)
+//   --pipelined-fus             units occupied in issue level only
+//   --max=N                     analyze at most N instructions
+//   --small                     use the workload's reduced test input
+//
+// Outputs:
+//   --profile                   print the bucketed parallelism profile
+//   --plot                      print the ASCII profile plot
+//   --distributions             print lifetime / sharing distributions
+//   --baseline                  also run the critical-path-only baseline
+//   --save-trace=FILE           capture the input trace to FILE (.ptrc)
+//   --dot[=N]                   print Graphviz DDG of the first N records
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "casm/assembler.hpp"
+#include "core/baseline.hpp"
+#include "core/ddg_builder.hpp"
+#include "core/paragraph.hpp"
+#include "core/report.hpp"
+#include "minic/compiler.hpp"
+#include "sim/exec_profile.hpp"
+#include "sim/machine.hpp"
+#include "support/ascii_table.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+#include "trace/buffer.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/file_io.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct Options
+{
+    core::AnalysisConfig cfg;
+    std::string input;
+    bool small = false;
+    bool profile = false;
+    bool plot = false;
+    bool distributions = false;
+    bool storage = false;
+    uint64_t hot = 0;
+    bool baseline = false;
+    std::string saveTrace;
+    uint64_t dotRecords = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: paragraph [options] <workload | file.ptrc | file.ptrz | "
+        "file.s | file.mc>\n"
+        "  --syscalls=stall|ignore  --no-rename-regs  --no-rename-stack\n"
+        "  --no-rename-data  --window=N  --fus=N  --pipelined-fus  --max=N\n"
+        "  --small  --profile  --plot  --distributions  --baseline\n"
+        "  --storage-profile  --hot[=N]  "
+        "--predictor=perfect|bimodal|taken|nottaken\n"
+        "  --save-trace=FILE  --dot[=N]  --list\n");
+    std::exit(2);
+}
+
+bool
+hasSuffix(const std::string &s, const char *suffix)
+{
+    size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PARA_FATAL("cannot open %s", path.c_str());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int64_t n = 0;
+        if (arg == "--list") {
+            for (const auto &w :
+                 workloads::WorkloadSuite::instance().all()) {
+                std::printf("%-10s %-8s %-10s %s\n", w.name.c_str(),
+                            w.language.c_str(), w.benchType.c_str(),
+                            w.description.c_str());
+            }
+            std::exit(0);
+        } else if (arg == "--syscalls=stall") {
+            opt.cfg.sysCallsStall = true;
+        } else if (arg == "--syscalls=ignore") {
+            opt.cfg.sysCallsStall = false;
+        } else if (arg == "--no-rename-regs") {
+            opt.cfg.renameRegisters = false;
+        } else if (arg == "--no-rename-stack") {
+            opt.cfg.renameStack = false;
+        } else if (arg == "--no-rename-data") {
+            opt.cfg.renameData = false;
+        } else if (startsWith(arg, "--window=") &&
+                   parseInt(arg.substr(9), n) && n >= 0) {
+            opt.cfg.windowSize = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--fus=") && parseInt(arg.substr(6), n) &&
+                   n >= 0) {
+            opt.cfg.totalFuLimit = static_cast<uint32_t>(n);
+        } else if (startsWith(arg, "--predictor=")) {
+            std::string kind = arg.substr(12);
+            if (kind == "perfect") {
+                opt.cfg.branchPredictor = core::PredictorKind::Perfect;
+            } else if (kind == "bimodal") {
+                opt.cfg.branchPredictor = core::PredictorKind::Bimodal;
+            } else if (kind == "taken") {
+                opt.cfg.branchPredictor = core::PredictorKind::AlwaysTaken;
+            } else if (kind == "nottaken") {
+                opt.cfg.branchPredictor = core::PredictorKind::NeverTaken;
+            } else if (kind == "wrong") {
+                opt.cfg.branchPredictor = core::PredictorKind::AlwaysWrong;
+            } else {
+                usage();
+            }
+        } else if (arg == "--pipelined-fus") {
+            opt.cfg.pipelinedFus = true;
+        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
+                   n >= 0) {
+            opt.cfg.maxInstructions = static_cast<uint64_t>(n);
+        } else if (arg == "--small") {
+            opt.small = true;
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg == "--plot") {
+            opt.plot = true;
+        } else if (arg == "--distributions") {
+            opt.distributions = true;
+        } else if (arg == "--storage-profile") {
+            opt.storage = true;
+        } else if (startsWith(arg, "--hot=") && parseInt(arg.substr(6), n) &&
+                   n > 0) {
+            opt.hot = static_cast<uint64_t>(n);
+        } else if (arg == "--hot") {
+            opt.hot = 16;
+        } else if (arg == "--baseline") {
+            opt.baseline = true;
+        } else if (startsWith(arg, "--save-trace=")) {
+            opt.saveTrace = arg.substr(13);
+        } else if (arg == "--dot") {
+            opt.dotRecords = 64;
+        } else if (startsWith(arg, "--dot=") && parseInt(arg.substr(6), n) &&
+                   n > 0) {
+            opt.dotRecords = static_cast<uint64_t>(n);
+        } else if (!startsWith(arg, "--") && opt.input.empty()) {
+            opt.input = arg;
+        } else {
+            std::fprintf(stderr, "paragraph: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (opt.input.empty())
+        usage();
+    return opt;
+}
+
+/** Owns whatever combination of program/machine/file backs the source. */
+struct InputBundle
+{
+    std::unique_ptr<casm::Program> program;
+    std::unique_ptr<trace::TraceSource> source;
+    std::string description;
+};
+
+InputBundle
+openInput(const Options &opt)
+{
+    InputBundle bundle;
+    if (hasSuffix(opt.input, ".ptrc") || hasSuffix(opt.input, ".ptrz")) {
+        bundle.source = trace::openTraceFile(opt.input);
+        bundle.description = "trace file " + opt.input;
+        return bundle;
+    }
+    if (hasSuffix(opt.input, ".s")) {
+        bundle.program = std::make_unique<casm::Program>(
+            casm::assemble(readFile(opt.input)));
+        bundle.source =
+            std::make_unique<sim::MachineTraceSource>(*bundle.program);
+        bundle.description = "assembly program " + opt.input;
+        return bundle;
+    }
+    if (hasSuffix(opt.input, ".mc") || hasSuffix(opt.input, ".c")) {
+        bundle.program = std::make_unique<casm::Program>(
+            minic::compile(readFile(opt.input)));
+        bundle.source =
+            std::make_unique<sim::MachineTraceSource>(*bundle.program);
+        bundle.description = "MiniC program " + opt.input;
+        return bundle;
+    }
+    auto &suite = workloads::WorkloadSuite::instance();
+    const workloads::Workload &w = suite.find(opt.input);
+    bundle.source = suite.makeSource(w, opt.small
+                                            ? workloads::Scale::Small
+                                            : workloads::Scale::Full);
+    bundle.description = "workload " + w.name + " (" + w.description + ")";
+    return bundle;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+        InputBundle input = openInput(opt);
+        std::printf("paragraph: analyzing %s\n",
+                    input.description.c_str());
+
+        if (!opt.saveTrace.empty()) {
+            uint64_t n = 0;
+            if (hasSuffix(opt.saveTrace, ".ptrz")) {
+                trace::CompressedTraceWriter writer(opt.saveTrace);
+                n = writer.writeAll(*input.source);
+                writer.close();
+            } else {
+                trace::TraceFileWriter writer(opt.saveTrace);
+                n = writer.writeAll(*input.source);
+                writer.close();
+            }
+            std::printf("captured %s records to %s\n",
+                        AsciiTable::withCommas(n).c_str(),
+                        opt.saveTrace.c_str());
+            input.source->reset();
+        }
+
+        if (opt.dotRecords > 0) {
+            trace::TraceBuffer head;
+            trace::TraceRecord rec;
+            while (head.size() < opt.dotRecords &&
+                   input.source->next(rec)) {
+                head.push(rec);
+            }
+            std::cout << core::buildDdg(head, opt.cfg).toDot();
+            return 0;
+        }
+
+        core::Paragraph engine(opt.cfg);
+        core::AnalysisResult res = engine.analyze(*input.source);
+        core::printSummary(std::cout, input.source->name(), opt.cfg, res);
+        if (opt.cfg.branchPredictor != core::PredictorKind::Perfect) {
+            std::printf("  branches            %20s (%s mispredicted, "
+                        "%s model)\n",
+                        AsciiTable::withCommas(res.condBranches).c_str(),
+                        AsciiTable::withCommas(res.branchMispredictions)
+                            .c_str(),
+                        core::predictorKindName(opt.cfg.branchPredictor));
+        }
+        std::printf("  analysis time       %17.2f s (%.1f M records/s)\n",
+                    res.analysisSeconds,
+                    res.analysisSeconds > 0
+                        ? static_cast<double>(res.instructions) / 1e6 /
+                              res.analysisSeconds
+                        : 0.0);
+        if (opt.profile) {
+            std::printf("\n");
+            core::printProfile(std::cout, res);
+        }
+        if (opt.plot) {
+            std::printf("\n");
+            core::printProfilePlot(std::cout, res);
+        }
+        if (opt.distributions) {
+            std::printf("\n");
+            core::printDistributions(std::cout, res);
+        }
+        if (opt.storage) {
+            std::printf("\n");
+            core::printStorageProfile(std::cout, res);
+        }
+        if (opt.hot > 0) {
+            const casm::Program *prog = input.program.get();
+            if (!prog && !opt.input.empty()) {
+                // Bundled workloads keep their compiled program cached.
+                auto &suite = workloads::WorkloadSuite::instance();
+                for (const auto &w : suite.all()) {
+                    if (w.name == opt.input)
+                        prog = &suite.program(w);
+                }
+            }
+            if (prog) {
+                std::printf("\nhot instructions (Pixie-style profile):\n");
+                input.source->reset();
+                sim::ExecutionProfile profile = sim::ExecutionProfile::collect(
+                    *input.source, prog->text.size());
+                profile.printHot(std::cout, *prog, opt.hot);
+            } else {
+                std::printf("\n--hot needs a program input (workload, .mc, "
+                            ".s); trace files carry no text segment\n");
+            }
+        }
+        if (opt.baseline) {
+            input.source->reset();
+            core::CriticalPathAnalyzer fast(opt.cfg);
+            core::BaselineResult base = fast.analyze(*input.source);
+            std::printf("\nbaseline (critical-path-only): cp %s, "
+                        "parallelism %.2f\n",
+                        AsciiTable::withCommas(base.criticalPathLength)
+                            .c_str(),
+                        base.availableParallelism);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "paragraph: %s\n", e.what());
+        return 1;
+    }
+}
