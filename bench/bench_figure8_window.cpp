@@ -7,6 +7,12 @@
 // and analysis ... and requires approximately 10 hours on a DECstation
 // 3100" — here each point takes well under a second).
 //
+// The sweep runs on the parallel sweep engine: each benchmark's trace is
+// simulated once into a shared immutable capture (engine::TraceRepository)
+// and all window sizes are analyzed concurrently across a worker pool
+// (engine::SweepEngine) — the paper paid ~10 hours per point for the same
+// grid, serially.
+//
 // Traces are capped at 2,000,000 instructions per point so the whole sweep
 // stays laptop-scale; the 100% reference is the unlimited-window analysis of
 // the same capped trace.
@@ -14,7 +20,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
-#include "core/multi.hpp"
+#include "engine/sweep.hpp"
 #include "support/ascii_table.hpp"
 #include "support/string_utils.hpp"
 
@@ -40,35 +46,38 @@ main()
         table.addColumn("W=" + AsciiTable::withCommas(w));
     table.addColumn("Total Par");
 
-    // All window sizes plus the unlimited reference are analyzed in a
-    // single trace pass per benchmark (core::analyzeMany) — the paper paid
-    // ~10 hours per point for the same sweep.
+    // One grid per benchmark: every window size plus the unlimited
+    // reference, all replaying one shared capture across the worker pool.
+    std::vector<core::AnalysisConfig> configs;
+    for (uint64_t w : windowSizes) {
+        core::AnalysisConfig cfg = core::AnalysisConfig::windowed(w);
+        cfg.maxInstructions = instructionCap;
+        configs.push_back(cfg);
+    }
+    core::AnalysisConfig ref_cfg =
+        core::AnalysisConfig::dataflowConservative();
+    ref_cfg.maxInstructions = instructionCap;
+    configs.push_back(ref_cfg);
+
+    engine::TraceRepository repo(engine::TraceRepository::Options{
+        workloads::Scale::Full, instructionCap});
+    engine::SweepEngine sweeper;
+
     auto &suite = workloads::WorkloadSuite::instance();
     for (const auto &wl : suite.all()) {
-        std::vector<core::AnalysisConfig> configs;
-        for (uint64_t w : windowSizes) {
-            core::AnalysisConfig cfg = core::AnalysisConfig::windowed(w);
-            cfg.maxInstructions = instructionCap;
-            configs.push_back(cfg);
-        }
-        core::AnalysisConfig ref_cfg =
-            core::AnalysisConfig::dataflowConservative();
-        ref_cfg.maxInstructions = instructionCap;
-        configs.push_back(ref_cfg);
-
-        auto src = suite.makeSource(wl, workloads::Scale::Full);
-        std::vector<core::AnalysisResult> results =
-            core::analyzeMany(*src, configs);
-        double total = results.back().availableParallelism;
+        engine::SweepResult sweep = sweeper.run(repo, {wl.name}, configs);
+        double total = sweep.cells.back().result.availableParallelism;
 
         table.beginRow();
         table.cell(wl.name);
-        for (size_t i = 0; i + 1 < results.size(); ++i) {
+        for (size_t i = 0; i + 1 < sweep.cells.size(); ++i) {
             table.cell(strFormat(
                 "%.2f%%",
-                100.0 * results[i].availableParallelism / total));
+                100.0 * sweep.cells[i].result.availableParallelism /
+                    total));
         }
         table.cell(total, 2);
+        repo.release(wl.name); // captures are per-benchmark; bound memory
     }
     table.print(std::cout);
 
@@ -87,19 +96,20 @@ main()
     small.addColumn("Benchmark", AsciiTable::Align::Left);
     small.addColumn("Ops/cycle at W=64");
     small.addColumn("Ops/cycle at W=256");
+    std::vector<core::AnalysisConfig> smallConfigs;
+    for (uint64_t w : {64u, 256u}) {
+        core::AnalysisConfig cfg = core::AnalysisConfig::windowed(w);
+        cfg.maxInstructions = instructionCap;
+        smallConfigs.push_back(cfg);
+    }
     for (const auto &wl : suite.all()) {
-        std::vector<core::AnalysisConfig> configs;
-        for (uint64_t w : {64u, 256u}) {
-            core::AnalysisConfig cfg = core::AnalysisConfig::windowed(w);
-            cfg.maxInstructions = instructionCap;
-            configs.push_back(cfg);
-        }
-        auto src = suite.makeSource(wl, workloads::Scale::Full);
-        auto results = core::analyzeMany(*src, configs);
+        engine::SweepResult sweep =
+            sweeper.run(repo, {wl.name}, smallConfigs);
         small.beginRow();
         small.cell(wl.name);
-        small.cell(results[0].availableParallelism, 2);
-        small.cell(results[1].availableParallelism, 2);
+        small.cell(sweep.cells[0].result.availableParallelism, 2);
+        small.cell(sweep.cells[1].result.availableParallelism, 2);
+        repo.release(wl.name);
     }
     small.print(std::cout);
     return 0;

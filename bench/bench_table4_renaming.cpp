@@ -3,10 +3,15 @@
 // Available parallelism with: no renaming, registers renamed, registers +
 // stack renamed, and registers + all memory renamed. Conservative syscalls,
 // unlimited window, no functional-unit limits — exactly the paper's setup.
+//
+// Runs on the parallel sweep engine: each benchmark's trace is simulated
+// once into a shared capture and the four renaming conditions are analyzed
+// concurrently across a worker pool.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "engine/sweep.hpp"
 #include "support/ascii_table.hpp"
 
 using namespace paragraph;
@@ -25,21 +30,24 @@ main()
     table.addColumn("Regs/Stack Renamed");
     table.addColumn("Regs/Mem Renamed");
 
-    const core::AnalysisConfig configs[4] = {
+    const std::vector<core::AnalysisConfig> configs = {
         core::AnalysisConfig::noRenaming(),
         core::AnalysisConfig::regsRenamed(),
         core::AnalysisConfig::regsStackRenamed(),
         core::AnalysisConfig::regsMemRenamed(),
     };
 
+    engine::TraceRepository repo;
+    engine::SweepEngine sweeper;
+
     auto &suite = workloads::WorkloadSuite::instance();
     for (const auto &w : suite.all()) {
+        engine::SweepResult sweep = sweeper.run(repo, {w.name}, configs);
         table.beginRow();
         table.cell(w.name);
-        for (const auto &cfg : configs) {
-            core::AnalysisResult res = bench::analyzeWorkload(w, cfg);
-            table.cell(res.availableParallelism, 2);
-        }
+        for (const engine::SweepCell &cell : sweep.cells)
+            table.cell(cell.result.availableParallelism, 2);
+        repo.release(w.name); // captures are per-benchmark; bound memory
     }
     table.print(std::cout);
 

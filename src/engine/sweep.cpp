@@ -1,0 +1,141 @@
+#include "engine/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace paragraph {
+namespace engine {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
+
+SweepEngine::SweepEngine(Options opt)
+    : jobs_(opt.jobs ? opt.jobs : std::thread::hardware_concurrency()),
+      progress_(std::move(opt.progress))
+{
+    if (jobs_ == 0) // hardware_concurrency() may report 0
+        jobs_ = 1;
+}
+
+SweepResult
+SweepEngine::run(TraceRepository &repo,
+                 const std::vector<std::string> &inputs,
+                 const std::vector<core::AnalysisConfig> &configs,
+                 const std::vector<std::string> &configLabels) const
+{
+    std::vector<SweepJob> grid;
+    grid.reserve(inputs.size() * configs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        for (size_t j = 0; j < configs.size(); ++j) {
+            SweepJob job;
+            job.input = inputs[i];
+            job.config = configs[j];
+            if (j < configLabels.size())
+                job.configLabel = configLabels[j];
+            else
+                job.configLabel = configs[j].describe();
+            job.inputIndex = i;
+            job.configIndex = j;
+            grid.push_back(std::move(job));
+        }
+    }
+    return runJobs(repo, std::move(grid));
+}
+
+SweepResult
+SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
+{
+    auto sweepStart = std::chrono::steady_clock::now();
+
+    SweepResult sweep;
+    sweep.jobs = jobs_;
+    sweep.cells.resize(jobs.size());
+
+    // Capture every distinct input up front, serially: simulation and
+    // decompression are the parts that cannot be split across cells, and
+    // doing it here (rather than lazily from the pool) keeps the workers'
+    // wall-time numbers pure analysis.
+    for (const SweepJob &job : jobs)
+        repo.get(job.input);
+    sweep.captureSeconds = secondsSince(sweepStart);
+
+    std::atomic<size_t> nextJob{0};
+    std::atomic<uint64_t> instructionsDone{0};
+    std::mutex progressMutex;
+    size_t cellsDone = 0;
+
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            SweepCell &cell = sweep.cells[i];
+            cell.job = std::move(jobs[i]);
+
+            trace::SharedBufferSource src(repo.get(cell.job.input),
+                                          cell.job.input);
+            core::Paragraph analyzer(cell.job.config);
+            auto cellStart = std::chrono::steady_clock::now();
+            cell.result = analyzer.analyze(src);
+            cell.wallSeconds = secondsSince(cellStart);
+            cell.minstrPerSec =
+                cell.wallSeconds > 0.0
+                    ? static_cast<double>(cell.result.instructions) / 1e6 /
+                          cell.wallSeconds
+                    : 0.0;
+
+            uint64_t total = instructionsDone.fetch_add(
+                                 cell.result.instructions,
+                                 std::memory_order_relaxed) +
+                             cell.result.instructions;
+            if (progress_) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                ++cellsDone;
+                double elapsed = secondsSince(sweepStart);
+                progress_(cellsDone, sweep.cells.size(),
+                          elapsed > 0.0
+                              ? static_cast<double>(total) / 1e6 / elapsed
+                              : 0.0);
+            }
+        }
+    };
+
+    unsigned nThreads =
+        static_cast<unsigned>(std::min<size_t>(jobs_, jobs.size()));
+    if (nThreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nThreads);
+        for (unsigned t = 0; t < nThreads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    sweep.wallSeconds = secondsSince(sweepStart);
+    sweep.totalInstructions = instructionsDone.load();
+    sweep.aggregateMinstrPerSec =
+        sweep.wallSeconds > 0.0
+            ? static_cast<double>(sweep.totalInstructions) / 1e6 /
+                  sweep.wallSeconds
+            : 0.0;
+    return sweep;
+}
+
+} // namespace engine
+} // namespace paragraph

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SweepEngine: a threaded (trace × config) grid runner.
+ *
+ * The paper's headline experiments are grids — Figure 8 re-extracts the DDG
+ * once per window size per benchmark ("approximately 10 hours on a
+ * DECstation 3100" per point), Table 4 crosses renaming switches with
+ * benchmarks. Each grid cell is one independent core::Paragraph::analyze
+ * run, so the engine schedules cells across a std::thread pool: inputs are
+ * captured once into shared immutable buffers (TraceRepository), each worker
+ * replays a capture through its own cursor, and every core::Paragraph is
+ * thread-private, so workers share no mutable analysis state. Results are
+ * stored by grid position, making sweep output independent of worker count
+ * and completion order (a tested invariant).
+ */
+
+#ifndef PARAGRAPH_ENGINE_SWEEP_HPP
+#define PARAGRAPH_ENGINE_SWEEP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "engine/trace_repository.hpp"
+
+namespace paragraph {
+namespace engine {
+
+/** One grid cell: analyze @p input under @p config. */
+struct SweepJob
+{
+    std::string input;          ///< TraceRepository input spec
+    core::AnalysisConfig config;
+    std::string configLabel;    ///< short axis label, e.g. "window=64"
+    size_t inputIndex = 0;      ///< position on the input axis
+    size_t configIndex = 0;     ///< position on the config axis
+};
+
+/** One completed cell. */
+struct SweepCell
+{
+    SweepJob job;
+    core::AnalysisResult result;
+
+    /** Wall-clock seconds for this cell's analysis alone. */
+    double wallSeconds = 0.0;
+
+    /** Analysis throughput of this cell, in million instructions/sec. */
+    double minstrPerSec = 0.0;
+};
+
+/** A finished sweep: cells in grid order plus aggregate bookkeeping. */
+struct SweepResult
+{
+    std::vector<SweepCell> cells;
+
+    /** Worker threads the sweep ran on. */
+    unsigned jobs = 0;
+
+    /** Wall-clock seconds for the whole sweep (captures + analyses). */
+    double wallSeconds = 0.0;
+
+    /** Of which, seconds spent capturing the inputs (serial, paid once). */
+    double captureSeconds = 0.0;
+
+    /** Total instructions analyzed across all cells. */
+    uint64_t totalInstructions = 0;
+
+    /** Aggregate throughput: totalInstructions / wallSeconds / 1e6. */
+    double aggregateMinstrPerSec = 0.0;
+};
+
+/**
+ * Progress observer, called (serialized) after each cell completes:
+ * cells done, cells total, aggregate million instructions/sec so far.
+ */
+using SweepProgressFn =
+    std::function<void(size_t done, size_t total, double minstrPerSec)>;
+
+class SweepEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+        unsigned jobs = 0;
+
+        /** Optional progress observer (never called concurrently). */
+        SweepProgressFn progress;
+    };
+
+    SweepEngine();
+    explicit SweepEngine(Options opt);
+
+    /** Worker threads run() will use. */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run the full cross product @p inputs × @p configs.
+     *
+     * Cells come back in input-major grid order: cell i*configs.size()+j
+     * holds inputs[i] under configs[j]. @p configLabels (optional, parallel
+     * to @p configs) annotates each config axis point for reports.
+     */
+    SweepResult run(TraceRepository &repo,
+                    const std::vector<std::string> &inputs,
+                    const std::vector<core::AnalysisConfig> &configs,
+                    const std::vector<std::string> &configLabels = {}) const;
+
+    /** Run an explicit job list; cells come back in job order. */
+    SweepResult runJobs(TraceRepository &repo,
+                        std::vector<SweepJob> jobs) const;
+
+  private:
+    unsigned jobs_;
+    SweepProgressFn progress_;
+};
+
+} // namespace engine
+} // namespace paragraph
+
+#endif // PARAGRAPH_ENGINE_SWEEP_HPP

@@ -1,0 +1,104 @@
+#include "engine/trace_repository.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "casm/assembler.hpp"
+#include "minic/compiler.hpp"
+#include "sim/machine.hpp"
+#include "support/panic.hpp"
+#include "trace/compressed_io.hpp"
+
+namespace paragraph {
+namespace engine {
+
+namespace {
+
+bool
+hasSuffix(const std::string &s, const char *suffix)
+{
+    std::string_view suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PARA_FATAL("cannot open %s", path.c_str());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+} // namespace
+
+std::shared_ptr<const trace::TraceBuffer>
+TraceRepository::get(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(spec);
+    if (it != cache_.end())
+        return it->second;
+    std::shared_ptr<const trace::TraceBuffer> buf = capture(spec);
+    cache_.emplace(spec, buf);
+    return buf;
+}
+
+std::unique_ptr<trace::TraceSource>
+TraceRepository::makeSource(const std::string &spec)
+{
+    return std::make_unique<trace::SharedBufferSource>(get(spec), spec);
+}
+
+void
+TraceRepository::release(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.erase(spec);
+}
+
+void
+TraceRepository::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+size_t
+TraceRepository::cachedInputs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::shared_ptr<const trace::TraceBuffer>
+TraceRepository::capture(const std::string &spec) const
+{
+    auto buf = std::make_shared<trace::TraceBuffer>();
+    if (hasSuffix(spec, ".ptrc") || hasSuffix(spec, ".ptrz")) {
+        std::unique_ptr<trace::TraceSource> src = trace::openTraceFile(spec);
+        buf->capture(*src, opt_.maxRecords);
+    } else if (hasSuffix(spec, ".s")) {
+        casm::Program program = casm::assemble(readFile(spec));
+        sim::MachineTraceSource src(program, {}, {}, spec);
+        buf->capture(src, opt_.maxRecords);
+    } else if (hasSuffix(spec, ".mc") || hasSuffix(spec, ".c")) {
+        casm::Program program = minic::compile(readFile(spec));
+        sim::MachineTraceSource src(program, {}, {}, spec);
+        buf->capture(src, opt_.maxRecords);
+    } else {
+        auto &suite = workloads::WorkloadSuite::instance();
+        const workloads::Workload &w = suite.find(spec);
+        std::unique_ptr<sim::MachineTraceSource> src =
+            suite.makeSource(w, opt_.scale);
+        buf->capture(*src, opt_.maxRecords);
+    }
+    return buf;
+}
+
+} // namespace engine
+} // namespace paragraph

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TraceRepository: capture each sweep input once, share it with all workers.
+ *
+ * A (trace × config) sweep re-analyzes the same trace many times. Trace
+ * *generation* — functional simulation of a workload or MiniC program,
+ * assembly, or `.ptrc`/`.ptrz` decompression — is the expensive, inherently
+ * serial part, so the repository performs it exactly once per input and
+ * stores the result in an immutable, shared in-memory trace::TraceBuffer.
+ * Workers replay the capture through trace::SharedBufferSource instances
+ * that carry only a private cursor, so any number of analyses can run over
+ * one capture concurrently without synchronization.
+ */
+
+#ifndef PARAGRAPH_ENGINE_TRACE_REPOSITORY_HPP
+#define PARAGRAPH_ENGINE_TRACE_REPOSITORY_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/buffer.hpp"
+#include "trace/source.hpp"
+#include "workloads/workload.hpp"
+
+namespace paragraph {
+namespace engine {
+
+class TraceRepository
+{
+  public:
+    struct Options
+    {
+        /** Scale used when an input names a bundled workload. */
+        workloads::Scale scale = workloads::Scale::Full;
+
+        /** Capture at most this many records per input; 0 = whole trace.
+         *  Set this to the sweep's maxInstructions so memory stays bounded
+         *  by what any analysis will actually consume. */
+        uint64_t maxRecords = 0;
+    };
+
+    TraceRepository() = default;
+    explicit TraceRepository(Options opt) : opt_(opt) {}
+
+    TraceRepository(const TraceRepository &) = delete;
+    TraceRepository &operator=(const TraceRepository &) = delete;
+
+    /**
+     * The shared capture for @p spec, producing it on first request.
+     *
+     * @p spec is resolved exactly like the `paragraph` CLI input argument:
+     * `.ptrc`/`.ptrz` trace files are read back, `.s` assembly and
+     * `.mc`/`.c` MiniC programs are simulated for their trace, and anything
+     * else names a bundled workload analog. Thread-safe; throws FatalError
+     * for unknown inputs.
+     */
+    std::shared_ptr<const trace::TraceBuffer> get(const std::string &spec);
+
+    /** A fresh replayable source over the shared capture of @p spec. */
+    std::unique_ptr<trace::TraceSource> makeSource(const std::string &spec);
+
+    /** Drop the cached capture for @p spec (in-flight sources keep theirs). */
+    void release(const std::string &spec);
+
+    /** Drop every cached capture. */
+    void clear();
+
+    /** Number of inputs currently cached. */
+    size_t cachedInputs() const;
+
+  private:
+    Options opt_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const trace::TraceBuffer>> cache_;
+
+    /** Generate/load and capture one input (called with mutex_ held). */
+    std::shared_ptr<const trace::TraceBuffer>
+    capture(const std::string &spec) const;
+};
+
+} // namespace engine
+} // namespace paragraph
+
+#endif // PARAGRAPH_ENGINE_TRACE_REPOSITORY_HPP

@@ -11,6 +11,7 @@
 #define PARAGRAPH_TRACE_BUFFER_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,12 +45,16 @@ class TraceBuffer
     std::vector<TraceRecord> &records() { return records_; }
     const std::vector<TraceRecord> &records() const { return records_; }
 
-    /** Capture every record of @p src (drains it from its current point). */
+    /**
+     * Capture records of @p src (drains it from its current point).
+     * @param max_records stop after this many records; 0 = whole trace.
+     */
     void
-    capture(TraceSource &src)
+    capture(TraceSource &src, size_t max_records = 0)
     {
         TraceRecord rec;
-        while (src.next(rec))
+        while ((max_records == 0 || records_.size() < max_records) &&
+               src.next(rec))
             records_.push_back(rec);
     }
 
@@ -80,6 +85,46 @@ class BufferSource : public TraceSource
 
   private:
     const TraceBuffer *buffer_;
+    std::string name_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Replayable TraceSource that co-owns an immutable TraceBuffer.
+ *
+ * This is the hand-out type of engine::TraceRepository: one capture is
+ * shared read-only by any number of concurrently-replaying sources (each
+ * keeps only its own cursor), and the buffer stays alive as long as any
+ * source still references it.
+ */
+class SharedBufferSource : public TraceSource
+{
+  public:
+    explicit SharedBufferSource(std::shared_ptr<const TraceBuffer> buffer,
+                                std::string name = "buffer")
+        : buffer_(std::move(buffer)), name_(std::move(name)) {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= buffer_->size())
+            return false;
+        rec = (*buffer_)[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::string name() const override { return name_; }
+
+    /** The shared capture this source replays. */
+    const std::shared_ptr<const TraceBuffer> &buffer() const
+    {
+        return buffer_;
+    }
+
+  private:
+    std::shared_ptr<const TraceBuffer> buffer_;
     std::string name_;
     size_t pos_ = 0;
 };

@@ -1,0 +1,109 @@
+// End-to-end tests of the `paragraph-sweep` CLI binary: spawn it like a
+// user would and check the JSON document and the determinism guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string
+sweepCliPath()
+{
+#ifdef PARAGRAPH_SWEEP_CLI_PATH
+    return PARAGRAPH_SWEEP_CLI_PATH;
+#else
+    return "./build/tools/paragraph-sweep";
+#endif
+}
+
+struct CliResult
+{
+    int status;
+    std::string output;
+};
+
+CliResult
+runSweep(const std::string &args)
+{
+    std::string cmd = sweepCliPath() + " " + args + " 2>/dev/null";
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string out;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), pipe))
+        out += buf;
+    int status = pclose(pipe);
+    return CliResult{status, out};
+}
+
+} // namespace
+
+TEST(SweepCli, EmitsTheGridAsJson)
+{
+    CliResult r = runSweep("--inputs=xlisp --small --windows=16,0 "
+                           "--quiet --no-profiles");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("\"schema\": \"paragraph-sweep-v1\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"cells_total\": 2"), std::string::npos);
+    EXPECT_NE(r.output.find("\"critical_path\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"available_parallelism\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"window\": 16"), std::string::npos);
+}
+
+TEST(SweepCli, JobCountDoesNotChangeTheDocument)
+{
+    const std::string grid = "--inputs=xlisp,matrix300 --small "
+                             "--windows=4,16,64,0 --rename=regs,data "
+                             "--quiet --no-timing";
+    CliResult serial = runSweep(grid + " --jobs=1");
+    CliResult threaded = runSweep(grid + " --jobs=4");
+    EXPECT_EQ(serial.status, 0);
+    EXPECT_EQ(threaded.status, 0);
+    EXPECT_EQ(serial.output, threaded.output);
+    EXPECT_NE(serial.output.find("\"cells_total\": 16"),
+              std::string::npos);
+}
+
+TEST(SweepCli, CrossesEveryAxis)
+{
+    CliResult r = runSweep("--inputs=xlisp --small --windows=16,0 "
+                           "--syscalls=stall,ignore --rename=none,data "
+                           "--quiet --no-profiles --no-timing");
+    EXPECT_EQ(r.status, 0);
+    // 2 windows x 2 syscall modes x 2 renaming points = 8 cells.
+    EXPECT_NE(r.output.find("\"cells_total\": 8"), std::string::npos);
+    EXPECT_NE(r.output.find("\"syscalls\": \"ignore\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"rename_regs\": false"), std::string::npos);
+}
+
+TEST(SweepCli, WritesToAFile)
+{
+    namespace fs = std::filesystem;
+    std::string path = (fs::temp_directory_path() / "sweep_out.json").string();
+    CliResult r = runSweep("--inputs=xlisp --small --windows=16 --quiet "
+                           "--no-profiles --out=" + path);
+    EXPECT_EQ(r.status, 0);
+    EXPECT_TRUE(r.output.empty()); // JSON went to the file, not stdout
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v1\""),
+              std::string::npos);
+    fs::remove(path);
+}
+
+TEST(SweepCli, BadArgumentsFailCleanly)
+{
+    EXPECT_NE(runSweep("--inputs=xlisp --bogus").status, 0);
+    EXPECT_NE(runSweep("--inputs=no-such-workload --quiet").status, 0);
+    EXPECT_NE(runSweep("--inputs=xlisp --rename=everything").status, 0);
+    EXPECT_NE(runSweep("").status, 0);
+}

@@ -18,6 +18,8 @@
 //   --window=N                  instruction window size (0 = unlimited)
 //   --fus=N                     total functional units (0 = unlimited)
 //   --pipelined-fus             units occupied in issue level only
+//   --predictor=perfect|bimodal|taken|nottaken|wrong
+//                               branch-prediction model (misses firewall)
 //   --max=N                     analyze at most N instructions
 //   --small                     use the workload's reduced test input
 //
@@ -25,9 +27,13 @@
 //   --profile                   print the bucketed parallelism profile
 //   --plot                      print the ASCII profile plot
 //   --distributions             print lifetime / sharing distributions
+//   --storage-profile           print the live-values-per-level plot
+//   --hot[=N]                   print the N hottest static instructions
 //   --baseline                  also run the critical-path-only baseline
-//   --save-trace=FILE           capture the input trace to FILE (.ptrc)
+//   --save-trace=FILE           capture the input trace to FILE
+//                               (.ptrc fixed-size, .ptrz compressed)
 //   --dot[=N]                   print Graphviz DDG of the first N records
+//   --list                      list the bundled workload analogs
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -78,12 +84,14 @@ usage()
         stderr,
         "usage: paragraph [options] <workload | file.ptrc | file.ptrz | "
         "file.s | file.mc>\n"
-        "  --syscalls=stall|ignore  --no-rename-regs  --no-rename-stack\n"
-        "  --no-rename-data  --window=N  --fus=N  --pipelined-fus  --max=N\n"
-        "  --small  --profile  --plot  --distributions  --baseline\n"
-        "  --storage-profile  --hot[=N]  "
-        "--predictor=perfect|bimodal|taken|nottaken\n"
-        "  --save-trace=FILE  --dot[=N]  --list\n");
+        "  switches: --syscalls=stall|ignore  --no-rename-regs\n"
+        "            --no-rename-stack  --no-rename-data  --window=N\n"
+        "            --fus=N  --pipelined-fus  --max=N  --small\n"
+        "            --predictor=perfect|bimodal|taken|nottaken|wrong\n"
+        "  outputs:  --profile  --plot  --distributions  "
+        "--storage-profile\n"
+        "            --hot[=N]  --baseline  --save-trace=FILE  --dot[=N]\n"
+        "            --list\n");
     std::exit(2);
 }
 

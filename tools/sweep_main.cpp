@@ -1,0 +1,338 @@
+// paragraph-sweep — threaded (trace × config) grid runner with JSON output.
+//
+// Executes the cross product of the input axis and every config axis across
+// a worker thread pool (engine::SweepEngine). Each input is captured once
+// into a shared immutable trace buffer (engine::TraceRepository); each grid
+// cell is one independent core::Paragraph analysis. Results stream to
+// stdout (or --out=FILE) as one JSON object per cell, in grid order, so the
+// document is identical for any --jobs value (modulo the "timing" fields,
+// which --no-timing omits).
+//
+// Usage:
+//   paragraph-sweep [options] --inputs=A,B,... [more inputs...]
+//
+// Input axis (same resolution as the `paragraph` CLI):
+//   --inputs=a,b,c         workload names, *.ptrc/*.ptrz traces,
+//                          *.s assembly, *.mc MiniC (positional args too)
+//   --small                use each workload's reduced test input
+//
+// Config axes (grid = cross product of all axes):
+//   --windows=16,64,0      window sizes (0 = unlimited)
+//   --rename=none,regs,stack,data
+//                          Table 4 renaming conditions: none | regs |
+//                          stack (= regs+stack) | data (= regs+all memory)
+//   --syscalls=stall,ignore
+//   --predictors=perfect,bimodal,taken,nottaken,wrong
+//   --fus=0,2,8            total functional-unit limits (0 = unlimited)
+//
+// Execution and output:
+//   --jobs=N               worker threads (default: hardware concurrency)
+//   --max=N                analyze at most N instructions per cell
+//                          (also caps the shared trace capture)
+//   --out=FILE             write the JSON document to FILE
+//   --no-timing            omit wall-clock fields (deterministic output)
+//   --no-profiles          omit per-cell parallelism-profile buckets
+//   --quiet                suppress the stderr progress line
+//
+// Example — the paper's Figure 8 window sweep in one command:
+//   paragraph-sweep --inputs=cc1,espresso --windows=16,64,256,1024,0
+//       --max=2000000 --jobs=8 --out=figure8.json
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/sweep.hpp"
+#include "engine/sweep_json.hpp"
+#include "engine/trace_repository.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> inputs;
+    std::vector<uint64_t> windows;
+    std::vector<std::string> renames;
+    std::vector<std::string> syscalls;
+    std::vector<std::string> predictors;
+    std::vector<uint32_t> fus;
+    uint64_t maxInstructions = 0;
+    unsigned jobs = 0;
+    bool small = false;
+    bool quiet = false;
+    std::string outPath;
+    engine::SweepJsonOptions json;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: paragraph-sweep [options] --inputs=A,B,... [inputs...]\n"
+        "  inputs: workload names, *.ptrc/*.ptrz traces, *.s, *.mc\n"
+        "  axes:   --windows=16,64,0  --rename=none,regs,stack,data\n"
+        "          --syscalls=stall,ignore\n"
+        "          --predictors=perfect,bimodal,taken,nottaken,wrong\n"
+        "          --fus=0,2,8\n"
+        "  run:    --jobs=N  --max=N  --small  --out=FILE\n"
+        "          --no-timing  --no-profiles  --quiet  --list\n");
+    std::exit(2);
+}
+
+std::vector<uint64_t>
+parseIntList(const std::string &list, const char *flag)
+{
+    std::vector<uint64_t> out;
+    for (const std::string &piece : splitAndTrim(list, ',')) {
+        int64_t n = 0;
+        if (!parseInt(piece, n) || n < 0) {
+            std::fprintf(stderr, "paragraph-sweep: bad %s value '%s'\n",
+                         flag, piece.c_str());
+            usage();
+        }
+        out.push_back(static_cast<uint64_t>(n));
+    }
+    if (out.empty())
+        usage();
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int64_t n = 0;
+        if (arg == "--list") {
+            for (const auto &w :
+                 workloads::WorkloadSuite::instance().all()) {
+                std::printf("%-10s %-8s %-10s %s\n", w.name.c_str(),
+                            w.language.c_str(), w.benchType.c_str(),
+                            w.description.c_str());
+            }
+            std::exit(0);
+        } else if (startsWith(arg, "--inputs=")) {
+            for (const std::string &s : splitAndTrim(arg.substr(9), ','))
+                if (!s.empty())
+                    opt.inputs.push_back(s);
+        } else if (startsWith(arg, "--windows=")) {
+            opt.windows = parseIntList(arg.substr(10), "--windows");
+        } else if (startsWith(arg, "--rename=")) {
+            opt.renames = splitAndTrim(arg.substr(9), ',');
+        } else if (startsWith(arg, "--syscalls=")) {
+            opt.syscalls = splitAndTrim(arg.substr(11), ',');
+        } else if (startsWith(arg, "--predictors=")) {
+            opt.predictors = splitAndTrim(arg.substr(13), ',');
+        } else if (startsWith(arg, "--fus=")) {
+            for (uint64_t v : parseIntList(arg.substr(6), "--fus"))
+                opt.fus.push_back(static_cast<uint32_t>(v));
+        } else if (startsWith(arg, "--jobs=") &&
+                   parseInt(arg.substr(7), n) && n > 0) {
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
+                   n >= 0) {
+            opt.maxInstructions = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--out=")) {
+            opt.outPath = arg.substr(6);
+        } else if (arg == "--small") {
+            opt.small = true;
+        } else if (arg == "--no-timing") {
+            opt.json.timing = false;
+        } else if (arg == "--no-profiles") {
+            opt.json.profiles = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (!startsWith(arg, "--")) {
+            opt.inputs.push_back(arg);
+        } else {
+            std::fprintf(stderr, "paragraph-sweep: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (opt.inputs.empty()) {
+        std::fprintf(stderr, "paragraph-sweep: no inputs given\n");
+        usage();
+    }
+    return opt;
+}
+
+/** Expand one point of the rename axis into config switches. */
+void
+applyRename(core::AnalysisConfig &cfg, const std::string &value)
+{
+    if (value == "none") {
+        cfg.renameRegisters = false;
+        cfg.renameStack = false;
+        cfg.renameData = false;
+    } else if (value == "regs") {
+        cfg.renameRegisters = true;
+        cfg.renameStack = false;
+        cfg.renameData = false;
+    } else if (value == "stack") { // regs + stack (Table 4 column 3)
+        cfg.renameRegisters = true;
+        cfg.renameStack = true;
+        cfg.renameData = false;
+    } else if (value == "data" || value == "all") { // regs + all memory
+        cfg.renameRegisters = true;
+        cfg.renameStack = true;
+        cfg.renameData = true;
+    } else {
+        std::fprintf(stderr, "paragraph-sweep: bad --rename value '%s'\n",
+                     value.c_str());
+        usage();
+    }
+}
+
+void
+applyPredictor(core::AnalysisConfig &cfg, const std::string &value)
+{
+    if (value == "perfect")
+        cfg.branchPredictor = core::PredictorKind::Perfect;
+    else if (value == "bimodal")
+        cfg.branchPredictor = core::PredictorKind::Bimodal;
+    else if (value == "taken")
+        cfg.branchPredictor = core::PredictorKind::AlwaysTaken;
+    else if (value == "nottaken")
+        cfg.branchPredictor = core::PredictorKind::NeverTaken;
+    else if (value == "wrong")
+        cfg.branchPredictor = core::PredictorKind::AlwaysWrong;
+    else {
+        std::fprintf(stderr,
+                     "paragraph-sweep: bad --predictors value '%s'\n",
+                     value.c_str());
+        usage();
+    }
+}
+
+/**
+ * Build the config axis as the cross product of every specified axis.
+ * Unspecified axes contribute their single default point, so a plain
+ * window sweep stays one-dimensional.
+ */
+void
+buildConfigAxis(const Options &opt,
+                std::vector<core::AnalysisConfig> &configs,
+                std::vector<std::string> &labels)
+{
+    std::vector<uint64_t> windows =
+        opt.windows.empty() ? std::vector<uint64_t>{0} : opt.windows;
+    std::vector<std::string> renames =
+        opt.renames.empty() ? std::vector<std::string>{"data"} : opt.renames;
+    std::vector<std::string> syscalls =
+        opt.syscalls.empty() ? std::vector<std::string>{"stall"}
+                             : opt.syscalls;
+    std::vector<std::string> predictors =
+        opt.predictors.empty() ? std::vector<std::string>{"perfect"}
+                               : opt.predictors;
+    std::vector<uint32_t> fus =
+        opt.fus.empty() ? std::vector<uint32_t>{0} : opt.fus;
+
+    for (uint64_t w : windows) {
+        for (const std::string &ren : renames) {
+            for (const std::string &sys : syscalls) {
+                for (const std::string &pred : predictors) {
+                    for (uint32_t fu : fus) {
+                        core::AnalysisConfig cfg;
+                        cfg.windowSize = w;
+                        applyRename(cfg, ren);
+                        cfg.sysCallsStall = (sys == "stall");
+                        if (sys != "stall" && sys != "ignore") {
+                            std::fprintf(stderr,
+                                         "paragraph-sweep: bad --syscalls "
+                                         "value '%s'\n",
+                                         sys.c_str());
+                            usage();
+                        }
+                        applyPredictor(cfg, pred);
+                        cfg.totalFuLimit = fu;
+                        cfg.maxInstructions = opt.maxInstructions;
+                        configs.push_back(cfg);
+
+                        std::string label = "window=" +
+                                            (w ? std::to_string(w)
+                                               : std::string("unlimited"));
+                        label += " rename=" + ren;
+                        if (syscalls.size() > 1 || sys != "stall")
+                            label += " syscalls=" + sys;
+                        if (predictors.size() > 1 || pred != "perfect")
+                            label += " predictor=" + pred;
+                        if (fus.size() > 1 || fu != 0)
+                            label += " fus=" + std::to_string(fu);
+                        labels.push_back(label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+
+        std::vector<core::AnalysisConfig> configs;
+        std::vector<std::string> labels;
+        buildConfigAxis(opt, configs, labels);
+
+        engine::TraceRepository::Options repoOpt;
+        repoOpt.scale = opt.small ? workloads::Scale::Small
+                                  : workloads::Scale::Full;
+        repoOpt.maxRecords = opt.maxInstructions;
+        engine::TraceRepository repo(repoOpt);
+
+        engine::SweepEngine::Options engineOpt;
+        engineOpt.jobs = opt.jobs;
+        if (!opt.quiet) {
+            engineOpt.progress = [](size_t done, size_t total,
+                                    double minstrPerSec) {
+                std::fprintf(stderr,
+                             "\rsweep: %zu/%zu jobs  %.1f Minstr/s%s", done,
+                             total, minstrPerSec,
+                             done == total ? "\n" : "");
+                std::fflush(stderr);
+            };
+        }
+        engine::SweepEngine sweeper(engineOpt);
+
+        if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "sweep: %zu inputs x %zu configs = %zu cells on "
+                         "%u worker(s)\n",
+                         opt.inputs.size(), configs.size(),
+                         opt.inputs.size() * configs.size(),
+                         sweeper.jobs());
+        }
+
+        engine::SweepResult result =
+            sweeper.run(repo, opt.inputs, configs, labels);
+
+        if (opt.outPath.empty()) {
+            engine::writeSweepJson(std::cout, result, opt.json);
+        } else {
+            std::ofstream out(opt.outPath);
+            if (!out)
+                PARA_FATAL("cannot open %s", opt.outPath.c_str());
+            engine::writeSweepJson(out, result, opt.json);
+            if (!opt.quiet)
+                std::fprintf(stderr, "sweep: wrote %s\n",
+                             opt.outPath.c_str());
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "paragraph-sweep: %s\n", e.what());
+        return 1;
+    }
+}
