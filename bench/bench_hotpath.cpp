@@ -1,0 +1,338 @@
+// bench_hotpath — analyzer-throughput benchmark for the placement hot path.
+//
+// The paper's methodology is a single serial pass over up to 100M-instruction
+// traces, so Minstr/s through Paragraph::process *is* the scaling axis: every
+// grid cell of a sweep pays the full per-record placement cost again. This
+// harness times the analyzer alone (traces are captured into memory first, so
+// simulation cost is excluded) across representative configurations, on both
+// record-at-a-time streaming (`analyze(TraceSource&)`) and bulk buffer
+// iteration (`analyze(const TraceBuffer&)`).
+//
+// Results are written as `BENCH_hotpath.json` — a stable, timestamped schema
+// (`paragraph-bench-hotpath-v1`) meant to be re-run and diffed across
+// revisions so the perf trajectory of the hot path is tracked in-repo.
+//
+// Usage:
+//   bench_hotpath [options]
+//     --inputs=a,b,c   workload names (default: xlisp,espresso,tomcatv)
+//     --max=N          instructions per trace capture (default: 2,000,000)
+//     --repeats=N      timed repetitions, best-of (default: 3)
+//     --small          use each workload's reduced test input
+//     --json           print the JSON document to stdout (suppresses table)
+//     --out=FILE       also write the JSON to FILE
+//                      (default: BENCH_hotpath.json; --out= disables)
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "engine/sweep_json.hpp"
+#include "support/ascii_table.hpp"
+#include "support/string_utils.hpp"
+#include "trace/buffer.hpp"
+#include "trace/last_use.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> inputs = {"xlisp", "espresso", "tomcatv"};
+    std::vector<std::string> configs; ///< empty = all
+    uint64_t maxInstructions = 2000000;
+    unsigned repeats = 3;
+    bool small = false;
+    bool jsonToStdout = false;
+    std::string outPath = "BENCH_hotpath.json";
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_hotpath [--inputs=a,b,c] [--configs=a,b] "
+                 "[--max=N] [--repeats=N]\n"
+                 "                     [--small] [--json] [--out=FILE]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int64_t n = 0;
+        if (startsWith(arg, "--inputs=")) {
+            opt.inputs.clear();
+            for (const std::string &s : splitAndTrim(arg.substr(9), ','))
+                if (!s.empty())
+                    opt.inputs.push_back(s);
+            if (opt.inputs.empty())
+                usage();
+        } else if (startsWith(arg, "--configs=")) {
+            for (const std::string &s : splitAndTrim(arg.substr(10), ','))
+                if (!s.empty())
+                    opt.configs.push_back(s);
+            if (opt.configs.empty())
+                usage();
+        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
+                   n > 0) {
+            opt.maxInstructions = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--repeats=") &&
+                   parseInt(arg.substr(10), n) && n > 0) {
+            opt.repeats = static_cast<unsigned>(n);
+        } else if (arg == "--small") {
+            opt.small = true;
+        } else if (arg == "--json") {
+            opt.jsonToStdout = true;
+        } else if (startsWith(arg, "--out=")) {
+            opt.outPath = arg.substr(6);
+        } else {
+            std::fprintf(stderr, "bench_hotpath: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    return opt;
+}
+
+/** One benchmark configuration point. */
+struct BenchConfig
+{
+    std::string label;
+    core::AnalysisConfig cfg;
+    bool needsLastUse = false; ///< analyze the last-use-annotated capture
+};
+
+std::vector<BenchConfig>
+makeConfigs(uint64_t max_instructions)
+{
+    std::vector<BenchConfig> configs;
+    auto add = [&](const std::string &label, core::AnalysisConfig cfg,
+                   bool last_use = false) {
+        cfg.maxInstructions = max_instructions;
+        configs.push_back(BenchConfig{label, cfg, last_use});
+    };
+    // The paper's default analysis: all renaming, unlimited window, perfect
+    // prediction — the single-config analyze path.
+    add("dataflow", core::AnalysisConfig::dataflowConservative());
+    // Storage dependencies everywhere: every destination probes its
+    // previous occupant.
+    add("norename", core::AnalysisConfig::noRenaming());
+    // Finite window: firewall bookkeeping on every record.
+    add("window64", core::AnalysisConfig::windowed(64));
+    // Realistic control flow: bimodal predictor + large window.
+    {
+        core::AnalysisConfig cfg = core::AnalysisConfig::windowed(1024);
+        cfg.branchPredictor = core::PredictorKind::Bimodal;
+        add("bimodal-w1k", cfg);
+    }
+    // Resource limits: the Figure 4 throttle on every placement.
+    {
+        core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
+        cfg.totalFuLimit = 64;
+        add("fu64", cfg);
+    }
+    // Two-pass deadness: eviction work on the annotated trace.
+    {
+        core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
+        cfg.useLastUseEviction = true;
+        add("lastuse", cfg, true);
+    }
+    return configs;
+}
+
+/** One timed measurement. */
+struct Row
+{
+    std::string input;
+    std::string config;
+    std::string path; ///< "stream" or "bulk"
+    uint64_t instructions = 0;
+    double seconds = 0.0;
+    double minstrPerSec = 0.0;
+};
+
+Row
+measure(const std::string &input, const BenchConfig &bc,
+        const std::string &path, const trace::TraceBuffer &buffer,
+        unsigned repeats)
+{
+    Row row;
+    row.input = input;
+    row.config = bc.label;
+    row.path = path;
+    row.seconds = std::numeric_limits<double>::infinity();
+    for (unsigned r = 0; r < repeats; ++r) {
+        core::Paragraph analyzer(bc.cfg);
+        core::AnalysisResult res;
+        if (path == "bulk") {
+            res = analyzer.analyze(buffer);
+        } else {
+            trace::BufferSource src(buffer, input);
+            res = analyzer.analyze(src);
+        }
+        row.instructions = res.instructions;
+        if (res.analysisSeconds < row.seconds)
+            row.seconds = res.analysisSeconds;
+    }
+    row.minstrPerSec =
+        row.seconds > 0.0
+            ? static_cast<double>(row.instructions) / 1e6 / row.seconds
+            : 0.0;
+    return row;
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    return strFormat("%04d-%02d-%02dT%02d:%02d:%02dZ", tm.tm_year + 1900,
+                     tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                     tm.tm_sec);
+}
+
+double
+geomean(const std::vector<Row> &rows, const std::string &path)
+{
+    double logSum = 0.0;
+    size_t n = 0;
+    for (const Row &row : rows) {
+        if (row.path == path && row.minstrPerSec > 0.0) {
+            logSum += std::log(row.minstrPerSec);
+            ++n;
+        }
+    }
+    return n ? std::exp(logSum / static_cast<double>(n)) : 0.0;
+}
+
+/** BENCH_hotpath.json, schema paragraph-bench-hotpath-v1. */
+void
+writeJson(std::ostream &os, const Options &opt, const std::vector<Row> &rows)
+{
+    os << "{\n"
+       << "  \"schema\": \"paragraph-bench-hotpath-v1\",\n"
+       << "  \"timestamp\": " << engine::jsonString(utcTimestamp()) << ",\n"
+       << "  \"max_instructions\": " << opt.maxInstructions << ",\n"
+       << "  \"repeats\": " << opt.repeats << ",\n"
+       << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        os << "    {\"input\": " << engine::jsonString(row.input)
+           << ", \"config\": " << engine::jsonString(row.config)
+           << ", \"path\": " << engine::jsonString(row.path)
+           << ", \"instructions\": " << row.instructions
+           << ", \"seconds\": " << engine::jsonDouble(row.seconds)
+           << ", \"minstr_per_sec\": " << engine::jsonDouble(row.minstrPerSec)
+           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"summary\": {\n"
+       << "    \"stream_geomean_minstr_per_sec\": "
+       << engine::jsonDouble(geomean(rows, "stream")) << ",\n"
+       << "    \"bulk_geomean_minstr_per_sec\": "
+       << engine::jsonDouble(geomean(rows, "bulk")) << "\n"
+       << "  }\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    std::vector<BenchConfig> configs = makeConfigs(opt.maxInstructions);
+    if (!opt.configs.empty()) {
+        std::vector<BenchConfig> picked;
+        for (const std::string &want : opt.configs) {
+            bool found = false;
+            for (const BenchConfig &bc : configs) {
+                if (bc.label == want) {
+                    picked.push_back(bc);
+                    found = true;
+                }
+            }
+            if (!found) {
+                std::fprintf(stderr, "bench_hotpath: unknown config '%s'\n",
+                             want.c_str());
+                return 2;
+            }
+        }
+        configs = std::move(picked);
+    }
+    auto &suite = workloads::WorkloadSuite::instance();
+
+    std::vector<Row> rows;
+    for (const std::string &input : opt.inputs) {
+        const workloads::Workload &w = suite.find(input);
+        auto src = suite.makeSource(w, opt.small ? workloads::Scale::Small
+                                                 : workloads::Scale::Full);
+        trace::TraceBuffer buffer;
+        buffer.capture(*src, opt.maxInstructions);
+
+        trace::TraceBuffer annotated(buffer.records());
+        trace::annotateLastUses(annotated);
+
+        for (const BenchConfig &bc : configs) {
+            const trace::TraceBuffer &buf =
+                bc.needsLastUse ? annotated : buffer;
+            for (const char *path : {"stream", "bulk"}) {
+                rows.push_back(measure(input, bc, path, buf, opt.repeats));
+                if (!opt.jsonToStdout) {
+                    const Row &row = rows.back();
+                    std::fprintf(stderr, "  %-10s %-12s %-7s %7.2f Minstr/s\n",
+                                 row.input.c_str(), row.config.c_str(),
+                                 row.path.c_str(), row.minstrPerSec);
+                }
+            }
+        }
+    }
+
+    if (opt.jsonToStdout) {
+        writeJson(std::cout, opt, rows);
+    } else {
+        AsciiTable table;
+        table.addColumn("Input", AsciiTable::Align::Left);
+        table.addColumn("Config", AsciiTable::Align::Left);
+        table.addColumn("Path", AsciiTable::Align::Left);
+        table.addColumn("Instructions");
+        table.addColumn("Minstr/s");
+        for (const Row &row : rows) {
+            table.beginRow();
+            table.cell(row.input);
+            table.cell(row.config);
+            table.cell(row.path);
+            table.cell(AsciiTable::withCommas(row.instructions));
+            table.cell(row.minstrPerSec, 2);
+        }
+        table.print(std::cout);
+        std::printf("\nstream geomean: %.2f Minstr/s   bulk geomean: "
+                    "%.2f Minstr/s\n",
+                    geomean(rows, "stream"), geomean(rows, "bulk"));
+    }
+
+    if (!opt.outPath.empty()) {
+        std::ofstream out(opt.outPath);
+        if (!out) {
+            std::fprintf(stderr, "bench_hotpath: cannot write '%s'\n",
+                         opt.outPath.c_str());
+            return 1;
+        }
+        writeJson(out, opt, rows);
+        if (!opt.jsonToStdout)
+            std::printf("wrote %s\n", opt.outPath.c_str());
+    }
+    return 0;
+}

@@ -62,18 +62,19 @@ Ddg::toDot() const
         oss << "  n" << i << " [label=\"" << nodes[i].label << "\\nL"
             << nodes[i].level << "\"];\n";
     }
-    for (int64_t level = 0; level <= deepest; ++level) {
-        bool any = false;
-        for (size_t i = 0; i < nodes.size(); ++i) {
-            if (nodes[i].level == level) {
-                if (!any)
-                    oss << "  { rank=same;";
-                any = true;
-                oss << " n" << i << ";";
-            }
-        }
-        if (any)
-            oss << " }\n";
+    // Bucket nodes per level once instead of rescanning every node for
+    // every level (deep graphs made that quadratic).
+    std::vector<std::vector<size_t>> by_level(
+        static_cast<size_t>(deepest + 1));
+    for (size_t i = 0; i < nodes.size(); ++i)
+        by_level[static_cast<size_t>(nodes[i].level)].push_back(i);
+    for (const std::vector<size_t> &members : by_level) {
+        if (members.empty())
+            continue;
+        oss << "  { rank=same;";
+        for (size_t i : members)
+            oss << " n" << i << ";";
+        oss << " }\n";
     }
     for (const Edge &e : edges) {
         oss << "  n" << e.from << " -> n" << e.to;
@@ -122,17 +123,19 @@ buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
     int64_t deepest_level = -1;
     int32_t firewall_node = -1; // node that caused the current floor
 
+    // Single-probe find-or-create (same scheme as Paragraph::placeRecord):
+    // findOrInsert resolves the location in one hash walk instead of a
+    // find() miss followed by a second full probe in insertOrAssign().
+    auto slot_id_for = [&](uint64_t key, bool &fresh) -> uint32_t {
+        auto [idx, inserted] = slot_index.findOrInsert(
+            key, static_cast<uint32_t>(slots.size()));
+        fresh = inserted;
+        if (inserted)
+            slots.emplace_back();
+        return *idx;
+    };
     auto slot_for = [&](uint64_t key, bool &fresh) -> BuilderSlot & {
-        uint32_t *idx = slot_index.find(key);
-        if (idx) {
-            fresh = false;
-            return slots[*idx];
-        }
-        fresh = true;
-        slots.emplace_back();
-        slot_index.insertOrAssign(key,
-                                  static_cast<uint32_t>(slots.size() - 1));
-        return slots.back();
+        return slots[slot_id_for(key, fresh)];
     };
 
     for (size_t ri = 0; ri < buffer.size(); ++ri) {
@@ -179,12 +182,17 @@ buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
         if (place) {
             uint32_t node_id = static_cast<uint32_t>(ddg.nodes.size());
 
-            // True data dependencies.
+            // True data dependencies. Slot indices are remembered so the
+            // edge-emission and reader-update passes below reuse them
+            // instead of re-probing the hash table per source.
+            uint32_t src_slot[trace::maxSrcs] = {};
             int64_t issue = highest_level;
             bool floor_binding = true;
             for (int s = 0; s < rec.numSrcs; ++s) {
                 bool fresh = false;
-                BuilderSlot &slot = slot_for(locationKey(rec.srcs[s]), fresh);
+                uint32_t si = slot_id_for(locationKey(rec.srcs[s]), fresh);
+                src_slot[s] = si;
+                BuilderSlot &slot = slots[si];
                 if (fresh) {
                     slot.level = highest_level - 1;
                     slot.deepestAccess = highest_level - 1;
@@ -216,9 +224,11 @@ buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
                 }
             }
             bool storage_edges = false;
+            uint32_t dest_slot = 0;
             if (has_dest && !renamed) {
                 if (uint32_t *idx = slot_index.find(dkey)) {
-                    BuilderSlot &prev = slots[*idx];
+                    dest_slot = *idx;
+                    BuilderSlot &prev = slots[dest_slot];
                     if (prev.deepestAccess + 1 > issue) {
                         issue = prev.deepestAccess + 1;
                         floor_binding = false;
@@ -233,31 +243,33 @@ buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
                 issue = throttle.place(rec.cls, issue, top);
             const int64_t ldest = issue + static_cast<int64_t>(top) - 1;
 
-            // Emit edges: one true edge per distinct producing node.
+            // Emit edges: one true edge per distinct producing node. Only
+            // this record's sources can duplicate a producer, so checking
+            // against the handful already emitted for node_id replaces the
+            // old scan over every edge in the graph (O(edges) per record).
+            int32_t emitted[trace::maxSrcs];
+            int num_emitted = 0;
             for (int s = 0; s < rec.numSrcs; ++s) {
-                uint32_t *idx = slot_index.find(locationKey(rec.srcs[s]));
-                PARA_ASSERT(idx != nullptr);
-                BuilderSlot &slot = slots[*idx];
-                if (slot.producer >= 0) {
-                    bool dup = false;
-                    for (const auto &e : ddg.edges) {
-                        if (e.to == node_id &&
-                            e.from == static_cast<uint32_t>(slot.producer) &&
-                            e.kind == DepKind::True) {
-                            dup = true;
-                            break;
-                        }
+                const BuilderSlot &slot = slots[src_slot[s]];
+                if (slot.producer < 0)
+                    continue;
+                bool dup = false;
+                for (int e = 0; e < num_emitted; ++e) {
+                    if (emitted[e] == slot.producer) {
+                        dup = true;
+                        break;
                     }
-                    if (!dup) {
-                        ddg.edges.push_back(
-                            Ddg::Edge{static_cast<uint32_t>(slot.producer),
-                                 node_id, DepKind::True});
-                    }
+                }
+                if (!dup) {
+                    emitted[num_emitted++] = slot.producer;
+                    ddg.edges.push_back(
+                        Ddg::Edge{static_cast<uint32_t>(slot.producer),
+                             node_id, DepKind::True});
                 }
             }
 
             if (storage_edges) {
-                BuilderSlot &prev = slots[*slot_index.find(dkey)];
+                BuilderSlot &prev = slots[dest_slot];
                 if (prev.producer >= 0) {
                     ddg.edges.push_back(
                         Ddg::Edge{static_cast<uint32_t>(prev.producer), node_id,
@@ -279,8 +291,7 @@ buildDdg(const trace::TraceBuffer &buffer, const AnalysisConfig &cfg)
 
             // Readers update.
             for (int s = 0; s < rec.numSrcs; ++s) {
-                BuilderSlot &slot = slots[*slot_index.find(
-                    locationKey(rec.srcs[s]))];
+                BuilderSlot &slot = slots[src_slot[s]];
                 if (ldest > slot.deepestAccess)
                     slot.deepestAccess = ldest;
                 slot.readers.push_back(node_id);

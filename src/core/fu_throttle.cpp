@@ -24,20 +24,35 @@ FuThrottle::at(const std::vector<uint32_t> &v, int64_t level)
     return idx < v.size() ? v[idx] : 0;
 }
 
-bool
-FuThrottle::fits(isa::OpClass cls, int64_t issue, uint32_t span) const
+int64_t
+FuThrottle::nextFree(const std::vector<uint32_t> &usage, uint32_t limit,
+                     std::vector<int64_t> &skip, int64_t level)
 {
-    uint32_t levels = pipelined_ ? 1 : span;
-    uint32_t class_limit = classLimit_[static_cast<size_t>(cls)];
-    const auto &class_usage = usage_[static_cast<size_t>(cls)];
-    for (uint32_t i = 0; i < levels; ++i) {
-        int64_t level = issue + static_cast<int64_t>(i);
-        if (class_limit > 0 && at(class_usage, level) >= class_limit)
-            return false;
-        if (totalLimit_ > 0 && at(totalUsage_, level) >= totalLimit_)
-            return false;
+    auto full = [&](int64_t l) {
+        size_t idx = static_cast<size_t>(l);
+        return idx < usage.size() && usage[idx] >= limit;
+    };
+    auto hop = [&](int64_t l) {
+        size_t idx = static_cast<size_t>(l);
+        int64_t s = idx < skip.size() ? skip[idx] : 0;
+        return s > l ? s : l + 1;
+    };
+    if (!full(level))
+        return level;
+    // First walk finds the answer; second walk path-compresses, pointing
+    // every visited level straight at it so later searches hop the whole
+    // saturated run in one step.
+    int64_t result = level;
+    while (full(result))
+        result = hop(result);
+    if (skip.size() < usage.size())
+        skip.resize(usage.size(), 0);
+    for (int64_t l = level; full(l);) {
+        int64_t next = hop(l);
+        skip[static_cast<size_t>(l)] = result;
+        l = next;
     }
-    return true;
+    return result;
 }
 
 void
@@ -71,19 +86,46 @@ FuThrottle::place(isa::OpClass cls, int64_t min_issue, uint32_t span)
     if (totalLimit_ > 0 && totalFrontier_ > issue)
         issue = totalFrontier_;
     uint32_t class_limit = classLimit_[static_cast<size_t>(cls)];
+    auto &class_usage = usage_[static_cast<size_t>(cls)];
+    auto &class_skip = classSkip_[static_cast<size_t>(cls)];
     if (class_limit > 0 && classFrontier_[static_cast<size_t>(cls)] > issue)
         issue = classFrontier_[static_cast<size_t>(cls)];
-    while (!fits(cls, issue, span))
-        ++issue;
+    // First-fit: the lowest level where every occupied level has a free unit
+    // under both limits. Skip pointers jump saturated runs; when a window
+    // level is full, no window starting at or below it can succeed, so the
+    // search resumes past that run — identical placement to a linear scan.
+    uint32_t levels = pipelined_ ? 1 : span;
+    for (;;) {
+        for (;;) { // fixed point: free under the total AND the class limit
+            int64_t next = issue;
+            if (totalLimit_ > 0)
+                next = nextFree(totalUsage_, totalLimit_, totalSkip_, next);
+            if (class_limit > 0)
+                next = nextFree(class_usage, class_limit, class_skip, next);
+            if (next == issue)
+                break;
+            issue = next;
+        }
+        uint32_t i = 1;
+        for (; i < levels; ++i) {
+            int64_t level = issue + static_cast<int64_t>(i);
+            if ((class_limit > 0 && at(class_usage, level) >= class_limit) ||
+                (totalLimit_ > 0 && at(totalUsage_, level) >= totalLimit_)) {
+                issue = level; // blocked: restart the window past this run
+                break;
+            }
+        }
+        if (i == levels)
+            break;
+    }
     reserve(cls, issue, span);
     if (totalLimit_ > 0) {
-        while (at(totalUsage_, totalFrontier_) >= totalLimit_)
-            ++totalFrontier_;
+        totalFrontier_ =
+            nextFree(totalUsage_, totalLimit_, totalSkip_, totalFrontier_);
     }
     if (class_limit > 0) {
         int64_t &frontier = classFrontier_[static_cast<size_t>(cls)];
-        while (at(usage_[static_cast<size_t>(cls)], frontier) >= class_limit)
-            ++frontier;
+        frontier = nextFree(class_usage, class_limit, class_skip, frontier);
     }
     return issue;
 }
@@ -96,6 +138,9 @@ FuThrottle::reset()
     totalUsage_.clear();
     totalFrontier_ = 0;
     classFrontier_.fill(0);
+    for (auto &v : classSkip_)
+        v.clear();
+    totalSkip_.clear();
 }
 
 } // namespace core

@@ -56,15 +56,28 @@ class FuThrottle
 
     /**
      * Saturation frontiers: every level below the frontier is completely
-     * full for that limit, so searches may start there — turning the
-     * placement scan from O(critical path) to amortized O(1) per op.
+     * full for that limit, so searches may start there.
      */
     int64_t totalFrontier_ = 0;
     std::array<int64_t, isa::numOpClasses> classFrontier_ = {};
 
-    bool fits(isa::OpClass cls, int64_t issue, uint32_t span) const;
+    /**
+     * Skip pointers past saturated runs: skip[l] (when set) is a level such
+     * that every level in [l, skip[l]) is full for that limit. Fullness is
+     * monotone — usage only ever grows — so a recorded skip stays a valid
+     * lower bound forever. Walks path-compress, making the first-fit search
+     * amortized near-O(1) even when ops land above the frontier in a densely
+     * saturated region (the old linear re-scan was the analyzer's worst
+     * pathology: O(run length) per op under tight total limits).
+     */
+    std::vector<int64_t> totalSkip_;
+    std::array<std::vector<int64_t>, isa::numOpClasses> classSkip_;
+
     void reserve(isa::OpClass cls, int64_t issue, uint32_t span);
     static uint32_t at(const std::vector<uint32_t> &v, int64_t level);
+    static int64_t nextFree(const std::vector<uint32_t> &usage,
+                            uint32_t limit, std::vector<int64_t> &skip,
+                            int64_t level);
 };
 
 } // namespace core

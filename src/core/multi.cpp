@@ -6,6 +6,11 @@
 namespace paragraph {
 namespace core {
 
+namespace {
+/// Records fetched per TraceSource::nextBatch call.
+constexpr size_t batchSize = 256;
+} // namespace
+
 std::vector<AnalysisResult>
 analyzeMany(trace::TraceSource &src,
             const std::vector<AnalysisConfig> &configs)
@@ -15,16 +20,39 @@ analyzeMany(trace::TraceSource &src,
     for (const AnalysisConfig &cfg : configs)
         engines.push_back(std::make_unique<Paragraph>(cfg));
 
+    // When every config has an instruction cap, the pass needs exactly
+    // max(cap) records — don't drain the (shared) source past that.
+    uint64_t capRecords = 0;
+    bool bounded = !configs.empty();
+    for (const AnalysisConfig &cfg : configs) {
+        if (cfg.maxInstructions == 0)
+            bounded = false;
+        else if (cfg.maxInstructions > capRecords)
+            capRecords = cfg.maxInstructions;
+    }
+
     auto start = std::chrono::steady_clock::now();
-    trace::TraceRecord rec;
+    trace::TraceRecord batch[batchSize];
+    uint64_t fed = 0;
     size_t live = engines.size();
-    while (live > 0 && src.next(rec)) {
-        live = 0;
-        for (auto &engine : engines) {
-            if (!engine->done()) {
-                engine->process(rec);
-                if (!engine->done())
-                    ++live;
+    while (live > 0) {
+        size_t want = batchSize;
+        if (bounded && capRecords - fed < want)
+            want = static_cast<size_t>(capRecords - fed);
+        if (want == 0)
+            break;
+        size_t n = src.nextBatch(batch, want);
+        if (n == 0)
+            break;
+        fed += n;
+        for (size_t i = 0; i < n && live > 0; ++i) {
+            live = 0;
+            for (auto &engine : engines) {
+                if (!engine->done()) {
+                    engine->process(batch[i]);
+                    if (!engine->done())
+                        ++live;
+                }
             }
         }
     }

@@ -11,6 +11,13 @@ using trace::Operand;
 using trace::Segment;
 using trace::TraceRecord;
 
+namespace {
+/// Records fetched per TraceSource::nextBatch call in streaming analyze().
+constexpr size_t streamBatchSize = 256;
+/// How many records ahead live-well slots are prefetched.
+constexpr size_t prefetchDistance = 8;
+} // namespace
+
 Paragraph::Paragraph(AnalysisConfig cfg)
     : cfg_(cfg),
       throttle_(cfg),
@@ -25,6 +32,16 @@ Paragraph::Paragraph(AnalysisConfig cfg)
 void
 Paragraph::begin()
 {
+    for (size_t seg = 0; seg < numSegments; ++seg) {
+        renamedByKind_[static_cast<size_t>(Operand::Kind::None)][seg] = true;
+        renamedByKind_[static_cast<size_t>(Operand::Kind::IntReg)][seg] =
+            cfg_.renameRegisters;
+        renamedByKind_[static_cast<size_t>(Operand::Kind::FpReg)][seg] =
+            cfg_.renameRegisters;
+        renamedByKind_[static_cast<size_t>(Operand::Kind::Mem)][seg] =
+            seg == static_cast<size_t>(Segment::Stack) ? cfg_.renameStack
+                                                       : cfg_.renameData;
+    }
     liveWell_.clear();
     throttle_.reset();
     predictor_.reset();
@@ -43,33 +60,11 @@ Paragraph::begin()
 bool
 Paragraph::destRenamed(const Operand &op) const
 {
-    switch (op.kind) {
-      case Operand::Kind::IntReg:
-      case Operand::Kind::FpReg:
-        return cfg_.renameRegisters;
-      case Operand::Kind::Mem:
-        return op.seg == Segment::Stack ? cfg_.renameStack : cfg_.renameData;
-      default:
-        return true;
-    }
-}
-
-void
-Paragraph::retire(const LiveValue &lv)
-{
-    if (lv.preExisting)
-        return;
-    if (cfg_.collectLifetimes) {
-        result_.lifetimes.add(
-            static_cast<uint64_t>(lv.deepestAccess - lv.level));
-    }
-    if (cfg_.collectSharing)
-        result_.sharing.add(lv.useCount);
-    if (cfg_.collectStorageProfile && lv.level >= 0) {
-        result_.storageProfile.add(
-            static_cast<uint64_t>(lv.level),
-            static_cast<uint64_t>(lv.deepestAccess));
-    }
+    // Table lookup: destination kinds alternate between registers and
+    // memory, so a switch here mispredicts on the placement hot path. The
+    // table is filled from the renaming switches in begin().
+    return renamedByKind_[static_cast<size_t>(op.kind)]
+                         [static_cast<size_t>(op.seg)];
 }
 
 void
@@ -89,7 +84,12 @@ Paragraph::process(const TraceRecord &rec)
     ++result_.instructions;
     if (cfg_.maxInstructions && result_.instructions >= cfg_.maxInstructions)
         done_ = true;
+    processBody(rec);
+}
 
+void
+Paragraph::processBody(const TraceRecord &rec)
+{
     // The incoming record displaces the oldest window entry before it is
     // placed; the displaced operation's level becomes a firewall.
     if (window_) {
@@ -138,15 +138,14 @@ Paragraph::handleCondBranch(const TraceRecord &rec)
         return;
     ++result_.branchMispredictions;
     // The branch resolves once its sources are available; nothing after a
-    // mispredicted branch may start earlier than that.
+    // mispredicted branch may start earlier than that. Sources missing from
+    // the live well are pre-existing values, entered with a single probe.
     int64_t resolve = highestLevel_;
     for (int s = 0; s < rec.numSrcs; ++s) {
-        uint64_t key = locationKey(rec.srcs[s]);
-        const LiveValue *lv = liveWell_.find(key);
-        if (!lv) {
-            lv = &liveWell_.definePreExisting(key, highestLevel_);
+        auto [lv, fresh] = liveWell_.findOrCreatePreExisting(
+            locationKey(rec.srcs[s]), highestLevel_);
+        if (fresh)
             ++result_.preExistingValues;
-        }
         if (lv->level + 1 > resolve)
             resolve = lv->level + 1;
     }
@@ -156,31 +155,52 @@ Paragraph::handleCondBranch(const TraceRecord &rec)
 int64_t
 Paragraph::placeRecord(const TraceRecord &rec)
 {
-    // Phase 1: true data dependencies. Sources missing from the live well
-    // are pre-existing values (registers or DATA words untouched so far);
-    // they enter at highestLevel - 1 so they never delay computation.
+    // Phase 1: true data dependencies — and the only resolution of each
+    // source. Sources missing from the live well are pre-existing values
+    // (registers or DATA words untouched so far); they enter at
+    // highestLevel - 1 so they never delay computation, with a single
+    // find-or-create probe. The handle (pointer + key) is kept for the
+    // read-access bookkeeping below.
+    struct SrcRef
+    {
+        LiveValue *lv;
+        uint64_t key;
+    };
+    SrcRef srcs[trace::maxSrcs];
+    const int nsrcs = rec.numSrcs;
+    const uint64_t epoch0 = liveWell_.memEpoch();
     int64_t issue = highestLevel_;
-    for (int s = 0; s < rec.numSrcs; ++s) {
-        uint64_t key = locationKey(rec.srcs[s]);
-        const LiveValue *lv = liveWell_.find(key);
-        if (!lv) {
-            lv = &liveWell_.definePreExisting(key, highestLevel_);
+    for (int s = 0; s < nsrcs; ++s) {
+        const uint64_t key = locationKey(rec.srcs[s]);
+        auto [lv, fresh] =
+            liveWell_.findOrCreatePreExisting(key, highestLevel_);
+        if (fresh)
             ++result_.preExistingValues;
-        }
         if (lv->level + 1 > issue)
             issue = lv->level + 1;
+        srcs[s] = SrcRef{lv, key};
+    }
+    // A later source's insertion can move earlier handles that point into
+    // the memory map (rehash or robin-hood displacement); register-file
+    // handles are immune. Rare: re-resolve only when the epoch moved.
+    if (liveWell_.memEpoch() != epoch0) {
+        for (int s = 0; s < nsrcs; ++s) {
+            if (!LiveWell::isDirect(srcs[s].key))
+                srcs[s].lv = liveWell_.find(srcs[s].key);
+        }
     }
 
-    // Phase 2: storage dependency on the destination location, when its
-    // storage class is not renamed.
+    // Phase 2: the destination is resolved once, here — its previous
+    // occupant both bounds the issue level (storage dependency, when the
+    // storage class is not renamed) and dies in phase 6. No inserts happen
+    // between here and the phase-5 evictions, so the handle stays valid.
     const bool has_dest = rec.dest.valid();
     const uint64_t dkey = has_dest ? locationKey(rec.dest) : 0;
-    if (has_dest && !destRenamed(rec.dest)) {
-        const LiveValue *prev = liveWell_.find(dkey);
-        if (prev && prev->deepestAccess + 1 > issue) {
-            issue = prev->deepestAccess + 1;
-            ++result_.storageDelayedOps;
-        }
+    LiveValue *destPrev = has_dest ? liveWell_.find(dkey) : nullptr;
+    if (destPrev && !destRenamed(rec.dest) &&
+        destPrev->deepestAccess + 1 > issue) {
+        issue = destPrev->deepestAccess + 1;
+        ++result_.storageDelayedOps;
     }
 
     // Phase 3: resource dependencies.
@@ -195,44 +215,53 @@ Paragraph::placeRecord(const TraceRecord &rec)
     const int64_t ldest = issue + static_cast<int64_t>(top) - 1;
 
     // Phase 4: the operation reads its sources; record the access depth
-    // (for future storage dependencies) and the degree of sharing.
-    for (int s = 0; s < rec.numSrcs; ++s) {
-        LiveValue *lv = liveWell_.find(locationKey(rec.srcs[s]));
-        if (!lv)
-            continue; // duplicate source already evicted
+    // (for future storage dependencies) and the degree of sharing — through
+    // the handles resolved in phase 1, no further probes.
+    for (int s = 0; s < nsrcs; ++s) {
+        LiveValue *lv = srcs[s].lv;
         ++lv->useCount;
         if (ldest > lv->deepestAccess)
             lv->deepestAccess = ldest;
     }
 
     // Phase 5: two-pass deadness — evict values whose last use this is.
+    // The first eviction can shift memory-map entries (and a duplicate
+    // last-use source may already be gone), so handles are re-resolved by
+    // key once anything was killed.
+    bool killedAny = false;
     if (cfg_.useLastUseEviction && rec.lastUseMask) {
-        for (int s = 0; s < rec.numSrcs; ++s) {
+        for (int s = 0; s < nsrcs; ++s) {
             if (!(rec.lastUseMask & (1u << s)))
                 continue;
-            uint64_t key = locationKey(rec.srcs[s]);
-            LiveValue *lv = liveWell_.find(key);
-            if (lv) {
-                retire(*lv);
-                liveWell_.kill(key);
-            }
+            LiveValue *lv =
+                killedAny ? liveWell_.find(srcs[s].key) : srcs[s].lv;
+            if (!lv)
+                continue; // duplicate source already evicted
+            retire(*lv);
+            liveWell_.kill(srcs[s].key);
+            killedAny = true;
         }
     }
 
     // Phase 6: the created value enters the live well; the previous
-    // occupant of the location dies (one-pass deadness).
+    // occupant of the location dies (one-pass deadness). The occupant was
+    // already resolved in phase 2 — overwrite it in place (the key does not
+    // change, so the map structure is untouched) unless a phase-5 eviction
+    // moved or removed it.
     if (has_dest) {
-        if (const LiveValue *prev = liveWell_.find(dkey))
+        LiveValue *prev = killedAny ? liveWell_.find(dkey) : destPrev;
+        if (prev) {
             retire(*prev);
-        liveWell_.define(dkey, ldest);
+            *prev = LiveValue{ldest, ldest, 0, false};
+        } else {
+            liveWell_.define(dkey, ldest);
+        }
     }
 
     ++result_.placedOps;
     result_.profile.add(static_cast<uint64_t>(ldest));
     if (ldest > deepestLevel_)
         deepestLevel_ = ldest;
-    if (liveWell_.memoryBytes() > result_.liveWellPeakBytes)
-        result_.liveWellPeakBytes = liveWell_.memoryBytes();
     return ldest;
 }
 
@@ -247,6 +276,10 @@ Paragraph::finish()
 
     result_.liveWellFinal = liveWell_.size();
     result_.liveWellPeak = liveWell_.peakSize();
+    // The live well's footprint only grows within a run (the map never
+    // shrinks its slot array), so the final size is the peak — no need to
+    // sample it on every placed record.
+    result_.liveWellPeakBytes = liveWell_.memoryBytes();
     result_.criticalPathLength =
         deepestLevel_ >= 0 ? static_cast<uint64_t>(deepestLevel_) + 1 : 0;
     result_.availableParallelism =
@@ -257,14 +290,87 @@ Paragraph::finish()
     return result_;
 }
 
+void
+Paragraph::prefetchRecord(const TraceRecord &rec) const
+{
+    for (int s = 0; s < rec.numSrcs; ++s) {
+        if (rec.srcs[s].isMem())
+            liveWell_.prefetch(locationKey(rec.srcs[s]));
+    }
+    if (rec.dest.isMem())
+        liveWell_.prefetch(locationKey(rec.dest));
+}
+
+void
+Paragraph::processAll(const trace::TraceBuffer &buffer)
+{
+    if (done_)
+        return;
+    // The instruction cap is the only thing that stops mid-buffer, so the
+    // record count is known up front: count and check once, not per record.
+    const std::vector<TraceRecord> &records = buffer.records();
+    size_t n = records.size();
+    if (cfg_.maxInstructions) {
+        uint64_t remaining = cfg_.maxInstructions - result_.instructions;
+        if (remaining < n)
+            n = static_cast<size_t>(remaining);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        // Memory operands probe a large randomly-indexed table; start the
+        // loads for a record a few iterations before it is processed.
+        if (i + prefetchDistance < n)
+            prefetchRecord(records[i + prefetchDistance]);
+        processBody(records[i]);
+    }
+    result_.instructions += n;
+    if (cfg_.maxInstructions && result_.instructions >= cfg_.maxInstructions)
+        done_ = true;
+}
+
 AnalysisResult
 Paragraph::analyze(trace::TraceSource &src)
 {
     begin();
     auto start = std::chrono::steady_clock::now();
-    trace::TraceRecord rec;
-    while (!done_ && src.next(rec))
-        process(rec);
+    // Drain in batches: one virtual call refills a whole block, so the
+    // per-record cost is a plain loop over stack storage.
+    trace::TraceRecord batch[streamBatchSize];
+    while (!done_) {
+        // Never request past the instruction cap: a shared source must not
+        // be drained further than record-at-a-time consumption would.
+        size_t want = streamBatchSize;
+        if (cfg_.maxInstructions) {
+            uint64_t remaining =
+                cfg_.maxInstructions - result_.instructions;
+            if (remaining < want)
+                want = static_cast<size_t>(remaining);
+        }
+        size_t n = src.nextBatch(batch, want);
+        if (n == 0)
+            break;
+        for (size_t i = 0; i < n; ++i) {
+            if (i + prefetchDistance < n)
+                prefetchRecord(batch[i + prefetchDistance]);
+            processBody(batch[i]);
+        }
+        result_.instructions += n;
+        if (cfg_.maxInstructions &&
+            result_.instructions >= cfg_.maxInstructions)
+            done_ = true;
+    }
+    AnalysisResult res = finish();
+    auto end = std::chrono::steady_clock::now();
+    res.analysisSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return res;
+}
+
+AnalysisResult
+Paragraph::analyze(const trace::TraceBuffer &buffer)
+{
+    begin();
+    auto start = std::chrono::steady_clock::now();
+    processAll(buffer);
     AnalysisResult res = finish();
     auto end = std::chrono::steady_clock::now();
     res.analysisSeconds =

@@ -35,6 +35,7 @@
 #include "core/live_well.hpp"
 #include "core/result.hpp"
 #include "core/window.hpp"
+#include "trace/buffer.hpp"
 #include "trace/record.hpp"
 #include "trace/source.hpp"
 
@@ -52,6 +53,14 @@ class Paragraph
     /** Run a complete analysis: begin(), drain @p src, finish(). */
     AnalysisResult analyze(trace::TraceSource &src);
 
+    /**
+     * Run a complete analysis over an in-memory capture. Skips the
+     * TraceSource virtual-dispatch-per-record path: the record loop walks
+     * the buffer's contiguous storage directly. Results are identical to
+     * the streaming overload.
+     */
+    AnalysisResult analyze(const trace::TraceBuffer &buffer);
+
     // --- Incremental interface (drive record-by-record) ------------------
 
     /** Reset all state for a new trace. */
@@ -59,6 +68,9 @@ class Paragraph
 
     /** Consume one trace record. */
     void process(const trace::TraceRecord &rec);
+
+    /** Consume every record in @p buffer (stops early at maxInstructions). */
+    void processAll(const trace::TraceBuffer &buffer);
 
     /** True once maxInstructions records have been consumed. */
     bool done() const { return done_; }
@@ -94,8 +106,19 @@ class Paragraph
     bool done_ = false;
     bool finished_ = false;
 
+    static constexpr size_t numKinds = 4;    ///< trace::Operand::Kind values
+    static constexpr size_t numSegments = 4; ///< trace::Segment values
+    /** destRenamed() precomputed per (operand kind, segment); see begin(). */
+    bool renamedByKind_[numKinds][numSegments] = {};
+
     /** Place a value-creating record; returns its Ldest. */
     int64_t placeRecord(const trace::TraceRecord &rec);
+
+    /** process() minus the instruction counting (bulk loops count once). */
+    void processBody(const trace::TraceRecord &rec);
+
+    /** Prefetch the live-well slots @p rec's memory operands will probe. */
+    void prefetchRecord(const trace::TraceRecord &rec) const;
 
     /** Predict a conditional branch; firewall at its resolution level on a
      *  miss. */
@@ -104,8 +127,25 @@ class Paragraph
     /** True when @p op's storage class has renaming enabled. */
     bool destRenamed(const trace::Operand &op) const;
 
-    /** Record lifetime/sharing statistics for a dying value. */
-    void retire(const LiveValue &lv);
+    /** Record lifetime/sharing statistics for a dying value. Inline: runs
+     *  once per overwritten or evicted value on the placement hot path. */
+    void
+    retire(const LiveValue &lv)
+    {
+        if (lv.preExisting)
+            return;
+        if (cfg_.collectLifetimes) {
+            result_.lifetimes.add(
+                static_cast<uint64_t>(lv.deepestAccess - lv.level));
+        }
+        if (cfg_.collectSharing)
+            result_.sharing.add(lv.useCount);
+        if (cfg_.collectStorageProfile && lv.level >= 0) {
+            result_.storageProfile.add(
+                static_cast<uint64_t>(lv.level),
+                static_cast<uint64_t>(lv.deepestAccess));
+        }
+    }
 
     /** Raise the firewall floor to @p level (counts a firewall if raised). */
     void raiseFloor(int64_t level);

@@ -86,11 +86,13 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
             SweepCell &cell = sweep.cells[i];
             cell.job = std::move(jobs[i]);
 
-            trace::SharedBufferSource src(repo.get(cell.job.input),
-                                          cell.job.input);
+            // Analyze the shared capture directly (bulk path): no cursor
+            // object, no virtual dispatch per record.
+            std::shared_ptr<const trace::TraceBuffer> buffer =
+                repo.get(cell.job.input);
             core::Paragraph analyzer(cell.job.config);
             auto cellStart = std::chrono::steady_clock::now();
-            cell.result = analyzer.analyze(src);
+            cell.result = analyzer.analyze(*buffer);
             cell.wallSeconds = secondsSince(cellStart);
             cell.minstrPerSec =
                 cell.wallSeconds > 0.0

@@ -12,18 +12,6 @@ BucketedProfile::BucketedProfile(size_t num_bins)
 }
 
 void
-BucketedProfile::add(uint64_t level, uint64_t count)
-{
-    while (level >= bucketWidth_ * bins_.size())
-        fold();
-    bins_[level / bucketWidth_] += count;
-    totalOps_ += count;
-    if (!any_ || level > maxLevel_)
-        maxLevel_ = level;
-    any_ = true;
-}
-
-void
 BucketedProfile::fold()
 {
     size_t n = bins_.size();
@@ -31,7 +19,7 @@ BucketedProfile::fold()
         bins_[i] = bins_[2 * i] + bins_[2 * i + 1];
     for (size_t i = n / 2; i < n; ++i)
         bins_[i] = 0;
-    bucketWidth_ *= 2;
+    ++bucketShift_;
 }
 
 std::vector<BucketedProfile::Point>
@@ -40,11 +28,11 @@ BucketedProfile::series() const
     std::vector<Point> out;
     if (!any_)
         return out;
-    size_t last_bin = static_cast<size_t>(maxLevel_ / bucketWidth_);
+    size_t last_bin = static_cast<size_t>(maxLevel_ >> bucketShift_);
     out.reserve(last_bin + 1);
     for (size_t i = 0; i <= last_bin; ++i) {
-        uint64_t first = static_cast<uint64_t>(i) * bucketWidth_;
-        uint64_t last = first + bucketWidth_ - 1;
+        uint64_t first = static_cast<uint64_t>(i) << bucketShift_;
+        uint64_t last = first + bucketWidth() - 1;
         if (last > maxLevel_)
             last = maxLevel_;
         uint64_t levels = last - first + 1;

@@ -36,8 +36,22 @@ class BucketedProfile
     /** @param num_bins number of distribution entries kept (power of two). */
     explicit BucketedProfile(size_t num_bins = 4096);
 
-    /** Record @p count operations placed at DDG level @p level. */
-    void add(uint64_t level, uint64_t count = 1);
+    /**
+     * Record @p count operations placed at DDG level @p level. Inline: this
+     * runs once per placed operation on the analyzer hot path, and the
+     * power-of-two bucket width reduces the bin index to a shift.
+     */
+    void
+    add(uint64_t level, uint64_t count = 1)
+    {
+        while ((level >> bucketShift_) >= bins_.size())
+            fold();
+        bins_[level >> bucketShift_] += count;
+        totalOps_ += count;
+        if (level > maxLevel_) // maxLevel_ starts at 0, the smallest level
+            maxLevel_ = level;
+        any_ = true;
+    }
 
     /** Total operations recorded. */
     uint64_t totalOps() const { return totalOps_; }
@@ -46,7 +60,7 @@ class BucketedProfile
     uint64_t maxLevel() const { return maxLevel_; }
 
     /** Current number of levels folded into one bin. */
-    uint64_t bucketWidth() const { return bucketWidth_; }
+    uint64_t bucketWidth() const { return 1ULL << bucketShift_; }
 
     /** Number of bins configured. */
     size_t numBins() const { return bins_.size(); }
@@ -74,7 +88,7 @@ class BucketedProfile
 
   private:
     std::vector<uint64_t> bins_;
-    uint64_t bucketWidth_ = 1;
+    uint32_t bucketShift_ = 0; ///< log2 of the bucket width
     uint64_t totalOps_ = 0;
     uint64_t maxLevel_ = 0;
     bool any_ = false;

@@ -119,23 +119,69 @@ class FlatHashMap
     bool contains(Key key) const { return find(key) != nullptr; }
 
     /**
+     * Hint that @p key will be probed soon: pull its home slot towards the
+     * cache. The table is large and probed at random, so a lookup is
+     * usually a cache miss; issuing the prefetch a few records ahead of the
+     * probe hides that latency.
+     */
+    void
+    prefetch(Key key) const
+    {
+        __builtin_prefetch(&slots_[indexFor(key)]);
+    }
+
+    /**
+     * Find the value stored under @p key, inserting a copy of @p def when
+     * absent — one probe sequence for find-or-create, instead of a find
+     * followed by an insert that re-walks the same slots.
+     *
+     * @return the mapped value and whether it was freshly inserted.
+     *
+     * The returned pointer is invalidated by any later mutation that moves
+     * slots; watch epoch() to detect that cheaply (see below).
+     */
+    std::pair<Value *, bool>
+    findOrInsert(Key key, const Value &def)
+    {
+        PARA_ASSERT(key != EmptyKey);
+        while (true) {
+            size_t mask = slots_.size() - 1;
+            size_t idx = indexFor(key);
+            size_t dist = 0;
+            while (true) {
+                Slot &s = slots_[idx];
+                if (s.key == key)
+                    return {&s.value, false};
+                if (s.key == EmptyKey || dist > probeDistance(s.key, idx))
+                    break;
+                idx = (idx + 1) & mask;
+                ++dist;
+            }
+            // Absent: the probe stopped exactly where robin-hood insertion
+            // wants the key. Grow first if the load factor demands it (then
+            // re-probe in the bigger table), otherwise insert in place.
+            if ((size_ + 1) * maxLoadDen > slots_.size() * maxLoadNum) {
+                rehash(slots_.size() * 2);
+                continue;
+            }
+            ++size_;
+            if (size_ > peakSize_)
+                peakSize_ = size_;
+            return {&emplaceAt(idx, dist, Slot{key, def}), true};
+        }
+    }
+
+    /**
      * Insert @p value under @p key, or overwrite an existing mapping.
      * @return reference to the stored value.
      */
     Value &
     insertOrAssign(Key key, const Value &value)
     {
-        Value *existing = find(key);
-        if (existing) {
-            *existing = value;
-            return *existing;
-        }
-        maybeGrow();
-        Value &ref = insertFresh(key, value);
-        ++size_;
-        if (size_ > peakSize_)
-            peakSize_ = size_;
-        return ref;
+        auto [slot, fresh] = findOrInsert(key, value);
+        if (!fresh)
+            *slot = value;
+        return *slot;
     }
 
     /**
@@ -144,16 +190,17 @@ class FlatHashMap
     Value &
     operator[](Key key)
     {
-        Value *existing = find(key);
-        if (existing)
-            return *existing;
-        maybeGrow();
-        Value &ref = insertFresh(key, Value{});
-        ++size_;
-        if (size_ > peakSize_)
-            peakSize_ = size_;
-        return ref;
+        return *findOrInsert(key, Value{}).first;
     }
+
+    /**
+     * Mutation counter for pointer revalidation: advances whenever stored
+     * entries may have moved (rehash, robin-hood displacement during an
+     * insert, backward-shift during an erase). A caller holding pointers
+     * from find()/findOrInsert() may keep using them as long as epoch() is
+     * unchanged; after it changes, re-find by key.
+     */
+    uint64_t epoch() const { return epoch_; }
 
     /**
      * Erase the mapping for @p key using backward-shift deletion.
@@ -183,6 +230,7 @@ class FlatHashMap
             slots_[hole] = slots_[next];
             hole = next;
             next = (next + 1) & mask;
+            ++epoch_; // an entry moved; held pointers are stale
         }
         slots_[hole].key = EmptyKey;
         --size_;
@@ -224,6 +272,7 @@ class FlatHashMap
     std::vector<Slot> slots_;
     size_t size_ = 0;
     size_t peakSize_ = 0;
+    uint64_t epoch_ = 0;
 
     size_t
     indexFor(Key key) const
@@ -240,15 +289,9 @@ class FlatHashMap
     }
 
     void
-    maybeGrow()
-    {
-        if ((size_ + 1) * maxLoadDen > slots_.size() * maxLoadNum)
-            rehash(slots_.size() * 2);
-    }
-
-    void
     rehash(size_t new_cap)
     {
+        ++epoch_; // every entry moves
         std::vector<Slot> old = std::move(slots_);
         slots_.assign(new_cap, Slot{EmptyKey, Value{}});
         for (auto &s : old) {
@@ -261,10 +304,18 @@ class FlatHashMap
     Value &
     insertFresh(Key key, Value value)
     {
+        return emplaceAt(indexFor(key), 0, Slot{key, value});
+    }
+
+    /**
+     * Continue a robin-hood walk: place @p incoming at or after slot @p idx
+     * (its current probe distance is @p dist), displacing richer occupants.
+     * @return reference to where incoming's value landed.
+     */
+    Value &
+    emplaceAt(size_t idx, size_t dist, Slot incoming)
+    {
         size_t mask = slots_.size() - 1;
-        size_t idx = indexFor(key);
-        size_t dist = 0;
-        Slot incoming{key, value};
         Value *result = nullptr;
         while (true) {
             Slot &s = slots_[idx];
@@ -278,6 +329,7 @@ class FlatHashMap
                 if (!result)
                     result = &s.value;
                 dist = existing_dist;
+                ++epoch_; // the displaced occupant will move
             }
             idx = (idx + 1) & mask;
             ++dist;

@@ -8,54 +8,22 @@ IntervalProfile::IntervalProfile(size_t num_bins)
 {
     PARA_ASSERT(num_bins >= 2 && (num_bins & (num_bins - 1)) == 0,
                 "num_bins must be a power of two >= 2");
-    starts_.assign(num_bins, 0);
-    ends_.assign(num_bins, 0);
-    edgeMass_.assign(num_bins, 0);
-}
-
-void
-IntervalProfile::add(uint64_t start_level, uint64_t end_level)
-{
-    if (end_level < start_level)
-        end_level = start_level;
-    while (end_level >= bucketWidth_ * starts_.size())
-        fold();
-    size_t sb = static_cast<size_t>(start_level / bucketWidth_);
-    size_t eb = static_cast<size_t>(end_level / bucketWidth_);
-    ++starts_[sb];
-    ++ends_[eb];
-    // Record the edge buckets' exact overlap; buckets strictly between the
-    // edges are fully covered and handled by the start/end prefix counts.
-    uint64_t sb_end = (static_cast<uint64_t>(sb) + 1) * bucketWidth_ - 1;
-    if (eb == sb) {
-        edgeMass_[sb] += end_level - start_level + 1;
-    } else {
-        edgeMass_[sb] += sb_end - start_level + 1;
-        edgeMass_[eb] +=
-            end_level - static_cast<uint64_t>(eb) * bucketWidth_ + 1;
-    }
-    totalLiveLevels_ += end_level - start_level + 1;
-    ++intervals_;
-    if (!any_ || end_level > maxLevel_)
-        maxLevel_ = end_level;
-    any_ = true;
+    bins_.assign(num_bins, Bin{});
 }
 
 void
 IntervalProfile::fold()
 {
-    size_t n = starts_.size();
+    size_t n = bins_.size();
     for (size_t i = 0; i < n / 2; ++i) {
-        starts_[i] = starts_[2 * i] + starts_[2 * i + 1];
-        ends_[i] = ends_[2 * i] + ends_[2 * i + 1];
-        edgeMass_[i] = edgeMass_[2 * i] + edgeMass_[2 * i + 1];
+        bins_[i].starts = bins_[2 * i].starts + bins_[2 * i + 1].starts;
+        bins_[i].ends = bins_[2 * i].ends + bins_[2 * i + 1].ends;
+        bins_[i].edgeMass =
+            bins_[2 * i].edgeMass + bins_[2 * i + 1].edgeMass;
     }
-    for (size_t i = n / 2; i < n; ++i) {
-        starts_[i] = 0;
-        ends_[i] = 0;
-        edgeMass_[i] = 0;
-    }
-    bucketWidth_ *= 2;
+    for (size_t i = n / 2; i < n; ++i)
+        bins_[i] = Bin{};
+    ++bucketShift_;
 }
 
 std::vector<IntervalProfile::Point>
@@ -64,29 +32,29 @@ IntervalProfile::series() const
     std::vector<Point> out;
     if (!any_)
         return out;
-    size_t last_bin = static_cast<size_t>(maxLevel_ / bucketWidth_);
+    size_t last_bin = static_cast<size_t>(maxLevel_ >> bucketShift_);
     out.reserve(last_bin + 1);
     // full_cover(b): intervals that started before b and end after it;
     // intervals whose start or end falls inside b contribute their exact
-    // in-bucket overlap via edgeMass_. (Exact, except that the overlap of
+    // in-bucket overlap via the edge mass. (Exact, except that the overlap of
     // edges recorded before a fold keeps the pre-fold bucket boundaries.)
     double started_before = 0.0;
     double ended_through = 0.0;
-    double width = static_cast<double>(bucketWidth_);
+    double width = static_cast<double>(bucketWidth());
     for (size_t b = 0; b <= last_bin; ++b) {
         double full_cover =
-            started_before - (ended_through + static_cast<double>(ends_[b]));
+            started_before - (ended_through + static_cast<double>(bins_[b].ends));
         if (full_cover < 0)
             full_cover = 0;
         double avg = full_cover +
-                     static_cast<double>(edgeMass_[b]) / width;
-        uint64_t first = static_cast<uint64_t>(b) * bucketWidth_;
-        uint64_t last = first + bucketWidth_ - 1;
+                     static_cast<double>(bins_[b].edgeMass) / width;
+        uint64_t first = static_cast<uint64_t>(b) << bucketShift_;
+        uint64_t last = first + bucketWidth() - 1;
         if (last > maxLevel_)
             last = maxLevel_;
         out.push_back(Point{first, last, avg});
-        started_before += static_cast<double>(starts_[b]);
-        ended_through += static_cast<double>(ends_[b]);
+        started_before += static_cast<double>(bins_[b].starts);
+        ended_through += static_cast<double>(bins_[b].ends);
     }
     return out;
 }
@@ -98,15 +66,15 @@ IntervalProfile::peakLive() const
     double entering = 0.0;
     if (!any_)
         return 0.0;
-    size_t last_bin = static_cast<size_t>(maxLevel_ / bucketWidth_);
+    size_t last_bin = static_cast<size_t>(maxLevel_ >> bucketShift_);
     for (size_t b = 0; b <= last_bin; ++b) {
         // Upper bound within the bucket: everything entering plus all new
         // starts, before any ends are applied.
-        double high = entering + static_cast<double>(starts_[b]);
+        double high = entering + static_cast<double>(bins_[b].starts);
         if (high > peak)
             peak = high;
-        entering += static_cast<double>(starts_[b]) -
-                    static_cast<double>(ends_[b]);
+        entering += static_cast<double>(bins_[b].starts) -
+                    static_cast<double>(bins_[b].ends);
     }
     return peak;
 }

@@ -38,8 +38,44 @@ class IntervalProfile
     /** @param num_bins number of distribution entries (power of two). */
     explicit IntervalProfile(size_t num_bins = 4096);
 
-    /** Record a value live from @p start_level to @p end_level inclusive. */
-    void add(uint64_t start_level, uint64_t end_level);
+    /**
+     * Record a value live from @p start_level to @p end_level inclusive.
+     * Inline: this runs once per retired value on the analyzer hot path,
+     * and the power-of-two bucket width reduces bin indexing to shifts.
+     */
+    void
+    add(uint64_t start_level, uint64_t end_level)
+    {
+        if (end_level < start_level)
+            end_level = start_level;
+        while ((end_level >> bucketShift_) >= bins_.size())
+            fold();
+        size_t sb = static_cast<size_t>(start_level >> bucketShift_);
+        size_t eb = static_cast<size_t>(end_level >> bucketShift_);
+        // Record the edge buckets' exact overlap; buckets strictly between
+        // the edges are fully covered and handled by the start/end prefix
+        // counts. Most lifetimes are short, so sb and eb usually name the
+        // same bucket — and a bucket's three counters share a cache line.
+        Bin &start_bin = bins_[sb];
+        ++start_bin.starts;
+        if (eb == sb) {
+            ++start_bin.ends;
+            start_bin.edgeMass += end_level - start_level + 1;
+        } else {
+            uint64_t sb_end =
+                ((static_cast<uint64_t>(sb) + 1) << bucketShift_) - 1;
+            start_bin.edgeMass += sb_end - start_level + 1;
+            Bin &end_bin = bins_[eb];
+            ++end_bin.ends;
+            end_bin.edgeMass +=
+                end_level - (static_cast<uint64_t>(eb) << bucketShift_) + 1;
+        }
+        totalLiveLevels_ += end_level - start_level + 1;
+        ++intervals_;
+        if (end_level > maxLevel_) // maxLevel_ starts at 0, the minimum
+            maxLevel_ = end_level;
+        any_ = true;
+    }
 
     /** Number of intervals recorded. */
     uint64_t intervals() const { return intervals_; }
@@ -48,7 +84,7 @@ class IntervalProfile
     uint64_t maxLevel() const { return maxLevel_; }
 
     /** Current levels-per-bin. */
-    uint64_t bucketWidth() const { return bucketWidth_; }
+    uint64_t bucketWidth() const { return 1ULL << bucketShift_; }
 
     bool empty() const { return intervals_ == 0; }
 
@@ -65,11 +101,17 @@ class IntervalProfile
     double meanLive() const;
 
   private:
-    std::vector<uint64_t> starts_; ///< intervals beginning in each bucket
-    std::vector<uint64_t> ends_;   ///< intervals ending in each bucket
-    std::vector<uint64_t> edgeMass_; ///< in-bucket levels of edge overlaps
+    /** Per-bucket counters, kept together for cache locality on add(). */
+    struct Bin
+    {
+        uint64_t starts = 0;   ///< intervals beginning in this bucket
+        uint64_t ends = 0;     ///< intervals ending in this bucket
+        uint64_t edgeMass = 0; ///< in-bucket levels of edge overlaps
+    };
+
+    std::vector<Bin> bins_;
     uint64_t totalLiveLevels_ = 0;   ///< exact sum of interval lengths
-    uint64_t bucketWidth_ = 1;
+    uint32_t bucketShift_ = 0;       ///< log2 of the bucket width
     uint64_t intervals_ = 0;
     uint64_t maxLevel_ = 0;
     bool any_ = false;

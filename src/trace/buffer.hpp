@@ -10,6 +10,7 @@
 #ifndef PARAGRAPH_TRACE_BUFFER_HPP
 #define PARAGRAPH_TRACE_BUFFER_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -79,6 +80,15 @@ class BufferSource : public TraceSource
         return true;
     }
 
+    size_t
+    nextBatch(TraceRecord *out, size_t max) override
+    {
+        size_t n = std::min(max, buffer_->size() - pos_);
+        std::copy_n(buffer_->records().data() + pos_, n, out);
+        pos_ += n;
+        return n;
+    }
+
     void reset() override { pos_ = 0; }
 
     std::string name() const override { return name_; }
@@ -111,6 +121,15 @@ class SharedBufferSource : public TraceSource
             return false;
         rec = (*buffer_)[pos_++];
         return true;
+    }
+
+    size_t
+    nextBatch(TraceRecord *out, size_t max) override
+    {
+        size_t n = std::min(max, buffer_->size() - pos_);
+        std::copy_n(buffer_->records().data() + pos_, n, out);
+        pos_ += n;
+        return n;
     }
 
     void reset() override { pos_ = 0; }

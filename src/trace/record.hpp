@@ -77,16 +77,14 @@ struct Operand
 inline uint64_t
 locationKey(const Operand &op)
 {
-    switch (op.kind) {
-      case Operand::Kind::IntReg:
-        return (1ULL << 62) | op.id;
-      case Operand::Kind::FpReg:
-        return (2ULL << 62) | op.id;
-      case Operand::Kind::Mem:
-        return op.id & ~(3ULL << 62);
-      default:
-        return ~0ULL;
-    }
+    // Branchless: operand kinds vary record to record, so a switch here
+    // mispredicts on the analyzer hot path. Indexed by Kind: None yields
+    // the all-ones invalid key, registers get their namespace tag ORed
+    // with the index, memory keeps the address with the tag bits cleared.
+    static constexpr uint64_t tagFor[4] = {~0ULL, 1ULL << 62, 2ULL << 62, 0};
+    static constexpr uint64_t maskFor[4] = {0, ~0ULL, ~0ULL, ~(3ULL << 62)};
+    size_t k = static_cast<size_t>(op.kind);
+    return tagFor[k] | (op.id & maskFor[k]);
 }
 
 /** Maximum number of source operands a record can carry. */

@@ -11,6 +11,7 @@
 #ifndef PARAGRAPH_TRACE_SOURCE_HPP
 #define PARAGRAPH_TRACE_SOURCE_HPP
 
+#include <cstddef>
 #include <string>
 
 #include "trace/record.hpp"
@@ -28,6 +29,24 @@ class TraceSource
      * @return false at end of trace (@p rec is then unspecified).
      */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Produce up to @p max records into @p out.
+     *
+     * The default forwards to next(); in-memory sources override this with
+     * a bulk copy so consumers pay one virtual call per block instead of
+     * one per record.
+     *
+     * @return number of records produced; 0 only at end of trace.
+     */
+    virtual size_t
+    nextBatch(TraceRecord *out, size_t max)
+    {
+        size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the trace from the beginning (must be deterministic). */
     virtual void reset() = 0;

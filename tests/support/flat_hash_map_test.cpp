@@ -164,6 +164,114 @@ TEST(FlatHashMap, HashMixerSpreadsSequentialKeys)
     EXPECT_EQ(adjacent, 0);
 }
 
+TEST(FlatHashMap, FindOrInsertCreatesThenFinds)
+{
+    FlatHashMap<uint64_t, int> map;
+    auto [v1, fresh1] = map.findOrInsert(42, 7);
+    EXPECT_TRUE(fresh1);
+    EXPECT_EQ(*v1, 7);
+    // A second probe must find the existing entry and ignore the default.
+    auto [v2, fresh2] = map.findOrInsert(42, 99);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(*v2, 7);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap, FindOrInsertRehashesDuringInsert)
+{
+    // Fill to exactly the load-factor threshold, then findOrInsert a fresh
+    // key: the probe must abort, grow the table, and re-probe — with every
+    // prior entry surviving the mid-insert rehash.
+    FlatHashMap<uint64_t, uint64_t> map;
+    uint64_t k = 1;
+    size_t cap = map.capacity();
+    while ((map.size() + 1) * 8 <= cap * 7) {
+        map.findOrInsert(k, k + 1);
+        ++k;
+    }
+    uint64_t epoch_before = map.epoch();
+    auto [value, fresh] = map.findOrInsert(k, k + 1);
+    EXPECT_TRUE(fresh);
+    EXPECT_EQ(*value, k + 1);
+    EXPECT_GT(map.capacity(), cap);
+    EXPECT_GT(map.epoch(), epoch_before) << "rehash must invalidate handles";
+    for (uint64_t key = 1; key < k; ++key) {
+        ASSERT_NE(map.find(key), nullptr) << key;
+        EXPECT_EQ(*map.find(key), key + 1);
+    }
+}
+
+TEST(FlatHashMap, FindOrInsertPointerValidAfterDisplacement)
+{
+    // Robin-hood insertion displaces richer occupants mid-cluster. The
+    // returned pointer must always reference the key just inserted, and any
+    // displacement must advance epoch() so held handles get revalidated.
+    FlatHashMap<uint64_t, uint64_t> map(4096); // no rehash during the test
+    uint64_t epoch0 = map.epoch();
+    bool saw_displacement = false;
+    for (uint64_t key = 1; key <= 2000; ++key) {
+        uint64_t before = map.epoch();
+        auto [value, fresh] = map.findOrInsert(key, key * 5);
+        ASSERT_TRUE(fresh);
+        ASSERT_EQ(*value, key * 5) << "pointer must track the displaced slot";
+        if (map.epoch() != before)
+            saw_displacement = true;
+    }
+    EXPECT_TRUE(saw_displacement) << "2000 keys should collide at least once";
+    EXPECT_GT(map.epoch(), epoch0);
+    for (uint64_t key = 1; key <= 2000; ++key) {
+        ASSERT_NE(map.find(key), nullptr) << key;
+        EXPECT_EQ(*map.find(key), key * 5);
+    }
+}
+
+TEST(FlatHashMap, EpochStableHandlesStayValid)
+{
+    // The live well's contract: handles from findOrInsert stay usable while
+    // epoch() is unchanged; when it moves, re-find by key.
+    FlatHashMap<uint64_t, uint64_t> map;
+    Prng prng(99);
+    std::vector<std::pair<uint64_t, uint64_t *>> handles;
+    uint64_t epoch = map.epoch();
+    for (uint64_t key = 1; key <= 5000; ++key) {
+        auto [value, fresh] = map.findOrInsert(key, key ^ 0xabcdULL);
+        ASSERT_TRUE(fresh);
+        if (map.epoch() != epoch) {
+            // Entries may have moved: revalidate every held handle.
+            for (auto &[k, ptr] : handles)
+                ptr = map.find(k);
+            epoch = map.epoch();
+        }
+        handles.emplace_back(key, value);
+        if (prng.nextBelow(4) == 0) {
+            // Handles must read back correct values between mutations.
+            auto &[k, ptr] = handles[prng.nextBelow(handles.size())];
+            ASSERT_NE(ptr, nullptr);
+            ASSERT_EQ(*ptr, k ^ 0xabcdULL) << k;
+        }
+    }
+}
+
+TEST(FlatHashMapProperty, FindOrInsertMatchesStdUnorderedMap)
+{
+    Prng prng(777);
+    FlatHashMap<uint64_t, uint64_t> map;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    for (int op = 0; op < 100000; ++op) {
+        uint64_t key = prng.nextBelow(2048) + 1;
+        if (prng.nextBelow(5) == 0) {
+            EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        } else {
+            uint64_t def = prng.next();
+            auto [value, fresh] = map.findOrInsert(key, def);
+            auto [it, inserted] = ref.try_emplace(key, def);
+            EXPECT_EQ(fresh, inserted);
+            EXPECT_EQ(*value, it->second);
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+}
+
 // Differential property test: random operation sequences behave exactly like
 // std::unordered_map.
 TEST(FlatHashMapProperty, MatchesStdUnorderedMap)

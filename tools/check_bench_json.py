@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Smoke-check bench_hotpath's JSON output against its published schema.
+
+Usage: check_bench_json.py <bench_hotpath binary> [extra bench args...]
+
+Runs the benchmark with --json, parses stdout, and validates the
+paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
+non-empty results array with the per-row fields, and the geomean summary.
+Exit status is non-zero on any mismatch, so this doubles as a CTest.
+"""
+
+import json
+import subprocess
+import sys
+
+SCHEMA = "paragraph-bench-hotpath-v1"
+ROW_KEYS = {"input", "config", "path", "instructions", "seconds",
+            "minstr_per_sec"}
+SUMMARY_KEYS = {"stream_geomean_minstr_per_sec",
+                "bulk_geomean_minstr_per_sec"}
+
+
+def fail(msg):
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <bench_hotpath> [args...]")
+    cmd = sys.argv[1:] + ["--json"]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"benchmark exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("timestamp", "max_instructions", "repeats"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    for i, row in enumerate(results):
+        missing = ROW_KEYS - row.keys()
+        if missing:
+            fail(f"results[{i}] missing keys {sorted(missing)}")
+        if row["instructions"] <= 0:
+            fail(f"results[{i}] ran zero instructions")
+        if row["minstr_per_sec"] <= 0:
+            fail(f"results[{i}] reports non-positive throughput")
+        if row["path"] not in ("stream", "bulk"):
+            fail(f"results[{i}] has unknown path {row['path']!r}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or SUMMARY_KEYS - summary.keys():
+        fail("summary must contain the stream and bulk geomeans")
+    for key in SUMMARY_KEYS:
+        if summary[key] <= 0:
+            fail(f"summary {key} is non-positive")
+    print(f"ok: {len(results)} rows, schema {SCHEMA}")
+
+
+if __name__ == "__main__":
+    main()
