@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_storage_profile.dir/bench_ext_storage_profile.cpp.o"
+  "CMakeFiles/bench_ext_storage_profile.dir/bench_ext_storage_profile.cpp.o.d"
+  "bench_ext_storage_profile"
+  "bench_ext_storage_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_storage_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

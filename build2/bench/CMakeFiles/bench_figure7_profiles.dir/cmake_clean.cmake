@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_profiles.dir/bench_figure7_profiles.cpp.o"
+  "CMakeFiles/bench_figure7_profiles.dir/bench_figure7_profiles.cpp.o.d"
+  "bench_figure7_profiles"
+  "bench_figure7_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_window.dir/bench_figure8_window.cpp.o"
+  "CMakeFiles/bench_figure8_window.dir/bench_figure8_window.cpp.o.d"
+  "bench_figure8_window"
+  "bench_figure8_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dataflow.dir/bench_table3_dataflow.cpp.o"
+  "CMakeFiles/bench_table3_dataflow.dir/bench_table3_dataflow.cpp.o.d"
+  "bench_table3_dataflow"
+  "bench_table3_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

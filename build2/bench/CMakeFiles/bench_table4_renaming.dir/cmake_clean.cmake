@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_renaming.dir/bench_table4_renaming.cpp.o"
+  "CMakeFiles/bench_table4_renaming.dir/bench_table4_renaming.cpp.o.d"
+  "bench_table4_renaming"
+  "bench_table4_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_hotpath_json_smoke "/root/.pyenv/shims/python3" "/root/repo/tools/check_bench_json.py" "/root/repo/build2/bench/bench_hotpath" "--small" "--max=20000" "--repeats=1" "--configs=dataflow,fu64" "--out=")
+set_tests_properties(bench_hotpath_json_smoke PROPERTIES  LABELS "bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_pipeline.dir/compiler_pipeline.cpp.o"
+  "CMakeFiles/compiler_pipeline.dir/compiler_pipeline.cpp.o.d"
+  "compiler_pipeline"
+  "compiler_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

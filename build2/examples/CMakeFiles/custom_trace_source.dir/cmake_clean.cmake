@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_trace_source.dir/custom_trace_source.cpp.o"
+  "CMakeFiles/custom_trace_source.dir/custom_trace_source.cpp.o.d"
+  "custom_trace_source"
+  "custom_trace_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_trace_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renaming_study.dir/renaming_study.cpp.o"
+  "CMakeFiles/renaming_study.dir/renaming_study.cpp.o.d"
+  "renaming_study"
+  "renaming_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaming_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

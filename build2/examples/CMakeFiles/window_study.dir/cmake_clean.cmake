@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_study.dir/window_study.cpp.o"
+  "CMakeFiles/window_study.dir/window_study.cpp.o.d"
+  "window_study"
+  "window_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

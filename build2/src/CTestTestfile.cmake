@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("trace")
+subdirs("casm")
+subdirs("sim")
+subdirs("minic")
+subdirs("workloads")
+subdirs("core")
+subdirs("engine")

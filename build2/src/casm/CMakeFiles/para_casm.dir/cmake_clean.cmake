@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_casm.dir/assembler.cpp.o"
+  "CMakeFiles/para_casm.dir/assembler.cpp.o.d"
+  "libpara_casm.a"
+  "libpara_casm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_casm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for para_casm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/para_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/branch_predictor.cpp" "src/core/CMakeFiles/para_core.dir/branch_predictor.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/para_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/ddg_builder.cpp" "src/core/CMakeFiles/para_core.dir/ddg_builder.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/ddg_builder.cpp.o.d"
+  "/root/repo/src/core/fu_throttle.cpp" "src/core/CMakeFiles/para_core.dir/fu_throttle.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/fu_throttle.cpp.o.d"
+  "/root/repo/src/core/multi.cpp" "src/core/CMakeFiles/para_core.dir/multi.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/multi.cpp.o.d"
+  "/root/repo/src/core/paragraph.cpp" "src/core/CMakeFiles/para_core.dir/paragraph.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/paragraph.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/para_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/para_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/trace/CMakeFiles/para_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/isa/CMakeFiles/para_isa.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/para_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_core.dir/baseline.cpp.o"
+  "CMakeFiles/para_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/para_core.dir/branch_predictor.cpp.o"
+  "CMakeFiles/para_core.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/para_core.dir/config.cpp.o"
+  "CMakeFiles/para_core.dir/config.cpp.o.d"
+  "CMakeFiles/para_core.dir/ddg_builder.cpp.o"
+  "CMakeFiles/para_core.dir/ddg_builder.cpp.o.d"
+  "CMakeFiles/para_core.dir/fu_throttle.cpp.o"
+  "CMakeFiles/para_core.dir/fu_throttle.cpp.o.d"
+  "CMakeFiles/para_core.dir/multi.cpp.o"
+  "CMakeFiles/para_core.dir/multi.cpp.o.d"
+  "CMakeFiles/para_core.dir/paragraph.cpp.o"
+  "CMakeFiles/para_core.dir/paragraph.cpp.o.d"
+  "CMakeFiles/para_core.dir/report.cpp.o"
+  "CMakeFiles/para_core.dir/report.cpp.o.d"
+  "libpara_core.a"
+  "libpara_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_engine.dir/sweep.cpp.o"
+  "CMakeFiles/para_engine.dir/sweep.cpp.o.d"
+  "CMakeFiles/para_engine.dir/sweep_json.cpp.o"
+  "CMakeFiles/para_engine.dir/sweep_json.cpp.o.d"
+  "CMakeFiles/para_engine.dir/trace_repository.cpp.o"
+  "CMakeFiles/para_engine.dir/trace_repository.cpp.o.d"
+  "libpara_engine.a"
+  "libpara_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for para_engine.
+# This may be replaced when dependencies are built.

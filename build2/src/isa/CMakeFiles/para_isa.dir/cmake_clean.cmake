@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_isa.dir/isa.cpp.o"
+  "CMakeFiles/para_isa.dir/isa.cpp.o.d"
+  "libpara_isa.a"
+  "libpara_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_minic.dir/compiler.cpp.o"
+  "CMakeFiles/para_minic.dir/compiler.cpp.o.d"
+  "CMakeFiles/para_minic.dir/interpreter.cpp.o"
+  "CMakeFiles/para_minic.dir/interpreter.cpp.o.d"
+  "CMakeFiles/para_minic.dir/lexer.cpp.o"
+  "CMakeFiles/para_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/para_minic.dir/parser.cpp.o"
+  "CMakeFiles/para_minic.dir/parser.cpp.o.d"
+  "libpara_minic.a"
+  "libpara_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_sim.dir/exec_profile.cpp.o"
+  "CMakeFiles/para_sim.dir/exec_profile.cpp.o.d"
+  "CMakeFiles/para_sim.dir/machine.cpp.o"
+  "CMakeFiles/para_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/para_sim.dir/memory.cpp.o"
+  "CMakeFiles/para_sim.dir/memory.cpp.o.d"
+  "libpara_sim.a"
+  "libpara_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

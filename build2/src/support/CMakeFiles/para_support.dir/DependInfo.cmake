@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ascii_table.cpp" "src/support/CMakeFiles/para_support.dir/ascii_table.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/ascii_table.cpp.o.d"
+  "/root/repo/src/support/bucketed_profile.cpp" "src/support/CMakeFiles/para_support.dir/bucketed_profile.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/bucketed_profile.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/support/CMakeFiles/para_support.dir/histogram.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/histogram.cpp.o.d"
+  "/root/repo/src/support/interval_profile.cpp" "src/support/CMakeFiles/para_support.dir/interval_profile.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/interval_profile.cpp.o.d"
+  "/root/repo/src/support/panic.cpp" "src/support/CMakeFiles/para_support.dir/panic.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/panic.cpp.o.d"
+  "/root/repo/src/support/string_utils.cpp" "src/support/CMakeFiles/para_support.dir/string_utils.cpp.o" "gcc" "src/support/CMakeFiles/para_support.dir/string_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

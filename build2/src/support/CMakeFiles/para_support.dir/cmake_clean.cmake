@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_support.dir/ascii_table.cpp.o"
+  "CMakeFiles/para_support.dir/ascii_table.cpp.o.d"
+  "CMakeFiles/para_support.dir/bucketed_profile.cpp.o"
+  "CMakeFiles/para_support.dir/bucketed_profile.cpp.o.d"
+  "CMakeFiles/para_support.dir/histogram.cpp.o"
+  "CMakeFiles/para_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/para_support.dir/interval_profile.cpp.o"
+  "CMakeFiles/para_support.dir/interval_profile.cpp.o.d"
+  "CMakeFiles/para_support.dir/panic.cpp.o"
+  "CMakeFiles/para_support.dir/panic.cpp.o.d"
+  "CMakeFiles/para_support.dir/string_utils.cpp.o"
+  "CMakeFiles/para_support.dir/string_utils.cpp.o.d"
+  "libpara_support.a"
+  "libpara_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpara_support.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/compressed_io.cpp" "src/trace/CMakeFiles/para_trace.dir/compressed_io.cpp.o" "gcc" "src/trace/CMakeFiles/para_trace.dir/compressed_io.cpp.o.d"
+  "/root/repo/src/trace/file_io.cpp" "src/trace/CMakeFiles/para_trace.dir/file_io.cpp.o" "gcc" "src/trace/CMakeFiles/para_trace.dir/file_io.cpp.o.d"
+  "/root/repo/src/trace/last_use.cpp" "src/trace/CMakeFiles/para_trace.dir/last_use.cpp.o" "gcc" "src/trace/CMakeFiles/para_trace.dir/last_use.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/para_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/para_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/isa/CMakeFiles/para_isa.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/para_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

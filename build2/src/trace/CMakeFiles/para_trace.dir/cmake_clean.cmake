@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_trace.dir/compressed_io.cpp.o"
+  "CMakeFiles/para_trace.dir/compressed_io.cpp.o.d"
+  "CMakeFiles/para_trace.dir/file_io.cpp.o"
+  "CMakeFiles/para_trace.dir/file_io.cpp.o.d"
+  "CMakeFiles/para_trace.dir/last_use.cpp.o"
+  "CMakeFiles/para_trace.dir/last_use.cpp.o.d"
+  "CMakeFiles/para_trace.dir/trace.cpp.o"
+  "CMakeFiles/para_trace.dir/trace.cpp.o.d"
+  "libpara_trace.a"
+  "libpara_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/para_workloads.dir/sources_fp.cpp.o"
+  "CMakeFiles/para_workloads.dir/sources_fp.cpp.o.d"
+  "CMakeFiles/para_workloads.dir/sources_int.cpp.o"
+  "CMakeFiles/para_workloads.dir/sources_int.cpp.o.d"
+  "CMakeFiles/para_workloads.dir/sources_mixed.cpp.o"
+  "CMakeFiles/para_workloads.dir/sources_mixed.cpp.o.d"
+  "CMakeFiles/para_workloads.dir/workload.cpp.o"
+  "CMakeFiles/para_workloads.dir/workload.cpp.o.d"
+  "libpara_workloads.a"
+  "libpara_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/para_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

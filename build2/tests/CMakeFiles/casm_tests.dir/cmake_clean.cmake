@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casm_tests.dir/casm/assembler_test.cpp.o"
+  "CMakeFiles/casm_tests.dir/casm/assembler_test.cpp.o.d"
+  "casm_tests"
+  "casm_tests.pdb"
+  "casm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_tests.dir/tools/cli_test.cpp.o"
+  "CMakeFiles/cli_tests.dir/tools/cli_test.cpp.o.d"
+  "cli_tests"
+  "cli_tests.pdb"
+  "cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/components_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/components_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/equivalence_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paper_figures_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paper_figures_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paragraph_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paragraph_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/properties_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

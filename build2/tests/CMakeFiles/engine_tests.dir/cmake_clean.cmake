@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/sweep_cli_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/sweep_cli_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/sweep_engine_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/sweep_engine_test.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

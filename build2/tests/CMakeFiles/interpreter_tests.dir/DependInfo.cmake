@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minic/interpreter_test.cpp" "tests/CMakeFiles/interpreter_tests.dir/minic/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/interpreter_tests.dir/minic/interpreter_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/para_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workloads/CMakeFiles/para_workloads.dir/DependInfo.cmake"
+  "/root/repo/build2/src/minic/CMakeFiles/para_minic.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/para_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/casm/CMakeFiles/para_casm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trace/CMakeFiles/para_trace.dir/DependInfo.cmake"
+  "/root/repo/build2/src/isa/CMakeFiles/para_isa.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/para_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

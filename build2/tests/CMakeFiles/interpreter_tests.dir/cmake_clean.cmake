@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_tests.dir/minic/interpreter_test.cpp.o"
+  "CMakeFiles/interpreter_tests.dir/minic/interpreter_test.cpp.o.d"
+  "interpreter_tests"
+  "interpreter_tests.pdb"
+  "interpreter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_tests.dir/minic/compiler_test.cpp.o"
+  "CMakeFiles/minic_tests.dir/minic/compiler_test.cpp.o.d"
+  "CMakeFiles/minic_tests.dir/minic/differential_test.cpp.o"
+  "CMakeFiles/minic_tests.dir/minic/differential_test.cpp.o.d"
+  "CMakeFiles/minic_tests.dir/minic/lexer_parser_test.cpp.o"
+  "CMakeFiles/minic_tests.dir/minic/lexer_parser_test.cpp.o.d"
+  "minic_tests"
+  "minic_tests.pdb"
+  "minic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

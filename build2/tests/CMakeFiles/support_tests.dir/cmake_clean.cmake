@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/bucketed_profile_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/bucketed_profile_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/flat_hash_map_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/flat_hash_map_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/histogram_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/histogram_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/misc_support_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/misc_support_test.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

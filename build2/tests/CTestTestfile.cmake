@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build2/tests/support_tests[1]_include.cmake")
+include("/root/repo/build2/tests/isa_tests[1]_include.cmake")
+include("/root/repo/build2/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build2/tests/casm_tests[1]_include.cmake")
+include("/root/repo/build2/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build2/tests/minic_tests[1]_include.cmake")
+include("/root/repo/build2/tests/core_tests[1]_include.cmake")
+include("/root/repo/build2/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build2/tests/interpreter_tests[1]_include.cmake")
+include("/root/repo/build2/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build2/tests/engine_tests[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Smoke.CompileRunAnalyze]=]  /root/repo/build2/tests/smoke_test [==[--gtest_filter=Smoke.CompileRunAnalyze]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.CompileRunAnalyze]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build2/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  smoke_test_TESTS Smoke.CompileRunAnalyze)

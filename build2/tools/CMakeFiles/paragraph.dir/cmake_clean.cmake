@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph.dir/paragraph_main.cpp.o"
+  "CMakeFiles/paragraph.dir/paragraph_main.cpp.o.d"
+  "paragraph"
+  "paragraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paragraph_sweep.dir/sweep_main.cpp.o"
+  "CMakeFiles/paragraph_sweep.dir/sweep_main.cpp.o.d"
+  "paragraph-sweep"
+  "paragraph-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paragraph_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
