@@ -22,6 +22,8 @@
 namespace paragraph {
 namespace core {
 
+class CancelToken;
+
 struct AnalysisConfig
 {
     // --- Paper switches -------------------------------------------------
@@ -86,6 +88,14 @@ struct AnalysisConfig
 
     /** Stop after this many trace instructions; 0 = whole trace. */
     uint64_t maxInstructions = 0;
+
+    /**
+     * Optional cooperative cancellation: the bulk record loops poll this
+     * token every few tens of thousands of records and abort the analysis
+     * with CancelledError once it is cancelled or past its deadline. Not
+     * owned; must outlive the analysis. nullptr = never cancelled.
+     */
+    const CancelToken *cancel = nullptr;
 
     /** Number of parallelism-profile bins (power of two). */
     size_t profileBins = 4096;

@@ -1,7 +1,9 @@
 #include "core/paragraph.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "core/cancel_token.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
@@ -16,6 +18,9 @@ namespace {
 constexpr size_t streamBatchSize = 256;
 /// How many records ahead live-well slots are prefetched.
 constexpr size_t prefetchDistance = 8;
+/// Records between CancelToken polls in the bulk loop (keeps the clock
+/// read off the per-record path).
+constexpr size_t cancelCheckInterval = 32768;
 } // namespace
 
 Paragraph::Paragraph(AnalysisConfig cfg)
@@ -315,12 +320,23 @@ Paragraph::processAll(const trace::TraceBuffer &buffer)
         if (remaining < n)
             n = static_cast<size_t>(remaining);
     }
-    for (size_t i = 0; i < n; ++i) {
-        // Memory operands probe a large randomly-indexed table; start the
-        // loads for a record a few iterations before it is processed.
-        if (i + prefetchDistance < n)
-            prefetchRecord(records[i + prefetchDistance]);
-        processBody(records[i]);
+    size_t i = 0;
+    while (i < n) {
+        // Cooperative cancellation: poll the token between chunks so a
+        // runaway cell becomes a diagnosed CancelledError, not a hang.
+        size_t chunkEnd = n;
+        if (cfg_.cancel) {
+            cfg_.cancel->checkpoint();
+            chunkEnd = std::min(n, i + cancelCheckInterval);
+        }
+        for (; i < chunkEnd; ++i) {
+            // Memory operands probe a large randomly-indexed table; start
+            // the loads for a record a few iterations before it is
+            // processed.
+            if (i + prefetchDistance < n)
+                prefetchRecord(records[i + prefetchDistance]);
+            processBody(records[i]);
+        }
     }
     result_.instructions += n;
     if (cfg_.maxInstructions && result_.instructions >= cfg_.maxInstructions)
@@ -336,6 +352,8 @@ Paragraph::analyze(trace::TraceSource &src)
     // per-record cost is a plain loop over stack storage.
     trace::TraceRecord batch[streamBatchSize];
     while (!done_) {
+        if (cfg_.cancel)
+            cfg_.cancel->checkpoint();
         // Never request past the instruction cap: a shared source must not
         // be drained further than record-at-a-time consumption would.
         size_t want = streamBatchSize;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sweep checkpoint journal: one JSONL line per completed grid cell.
+ *
+ * A multi-hour sweep that dies at cell 47 of 48 should not start over. The
+ * engine appends a self-describing line to the journal as each cell
+ * finishes (header first, then one object per cell), flushing after every
+ * line so a crash loses at most the in-flight cell. `paragraph-sweep
+ * --resume=FILE` reloads the journal, skips cells whose journaled entry is
+ * ok and matches the requested grid position, and splices the journaled
+ * cell JSON verbatim into the final report — so a resumed sweep's document
+ * is byte-identical to an uninterrupted run's (timing excluded).
+ *
+ * Line schema (paragraph-sweep-journal-v1):
+ *   {"schema": "paragraph-sweep-journal-v1", "profiles": <bool>}
+ *   {"index": N, "input": S, "config_label": S, "status": "ok",
+ *    "attempts": N, "cell": S}          // S = rendered cell JSON, escaped
+ *   {"index": N, "input": S, "config_label": S, "status": "failed",
+ *    "attempts": N, "error": S}
+ *
+ * Loading is tolerant: malformed or truncated lines (a crash mid-write)
+ * are skipped with a warning, and a later entry for the same index wins,
+ * so re-running with the same --journal file accumulates correctly.
+ */
+
+#ifndef PARAGRAPH_ENGINE_JOURNAL_HPP
+#define PARAGRAPH_ENGINE_JOURNAL_HPP
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "engine/sweep.hpp"
+
+namespace paragraph {
+namespace engine {
+
+/** One journaled cell, as read back by loadJournal. */
+struct JournalEntry
+{
+    size_t index = 0;
+    std::string input;
+    std::string configLabel;
+    std::string status;   ///< "ok" or "failed"
+    unsigned attempts = 1;
+    std::string error;    ///< failed entries only
+    std::string cellJson; ///< ok entries only: rendered cell JSON text
+};
+
+/** A loaded journal: header flags plus the last entry seen per index. */
+struct JournalData
+{
+    bool profiles = true;
+    std::map<size_t, JournalEntry> entries;
+
+    /** The ok entry for @p job's grid position, or nullptr. An entry only
+     *  matches if its input and config label agree with the job's — a
+     *  journal from a different grid never silently satisfies a cell. */
+    const JournalEntry *findOk(size_t index, const SweepJob &job) const;
+};
+
+/** Parse @p path; throws FatalError if unreadable or the header schema is
+ *  wrong, warns and skips individually malformed lines. */
+JournalData loadJournal(const std::string &path);
+
+/** Append-mode journal writer; record() is thread-safe. */
+class SweepJournal
+{
+  public:
+    /** Open @p path for appending (header line written only when the file
+     *  is empty); throws FatalError on failure. */
+    SweepJournal(const std::string &path, bool profiles);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Append @p cell's journal line and flush. @p cellJson is the rendered
+     * cell JSON (ok cells; ignored for failed ones). Never throws: a
+     * journal write failure degrades to a warning — losing a checkpoint
+     * must not fail the sweep itself.
+     */
+    void record(size_t index, const SweepCell &cell,
+                const std::string &cellJson);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mutex_;
+    bool writeFailed_ = false;
+};
+
+} // namespace engine
+} // namespace paragraph
+
+#endif // PARAGRAPH_ENGINE_JOURNAL_HPP

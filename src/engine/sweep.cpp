@@ -2,9 +2,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "core/cancel_token.hpp"
+#include "engine/journal.hpp"
+#include "engine/sweep_json.hpp"
+#include "support/panic.hpp"
 
 namespace paragraph {
 namespace engine {
@@ -24,8 +30,8 @@ secondsSince(std::chrono::steady_clock::time_point start)
 SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
 
 SweepEngine::SweepEngine(Options opt)
-    : jobs_(opt.jobs ? opt.jobs : std::thread::hardware_concurrency()),
-      progress_(std::move(opt.progress))
+    : opt_(std::move(opt)),
+      jobs_(opt_.jobs ? opt_.jobs : std::thread::hardware_concurrency())
 {
     if (jobs_ == 0) // hardware_concurrency() may report 0
         jobs_ = 1;
@@ -65,59 +71,146 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     sweep.jobs = jobs_;
     sweep.cells.resize(jobs.size());
 
-    // Capture every distinct input up front, serially: simulation and
-    // decompression are the parts that cannot be split across cells, and
-    // doing it here (rather than lazily from the pool) keeps the workers'
-    // wall-time numbers pure analysis.
-    for (const SweepJob &job : jobs)
-        repo.get(job.input);
+    std::unique_ptr<SweepJournal> journal;
+    if (!opt_.journalPath.empty()) {
+        journal = std::make_unique<SweepJournal>(opt_.journalPath,
+                                                 opt_.journalProfiles);
+    }
+    SweepJsonOptions journalOpt;
+    journalOpt.timing = false; // journaled cells must splice byte-identically
+    journalOpt.profiles = opt_.journalProfiles;
+
+    // Satisfy cells from the resume journal first, and collect the rest as
+    // the pending work list.
+    std::vector<size_t> pending;
+    pending.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JournalEntry *done =
+            opt_.resume ? opt_.resume->findOk(i, jobs[i]) : nullptr;
+        if (done) {
+            SweepCell &cell = sweep.cells[i];
+            cell.job = jobs[i];
+            cell.status = SweepCell::Status::Skipped;
+            cell.attempts = done->attempts;
+            cell.journalText = done->cellJson;
+            ++sweep.cellsSkipped;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    // Warm the repository cache for every pending input up front, serially:
+    // simulation and decompression are the parts that cannot be split
+    // across cells, and doing it here (rather than lazily from the pool)
+    // keeps the workers' wall-time numbers pure analysis. Failures are
+    // deliberately swallowed — a bad input surfaces as a per-cell error
+    // below, where it can be attributed (and retried) per cell instead of
+    // aborting the whole grid.
+    for (size_t i : pending) {
+        try {
+            repo.get(jobs[i].input);
+        } catch (const std::exception &) {
+        }
+    }
     sweep.captureSeconds = secondsSince(sweepStart);
 
-    std::atomic<size_t> nextJob{0};
+    std::atomic<size_t> nextSlot{0};
     std::atomic<uint64_t> instructionsDone{0};
     std::mutex progressMutex;
-    size_t cellsDone = 0;
+    size_t cellsDone = sweep.cellsSkipped;
+    bool progressBroken = false;
 
     auto worker = [&]() {
         for (;;) {
-            size_t i = nextJob.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
+            size_t slot = nextSlot.fetch_add(1, std::memory_order_relaxed);
+            if (slot >= pending.size())
                 return;
+            size_t i = pending[slot];
             SweepCell &cell = sweep.cells[i];
             cell.job = std::move(jobs[i]);
 
-            // Analyze the shared capture directly (bulk path): no cursor
-            // object, no virtual dispatch per record.
-            std::shared_ptr<const trace::TraceBuffer> buffer =
-                repo.get(cell.job.input);
-            core::Paragraph analyzer(cell.job.config);
-            auto cellStart = std::chrono::steady_clock::now();
-            cell.result = analyzer.analyze(*buffer);
-            cell.wallSeconds = secondsSince(cellStart);
-            cell.minstrPerSec =
-                cell.wallSeconds > 0.0
-                    ? static_cast<double>(cell.result.instructions) / 1e6 /
-                          cell.wallSeconds
-                    : 0.0;
+            // Every attempt is fully guarded: a throwing capture or
+            // analysis marks this cell Failed and the grid keeps going.
+            unsigned maxAttempts = 1 + opt_.maxRetries;
+            for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+                cell.attempts = attempt;
+                try {
+                    // Analyze the shared capture directly (bulk path): no
+                    // cursor object, no virtual dispatch per record.
+                    std::shared_ptr<const trace::TraceBuffer> buffer =
+                        repo.get(cell.job.input);
+                    core::AnalysisConfig cfg = cell.job.config;
+                    core::CancelToken deadline;
+                    if (opt_.cellDeadlineSeconds > 0.0) {
+                        deadline.setDeadline(opt_.cellDeadlineSeconds);
+                        deadline.chain(cfg.cancel);
+                        cfg.cancel = &deadline;
+                    }
+                    core::Paragraph analyzer(cfg);
+                    auto cellStart = std::chrono::steady_clock::now();
+                    cell.result = analyzer.analyze(*buffer);
+                    cell.wallSeconds = secondsSince(cellStart);
+                    cell.minstrPerSec =
+                        cell.wallSeconds > 0.0
+                            ? static_cast<double>(cell.result.instructions) /
+                                  1e6 / cell.wallSeconds
+                            : 0.0;
+                    cell.status = SweepCell::Status::Ok;
+                    cell.errorMessage.clear();
+                    break;
+                } catch (const core::CancelledError &e) {
+                    // Deadline / cancellation: final, never retried —
+                    // a second attempt would just burn the deadline again.
+                    cell.status = SweepCell::Status::Failed;
+                    cell.errorMessage = e.what();
+                    cell.result = core::AnalysisResult();
+                    break;
+                } catch (const std::exception &e) {
+                    cell.status = SweepCell::Status::Failed;
+                    cell.errorMessage = e.what();
+                    cell.result = core::AnalysisResult();
+                }
+            }
+
+            if (journal) {
+                std::string cellJson;
+                if (cell.status == SweepCell::Status::Ok)
+                    cellJson = cellToJson(cell, journalOpt);
+                journal->record(i, cell, cellJson);
+            }
 
             uint64_t total = instructionsDone.fetch_add(
                                  cell.result.instructions,
                                  std::memory_order_relaxed) +
                              cell.result.instructions;
-            if (progress_) {
+            if (opt_.progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
                 ++cellsDone;
-                double elapsed = secondsSince(sweepStart);
-                progress_(cellsDone, sweep.cells.size(),
-                          elapsed > 0.0
-                              ? static_cast<double>(total) / 1e6 / elapsed
-                              : 0.0);
+                if (!progressBroken) {
+                    double elapsed = secondsSince(sweepStart);
+                    try {
+                        opt_.progress(cellsDone, sweep.cells.size(),
+                                      elapsed > 0.0
+                                          ? static_cast<double>(total) /
+                                                1e6 / elapsed
+                                          : 0.0);
+                    } catch (const std::exception &e) {
+                        progressBroken = true;
+                        PARA_WARN("sweep progress callback threw (%s); "
+                                  "further progress reports disabled",
+                                  e.what());
+                    } catch (...) {
+                        progressBroken = true;
+                        PARA_WARN("sweep progress callback threw; further "
+                                  "progress reports disabled");
+                    }
+                }
             }
         }
     };
 
     unsigned nThreads =
-        static_cast<unsigned>(std::min<size_t>(jobs_, jobs.size()));
+        static_cast<unsigned>(std::min<size_t>(jobs_, pending.size()));
     if (nThreads <= 1) {
         worker();
     } else {
@@ -129,6 +222,10 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
             t.join();
     }
 
+    for (const SweepCell &cell : sweep.cells) {
+        if (cell.status == SweepCell::Status::Failed)
+            ++sweep.cellsFailed;
+    }
     sweep.wallSeconds = secondsSince(sweepStart);
     sweep.totalInstructions = instructionsDone.load();
     sweep.aggregateMinstrPerSec =

@@ -12,6 +12,15 @@
  * thread-private, so workers share no mutable analysis state. Results are
  * stored by grid position, making sweep output independent of worker count
  * and completion order (a tested invariant).
+ *
+ * Cells are fault-isolated: a cell whose capture or analysis throws is
+ * recorded as SweepCell::Status::Failed with its error text, and the rest
+ * of the grid still runs — at the paper's hours-per-point scale, one bad
+ * benchmark must not void a night of compute. Failed attempts can be
+ * retried (Options::maxRetries), runaway cells cut off by a cooperative
+ * per-cell deadline (Options::cellDeadlineSeconds), and completed cells
+ * journaled to a JSONL checkpoint file (Options::journalPath) so an
+ * interrupted sweep resumes without redoing finished work.
  */
 
 #ifndef PARAGRAPH_ENGINE_SWEEP_HPP
@@ -28,6 +37,8 @@
 namespace paragraph {
 namespace engine {
 
+struct JournalData;
+
 /** One grid cell: analyze @p input under @p config. */
 struct SweepJob
 {
@@ -41,20 +52,48 @@ struct SweepJob
 /** One completed cell. */
 struct SweepCell
 {
+    /**
+     * Ok: analysis ran to completion and `result` is valid.
+     * Failed: every attempt threw; `errorMessage` holds the last error and
+     *         `result` is empty.
+     * Skipped: satisfied from a resume journal without re-running;
+     *          `journalText` holds the journaled cell JSON.
+     */
+    enum class Status { Ok, Failed, Skipped };
+
     SweepJob job;
     core::AnalysisResult result;
+
+    Status status = Status::Ok;
+
+    /** Last error text; only meaningful when status == Failed. */
+    std::string errorMessage;
+
+    /** Analysis attempts consumed (1 unless retries were needed). */
+    unsigned attempts = 1;
+
+    /** Pre-rendered cell JSON from the journal (status == Skipped only). */
+    std::string journalText;
 
     /** Wall-clock seconds for this cell's analysis alone. */
     double wallSeconds = 0.0;
 
     /** Analysis throughput of this cell, in million instructions/sec. */
     double minstrPerSec = 0.0;
+
+    bool ok() const { return status != Status::Failed; }
 };
 
 /** A finished sweep: cells in grid order plus aggregate bookkeeping. */
 struct SweepResult
 {
     std::vector<SweepCell> cells;
+
+    /** Cells whose every attempt failed (error or deadline). */
+    size_t cellsFailed = 0;
+
+    /** Cells satisfied from the resume journal without re-running. */
+    size_t cellsSkipped = 0;
 
     /** Worker threads the sweep ran on. */
     unsigned jobs = 0;
@@ -75,6 +114,8 @@ struct SweepResult
 /**
  * Progress observer, called (serialized) after each cell completes:
  * cells done, cells total, aggregate million instructions/sec so far.
+ * A throwing observer is disabled after its first throw (with a warning);
+ * it can never abort the sweep.
  */
 using SweepProgressFn =
     std::function<void(size_t done, size_t total, double minstrPerSec)>;
@@ -86,6 +127,27 @@ class SweepEngine
     {
         /** Worker threads; 0 = std::thread::hardware_concurrency(). */
         unsigned jobs = 0;
+
+        /** Re-run a failed cell up to this many extra times. Cancelled /
+         *  deadline-expired attempts are final and never retried. */
+        unsigned maxRetries = 0;
+
+        /** Per-attempt cooperative deadline in seconds; a cell past it is
+         *  cut off at the next cancellation checkpoint and marked Failed.
+         *  0 = no deadline. */
+        double cellDeadlineSeconds = 0.0;
+
+        /** Append one JSONL line per completed cell to this file (plus a
+         *  header line when the file is new). Empty = no journal. */
+        std::string journalPath;
+
+        /** Include profile buckets in journaled cell JSON. Must match the
+         *  profiles setting of the final report for resume splicing. */
+        bool journalProfiles = true;
+
+        /** Cells already completed in a previous run: matching ok entries
+         *  are skipped and their journaled JSON reused. Not owned. */
+        const JournalData *resume = nullptr;
 
         /** Optional progress observer (never called concurrently). */
         SweepProgressFn progress;
@@ -114,8 +176,8 @@ class SweepEngine
                         std::vector<SweepJob> jobs) const;
 
   private:
+    Options opt_;
     unsigned jobs_;
-    SweepProgressFn progress_;
 };
 
 } // namespace engine

@@ -105,6 +105,15 @@ void
 writeCell(std::ostream &os, const SweepCell &cell,
           const SweepJsonOptions &opt)
 {
+    // Cells satisfied from a resume journal carry their original rendering;
+    // splicing it verbatim is what makes a resumed document byte-identical
+    // to an uninterrupted run's.
+    if (cell.status == SweepCell::Status::Skipped &&
+        !cell.journalText.empty()) {
+        os << cell.journalText;
+        return;
+    }
+
     const core::AnalysisResult &r = cell.result;
     os << "    {\n";
     os << "      \"input\": " << jsonString(cell.job.input) << ",\n";
@@ -112,6 +121,16 @@ writeCell(std::ostream &os, const SweepCell &cell,
     os << "      \"config_index\": " << cell.job.configIndex << ",\n";
     writeConfig(os, cell.job, "      ");
     os << ",\n";
+    if (cell.status == SweepCell::Status::Failed) {
+        os << "      \"status\": \"failed\",\n";
+        os << "      \"error\": " << jsonString(cell.errorMessage) << ",\n";
+        os << "      \"attempts\": " << cell.attempts << "\n";
+        os << "    }";
+        return;
+    }
+    os << "      \"status\": \"ok\",\n";
+    if (cell.attempts > 1)
+        os << "      \"attempts\": " << cell.attempts << ",\n";
     os << "      \"instructions\": " << r.instructions << ",\n";
     os << "      \"placed_ops\": " << r.placedOps << ",\n";
     os << "      \"critical_path\": " << r.criticalPathLength << ",\n";
@@ -150,9 +169,15 @@ void
 writeSweepJson(std::ostream &os, const SweepResult &sweep,
                const SweepJsonOptions &opt)
 {
+    size_t failed = 0;
+    for (const SweepCell &cell : sweep.cells) {
+        if (cell.status == SweepCell::Status::Failed)
+            ++failed;
+    }
     os << "{\n";
-    os << "  \"schema\": \"paragraph-sweep-v1\",\n";
+    os << "  \"schema\": \"paragraph-sweep-v2\",\n";
     os << "  \"cells_total\": " << sweep.cells.size() << ",\n";
+    os << "  \"cells_failed\": " << failed << ",\n";
     if (opt.timing) {
         os << "  \"jobs\": " << sweep.jobs << ",\n";
         os << "  \"timing\": {\"wall_seconds\": "
@@ -173,6 +198,14 @@ writeSweepJson(std::ostream &os, const SweepResult &sweep,
         os << "\n  ";
     os << "]\n";
     os << "}\n";
+}
+
+std::string
+cellToJson(const SweepCell &cell, const SweepJsonOptions &opt)
+{
+    std::ostringstream oss;
+    writeCell(oss, cell, opt);
+    return oss.str();
 }
 
 std::string

@@ -35,6 +35,13 @@ struct SweepJsonOptions
 void writeSweepJson(std::ostream &os, const SweepResult &sweep,
                     const SweepJsonOptions &opt = {});
 
+/**
+ * Render one cell exactly as it appears inside the "cells" array. The
+ * checkpoint journal stores this text so a resumed sweep can splice it
+ * back verbatim (byte-identical to an uninterrupted run).
+ */
+std::string cellToJson(const SweepCell &cell, const SweepJsonOptions &opt);
+
 /** writeSweepJson into a string. */
 std::string sweepToJson(const SweepResult &sweep,
                         const SweepJsonOptions &opt = {});

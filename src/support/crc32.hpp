@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), header-only.
+ *
+ * Used by the v2 trace file format to checksum the header and the record
+ * payload so a flipped byte in a multi-gigabyte capture is a diagnosed
+ * error rather than silent analysis corruption. Incremental form matches
+ * zlib's crc32(): crc32Update(crc32Update(0, a, la), b, lb) equals
+ * crc32Of(ab) for the concatenation.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_CRC32_HPP
+#define PARAGRAPH_SUPPORT_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paragraph {
+
+namespace detail {
+
+struct Crc32Table
+{
+    uint32_t byteCrc[256];
+
+    constexpr Crc32Table() : byteCrc{}
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            byteCrc[i] = c;
+        }
+    }
+};
+
+inline constexpr Crc32Table crc32Table{};
+
+} // namespace detail
+
+/** Extend @p crc (a previous crc32 result, or 0) over @p len bytes. */
+inline uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    while (len--)
+        crc = detail::crc32Table.byteCrc[(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
+/** CRC-32 of one buffer. */
+inline uint32_t
+crc32Of(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace paragraph
+
+#endif // PARAGRAPH_SUPPORT_CRC32_HPP

@@ -43,6 +43,7 @@ unzigzag(uint64_t v)
 // --- Writer ----------------------------------------------------------------
 
 CompressedTraceWriter::CompressedTraceWriter(const std::string &path)
+    : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
@@ -52,7 +53,7 @@ CompressedTraceWriter::CompressedTraceWriter(const std::string &path)
 
 CompressedTraceWriter::~CompressedTraceWriter()
 {
-    close();
+    closeFile(false);
 }
 
 void
@@ -61,7 +62,7 @@ CompressedTraceWriter::writeHeader()
     FileHeader hdr{compressedTraceMagic, compressedTraceVersion, count_, 0};
     if (std::fseek(file_, 0, SEEK_SET) != 0 ||
         std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1) {
-        PARA_FATAL("trace file header write failed");
+        PARA_FATAL("trace file header write failed: %s", path_.c_str());
     }
 }
 
@@ -165,11 +166,33 @@ CompressedTraceWriter::writeAll(TraceSource &src)
 void
 CompressedTraceWriter::close()
 {
+    closeFile(true);
+}
+
+void
+CompressedTraceWriter::closeFile(bool throwOnError)
+{
     if (!file_)
         return;
-    writeHeader();
-    std::fclose(file_);
+    std::FILE *f = file_;
     file_ = nullptr;
+
+    FileHeader hdr{compressedTraceMagic, compressedTraceVersion, count_, 0};
+    const char *err = nullptr;
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&hdr, sizeof(hdr), 1, f) != 1) {
+        err = "trace file header write failed";
+    }
+    if (!err && std::fflush(f) != 0)
+        err = "trace file flush failed";
+    if (std::fclose(f) != 0 && !err)
+        err = "trace file close failed";
+    if (err) {
+        if (throwOnError)
+            PARA_FATAL("%s: %s", err, path_.c_str());
+        PARA_WARN("%s: %s (in destructor; trace is incomplete)", err,
+                  path_.c_str());
+    }
 }
 
 // --- Reader ----------------------------------------------------------------
@@ -210,8 +233,11 @@ uint8_t
 CompressedTraceReader::getByte()
 {
     int c = std::fgetc(file_);
-    if (c == EOF)
-        PARA_FATAL("trace file truncated: %s", path_.c_str());
+    if (c == EOF) {
+        PARA_FATAL("trace file truncated: %s (record %llu at offset %llu)",
+                   path_.c_str(), static_cast<unsigned long long>(pos_),
+                   static_cast<unsigned long long>(std::ftell(file_)));
+    }
     return static_cast<uint8_t>(c);
 }
 
@@ -226,8 +252,11 @@ CompressedTraceReader::getVarint()
         if (!(b & 0x80))
             return v;
         shift += 7;
-        if (shift > 63)
-            PARA_FATAL("malformed varint in %s", path_.c_str());
+        if (shift > 63) {
+            PARA_FATAL("malformed varint in %s (record %llu at offset %llu)",
+                       path_.c_str(), static_cast<unsigned long long>(pos_),
+                       static_cast<unsigned long long>(std::ftell(file_)));
+        }
     }
 }
 
@@ -258,7 +287,9 @@ CompressedTraceReader::getOperand()
         return Operand::mem(addr, seg);
       }
       default:
-        PARA_FATAL("bad operand tag %u in %s", tag, path_.c_str());
+        PARA_FATAL("bad operand tag %u in %s (record %llu at offset %llu)",
+                   tag, path_.c_str(), static_cast<unsigned long long>(pos_),
+                   static_cast<unsigned long long>(std::ftell(file_) - 1));
     }
 }
 
@@ -269,6 +300,13 @@ CompressedTraceReader::next(TraceRecord &rec)
         return false;
     rec = TraceRecord{};
     uint8_t head = getByte();
+    if ((head & 0x0f) >= static_cast<uint8_t>(isa::OpClass::NumClasses)) {
+        PARA_FATAL(
+            "bad operation class %u in %s (record %llu at offset %llu)",
+            head & 0x0f, path_.c_str(),
+            static_cast<unsigned long long>(pos_),
+            static_cast<unsigned long long>(std::ftell(file_) - 1));
+    }
     rec.cls = static_cast<isa::OpClass>(head & 0x0f);
     rec.createsValue = (head & 0x10) != 0;
     rec.isSysCall = (head & 0x20) != 0;

@@ -46,6 +46,12 @@ class CompressedTraceWriter
 
     void write(const TraceRecord &rec);
     uint64_t writeAll(TraceSource &src);
+
+    /**
+     * Finalize the header, flush, and close; throws FatalError if any of
+     * those fail so a full disk never yields a silently short trace. The
+     * destructor closes too but only warns on failure.
+     */
     void close();
 
     uint64_t recordsWritten() const { return count_; }
@@ -54,6 +60,7 @@ class CompressedTraceWriter
     uint64_t bytesWritten() const { return bytes_; }
 
   private:
+    std::string path_;
     std::FILE *file_ = nullptr;
     uint64_t count_ = 0;
     uint64_t bytes_ = 0;
@@ -61,13 +68,18 @@ class CompressedTraceWriter
     uint64_t lastMemAddr_ = 0;
 
     void writeHeader();
+    void closeFile(bool throwOnError);
     void putByte(uint8_t b);
     void putVarint(uint64_t v);
     void putSignedVarint(int64_t v);
     void putOperand(const Operand &op);
 };
 
-/** Replayable compressed trace reader. */
+/**
+ * Replayable compressed trace reader. Decode errors (truncation, malformed
+ * varints, bad tags, out-of-range operation classes) throw FatalError
+ * naming the record index and byte offset where decoding stopped.
+ */
 class CompressedTraceReader : public TraceSource
 {
   public:

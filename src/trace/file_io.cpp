@@ -1,21 +1,15 @@
 #include "trace/file_io.hpp"
 
+#include <cstddef>
 #include <cstring>
 
+#include "support/crc32.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
 namespace trace {
 
 namespace {
-
-struct FileHeader
-{
-    uint32_t magic;
-    uint32_t version;
-    uint64_t count;
-    uint64_t reserved;
-};
 
 Operand
 unpackOperand(uint8_t kind_seg, uint64_t id)
@@ -34,7 +28,31 @@ packOperandKind(const Operand &op)
                                 (static_cast<uint8_t>(op.seg) << 4));
 }
 
+void
+validateOperandByte(uint8_t kind_seg, const char *which)
+{
+    uint8_t kind = kind_seg & 0x0f;
+    uint8_t seg = kind_seg >> 4;
+    if (kind > static_cast<uint8_t>(Operand::Kind::Mem))
+        PARA_FATAL("bad %s operand kind %u", which, kind);
+    if (seg > static_cast<uint8_t>(Segment::Stack))
+        PARA_FATAL("bad %s operand segment %u", which, seg);
+}
+
+/** Byte offset of record @p index in a trace file. */
+uint64_t
+recordOffset(uint64_t index)
+{
+    return sizeof(TraceFileHeader) + index * sizeof(PackedRecord);
+}
+
 } // namespace
+
+uint32_t
+traceHeaderCrc(const TraceFileHeader &hdr)
+{
+    return crc32Of(&hdr, offsetof(TraceFileHeader, headerCrc));
+}
 
 PackedRecord
 packRecord(const TraceRecord &rec)
@@ -60,6 +78,21 @@ packRecord(const TraceRecord &rec)
 TraceRecord
 unpackRecord(const PackedRecord &p)
 {
+    // Range-check every field that selects into an enum or array before
+    // trusting it: a flipped on-disk byte must become a diagnosed error,
+    // not an out-of-bounds latency lookup or a phantom operand class.
+    if (p.cls >= static_cast<uint8_t>(isa::OpClass::NumClasses))
+        PARA_FATAL("bad operation class %u", p.cls);
+    if (p.flags & ~0x0fu)
+        PARA_FATAL("bad flag bits 0x%02x", p.flags);
+    if (p.numSrcs > maxSrcs)
+        PARA_FATAL("bad source count %u", p.numSrcs);
+    if (p.lastUseMask & ~0x07u)
+        PARA_FATAL("bad last-use mask 0x%02x", p.lastUseMask);
+    for (int i = 0; i < maxSrcs; ++i)
+        validateOperandByte(p.operandKinds[i], "source");
+    validateOperandByte(p.operandKinds[3], "destination");
+
     TraceRecord rec;
     rec.cls = static_cast<isa::OpClass>(p.cls);
     rec.createsValue = (p.flags & 1) != 0;
@@ -75,7 +108,7 @@ unpackRecord(const PackedRecord &p)
     return rec;
 }
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
+TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
@@ -85,16 +118,18 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
 
 TraceFileWriter::~TraceFileWriter()
 {
-    close();
+    closeFile(false);
 }
 
 void
 TraceFileWriter::writeHeader()
 {
-    FileHeader hdr{traceFileMagic, traceFileVersion, count_, 0};
+    TraceFileHeader hdr{traceFileMagic, traceFileVersion, count_,
+                        payloadCrc_, 0};
+    hdr.headerCrc = traceHeaderCrc(hdr);
     if (std::fseek(file_, 0, SEEK_SET) != 0 ||
         std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1) {
-        PARA_FATAL("trace file header write failed");
+        PARA_FATAL("trace file header write failed: %s", path_.c_str());
     }
 }
 
@@ -104,7 +139,8 @@ TraceFileWriter::write(const TraceRecord &rec)
     PARA_ASSERT(file_, "write after close");
     PackedRecord p = packRecord(rec);
     if (std::fwrite(&p, sizeof(p), 1, file_) != 1)
-        PARA_FATAL("trace file record write failed");
+        PARA_FATAL("trace file record write failed: %s", path_.c_str());
+    payloadCrc_ = crc32Update(payloadCrc_, &p, sizeof(p));
     ++count_;
 }
 
@@ -123,11 +159,38 @@ TraceFileWriter::writeAll(TraceSource &src)
 void
 TraceFileWriter::close()
 {
+    closeFile(true);
+}
+
+void
+TraceFileWriter::closeFile(bool throwOnError)
+{
     if (!file_)
         return;
-    writeHeader();
-    std::fclose(file_);
+    std::FILE *f = file_;
     file_ = nullptr;
+
+    // Finalize the header, then check the flush and close results: buffered
+    // stdio reports a full disk only here, and dropping that would leave a
+    // silently short or checksum-less trace on disk.
+    const char *err = nullptr;
+    TraceFileHeader hdr{traceFileMagic, traceFileVersion, count_,
+                        payloadCrc_, 0};
+    hdr.headerCrc = traceHeaderCrc(hdr);
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&hdr, sizeof(hdr), 1, f) != 1) {
+        err = "trace file header write failed";
+    }
+    if (!err && std::fflush(f) != 0)
+        err = "trace file flush failed";
+    if (std::fclose(f) != 0 && !err)
+        err = "trace file close failed";
+    if (err) {
+        if (throwOnError)
+            PARA_FATAL("%s: %s", err, path_.c_str());
+        PARA_WARN("%s: %s (in destructor; trace is incomplete)", err,
+                  path_.c_str());
+    }
 }
 
 TraceFileReader::TraceFileReader(const std::string &path) : path_(path)
@@ -135,7 +198,7 @@ TraceFileReader::TraceFileReader(const std::string &path) : path_(path)
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
         PARA_FATAL("cannot open trace file: %s", path.c_str());
-    FileHeader hdr;
+    TraceFileHeader hdr;
     if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1) {
         std::fclose(file_);
         file_ = nullptr;
@@ -146,13 +209,29 @@ TraceFileReader::TraceFileReader(const std::string &path) : path_(path)
         file_ = nullptr;
         PARA_FATAL("bad trace file magic in %s", path.c_str());
     }
-    if (hdr.version != traceFileVersion) {
+    if (hdr.version < 1 || hdr.version > traceFileVersion) {
         std::fclose(file_);
         file_ = nullptr;
         PARA_FATAL("unsupported trace file version %u in %s", hdr.version,
                    path.c_str());
     }
+    if (hdr.version >= 2) {
+        uint32_t expect = traceHeaderCrc(hdr);
+        if (hdr.headerCrc != expect) {
+            std::fclose(file_);
+            file_ = nullptr;
+            PARA_FATAL("trace file header checksum mismatch in %s "
+                       "(stored %08x, computed %08x); header is corrupt",
+                       path.c_str(), hdr.headerCrc, expect);
+        }
+    } else {
+        PARA_WARN("trace file %s is format v1: no checksums, integrity "
+                  "cannot be verified",
+                  path.c_str());
+    }
+    version_ = hdr.version;
     count_ = hdr.count;
+    expectedPayloadCrc_ = hdr.payloadCrc;
 }
 
 TraceFileReader::~TraceFileReader()
@@ -167,10 +246,29 @@ TraceFileReader::next(TraceRecord &rec)
     if (pos_ >= count_)
         return false;
     PackedRecord p;
-    if (std::fread(&p, sizeof(p), 1, file_) != 1)
-        PARA_FATAL("trace file truncated: %s", path_.c_str());
-    rec = unpackRecord(p);
+    if (std::fread(&p, sizeof(p), 1, file_) != 1) {
+        PARA_FATAL("trace file truncated: %s (record %llu at offset %llu)",
+                   path_.c_str(), static_cast<unsigned long long>(pos_),
+                   static_cast<unsigned long long>(recordOffset(pos_)));
+    }
+    try {
+        rec = unpackRecord(p);
+    } catch (const FatalError &e) {
+        PARA_FATAL("%s: %s (record %llu at offset %llu)", path_.c_str(),
+                   e.what(), static_cast<unsigned long long>(pos_),
+                   static_cast<unsigned long long>(recordOffset(pos_)));
+    }
+    if (version_ >= 2)
+        runningCrc_ = crc32Update(runningCrc_, &p, sizeof(p));
     ++pos_;
+    if (version_ >= 2 && pos_ == count_ &&
+        runningCrc_ != expectedPayloadCrc_) {
+        PARA_FATAL("trace file payload checksum mismatch in %s "
+                   "(stored %08x, computed %08x over %llu records); "
+                   "trace is corrupt",
+                   path_.c_str(), expectedPayloadCrc_, runningCrc_,
+                   static_cast<unsigned long long>(count_));
+    }
     return true;
 }
 
@@ -178,9 +276,10 @@ void
 TraceFileReader::reset()
 {
     PARA_ASSERT(file_, "reset on closed reader");
-    if (std::fseek(file_, sizeof(FileHeader), SEEK_SET) != 0)
+    if (std::fseek(file_, sizeof(TraceFileHeader), SEEK_SET) != 0)
         PARA_FATAL("trace file seek failed: %s", path_.c_str());
     pos_ = 0;
+    runningCrc_ = 0;
 }
 
 } // namespace trace

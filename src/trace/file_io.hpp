@@ -2,10 +2,19 @@
  * @file
  * Binary trace file format (reader/writer).
  *
- * Layout: a 24-byte header (magic "PTRC", version, record count) followed by
- * fixed-size little-endian records. The format exists so traces can be
- * captured once (e.g. from a slow source) and re-analyzed offline, the same
- * role Pixie output files played for Paragraph.
+ * Layout: a 24-byte header (magic "PTRC", version, record count, checksums)
+ * followed by fixed-size little-endian records. The format exists so traces
+ * can be captured once (e.g. from a slow source) and re-analyzed offline,
+ * the same role Pixie output files played for Paragraph.
+ *
+ * Format v2 hardens ingestion against on-disk corruption: the header
+ * carries a CRC-32 of itself plus a CRC-32 of the whole record payload
+ * (verified when the stream is read to the end), and every record's
+ * class/operand-kind/segment/source-count fields are range-checked as it
+ * is unpacked — a flipped byte in a multi-GB capture becomes a FatalError
+ * naming the record index and byte offset, never silent corruption. v1
+ * files (checksum words zero) still read, with a warning that integrity
+ * cannot be verified.
  */
 
 #ifndef PARAGRAPH_TRACE_FILE_IO_HPP
@@ -36,7 +45,25 @@ struct PackedRecord
 };
 
 constexpr uint32_t traceFileMagic = 0x43525450; // "PTRC"
-constexpr uint32_t traceFileVersion = 1;
+constexpr uint32_t traceFileVersion = 2;
+
+/**
+ * On-disk file header (24 bytes, little-endian). v1 wrote zeros in the
+ * two checksum words (then a single reserved field); v2 fills them in.
+ */
+struct TraceFileHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t count;
+    uint32_t payloadCrc; ///< v2: CRC-32 of all record bytes, in file order
+    uint32_t headerCrc;  ///< v2: CRC-32 of the 20 bytes preceding this field
+};
+
+static_assert(sizeof(TraceFileHeader) == 24, "header layout is on disk");
+
+/** CRC-32 of a header's first 20 bytes (everything before headerCrc). */
+uint32_t traceHeaderCrc(const TraceFileHeader &hdr);
 
 /** Streaming trace file writer. */
 class TraceFileWriter
@@ -55,23 +82,35 @@ class TraceFileWriter
     /** Drain @p src into the file; returns records written. */
     uint64_t writeAll(TraceSource &src);
 
-    /** Finalize the header and close (also done by the destructor). */
+    /**
+     * Finalize the header (count + checksums), flush, and close; throws
+     * FatalError if any of those fail, so a full disk can never produce a
+     * silently short trace. The destructor also closes but only warns on
+     * failure (destructors must not throw).
+     */
     void close();
 
     uint64_t recordsWritten() const { return count_; }
 
   private:
+    std::string path_;
     std::FILE *file_ = nullptr;
     uint64_t count_ = 0;
+    uint32_t payloadCrc_ = 0;
 
     void writeHeader();
+    void closeFile(bool throwOnError);
 };
 
 /** Replayable trace file reader. */
 class TraceFileReader : public TraceSource
 {
   public:
-    /** Open @p path; throws FatalError on bad magic/version/truncation. */
+    /**
+     * Open @p path; throws FatalError on bad magic, unsupported version,
+     * a v2 header whose checksum does not match, or truncation. Every
+     * record-level FatalError names the record index and byte offset.
+     */
     explicit TraceFileReader(const std::string &path);
     ~TraceFileReader() override;
 
@@ -85,14 +124,22 @@ class TraceFileReader : public TraceSource
     /** Total records in the file. */
     uint64_t recordCount() const { return count_; }
 
+    /** Format version read from the header (1 = no checksums). */
+    uint32_t formatVersion() const { return version_; }
+
   private:
     std::string path_;
     std::FILE *file_ = nullptr;
     uint64_t count_ = 0;
     uint64_t pos_ = 0;
+    uint32_t version_ = traceFileVersion;
+    uint32_t expectedPayloadCrc_ = 0;
+    uint32_t runningCrc_ = 0;
 };
 
-/** Pack / unpack between the in-memory and on-disk record forms. */
+/** Pack / unpack between the in-memory and on-disk record forms.
+ *  unpackRecord range-checks the operation class, flag bits, source count,
+ *  operand kinds, and segments, throwing FatalError on any violation. */
 PackedRecord packRecord(const TraceRecord &rec);
 TraceRecord unpackRecord(const PackedRecord &packed);
 

@@ -47,7 +47,7 @@ TEST(SweepCli, EmitsTheGridAsJson)
     CliResult r = runSweep("--inputs=xlisp --small --windows=16,0 "
                            "--quiet --no-profiles");
     EXPECT_EQ(r.status, 0);
-    EXPECT_NE(r.output.find("\"schema\": \"paragraph-sweep-v1\""),
+    EXPECT_NE(r.output.find("\"schema\": \"paragraph-sweep-v2\""),
               std::string::npos);
     EXPECT_NE(r.output.find("\"cells_total\": 2"), std::string::npos);
     EXPECT_NE(r.output.find("\"critical_path\""), std::string::npos);
@@ -95,7 +95,7 @@ TEST(SweepCli, WritesToAFile)
     ASSERT_TRUE(in.good());
     std::ostringstream oss;
     oss << in.rdbuf();
-    EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v1\""),
+    EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v2\""),
               std::string::npos);
     fs::remove(path);
 }

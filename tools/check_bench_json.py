@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Smoke-check bench_hotpath's JSON output against its published schema.
+"""Smoke-check the JSON emitted by the repo's tools against their schemas.
 
-Usage: check_bench_json.py <bench_hotpath binary> [extra bench args...]
+Usage:
+  check_bench_json.py <bench_hotpath binary> [extra bench args...]
+  check_bench_json.py --sweep <paragraph-sweep binary> [sweep args...]
 
-Runs the benchmark with --json, parses stdout, and validates the
+Default mode runs the benchmark with --json and validates the
 paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
 non-empty results array with the per-row fields, and the geomean summary.
-Exit status is non-zero on any mismatch, so this doubles as a CTest.
+
+--sweep mode runs paragraph-sweep and validates the paragraph-sweep-v2
+document: schema id, cell counters that agree with the cells array, an
+ok/failed status on every cell, metrics on ok cells, and error/attempts
+fields on failed ones. Exit status is non-zero on any mismatch, so both
+modes double as CTests.
 """
 
 import json
@@ -19,15 +26,70 @@ ROW_KEYS = {"input", "config", "path", "instructions", "seconds",
 SUMMARY_KEYS = {"stream_geomean_minstr_per_sec",
                 "bulk_geomean_minstr_per_sec"}
 
+SWEEP_SCHEMA = "paragraph-sweep-v2"
+SWEEP_CELL_KEYS = {"input", "input_index", "config_index", "config",
+                   "status"}
+SWEEP_OK_KEYS = {"instructions", "critical_path", "available_parallelism"}
+SWEEP_FAILED_KEYS = {"error", "attempts"}
+
 
 def fail(msg):
     print(f"check_bench_json: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
+def check_sweep(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --sweep <paragraph-sweep> [args...]")
+    proc = subprocess.run(argv, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"paragraph-sweep exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+
+    if doc.get("schema") != SWEEP_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SWEEP_SCHEMA!r}")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail("cells must be a non-empty array")
+    if doc.get("cells_total") != len(cells):
+        fail(f"cells_total is {doc.get('cells_total')}, "
+             f"but the document has {len(cells)} cells")
+    failed = 0
+    for i, cell in enumerate(cells):
+        missing = SWEEP_CELL_KEYS - cell.keys()
+        if missing:
+            fail(f"cells[{i}] missing keys {sorted(missing)}")
+        status = cell["status"]
+        if status == "ok":
+            missing = SWEEP_OK_KEYS - cell.keys()
+            if missing:
+                fail(f"cells[{i}] is ok but missing {sorted(missing)}")
+            if cell["instructions"] <= 0:
+                fail(f"cells[{i}] ran zero instructions")
+        elif status == "failed":
+            failed += 1
+            missing = SWEEP_FAILED_KEYS - cell.keys()
+            if missing:
+                fail(f"cells[{i}] failed but missing {sorted(missing)}")
+            if not cell["error"]:
+                fail(f"cells[{i}] failed with an empty error")
+        else:
+            fail(f"cells[{i}] has unknown status {status!r}")
+    if doc.get("cells_failed") != failed:
+        fail(f"cells_failed is {doc.get('cells_failed')}, "
+             f"but {failed} cells report failure")
+    print(f"ok: {len(cells)} cells ({failed} failed), schema {SWEEP_SCHEMA}")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py <bench_hotpath> [args...]")
+        fail("usage: check_bench_json.py [--sweep] <binary> [args...]")
+    if sys.argv[1] == "--sweep":
+        check_sweep(sys.argv[2:])
+        return
     cmd = sys.argv[1:] + ["--json"]
     proc = subprocess.run(cmd, stdout=subprocess.PIPE)
     if proc.returncode != 0:

@@ -34,15 +34,28 @@
 //   --no-profiles          omit per-cell parallelism-profile buckets
 //   --quiet                suppress the stderr progress line
 //
+// Fault tolerance (failed cells are reported in the JSON; the exit code
+// stays 0 unless every cell failed, which exits 1):
+//   --retries=N            re-run a failed cell up to N extra times
+//   --deadline=SECONDS     per-cell deadline; a cell past it fails with a
+//                          timeout error instead of hanging the sweep
+//   --journal=FILE         append a JSONL checkpoint line per finished cell
+//   --resume=FILE          skip cells already ok in FILE, splicing their
+//                          journaled results into the output (implies
+//                          --no-timing so the document is byte-identical
+//                          to an uninterrupted --no-timing run)
+//
 // Example — the paper's Figure 8 window sweep in one command:
 //   paragraph-sweep --inputs=cc1,espresso --windows=16,64,256,1024,0
 //       --max=2000000 --jobs=8 --out=figure8.json
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "engine/journal.hpp"
 #include "engine/sweep.hpp"
 #include "engine/sweep_json.hpp"
 #include "engine/trace_repository.hpp"
@@ -64,9 +77,13 @@ struct Options
     std::vector<uint32_t> fus;
     uint64_t maxInstructions = 0;
     unsigned jobs = 0;
+    unsigned retries = 0;
+    double deadlineSeconds = 0.0;
     bool small = false;
     bool quiet = false;
     std::string outPath;
+    std::string journalPath;
+    std::string resumePath;
     engine::SweepJsonOptions json;
 };
 
@@ -82,7 +99,9 @@ usage()
         "          --predictors=perfect,bimodal,taken,nottaken,wrong\n"
         "          --fus=0,2,8\n"
         "  run:    --jobs=N  --max=N  --small  --out=FILE\n"
-        "          --no-timing  --no-profiles  --quiet  --list\n");
+        "          --no-timing  --no-profiles  --quiet  --list\n"
+        "  fault:  --retries=N  --deadline=SECONDS\n"
+        "          --journal=FILE  --resume=FILE\n");
     std::exit(2);
 }
 
@@ -142,6 +161,22 @@ parseArgs(int argc, char **argv)
             opt.maxInstructions = static_cast<uint64_t>(n);
         } else if (startsWith(arg, "--out=")) {
             opt.outPath = arg.substr(6);
+        } else if (startsWith(arg, "--retries=") &&
+                   parseInt(arg.substr(10), n) && n >= 0) {
+            opt.retries = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--deadline=")) {
+            char *end = nullptr;
+            opt.deadlineSeconds = std::strtod(arg.c_str() + 11, &end);
+            if (!end || *end != '\0' || opt.deadlineSeconds < 0.0) {
+                std::fprintf(stderr,
+                             "paragraph-sweep: bad --deadline value '%s'\n",
+                             arg.c_str() + 11);
+                usage();
+            }
+        } else if (startsWith(arg, "--journal=")) {
+            opt.journalPath = arg.substr(10);
+        } else if (startsWith(arg, "--resume=")) {
+            opt.resumePath = arg.substr(9);
         } else if (arg == "--small") {
             opt.small = true;
         } else if (arg == "--no-timing") {
@@ -295,6 +330,25 @@ main(int argc, char **argv)
 
         engine::SweepEngine::Options engineOpt;
         engineOpt.jobs = opt.jobs;
+        engineOpt.maxRetries = opt.retries;
+        engineOpt.cellDeadlineSeconds = opt.deadlineSeconds;
+        engineOpt.journalPath = opt.journalPath;
+        engineOpt.journalProfiles = opt.json.profiles;
+
+        engine::JournalData resume;
+        if (!opt.resumePath.empty()) {
+            resume = engine::loadJournal(opt.resumePath);
+            if (resume.profiles != opt.json.profiles) {
+                PARA_FATAL("journal %s was written with profiles=%s; rerun "
+                           "with the matching --no-profiles setting",
+                           opt.resumePath.c_str(),
+                           resume.profiles ? "true" : "false");
+            }
+            // Journaled cells carry no timing, so the merged document only
+            // stays byte-identical to a clean run without timing fields.
+            opt.json.timing = false;
+            engineOpt.resume = &resume;
+        }
         if (!opt.quiet) {
             engineOpt.progress = [](size_t done, size_t total,
                                     double minstrPerSec) {
@@ -319,6 +373,15 @@ main(int argc, char **argv)
         engine::SweepResult result =
             sweeper.run(repo, opt.inputs, configs, labels);
 
+        if (!opt.quiet && result.cellsSkipped > 0)
+            std::fprintf(stderr, "sweep: %zu cell(s) resumed from %s\n",
+                         result.cellsSkipped, opt.resumePath.c_str());
+        if (!opt.quiet && result.cellsFailed > 0)
+            std::fprintf(stderr,
+                         "sweep: %zu cell(s) failed (see \"error\" fields "
+                         "in the JSON)\n",
+                         result.cellsFailed);
+
         if (opt.outPath.empty()) {
             engine::writeSweepJson(std::cout, result, opt.json);
         } else {
@@ -330,7 +393,11 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "sweep: wrote %s\n",
                              opt.outPath.c_str());
         }
-        return 0;
+        // Partial failure is a success with failed cells in the JSON; a
+        // sweep where nothing at all completed is an error.
+        bool totalLoss = !result.cells.empty() &&
+                         result.cellsFailed == result.cells.size();
+        return totalLoss ? 1 : 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "paragraph-sweep: %s\n", e.what());
         return 1;
