@@ -1,0 +1,362 @@
+// bench_sweep — throughput benchmark for trace-major fused sweeps.
+//
+// A (trace × config) sweep's cost model changed with fused grouping: a
+// group of N configs pays one pass over the shared trace (one pipelined
+// decode in streaming mode) instead of N. This harness measures that
+// directly on a single-trace, multi-config grid: the same 8-config window ×
+// renaming sweep is run solo (--group=1), mid-fused (--group=2), and fully
+// fused (--group=0, auto), over both a captured in-memory trace and a
+// streamed `.ptrz` file, at 1 and 8 worker threads. Every run's JSON
+// document (timing off) is compared against the first — the matrix is only
+// meaningful because all 12 runs produce byte-identical analysis.
+//
+// Results are written as `BENCH_sweep.json` — a stable, timestamped schema
+// (`paragraph-bench-sweep-v1`) meant to be re-run and diffed across
+// revisions so the perf trajectory of the sweep engine is tracked in-repo.
+//
+// Usage:
+//   bench_sweep [options]
+//     --input=NAME     workload captured as the benchmark trace
+//                      (default: xlisp)
+//     --max=N          instructions per cell / trace records (default:
+//                      1,000,000)
+//     --repeats=N      timed repetitions, best-of (default: 2)
+//     --jobs=N         threaded leg's worker count (default: 8)
+//     --small          use the workload's reduced test input
+//     --json           print the JSON document to stdout (suppresses table)
+//     --out=FILE       also write the JSON to FILE
+//                      (default: BENCH_sweep.json; --out= disables)
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "engine/sweep.hpp"
+#include "engine/sweep_json.hpp"
+#include "engine/trace_repository.hpp"
+#include "support/ascii_table.hpp"
+#include "support/string_utils.hpp"
+#include "trace/buffer.hpp"
+#include "trace/compressed_io.hpp"
+#include "workloads/workload.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct Options
+{
+    std::string input = "xlisp";
+    uint64_t maxInstructions = 1000000;
+    unsigned repeats = 2;
+    unsigned jobs = 8;
+    bool small = false;
+    bool jsonToStdout = false;
+    std::string outPath = "BENCH_sweep.json";
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_sweep [--input=NAME] [--max=N] [--repeats=N] "
+                 "[--jobs=N]\n"
+                 "                   [--small] [--json] [--out=FILE]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int64_t n = 0;
+        if (startsWith(arg, "--input=")) {
+            opt.input = arg.substr(8);
+            if (opt.input.empty())
+                usage();
+        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
+                   n > 0) {
+            opt.maxInstructions = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--repeats=") &&
+                   parseInt(arg.substr(10), n) && n > 0) {
+            opt.repeats = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--jobs=") &&
+                   parseInt(arg.substr(7), n) && n > 0) {
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--small") {
+            opt.small = true;
+        } else if (arg == "--json") {
+            opt.jsonToStdout = true;
+        } else if (startsWith(arg, "--out=")) {
+            opt.outPath = arg.substr(6);
+        } else {
+            std::fprintf(stderr, "bench_sweep: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    return opt;
+}
+
+/** The acceptance grid: 8 configs = windows {inf,16,64,256} × renaming
+ *  {all, none}, every cell capped at max_instructions. */
+std::vector<core::AnalysisConfig>
+makeConfigs(uint64_t max_instructions)
+{
+    std::vector<core::AnalysisConfig> configs;
+    for (uint64_t w : {uint64_t{0}, uint64_t{16}, uint64_t{64},
+                       uint64_t{256}}) {
+        for (bool rename : {true, false}) {
+            core::AnalysisConfig cfg =
+                rename ? core::AnalysisConfig::dataflowConservative()
+                       : core::AnalysisConfig::noRenaming();
+            cfg.windowSize = w;
+            cfg.maxInstructions = max_instructions;
+            configs.push_back(cfg);
+        }
+    }
+    return configs;
+}
+
+/** One timed matrix point: a whole sweep of the grid. */
+struct Row
+{
+    std::string source; ///< "capture" or "stream"
+    unsigned jobs = 0;
+    unsigned group = 0; ///< 0 = auto
+    size_t cells = 0;
+    uint64_t instructions = 0;
+    double seconds = 0.0;
+    double cellsPerSec = 0.0;
+    double minstrPerSec = 0.0;
+};
+
+Row
+measure(const std::string &path, bool stream, unsigned jobs, unsigned group,
+        const std::vector<core::AnalysisConfig> &configs,
+        const Options &opt, std::string &identityJson, bool &identical)
+{
+    engine::TraceRepository::Options repoOpt;
+    repoOpt.maxRecords = opt.maxInstructions;
+    repoOpt.streamFiles = stream;
+    engine::TraceRepository repo(repoOpt);
+    if (!stream)
+        repo.get(path); // captured legs measure analysis, not decode
+
+    engine::SweepEngine::Options engineOpt;
+    engineOpt.jobs = jobs;
+    engineOpt.groupSize = group;
+    engine::SweepEngine sweeper(engineOpt);
+
+    engine::SweepJsonOptions noTiming;
+    noTiming.timing = false;
+
+    Row row;
+    row.source = stream ? "stream" : "capture";
+    row.jobs = jobs;
+    row.group = group;
+    row.seconds = std::numeric_limits<double>::infinity();
+    for (unsigned r = 0; r < opt.repeats; ++r) {
+        engine::SweepResult sweep = sweeper.run(repo, {path}, configs);
+        row.cells = sweep.cells.size();
+        row.instructions = sweep.totalInstructions;
+        if (sweep.wallSeconds < row.seconds)
+            row.seconds = sweep.wallSeconds;
+        std::string doc = engine::sweepToJson(sweep, noTiming);
+        if (identityJson.empty())
+            identityJson = std::move(doc);
+        else if (doc != identityJson)
+            identical = false;
+    }
+    row.cellsPerSec = row.seconds > 0.0
+                          ? static_cast<double>(row.cells) / row.seconds
+                          : 0.0;
+    row.minstrPerSec =
+        row.seconds > 0.0
+            ? static_cast<double>(row.instructions) / 1e6 / row.seconds
+            : 0.0;
+    return row;
+}
+
+std::string
+utcTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    return strFormat("%04d-%02d-%02dT%02d:%02d:%02dZ", tm.tm_year + 1900,
+                     tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                     tm.tm_sec);
+}
+
+/** The stream-source row for (jobs, group); the headline solo-vs-fused
+ *  comparison uses the streamed legs, where solo pays a decode per cell. */
+const Row *
+findStream(const std::vector<Row> &rows, unsigned jobs, unsigned group)
+{
+    for (const Row &row : rows) {
+        if (row.source == "stream" && row.jobs == jobs && row.group == group)
+            return &row;
+    }
+    return nullptr;
+}
+
+/** BENCH_sweep.json, schema paragraph-bench-sweep-v1. */
+void
+writeJson(std::ostream &os, const Options &opt, size_t configs,
+          const std::vector<Row> &rows, bool identical)
+{
+    os << "{\n"
+       << "  \"schema\": \"paragraph-bench-sweep-v1\",\n"
+       << "  \"timestamp\": " << engine::jsonString(utcTimestamp()) << ",\n"
+       << "  \"input\": " << engine::jsonString(opt.input) << ",\n"
+       << "  \"configs\": " << configs << ",\n"
+       << "  \"max_instructions\": " << opt.maxInstructions << ",\n"
+       << "  \"repeats\": " << opt.repeats << ",\n"
+       << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        os << "    {\"source\": " << engine::jsonString(row.source)
+           << ", \"jobs\": " << row.jobs << ", \"group\": " << row.group
+           << ", \"cells\": " << row.cells
+           << ", \"instructions\": " << row.instructions
+           << ", \"seconds\": " << engine::jsonDouble(row.seconds)
+           << ", \"cells_per_sec\": " << engine::jsonDouble(row.cellsPerSec)
+           << ", \"minstr_per_sec\": " << engine::jsonDouble(row.minstrPerSec)
+           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    const Row *solo1 = findStream(rows, 1, 1);
+    const Row *fused1 = findStream(rows, 1, 0);
+    const Row *soloN = findStream(rows, opt.jobs, 1);
+    const Row *fusedN = findStream(rows, opt.jobs, 0);
+    auto speedup = [](const Row *solo, const Row *fused) {
+        return solo && fused && solo->minstrPerSec > 0.0
+                   ? fused->minstrPerSec / solo->minstrPerSec
+                   : 0.0;
+    };
+    os << "  ],\n"
+       << "  \"summary\": {\n"
+       << "    \"jobs1_solo_minstr_per_sec\": "
+       << engine::jsonDouble(solo1 ? solo1->minstrPerSec : 0.0) << ",\n"
+       << "    \"jobs1_fused_minstr_per_sec\": "
+       << engine::jsonDouble(fused1 ? fused1->minstrPerSec : 0.0) << ",\n"
+       << "    \"jobs1_fused_speedup\": "
+       << engine::jsonDouble(speedup(solo1, fused1)) << ",\n"
+       << "    \"jobs" << opt.jobs << "_solo_minstr_per_sec\": "
+       << engine::jsonDouble(soloN ? soloN->minstrPerSec : 0.0) << ",\n"
+       << "    \"jobs" << opt.jobs << "_fused_minstr_per_sec\": "
+       << engine::jsonDouble(fusedN ? fusedN->minstrPerSec : 0.0) << ",\n"
+       << "    \"jobs" << opt.jobs << "_fused_speedup\": "
+       << engine::jsonDouble(speedup(soloN, fusedN)) << ",\n"
+       << "    \"identical_json\": " << (identical ? "true" : "false")
+       << "\n"
+       << "  }\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    std::vector<core::AnalysisConfig> configs =
+        makeConfigs(opt.maxInstructions);
+
+    // Capture the workload once and persist it as a `.ptrz` trace file, so
+    // the captured and streamed legs sweep the very same records through
+    // the very same input spec.
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() /
+         strFormat("bench_sweep_%llu.ptrz",
+                   static_cast<unsigned long long>(opt.maxInstructions)))
+            .string();
+    {
+        auto &suite = workloads::WorkloadSuite::instance();
+        const workloads::Workload &w = suite.find(opt.input);
+        auto src = suite.makeSource(w, opt.small ? workloads::Scale::Small
+                                                 : workloads::Scale::Full);
+        trace::TraceBuffer buffer;
+        buffer.capture(*src, opt.maxInstructions);
+        trace::CompressedTraceWriter writer(path);
+        trace::BufferSource replay(buffer, opt.input);
+        writer.writeAll(replay);
+        writer.close();
+    }
+
+    std::vector<Row> rows;
+    std::string identityJson;
+    bool identical = true;
+    for (bool stream : {false, true}) {
+        for (unsigned jobs : {1u, opt.jobs}) {
+            for (unsigned group : {1u, 2u, 0u}) { // solo, mid-fused, auto
+                rows.push_back(measure(path, stream, jobs, group, configs,
+                                       opt, identityJson, identical));
+                if (!opt.jsonToStdout) {
+                    const Row &row = rows.back();
+                    std::fprintf(
+                        stderr,
+                        "  %-8s jobs=%u group=%-4s %7.2f Minstr/s\n",
+                        row.source.c_str(), row.jobs,
+                        row.group ? std::to_string(row.group).c_str()
+                                  : "auto",
+                        row.minstrPerSec);
+                }
+            }
+        }
+    }
+    fs::remove(path);
+
+    if (opt.jsonToStdout) {
+        writeJson(std::cout, opt, configs.size(), rows, identical);
+    } else {
+        AsciiTable table;
+        table.addColumn("Source", AsciiTable::Align::Left);
+        table.addColumn("Jobs");
+        table.addColumn("Group", AsciiTable::Align::Left);
+        table.addColumn("Cells");
+        table.addColumn("Cells/s");
+        table.addColumn("Minstr/s");
+        for (const Row &row : rows) {
+            table.beginRow();
+            table.cell(row.source);
+            table.cell(AsciiTable::withCommas(row.jobs));
+            table.cell(row.group ? std::to_string(row.group)
+                                 : std::string("auto"));
+            table.cell(AsciiTable::withCommas(row.cells));
+            table.cell(row.cellsPerSec, 2);
+            table.cell(row.minstrPerSec, 2);
+        }
+        table.print(std::cout);
+        const Row *solo1 = findStream(rows, 1, 1);
+        const Row *fused1 = findStream(rows, 1, 0);
+        if (solo1 && fused1 && solo1->minstrPerSec > 0.0) {
+            std::printf("\nstream jobs=1 fused speedup: %.2fx   "
+                        "identical json: %s\n",
+                        fused1->minstrPerSec / solo1->minstrPerSec,
+                        identical ? "yes" : "NO");
+        }
+    }
+
+    if (!opt.outPath.empty()) {
+        std::ofstream out(opt.outPath);
+        if (!out) {
+            std::fprintf(stderr, "bench_sweep: cannot write '%s'\n",
+                         opt.outPath.c_str());
+            return 1;
+        }
+        writeJson(out, opt, configs.size(), rows, identical);
+        if (!opt.jsonToStdout)
+            std::printf("wrote %s\n", opt.outPath.c_str());
+    }
+    return identical ? 0 : 1;
+}

@@ -2,23 +2,107 @@
 
 #include <chrono>
 #include <memory>
+#include <utility>
+
+#include "trace/block_pipeline.hpp"
 
 namespace paragraph {
 namespace core {
 
 namespace {
-/// Records fetched per TraceSource::nextBatch call.
-constexpr size_t batchSize = 256;
-} // namespace
 
-std::vector<AnalysisResult>
-analyzeMany(trace::TraceSource &src,
-            const std::vector<AnalysisConfig> &configs)
+/// Records per shared block. Big enough that each engine's bulk loop
+/// amortizes its live-well re-warm across tens of thousands of records;
+/// small enough (a few MB) that the block itself stays in cache while
+/// several engines walk it.
+constexpr size_t fusedBlockRecords = 65536;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * The fused pass: one engine per config, fed block-major. The live list
+ * holds the indices of engines still consuming; an engine leaves it when
+ * it hits its instruction cap or throws. With stopOnEngineError the first
+ * engine exception (e.g. CancelledError from a polled token) abandons the
+ * pass; without it the exception is parked in the engine's outcome slot
+ * and the siblings keep running.
+ */
+struct FusedPass
 {
     std::vector<std::unique_ptr<Paragraph>> engines;
-    engines.reserve(configs.size());
-    for (const AnalysisConfig &cfg : configs)
-        engines.push_back(std::make_unique<Paragraph>(cfg));
+    std::vector<MultiOutcome> outcomes;
+    std::vector<size_t> live;
+    bool stopOnEngineError;
+
+    FusedPass(const std::vector<AnalysisConfig> &configs, bool stop_on_error)
+        : outcomes(configs.size()), stopOnEngineError(stop_on_error)
+    {
+        engines.reserve(configs.size());
+        live.reserve(configs.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            engines.push_back(std::make_unique<Paragraph>(configs[i]));
+            live.push_back(i);
+        }
+    }
+
+    /** Run every live engine's bulk loop over one shared block
+     *  (engine-major: each live well stays cache-hot for the whole
+     *  block). Cancel tokens are polled inside processAll. */
+    void
+    feed(const trace::TraceRecord *block, size_t n)
+    {
+        size_t k = 0;
+        while (k < live.size()) {
+            size_t i = live[k];
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                engines[i]->processAll(block, n);
+            } catch (...) {
+                outcomes[i].error = std::current_exception();
+                outcomes[i].engineSeconds += secondsSince(t0);
+                live.erase(live.begin() + k);
+                if (stopOnEngineError)
+                    std::rethrow_exception(outcomes[i].error);
+                continue;
+            }
+            outcomes[i].engineSeconds += secondsSince(t0);
+            if (engines[i]->done())
+                live.erase(live.begin() + k);
+            else
+                ++k;
+        }
+    }
+
+    /** finish() every engine that didn't fail. */
+    void
+    finishAll()
+    {
+        for (size_t i = 0; i < engines.size(); ++i) {
+            if (outcomes[i].error)
+                continue;
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                outcomes[i].result = engines[i]->finish();
+            } catch (...) {
+                outcomes[i].error = std::current_exception();
+            }
+            outcomes[i].engineSeconds += secondsSince(t0);
+        }
+    }
+};
+
+std::vector<MultiOutcome>
+runFusedSource(trace::TraceSource &src,
+               const std::vector<AnalysisConfig> &configs,
+               bool stop_on_engine_error)
+{
+    FusedPass pass(configs, stop_on_engine_error);
 
     // When every config has an instruction cap, the pass needs exactly
     // max(cap) records — don't drain the (shared) source past that.
@@ -31,42 +115,65 @@ analyzeMany(trace::TraceSource &src,
             capRecords = cfg.maxInstructions;
     }
 
-    auto start = std::chrono::steady_clock::now();
-    trace::TraceRecord batch[batchSize];
-    uint64_t fed = 0;
-    size_t live = engines.size();
-    while (live > 0) {
-        size_t want = batchSize;
-        if (bounded && capRecords - fed < want)
-            want = static_cast<size_t>(capRecords - fed);
-        if (want == 0)
-            break;
-        size_t n = src.nextBatch(batch, want);
-        if (n == 0)
-            break;
-        fed += n;
-        for (size_t i = 0; i < n && live > 0; ++i) {
-            live = 0;
-            for (auto &engine : engines) {
-                if (!engine->done()) {
-                    engine->process(batch[i]);
-                    if (!engine->done())
-                        ++live;
-                }
-            }
+    if (!pass.live.empty()) {
+        // Pipelined decode: the producer thread unpacks the next block
+        // while the engines consume the current one.
+        trace::BlockPipeline::Options popt;
+        popt.blockRecords = fusedBlockRecords;
+        popt.maxRecords = bounded ? capRecords : 0;
+        trace::BlockPipeline pipe(src, popt);
+        const trace::TraceRecord *block = nullptr;
+        while (!pass.live.empty()) {
+            size_t n = pipe.next(&block); // rethrows source errors
+            if (n == 0)
+                break;
+            pass.feed(block, n);
         }
     }
-    auto end = std::chrono::steady_clock::now();
-    double seconds = std::chrono::duration<double>(end - start).count();
+    pass.finishAll();
+    return std::move(pass.outcomes);
+}
+
+} // namespace
+
+std::vector<AnalysisResult>
+analyzeMany(trace::TraceSource &src,
+            const std::vector<AnalysisConfig> &configs)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::vector<MultiOutcome> outcomes =
+        runFusedSource(src, configs, /*stop_on_engine_error=*/true);
+    double seconds = secondsSince(start);
 
     std::vector<AnalysisResult> results;
-    results.reserve(engines.size());
-    for (auto &engine : engines) {
-        AnalysisResult res = engine->finish();
-        res.analysisSeconds = seconds; // shared pass
-        results.push_back(std::move(res));
+    results.reserve(outcomes.size());
+    for (MultiOutcome &o : outcomes) {
+        o.result.analysisSeconds = seconds; // shared pass
+        results.push_back(std::move(o.result));
     }
     return results;
+}
+
+std::vector<MultiOutcome>
+analyzeManyGuarded(trace::TraceSource &src,
+                   const std::vector<AnalysisConfig> &configs)
+{
+    return runFusedSource(src, configs, /*stop_on_engine_error=*/false);
+}
+
+std::vector<MultiOutcome>
+analyzeManyGuarded(const trace::TraceBuffer &buffer,
+                   const std::vector<AnalysisConfig> &configs)
+{
+    FusedPass pass(configs, /*stop_on_error=*/false);
+    const trace::TraceRecord *data = buffer.records().data();
+    const size_t total = buffer.records().size();
+    for (size_t off = 0; off < total && !pass.live.empty();
+         off += fusedBlockRecords) {
+        pass.feed(data + off, std::min(fusedBlockRecords, total - off));
+    }
+    pass.finishAll();
+    return std::move(pass.outcomes);
 }
 
 } // namespace core

@@ -309,12 +309,16 @@ Paragraph::prefetchRecord(const TraceRecord &rec) const
 void
 Paragraph::processAll(const trace::TraceBuffer &buffer)
 {
+    processAll(buffer.records().data(), buffer.records().size());
+}
+
+void
+Paragraph::processAll(const TraceRecord *records, size_t n)
+{
     if (done_)
         return;
-    // The instruction cap is the only thing that stops mid-buffer, so the
+    // The instruction cap is the only thing that stops mid-span, so the
     // record count is known up front: count and check once, not per record.
-    const std::vector<TraceRecord> &records = buffer.records();
-    size_t n = records.size();
     if (cfg_.maxInstructions) {
         uint64_t remaining = cfg_.maxInstructions - result_.instructions;
         if (remaining < n)

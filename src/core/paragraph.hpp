@@ -72,6 +72,14 @@ class Paragraph
     /** Consume every record in @p buffer (stops early at maxInstructions). */
     void processAll(const trace::TraceBuffer &buffer);
 
+    /**
+     * Consume @p n contiguous records (stops early at maxInstructions).
+     * The bulk inner loop shared by the buffer overload and the fused
+     * multi-config pass: prefetched, with the cancel token polled every
+     * few tens of thousands of records.
+     */
+    void processAll(const trace::TraceRecord *records, size_t n);
+
     /** True once maxInstructions records have been consumed. */
     bool done() const { return done_; }
 

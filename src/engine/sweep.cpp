@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/cancel_token.hpp"
+#include "core/multi.hpp"
 #include "engine/journal.hpp"
 #include "engine/sweep_json.hpp"
 #include "support/panic.hpp"
@@ -23,6 +26,18 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
+}
+
+/** Rough live-state bytes one engine with this config keeps resident:
+ *  base live well + ordering window + profile/lifetime buckets. Used only
+ *  to clamp fused-group size against Options::groupMemoryBudget. */
+size_t
+configFootprint(const core::AnalysisConfig &cfg)
+{
+    size_t bytes = size_t(8) << 20;
+    bytes += static_cast<size_t>(cfg.windowSize) * 8;
+    bytes += cfg.profileBins * 40;
+    return bytes;
 }
 
 } // namespace
@@ -99,14 +114,17 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
         }
     }
 
-    // Warm the repository cache for every pending input up front, serially:
-    // simulation and decompression are the parts that cannot be split
-    // across cells, and doing it here (rather than lazily from the pool)
-    // keeps the workers' wall-time numbers pure analysis. Failures are
-    // deliberately swallowed — a bad input surfaces as a per-cell error
-    // below, where it can be attributed (and retried) per cell instead of
-    // aborting the whole grid.
+    // Warm the repository cache for every pending captured input up front,
+    // serially: simulation and decompression are the parts that cannot be
+    // split across cells, and doing it here (rather than lazily from the
+    // pool) keeps the workers' wall-time numbers pure analysis. Streaming
+    // inputs are skipped — their decode happens per pass, by design.
+    // Failures are deliberately swallowed — a bad input surfaces as a
+    // per-cell error below, where it can be attributed (and retried) per
+    // cell instead of aborting the whole grid.
     for (size_t i : pending) {
+        if (repo.streamingInput(jobs[i].input))
+            continue;
         try {
             repo.get(jobs[i].input);
         } catch (const std::exception &) {
@@ -114,103 +132,241 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     }
     sweep.captureSeconds = secondsSince(sweepStart);
 
-    std::atomic<size_t> nextSlot{0};
+    // Trace-major grouping: bucket pending cells by input spec (first-seen
+    // order) and cut each bucket into fused groups of at most groupTarget
+    // configs, cutting early rather than exceeding the memory budget. A
+    // group's cells run as one block-major pass over the shared trace.
+    size_t groupTarget = opt_.groupSize;
+    if (groupTarget == 0) // auto: one pass per worker's share of the grid
+        groupTarget = (pending.size() + jobs_ - 1) / jobs_;
+    if (groupTarget == 0)
+        groupTarget = 1;
+
+    std::vector<std::vector<size_t>> groups;
+    {
+        std::vector<const std::string *> inputOrder;
+        std::map<std::string, std::vector<size_t>> byInput;
+        for (size_t i : pending) {
+            auto [it, fresh] = byInput.try_emplace(jobs[i].input);
+            if (fresh)
+                inputOrder.push_back(&it->first);
+            it->second.push_back(i);
+        }
+        for (const std::string *input : inputOrder) {
+            std::vector<size_t> group;
+            size_t bytes = 0;
+            for (size_t i : byInput[*input]) {
+                size_t need = configFootprint(jobs[i].config);
+                if (!group.empty() && (group.size() >= groupTarget ||
+                                       bytes + need > opt_.groupMemoryBudget)) {
+                    groups.push_back(std::move(group));
+                    group.clear();
+                    bytes = 0;
+                }
+                group.push_back(i);
+                bytes += need;
+            }
+            if (!group.empty())
+                groups.push_back(std::move(group));
+        }
+    }
+
+    std::atomic<size_t> nextGroup{0};
     std::atomic<uint64_t> instructionsDone{0};
     std::mutex progressMutex;
     size_t cellsDone = sweep.cellsSkipped;
     bool progressBroken = false;
 
-    auto worker = [&]() {
-        for (;;) {
-            size_t slot = nextSlot.fetch_add(1, std::memory_order_relaxed);
-            if (slot >= pending.size())
-                return;
-            size_t i = pending[slot];
-            SweepCell &cell = sweep.cells[i];
-            cell.job = std::move(jobs[i]);
-
-            // Every attempt is fully guarded: a throwing capture or
-            // analysis marks this cell Failed and the grid keeps going.
-            unsigned maxAttempts = 1 + opt_.maxRetries;
-            for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
-                cell.attempts = attempt;
-                try {
+    // The per-cell attempts loop — identical for a solo (group-of-one)
+    // cell and for a cell demoted out of a fused group. Every attempt is
+    // fully guarded: a throwing capture or analysis marks this cell Failed
+    // and the grid keeps going.
+    auto runSolo = [&](SweepCell &cell) {
+        unsigned maxAttempts = 1 + opt_.maxRetries;
+        for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+            cell.attempts = attempt;
+            try {
+                core::AnalysisConfig cfg = cell.job.config;
+                core::CancelToken deadline;
+                if (opt_.cellDeadlineSeconds > 0.0) {
+                    deadline.setDeadline(opt_.cellDeadlineSeconds);
+                    deadline.chain(cfg.cancel);
+                    cfg.cancel = &deadline;
+                }
+                core::Paragraph analyzer(cfg);
+                auto cellStart = std::chrono::steady_clock::now();
+                if (repo.streamingInput(cell.job.input)) {
+                    std::unique_ptr<trace::TraceSource> src =
+                        repo.makeSource(cell.job.input);
+                    cell.result = analyzer.analyze(*src);
+                } else {
                     // Analyze the shared capture directly (bulk path): no
                     // cursor object, no virtual dispatch per record.
                     std::shared_ptr<const trace::TraceBuffer> buffer =
                         repo.get(cell.job.input);
-                    core::AnalysisConfig cfg = cell.job.config;
-                    core::CancelToken deadline;
-                    if (opt_.cellDeadlineSeconds > 0.0) {
-                        deadline.setDeadline(opt_.cellDeadlineSeconds);
-                        deadline.chain(cfg.cancel);
-                        cfg.cancel = &deadline;
-                    }
-                    core::Paragraph analyzer(cfg);
-                    auto cellStart = std::chrono::steady_clock::now();
                     cell.result = analyzer.analyze(*buffer);
-                    cell.wallSeconds = secondsSince(cellStart);
-                    cell.minstrPerSec =
-                        cell.wallSeconds > 0.0
-                            ? static_cast<double>(cell.result.instructions) /
-                                  1e6 / cell.wallSeconds
-                            : 0.0;
-                    cell.status = SweepCell::Status::Ok;
-                    cell.errorMessage.clear();
-                    break;
-                } catch (const core::CancelledError &e) {
-                    // Deadline / cancellation: final, never retried —
-                    // a second attempt would just burn the deadline again.
-                    cell.status = SweepCell::Status::Failed;
-                    cell.errorMessage = e.what();
-                    cell.result = core::AnalysisResult();
-                    break;
-                } catch (const std::exception &e) {
-                    cell.status = SweepCell::Status::Failed;
-                    cell.errorMessage = e.what();
-                    cell.result = core::AnalysisResult();
                 }
+                cell.wallSeconds = secondsSince(cellStart);
+                cell.minstrPerSec =
+                    cell.wallSeconds > 0.0
+                        ? static_cast<double>(cell.result.instructions) /
+                              1e6 / cell.wallSeconds
+                        : 0.0;
+                cell.status = SweepCell::Status::Ok;
+                cell.errorMessage.clear();
+                break;
+            } catch (const core::CancelledError &e) {
+                // Deadline / cancellation: final, never retried —
+                // a second attempt would just burn the deadline again.
+                cell.status = SweepCell::Status::Failed;
+                cell.errorMessage = e.what();
+                cell.result = core::AnalysisResult();
+                break;
+            } catch (const std::exception &e) {
+                cell.status = SweepCell::Status::Failed;
+                cell.errorMessage = e.what();
+                cell.result = core::AnalysisResult();
             }
+        }
+    };
 
-            if (journal) {
-                std::string cellJson;
-                if (cell.status == SweepCell::Status::Ok)
-                    cellJson = cellToJson(cell, journalOpt);
-                journal->record(i, cell, cellJson);
-            }
+    // Journal + aggregate + progress bookkeeping, exactly once per cell,
+    // after its status is final.
+    auto finishCell = [&](size_t i, SweepCell &cell) {
+        if (journal) {
+            std::string cellJson;
+            if (cell.status == SweepCell::Status::Ok)
+                cellJson = cellToJson(cell, journalOpt);
+            journal->record(i, cell, cellJson);
+        }
 
-            uint64_t total = instructionsDone.fetch_add(
-                                 cell.result.instructions,
-                                 std::memory_order_relaxed) +
-                             cell.result.instructions;
-            if (opt_.progress) {
-                std::lock_guard<std::mutex> lock(progressMutex);
-                ++cellsDone;
-                if (!progressBroken) {
-                    double elapsed = secondsSince(sweepStart);
-                    try {
-                        opt_.progress(cellsDone, sweep.cells.size(),
-                                      elapsed > 0.0
-                                          ? static_cast<double>(total) /
-                                                1e6 / elapsed
-                                          : 0.0);
-                    } catch (const std::exception &e) {
-                        progressBroken = true;
-                        PARA_WARN("sweep progress callback threw (%s); "
-                                  "further progress reports disabled",
-                                  e.what());
-                    } catch (...) {
-                        progressBroken = true;
-                        PARA_WARN("sweep progress callback threw; further "
-                                  "progress reports disabled");
-                    }
+        uint64_t total =
+            instructionsDone.fetch_add(cell.result.instructions,
+                                       std::memory_order_relaxed) +
+            cell.result.instructions;
+        if (opt_.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            ++cellsDone;
+            if (!progressBroken) {
+                double elapsed = secondsSince(sweepStart);
+                try {
+                    opt_.progress(cellsDone, sweep.cells.size(),
+                                  elapsed > 0.0
+                                      ? static_cast<double>(total) / 1e6 /
+                                            elapsed
+                                      : 0.0);
+                } catch (const std::exception &e) {
+                    progressBroken = true;
+                    PARA_WARN("sweep progress callback threw (%s); "
+                              "further progress reports disabled",
+                              e.what());
+                } catch (...) {
+                    progressBroken = true;
+                    PARA_WARN("sweep progress callback threw; further "
+                              "progress reports disabled");
                 }
             }
         }
     };
 
+    // One fused pass over the group's shared trace. Fault demotion rule:
+    // an engine that throws mid-group sends only its own cell back through
+    // runSolo (the demotion consumes no attempt), except cancellation,
+    // which is final in either mode — re-running a cancelled cell solo
+    // would just burn its deadline a second time. A group-level error
+    // (unreadable input) demotes every member, where the solo loop
+    // attributes and retries it per cell.
+    auto runFusedGroup = [&](const std::vector<size_t> &group) {
+        for (size_t i : group)
+            sweep.cells[i].job = std::move(jobs[i]);
+        const std::string &input = sweep.cells[group.front()].job.input;
+
+        std::deque<core::CancelToken> deadlines;
+        std::vector<core::AnalysisConfig> cfgs;
+        cfgs.reserve(group.size());
+        for (size_t i : group) {
+            core::AnalysisConfig cfg = sweep.cells[i].job.config;
+            if (opt_.cellDeadlineSeconds > 0.0) {
+                deadlines.emplace_back();
+                deadlines.back().setDeadline(opt_.cellDeadlineSeconds);
+                deadlines.back().chain(cfg.cancel);
+                cfg.cancel = &deadlines.back();
+            }
+            cfgs.push_back(std::move(cfg));
+        }
+
+        std::vector<core::MultiOutcome> outcomes;
+        bool groupFailed = false;
+        try {
+            if (repo.streamingInput(input)) {
+                std::unique_ptr<trace::TraceSource> src =
+                    repo.makeSource(input);
+                outcomes = core::analyzeManyGuarded(*src, cfgs);
+            } else {
+                std::shared_ptr<const trace::TraceBuffer> buffer =
+                    repo.get(input);
+                outcomes = core::analyzeManyGuarded(*buffer, cfgs);
+            }
+        } catch (const std::exception &) {
+            groupFailed = true;
+        }
+
+        for (size_t k = 0; k < group.size(); ++k) {
+            size_t i = group[k];
+            SweepCell &cell = sweep.cells[i];
+            if (!groupFailed && !outcomes[k].error) {
+                cell.result = std::move(outcomes[k].result);
+                cell.status = SweepCell::Status::Ok;
+                cell.errorMessage.clear();
+                cell.attempts = 1;
+                cell.wallSeconds = outcomes[k].engineSeconds;
+                cell.minstrPerSec =
+                    cell.wallSeconds > 0.0
+                        ? static_cast<double>(cell.result.instructions) /
+                              1e6 / cell.wallSeconds
+                        : 0.0;
+                finishCell(i, cell);
+                continue;
+            }
+            if (!groupFailed) {
+                try {
+                    std::rethrow_exception(outcomes[k].error);
+                } catch (const core::CancelledError &e) {
+                    cell.status = SweepCell::Status::Failed;
+                    cell.errorMessage = e.what();
+                    cell.result = core::AnalysisResult();
+                    cell.attempts = 1;
+                    finishCell(i, cell);
+                    continue;
+                } catch (const std::exception &) {
+                    // Ordinary failure: fall through to the solo re-run.
+                }
+            }
+            runSolo(cell);
+            finishCell(i, cell);
+        }
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            size_t g = nextGroup.fetch_add(1, std::memory_order_relaxed);
+            if (g >= groups.size())
+                return;
+            const std::vector<size_t> &group = groups[g];
+            if (group.size() == 1) {
+                size_t i = group.front();
+                SweepCell &cell = sweep.cells[i];
+                cell.job = std::move(jobs[i]);
+                runSolo(cell);
+                finishCell(i, cell);
+            } else {
+                runFusedGroup(group);
+            }
+        }
+    };
+
     unsigned nThreads =
-        static_cast<unsigned>(std::min<size_t>(jobs_, pending.size()));
+        static_cast<unsigned>(std::min<size_t>(jobs_, groups.size()));
     if (nThreads <= 1) {
         worker();
     } else {

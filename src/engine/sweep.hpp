@@ -6,21 +6,30 @@
  * once per window size per benchmark ("approximately 10 hours on a
  * DECstation 3100" per point), Table 4 crosses renaming switches with
  * benchmarks. Each grid cell is one independent core::Paragraph::analyze
- * run, so the engine schedules cells across a std::thread pool: inputs are
- * captured once into shared immutable buffers (TraceRepository), each worker
- * replays a capture through its own cursor, and every core::Paragraph is
- * thread-private, so workers share no mutable analysis state. Results are
- * stored by grid position, making sweep output independent of worker count
- * and completion order (a tested invariant).
+ * run. Scheduling is trace-major: pending cells are grouped by input spec
+ * into fused groups (at most Options::groupSize configs per group, clamped
+ * by Options::groupMemoryBudget), one group is dispatched per worker
+ * thread, and a group's cells run in a single block-major pass over the
+ * shared trace (core::analyzeManyGuarded) — the trace is walked once per
+ * group instead of once per cell. Inputs are captured once into shared
+ * immutable buffers (TraceRepository) or, for streaming trace files,
+ * decoded per pass on a pipelined background thread. Every core::Paragraph
+ * is thread-private, so workers share no mutable analysis state. Results
+ * are stored by grid position, making sweep output independent of worker
+ * count, grouping, and completion order (a tested invariant).
  *
  * Cells are fault-isolated: a cell whose capture or analysis throws is
  * recorded as SweepCell::Status::Failed with its error text, and the rest
  * of the grid still runs — at the paper's hours-per-point scale, one bad
- * benchmark must not void a night of compute. Failed attempts can be
- * retried (Options::maxRetries), runaway cells cut off by a cooperative
- * per-cell deadline (Options::cellDeadlineSeconds), and completed cells
- * journaled to a JSONL checkpoint file (Options::journalPath) so an
- * interrupted sweep resumes without redoing finished work.
+ * benchmark must not void a night of compute. Fusion never weakens that
+ * isolation: a cell whose engine throws mid-group is demoted to a solo
+ * re-run through the ordinary per-cell attempts loop (the demotion itself
+ * consumes no attempt), so retries, journaling, and resume semantics are
+ * byte-identical to an ungrouped sweep. Failed attempts can be retried
+ * (Options::maxRetries), runaway cells cut off by a cooperative per-cell
+ * deadline (Options::cellDeadlineSeconds), and completed cells journaled
+ * to a JSONL checkpoint file (Options::journalPath) so an interrupted
+ * sweep resumes without redoing finished work.
  */
 
 #ifndef PARAGRAPH_ENGINE_SWEEP_HPP
@@ -127,6 +136,18 @@ class SweepEngine
     {
         /** Worker threads; 0 = std::thread::hardware_concurrency(). */
         unsigned jobs = 0;
+
+        /** Configs fused into one pass over a shared trace. 1 = no fusion
+         *  (every cell is its own pass, the pre-grouping behavior);
+         *  0 = auto, ceil(pending / jobs) so each worker's share of an
+         *  input becomes a single pass. Always clamped by
+         *  groupMemoryBudget. */
+        unsigned groupSize = 1;
+
+        /** Cap on the estimated live analysis state (windows, profiles,
+         *  live wells) resident in one fused group; a group is cut early
+         *  rather than exceed it. */
+        size_t groupMemoryBudget = size_t(1) << 30;
 
         /** Re-run a failed cell up to this many extra times. Cancelled /
          *  deadline-expired attempts are final and never retried. */

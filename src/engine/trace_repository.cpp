@@ -51,7 +51,22 @@ TraceRepository::get(const std::string &spec)
 std::unique_ptr<trace::TraceSource>
 TraceRepository::makeSource(const std::string &spec)
 {
+    if (streamingInput(spec)) {
+        std::unique_ptr<trace::TraceSource> src = trace::openTraceFile(spec);
+        if (opt_.maxRecords == 0)
+            return src;
+        // Match a capped capture exactly: the source ends at maxRecords.
+        return std::make_unique<trace::LimitedSource>(std::move(src),
+                                                      opt_.maxRecords);
+    }
     return std::make_unique<trace::SharedBufferSource>(get(spec), spec);
+}
+
+bool
+TraceRepository::streamingInput(const std::string &spec) const
+{
+    return opt_.streamFiles &&
+           (hasSuffix(spec, ".ptrc") || hasSuffix(spec, ".ptrz"));
 }
 
 void

@@ -40,6 +40,16 @@ class TraceRepository
          *  Set this to the sweep's maxInstructions so memory stays bounded
          *  by what any analysis will actually consume. */
         uint64_t maxRecords = 0;
+
+        /** Stream `.ptrc`/`.ptrz` trace-file inputs instead of capturing
+         *  them: makeSource() re-opens the file per request (capped at
+         *  maxRecords). Trades the one-time capture's memory footprint
+         *  for a decode per analysis pass — the trace-major sweep
+         *  scheduler amortizes that decode across every config fused
+         *  into the pass. Non-file inputs (workloads, assembly, MiniC)
+         *  are always captured, and get() still captures a trace file
+         *  if asked directly. */
+        bool streamFiles = false;
     };
 
     TraceRepository() = default;
@@ -59,8 +69,13 @@ class TraceRepository
      */
     std::shared_ptr<const trace::TraceBuffer> get(const std::string &spec);
 
-    /** A fresh replayable source over the shared capture of @p spec. */
+    /** A fresh replayable source for @p spec: a cursor over the shared
+     *  capture, or (for a streaming input) a re-opened trace file. */
     std::unique_ptr<trace::TraceSource> makeSource(const std::string &spec);
+
+    /** True when @p spec is served by streaming (Options::streamFiles and
+     *  the spec names a trace file). */
+    bool streamingInput(const std::string &spec) const;
 
     /** Drop the cached capture for @p spec (in-flight sources keep theirs). */
     void release(const std::string &spec);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/branch_predictor.hpp"
+#include "core/multi.hpp"
 #include "core/paragraph.hpp"
 #include "core/window.hpp"
 #include "support/flat_hash_map.hpp"
@@ -519,6 +520,65 @@ TEST(HotPathEquivalence, MaxInstructionsCapsIdentically)
         cfg.profileBins = 65536;
         checkAllPaths(buffer, cfg,
                       "cap=" + std::to_string(cap));
+    }
+}
+
+/** A fused multi-config pass (the sweep engine's grouped execution) must be
+ *  byte-identical to independent solo runs for every member, whatever mix
+ *  of window, renaming, FU, predictor, and cap switches shares the pass —
+ *  on both the pipelined source path and the in-memory buffer path. */
+TEST(HotPathEquivalence, FusedMultiConfigMatchesSoloRuns)
+{
+    TraceBuffer buffer = testhelpers::randomTrace(4242, 1500);
+
+    std::vector<AnalysisConfig> configs;
+    for (uint64_t window :
+         {uint64_t{0}, uint64_t{16}, uint64_t{64}, uint64_t{256}}) {
+        AnalysisConfig cfg;
+        cfg.windowSize = window;
+        cfg.profileBins = 65536;
+        configs.push_back(cfg);
+    }
+    {
+        AnalysisConfig cfg = AnalysisConfig::noRenaming();
+        cfg.profileBins = 65536;
+        configs.push_back(cfg);
+    }
+    {
+        AnalysisConfig cfg;
+        cfg.branchPredictor = PredictorKind::Bimodal;
+        cfg.totalFuLimit = 4;
+        cfg.profileBins = 65536;
+        configs.push_back(cfg);
+    }
+    {
+        AnalysisConfig cfg;
+        cfg.sysCallsStall = false;
+        cfg.renameData = false;
+        cfg.maxInstructions = 700;
+        cfg.profileBins = 65536;
+        configs.push_back(cfg);
+    }
+
+    std::vector<AnalysisResult> solo;
+    for (const AnalysisConfig &cfg : configs)
+        solo.push_back(Paragraph(cfg).analyze(buffer));
+
+    trace::BufferSource src(buffer);
+    std::vector<AnalysisResult> fused = core::analyzeMany(src, configs);
+    ASSERT_EQ(solo.size(), fused.size());
+    for (size_t i = 0; i < solo.size(); ++i) {
+        expectResultsEqual(solo[i], fused[i],
+                           "fused[" + std::to_string(i) + "]");
+    }
+
+    std::vector<core::MultiOutcome> guarded =
+        core::analyzeManyGuarded(buffer, configs);
+    ASSERT_EQ(solo.size(), guarded.size());
+    for (size_t i = 0; i < guarded.size(); ++i) {
+        ASSERT_FALSE(guarded[i].error) << "config " << i;
+        expectResultsEqual(solo[i], guarded[i].result,
+                           "guarded[" + std::to_string(i) + "]");
     }
 }
 

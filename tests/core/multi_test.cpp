@@ -1,6 +1,7 @@
 // Tests for core::analyzeMany (single-pass multi-configuration analysis).
 #include <gtest/gtest.h>
 
+#include "core/cancel_token.hpp"
 #include "core/multi.hpp"
 #include "tests/core/trace_helpers.hpp"
 #include "workloads/workload.hpp"
@@ -207,6 +208,47 @@ TEST(AnalyzeMany, EmptyConfigListYieldsNothing)
     TraceBuffer buf = randomTrace(20, 100);
     trace::BufferSource src(buf);
     EXPECT_TRUE(analyzeMany(src, {}).empty());
+}
+
+TEST(AnalyzeMany, CancelledTokenAbandonsTheFusedPass)
+{
+    // AnalysisConfig::cancel must be honored from inside the fused
+    // block-major loop, not just by solo analyze() — this is what makes
+    // --deadline work for grouped sweep cells.
+    TraceBuffer buf = randomTrace(21, 100000);
+    CancelToken poisoned;
+    poisoned.cancel();
+    AnalysisConfig cancelled = AnalysisConfig::dataflowConservative();
+    cancelled.cancel = &poisoned;
+    AnalysisConfig healthy = AnalysisConfig::dataflowConservative();
+    trace::BufferSource src(buf);
+    EXPECT_THROW(analyzeMany(src, {healthy, cancelled}), CancelledError);
+}
+
+TEST(AnalyzeMany, GuardedPassContainsCancellationToItsOwnSlot)
+{
+    // The guarded variant parks the CancelledError in the cancelled
+    // engine's outcome and lets every sibling run to completion — the
+    // sweep engine's fused groups depend on this to keep one timed-out
+    // cell from voiding its group.
+    TraceBuffer buf = randomTrace(22, 5000);
+    CancelToken poisoned;
+    poisoned.cancel();
+    AnalysisConfig cancelled = AnalysisConfig::dataflowConservative();
+    cancelled.cancel = &poisoned;
+    AnalysisConfig healthy = AnalysisConfig::dataflowConservative();
+
+    auto outcomes = analyzeManyGuarded(buf, {healthy, cancelled, healthy});
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[0].error);
+    ASSERT_TRUE(outcomes[1].error);
+    EXPECT_THROW(std::rethrow_exception(outcomes[1].error), CancelledError);
+    EXPECT_FALSE(outcomes[2].error);
+
+    AnalysisResult alone =
+        Paragraph(healthy).analyze(buf);
+    expectIdenticalResults(outcomes[0].result, alone);
+    expectIdenticalResults(outcomes[2].result, alone);
 }
 
 TEST(AnalyzeMany, WorkloadWindowSweepMatchesSoloRuns)

@@ -187,6 +187,112 @@ TEST(SweepFaults, ThrowingProgressCallbackDoesNotAbortTheSweep)
         EXPECT_EQ(cell.status, SweepCell::Status::Ok);
 }
 
+TEST(SweepFaults, FusedGroupDeadlineTimesOutEachCellIndependently)
+{
+    // All four cells share one fused pass (--group semantics); every cell
+    // carries its own deadline token, so a group-wide timeout reports four
+    // individual final timeouts — exactly like the ungrouped sweep — and
+    // cancellation is never demoted to a solo re-run.
+    TraceRepository repo(smallScale());
+    SweepEngine::Options opt;
+    opt.groupSize = 4;
+    opt.cellDeadlineSeconds = 1e-9; // expires before the first checkpoint
+    SweepResult sweep = SweepEngine(opt).run(repo, {"xlisp"}, fourConfigs(),
+                                             fourLabels());
+    ASSERT_EQ(sweep.cells.size(), 4u);
+    EXPECT_EQ(sweep.cellsFailed, 4u);
+    for (const SweepCell &cell : sweep.cells) {
+        EXPECT_EQ(cell.status, SweepCell::Status::Failed);
+        EXPECT_NE(cell.errorMessage.find("deadline"), std::string::npos)
+            << cell.errorMessage;
+        EXPECT_EQ(cell.attempts, 1u); // timeouts are final, never retried
+    }
+}
+
+TEST(SweepFaults, FusedGroupBadInputBurnsRetriesLikeSolo)
+{
+    // A group-level error (unreadable input) demotes every member to the
+    // solo attempts loop, and the demotion itself consumes no attempt:
+    // the attempt counters must match an ungrouped sweep exactly.
+    TraceRepository repo(smallScale());
+    SweepEngine::Options opt;
+    opt.groupSize = 4;
+    opt.maxRetries = 2;
+    SweepResult sweep = SweepEngine(opt).run(repo, {badInput},
+                                             fourConfigs(), fourLabels());
+    ASSERT_EQ(sweep.cells.size(), 4u);
+    for (const SweepCell &cell : sweep.cells) {
+        EXPECT_EQ(cell.status, SweepCell::Status::Failed);
+        EXPECT_EQ(cell.attempts, 3u); // 1 + maxRetries, all consumed
+    }
+}
+
+TEST(SweepFaults, FusedSweepJsonMatchesUngroupedSweep)
+{
+    // The whole point of trace-major grouping is that it changes only the
+    // wall clock: with timing fields off, a fused sweep's document — bad
+    // input and all — is byte-identical to the group-of-one sweep's.
+    std::vector<std::string> inputs = {"xlisp", badInput, "matrix300"};
+
+    TraceRepository repoSolo(smallScale());
+    SweepEngine::Options solo;
+    solo.groupSize = 1;
+    solo.maxRetries = 1;
+    SweepResult soloRun = SweepEngine(solo).run(repoSolo, inputs,
+                                                fourConfigs(), fourLabels());
+
+    for (unsigned group : {0u, 2u, 4u}) { // 0 = auto
+        TraceRepository repoFused(smallScale());
+        SweepEngine::Options fused;
+        fused.groupSize = group;
+        fused.maxRetries = 1;
+        SweepResult fusedRun = SweepEngine(fused).run(
+            repoFused, inputs, fourConfigs(), fourLabels());
+        EXPECT_EQ(sweepToJson(fusedRun, noTiming()),
+                  sweepToJson(soloRun, noTiming()))
+            << "group=" << group;
+    }
+}
+
+TEST(SweepJournalTest, FusedSweepJournalResumeMatchesSoloDocument)
+{
+    // Journaling and resume are per-cell even when cells run fused: a
+    // fused sweep's journal resumes into the same document an ungrouped
+    // sweep produces.
+    std::string journalPath = tempPath("para_fault_fused_journal.jsonl");
+    std::remove(journalPath.c_str());
+
+    std::vector<std::string> inputs = {"xlisp", badInput, "matrix300"};
+
+    TraceRepository repoSolo(smallScale());
+    SweepEngine::Options solo;
+    solo.groupSize = 1;
+    SweepResult soloRun = SweepEngine(solo).run(repoSolo, inputs,
+                                                fourConfigs(), fourLabels());
+
+    TraceRepository repo1(smallScale());
+    SweepEngine::Options first;
+    first.groupSize = 4;
+    first.journalPath = journalPath;
+    SweepResult run1 = SweepEngine(first).run(repo1, inputs, fourConfigs(),
+                                              fourLabels());
+    EXPECT_EQ(sweepToJson(run1, noTiming()), sweepToJson(soloRun, noTiming()));
+
+    JournalData journal = loadJournal(journalPath);
+    EXPECT_EQ(journal.entries.size(), 12u);
+    TraceRepository repo2(smallScale());
+    SweepEngine::Options second;
+    second.groupSize = 4;
+    second.resume = &journal;
+    SweepResult run2 = SweepEngine(second).run(repo2, inputs, fourConfigs(),
+                                               fourLabels());
+    EXPECT_EQ(run2.cellsSkipped, 8u);
+    EXPECT_EQ(run2.cellsFailed, 4u);
+    EXPECT_EQ(sweepToJson(run2, noTiming()), sweepToJson(soloRun, noTiming()));
+
+    std::remove(journalPath.c_str());
+}
+
 TEST(SweepJournalTest, ResumeSkipsOkCellsAndReproducesTheDocument)
 {
     std::string journalPath = tempPath("para_fault_journal.jsonl");

@@ -134,6 +134,92 @@ TEST(TraceRepository, UnknownInputThrows)
     EXPECT_THROW(repo.get("no-such-workload"), FatalError);
 }
 
+TEST(TraceRepository, StreamingSourcesMatchTheCaptureWithoutCaching)
+{
+    // streamFiles serves trace files by re-opening them per source: the
+    // records (and the maxRecords cap) must match a capture exactly, but
+    // nothing is held in the cache.
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "repo_stream.ptrz").string();
+
+    TraceRepository capRepo(smallScale());
+    auto live = capRepo.get("xlisp");
+    {
+        trace::CompressedTraceWriter writer(path);
+        trace::SharedBufferSource src(live, "xlisp");
+        writer.writeAll(src);
+        writer.close();
+    }
+
+    TraceRepository::Options opt = smallScale();
+    opt.maxRecords = 150;
+    opt.streamFiles = true;
+    TraceRepository streamRepo(opt);
+    EXPECT_TRUE(streamRepo.streamingInput(path));
+    EXPECT_FALSE(streamRepo.streamingInput("xlisp"));
+
+    auto src = streamRepo.makeSource(path);
+    trace::TraceRecord rec;
+    size_t n = 0;
+    while (src->next(rec))
+        ++n;
+    EXPECT_EQ(n, 150u); // capped exactly like a capture would be
+    EXPECT_EQ(streamRepo.cachedInputs(), 0u);
+
+    src->reset();
+    ASSERT_TRUE(src->next(rec));
+    EXPECT_EQ(rec, (*live)[0]);
+    fs::remove(path);
+}
+
+TEST(SweepEngine, StreamingSweepJsonMatchesCapturedSweep)
+{
+    // A streamed trace-file sweep — solo or fused — must serialize to the
+    // same document as the captured sweep of the same file.
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "sweep_stream.ptrz").string();
+    {
+        TraceRepository seed(smallScale());
+        trace::SharedBufferSource src(seed.get("xlisp"), "xlisp");
+        trace::CompressedTraceWriter writer(path);
+        writer.writeAll(src);
+        writer.close();
+    }
+
+    std::vector<core::AnalysisConfig> configs = {
+        core::AnalysisConfig::windowed(16),
+        core::AnalysisConfig::windowed(256),
+        core::AnalysisConfig::noRenaming(),
+        core::AnalysisConfig::dataflowConservative(),
+    };
+    SweepJsonOptions json;
+    json.timing = false;
+
+    TraceRepository::Options capOpt = smallScale();
+    capOpt.maxRecords = 1500;
+    TraceRepository capRepo(capOpt);
+    SweepEngine::Options soloOpt;
+    soloOpt.jobs = 2;
+    std::string captured = sweepToJson(
+        SweepEngine(soloOpt).run(capRepo, {path}, configs), json);
+
+    for (unsigned group : {1u, 4u}) {
+        TraceRepository::Options streamOpt = capOpt;
+        streamOpt.streamFiles = true;
+        TraceRepository streamRepo(streamOpt);
+        SweepEngine::Options opt;
+        opt.jobs = 2;
+        opt.groupSize = group;
+        std::string streamed = sweepToJson(
+            SweepEngine(opt).run(streamRepo, {path}, configs), json);
+        EXPECT_EQ(streamed, captured) << "group=" << group;
+        EXPECT_EQ(streamRepo.cachedInputs(), 0u) << "group=" << group;
+    }
+    fs::remove(path);
+}
+
 TEST(SweepEngine, CellsMatchSoloAnalyzeRunsByteForByte)
 {
     // The acceptance grid shape: window sizes crossed with two workloads,

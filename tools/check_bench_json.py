@@ -4,6 +4,7 @@
 Usage:
   check_bench_json.py <bench_hotpath binary> [extra bench args...]
   check_bench_json.py --sweep <paragraph-sweep binary> [sweep args...]
+  check_bench_json.py --sweep-bench <bench_sweep binary> [bench args...]
 
 Default mode runs the benchmark with --json and validates the
 paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
@@ -12,8 +13,13 @@ non-empty results array with the per-row fields, and the geomean summary.
 --sweep mode runs paragraph-sweep and validates the paragraph-sweep-v2
 document: schema id, cell counters that agree with the cells array, an
 ok/failed status on every cell, metrics on ok cells, and error/attempts
-fields on failed ones. Exit status is non-zero on any mismatch, so both
-modes double as CTests.
+fields on failed ones.
+
+--sweep-bench mode runs bench_sweep with --json and validates the
+paragraph-bench-sweep-v1 document: schema id, the source × jobs × group
+matrix rows with positive throughput, the solo/fused summary, and the
+identical_json flag (every run of the matrix produced the same analysis).
+Exit status is non-zero on any mismatch, so all modes double as CTests.
 """
 
 import json
@@ -31,6 +37,13 @@ SWEEP_CELL_KEYS = {"input", "input_index", "config_index", "config",
                    "status"}
 SWEEP_OK_KEYS = {"instructions", "critical_path", "available_parallelism"}
 SWEEP_FAILED_KEYS = {"error", "attempts"}
+
+SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v1"
+SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "cells", "instructions",
+                        "seconds", "cells_per_sec", "minstr_per_sec"}
+SWEEP_BENCH_SUMMARY_KEYS = {"jobs1_solo_minstr_per_sec",
+                            "jobs1_fused_minstr_per_sec",
+                            "jobs1_fused_speedup", "identical_json"}
 
 
 def fail(msg):
@@ -84,11 +97,65 @@ def check_sweep(argv):
     print(f"ok: {len(cells)} cells ({failed} failed), schema {SWEEP_SCHEMA}")
 
 
+def check_sweep_bench(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --sweep-bench <bench_sweep> "
+             "[args...]")
+    proc = subprocess.run(argv + ["--json"], stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"bench_sweep exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+
+    if doc.get("schema") != SWEEP_BENCH_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, "
+             f"expected {SWEEP_BENCH_SCHEMA!r}")
+    for key in ("timestamp", "input", "configs", "max_instructions",
+                "repeats"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("results must be a non-empty array")
+    sources = set()
+    for i, row in enumerate(results):
+        missing = SWEEP_BENCH_ROW_KEYS - row.keys()
+        if missing:
+            fail(f"results[{i}] missing keys {sorted(missing)}")
+        if row["source"] not in ("capture", "stream"):
+            fail(f"results[{i}] has unknown source {row['source']!r}")
+        sources.add(row["source"])
+        if row["cells"] <= 0 or row["instructions"] <= 0:
+            fail(f"results[{i}] swept no work")
+        if row["minstr_per_sec"] <= 0 or row["cells_per_sec"] <= 0:
+            fail(f"results[{i}] reports non-positive throughput")
+    if sources != {"capture", "stream"}:
+        fail(f"matrix covers sources {sorted(sources)}, "
+             "expected capture and stream")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or \
+            SWEEP_BENCH_SUMMARY_KEYS - summary.keys():
+        fail("summary must contain the solo/fused throughput comparison "
+             "and identical_json")
+    if summary["identical_json"] is not True:
+        fail("identical_json is not true: the fused matrix diverged")
+    if summary["jobs1_fused_speedup"] <= 0:
+        fail("jobs1_fused_speedup is non-positive")
+    print(f"ok: {len(results)} rows, schema {SWEEP_BENCH_SCHEMA}, "
+          f"jobs1 fused speedup {summary['jobs1_fused_speedup']:.2f}x")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py [--sweep] <binary> [args...]")
+        fail("usage: check_bench_json.py [--sweep|--sweep-bench] "
+             "<binary> [args...]")
     if sys.argv[1] == "--sweep":
         check_sweep(sys.argv[2:])
+        return
+    if sys.argv[1] == "--sweep-bench":
+        check_sweep_bench(sys.argv[2:])
         return
     cmd = sys.argv[1:] + ["--json"]
     proc = subprocess.run(cmd, stdout=subprocess.PIPE)

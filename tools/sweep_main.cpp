@@ -27,6 +27,13 @@
 //
 // Execution and output:
 //   --jobs=N               worker threads (default: hardware concurrency)
+//   --group=N              configs fused into one pass over a shared trace
+//                          (trace-major scheduling); 1 = no fusion, 0 =
+//                          auto, each worker's share of the grid becomes a
+//                          single pass (default: auto)
+//   --stream               stream *.ptrc/*.ptrz inputs per pass instead of
+//                          capturing them in memory; fused groups then pay
+//                          one pipelined decode for the whole group
 //   --max=N                analyze at most N instructions per cell
 //                          (also caps the shared trace capture)
 //   --out=FILE             write the JSON document to FILE
@@ -77,9 +84,11 @@ struct Options
     std::vector<uint32_t> fus;
     uint64_t maxInstructions = 0;
     unsigned jobs = 0;
+    unsigned group = 0; // 0 = auto (one fused pass per worker share)
     unsigned retries = 0;
     double deadlineSeconds = 0.0;
     bool small = false;
+    bool stream = false;
     bool quiet = false;
     std::string outPath;
     std::string journalPath;
@@ -98,7 +107,8 @@ usage()
         "          --syscalls=stall,ignore\n"
         "          --predictors=perfect,bimodal,taken,nottaken,wrong\n"
         "          --fus=0,2,8\n"
-        "  run:    --jobs=N  --max=N  --small  --out=FILE\n"
+        "  run:    --jobs=N  --group=N (0=auto)  --max=N  --small\n"
+        "          --stream  --out=FILE\n"
         "          --no-timing  --no-profiles  --quiet  --list\n"
         "  fault:  --retries=N  --deadline=SECONDS\n"
         "          --journal=FILE  --resume=FILE\n");
@@ -156,6 +166,9 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--jobs=") &&
                    parseInt(arg.substr(7), n) && n > 0) {
             opt.jobs = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--group=") &&
+                   parseInt(arg.substr(8), n) && n >= 0) {
+            opt.group = static_cast<unsigned>(n);
         } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
                    n >= 0) {
             opt.maxInstructions = static_cast<uint64_t>(n);
@@ -179,6 +192,8 @@ parseArgs(int argc, char **argv)
             opt.resumePath = arg.substr(9);
         } else if (arg == "--small") {
             opt.small = true;
+        } else if (arg == "--stream") {
+            opt.stream = true;
         } else if (arg == "--no-timing") {
             opt.json.timing = false;
         } else if (arg == "--no-profiles") {
@@ -326,10 +341,12 @@ main(int argc, char **argv)
         repoOpt.scale = opt.small ? workloads::Scale::Small
                                   : workloads::Scale::Full;
         repoOpt.maxRecords = opt.maxInstructions;
+        repoOpt.streamFiles = opt.stream;
         engine::TraceRepository repo(repoOpt);
 
         engine::SweepEngine::Options engineOpt;
         engineOpt.jobs = opt.jobs;
+        engineOpt.groupSize = opt.group;
         engineOpt.maxRetries = opt.retries;
         engineOpt.cellDeadlineSeconds = opt.deadlineSeconds;
         engineOpt.journalPath = opt.journalPath;
