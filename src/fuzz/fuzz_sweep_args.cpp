@@ -1,0 +1,64 @@
+// libFuzzer entry point for the paragraph-sweep argument parser
+// (PARAGRAPH_FUZZ=ON).
+//
+// engine::parseSweepArgs / buildSweepConfigAxis exist as library functions
+// precisely so this target can drive them: any argument vector must either
+// parse into a well-formed grid or be rejected through the error string —
+// no exits, no prints, no UB. Input bytes are split on newlines into one
+// argument per line.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/sweep_args.hpp"
+#include "support/panic.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    using namespace paragraph;
+
+    std::vector<std::string> args;
+    std::string cur;
+    for (size_t i = 0; i < size; ++i) {
+        char c = static_cast<char>(data[i]);
+        if (c == '\n') {
+            args.push_back(cur);
+            cur.clear();
+        } else if (c != '\0') {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        args.push_back(cur);
+    if (args.size() > 64)
+        args.resize(64); // bound the grid cross product
+
+    engine::SweepArgs parsed;
+    std::string error;
+    if (!engine::parseSweepArgs(args, parsed, error))
+        return 0;
+    // Bound each axis so the cross product stays small.
+    auto cap = [](auto &v) {
+        if (v.size() > 4)
+            v.resize(4);
+    };
+    cap(parsed.windows);
+    cap(parsed.renames);
+    cap(parsed.syscalls);
+    cap(parsed.predictors);
+    cap(parsed.fus);
+
+    std::vector<core::AnalysisConfig> configs;
+    std::vector<std::string> labels;
+    if (engine::buildSweepConfigAxis(parsed, configs, labels, error)) {
+        if (configs.size() != labels.size())
+            PARA_PANIC("config/label count mismatch: %zu vs %zu",
+                       configs.size(), labels.size());
+        if (configs.empty())
+            PARA_PANIC("buildSweepConfigAxis succeeded with an empty grid");
+    }
+    return 0;
+}

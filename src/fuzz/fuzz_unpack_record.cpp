@@ -1,0 +1,45 @@
+// libFuzzer entry point for trace::unpackRecord (PARAGRAPH_FUZZ=ON).
+//
+// The decoder's contract: any 48-byte pattern either unpacks into a valid
+// TraceRecord or throws FatalError naming the defect — never UB, never a
+// record that violates the structural invariants TraceFuzzer::validRecord
+// checks. Run under ASan+UBSan:
+//
+//   clang++ ... -fsanitize=fuzzer,address,undefined
+//   ./fuzz_unpack_record -max_len=4096 corpus/
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "fuzz/trace_fuzzer.hpp"
+#include "support/panic.hpp"
+#include "trace/file_io.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    using namespace paragraph;
+
+    trace::PackedRecord packed;
+    for (size_t off = 0; off + sizeof packed <= size; off += sizeof packed) {
+        std::memcpy(&packed, data + off, sizeof packed);
+        try {
+            trace::TraceRecord rec = trace::unpackRecord(packed);
+            // Anything accepted must satisfy the structural invariants —
+            // and re-pack losslessly.
+            std::string why;
+            if (!fuzz::TraceFuzzer::validRecord(rec, &why))
+                PARA_PANIC("unpackRecord accepted an invalid record: %s",
+                           why.c_str());
+            trace::PackedRecord again = trace::packRecord(rec);
+            trace::TraceRecord rec2 = trace::unpackRecord(again);
+            if (!(rec == rec2))
+                PARA_PANIC("pack/unpack round-trip changed a record");
+        } catch (const FatalError &) {
+            // Rejection with a diagnostic is the correct outcome for
+            // malformed bytes.
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,474 @@
+#include "fuzz/harness.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+#include "trace/compressed_io.hpp"
+#include "trace/file_io.hpp"
+
+namespace paragraph {
+namespace fuzz {
+
+namespace {
+
+/** SplitMix64 combine: iteration seeds from the run seed. */
+uint64_t
+mixSeed(uint64_t a, uint64_t b)
+{
+    uint64_t z = a + b * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Extract the raw value token following `"key":` in a flat JSON object.
+ * Only what the repro config needs: strings, integers, booleans, no
+ * nesting inside values. @return false when the key is absent.
+ */
+bool
+jsonField(const std::string &text, const std::string &key, std::string &out)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos = text.find(':', pos + needle.size());
+    if (pos == std::string::npos)
+        return false;
+    ++pos;
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    if (pos >= text.size())
+        return false;
+    if (text[pos] == '"') {
+        size_t end = pos + 1;
+        std::string value;
+        while (end < text.size() && text[end] != '"') {
+            if (text[end] == '\\' && end + 1 < text.size()) {
+                ++end;
+                switch (text[end]) {
+                  case 'n': value += '\n'; break;
+                  case 'r': value += '\r'; break;
+                  case 't': value += '\t'; break;
+                  default: value += text[end];
+                }
+            } else {
+                value += text[end];
+            }
+            ++end;
+        }
+        if (end >= text.size())
+            return false;
+        out = value;
+        return true;
+    }
+    size_t end = pos;
+    while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+           text[end] != '\n')
+        ++end;
+    out = std::string(trim(text.substr(pos, end - pos)));
+    return !out.empty();
+}
+
+bool
+jsonUint(const std::string &text, const std::string &key, uint64_t &out)
+{
+    std::string raw;
+    int64_t v = 0;
+    if (!jsonField(text, key, raw) || !parseInt(raw, v) || v < 0)
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        PARA_FATAL("cannot open %s", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+std::string
+scratchPath(const HarnessOptions &opt, const char *tag)
+{
+    std::string dir = opt.tempDir;
+    if (dir.empty()) {
+        const char *env = std::getenv("TMPDIR");
+        dir = env && *env ? env : "/tmp";
+    }
+    return strFormat("%s/paragraph-fuzz-%s-%d.ptrc", dir.c_str(), tag,
+                     static_cast<int>(::getpid()));
+}
+
+/** True when @p report still violates @p property. */
+bool
+violates(const OracleReport &report, const std::string &property)
+{
+    for (const Violation &v : report.violations)
+        if (v.property == property)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::string
+FuzzSummary::toJson() const
+{
+    std::string out = "{\n";
+    out += strFormat("  \"schema\": \"paragraph-fuzz-v1\",\n");
+    out += strFormat("  \"iters_requested\": %llu,\n",
+                     static_cast<unsigned long long>(itersRequested));
+    out += strFormat("  \"iters_completed\": %llu,\n",
+                     static_cast<unsigned long long>(itersCompleted));
+    out += strFormat("  \"traces_checked\": %llu,\n",
+                     static_cast<unsigned long long>(tracesChecked));
+    out += strFormat("  \"mutants_checked\": %llu,\n",
+                     static_cast<unsigned long long>(mutantsChecked));
+    out += strFormat("  \"records_analyzed\": %llu,\n",
+                     static_cast<unsigned long long>(recordsAnalyzed));
+    out += strFormat("  \"round_trip_checks\": %llu,\n",
+                     static_cast<unsigned long long>(roundTripChecks));
+    out += strFormat("  \"field_edit_checks\": %llu,\n",
+                     static_cast<unsigned long long>(fieldEditChecks));
+    out += strFormat("  \"properties\": %zu,\n", propertiesChecked);
+    out += strFormat("  \"violations\": %zu,\n",
+                     failed ? failure.report.violations.size() : size_t{0});
+    out += strFormat("  \"failed\": %s", failed ? "true" : "false");
+    if (failed) {
+        out += ",\n  \"failure\": {\n";
+        out += strFormat("    \"iteration\": %llu,\n",
+                         static_cast<unsigned long long>(failure.iteration));
+        out += strFormat(
+            "    \"seed\": %llu,\n",
+            static_cast<unsigned long long>(failure.iterationSeed));
+        out += strFormat("    \"stage\": %s,\n",
+                         jsonEscape(failure.stage).c_str());
+        out += strFormat("    \"property\": %s,\n",
+                         jsonEscape(failure.property).c_str());
+        out += strFormat("    \"message\": %s,\n",
+                         jsonEscape(failure.report.summary()).c_str());
+        out += strFormat("    \"records\": %zu,\n", failure.trace.size());
+        out += strFormat("    \"original_records\": %zu,\n",
+                         failure.originalRecords);
+        out += strFormat("    \"repro_trace\": %s,\n",
+                         jsonEscape(failure.reproTracePath).c_str());
+        out += strFormat("    \"repro_config\": %s\n",
+                         jsonEscape(failure.reproConfigPath).c_str());
+        out += "  }";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+FuzzHarness::FuzzHarness(HarnessOptions opt) : opt_(std::move(opt))
+{
+    if (opt_.minLength < 2)
+        opt_.minLength = 2;
+    if (opt_.maxLength < opt_.minLength)
+        opt_.maxLength = opt_.minLength;
+    if (opt_.oracle.tempDir.empty())
+        opt_.oracle.tempDir = opt_.tempDir;
+}
+
+bool
+FuzzHarness::checkStage(const trace::TraceBuffer &trace, uint64_t iteration,
+                        uint64_t iterSeed, const std::string &stage,
+                        bool withRoundTrip, FuzzSummary &summary)
+{
+    OracleOptions oopt = opt_.oracle;
+    oopt.checkRoundTrip = withRoundTrip;
+    InvariantOracle oracle(oopt);
+    OracleReport report = oracle.check(trace);
+    summary.propertiesChecked = report.propertiesChecked;
+    summary.recordsAnalyzed += trace.size();
+    if (withRoundTrip)
+        ++summary.roundTripChecks;
+    if (report.ok())
+        return true;
+    recordFailure(trace, iteration, iterSeed, stage, std::move(report),
+                  summary);
+    return false;
+}
+
+void
+FuzzHarness::recordFailure(const trace::TraceBuffer &trace,
+                           uint64_t iteration, uint64_t iterSeed,
+                           const std::string &stage, OracleReport report,
+                           FuzzSummary &summary)
+{
+    summary.failed = true;
+    FailureCase &f = summary.failure;
+    f.iteration = iteration;
+    f.iterationSeed = iterSeed;
+    f.stage = stage;
+    f.property = report.violations.front().property;
+    f.report = std::move(report);
+    f.trace = trace;
+    f.originalRecords = trace.size();
+    if (opt_.minimize && !trace.empty()) {
+        f.trace = minimizeFailure(trace, f.property);
+        // Re-check so the dumped report describes the minimized trace.
+        OracleOptions oopt = opt_.oracle;
+        oopt.checkRoundTrip = false;
+        OracleReport minimized = InvariantOracle(oopt).check(f.trace);
+        if (violates(minimized, f.property))
+            f.report = std::move(minimized);
+    }
+    dumpRepro(f);
+}
+
+void
+FuzzHarness::dumpRepro(FailureCase &failure) const
+{
+    if (opt_.reproDir.empty())
+        return;
+    const std::string base =
+        strFormat("%s/repro-%llu", opt_.reproDir.c_str(),
+                  static_cast<unsigned long long>(failure.iterationSeed));
+    failure.reproTracePath = base + ".ptrc";
+    failure.reproConfigPath = base + ".json";
+
+    trace::TraceFileWriter writer(failure.reproTracePath);
+    for (const trace::TraceRecord &rec : failure.trace.records())
+        writer.write(rec);
+    writer.close();
+
+    std::FILE *f = std::fopen(failure.reproConfigPath.c_str(), "w");
+    if (!f)
+        PARA_FATAL("cannot write %s", failure.reproConfigPath.c_str());
+    std::string json = "{\n";
+    json += "  \"schema\": \"paragraph-fuzz-repro-v1\",\n";
+    json += strFormat("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(failure.iterationSeed));
+    json += strFormat("  \"iteration\": %llu,\n",
+                      static_cast<unsigned long long>(failure.iteration));
+    json += strFormat("  \"stage\": %s,\n", jsonEscape(failure.stage).c_str());
+    json += strFormat("  \"property\": %s,\n",
+                      jsonEscape(failure.property).c_str());
+    json += strFormat("  \"message\": %s,\n",
+                      jsonEscape(failure.report.summary()).c_str());
+    json += strFormat("  \"window_small\": %llu,\n",
+                      static_cast<unsigned long long>(opt_.oracle.windowSmall));
+    json += strFormat("  \"window_large\": %llu,\n",
+                      static_cast<unsigned long long>(opt_.oracle.windowLarge));
+    json += strFormat("  \"fu_limit\": %u,\n", opt_.oracle.fuLimit);
+    json += strFormat("  \"force_failure\": %s\n",
+                      opt_.oracle.forceFailure ? "true" : "false");
+    json += "}\n";
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+        std::fclose(f);
+        PARA_FATAL("short write to %s", failure.reproConfigPath.c_str());
+    }
+    std::fclose(f);
+}
+
+FuzzSummary
+FuzzHarness::run()
+{
+    FuzzSummary summary;
+    summary.itersRequested = opt_.iters;
+
+    for (uint64_t i = 0; i < opt_.iters; ++i) {
+        const uint64_t iterSeed = mixSeed(opt_.seed, i);
+        Prng knobs(mixSeed(iterSeed, 0x6b6e6f62));
+
+        FuzzerOptions fo;
+        fo.seed = iterSeed;
+        fo.length = opt_.minLength +
+                    static_cast<size_t>(knobs.nextBelow(
+                        opt_.maxLength - opt_.minLength + 1));
+        fo.chainPct = 15 + static_cast<unsigned>(knobs.nextBelow(60));
+        fo.aliasPct = static_cast<unsigned>(knobs.nextBelow(30));
+        fo.syscalls = knobs.nextBelow(8) != 0;
+        fo.branchPct = 4 + static_cast<unsigned>(knobs.nextBelow(20));
+
+        TraceFuzzer fuzzer(fo);
+        trace::TraceBuffer generated = fuzzer.generate();
+        std::string why;
+        if (!TraceFuzzer::validTrace(generated, &why)) {
+            OracleReport rep;
+            rep.violations.push_back(
+                Violation{"fuzzer-validity", "generated trace invalid: " +
+                                                 why});
+            recordFailure(generated, i, iterSeed, "generated",
+                          std::move(rep), summary);
+            break;
+        }
+
+        const bool roundTrip =
+            opt_.roundTripEvery != 0 && i % opt_.roundTripEvery == 0;
+        ++summary.tracesChecked;
+        if (!checkStage(generated, i, iterSeed, "generated", roundTrip,
+                        summary))
+            break;
+
+        Mutation applied;
+        trace::TraceBuffer mutant =
+            fuzzer.mutate(generated, mixSeed(iterSeed, 0x6d757461), &applied);
+        const char *stage = mutationName(applied);
+        if (!TraceFuzzer::validTrace(mutant, &why)) {
+            OracleReport rep;
+            rep.violations.push_back(Violation{
+                "fuzzer-validity",
+                strFormat("%s mutant invalid: %s", stage, why.c_str())});
+            recordFailure(mutant, i, iterSeed, stage, std::move(rep),
+                          summary);
+            break;
+        }
+        ++summary.mutantsChecked;
+        if (!checkStage(mutant, i, iterSeed, stage, false, summary))
+            break;
+
+        if (opt_.fieldEditEvery != 0 && i % opt_.fieldEditEvery == 0 &&
+            !generated.empty()) {
+            const std::string path = scratchPath(opt_, "edit");
+            trace::TraceBuffer expected = writeTraceWithFieldEdit(
+                generated, path, mixSeed(iterSeed, 0x65646974));
+            auto reader = trace::openTraceFile(path);
+            trace::TraceBuffer decoded;
+            decoded.capture(*reader);
+            std::remove(path.c_str());
+            ++summary.fieldEditChecks;
+            bool same = decoded.size() == expected.size();
+            for (size_t r = 0; same && r < decoded.size(); ++r)
+                same = decoded[r] == expected[r];
+            if (!same) {
+                OracleReport rep;
+                rep.violations.push_back(Violation{
+                    "field-edit-decode",
+                    strFormat("CRC-repaired field edit decoded to a "
+                              "different trace (%zu vs %zu records)",
+                              decoded.size(), expected.size())});
+                recordFailure(expected, i, iterSeed, "field-edit",
+                              std::move(rep), summary);
+                break;
+            }
+        }
+
+        ++summary.itersCompleted;
+        if (opt_.progress)
+            opt_.progress(i + 1, opt_.iters);
+    }
+    return summary;
+}
+
+trace::TraceBuffer
+FuzzHarness::minimizeFailure(const trace::TraceBuffer &failing,
+                             const std::string &property) const
+{
+    OracleOptions oopt = opt_.oracle;
+    oopt.checkRoundTrip = false;
+    InvariantOracle oracle(oopt);
+    unsigned budget = opt_.minimizeBudget;
+
+    auto stillFails = [&](const trace::TraceBuffer &candidate) {
+        if (budget == 0)
+            return false;
+        --budget;
+        return violates(oracle.check(candidate), property);
+    };
+
+    trace::TraceBuffer cur = failing;
+    size_t chunk = cur.size() / 2;
+    while (chunk >= 1 && budget > 0) {
+        bool removedAny = false;
+        size_t start = 0;
+        while (start < cur.size() && budget > 0) {
+            trace::TraceBuffer candidate;
+            const auto &recs = cur.records();
+            candidate.records().assign(recs.begin(),
+                                       recs.begin() +
+                                           static_cast<ptrdiff_t>(start));
+            if (start + chunk < recs.size())
+                candidate.records().insert(
+                    candidate.records().end(),
+                    recs.begin() + static_cast<ptrdiff_t>(start + chunk),
+                    recs.end());
+            if (!candidate.empty() && stillFails(candidate)) {
+                cur = std::move(candidate);
+                removedAny = true;
+                // keep start: the next chunk slid into this position
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removedAny || chunk == 1)
+            chunk /= 2;
+    }
+    return cur;
+}
+
+OracleReport
+FuzzHarness::replay(const std::string &tracePath,
+                    const std::string &configPath, std::string *stage,
+                    std::string *property) const
+{
+    const std::string text = readWholeFile(configPath);
+    std::string schema;
+    if (!jsonField(text, "schema", schema) ||
+        schema != "paragraph-fuzz-repro-v1")
+        PARA_FATAL("%s: not a paragraph-fuzz-repro-v1 config",
+                   configPath.c_str());
+
+    OracleOptions oopt = opt_.oracle;
+    uint64_t v = 0;
+    if (jsonUint(text, "window_small", v))
+        oopt.windowSmall = v;
+    if (jsonUint(text, "window_large", v))
+        oopt.windowLarge = v;
+    if (jsonUint(text, "fu_limit", v))
+        oopt.fuLimit = static_cast<uint32_t>(v);
+    std::string raw;
+    if (jsonField(text, "force_failure", raw))
+        oopt.forceFailure = raw == "true";
+    if (stage)
+        jsonField(text, "stage", *stage);
+    if (property)
+        jsonField(text, "property", *property);
+
+    auto reader = trace::openTraceFile(tracePath);
+    trace::TraceBuffer buf;
+    buf.capture(*reader);
+    oopt.checkRoundTrip = true;
+    return InvariantOracle(oopt).check(buf);
+}
+
+} // namespace fuzz
+} // namespace paragraph

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * FuzzHarness: the fuzzing loop that ties TraceFuzzer to InvariantOracle.
+ *
+ * Each iteration derives a fresh seed from the run seed, generates a trace,
+ * checks the full invariant catalogue against it, then applies one
+ * structured mutation and checks the mutant too. File-level checks are
+ * sampled: every Nth iteration the oracle also round-trips the trace
+ * through `.ptrc`/`.ptrz`, and the CRC-preserving field-edit decode check
+ * (trace_fuzzer.hpp) runs against the on-disk reader.
+ *
+ * The first violation stops the run: the failing trace is dumped as
+ * `repro-<seed>.ptrc` plus a flat `repro-<seed>.json` describing the stage,
+ * property, and oracle configuration, optionally after ddmin-style
+ * minimization (greedy chunk removal that preserves the violated property).
+ * replay() re-runs a dump and must reproduce the identical violation —
+ * tested, and part of the acceptance criteria for this subsystem.
+ */
+
+#ifndef PARAGRAPH_FUZZ_HARNESS_HPP
+#define PARAGRAPH_FUZZ_HARNESS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/invariant_oracle.hpp"
+#include "fuzz/trace_fuzzer.hpp"
+#include "trace/buffer.hpp"
+
+namespace paragraph {
+namespace fuzz {
+
+struct HarnessOptions
+{
+    /** Run seed: every iteration seed derives from it deterministically. */
+    uint64_t seed = 1;
+
+    /** Iterations (one generated trace + one mutant each). */
+    uint64_t iters = 1000;
+
+    /** Per-iteration trace length is drawn from [minLength, maxLength]. */
+    size_t minLength = 64;
+    size_t maxLength = 512;
+
+    /** Run the oracle's file round-trip property every Nth iteration
+     *  (0 = never). File I/O per check, hence sampled. */
+    unsigned roundTripEvery = 8;
+
+    /** Run the CRC-preserving field-edit decode check every Nth iteration
+     *  (0 = never). */
+    unsigned fieldEditEvery = 16;
+
+    /** Where failure reproducers are written. Empty = don't dump. */
+    std::string reproDir = ".";
+
+    /** ddmin the failing trace before dumping it. */
+    bool minimize = false;
+
+    /** Upper bound on oracle evaluations the minimizer may spend. */
+    unsigned minimizeBudget = 400;
+
+    /** Scratch directory for file checks; empty = system temp dir. */
+    std::string tempDir;
+
+    /** Oracle knobs (window pair, FU limit, forceFailure self-test). */
+    OracleOptions oracle;
+
+    /** Progress callback, called once per completed iteration. */
+    std::function<void(uint64_t done, uint64_t total)> progress;
+};
+
+/** The failing case, when a run found one. */
+struct FailureCase
+{
+    uint64_t iteration = 0;      ///< 0-based iteration index
+    uint64_t iterationSeed = 0;  ///< seed the iteration derived everything from
+    std::string stage;           ///< "generated", a mutation name, "field-edit"
+    std::string property;        ///< first violated property
+    OracleReport report;         ///< all violations from the failing check
+    trace::TraceBuffer trace;    ///< failing trace (minimized when requested)
+    size_t originalRecords = 0;  ///< pre-minimization record count
+    std::string reproTracePath;  ///< dumped `.ptrc` ("" if not dumped)
+    std::string reproConfigPath; ///< dumped config JSON ("" if not dumped)
+};
+
+/** Aggregate outcome of one run(). */
+struct FuzzSummary
+{
+    uint64_t itersRequested = 0;
+    uint64_t itersCompleted = 0;
+    uint64_t tracesChecked = 0;
+    uint64_t mutantsChecked = 0;
+    uint64_t recordsAnalyzed = 0;
+    uint64_t roundTripChecks = 0;
+    uint64_t fieldEditChecks = 0;
+    size_t propertiesChecked = 0; ///< catalogue size exercised per check
+
+    bool failed = false;
+    FailureCase failure; ///< valid when failed
+
+    /** The paragraph-fuzz-v1 summary document. */
+    std::string toJson() const;
+};
+
+class FuzzHarness
+{
+  public:
+    explicit FuzzHarness(HarnessOptions opt = {});
+
+    const HarnessOptions &options() const { return opt_; }
+
+    /** Fuzz until iters are exhausted or the first violation. */
+    FuzzSummary run();
+
+    /**
+     * Re-run a reproducer: load the dumped trace and config JSON, re-check
+     * the invariant catalogue, and return the report (which must contain
+     * the dumped violation — the round-trip acceptance criterion).
+     * @param stage receives the dumped stage string (optional).
+     * @param property receives the dumped property (optional).
+     */
+    OracleReport replay(const std::string &tracePath,
+                        const std::string &configPath,
+                        std::string *stage = nullptr,
+                        std::string *property = nullptr) const;
+
+    /**
+     * Greedy ddmin: repeatedly delete record chunks while the oracle still
+     * reports @p property, halving the chunk size until single records.
+     * Bounded by options().minimizeBudget oracle evaluations.
+     */
+    trace::TraceBuffer minimizeFailure(const trace::TraceBuffer &failing,
+                                       const std::string &property) const;
+
+  private:
+    HarnessOptions opt_;
+
+    bool checkStage(const trace::TraceBuffer &trace, uint64_t iteration,
+                    uint64_t iterSeed, const std::string &stage,
+                    bool withRoundTrip, FuzzSummary &summary);
+    void recordFailure(const trace::TraceBuffer &trace, uint64_t iteration,
+                       uint64_t iterSeed, const std::string &stage,
+                       OracleReport report, FuzzSummary &summary);
+    void dumpRepro(FailureCase &failure) const;
+};
+
+} // namespace fuzz
+} // namespace paragraph
+
+#endif // PARAGRAPH_FUZZ_HARNESS_HPP

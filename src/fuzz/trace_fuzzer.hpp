@@ -1,0 +1,151 @@
+/**
+ * @file
+ * TraceFuzzer: seeded, deterministic generator of valid adversarial traces.
+ *
+ * The invariant oracle (invariant_oracle.hpp) converts the paper's placement
+ * theorems into executable checks; this fuzzer supplies the inputs. Two
+ * layers:
+ *
+ *  - generate() draws a structurally valid random trace from a tunable mix
+ *    (register/memory/branch/syscall ratios, dependence-chain probability,
+ *    stack/heap address aliasing) — denser and more adversarial than the
+ *    bundled workload analogs, but always a legal TraceRecord stream.
+ *
+ *  - mutate() applies one seeded structured mutation to an existing trace
+ *    (truncation, syscall bursts, deep dependence chains, unique-destination
+ *    floods that stress the window firewall, duplicated runs, source storms,
+ *    segment shuffles, self-dependences). Mutants stay valid traces: the
+ *    oracle's metamorphic properties must hold on them too.
+ *
+ * All randomness flows through support/prng.hpp from one explicit seed, so
+ * every failure is replayable from its seed alone (see support/test_seed.hpp
+ * for the PARAGRAPH_TEST_SEED override).
+ *
+ * writeTraceWithFieldEdit() additionally exercises the on-disk ingestion
+ * path: it captures a trace to a `.ptrc` file, rewrites one record field to
+ * a different in-range value directly in the file bytes, then repairs the
+ * payload CRC — a corruption the checksums cannot catch, which the reader
+ * must nevertheless decode into exactly the edited records (range checks and
+ * decode determinism are all that stand between such an edit and silent
+ * analysis corruption).
+ */
+
+#ifndef PARAGRAPH_FUZZ_TRACE_FUZZER_HPP
+#define PARAGRAPH_FUZZ_TRACE_FUZZER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/prng.hpp"
+#include "trace/buffer.hpp"
+#include "trace/record.hpp"
+
+namespace paragraph {
+namespace fuzz {
+
+/** Generation parameters: every knob is deterministic given the seed. */
+struct FuzzerOptions
+{
+    uint64_t seed = 1;
+
+    /** Records per generated trace. */
+    size_t length = 2000;
+
+    /** Register universe: int regs drawn from [1, intRegs]. */
+    unsigned intRegs = 8;
+    unsigned fpRegs = 4;
+
+    /** Distinct word addresses per memory segment. */
+    unsigned memWords = 48;
+
+    // --- Instruction mix (percentages of the record roll) ----------------
+    unsigned branchPct = 12;   ///< control records (some conditional)
+    unsigned syscallPct = 2;   ///< system calls (firewall stress)
+    unsigned loadStorePct = 28;///< memory traffic
+    unsigned fpPct = 14;       ///< FP add/mul/div classes
+    unsigned longLatencyPct = 8; ///< int mul/div (latency spread)
+
+    // --- Structure ---------------------------------------------------------
+    /** Chance a source reuses the previous record's destination
+     *  (dependence chains — deep DDGs, long critical paths). */
+    unsigned chainPct = 35;
+
+    /** Chance a memory operand reuses a recently touched address under a
+     *  rolled segment (stack/heap aliasing stress for the renaming
+     *  switches; the same numeric address can appear in every segment). */
+    unsigned aliasPct = 10;
+
+    /** Generate syscalls at all (oracle needs both kinds of trace). */
+    bool syscalls = true;
+};
+
+/** The structured mutations mutate() can apply. */
+enum class Mutation : uint8_t
+{
+    Truncate,        ///< drop a random tail (or head) of the trace
+    DuplicateRun,    ///< splice a copied run back in (storage-dep stress)
+    SelfDependence,  ///< make records read their own destination
+    DeepChain,       ///< rewrite a span into one serial dependence chain
+    SyscallBurst,    ///< inject a run of back-to-back syscalls
+    UniqueDestFlood, ///< span of never-reused destinations (window stress)
+    SegmentShuffle,  ///< remap memory operand segments wholesale
+    SourceStorm,     ///< max out source counts with duplicated operands
+    NumMutations
+};
+
+/** Human-readable mutation name (stable; appears in repro JSON). */
+const char *mutationName(Mutation m);
+
+class TraceFuzzer
+{
+  public:
+    explicit TraceFuzzer(FuzzerOptions opt = {});
+
+    const FuzzerOptions &options() const { return opt_; }
+
+    /** Deterministically generate a fresh trace from options().seed
+     *  (advances the internal stream: successive calls differ). */
+    trace::TraceBuffer generate();
+
+    /**
+     * Apply one seeded structured mutation to @p base.
+     * @param applied receives the mutation chosen (optional).
+     * @return a valid mutated trace (never empty unless @p base is).
+     */
+    trace::TraceBuffer mutate(const trace::TraceBuffer &base, uint64_t seed,
+                              Mutation *applied = nullptr);
+
+    /** Structural validity of one record (ranges, operand shapes).
+     *  @param why receives a diagnostic when invalid. */
+    static bool validRecord(const trace::TraceRecord &rec,
+                            std::string *why = nullptr);
+
+    /** validRecord over a whole buffer. */
+    static bool validTrace(const trace::TraceBuffer &buf,
+                           std::string *why = nullptr);
+
+  private:
+    FuzzerOptions opt_;
+    Prng prng_;
+
+    trace::Operand randomOperand(Prng &prng, uint64_t lastMemAddr);
+    trace::Operand randomMemOperand(Prng &prng, uint64_t lastMemAddr);
+};
+
+/**
+ * Write @p buf to @p path as a `.ptrc` file, then flip one record field to
+ * a different in-range value in the file bytes and repair the payload CRC
+ * (a "CRC-preserving field edit").
+ *
+ * @param seed   picks the record and field deterministically.
+ * @return the expected decode: @p buf with the same edit applied in memory.
+ *         Reading @p path back must yield exactly this buffer.
+ */
+trace::TraceBuffer writeTraceWithFieldEdit(const trace::TraceBuffer &buf,
+                                           const std::string &path,
+                                           uint64_t seed);
+
+} // namespace fuzz
+} // namespace paragraph
+
+#endif // PARAGRAPH_FUZZ_TRACE_FUZZER_HPP

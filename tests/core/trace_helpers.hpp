@@ -6,6 +6,7 @@
 #include <initializer_list>
 
 #include "support/prng.hpp"
+#include "support/test_seed.hpp"
 #include "trace/buffer.hpp"
 #include "trace/record.hpp"
 
@@ -95,11 +96,16 @@ typed(isa::OpClass cls, uint8_t dest, std::initializer_list<uint8_t> srcs)
  * Random trace over a small location universe: 8 int regs, 4 fp regs,
  * 32 memory words spread over data/heap/stack, occasional branches and
  * syscalls — dense enough that every dependence type occurs.
+ *
+ * The effective seed honors the PARAGRAPH_TEST_SEED environment override
+ * (support/test_seed.hpp): unset, @p seed is used as-is and the trace is
+ * bit-stable; set, every randomized test reruns under the overridden seed
+ * with one command, `PARAGRAPH_TEST_SEED=<N> ctest`.
  */
 inline TraceBuffer
 randomTrace(uint64_t seed, size_t length, bool with_syscalls = true)
 {
-    Prng prng(seed);
+    Prng prng(testSeed(seed));
     TraceBuffer buf;
     auto rand_operand = [&]() {
         switch (prng.nextBelow(3)) {

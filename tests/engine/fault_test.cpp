@@ -379,6 +379,117 @@ TEST(SweepJournalTest, TruncatedJournalLinesAreSkippedNotFatal)
     EXPECT_EQ(run2.cellsFailed, 0u);
 }
 
+TEST(SweepJournalTest, TrailingGarbageAfterValidEntriesIsSkipped)
+{
+    // A crash can leave anything after the last good line: binary junk,
+    // torn JSON, or well-formed objects missing required fields. None of
+    // it may void the entries already journaled.
+    std::string journalPath = tempPath("para_fault_garbage.jsonl");
+    std::remove(journalPath.c_str());
+
+    TraceRepository repo1(smallScale());
+    SweepEngine::Options first;
+    first.journalPath = journalPath;
+    SweepResult run1 = SweepEngine(first).run(repo1, {"xlisp"},
+                                              fourConfigs(), fourLabels());
+
+    {
+        std::ofstream out(journalPath, std::ios::app | std::ios::binary);
+        out << "{\"index\": 7, \"input\": \"xl";          // torn mid-write
+        out << std::string("\x00\xff\x01garbage\x7f", 12) // binary junk
+            << "\n";
+        out << "not json at all\n";
+        out << "{\"index\": 9}\n";  // parses, but fields are missing
+        out << "{\"index\": 1, \"input\": \"xlisp\", \"config_label\": "
+               "\"w64\", \"status\": \"maybe\"}\n"; // unknown status
+        out << "\n"; // blank lines are fine anywhere
+    }
+
+    JournalData journal = loadJournal(journalPath);
+    EXPECT_EQ(journal.entries.size(), 4u);
+
+    TraceRepository repo2(smallScale());
+    SweepEngine::Options second;
+    second.resume = &journal;
+    SweepResult run2 = SweepEngine(second).run(repo2, {"xlisp"},
+                                               fourConfigs(), fourLabels());
+    EXPECT_EQ(run2.cellsSkipped, 4u);
+    EXPECT_EQ(run2.cellsFailed, 0u);
+    EXPECT_EQ(sweepToJson(run2, noTiming()), sweepToJson(run1, noTiming()));
+
+    std::remove(journalPath.c_str());
+}
+
+TEST(SweepJournalTest, InterleavedFailedLineDemotesItsCellOnly)
+{
+    // Re-running with the same --journal file accumulates lines, so a cell
+    // can appear more than once. The LAST entry per index wins: an ok cell
+    // later journaled as failed must re-run on resume, its neighbours must
+    // not, and a failed entry must never be spliced into the document.
+    std::string journalPath = tempPath("para_fault_interleave.jsonl");
+    std::remove(journalPath.c_str());
+
+    TraceRepository repo1(smallScale());
+    SweepEngine::Options first;
+    first.journalPath = journalPath;
+    SweepResult run1 = SweepEngine(first).run(repo1, {"xlisp"},
+                                              fourConfigs(), fourLabels());
+    EXPECT_EQ(run1.cellsFailed, 0u);
+
+    {
+        std::ofstream out(journalPath, std::ios::app);
+        out << "{\"index\": 2, \"input\": \"xlisp\", \"config_label\": "
+               "\"w256\", \"status\": \"failed\", \"attempts\": 3, "
+               "\"error\": \"simulated crash\"}\n";
+    }
+
+    JournalData journal = loadJournal(journalPath);
+    ASSERT_EQ(journal.entries.size(), 4u);
+    EXPECT_EQ(journal.entries.at(2).status, "failed");
+    EXPECT_EQ(journal.entries.at(2).attempts, 3u);
+    EXPECT_EQ(journal.entries.at(2).error, "simulated crash");
+
+    TraceRepository repo2(smallScale());
+    SweepEngine::Options second;
+    second.resume = &journal;
+    SweepResult run2 = SweepEngine(second).run(repo2, {"xlisp"},
+                                               fourConfigs(), fourLabels());
+    EXPECT_EQ(run2.cellsSkipped, 3u);
+    EXPECT_EQ(run2.cellsFailed, 0u); // the demoted cell re-ran and passed
+    EXPECT_EQ(sweepToJson(run2, noTiming()), sweepToJson(run1, noTiming()));
+
+    std::remove(journalPath.c_str());
+}
+
+TEST(SweepJournalTest, OkLineForTheWrongGridPositionIsNotSpliced)
+{
+    // findOk matches on (index, input, config label) — an ok entry whose
+    // label disagrees with the requested grid must not satisfy the cell,
+    // even though its index does.
+    std::string journalPath = tempPath("para_fault_wrongpos.jsonl");
+    std::remove(journalPath.c_str());
+
+    TraceRepository repo1(smallScale());
+    SweepEngine::Options first;
+    first.journalPath = journalPath;
+    SweepEngine(first).run(repo1, {"xlisp"}, fourConfigs(), fourLabels());
+
+    JournalData journal = loadJournal(journalPath);
+    ASSERT_EQ(journal.entries.size(), 4u);
+
+    // Same grid, different labels: indices line up, labels do not.
+    TraceRepository repo2(smallScale());
+    SweepEngine::Options second;
+    second.resume = &journal;
+    SweepResult run2 = SweepEngine(second).run(
+        repo2, {"xlisp"}, fourConfigs(), {"a16", "a64", "a256", "ainf"});
+    EXPECT_EQ(run2.cellsSkipped, 0u);
+    for (const SweepCell &cell : run2.cells)
+        EXPECT_EQ(cell.status, SweepCell::Status::Ok);
+
+    std::remove(journalPath.c_str());
+}
+
 TEST(SweepJournalTest, NotAJournalIsFatal)
 {
     std::string path = tempPath("para_fault_notjournal.jsonl");

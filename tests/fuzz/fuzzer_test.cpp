@@ -1,0 +1,250 @@
+// Unit tests for the fuzz subsystem itself: generator determinism and
+// validity, mutation validity, oracle cleanliness on generated traces, the
+// forced-failure self-test (dump -> replay round-trip, the acceptance
+// criterion for the reproducer machinery), ddmin minimization, the
+// CRC-preserving field-edit decode check, and the summary JSON document.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fuzz/harness.hpp"
+#include "fuzz/invariant_oracle.hpp"
+#include "fuzz/trace_fuzzer.hpp"
+#include "trace/buffer.hpp"
+#include "trace/compressed_io.hpp"
+
+namespace paragraph {
+namespace {
+
+using fuzz::FuzzHarness;
+using fuzz::FuzzSummary;
+using fuzz::FuzzerOptions;
+using fuzz::HarnessOptions;
+using fuzz::Mutation;
+using fuzz::TraceFuzzer;
+using trace::TraceBuffer;
+using trace::TraceRecord;
+
+std::string
+tempDir()
+{
+    return std::filesystem::temp_directory_path().string();
+}
+
+bool
+sameTrace(const TraceBuffer &a, const TraceBuffer &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!(a[i] == b[i]))
+            return false;
+    return true;
+}
+
+/** Harness options sized for unit tests, with all file I/O in temp. */
+HarnessOptions
+smallHarness(uint64_t seed, uint64_t iters)
+{
+    HarnessOptions opt;
+    opt.seed = seed;
+    opt.iters = iters;
+    opt.minLength = 32;
+    opt.maxLength = 96;
+    opt.reproDir = tempDir();
+    opt.tempDir = tempDir();
+    return opt;
+}
+
+TEST(TraceFuzzer, GenerationIsDeterministicPerSeed)
+{
+    FuzzerOptions opt;
+    opt.seed = 42;
+    opt.length = 300;
+    TraceFuzzer a(opt), b(opt);
+    // Successive draws from one fuzzer differ; the stream itself replays.
+    TraceBuffer a1 = a.generate(), a2 = a.generate();
+    TraceBuffer b1 = b.generate(), b2 = b.generate();
+    EXPECT_TRUE(sameTrace(a1, b1));
+    EXPECT_TRUE(sameTrace(a2, b2));
+    EXPECT_FALSE(sameTrace(a1, a2));
+
+    opt.seed = 43;
+    TraceFuzzer c(opt);
+    EXPECT_FALSE(sameTrace(a1, c.generate()));
+}
+
+TEST(TraceFuzzer, GeneratedTracesAreValid)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        FuzzerOptions opt;
+        opt.seed = seed;
+        opt.length = 400;
+        TraceBuffer buf = TraceFuzzer(opt).generate();
+        ASSERT_EQ(buf.size(), 400u);
+        std::string why;
+        EXPECT_TRUE(TraceFuzzer::validTrace(buf, &why))
+            << "seed " << seed << ": " << why;
+    }
+}
+
+TEST(TraceFuzzer, EveryMutationKeepsTracesValid)
+{
+    FuzzerOptions opt;
+    opt.seed = 7;
+    opt.length = 250;
+    TraceFuzzer fuzzer(opt);
+    TraceBuffer base = fuzzer.generate();
+    for (unsigned m = 0; m < static_cast<unsigned>(Mutation::NumMutations);
+         ++m) {
+        for (uint64_t seed = 1; seed <= 4; ++seed) {
+            Mutation applied = Mutation::NumMutations;
+            TraceBuffer mutant = fuzzer.mutate(base, seed * 977 + m,
+                                               &applied);
+            EXPECT_NE(applied, Mutation::NumMutations);
+            EXPECT_FALSE(mutant.empty());
+            std::string why;
+            EXPECT_TRUE(TraceFuzzer::validTrace(mutant, &why))
+                << fuzz::mutationName(applied) << " seed " << seed << ": "
+                << why;
+        }
+    }
+}
+
+TEST(TraceFuzzer, MutationIsDeterministicPerSeed)
+{
+    FuzzerOptions opt;
+    opt.seed = 9;
+    opt.length = 200;
+    TraceFuzzer fuzzer(opt);
+    TraceBuffer base = fuzzer.generate();
+    Mutation m1, m2;
+    TraceBuffer a = fuzzer.mutate(base, 1234, &m1);
+    TraceBuffer b = fuzzer.mutate(base, 1234, &m2);
+    EXPECT_EQ(m1, m2);
+    EXPECT_TRUE(sameTrace(a, b));
+}
+
+TEST(FuzzHarnessTest, OracleIsCleanOnGeneratedTraces)
+{
+    FuzzSummary summary = FuzzHarness(smallHarness(1, 25)).run();
+    EXPECT_FALSE(summary.failed) << summary.failure.property << ": "
+                                 << summary.failure.report.summary();
+    EXPECT_EQ(summary.itersCompleted, 25u);
+    EXPECT_EQ(summary.tracesChecked, 25u);
+    EXPECT_EQ(summary.mutantsChecked, 25u);
+    EXPECT_GT(summary.recordsAnalyzed, 0u);
+    EXPECT_GT(summary.roundTripChecks, 0u);
+    EXPECT_GT(summary.fieldEditChecks, 0u);
+    // The file-round-trip property only runs on sampled iterations, so the
+    // per-check count may exclude it.
+    EXPECT_GE(summary.propertiesChecked,
+              fuzz::propertyCatalogue().size() - 1);
+    EXPECT_LE(summary.propertiesChecked, fuzz::propertyCatalogue().size());
+}
+
+TEST(FuzzHarnessTest, ForcedFailureDumpsAndReplaysIdentically)
+{
+    HarnessOptions opt = smallHarness(11, 5);
+    opt.oracle.forceFailure = true;
+    FuzzHarness harness(opt);
+    FuzzSummary summary = harness.run();
+    ASSERT_TRUE(summary.failed);
+    EXPECT_EQ(summary.failure.iteration, 0u); // fails immediately
+    EXPECT_EQ(summary.failure.property, "self-test");
+    ASSERT_FALSE(summary.failure.reproTracePath.empty());
+    ASSERT_FALSE(summary.failure.reproConfigPath.empty());
+    EXPECT_TRUE(std::filesystem::exists(summary.failure.reproTracePath));
+    EXPECT_TRUE(std::filesystem::exists(summary.failure.reproConfigPath));
+
+    // The acceptance criterion: replaying the dump reproduces the same
+    // violation on the same stage.
+    std::string stage, property;
+    fuzz::OracleReport replayed = harness.replay(
+        summary.failure.reproTracePath, summary.failure.reproConfigPath,
+        &stage, &property);
+    EXPECT_EQ(stage, summary.failure.stage);
+    EXPECT_EQ(property, "self-test");
+    ASSERT_FALSE(replayed.ok());
+    bool found = false;
+    for (const fuzz::Violation &v : replayed.violations)
+        found = found || (v.property == property);
+    EXPECT_TRUE(found) << replayed.summary();
+
+    std::remove(summary.failure.reproTracePath.c_str());
+    std::remove(summary.failure.reproConfigPath.c_str());
+}
+
+TEST(FuzzHarnessTest, MinimizerShrinksTheFailingTrace)
+{
+    HarnessOptions opt = smallHarness(13, 3);
+    opt.oracle.forceFailure = true; // violates on every trace, so ddmin
+    opt.minimize = true;            // can shrink all the way down
+    FuzzSummary summary = FuzzHarness(opt).run();
+    ASSERT_TRUE(summary.failed);
+    EXPECT_GE(summary.failure.originalRecords, opt.minLength);
+    EXPECT_LT(summary.failure.trace.size(), summary.failure.originalRecords);
+    EXPECT_GE(summary.failure.trace.size(), 1u);
+
+    std::remove(summary.failure.reproTracePath.c_str());
+    std::remove(summary.failure.reproConfigPath.c_str());
+}
+
+TEST(FuzzHarnessTest, FieldEditRoundTripsThroughTheReader)
+{
+    FuzzerOptions opt;
+    opt.seed = 21;
+    opt.length = 120;
+    TraceBuffer buf = TraceFuzzer(opt).generate();
+    std::string path = tempDir() + "/para_fuzz_test_fieldedit.ptrc";
+    TraceBuffer expected = fuzz::writeTraceWithFieldEdit(buf, path, 99);
+    ASSERT_EQ(expected.size(), buf.size());
+    EXPECT_FALSE(sameTrace(expected, buf)); // the edit changed something
+
+    auto source = trace::openTraceFile(path);
+    TraceBuffer got;
+    TraceRecord rec;
+    while (source->next(rec))
+        got.push(rec);
+    EXPECT_TRUE(sameTrace(got, expected));
+    std::remove(path.c_str());
+}
+
+TEST(FuzzHarnessTest, SummaryJsonCarriesSchemaAndCounters)
+{
+    FuzzSummary clean = FuzzHarness(smallHarness(17, 4)).run();
+    std::string doc = clean.toJson();
+    EXPECT_NE(doc.find("\"schema\": \"paragraph-fuzz-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"iters_completed\": 4"), std::string::npos);
+    EXPECT_NE(doc.find("\"failed\": false"), std::string::npos);
+    EXPECT_EQ(doc.find("\"failure\""), std::string::npos);
+
+    HarnessOptions opt = smallHarness(19, 2);
+    opt.oracle.forceFailure = true;
+    FuzzSummary failed = FuzzHarness(opt).run();
+    std::string failedDoc = failed.toJson();
+    EXPECT_NE(failedDoc.find("\"failed\": true"), std::string::npos);
+    EXPECT_NE(failedDoc.find("\"failure\""), std::string::npos);
+    EXPECT_NE(failedDoc.find("\"property\": \"self-test\""),
+              std::string::npos);
+    std::remove(failed.failure.reproTracePath.c_str());
+    std::remove(failed.failure.reproConfigPath.c_str());
+}
+
+TEST(InvariantOracleTest, CatalogueDocumentsEveryProperty)
+{
+    const auto &catalogue = fuzz::propertyCatalogue();
+    EXPECT_GE(catalogue.size(), 12u); // the issue's floor
+    for (const fuzz::PropertyInfo &p : catalogue) {
+        ASSERT_NE(p.name, nullptr);
+        ASSERT_NE(p.derivation, nullptr);
+        EXPECT_FALSE(std::string(p.name).empty());
+        EXPECT_FALSE(std::string(p.derivation).empty()) << p.name;
+    }
+}
+
+} // namespace
+} // namespace paragraph

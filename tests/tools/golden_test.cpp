@@ -1,0 +1,110 @@
+// Golden end-to-end CLI snapshots: run the real `paragraph` and
+// `paragraph-sweep` binaries on two fixed traces checked into
+// tests/golden/ and compare their output byte-for-byte against checked-in
+// golden files. Any change to summary formatting, profile bucketing,
+// distribution rendering, or the sweep JSON document shows up here as a
+// diff — intentional changes are blessed by re-running with
+// PARAGRAPH_UPDATE_GOLDENS=1 and committing the refreshed goldens.
+//
+// The CLIs run with the golden directory as the working directory so the
+// trace paths embedded in the output stay relative (and therefore
+// machine-independent); `--no-timing` drops the only nondeterministic
+// line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace {
+
+std::string
+goldenDir()
+{
+    return PARAGRAPH_GOLDEN_DIR;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("PARAGRAPH_UPDATE_GOLDENS");
+    return env && *env && std::string(env) != "0";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/**
+ * Run @p cli with @p args (cwd = tests/golden), capture the output file
+ * named by @p producedPath, and compare it byte-for-byte to the golden.
+ * With PARAGRAPH_UPDATE_GOLDENS set, rewrite the golden instead.
+ */
+void
+checkGolden(const std::string &cli, const std::string &args,
+            const std::string &goldenName, bool viaStdout)
+{
+    namespace fs = std::filesystem;
+    std::string golden = goldenDir() + "/" + goldenName;
+    std::string produced =
+        (fs::temp_directory_path() / ("para_golden_" + goldenName)).string();
+    std::remove(produced.c_str());
+
+    std::string cmd = "cd " + goldenDir() + " && " + cli + " " + args;
+    if (viaStdout)
+        cmd += " > " + produced;
+    else
+        cmd += " --out=" + produced;
+    cmd += " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    std::string got = slurp(produced);
+    EXPECT_FALSE(got.empty()) << cmd;
+
+    if (updateRequested()) {
+        std::ofstream out(golden, std::ios::binary);
+        out << got;
+        ASSERT_TRUE(out.good()) << "cannot update " << golden;
+        std::remove(produced.c_str());
+        GTEST_SKIP() << "golden " << goldenName << " updated";
+    }
+
+    EXPECT_EQ(got, slurp(golden))
+        << "CLI output diverged from " << golden
+        << "; if intentional, refresh with PARAGRAPH_UPDATE_GOLDENS=1 "
+        << "and commit the new golden";
+    std::remove(produced.c_str());
+}
+
+TEST(GoldenCli, Matrix300DefaultAnalysis)
+{
+    checkGolden(PARAGRAPH_CLI_PATH,
+                "matrix300-600.ptrc --no-timing --profile --distributions",
+                "matrix300-600.analysis.golden", /*viaStdout=*/true);
+}
+
+TEST(GoldenCli, XlispWindowedNoRenameWithBaseline)
+{
+    checkGolden(PARAGRAPH_CLI_PATH,
+                "xlisp-800.ptrc --no-timing --window=32 --no-rename-regs "
+                "--baseline --storage-profile",
+                "xlisp-800.analysis.golden", /*viaStdout=*/true);
+}
+
+TEST(GoldenCli, SweepJsonDocument)
+{
+    checkGolden(PARAGRAPH_SWEEP_CLI_PATH,
+                "--inputs=matrix300,xlisp --small --max=600 --windows=16,0 "
+                "--no-timing --quiet --jobs=1",
+                "sweep-small.golden", /*viaStdout=*/false);
+}
+
+} // namespace

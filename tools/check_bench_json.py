@@ -5,6 +5,7 @@ Usage:
   check_bench_json.py <bench_hotpath binary> [extra bench args...]
   check_bench_json.py --sweep <paragraph-sweep binary> [sweep args...]
   check_bench_json.py --sweep-bench <bench_sweep binary> [bench args...]
+  check_bench_json.py --fuzz-report <paragraph-fuzz binary> [fuzz args...]
 
 Default mode runs the benchmark with --json and validates the
 paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
@@ -19,6 +20,11 @@ fields on failed ones.
 paragraph-bench-sweep-v1 document: schema id, the source × jobs × group
 matrix rows with positive throughput, the solo/fused summary, and the
 identical_json flag (every run of the matrix produced the same analysis).
+
+--fuzz-report mode runs paragraph-fuzz with --json and validates the
+paragraph-fuzz-v1 summary: schema id, iteration/check counters that are
+internally consistent, and — when a violation was found — the failure
+object with its stage, property, and reproducer paths.
 Exit status is non-zero on any mismatch, so all modes double as CTests.
 """
 
@@ -37,6 +43,14 @@ SWEEP_CELL_KEYS = {"input", "input_index", "config_index", "config",
                    "status"}
 SWEEP_OK_KEYS = {"instructions", "critical_path", "available_parallelism"}
 SWEEP_FAILED_KEYS = {"error", "attempts"}
+
+FUZZ_SCHEMA = "paragraph-fuzz-v1"
+FUZZ_KEYS = {"schema", "iters_requested", "iters_completed",
+             "traces_checked", "mutants_checked", "records_analyzed",
+             "round_trip_checks", "field_edit_checks", "properties",
+             "violations", "failed"}
+FUZZ_FAILURE_KEYS = {"iteration", "seed", "stage", "property", "message",
+                     "records", "original_records"}
 
 SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v1"
 SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "cells", "instructions",
@@ -97,6 +111,63 @@ def check_sweep(argv):
     print(f"ok: {len(cells)} cells ({failed} failed), schema {SWEEP_SCHEMA}")
 
 
+def check_fuzz_report(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --fuzz-report <paragraph-fuzz> "
+             "[args...]")
+    proc = subprocess.run(argv + ["--json"], stdout=subprocess.PIPE)
+    # 0 = clean run, 1 = violation found; both must emit a valid document.
+    if proc.returncode not in (0, 1):
+        fail(f"paragraph-fuzz exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+
+    if doc.get("schema") != FUZZ_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {FUZZ_SCHEMA!r}")
+    missing = FUZZ_KEYS - doc.keys()
+    if missing:
+        fail(f"missing top-level keys {sorted(missing)}")
+    if doc["iters_completed"] > doc["iters_requested"]:
+        fail("iters_completed exceeds iters_requested")
+    if doc["traces_checked"] <= 0:
+        fail("no traces were checked")
+    if doc["mutants_checked"] > doc["traces_checked"]:
+        fail("more mutants than traces: one mutant per trace at most")
+    if doc["records_analyzed"] <= 0:
+        fail("no records were analyzed")
+    if doc["properties"] < 12:
+        fail(f"only {doc['properties']} properties in the catalogue, "
+             "expected at least 12")
+    failed = doc["failed"]
+    if failed != (proc.returncode == 1):
+        fail(f"failed={failed} disagrees with exit status "
+             f"{proc.returncode}")
+    if failed != (doc["violations"] > 0):
+        fail(f"failed={failed} but violations={doc['violations']}")
+    if not failed and doc["iters_completed"] != doc["iters_requested"]:
+        fail("a clean run must complete every requested iteration")
+    if failed:
+        failure = doc.get("failure")
+        if not isinstance(failure, dict):
+            fail("failed run without a failure object")
+        missing = FUZZ_FAILURE_KEYS - failure.keys()
+        if missing:
+            fail(f"failure missing keys {sorted(missing)}")
+        if not failure["property"] or not failure["stage"]:
+            fail("failure must name its property and stage")
+        if failure["records"] > failure["original_records"]:
+            fail("minimized record count exceeds the original")
+    elif "failure" in doc:
+        fail("clean run carries a failure object")
+    state = "violation found" if failed else "clean"
+    print(f"ok: {doc['iters_completed']}/{doc['iters_requested']} "
+          f"iterations, {doc['properties']} properties, {state}, "
+          f"schema {FUZZ_SCHEMA}")
+    sys.exit(proc.returncode)
+
+
 def check_sweep_bench(argv):
     if not argv:
         fail("usage: check_bench_json.py --sweep-bench <bench_sweep> "
@@ -149,13 +220,16 @@ def check_sweep_bench(argv):
 
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py [--sweep|--sweep-bench] "
-             "<binary> [args...]")
+        fail("usage: check_bench_json.py [--sweep|--sweep-bench|"
+             "--fuzz-report] <binary> [args...]")
     if sys.argv[1] == "--sweep":
         check_sweep(sys.argv[2:])
         return
     if sys.argv[1] == "--sweep-bench":
         check_sweep_bench(sys.argv[2:])
+        return
+    if sys.argv[1] == "--fuzz-report":
+        check_fuzz_report(sys.argv[2:])
         return
     cmd = sys.argv[1:] + ["--json"]
     proc = subprocess.run(cmd, stdout=subprocess.PIPE)

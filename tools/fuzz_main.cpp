@@ -1,0 +1,241 @@
+// paragraph-fuzz — seeded trace fuzzing against the invariant oracle.
+//
+// Generates deterministic adversarial traces (src/fuzz/trace_fuzzer.hpp),
+// checks the full metamorphic-invariant catalogue against each one and each
+// structured mutant (src/fuzz/invariant_oracle.hpp), and stops at the first
+// violation with a reproducer dump.
+//
+// Usage:
+//   paragraph-fuzz [options]
+//   paragraph-fuzz --replay=repro-SEED.ptrc --config=repro-SEED.json
+//
+// Fuzzing:
+//   --seed=N          run seed (default 1; PARAGRAPH_TEST_SEED overrides)
+//   --iters=N         iterations, one trace + one mutant each (default 1000)
+//   --min-length=N    shortest generated trace (default 64)
+//   --max-length=N    longest generated trace (default 512)
+//   --minimize        ddmin the failing trace before dumping it
+//   --repro-dir=DIR   where repro-<seed>.ptrc/.json land (default ".")
+//   --force-failure   oracle self-test: fail every check (exercises the
+//                     dump/replay/minimize machinery end to end)
+//
+// Output:
+//   --json[=FILE]     paragraph-fuzz-v1 summary JSON (stdout or FILE)
+//   --quiet           suppress the stderr progress line
+//
+// Replay:
+//   --replay=TRACE --config=JSON
+//                     re-check a reproducer dump; exits 1 if the violation
+//                     reproduces (the expected outcome for a real dump)
+//
+// Exit codes: 0 = no violations, 1 = violation found (or reproduced),
+// 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/harness.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+#include "support/test_seed.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+struct Options
+{
+    fuzz::HarnessOptions harness;
+    std::string jsonPath; ///< "-" = stdout
+    bool json = false;
+    bool quiet = false;
+    std::string replayTrace;
+    std::string replayConfig;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: paragraph-fuzz [options]\n"
+        "       paragraph-fuzz --replay=TRACE --config=JSON\n"
+        "  --seed=N  --iters=N  --min-length=N  --max-length=N\n"
+        "  --minimize  --repro-dir=DIR  --force-failure\n"
+        "  --json[=FILE]  --quiet\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    opt.harness.seed = testSeed(1);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        int64_t n = 0;
+        if (startsWith(arg, "--seed=") && parseInt(arg.substr(7), n) &&
+            n >= 0) {
+            opt.harness.seed = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--iters=") &&
+                   parseInt(arg.substr(8), n) && n > 0) {
+            opt.harness.iters = static_cast<uint64_t>(n);
+        } else if (startsWith(arg, "--min-length=") &&
+                   parseInt(arg.substr(13), n) && n > 0) {
+            opt.harness.minLength = static_cast<size_t>(n);
+        } else if (startsWith(arg, "--max-length=") &&
+                   parseInt(arg.substr(13), n) && n > 0) {
+            opt.harness.maxLength = static_cast<size_t>(n);
+        } else if (arg == "--minimize") {
+            opt.harness.minimize = true;
+        } else if (startsWith(arg, "--repro-dir=")) {
+            opt.harness.reproDir = arg.substr(12);
+        } else if (arg == "--force-failure") {
+            opt.harness.oracle.forceFailure = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+            opt.jsonPath = std::string("-");
+        } else if (startsWith(arg, "--json=")) {
+            opt.json = true;
+            opt.jsonPath = arg.substr(7);
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (startsWith(arg, "--replay=")) {
+            opt.replayTrace = arg.substr(9);
+        } else if (startsWith(arg, "--config=")) {
+            opt.replayConfig = arg.substr(9);
+        } else {
+            std::fprintf(stderr, "paragraph-fuzz: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (opt.replayTrace.empty() != opt.replayConfig.empty()) {
+        std::fprintf(stderr,
+                     "paragraph-fuzz: --replay and --config go together\n");
+        usage();
+    }
+    return opt;
+}
+
+void
+writeJson(const Options &opt, const std::string &doc)
+{
+    if (opt.jsonPath == "-") {
+        std::fputs(doc.c_str(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!f)
+        PARA_FATAL("cannot open %s", opt.jsonPath.c_str());
+    std::fputs(doc.c_str(), f);
+    std::fclose(f);
+    if (!opt.quiet)
+        std::fprintf(stderr, "fuzz: wrote %s\n", opt.jsonPath.c_str());
+}
+
+int
+replayMain(const Options &opt)
+{
+    fuzz::FuzzHarness harness(opt.harness);
+    std::string stage, property;
+    fuzz::OracleReport report =
+        harness.replay(opt.replayTrace, opt.replayConfig, &stage, &property);
+    if (report.ok()) {
+        std::fprintf(stderr,
+                     "fuzz: replay of %s is clean — the dumped '%s' "
+                     "violation did not reproduce\n",
+                     opt.replayTrace.c_str(), property.c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "fuzz: replay of %s (stage %s) reproduced:\n",
+                 opt.replayTrace.c_str(), stage.c_str());
+    for (const fuzz::Violation &v : report.violations)
+        std::fprintf(stderr, "  %s: %s\n", v.property.c_str(),
+                     v.message.c_str());
+    bool matches = false;
+    for (const fuzz::Violation &v : report.violations)
+        matches = matches || v.property == property;
+    if (!property.empty() && !matches)
+        std::fprintf(stderr,
+                     "fuzz: warning: dumped property '%s' is not among the "
+                     "reproduced violations\n",
+                     property.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+        if (!opt.replayTrace.empty())
+            return replayMain(opt);
+
+        if (!opt.quiet) {
+            opt.harness.progress = [](uint64_t done, uint64_t total) {
+                if (done % 100 == 0 || done == total) {
+                    std::fprintf(stderr, "\rfuzz: %llu/%llu iterations%s",
+                                 static_cast<unsigned long long>(done),
+                                 static_cast<unsigned long long>(total),
+                                 done == total ? "\n" : "");
+                    std::fflush(stderr);
+                }
+            };
+        }
+
+        fuzz::FuzzHarness harness(opt.harness);
+        fuzz::FuzzSummary summary = harness.run();
+
+        if (opt.json)
+            writeJson(opt, summary.toJson());
+
+        if (!summary.failed) {
+            if (!opt.quiet)
+                std::fprintf(stderr,
+                             "fuzz: %llu iterations, %llu traces + %llu "
+                             "mutants, %llu records, %zu properties — no "
+                             "violations\n",
+                             static_cast<unsigned long long>(
+                                 summary.itersCompleted),
+                             static_cast<unsigned long long>(
+                                 summary.tracesChecked),
+                             static_cast<unsigned long long>(
+                                 summary.mutantsChecked),
+                             static_cast<unsigned long long>(
+                                 summary.recordsAnalyzed),
+                             summary.propertiesChecked);
+            return 0;
+        }
+
+        const fuzz::FailureCase &f = summary.failure;
+        std::fprintf(stderr,
+                     "\nfuzz: VIOLATION at iteration %llu (seed %llu, "
+                     "stage %s)\n",
+                     static_cast<unsigned long long>(f.iteration),
+                     static_cast<unsigned long long>(f.iterationSeed),
+                     f.stage.c_str());
+        for (const fuzz::Violation &v : f.report.violations)
+            std::fprintf(stderr, "  %s: %s\n", v.property.c_str(),
+                         v.message.c_str());
+        if (f.trace.size() != f.originalRecords)
+            std::fprintf(stderr, "fuzz: minimized %zu -> %zu records\n",
+                         f.originalRecords, f.trace.size());
+        if (!f.reproTracePath.empty())
+            std::fprintf(stderr,
+                         "fuzz: reproducer: %s + %s\n"
+                         "fuzz: replay with: paragraph-fuzz --replay=%s "
+                         "--config=%s\n",
+                         f.reproTracePath.c_str(),
+                         f.reproConfigPath.c_str(),
+                         f.reproTracePath.c_str(),
+                         f.reproConfigPath.c_str());
+        return 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "paragraph-fuzz: %s\n", e.what());
+        return 1;
+    }
+}

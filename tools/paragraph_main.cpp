@@ -33,6 +33,8 @@
 //   --save-trace=FILE           capture the input trace to FILE
 //                               (.ptrc fixed-size, .ptrz compressed)
 //   --dot[=N]                   print Graphviz DDG of the first N records
+//   --no-timing                 omit the analysis-time line (the only
+//                               nondeterministic output; golden tests)
 //   --list                      list the bundled workload analogs
 #include <cstdio>
 #include <cstring>
@@ -73,6 +75,7 @@ struct Options
     bool storage = false;
     uint64_t hot = 0;
     bool baseline = false;
+    bool timing = true;
     std::string saveTrace;
     uint64_t dotRecords = 0;
 };
@@ -91,7 +94,7 @@ usage()
         "  outputs:  --profile  --plot  --distributions  "
         "--storage-profile\n"
         "            --hot[=N]  --baseline  --save-trace=FILE  --dot[=N]\n"
-        "            --list\n");
+        "            --no-timing  --list\n");
     std::exit(2);
 }
 
@@ -181,6 +184,8 @@ parseArgs(int argc, char **argv)
             opt.hot = 16;
         } else if (arg == "--baseline") {
             opt.baseline = true;
+        } else if (arg == "--no-timing") {
+            opt.timing = false;
         } else if (startsWith(arg, "--save-trace=")) {
             opt.saveTrace = arg.substr(13);
         } else if (arg == "--dot") {
@@ -293,12 +298,15 @@ main(int argc, char **argv)
                             .c_str(),
                         core::predictorKindName(opt.cfg.branchPredictor));
         }
-        std::printf("  analysis time       %17.2f s (%.1f M records/s)\n",
-                    res.analysisSeconds,
-                    res.analysisSeconds > 0
-                        ? static_cast<double>(res.instructions) / 1e6 /
-                              res.analysisSeconds
-                        : 0.0);
+        if (opt.timing) {
+            std::printf("  analysis time       %17.2f s (%.1f M "
+                        "records/s)\n",
+                        res.analysisSeconds,
+                        res.analysisSeconds > 0
+                            ? static_cast<double>(res.instructions) / 1e6 /
+                                  res.analysisSeconds
+                            : 0.0);
+        }
         if (opt.profile) {
             std::printf("\n");
             core::printProfile(std::cout, res);

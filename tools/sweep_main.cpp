@@ -64,6 +64,7 @@
 
 #include "engine/journal.hpp"
 #include "engine/sweep.hpp"
+#include "engine/sweep_args.hpp"
 #include "engine/sweep_json.hpp"
 #include "engine/trace_repository.hpp"
 #include "support/panic.hpp"
@@ -74,27 +75,7 @@ using namespace paragraph;
 
 namespace {
 
-struct Options
-{
-    std::vector<std::string> inputs;
-    std::vector<uint64_t> windows;
-    std::vector<std::string> renames;
-    std::vector<std::string> syscalls;
-    std::vector<std::string> predictors;
-    std::vector<uint32_t> fus;
-    uint64_t maxInstructions = 0;
-    unsigned jobs = 0;
-    unsigned group = 0; // 0 = auto (one fused pass per worker share)
-    unsigned retries = 0;
-    double deadlineSeconds = 0.0;
-    bool small = false;
-    bool stream = false;
-    bool quiet = false;
-    std::string outPath;
-    std::string journalPath;
-    std::string resumePath;
-    engine::SweepJsonOptions json;
-};
+using engine::SweepArgs;
 
 [[noreturn]] void
 usage()
@@ -115,214 +96,25 @@ usage()
     std::exit(2);
 }
 
-std::vector<uint64_t>
-parseIntList(const std::string &list, const char *flag)
-{
-    std::vector<uint64_t> out;
-    for (const std::string &piece : splitAndTrim(list, ',')) {
-        int64_t n = 0;
-        if (!parseInt(piece, n) || n < 0) {
-            std::fprintf(stderr, "paragraph-sweep: bad %s value '%s'\n",
-                         flag, piece.c_str());
-            usage();
-        }
-        out.push_back(static_cast<uint64_t>(n));
-    }
-    if (out.empty())
-        usage();
-    return out;
-}
-
-Options
+SweepArgs
 parseArgs(int argc, char **argv)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        int64_t n = 0;
-        if (arg == "--list") {
-            for (const auto &w :
-                 workloads::WorkloadSuite::instance().all()) {
-                std::printf("%-10s %-8s %-10s %s\n", w.name.c_str(),
-                            w.language.c_str(), w.benchType.c_str(),
-                            w.description.c_str());
-            }
-            std::exit(0);
-        } else if (startsWith(arg, "--inputs=")) {
-            for (const std::string &s : splitAndTrim(arg.substr(9), ','))
-                if (!s.empty())
-                    opt.inputs.push_back(s);
-        } else if (startsWith(arg, "--windows=")) {
-            opt.windows = parseIntList(arg.substr(10), "--windows");
-        } else if (startsWith(arg, "--rename=")) {
-            opt.renames = splitAndTrim(arg.substr(9), ',');
-        } else if (startsWith(arg, "--syscalls=")) {
-            opt.syscalls = splitAndTrim(arg.substr(11), ',');
-        } else if (startsWith(arg, "--predictors=")) {
-            opt.predictors = splitAndTrim(arg.substr(13), ',');
-        } else if (startsWith(arg, "--fus=")) {
-            for (uint64_t v : parseIntList(arg.substr(6), "--fus"))
-                opt.fus.push_back(static_cast<uint32_t>(v));
-        } else if (startsWith(arg, "--jobs=") &&
-                   parseInt(arg.substr(7), n) && n > 0) {
-            opt.jobs = static_cast<unsigned>(n);
-        } else if (startsWith(arg, "--group=") &&
-                   parseInt(arg.substr(8), n) && n >= 0) {
-            opt.group = static_cast<unsigned>(n);
-        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
-                   n >= 0) {
-            opt.maxInstructions = static_cast<uint64_t>(n);
-        } else if (startsWith(arg, "--out=")) {
-            opt.outPath = arg.substr(6);
-        } else if (startsWith(arg, "--retries=") &&
-                   parseInt(arg.substr(10), n) && n >= 0) {
-            opt.retries = static_cast<unsigned>(n);
-        } else if (startsWith(arg, "--deadline=")) {
-            char *end = nullptr;
-            opt.deadlineSeconds = std::strtod(arg.c_str() + 11, &end);
-            if (!end || *end != '\0' || opt.deadlineSeconds < 0.0) {
-                std::fprintf(stderr,
-                             "paragraph-sweep: bad --deadline value '%s'\n",
-                             arg.c_str() + 11);
-                usage();
-            }
-        } else if (startsWith(arg, "--journal=")) {
-            opt.journalPath = arg.substr(10);
-        } else if (startsWith(arg, "--resume=")) {
-            opt.resumePath = arg.substr(9);
-        } else if (arg == "--small") {
-            opt.small = true;
-        } else if (arg == "--stream") {
-            opt.stream = true;
-        } else if (arg == "--no-timing") {
-            opt.json.timing = false;
-        } else if (arg == "--no-profiles") {
-            opt.json.profiles = false;
-        } else if (arg == "--quiet") {
-            opt.quiet = true;
-        } else if (!startsWith(arg, "--")) {
-            opt.inputs.push_back(arg);
-        } else {
-            std::fprintf(stderr, "paragraph-sweep: bad argument '%s'\n",
-                         arg.c_str());
-            usage();
-        }
-    }
-    if (opt.inputs.empty()) {
-        std::fprintf(stderr, "paragraph-sweep: no inputs given\n");
+    std::vector<std::string> args(argv + 1, argv + argc);
+    SweepArgs opt;
+    std::string error;
+    if (!engine::parseSweepArgs(args, opt, error)) {
+        std::fprintf(stderr, "paragraph-sweep: %s\n", error.c_str());
         usage();
+    }
+    if (opt.listRequested) {
+        for (const auto &w : workloads::WorkloadSuite::instance().all()) {
+            std::printf("%-10s %-8s %-10s %s\n", w.name.c_str(),
+                        w.language.c_str(), w.benchType.c_str(),
+                        w.description.c_str());
+        }
+        std::exit(0);
     }
     return opt;
-}
-
-/** Expand one point of the rename axis into config switches. */
-void
-applyRename(core::AnalysisConfig &cfg, const std::string &value)
-{
-    if (value == "none") {
-        cfg.renameRegisters = false;
-        cfg.renameStack = false;
-        cfg.renameData = false;
-    } else if (value == "regs") {
-        cfg.renameRegisters = true;
-        cfg.renameStack = false;
-        cfg.renameData = false;
-    } else if (value == "stack") { // regs + stack (Table 4 column 3)
-        cfg.renameRegisters = true;
-        cfg.renameStack = true;
-        cfg.renameData = false;
-    } else if (value == "data" || value == "all") { // regs + all memory
-        cfg.renameRegisters = true;
-        cfg.renameStack = true;
-        cfg.renameData = true;
-    } else {
-        std::fprintf(stderr, "paragraph-sweep: bad --rename value '%s'\n",
-                     value.c_str());
-        usage();
-    }
-}
-
-void
-applyPredictor(core::AnalysisConfig &cfg, const std::string &value)
-{
-    if (value == "perfect")
-        cfg.branchPredictor = core::PredictorKind::Perfect;
-    else if (value == "bimodal")
-        cfg.branchPredictor = core::PredictorKind::Bimodal;
-    else if (value == "taken")
-        cfg.branchPredictor = core::PredictorKind::AlwaysTaken;
-    else if (value == "nottaken")
-        cfg.branchPredictor = core::PredictorKind::NeverTaken;
-    else if (value == "wrong")
-        cfg.branchPredictor = core::PredictorKind::AlwaysWrong;
-    else {
-        std::fprintf(stderr,
-                     "paragraph-sweep: bad --predictors value '%s'\n",
-                     value.c_str());
-        usage();
-    }
-}
-
-/**
- * Build the config axis as the cross product of every specified axis.
- * Unspecified axes contribute their single default point, so a plain
- * window sweep stays one-dimensional.
- */
-void
-buildConfigAxis(const Options &opt,
-                std::vector<core::AnalysisConfig> &configs,
-                std::vector<std::string> &labels)
-{
-    std::vector<uint64_t> windows =
-        opt.windows.empty() ? std::vector<uint64_t>{0} : opt.windows;
-    std::vector<std::string> renames =
-        opt.renames.empty() ? std::vector<std::string>{"data"} : opt.renames;
-    std::vector<std::string> syscalls =
-        opt.syscalls.empty() ? std::vector<std::string>{"stall"}
-                             : opt.syscalls;
-    std::vector<std::string> predictors =
-        opt.predictors.empty() ? std::vector<std::string>{"perfect"}
-                               : opt.predictors;
-    std::vector<uint32_t> fus =
-        opt.fus.empty() ? std::vector<uint32_t>{0} : opt.fus;
-
-    for (uint64_t w : windows) {
-        for (const std::string &ren : renames) {
-            for (const std::string &sys : syscalls) {
-                for (const std::string &pred : predictors) {
-                    for (uint32_t fu : fus) {
-                        core::AnalysisConfig cfg;
-                        cfg.windowSize = w;
-                        applyRename(cfg, ren);
-                        cfg.sysCallsStall = (sys == "stall");
-                        if (sys != "stall" && sys != "ignore") {
-                            std::fprintf(stderr,
-                                         "paragraph-sweep: bad --syscalls "
-                                         "value '%s'\n",
-                                         sys.c_str());
-                            usage();
-                        }
-                        applyPredictor(cfg, pred);
-                        cfg.totalFuLimit = fu;
-                        cfg.maxInstructions = opt.maxInstructions;
-                        configs.push_back(cfg);
-
-                        std::string label = "window=" +
-                                            (w ? std::to_string(w)
-                                               : std::string("unlimited"));
-                        label += " rename=" + ren;
-                        if (syscalls.size() > 1 || sys != "stall")
-                            label += " syscalls=" + sys;
-                        if (predictors.size() > 1 || pred != "perfect")
-                            label += " predictor=" + pred;
-                        if (fus.size() > 1 || fu != 0)
-                            label += " fus=" + std::to_string(fu);
-                        labels.push_back(label);
-                    }
-                }
-            }
-        }
-    }
 }
 
 } // namespace
@@ -331,11 +123,15 @@ int
 main(int argc, char **argv)
 {
     try {
-        Options opt = parseArgs(argc, argv);
+        SweepArgs opt = parseArgs(argc, argv);
 
         std::vector<core::AnalysisConfig> configs;
         std::vector<std::string> labels;
-        buildConfigAxis(opt, configs, labels);
+        std::string error;
+        if (!engine::buildSweepConfigAxis(opt, configs, labels, error)) {
+            std::fprintf(stderr, "paragraph-sweep: %s\n", error.c_str());
+            usage();
+        }
 
         engine::TraceRepository::Options repoOpt;
         repoOpt.scale = opt.small ? workloads::Scale::Small
