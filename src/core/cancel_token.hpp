@@ -46,6 +46,23 @@ class CancelToken
         cancelled_.store(true, std::memory_order_release);
     }
 
+    /**
+     * Async-signal-safe cancel: only flips the atomic flag, leaving the
+     * construction-time reason text in place. The CLIs' SIGINT/SIGTERM
+     * handlers call this so an interrupted sweep stops at the next 32k-
+     * record poll with its journal flushed, instead of dying mid-write.
+     */
+    void
+    cancelFromSignal() noexcept
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    /** Pre-arm the CancelledError text cancelFromSignal() will surface.
+     *  Call from ordinary code (e.g. before installing the handler) —
+     *  not from the signal handler itself. */
+    void setReason(std::string reason) { reason_ = std::move(reason); }
+
     /** Arm a deadline @p seconds from now (call before sharing the token). */
     void
     setDeadline(double seconds)

@@ -1,0 +1,162 @@
+#include "engine/cell_exec.hpp"
+
+#include <chrono>
+#include <deque>
+#include <memory>
+
+#include "core/cancel_token.hpp"
+#include "core/multi.hpp"
+
+namespace paragraph {
+namespace engine {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+size_t
+configFootprint(const core::AnalysisConfig &cfg)
+{
+    size_t bytes = size_t(8) << 20;
+    bytes += static_cast<size_t>(cfg.windowSize) * 8;
+    bytes += cfg.profileBins * 40;
+    return bytes;
+}
+
+void
+runCellSolo(TraceRepository &repo, SweepCell &cell,
+            const CellExecOptions &opt)
+{
+    unsigned maxAttempts = 1 + opt.maxRetries;
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        cell.attempts = attempt;
+        try {
+            core::AnalysisConfig cfg = cell.job.config;
+            core::CancelToken deadline;
+            if (opt.cellDeadlineSeconds > 0.0) {
+                deadline.setDeadline(opt.cellDeadlineSeconds);
+                deadline.chain(cfg.cancel);
+                cfg.cancel = &deadline;
+            }
+            core::Paragraph analyzer(cfg);
+            auto cellStart = std::chrono::steady_clock::now();
+            if (repo.streamingInput(cell.job.input)) {
+                std::unique_ptr<trace::TraceSource> src =
+                    repo.makeSource(cell.job.input);
+                cell.result = analyzer.analyze(*src);
+            } else {
+                // Analyze the shared capture directly (bulk path): no
+                // cursor object, no virtual dispatch per record.
+                std::shared_ptr<const trace::TraceBuffer> buffer =
+                    repo.get(cell.job.input);
+                cell.result = analyzer.analyze(*buffer);
+            }
+            cell.wallSeconds = secondsSince(cellStart);
+            cell.minstrPerSec =
+                cell.wallSeconds > 0.0
+                    ? static_cast<double>(cell.result.instructions) / 1e6 /
+                          cell.wallSeconds
+                    : 0.0;
+            cell.status = SweepCell::Status::Ok;
+            cell.errorMessage.clear();
+            break;
+        } catch (const core::CancelledError &e) {
+            // Deadline / cancellation: final, never retried —
+            // a second attempt would just burn the deadline again.
+            cell.status = SweepCell::Status::Failed;
+            cell.errorMessage = e.what();
+            cell.result = core::AnalysisResult();
+            break;
+        } catch (const std::exception &e) {
+            cell.status = SweepCell::Status::Failed;
+            cell.errorMessage = e.what();
+            cell.result = core::AnalysisResult();
+        }
+    }
+}
+
+void
+runFusedCells(TraceRepository &repo,
+              const std::vector<SweepCell *> &cells,
+              const CellExecOptions &opt,
+              const std::function<void(SweepCell &)> &finish)
+{
+    const std::string &input = cells.front()->job.input;
+
+    std::deque<core::CancelToken> deadlines;
+    std::vector<core::AnalysisConfig> cfgs;
+    cfgs.reserve(cells.size());
+    for (SweepCell *cell : cells) {
+        core::AnalysisConfig cfg = cell->job.config;
+        if (opt.cellDeadlineSeconds > 0.0) {
+            deadlines.emplace_back();
+            deadlines.back().setDeadline(opt.cellDeadlineSeconds);
+            deadlines.back().chain(cfg.cancel);
+            cfg.cancel = &deadlines.back();
+        }
+        cfgs.push_back(std::move(cfg));
+    }
+
+    std::vector<core::MultiOutcome> outcomes;
+    bool groupFailed = false;
+    try {
+        if (repo.streamingInput(input)) {
+            std::unique_ptr<trace::TraceSource> src = repo.makeSource(input);
+            outcomes = core::analyzeManyGuarded(*src, cfgs);
+        } else {
+            std::shared_ptr<const trace::TraceBuffer> buffer =
+                repo.get(input);
+            outcomes = core::analyzeManyGuarded(*buffer, cfgs);
+        }
+    } catch (const std::exception &) {
+        groupFailed = true;
+    }
+
+    for (size_t k = 0; k < cells.size(); ++k) {
+        SweepCell &cell = *cells[k];
+        if (!groupFailed && !outcomes[k].error) {
+            cell.result = std::move(outcomes[k].result);
+            cell.status = SweepCell::Status::Ok;
+            cell.errorMessage.clear();
+            cell.attempts = 1;
+            cell.wallSeconds = outcomes[k].engineSeconds;
+            cell.minstrPerSec =
+                cell.wallSeconds > 0.0
+                    ? static_cast<double>(cell.result.instructions) / 1e6 /
+                          cell.wallSeconds
+                    : 0.0;
+            finish(cell);
+            continue;
+        }
+        if (!groupFailed) {
+            try {
+                std::rethrow_exception(outcomes[k].error);
+            } catch (const core::CancelledError &e) {
+                // Cancellation is final in either mode: a solo re-run
+                // would just burn the deadline a second time.
+                cell.status = SweepCell::Status::Failed;
+                cell.errorMessage = e.what();
+                cell.result = core::AnalysisResult();
+                cell.attempts = 1;
+                finish(cell);
+                continue;
+            } catch (const std::exception &) {
+                // Ordinary failure: fall through to the solo re-run (the
+                // demotion itself consumes no attempt).
+            }
+        }
+        runCellSolo(repo, cell, opt);
+        finish(cell);
+    }
+}
+
+} // namespace engine
+} // namespace paragraph

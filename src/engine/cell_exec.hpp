@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cell execution: the fault-isolated solo and fused analysis paths shared
+ * by SweepEngine (one-shot grids) and SweepScheduler (the daemon's
+ * cross-client submission queue).
+ *
+ * These functions own the semantics both callers must agree on exactly —
+ * the per-cell attempts loop, per-attempt deadline tokens, the rule that
+ * cancellation is final while ordinary failures retry, and the fused-group
+ * demotion rule (an engine that throws mid-group re-runs its cell solo
+ * without consuming an attempt; a group-level input error demotes every
+ * member). Keeping them in one place is what makes a daemon-served cell
+ * byte-identical to the same cell from a paragraph-sweep run.
+ */
+
+#ifndef PARAGRAPH_ENGINE_CELL_EXEC_HPP
+#define PARAGRAPH_ENGINE_CELL_EXEC_HPP
+
+#include <functional>
+#include <vector>
+
+#include "engine/sweep.hpp"
+#include "engine/trace_repository.hpp"
+
+namespace paragraph {
+namespace engine {
+
+/** The slice of SweepEngine::Options cell execution depends on. */
+struct CellExecOptions
+{
+    /** Re-run a failed cell up to this many extra times (cancelled or
+     *  deadline-expired attempts are final). */
+    unsigned maxRetries = 0;
+
+    /** Per-attempt cooperative deadline in seconds; 0 = none. */
+    double cellDeadlineSeconds = 0.0;
+};
+
+/**
+ * Run @p cell's attempts loop: guarded capture + analysis, retries for
+ * ordinary failures, no retry after cancellation. On return the cell's
+ * status, result, attempts, error text, and timing are final. Never
+ * throws.
+ */
+void runCellSolo(TraceRepository &repo, SweepCell &cell,
+                 const CellExecOptions &opt);
+
+/**
+ * Run @p cells — all carrying jobs for the same input — as one block-major
+ * fused pass over the shared trace, applying the demotion rule for
+ * failures. @p finish is invoked exactly once per cell, after that cell's
+ * status is final (in group order). Never throws.
+ */
+void runFusedCells(TraceRepository &repo,
+                   const std::vector<SweepCell *> &cells,
+                   const CellExecOptions &opt,
+                   const std::function<void(SweepCell &)> &finish);
+
+/** Rough live-state bytes one engine with this config keeps resident:
+ *  base live well + ordering window + profile/lifetime buckets. Used to
+ *  clamp fused-group size against a memory budget. */
+size_t configFootprint(const core::AnalysisConfig &cfg);
+
+} // namespace engine
+} // namespace paragraph
+
+#endif // PARAGRAPH_ENGINE_CELL_EXEC_HPP

@@ -1,193 +1,16 @@
 #include "engine/journal.hpp"
 
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 
+#include "engine/config_key.hpp"
 #include "engine/sweep_json.hpp"
+#include "support/json_line.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
 namespace engine {
 
 namespace {
-
-/**
- * Minimal scanner for one journal line: a flat JSON object whose values
- * are strings, unsigned integers, or booleans. Strict about what the
- * journal emits, so any line damaged by a crash fails to parse (and is
- * skipped by the loader) instead of yielding garbage fields.
- */
-class LineParser
-{
-  public:
-    explicit LineParser(const std::string &line) : s_(line) {}
-
-    bool
-    parse()
-    {
-        skipWs();
-        if (!eat('{'))
-            return false;
-        skipWs();
-        if (eat('}'))
-            return true;
-        for (;;) {
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (!eat(':'))
-                return false;
-            skipWs();
-            if (!parseValue(key))
-                return false;
-            skipWs();
-            if (eat('}'))
-                break;
-            if (!eat(','))
-                return false;
-            skipWs();
-        }
-        skipWs();
-        return p_ == s_.size();
-    }
-
-    const std::string *
-    str(const char *key) const
-    {
-        auto it = strs_.find(key);
-        return it == strs_.end() ? nullptr : &it->second;
-    }
-
-    bool
-    num(const char *key, uint64_t &out) const
-    {
-        auto it = nums_.find(key);
-        if (it == nums_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-    bool
-    boolean(const char *key, bool &out) const
-    {
-        auto it = bools_.find(key);
-        if (it == bools_.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-  private:
-    const std::string &s_;
-    size_t p_ = 0;
-    std::map<std::string, std::string> strs_;
-    std::map<std::string, uint64_t> nums_;
-    std::map<std::string, bool> bools_;
-
-    void
-    skipWs()
-    {
-        while (p_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[p_])))
-            ++p_;
-    }
-
-    bool
-    eat(char c)
-    {
-        if (p_ < s_.size() && s_[p_] == c) {
-            ++p_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (!eat('"'))
-            return false;
-        out.clear();
-        while (p_ < s_.size()) {
-            char c = s_[p_++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (p_ >= s_.size())
-                return false;
-            char e = s_[p_++];
-            switch (e) {
-              case '"':  out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/':  out += '/'; break;
-              case 'n':  out += '\n'; break;
-              case 't':  out += '\t'; break;
-              case 'r':  out += '\r'; break;
-              case 'u': {
-                if (p_ + 4 > s_.size())
-                    return false;
-                unsigned v = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = s_[p_++];
-                    v <<= 4;
-                    if (h >= '0' && h <= '9')
-                        v |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        v |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        v |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return false;
-                }
-                if (v > 0xff) // the journal only escapes control bytes
-                    return false;
-                out += static_cast<char>(v);
-                break;
-              }
-              default:
-                return false;
-            }
-        }
-        return false; // unterminated
-    }
-
-    bool
-    parseValue(const std::string &key)
-    {
-        if (p_ < s_.size() && s_[p_] == '"') {
-            std::string v;
-            if (!parseString(v))
-                return false;
-            strs_[key] = std::move(v);
-            return true;
-        }
-        if (s_.compare(p_, 4, "true") == 0) {
-            p_ += 4;
-            bools_[key] = true;
-            return true;
-        }
-        if (s_.compare(p_, 5, "false") == 0) {
-            p_ += 5;
-            bools_[key] = false;
-            return true;
-        }
-        size_t start = p_;
-        while (p_ < s_.size() &&
-               std::isdigit(static_cast<unsigned char>(s_[p_])))
-            ++p_;
-        if (p_ == start)
-            return false;
-        nums_[key] = std::strtoull(s_.substr(start, p_ - start).c_str(),
-                                   nullptr, 10);
-        return true;
-    }
-};
 
 constexpr const char *journalSchema = "paragraph-sweep-journal-v1";
 
@@ -202,6 +25,10 @@ JournalData::findOk(size_t index, const SweepJob &job) const
     const JournalEntry &e = it->second;
     if (e.status != "ok" || e.input != job.input ||
         e.configLabel != job.configLabel)
+        return nullptr;
+    // Entries that recorded a config fingerprint must also match on it —
+    // the label is only a human-readable alias, the key is the content.
+    if (!e.configKey.empty() && e.configKey != configKeyHex(job.config))
         return nullptr;
     return &e;
 }
@@ -221,7 +48,7 @@ loadJournal(const std::string &path)
         ++lineNo;
         if (line.empty())
             continue;
-        LineParser p(line);
+        JsonLineParser p(line);
         if (!p.parse()) {
             PARA_WARN("journal %s line %zu is malformed; skipped",
                       path.c_str(), lineNo);
@@ -252,6 +79,8 @@ loadJournal(const std::string &path)
         e.input = *input;
         e.configLabel = *label;
         e.status = *status;
+        if (const std::string *key = p.str("config_key"))
+            e.configKey = *key;
         uint64_t attempts = 1;
         p.num("attempts", attempts);
         e.attempts = static_cast<unsigned>(attempts);
@@ -315,7 +144,9 @@ SweepJournal::record(size_t index, const SweepCell &cell,
     std::string line = "{\"index\": " + std::to_string(index) +
                        ", \"input\": " + jsonString(cell.job.input) +
                        ", \"config_label\": " +
-                       jsonString(cell.job.configLabel) + ", \"status\": \"" +
+                       jsonString(cell.job.configLabel) +
+                       ", \"config_key\": \"" +
+                       configKeyHex(cell.job.config) + "\", \"status\": \"" +
                        (failed ? "failed" : "ok") + "\", \"attempts\": " +
                        std::to_string(cell.attempts);
     if (failed)

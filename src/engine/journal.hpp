@@ -13,10 +13,16 @@
  *
  * Line schema (paragraph-sweep-journal-v1):
  *   {"schema": "paragraph-sweep-journal-v1", "profiles": <bool>}
- *   {"index": N, "input": S, "config_label": S, "status": "ok",
- *    "attempts": N, "cell": S}          // S = rendered cell JSON, escaped
- *   {"index": N, "input": S, "config_label": S, "status": "failed",
- *    "attempts": N, "error": S}
+ *   {"index": N, "input": S, "config_label": S, "config_key": S,
+ *    "status": "ok", "attempts": N, "cell": S}   // S = cell JSON, escaped
+ *   {"index": N, "input": S, "config_label": S, "config_key": S,
+ *    "status": "failed", "attempts": N, "error": S}
+ *
+ * config_key is engine::configKeyHex() of the cell's AnalysisConfig — the
+ * same content-addressed fingerprint the paragraph-serve result cache is
+ * keyed by — so a journal entry matches on what was actually computed, not
+ * just the human-readable axis label. Entries without the field (journals
+ * written before it existed) still match on (index, input, label).
  *
  * Loading is tolerant: malformed or truncated lines (a crash mid-write)
  * are skipped with a warning, and a later entry for the same index wins,
@@ -42,6 +48,7 @@ struct JournalEntry
     size_t index = 0;
     std::string input;
     std::string configLabel;
+    std::string configKey; ///< configKeyHex() fingerprint; may be empty
     std::string status;   ///< "ok" or "failed"
     unsigned attempts = 1;
     std::string error;    ///< failed entries only
@@ -55,8 +62,9 @@ struct JournalData
     std::map<size_t, JournalEntry> entries;
 
     /** The ok entry for @p job's grid position, or nullptr. An entry only
-     *  matches if its input and config label agree with the job's — a
-     *  journal from a different grid never silently satisfies a cell. */
+     *  matches if its input, config label, and (when recorded) config
+     *  fingerprint agree with the job's — a journal from a different grid
+     *  never silently satisfies a cell. */
     const JournalEntry *findOk(size_t index, const SweepJob &job) const;
 };
 

@@ -1,0 +1,199 @@
+#include "engine/scheduler.hpp"
+
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace engine {
+
+SweepScheduler::SweepScheduler(TraceRepository &repo)
+    : SweepScheduler(repo, Options())
+{
+}
+
+SweepScheduler::SweepScheduler(TraceRepository &repo, Options opt)
+    : repo_(repo),
+      opt_(opt),
+      workers_(opt.jobs ? opt.jobs : std::thread::hardware_concurrency())
+{
+    if (workers_ == 0) // hardware_concurrency() may report 0
+        workers_ = 1;
+    if (opt_.groupSize == 0)
+        opt_.groupSize = 1;
+    execOpt_.maxRetries = opt_.maxRetries;
+    execOpt_.cellDeadlineSeconds = opt_.cellDeadlineSeconds;
+    pool_.reserve(workers_);
+    for (unsigned t = 0; t < workers_; ++t)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+SweepScheduler::~SweepScheduler() { stop(); }
+
+std::shared_ptr<SweepScheduler::Batch>
+SweepScheduler::submit(std::vector<SweepJob> jobs,
+                       std::function<void(SweepCell &)> onCell)
+{
+    auto batch = std::make_shared<Batch>();
+    batch->cells_.resize(jobs.size());
+    batch->onCell_ = std::move(onCell);
+    batch->remaining_ = jobs.size();
+    for (size_t i = 0; i < jobs.size(); ++i)
+        batch->cells_[i].job = std::move(jobs[i]);
+
+    bool rejected;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rejected = stopping_;
+        if (!rejected) {
+            for (size_t i = 0; i < batch->cells_.size(); ++i) {
+                const std::string &input = batch->cells_[i].job.input;
+                auto [it, fresh] = pendingByInput_.try_emplace(input);
+                if (fresh)
+                    inputOrder_.push_back(input);
+                it->second.push_back(Item{batch, i});
+            }
+        }
+    }
+    if (rejected) {
+        for (SweepCell &cell : batch->cells_) {
+            cell.status = SweepCell::Status::Failed;
+            cell.errorMessage = "scheduler stopped";
+            cell.attempts = 0;
+        }
+        // Deliver outside any scheduler lock, same as the worker path.
+        for (size_t i = 0; i < batch->cells_.size(); ++i)
+            deliver(Item{batch, i});
+    } else {
+        cv_.notify_all();
+    }
+    return batch;
+}
+
+void
+SweepScheduler::stop()
+{
+    std::vector<Item> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && pool_.empty())
+            return;
+        stopping_ = true;
+        for (auto &bucket : pendingByInput_) {
+            for (Item &item : bucket.second)
+                orphans.push_back(std::move(item));
+        }
+        pendingByInput_.clear();
+        inputOrder_.clear();
+    }
+    cv_.notify_all();
+    for (const Item &item : orphans) {
+        SweepCell &cell = item.batch->cells_[item.index];
+        cell.status = SweepCell::Status::Failed;
+        cell.errorMessage = "scheduler stopped";
+        cell.attempts = 0;
+        deliver(item);
+    }
+    for (std::thread &t : pool_)
+        t.join();
+    pool_.clear();
+}
+
+void
+SweepScheduler::deliver(const Item &item) const
+{
+    Batch &batch = *item.batch;
+    SweepCell &cell = batch.cells_[item.index];
+    std::lock_guard<std::mutex> lock(batch.mutex_);
+    if (batch.onCell_) {
+        try {
+            batch.onCell_(cell);
+        } catch (const std::exception &e) {
+            PARA_WARN("scheduler cell callback threw (%s)", e.what());
+        } catch (...) {
+            PARA_WARN("scheduler cell callback threw");
+        }
+    }
+    if (--batch.remaining_ == 0)
+        batch.cv_.notify_all();
+}
+
+void
+SweepScheduler::workerLoop()
+{
+    for (;;) {
+        std::vector<Item> group;
+        std::string input;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return stopping_ || !inputOrder_.empty();
+            });
+            if (inputOrder_.empty())
+                return; // stopping, queue drained
+
+            // Peel one fused group off the front bucket: same input, at
+            // most groupSize cells, cut early by the memory budget.
+            input = inputOrder_.front();
+            std::deque<Item> &bucket = pendingByInput_[input];
+            size_t bytes = 0;
+            while (!bucket.empty() && group.size() < opt_.groupSize) {
+                const Item &item = bucket.front();
+                size_t need = configFootprint(
+                    item.batch->cells_[item.index].job.config);
+                if (!group.empty() && bytes + need > opt_.groupMemoryBudget)
+                    break;
+                bytes += need;
+                group.push_back(std::move(bucket.front()));
+                bucket.pop_front();
+            }
+            if (bucket.empty()) {
+                pendingByInput_.erase(input);
+                inputOrder_.pop_front();
+            } else {
+                // Group cut early: the bucket still holds cells, and the
+                // submit-time notification has already been consumed.
+                // Wake a peer to take the remainder; the bucket stays at
+                // the front so this trace drains before the queue moves
+                // on.
+                cv_.notify_one();
+            }
+        }
+
+        // Hold the capture for the duration of the group so a bounded
+        // repository cannot evict (and later re-capture) it mid-pass. A
+        // capture failure is not handled here — the per-cell attempts
+        // loop will surface it as each cell's error.
+        TracePin pin;
+        if (!repo_.streamingInput(input)) {
+            try {
+                pin = repo_.pin(input);
+            } catch (const std::exception &) {
+            }
+        }
+
+        if (group.size() == 1) {
+            SweepCell &cell =
+                group.front().batch->cells_[group.front().index];
+            runCellSolo(repo_, cell, execOpt_);
+            deliver(group.front());
+        } else {
+            std::vector<SweepCell *> cells;
+            cells.reserve(group.size());
+            for (const Item &item : group)
+                cells.push_back(&item.batch->cells_[item.index]);
+            runFusedCells(repo_, cells, execOpt_, [&](SweepCell &cell) {
+                for (const Item &item : group) {
+                    if (&item.batch->cells_[item.index] == &cell) {
+                        deliver(item);
+                        return;
+                    }
+                }
+                PARA_WARN("scheduler: finished cell not found in group");
+            });
+        }
+    }
+}
+
+} // namespace engine
+} // namespace paragraph

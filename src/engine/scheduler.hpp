@@ -1,0 +1,164 @@
+/**
+ * @file
+ * SweepScheduler: a persistent cell-execution service for long-lived hosts.
+ *
+ * SweepEngine owns one grid: it builds its groups up front, runs them on a
+ * transient pool, and returns. A daemon cannot work that way — jobs arrive
+ * over time from independent clients, and the trace-major fusion win is
+ * largest exactly when two clients ask about the same trace. The scheduler
+ * therefore keeps one standing worker pool and a pending queue bucketed by
+ * input spec; workers peel groups of up to Options::groupSize cells (cut
+ * early by Options::groupMemoryBudget) off one bucket at a time, so cells
+ * from *different* submissions fuse into a single block-major pass whenever
+ * they share a trace. Execution itself is engine/cell_exec.hpp — the same
+ * attempts / deadline / demotion semantics as SweepEngine, which is what
+ * lets the serve layer cache a scheduler-produced cell and replay it
+ * byte-identically against a paragraph-sweep run.
+ *
+ * While a group runs, its trace is held through TraceRepository::pin(), so
+ * a budget-bounded repository can never drop (and re-capture) a trace that
+ * a fused pass is still reading.
+ */
+
+#ifndef PARAGRAPH_ENGINE_SCHEDULER_HPP
+#define PARAGRAPH_ENGINE_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cell_exec.hpp"
+#include "engine/sweep.hpp"
+#include "engine/trace_repository.hpp"
+
+namespace paragraph {
+namespace engine {
+
+class SweepScheduler
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+        unsigned jobs = 0;
+
+        /** Most cells fused into one pass over a shared trace (clamped by
+         *  groupMemoryBudget). Unlike SweepEngine there is no grid to
+         *  divide up front, so there is no auto mode; the default keeps a
+         *  pass wide enough to amortize the trace walk without letting one
+         *  client's burst monopolize a worker. */
+        unsigned groupSize = 8;
+
+        /** Cap on the estimated live analysis state in one fused group. */
+        size_t groupMemoryBudget = size_t(1) << 30;
+
+        /** Re-run a failed cell up to this many extra times (cancelled /
+         *  deadline-expired attempts are final). */
+        unsigned maxRetries = 0;
+
+        /** Per-attempt cooperative deadline in seconds; 0 = none. */
+        double cellDeadlineSeconds = 0.0;
+    };
+
+    /**
+     * One submission: owns its cells (in job order) for the scheduler to
+     * fill in. Obtain from submit(), then wait() for completion; cells()
+     * is stable storage but individual cells may only be read after the
+     * per-cell callback has seen them (or after wait()).
+     */
+    class Batch
+    {
+      public:
+        /** Block until every cell in this batch has a final status. */
+        void
+        wait()
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return remaining_ == 0; });
+        }
+
+        /** Cells in submission order. Fully final only after wait(). */
+        std::vector<SweepCell> &cells() { return cells_; }
+
+      private:
+        friend class SweepScheduler;
+
+        std::vector<SweepCell> cells_;
+        std::function<void(SweepCell &)> onCell_;
+        std::mutex mutex_;
+        std::condition_variable cv_;
+        size_t remaining_ = 0;
+    };
+
+    explicit SweepScheduler(TraceRepository &repo);
+    SweepScheduler(TraceRepository &repo, Options opt);
+    ~SweepScheduler();
+
+    SweepScheduler(const SweepScheduler &) = delete;
+    SweepScheduler &operator=(const SweepScheduler &) = delete;
+
+    /**
+     * Queue @p jobs for execution. @p onCell (optional) is invoked once
+     * per cell, from a worker thread, as soon as that cell's status is
+     * final; calls are serialized per batch (but not across batches).
+     * The callback must not re-enter the scheduler. Cells the callback
+     * has seen may thereafter be read freely through cells().
+     *
+     * After stop(), submissions complete immediately with every cell
+     * Failed ("scheduler stopped").
+     */
+    std::shared_ptr<Batch> submit(std::vector<SweepJob> jobs,
+                                  std::function<void(SweepCell &)> onCell =
+                                      {});
+
+    /**
+     * Fail all queued-but-unstarted cells ("scheduler stopped", zero
+     * attempts), wait for in-flight groups to finish, and join the pool.
+     * To cut in-flight analyses short too, cancel a token chained into the
+     * submitted configs before calling (the daemon's SIGTERM path does).
+     * Idempotent.
+     */
+    void stop();
+
+    /** Worker threads in the pool. */
+    unsigned workers() const { return workers_; }
+
+  private:
+    /** One queued cell: which batch, which slot. */
+    struct Item
+    {
+        std::shared_ptr<Batch> batch;
+        size_t index = 0;
+    };
+
+    void workerLoop();
+    void deliver(const Item &item) const;
+
+    TraceRepository &repo_;
+    Options opt_;
+    unsigned workers_;
+    CellExecOptions execOpt_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+
+    /** Pending cells bucketed by input spec; inputOrder_ keeps first-seen
+     *  dispatch order over the non-empty buckets. */
+    std::map<std::string, std::deque<Item>> pendingByInput_;
+    std::deque<std::string> inputOrder_;
+
+    std::vector<std::thread> pool_;
+};
+
+} // namespace engine
+} // namespace paragraph
+
+#endif // PARAGRAPH_ENGINE_SCHEDULER_HPP

@@ -2,15 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
-#include "core/cancel_token.hpp"
-#include "core/multi.hpp"
+#include "engine/cell_exec.hpp"
 #include "engine/journal.hpp"
 #include "engine/sweep_json.hpp"
 #include "support/panic.hpp"
@@ -26,18 +23,6 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
-}
-
-/** Rough live-state bytes one engine with this config keeps resident:
- *  base live well + ordering window + profile/lifetime buckets. Used only
- *  to clamp fused-group size against Options::groupMemoryBudget. */
-size_t
-configFootprint(const core::AnalysisConfig &cfg)
-{
-    size_t bytes = size_t(8) << 20;
-    bytes += static_cast<size_t>(cfg.windowSize) * 8;
-    bytes += cfg.profileBins * 40;
-    return bytes;
 }
 
 } // namespace
@@ -177,58 +162,9 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     size_t cellsDone = sweep.cellsSkipped;
     bool progressBroken = false;
 
-    // The per-cell attempts loop — identical for a solo (group-of-one)
-    // cell and for a cell demoted out of a fused group. Every attempt is
-    // fully guarded: a throwing capture or analysis marks this cell Failed
-    // and the grid keeps going.
-    auto runSolo = [&](SweepCell &cell) {
-        unsigned maxAttempts = 1 + opt_.maxRetries;
-        for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
-            cell.attempts = attempt;
-            try {
-                core::AnalysisConfig cfg = cell.job.config;
-                core::CancelToken deadline;
-                if (opt_.cellDeadlineSeconds > 0.0) {
-                    deadline.setDeadline(opt_.cellDeadlineSeconds);
-                    deadline.chain(cfg.cancel);
-                    cfg.cancel = &deadline;
-                }
-                core::Paragraph analyzer(cfg);
-                auto cellStart = std::chrono::steady_clock::now();
-                if (repo.streamingInput(cell.job.input)) {
-                    std::unique_ptr<trace::TraceSource> src =
-                        repo.makeSource(cell.job.input);
-                    cell.result = analyzer.analyze(*src);
-                } else {
-                    // Analyze the shared capture directly (bulk path): no
-                    // cursor object, no virtual dispatch per record.
-                    std::shared_ptr<const trace::TraceBuffer> buffer =
-                        repo.get(cell.job.input);
-                    cell.result = analyzer.analyze(*buffer);
-                }
-                cell.wallSeconds = secondsSince(cellStart);
-                cell.minstrPerSec =
-                    cell.wallSeconds > 0.0
-                        ? static_cast<double>(cell.result.instructions) /
-                              1e6 / cell.wallSeconds
-                        : 0.0;
-                cell.status = SweepCell::Status::Ok;
-                cell.errorMessage.clear();
-                break;
-            } catch (const core::CancelledError &e) {
-                // Deadline / cancellation: final, never retried —
-                // a second attempt would just burn the deadline again.
-                cell.status = SweepCell::Status::Failed;
-                cell.errorMessage = e.what();
-                cell.result = core::AnalysisResult();
-                break;
-            } catch (const std::exception &e) {
-                cell.status = SweepCell::Status::Failed;
-                cell.errorMessage = e.what();
-                cell.result = core::AnalysisResult();
-            }
-        }
-    };
+    CellExecOptions execOpt;
+    execOpt.maxRetries = opt_.maxRetries;
+    execOpt.cellDeadlineSeconds = opt_.cellDeadlineSeconds;
 
     // Journal + aggregate + progress bookkeeping, exactly once per cell,
     // after its status is final.
@@ -269,84 +205,6 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
         }
     };
 
-    // One fused pass over the group's shared trace. Fault demotion rule:
-    // an engine that throws mid-group sends only its own cell back through
-    // runSolo (the demotion consumes no attempt), except cancellation,
-    // which is final in either mode — re-running a cancelled cell solo
-    // would just burn its deadline a second time. A group-level error
-    // (unreadable input) demotes every member, where the solo loop
-    // attributes and retries it per cell.
-    auto runFusedGroup = [&](const std::vector<size_t> &group) {
-        for (size_t i : group)
-            sweep.cells[i].job = std::move(jobs[i]);
-        const std::string &input = sweep.cells[group.front()].job.input;
-
-        std::deque<core::CancelToken> deadlines;
-        std::vector<core::AnalysisConfig> cfgs;
-        cfgs.reserve(group.size());
-        for (size_t i : group) {
-            core::AnalysisConfig cfg = sweep.cells[i].job.config;
-            if (opt_.cellDeadlineSeconds > 0.0) {
-                deadlines.emplace_back();
-                deadlines.back().setDeadline(opt_.cellDeadlineSeconds);
-                deadlines.back().chain(cfg.cancel);
-                cfg.cancel = &deadlines.back();
-            }
-            cfgs.push_back(std::move(cfg));
-        }
-
-        std::vector<core::MultiOutcome> outcomes;
-        bool groupFailed = false;
-        try {
-            if (repo.streamingInput(input)) {
-                std::unique_ptr<trace::TraceSource> src =
-                    repo.makeSource(input);
-                outcomes = core::analyzeManyGuarded(*src, cfgs);
-            } else {
-                std::shared_ptr<const trace::TraceBuffer> buffer =
-                    repo.get(input);
-                outcomes = core::analyzeManyGuarded(*buffer, cfgs);
-            }
-        } catch (const std::exception &) {
-            groupFailed = true;
-        }
-
-        for (size_t k = 0; k < group.size(); ++k) {
-            size_t i = group[k];
-            SweepCell &cell = sweep.cells[i];
-            if (!groupFailed && !outcomes[k].error) {
-                cell.result = std::move(outcomes[k].result);
-                cell.status = SweepCell::Status::Ok;
-                cell.errorMessage.clear();
-                cell.attempts = 1;
-                cell.wallSeconds = outcomes[k].engineSeconds;
-                cell.minstrPerSec =
-                    cell.wallSeconds > 0.0
-                        ? static_cast<double>(cell.result.instructions) /
-                              1e6 / cell.wallSeconds
-                        : 0.0;
-                finishCell(i, cell);
-                continue;
-            }
-            if (!groupFailed) {
-                try {
-                    std::rethrow_exception(outcomes[k].error);
-                } catch (const core::CancelledError &e) {
-                    cell.status = SweepCell::Status::Failed;
-                    cell.errorMessage = e.what();
-                    cell.result = core::AnalysisResult();
-                    cell.attempts = 1;
-                    finishCell(i, cell);
-                    continue;
-                } catch (const std::exception &) {
-                    // Ordinary failure: fall through to the solo re-run.
-                }
-            }
-            runSolo(cell);
-            finishCell(i, cell);
-        }
-    };
-
     auto worker = [&]() {
         for (;;) {
             size_t g = nextGroup.fetch_add(1, std::memory_order_relaxed);
@@ -357,10 +215,20 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
                 size_t i = group.front();
                 SweepCell &cell = sweep.cells[i];
                 cell.job = std::move(jobs[i]);
-                runSolo(cell);
+                runCellSolo(repo, cell, execOpt);
                 finishCell(i, cell);
             } else {
-                runFusedGroup(group);
+                std::vector<SweepCell *> cells;
+                cells.reserve(group.size());
+                for (size_t i : group) {
+                    sweep.cells[i].job = std::move(jobs[i]);
+                    cells.push_back(&sweep.cells[i]);
+                }
+                runFusedCells(repo, cells, execOpt, [&](SweepCell &cell) {
+                    finishCell(static_cast<size_t>(&cell -
+                                                   sweep.cells.data()),
+                               cell);
+                });
             }
         }
     };

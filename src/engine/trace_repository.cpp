@@ -9,6 +9,7 @@
 #include "sim/machine.hpp"
 #include "support/panic.hpp"
 #include "trace/compressed_io.hpp"
+#include "trace/file_io.hpp"
 
 namespace paragraph {
 namespace engine {
@@ -36,16 +37,88 @@ readFile(const std::string &path)
 
 } // namespace
 
+void
+TracePin::release()
+{
+    if (repo_) {
+        repo_->unpin(spec_);
+        repo_ = nullptr;
+    }
+    buffer_.reset();
+}
+
+TraceRepository::Entry &
+TraceRepository::fetch(const std::string &spec)
+{
+    auto it = cache_.find(spec);
+    if (it == cache_.end()) {
+        Entry entry;
+        entry.buffer = capture(spec);
+        entry.bytes =
+            entry.buffer->size() * sizeof(trace::TraceRecord);
+        it = cache_.emplace(spec, std::move(entry)).first;
+        cachedBytes_ += it->second.bytes;
+        it->second.lastUse = ++useCounter_;
+        // Hold the new entry through its own eviction pass: a capture
+        // larger than the whole budget overshoots instead of being evicted
+        // out from under the caller (the reference below must stay valid).
+        ++it->second.pins;
+        enforceBudget();
+        --it->second.pins;
+    } else {
+        it->second.lastUse = ++useCounter_;
+    }
+    return it->second;
+}
+
+void
+TraceRepository::enforceBudget()
+{
+    if (opt_.memoryBudget == 0)
+        return;
+    while (cachedBytes_ > opt_.memoryBudget) {
+        // Drop the least-recently-used unpinned capture. In-flight
+        // analyses are unaffected: they co-own the buffer via shared_ptr.
+        auto victim = cache_.end();
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            if (it->second.pins > 0)
+                continue;
+            if (victim == cache_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == cache_.end())
+            return; // everything left is pinned; allow the overshoot
+        cachedBytes_ -= victim->second.bytes;
+        cache_.erase(victim);
+    }
+}
+
 std::shared_ptr<const trace::TraceBuffer>
 TraceRepository::get(const std::string &spec)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return fetch(spec).buffer;
+}
+
+TracePin
+TraceRepository::pin(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = fetch(spec);
+    ++entry.pins;
+    return TracePin(this, spec, entry.buffer);
+}
+
+void
+TraceRepository::unpin(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(spec);
-    if (it != cache_.end())
-        return it->second;
-    std::shared_ptr<const trace::TraceBuffer> buf = capture(spec);
-    cache_.emplace(spec, buf);
-    return buf;
+    if (it == cache_.end() || it->second.pins == 0)
+        return;
+    if (--it->second.pins == 0)
+        enforceBudget(); // pins may have been holding the budget open
 }
 
 std::unique_ptr<trace::TraceSource>
@@ -69,18 +142,57 @@ TraceRepository::streamingInput(const std::string &spec) const
            (hasSuffix(spec, ".ptrc") || hasSuffix(spec, ".ptrz"));
 }
 
+uint32_t
+TraceRepository::traceCrc(const std::string &spec)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = crcs_.find(spec);
+        if (it != crcs_.end())
+            return it->second;
+    }
+    // Compute outside the lock: the CRC pass over a large capture must not
+    // stall every other worker's get().
+    std::shared_ptr<const trace::TraceBuffer> buffer;
+    if (streamingInput(spec)) {
+        // A streamed input is never resident; CRC it through a one-off
+        // bounded capture so the value matches the captured form exactly.
+        auto tmp = std::make_shared<trace::TraceBuffer>();
+        std::unique_ptr<trace::TraceSource> src = makeSource(spec);
+        tmp->capture(*src, opt_.maxRecords);
+        buffer = std::move(tmp);
+    } else {
+        buffer = get(spec);
+    }
+    uint32_t crc = trace::traceBufferCrc(*buffer);
+    std::lock_guard<std::mutex> lock(mutex_);
+    crcs_.emplace(spec, crc);
+    return crc;
+}
+
 void
 TraceRepository::release(const std::string &spec)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_.erase(spec);
+    auto it = cache_.find(spec);
+    if (it == cache_.end() || it->second.pins > 0)
+        return;
+    cachedBytes_ -= it->second.bytes;
+    cache_.erase(it);
 }
 
 void
 TraceRepository::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_.clear();
+    for (auto it = cache_.begin(); it != cache_.end();) {
+        if (it->second.pins > 0) {
+            ++it;
+        } else {
+            cachedBytes_ -= it->second.bytes;
+            it = cache_.erase(it);
+        }
+    }
 }
 
 size_t
@@ -88,6 +200,13 @@ TraceRepository::cachedInputs() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_.size();
+}
+
+size_t
+TraceRepository::cachedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cachedBytes_;
 }
 
 std::shared_ptr<const trace::TraceBuffer>

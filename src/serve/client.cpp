@@ -1,0 +1,104 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace paragraph {
+namespace serve {
+
+bool
+ServeClient::connect(std::string &error)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socketPath_.empty() ||
+        socketPath_.size() >= sizeof(addr.sun_path)) {
+        error = "socket path empty or too long for AF_UNIX";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath_.c_str(), socketPath_.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        error = socketPath_ + ": " + std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::sendLine(const std::string &line, std::string &error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    std::string data = line + "\n";
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServeClient::roundTrip(const std::string &line, std::string &responseLine,
+                       std::string &error)
+{
+    if (!sendLine(line, error))
+        return false;
+    char chunk[4096];
+    for (;;) {
+        size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            responseLine = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = "daemon closed the connection mid-response";
+            return false;
+        }
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+} // namespace serve
+} // namespace paragraph

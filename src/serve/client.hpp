@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ServeClient: a minimal blocking client for the paragraph-serve socket.
+ *
+ * One connection, one request line out, one response line back — exactly
+ * the protocol the daemon speaks (serve/protocol.hpp). Used by the
+ * `paragraph-serve --client` CLI mode and by the serve tests; error paths
+ * return false with a message instead of throwing so CLI and test callers
+ * can report them verbatim.
+ */
+
+#ifndef PARAGRAPH_SERVE_CLIENT_HPP
+#define PARAGRAPH_SERVE_CLIENT_HPP
+
+#include <string>
+
+namespace paragraph {
+namespace serve {
+
+class ServeClient
+{
+  public:
+    explicit ServeClient(std::string socketPath)
+        : socketPath_(std::move(socketPath))
+    {
+    }
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to the daemon socket. */
+    bool connect(std::string &error);
+
+    /**
+     * Send @p line (a newline is appended) and block for one response
+     * line. Requires a successful connect().
+     */
+    bool roundTrip(const std::string &line, std::string &responseLine,
+                   std::string &error);
+
+    /** Send without waiting (used to test disconnect-mid-job). */
+    bool sendLine(const std::string &line, std::string &error);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    std::string socketPath_;
+    std::string buffer_;
+    int fd_ = -1;
+};
+
+} // namespace serve
+} // namespace paragraph
+
+#endif // PARAGRAPH_SERVE_CLIENT_HPP

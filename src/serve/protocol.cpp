@@ -1,0 +1,246 @@
+#include "serve/protocol.hpp"
+
+#include "engine/sweep_json.hpp"
+#include "support/json_line.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace serve {
+
+namespace {
+
+const char *
+opName(ServeRequest::Op op)
+{
+    switch (op) {
+      case ServeRequest::Op::Sweep:
+        return "sweep";
+      case ServeRequest::Op::Ping:
+        return "ping";
+      case ServeRequest::Op::Stats:
+        return "stats";
+      case ServeRequest::Op::Shutdown:
+        return "shutdown";
+    }
+    return "ping";
+}
+
+void
+appendStrList(std::string &s, const char *key,
+              const std::vector<std::string> &items)
+{
+    if (items.empty())
+        return;
+    s += ", \"";
+    s += key;
+    s += "\": [";
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += engine::jsonString(items[i]);
+    }
+    s += ']';
+}
+
+void
+appendNumList(std::string &s, const char *key,
+              const std::vector<uint64_t> &items)
+{
+    if (items.empty())
+        return;
+    s += ", \"";
+    s += key;
+    s += "\": [";
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            s += ", ";
+        s += std::to_string(items[i]);
+    }
+    s += ']';
+}
+
+} // namespace
+
+bool
+parseServeRequest(const std::string &line, ServeRequest &out,
+                  std::string &error)
+{
+    JsonLineParser p(line);
+    if (!p.parse()) {
+        error = "malformed request line";
+        return false;
+    }
+    const std::string *schema = p.str("schema");
+    if (!schema || *schema != protocolSchema) {
+        error = strFormat("expected schema \"%s\"", protocolSchema);
+        return false;
+    }
+    const std::string *op = p.str("op");
+    if (!op) {
+        error = "request has no op";
+        return false;
+    }
+    if (*op == "sweep")
+        out.op = ServeRequest::Op::Sweep;
+    else if (*op == "ping")
+        out.op = ServeRequest::Op::Ping;
+    else if (*op == "stats")
+        out.op = ServeRequest::Op::Stats;
+    else if (*op == "shutdown")
+        out.op = ServeRequest::Op::Shutdown;
+    else {
+        error = strFormat("unknown op '%s'", op->c_str());
+        return false;
+    }
+
+    if (const std::vector<std::string> *v = p.strList("inputs"))
+        out.inputs = *v;
+    if (const std::vector<uint64_t> *v = p.numList("windows"))
+        out.windows = *v;
+    if (const std::vector<std::string> *v = p.strList("rename"))
+        out.renames = *v;
+    if (const std::vector<std::string> *v = p.strList("syscalls"))
+        out.syscalls = *v;
+    if (const std::vector<std::string> *v = p.strList("predictors"))
+        out.predictors = *v;
+    if (const std::vector<uint64_t> *v = p.numList("fus"))
+        out.fus = *v;
+    p.num("max", out.maxInstructions);
+    p.boolean("profiles", out.profiles);
+    p.boolean("small", out.small);
+
+    if (out.op == ServeRequest::Op::Sweep && out.inputs.empty()) {
+        error = "sweep request has no inputs";
+        return false;
+    }
+    return true;
+}
+
+std::string
+renderServeRequest(const ServeRequest &req)
+{
+    std::string s = std::string("{\"schema\": \"") + protocolSchema +
+                    "\", \"op\": \"" + opName(req.op) + '"';
+    appendStrList(s, "inputs", req.inputs);
+    appendNumList(s, "windows", req.windows);
+    appendStrList(s, "rename", req.renames);
+    appendStrList(s, "syscalls", req.syscalls);
+    appendStrList(s, "predictors", req.predictors);
+    appendNumList(s, "fus", req.fus);
+    if (req.maxInstructions)
+        s += ", \"max\": " + std::to_string(req.maxInstructions);
+    if (!req.profiles)
+        s += ", \"profiles\": false";
+    if (req.small)
+        s += ", \"small\": true";
+    s += '}';
+    return s;
+}
+
+engine::SweepArgs
+toSweepArgs(const ServeRequest &req)
+{
+    engine::SweepArgs args;
+    args.inputs = req.inputs;
+    args.windows = req.windows;
+    args.renames = req.renames;
+    args.syscalls = req.syscalls;
+    args.predictors = req.predictors;
+    for (uint64_t fu : req.fus)
+        args.fus.push_back(static_cast<uint32_t>(fu));
+    args.maxInstructions = req.maxInstructions;
+    args.small = req.small;
+    args.json.timing = false; // served documents are always deterministic
+    args.json.profiles = req.profiles;
+    return args;
+}
+
+bool
+parseServeResponse(const std::string &line, ServeResponse &out,
+                   std::string &error)
+{
+    JsonLineParser p(line);
+    if (!p.parse()) {
+        error = "malformed response line";
+        return false;
+    }
+    const std::string *schema = p.str("schema");
+    if (!schema || *schema != protocolSchema) {
+        error = strFormat("expected schema \"%s\"", protocolSchema);
+        return false;
+    }
+    const std::string *status = p.str("status");
+    if (!status) {
+        error = "response has no status";
+        return false;
+    }
+    out.status = *status;
+    if (const std::string *op = p.str("op"))
+        out.op = *op;
+    if (const std::string *err = p.str("error"))
+        out.error = *err;
+    if (const std::string *doc = p.str("document"))
+        out.document = *doc;
+    p.num("cells_total", out.cellsTotal);
+    p.num("cells_failed", out.cellsFailed);
+    p.num("cells_cached", out.cellsCached);
+    p.num("cells_computed", out.cellsComputed);
+    p.num("requests", out.requests);
+    p.num("store_entries", out.storeEntries);
+    p.num("store_hot_bytes", out.storeHotBytes);
+    p.num("trace_cached_inputs", out.traceCachedInputs);
+    p.num("trace_cached_bytes", out.traceCachedBytes);
+    p.num("total_cells_cached", out.totalCellsCached);
+    p.num("total_cells_computed", out.totalCellsComputed);
+    return true;
+}
+
+std::string
+renderSweepResponse(uint64_t cellsTotal, uint64_t cellsFailed,
+                    uint64_t cellsCached, uint64_t cellsComputed,
+                    const std::string &document)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"ok\", \"op\": \"sweep\", \"cells_total\": " +
+           std::to_string(cellsTotal) +
+           ", \"cells_failed\": " + std::to_string(cellsFailed) +
+           ", \"cells_cached\": " + std::to_string(cellsCached) +
+           ", \"cells_computed\": " + std::to_string(cellsComputed) +
+           ", \"document\": " + engine::jsonString(document) + '}';
+}
+
+std::string
+renderAckResponse(const char *op)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"ok\", \"op\": \"" + op + "\"}";
+}
+
+std::string
+renderStatsResponse(const ServeResponse &stats)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"ok\", \"op\": \"stats\", \"requests\": " +
+           std::to_string(stats.requests) +
+           ", \"store_entries\": " + std::to_string(stats.storeEntries) +
+           ", \"store_hot_bytes\": " + std::to_string(stats.storeHotBytes) +
+           ", \"trace_cached_inputs\": " +
+           std::to_string(stats.traceCachedInputs) +
+           ", \"trace_cached_bytes\": " +
+           std::to_string(stats.traceCachedBytes) +
+           ", \"total_cells_cached\": " +
+           std::to_string(stats.totalCellsCached) +
+           ", \"total_cells_computed\": " +
+           std::to_string(stats.totalCellsComputed) + '}';
+}
+
+std::string
+renderErrorResponse(const std::string &message)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"error\", \"error\": " +
+           engine::jsonString(message) + '}';
+}
+
+} // namespace serve
+} // namespace paragraph

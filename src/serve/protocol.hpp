@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The paragraph-serve wire protocol: newline-delimited JSON, one request
+ * line in, one response line out, schema "paragraph-serve-v1".
+ *
+ * A sweep request carries the same axes as the paragraph-sweep command line
+ * (inputs, windows, rename, syscalls, predictors, fus, max, profiles) and
+ * is expanded through the *same* engine::buildSweepConfigAxis cross
+ * product, so a daemon-served grid is cell-for-cell the grid the CLI would
+ * run. The response envelope carries cache accounting (cells_cached /
+ * cells_computed) plus the full sweep JSON document as an escaped string —
+ * the document itself is byte-identical to `paragraph-sweep --no-timing`
+ * output for the same grid, which is what the cache-proof tests diff.
+ *
+ * Everything here is pure parse/render (no sockets), so the protocol is
+ * unit-testable and fuzzable in isolation.
+ */
+
+#ifndef PARAGRAPH_SERVE_PROTOCOL_HPP
+#define PARAGRAPH_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/sweep_args.hpp"
+
+namespace paragraph {
+namespace serve {
+
+constexpr const char *protocolSchema = "paragraph-serve-v1";
+
+/** One parsed client request. */
+struct ServeRequest
+{
+    enum class Op { Sweep, Ping, Stats, Shutdown };
+
+    Op op = Op::Ping;
+
+    /** Sweep axes (Op::Sweep only); reuses the CLI's grid expansion. */
+    std::vector<std::string> inputs;
+    std::vector<uint64_t> windows;
+    std::vector<std::string> renames;
+    std::vector<std::string> syscalls;
+    std::vector<std::string> predictors;
+    std::vector<uint64_t> fus;
+    uint64_t maxInstructions = 0;
+    bool profiles = true;
+    bool small = false;
+};
+
+/**
+ * Parse one request line. @return false with @p error set on a malformed
+ * line, wrong schema, or unknown op (the server turns that into an error
+ * response, never a dropped connection).
+ */
+bool parseServeRequest(const std::string &line, ServeRequest &out,
+                       std::string &error);
+
+/** Render @p req as a single request line (no trailing newline). */
+std::string renderServeRequest(const ServeRequest &req);
+
+/** Map the request's sweep axes onto the CLI argument struct, ready for
+ *  engine::buildSweepConfigAxis. */
+engine::SweepArgs toSweepArgs(const ServeRequest &req);
+
+/** One parsed server response. */
+struct ServeResponse
+{
+    std::string status; ///< "ok" or "error"
+    std::string op;     ///< echo of the request op
+    std::string error;  ///< status == "error" only
+
+    /** Sweep accounting (op == "sweep" only). */
+    uint64_t cellsTotal = 0;
+    uint64_t cellsFailed = 0;
+    uint64_t cellsCached = 0;
+    uint64_t cellsComputed = 0;
+
+    /** The full sweep JSON document (op == "sweep" only). */
+    std::string document;
+
+    /** Daemon counters (op == "stats" only). */
+    uint64_t requests = 0;
+    uint64_t storeEntries = 0;
+    uint64_t storeHotBytes = 0;
+    uint64_t traceCachedInputs = 0;
+    uint64_t traceCachedBytes = 0;
+    uint64_t totalCellsCached = 0;
+    uint64_t totalCellsComputed = 0;
+
+    bool ok() const { return status == "ok"; }
+};
+
+/** Parse one response line; false with @p error on malformed input. */
+bool parseServeResponse(const std::string &line, ServeResponse &out,
+                        std::string &error);
+
+/** Render a sweep response line (no trailing newline). */
+std::string renderSweepResponse(uint64_t cellsTotal, uint64_t cellsFailed,
+                                uint64_t cellsCached, uint64_t cellsComputed,
+                                const std::string &document);
+
+/** Render a ping/shutdown acknowledgement line. */
+std::string renderAckResponse(const char *op);
+
+/** Render a stats response line from the daemon counters. */
+std::string renderStatsResponse(const ServeResponse &stats);
+
+/** Render an error response line. */
+std::string renderErrorResponse(const std::string &message);
+
+} // namespace serve
+} // namespace paragraph
+
+#endif // PARAGRAPH_SERVE_PROTOCOL_HPP

@@ -1,0 +1,264 @@
+#include "serve/result_store.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "engine/sweep_json.hpp"
+#include "support/json_line.hpp"
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace serve {
+
+namespace {
+
+constexpr const char *storeSchema = "paragraph-serve-store-v1";
+
+std::string
+renderEntry(const ResultKey &key, const std::string &cellJson)
+{
+    return "{\"trace_crc\": " + std::to_string(key.traceCrc) +
+           ", \"config_key\": " + std::to_string(key.configKey) +
+           ", \"profiles\": " + (key.profiles ? "true" : "false") +
+           ", \"cell\": " + engine::jsonString(cellJson) + "}\n";
+}
+
+/** Parse one entry line; false if it is not a complete, well-formed entry. */
+bool
+parseEntry(const std::string &line, ResultKey &key, std::string &cellJson)
+{
+    JsonLineParser p(line);
+    if (!p.parse())
+        return false;
+    uint64_t traceCrc = 0;
+    uint64_t configKey = 0;
+    bool profiles = false;
+    const std::string *cell = p.str("cell");
+    if (!p.num("trace_crc", traceCrc) || !p.num("config_key", configKey) ||
+        !p.boolean("profiles", profiles) || !cell ||
+        traceCrc > UINT32_MAX || configKey > UINT32_MAX)
+        return false;
+    key.traceCrc = static_cast<uint32_t>(traceCrc);
+    key.configKey = static_cast<uint32_t>(configKey);
+    key.profiles = profiles;
+    cellJson = *cell;
+    return true;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string path)
+    : ResultStore(std::move(path), Options())
+{
+}
+
+ResultStore::ResultStore(std::string path, Options opt)
+    : path_(std::move(path)), opt_(opt)
+{
+    // a+ creates the file if needed without truncating an existing store;
+    // the separate read handle keeps appends and lookups independent.
+    append_ = std::fopen(path_.c_str(), "ab");
+    if (!append_)
+        PARA_FATAL("cannot open result store for append: %s", path_.c_str());
+    read_ = std::fopen(path_.c_str(), "rb");
+    if (!read_) {
+        std::fclose(append_);
+        append_ = nullptr;
+        PARA_FATAL("cannot open result store for reading: %s", path_.c_str());
+    }
+
+    // Index every line. Offsets are tracked manually so damaged lines cost
+    // nothing but a warning.
+    std::string line;
+    long offset = 0;
+    size_t lineNo = 0;
+    bool sawHeader = false;
+    int c;
+    for (;;) {
+        line.clear();
+        long lineStart = offset;
+        while ((c = std::fgetc(read_)) != EOF && c != '\n')
+            line += static_cast<char>(c);
+        offset = lineStart + static_cast<long>(line.size()) + (c == '\n');
+        if (line.empty() && c == EOF)
+            break;
+        ++lineNo;
+        if (c == EOF) {
+            // Torn final line (crash mid-append): drop it from the index
+            // and terminate it on disk, so the next insert starts a clean
+            // line instead of concatenating onto the fragment. The sealed
+            // fragment is then just another malformed line future loads
+            // warn about and skip.
+            PARA_WARN("result store %s line %zu is truncated; dropped",
+                      path_.c_str(), lineNo);
+            if (std::fputc('\n', append_) == EOF ||
+                std::fflush(append_) != 0)
+                PARA_WARN("result store %s: cannot seal truncated line",
+                          path_.c_str());
+            break;
+        }
+        if (line.empty())
+            continue;
+        if (!sawHeader) {
+            JsonLineParser p(line);
+            const std::string *schema = p.parse() ? p.str("schema") : nullptr;
+            if (!schema || *schema != storeSchema) {
+                PARA_FATAL("%s is not a serve result store (expected "
+                           "schema %s)",
+                           path_.c_str(), storeSchema);
+            }
+            sawHeader = true;
+            continue;
+        }
+        ResultKey key;
+        std::string cellJson;
+        if (!parseEntry(line, key, cellJson)) {
+            PARA_WARN("result store %s line %zu is malformed; skipped",
+                      path_.c_str(), lineNo);
+            continue;
+        }
+        Entry &entry = index_[key]; // duplicate keys: newest position wins
+        if (entry.hot)
+            hotBytes_ -= entry.hotText.size();
+        entry.offset = lineStart;
+        entry.length = line.size();
+        entry.hot = false;
+        entry.hotText.clear();
+        touch(entry, std::move(cellJson));
+    }
+
+    if (!sawHeader) {
+        std::string header =
+            std::string("{\"schema\": \"") + storeSchema + "\"}\n";
+        if (std::fwrite(header.data(), 1, header.size(), append_) !=
+                header.size() ||
+            std::fflush(append_) != 0)
+            PARA_FATAL("cannot write result store header: %s", path_.c_str());
+    }
+}
+
+ResultStore::~ResultStore()
+{
+    if (append_)
+        std::fclose(append_);
+    if (read_)
+        std::fclose(read_);
+}
+
+void
+ResultStore::touch(Entry &entry, std::string text)
+{
+    entry.lastUse = ++useCounter_;
+    if (!entry.hot) {
+        hotBytes_ += text.size();
+        entry.hotText = std::move(text);
+        entry.hot = true;
+    }
+    enforceBudget();
+}
+
+void
+ResultStore::enforceBudget()
+{
+    if (opt_.memoryBudget == 0)
+        return;
+    while (hotBytes_ > opt_.memoryBudget) {
+        Entry *victim = nullptr;
+        for (auto &kv : index_) {
+            if (!kv.second.hot)
+                continue;
+            if (!victim || kv.second.lastUse < victim->lastUse)
+                victim = &kv.second;
+        }
+        if (!victim)
+            return;
+        hotBytes_ -= victim->hotText.size();
+        victim->hotText.clear();
+        victim->hotText.shrink_to_fit();
+        victim->hot = false;
+    }
+}
+
+bool
+ResultStore::lookup(const ResultKey &key, std::string &cellJson)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    Entry &entry = it->second;
+    if (entry.hot) {
+        cellJson = entry.hotText;
+        entry.lastUse = ++useCounter_;
+        return true;
+    }
+    // Cold entry: re-read its line from disk and re-validate. A line that
+    // no longer parses (external damage) degrades to a miss.
+    std::string line(entry.length, '\0');
+    if (std::fseek(read_, entry.offset, SEEK_SET) != 0 ||
+        std::fread(line.data(), 1, line.size(), read_) != line.size()) {
+        PARA_WARN("result store %s: cannot re-read entry at offset %ld",
+                  path_.c_str(), entry.offset);
+        return false;
+    }
+    ResultKey diskKey;
+    bool parsed = parseEntry(line, diskKey, cellJson);
+    bool sameKey = parsed && !(diskKey < key) && !(key < diskKey);
+    if (!parsed || !sameKey) {
+        PARA_WARN("result store %s: entry at offset %ld no longer parses; "
+                  "treated as a miss",
+                  path_.c_str(), entry.offset);
+        cellJson.clear();
+        return false;
+    }
+    touch(entry, cellJson);
+    return true;
+}
+
+void
+ResultStore::insert(const ResultKey &key, const std::string &cellJson)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key))
+        return;
+    if (!append_ || writeFailed_)
+        return;
+    std::string entryLine = renderEntry(key, cellJson);
+    if (std::fseek(append_, 0, SEEK_END) != 0) {
+        writeFailed_ = true;
+        PARA_WARN("result store %s: seek failed; caching disabled",
+                  path_.c_str());
+        return;
+    }
+    long offset = std::ftell(append_);
+    if (offset < 0 ||
+        std::fwrite(entryLine.data(), 1, entryLine.size(), append_) !=
+            entryLine.size() ||
+        std::fflush(append_) != 0) {
+        writeFailed_ = true;
+        PARA_WARN("result store %s: append failed; caching disabled",
+                  path_.c_str());
+        return;
+    }
+    Entry &entry = index_[key];
+    entry.offset = offset;
+    entry.length = entryLine.size() - 1; // exclude the newline
+    touch(entry, cellJson);
+}
+
+size_t
+ResultStore::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+size_t
+ResultStore::hotBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hotBytes_;
+}
+
+} // namespace serve
+} // namespace paragraph

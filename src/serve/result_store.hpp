@@ -1,0 +1,124 @@
+/**
+ * @file
+ * ResultStore: the daemon's content-addressed cell cache.
+ *
+ * Every Ok cell the daemon ever computes is stored under its *content*
+ * address — the CRC-32 of the trace's packed records plus the CRC-32 of the
+ * canonical config text (engine/config_key.hpp) plus the profiles flag that
+ * selects the cell rendering. Nothing about the key involves input spec
+ * strings, request shapes, or time, so any client asking for a cell that
+ * any client has ever computed gets the original bytes back, even across
+ * daemon restarts.
+ *
+ * Persistence is an append-only JSONL file in the journal's mold: a schema
+ * header line, then one self-contained entry per line, flushed as written.
+ * Loading tolerates torn or corrupt lines (a crash mid-append loses at most
+ * the line being written; everything else re-serves), and duplicate keys
+ * resolve to the newest entry. The in-memory index holds every entry's file
+ * position; entry *text* is kept hot only up to Options::memoryBudget bytes
+ * (LRU), older entries re-read from disk on demand — the index stays small
+ * even when the store grows far past RAM.
+ */
+
+#ifndef PARAGRAPH_SERVE_RESULT_STORE_HPP
+#define PARAGRAPH_SERVE_RESULT_STORE_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace paragraph {
+namespace serve {
+
+/** Content address of one cell result. */
+struct ResultKey
+{
+    uint32_t traceCrc = 0;  ///< trace::traceBufferCrc of the input's records
+    uint32_t configKey = 0; ///< engine::configKey of the analysis config
+    bool profiles = false;  ///< cell rendered with profile buckets?
+
+    bool
+    operator<(const ResultKey &o) const
+    {
+        if (traceCrc != o.traceCrc)
+            return traceCrc < o.traceCrc;
+        if (configKey != o.configKey)
+            return configKey < o.configKey;
+        return profiles < o.profiles;
+    }
+};
+
+class ResultStore
+{
+  public:
+    struct Options
+    {
+        /** Byte budget for hot entry text; 0 = keep everything resident.
+         *  The index (a few dozen bytes per entry) is never evicted. */
+        size_t memoryBudget = 0;
+    };
+
+    /**
+     * Open (creating if absent) the store at @p path and index every
+     * parseable entry. Throws FatalError if the file cannot be opened or
+     * carries the wrong schema header; damaged entry lines are warned
+     * about and skipped.
+     */
+    explicit ResultStore(std::string path);
+    ResultStore(std::string path, Options opt);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Fetch the cell text stored under @p key into @p cellJson. Serves
+     * from the hot cache or re-reads the entry's line from disk.
+     * @return false on a miss (or if the on-disk line has since been
+     *         damaged — treated as a miss, the caller recomputes).
+     */
+    bool lookup(const ResultKey &key, std::string &cellJson);
+
+    /**
+     * Append @p cellJson under @p key and flush. A key already present is
+     * left alone (first write wins — identical by construction, since the
+     * key is the content address of everything that determines the text).
+     */
+    void insert(const ResultKey &key, const std::string &cellJson);
+
+    /** Entries indexed. */
+    size_t entries() const;
+
+    /** Bytes of entry text currently hot. */
+    size_t hotBytes() const;
+
+  private:
+    struct Entry
+    {
+        long offset = 0;   ///< byte offset of this entry's line
+        size_t length = 0; ///< line length excluding the newline
+        std::string hotText;
+        bool hot = false;
+        uint64_t lastUse = 0;
+    };
+
+    void touch(Entry &entry, std::string text);
+    void enforceBudget();
+
+    std::string path_;
+    Options opt_;
+    mutable std::mutex mutex_;
+    std::FILE *append_ = nullptr;
+    std::FILE *read_ = nullptr;
+    std::map<ResultKey, Entry> index_;
+    size_t hotBytes_ = 0;
+    uint64_t useCounter_ = 0;
+    bool writeFailed_ = false;
+};
+
+} // namespace serve
+} // namespace paragraph
+
+#endif // PARAGRAPH_SERVE_RESULT_STORE_HPP

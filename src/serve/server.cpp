@@ -1,0 +1,387 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "engine/config_key.hpp"
+#include "engine/sweep_json.hpp"
+#include "support/panic.hpp"
+
+namespace paragraph {
+namespace serve {
+
+namespace {
+
+engine::TraceRepository::Options
+repoOptions(const ServeServer::Options &opt)
+{
+    engine::TraceRepository::Options ro;
+    ro.scale = opt.small ? workloads::Scale::Small : workloads::Scale::Full;
+    ro.memoryBudget = opt.traceMemoryBudget;
+    // maxRecords stays 0: the daemon captures whole traces, and per-request
+    // instruction caps live in each cell's config (covered by its key).
+    return ro;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+ServeServer::ServeServer(Options opt) : opt_(std::move(opt)), repo_(repoOptions(opt_))
+{
+    engine::SweepScheduler::Options so;
+    so.jobs = opt_.jobs;
+    so.groupSize = opt_.groupSize;
+    so.maxRetries = opt_.maxRetries;
+    so.cellDeadlineSeconds = opt_.cellDeadlineSeconds;
+    scheduler_ = std::make_unique<engine::SweepScheduler>(repo_, so);
+    if (!opt_.storePath.empty()) {
+        ResultStore::Options ro;
+        ro.memoryBudget = opt_.storeMemoryBudget;
+        store_ = std::make_unique<ResultStore>(opt_.storePath, ro);
+    }
+    cancel_.setReason("daemon shutting down");
+}
+
+ServeServer::~ServeServer()
+{
+    requestStop();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opt_.socketPath.c_str());
+    }
+    if (scheduler_)
+        scheduler_->stop();
+    closeAllClients();
+    for (std::thread &t : clientThreads_)
+        t.join();
+    clientThreads_.clear();
+}
+
+bool
+ServeServer::start(std::string &error)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (opt_.socketPath.empty() ||
+        opt_.socketPath.size() >= sizeof(addr.sun_path)) {
+        error = "socket path empty or too long for AF_UNIX";
+        return false;
+    }
+    std::memcpy(addr.sun_path, opt_.socketPath.c_str(),
+                opt_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = opt_.socketPath + ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(opt_.socketPath.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+ServeServer::run()
+{
+    PARA_ASSERT(listenFd_ >= 0,
+                "ServeServer::run() before a successful start()");
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int n = ::poll(&pfd, 1, 200 /* ms: bounded stop latency */);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // a signal arrived; re-check stop_
+            PARA_WARN("serve: poll failed (%s)", std::strerror(errno));
+            break;
+        }
+        if (n == 0 || !(pfd.revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            PARA_WARN("serve: accept failed (%s)", std::strerror(errno));
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(clientMutex_);
+            clientFds_.insert(fd);
+            clientThreads_.emplace_back(
+                [this, fd] { handleClient(fd); });
+        }
+    }
+
+    // Wind down: stop accepting, cut queued/in-flight analysis short, and
+    // unblock any handler stuck in a read.
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opt_.socketPath.c_str());
+    scheduler_->stop();
+    closeAllClients();
+    for (std::thread &t : clientThreads_)
+        t.join();
+    clientThreads_.clear();
+}
+
+void
+ServeServer::requestStop()
+{
+    cancel_.cancelFromSignal();
+    stop_.store(true, std::memory_order_release);
+}
+
+void
+ServeServer::closeAllClients()
+{
+    std::lock_guard<std::mutex> lock(clientMutex_);
+    for (int fd : clientFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+ServeServer::handleClient(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool shutdownRequested = false;
+    while (!shutdownRequested) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // client closed; any partial line is abandoned
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while (!shutdownRequested &&
+               (nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            std::string response =
+                handleRequestLine(line, shutdownRequested);
+            if (!sendAll(fd, response + "\n")) {
+                // Client went away mid-response. Completed cells are
+                // already in the store; nothing to unwind.
+                shutdownRequested = shutdownRequested || false;
+                nl = std::string::npos;
+                break;
+            }
+        }
+    }
+    ::close(fd);
+    {
+        std::lock_guard<std::mutex> lock(clientMutex_);
+        clientFds_.erase(fd);
+    }
+    if (shutdownRequested)
+        requestStop();
+}
+
+std::string
+ServeServer::handleRequestLine(const std::string &line, bool &shutdown)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    ServeRequest req;
+    std::string error;
+    if (!parseServeRequest(line, req, error))
+        return renderErrorResponse(error);
+    if (stop_.load(std::memory_order_acquire))
+        return renderErrorResponse("daemon is shutting down");
+
+    switch (req.op) {
+      case ServeRequest::Op::Ping:
+        return renderAckResponse("ping");
+      case ServeRequest::Op::Stats:
+        return statsLine();
+      case ServeRequest::Op::Shutdown:
+        shutdown = true;
+        if (!opt_.quiet)
+            PARA_WARN("serve: shutdown requested by client");
+        return renderAckResponse("shutdown");
+      case ServeRequest::Op::Sweep:
+        break;
+    }
+
+    if (req.small != opt_.small) {
+        return renderErrorResponse(
+            opt_.small ? "daemon serves --small workloads; request full "
+                         "scale from a full-scale daemon"
+                       : "daemon serves full-scale workloads; drop "
+                         "\"small\" or restart the daemon with --small");
+    }
+    try {
+        return handleSweep(req);
+    } catch (const std::exception &e) {
+        return renderErrorResponse(e.what());
+    }
+}
+
+std::string
+ServeServer::handleSweep(const ServeRequest &req)
+{
+    engine::SweepArgs args = toSweepArgs(req);
+    std::vector<core::AnalysisConfig> configs;
+    std::vector<std::string> labels;
+    std::string error;
+    if (!engine::buildSweepConfigAxis(args, configs, labels, error))
+        return renderErrorResponse(error);
+
+    engine::SweepJsonOptions jsonOpt;
+    jsonOpt.timing = false;
+    jsonOpt.profiles = req.profiles;
+
+    // Lay out the grid exactly as SweepEngine::run would.
+    engine::SweepResult sweep;
+    sweep.jobs = scheduler_->workers();
+    sweep.cells.resize(req.inputs.size() * configs.size());
+    std::vector<engine::SweepJob> misses;
+    std::vector<size_t> missSlot;         // grid index per submitted job
+    std::map<size_t, ResultKey> slotKey;  // grid index -> content address
+    uint64_t cached = 0;
+    for (size_t i = 0; i < req.inputs.size(); ++i) {
+        uint32_t traceCrc = 0;
+        bool haveCrc = false;
+        try {
+            traceCrc = repo_.traceCrc(req.inputs[i]);
+            haveCrc = true;
+        } catch (const std::exception &) {
+            // Unknown/broken input: fall through — the scheduler's
+            // per-cell attempts loop will attribute the error per cell.
+        }
+        for (size_t j = 0; j < configs.size(); ++j) {
+            size_t slot = i * configs.size() + j;
+            engine::SweepJob job;
+            job.input = req.inputs[i];
+            job.config = configs[j];
+            job.config.cancel = &cancel_;
+            job.configLabel = labels[j];
+            job.inputIndex = i;
+            job.configIndex = j;
+
+            if (haveCrc) {
+                ResultKey key;
+                key.traceCrc = traceCrc;
+                // The key is the *analysis* config's fingerprint — the
+                // cancel pointer is excluded from the canonical text.
+                key.configKey = engine::configKey(job.config);
+                key.profiles = req.profiles;
+                slotKey[slot] = key;
+                std::string cellJson;
+                if (store_ && store_->lookup(key, cellJson)) {
+                    engine::SweepCell &cell = sweep.cells[slot];
+                    cell.job = std::move(job);
+                    cell.status = engine::SweepCell::Status::Skipped;
+                    cell.journalText = std::move(cellJson);
+                    ++cached;
+                    continue;
+                }
+            }
+            missSlot.push_back(slot);
+            misses.push_back(std::move(job));
+        }
+    }
+    sweep.cellsSkipped = cached;
+
+    if (!misses.empty()) {
+        // Store each Ok cell the moment it is final: a client that
+        // disconnects (or a daemon killed later) never loses cells that
+        // completed. The callback runs on worker threads; ResultStore
+        // serializes internally.
+        auto batch = scheduler_->submit(
+            std::move(misses), [&](engine::SweepCell &cell) {
+                if (cell.status != engine::SweepCell::Status::Ok || !store_)
+                    return;
+                size_t slot = cell.job.inputIndex * configs.size() +
+                              cell.job.configIndex;
+                auto it = slotKey.find(slot);
+                if (it == slotKey.end())
+                    return; // input CRC unavailable: uncacheable
+                store_->insert(it->second, cellToJson(cell, jsonOpt));
+            });
+        batch->wait();
+        std::vector<engine::SweepCell> &done = batch->cells();
+        for (size_t k = 0; k < done.size(); ++k)
+            sweep.cells[missSlot[k]] = std::move(done[k]);
+    }
+
+    uint64_t failed = 0;
+    for (const engine::SweepCell &cell : sweep.cells) {
+        if (cell.status == engine::SweepCell::Status::Failed)
+            ++failed;
+    }
+    sweep.cellsFailed = failed;
+
+    uint64_t computed = sweep.cells.size() - cached;
+    cellsCached_.fetch_add(cached, std::memory_order_relaxed);
+    cellsComputed_.fetch_add(computed, std::memory_order_relaxed);
+    if (!opt_.quiet) {
+        PARA_WARN("serve: sweep %zu cells (%llu cached, %llu computed, "
+                  "%llu failed)",
+                  sweep.cells.size(),
+                  static_cast<unsigned long long>(cached),
+                  static_cast<unsigned long long>(computed),
+                  static_cast<unsigned long long>(failed));
+    }
+
+    return renderSweepResponse(sweep.cells.size(), failed, cached, computed,
+                               sweepToJson(sweep, jsonOpt));
+}
+
+std::string
+ServeServer::statsLine()
+{
+    ServeResponse stats;
+    stats.requests = requests_.load(std::memory_order_relaxed);
+    stats.storeEntries = store_ ? store_->entries() : 0;
+    stats.storeHotBytes = store_ ? store_->hotBytes() : 0;
+    stats.traceCachedInputs = repo_.cachedInputs();
+    stats.traceCachedBytes = repo_.cachedBytes();
+    stats.totalCellsCached = cellsCached_.load(std::memory_order_relaxed);
+    stats.totalCellsComputed =
+        cellsComputed_.load(std::memory_order_relaxed);
+    return renderStatsResponse(stats);
+}
+
+} // namespace serve
+} // namespace paragraph

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ServeServer: the paragraph-serve daemon core.
+ *
+ * One process owns three shared layers — a TraceRepository (byte-budgeted
+ * capture cache), a SweepScheduler (standing worker pool with trace-major
+ * fusion across *all* clients' cells), and a ResultStore (the persistent
+ * content-addressed cell cache). Clients connect over an AF_UNIX socket
+ * and exchange one newline-delimited JSON request/response pair per
+ * operation (serve/protocol.hpp); each connection gets a handler thread,
+ * but all actual analysis flows through the one scheduler, so two clients
+ * sweeping the same trace fuse into shared passes.
+ *
+ * A sweep request is resolved cell by cell: compute the content address
+ * (trace CRC + config key + profiles flag), serve store hits as journal-
+ * style splices, submit only the misses, store every newly-Ok cell as it
+ * completes (so a client that disconnects mid-job still leaves its
+ * finished cells behind for the next asker), and render the document with
+ * the same writer paragraph-sweep uses. Shutdown (client op, SIGINT, or
+ * SIGTERM) is graceful: in-flight analyses are cancelled at their next
+ * checkpoint, queued cells fail fast, and the store's append-per-cell
+ * discipline means a restart re-serves everything that ever finished.
+ */
+
+#ifndef PARAGRAPH_SERVE_SERVER_HPP
+#define PARAGRAPH_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cancel_token.hpp"
+#include "engine/scheduler.hpp"
+#include "engine/trace_repository.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_store.hpp"
+
+namespace paragraph {
+namespace serve {
+
+class ServeServer
+{
+  public:
+    struct Options
+    {
+        /** AF_UNIX socket path to listen on (created; must not exist). */
+        std::string socketPath;
+
+        /** Result store JSONL path; empty = serve without persistence
+         *  (every cell recomputed, useful only for tests). */
+        std::string storePath;
+
+        /** Hot-text byte budget for the result store; 0 = unlimited. */
+        size_t storeMemoryBudget = 0;
+
+        /** Capture-cache byte budget for the trace repository;
+         *  0 = unlimited. */
+        size_t traceMemoryBudget = 0;
+
+        /** Analysis worker threads; 0 = hardware concurrency. */
+        unsigned jobs = 0;
+
+        /** Cells fused per pass (engine::SweepScheduler::Options). */
+        unsigned groupSize = 8;
+
+        /** Retries for ordinarily-failed cells. */
+        unsigned maxRetries = 0;
+
+        /** Per-attempt cell deadline in seconds; 0 = none. */
+        double cellDeadlineSeconds = 0.0;
+
+        /** Serve workload inputs at reduced scale (must match what
+         *  clients ask for; a mismatched request is rejected). */
+        bool small = false;
+
+        /** Suppress per-request log lines on stderr. */
+        bool quiet = false;
+    };
+
+    explicit ServeServer(Options opt);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /** Bind + listen on Options::socketPath. False with @p error set on
+     *  failure (socket in use, path too long, ...). */
+    bool start(std::string &error);
+
+    /**
+     * Accept and serve clients until requestStop() (or a client shutdown
+     * op). Returns after every handler thread has been joined and the
+     * socket unlinked.
+     */
+    void run();
+
+    /** Ask run() to wind down. Async-signal-safe: flips atomics only. */
+    void requestStop();
+
+    /** The token every analysis runs under; requestStop() cancels it. */
+    core::CancelToken &cancelToken() { return cancel_; }
+
+  private:
+    void handleClient(int fd);
+    std::string handleRequestLine(const std::string &line, bool &shutdown);
+    std::string handleSweep(const ServeRequest &req);
+    std::string statsLine();
+    void closeAllClients();
+
+    Options opt_;
+    engine::TraceRepository repo_;
+    std::unique_ptr<engine::SweepScheduler> scheduler_;
+    std::unique_ptr<ResultStore> store_;
+    core::CancelToken cancel_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    std::mutex clientMutex_;
+    std::set<int> clientFds_;
+    std::vector<std::thread> clientThreads_;
+
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> cellsCached_{0};
+    std::atomic<uint64_t> cellsComputed_{0};
+};
+
+} // namespace serve
+} // namespace paragraph
+
+#endif // PARAGRAPH_SERVE_SERVER_HPP

@@ -1,0 +1,226 @@
+#include "support/json_line.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace paragraph {
+
+bool
+JsonLineParser::parse()
+{
+    skipWs();
+    if (!eat('{'))
+        return false;
+    skipWs();
+    if (eat('}')) {
+        skipWs();
+        return p_ == s_.size();
+    }
+    for (;;) {
+        std::string key;
+        if (!parseString(key))
+            return false;
+        skipWs();
+        if (!eat(':'))
+            return false;
+        skipWs();
+        if (!parseValue(key))
+            return false;
+        skipWs();
+        if (eat('}'))
+            break;
+        if (!eat(','))
+            return false;
+        skipWs();
+    }
+    skipWs();
+    return p_ == s_.size();
+}
+
+const std::string *
+JsonLineParser::str(const char *key) const
+{
+    auto it = strs_.find(key);
+    return it == strs_.end() ? nullptr : &it->second;
+}
+
+bool
+JsonLineParser::num(const char *key, uint64_t &out) const
+{
+    auto it = nums_.find(key);
+    if (it == nums_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+JsonLineParser::boolean(const char *key, bool &out) const
+{
+    auto it = bools_.find(key);
+    if (it == bools_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+const std::vector<std::string> *
+JsonLineParser::strList(const char *key) const
+{
+    auto it = strLists_.find(key);
+    return it == strLists_.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint64_t> *
+JsonLineParser::numList(const char *key) const
+{
+    auto it = numLists_.find(key);
+    return it == numLists_.end() ? nullptr : &it->second;
+}
+
+void
+JsonLineParser::skipWs()
+{
+    while (p_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[p_])))
+        ++p_;
+}
+
+bool
+JsonLineParser::eat(char c)
+{
+    if (p_ < s_.size() && s_[p_] == c) {
+        ++p_;
+        return true;
+    }
+    return false;
+}
+
+bool
+JsonLineParser::parseString(std::string &out)
+{
+    if (!eat('"'))
+        return false;
+    out.clear();
+    while (p_ < s_.size()) {
+        char c = s_[p_++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (p_ >= s_.size())
+            return false;
+        char e = s_[p_++];
+        switch (e) {
+          case '"':  out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/':  out += '/'; break;
+          case 'n':  out += '\n'; break;
+          case 't':  out += '\t'; break;
+          case 'r':  out += '\r'; break;
+          case 'u': {
+            if (p_ + 4 > s_.size())
+                return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = s_[p_++];
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    v |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (v > 0xff) // the writers only escape control bytes
+                return false;
+            out += static_cast<char>(v);
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+    return false; // unterminated
+}
+
+bool
+JsonLineParser::parseNumber(uint64_t &out)
+{
+    size_t start = p_;
+    while (p_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[p_])))
+        ++p_;
+    if (p_ == start)
+        return false;
+    out = std::strtoull(s_.substr(start, p_ - start).c_str(), nullptr, 10);
+    return true;
+}
+
+bool
+JsonLineParser::parseValue(const std::string &key)
+{
+    if (p_ < s_.size() && s_[p_] == '"') {
+        std::string v;
+        if (!parseString(v))
+            return false;
+        strs_[key] = std::move(v);
+        return true;
+    }
+    if (s_.compare(p_, 4, "true") == 0) {
+        p_ += 4;
+        bools_[key] = true;
+        return true;
+    }
+    if (s_.compare(p_, 5, "false") == 0) {
+        p_ += 5;
+        bools_[key] = false;
+        return true;
+    }
+    if (p_ < s_.size() && s_[p_] == '[') {
+        ++p_;
+        skipWs();
+        std::vector<std::string> strItems;
+        std::vector<uint64_t> numItems;
+        if (eat(']')) { // an empty array registers under both types
+            strLists_[key] = std::move(strItems);
+            numLists_[key] = std::move(numItems);
+            return true;
+        }
+        // A flat array must be homogeneous: all strings or all integers.
+        bool stringArray = s_[p_] == '"';
+        for (;;) {
+            if (stringArray) {
+                std::string v;
+                if (!parseString(v))
+                    return false;
+                strItems.push_back(std::move(v));
+            } else {
+                uint64_t v = 0;
+                if (!parseNumber(v))
+                    return false;
+                numItems.push_back(v);
+            }
+            skipWs();
+            if (eat(']'))
+                break;
+            if (!eat(','))
+                return false;
+            skipWs();
+        }
+        if (stringArray)
+            strLists_[key] = std::move(strItems);
+        else
+            numLists_[key] = std::move(numItems);
+        return true;
+    }
+    uint64_t v = 0;
+    if (!parseNumber(v))
+        return false;
+    nums_[key] = v;
+    return true;
+}
+
+} // namespace paragraph

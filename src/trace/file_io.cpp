@@ -282,5 +282,16 @@ TraceFileReader::reset()
     runningCrc_ = 0;
 }
 
+uint32_t
+traceBufferCrc(const TraceBuffer &buffer)
+{
+    uint32_t crc = 0;
+    for (const TraceRecord &rec : buffer.records()) {
+        PackedRecord p = packRecord(rec);
+        crc = crc32Update(crc, &p, sizeof(p));
+    }
+    return crc;
+}
+
 } // namespace trace
 } // namespace paragraph

@@ -143,6 +143,16 @@ class TraceFileReader : public TraceSource
 PackedRecord packRecord(const TraceRecord &rec);
 TraceRecord unpackRecord(const PackedRecord &packed);
 
+/**
+ * CRC-32 of @p buffer's records in their packed on-disk form — the same
+ * value a TraceFileWriter draining the buffer would put in the header's
+ * payloadCrc field. This is the trace half of the (trace CRC-32, config
+ * key) content address the paragraph-serve result cache is keyed by: it
+ * identifies the analyzed records themselves, independent of whether they
+ * came from a file, a simulation, or a bundled workload.
+ */
+uint32_t traceBufferCrc(const TraceBuffer &buffer);
+
 } // namespace trace
 } // namespace paragraph
 

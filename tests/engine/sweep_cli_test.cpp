@@ -2,11 +2,18 @@
 // user would and check the JSON document and the determinism guarantee.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -98,6 +105,59 @@ TEST(SweepCli, WritesToAFile)
     EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v2\""),
               std::string::npos);
     fs::remove(path);
+}
+
+TEST(SweepCli, SigintFlushesTheJournalAndExits130)
+{
+    // The graceful-interrupt contract: SIGINT mid-sweep cancels in-flight
+    // cells cooperatively, still writes the (partial) document and journal,
+    // and exits with the shell's death-by-SIGINT status, 128 + 2. The grid
+    // is big and serial on purpose so the signal always lands mid-run.
+    namespace fs = std::filesystem;
+    std::string journal = (fs::temp_directory_path() / "sweep_int.jsonl")
+                              .string();
+    std::string out = (fs::temp_directory_path() / "sweep_int.json").string();
+    fs::remove(journal);
+    fs::remove(out);
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        int devnull = ::open("/dev/null", O_WRONLY);
+        ::dup2(devnull, 2);
+        std::string bin = sweepCliPath();
+        std::string journalArg = "--journal=" + journal;
+        std::string outArg = "--out=" + out;
+        ::execl(bin.c_str(), bin.c_str(), "--inputs=cc1,espresso,xlisp",
+                "--windows=0,16,64,256,1024", "--jobs=1", "--quiet",
+                "--no-timing", journalArg.c_str(), outArg.c_str(),
+                static_cast<char *>(nullptr));
+        _exit(127);
+    }
+
+    // Give parseArgs + the signal-handler installation time to happen; the
+    // 15-cell serial full-scale grid runs far longer than this.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_EQ(::kill(pid, SIGINT), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "died by signal instead of handling it";
+    EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
+
+    // Journal and document were flushed on the way out.
+    std::ifstream jin(journal);
+    ASSERT_TRUE(jin.good());
+    std::string header;
+    std::getline(jin, header);
+    EXPECT_NE(header.find("paragraph-sweep-journal-v1"), std::string::npos);
+    std::ifstream din(out);
+    ASSERT_TRUE(din.good());
+    std::ostringstream doc;
+    doc << din.rdbuf();
+    EXPECT_NE(doc.str().find("\"schema\": \"paragraph-sweep-v2\""),
+              std::string::npos);
+    fs::remove(journal);
+    fs::remove(out);
 }
 
 TEST(SweepCli, BadArgumentsFailCleanly)

@@ -1,0 +1,556 @@
+// Tests for the paragraph-serve subsystem: the content-addressed result
+// store (persistence, LRU, damage tolerance), the wire protocol
+// (parse/render round trips), and the daemon itself — run in-process on an
+// ephemeral AF_UNIX socket against the checked-in golden traces, proving
+// the cache serves warm cells byte-identical to cold ones, across
+// overlapping grids, concurrent clients, disconnects, and restarts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_store.hpp"
+#include "serve/server.hpp"
+#include "support/panic.hpp"
+
+using namespace paragraph;
+using namespace paragraph::serve;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+tempPath(const std::string &tag)
+{
+    return (fs::temp_directory_path() /
+            ("ps_" + tag + "_" + std::to_string(::getpid())))
+        .string();
+}
+
+std::string
+goldenTrace(const std::string &name)
+{
+    return std::string(PARAGRAPH_GOLDEN_DIR) + "/" + name;
+}
+
+/** Append raw bytes to a file (to simulate damage and torn writes). */
+void
+appendRaw(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+}
+
+/** An in-process daemon on an ephemeral socket, torn down on destruction. */
+struct Daemon
+{
+    std::string socketPath;
+    std::string storePath;
+    std::unique_ptr<ServeServer> server;
+    std::thread thread;
+
+    explicit Daemon(const std::string &tag, ServeServer::Options opt = {})
+        : socketPath(tempPath(tag + ".sock")), storePath(opt.storePath)
+    {
+        fs::remove(socketPath);
+        opt.socketPath = socketPath;
+        opt.quiet = true;
+        if (opt.jobs == 0)
+            opt.jobs = 2;
+        server = std::make_unique<ServeServer>(std::move(opt));
+        std::string error;
+        if (!server->start(error))
+            PARA_FATAL("daemon start failed: %s", error.c_str());
+        thread = std::thread([this] { server->run(); });
+    }
+
+    ~Daemon()
+    {
+        stop();
+        fs::remove(socketPath);
+    }
+
+    void
+    stop()
+    {
+        if (server)
+            server->requestStop();
+        if (thread.joinable())
+            thread.join();
+    }
+};
+
+ServeRequest
+sweepRequest(const std::vector<std::string> &inputs,
+             const std::vector<uint64_t> &windows)
+{
+    ServeRequest req;
+    req.op = ServeRequest::Op::Sweep;
+    req.inputs = inputs;
+    req.windows = windows;
+    return req;
+}
+
+/** Connect, send @p req, and parse the single response line. */
+ServeResponse
+ask(const Daemon &daemon, const ServeRequest &req)
+{
+    ServeClient client(daemon.socketPath);
+    std::string error;
+    EXPECT_TRUE(client.connect(error)) << error;
+    std::string line;
+    EXPECT_TRUE(client.roundTrip(renderServeRequest(req), line, error))
+        << error;
+    ServeResponse resp;
+    EXPECT_TRUE(parseServeResponse(line, resp, error)) << error;
+    return resp;
+}
+
+ResultKey
+key(uint32_t traceCrc, uint32_t configKey, bool profiles = true)
+{
+    ResultKey k;
+    k.traceCrc = traceCrc;
+    k.configKey = configKey;
+    k.profiles = profiles;
+    return k;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// ResultStore
+
+TEST(ResultStore, RoundTripsAndPersistsAcrossReopen)
+{
+    std::string path = tempPath("store_rt.jsonl");
+    fs::remove(path);
+
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.entries(), 0u);
+        store.insert(key(1, 2), "{\"cell\": 1}");
+        store.insert(key(1, 3), "cell\nwith\n\"escapes\"\\");
+        std::string text;
+        ASSERT_TRUE(store.lookup(key(1, 2), text));
+        EXPECT_EQ(text, "{\"cell\": 1}");
+        EXPECT_FALSE(store.lookup(key(9, 9), text));
+
+        // Same content address: first write wins, nothing is appended.
+        store.insert(key(1, 2), "{\"cell\": 1}");
+        EXPECT_EQ(store.entries(), 2u);
+    }
+
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.entries(), 2u);
+    std::string text;
+    ASSERT_TRUE(reopened.lookup(key(1, 3), text));
+    EXPECT_EQ(text, "cell\nwith\n\"escapes\"\\");
+    fs::remove(path);
+}
+
+TEST(ResultStore, ProfilesFlagIsPartOfTheAddress)
+{
+    std::string path = tempPath("store_prof.jsonl");
+    fs::remove(path);
+    ResultStore store(path);
+    store.insert(key(1, 2, true), "with profiles");
+    store.insert(key(1, 2, false), "without profiles");
+    EXPECT_EQ(store.entries(), 2u);
+    std::string text;
+    ASSERT_TRUE(store.lookup(key(1, 2, false), text));
+    EXPECT_EQ(text, "without profiles");
+    fs::remove(path);
+}
+
+TEST(ResultStore, EvictedHotTextIsReReadFromDisk)
+{
+    std::string path = tempPath("store_lru.jsonl");
+    fs::remove(path);
+    ResultStore::Options opt;
+    opt.memoryBudget = 64; // room for roughly one entry's text
+    ResultStore store(path, opt);
+
+    std::string big(50, 'a');
+    std::string alsoBig(50, 'b');
+    store.insert(key(1, 1), big);
+    store.insert(key(2, 2), alsoBig); // evicts the first entry's hot text
+    EXPECT_LE(store.hotBytes(), opt.memoryBudget);
+    EXPECT_EQ(store.entries(), 2u);
+
+    // Both still serve: one hot, one re-read (and re-validated) from disk.
+    std::string text;
+    ASSERT_TRUE(store.lookup(key(1, 1), text));
+    EXPECT_EQ(text, big);
+    ASSERT_TRUE(store.lookup(key(2, 2), text));
+    EXPECT_EQ(text, alsoBig);
+    fs::remove(path);
+}
+
+TEST(ResultStore, DamagedLinesAreSkippedNotFatal)
+{
+    std::string path = tempPath("store_damage.jsonl");
+    fs::remove(path);
+    {
+        ResultStore store(path);
+        store.insert(key(1, 1), "first");
+    }
+    appendRaw(path, "this is not json\n");
+    appendRaw(path, "{\"trace_crc\": 2}\n"); // incomplete entry
+    {
+        ResultStore store(path); // warns twice, keeps going
+        EXPECT_EQ(store.entries(), 1u);
+        store.insert(key(3, 3), "after damage");
+    }
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.entries(), 2u);
+    std::string text;
+    ASSERT_TRUE(reopened.lookup(key(1, 1), text));
+    EXPECT_EQ(text, "first");
+    ASSERT_TRUE(reopened.lookup(key(3, 3), text));
+    EXPECT_EQ(text, "after damage");
+    fs::remove(path);
+}
+
+TEST(ResultStore, TornFinalLineIsDroppedAndSealed)
+{
+    std::string path = tempPath("store_torn.jsonl");
+    fs::remove(path);
+    {
+        ResultStore store(path);
+        store.insert(key(1, 1), "whole");
+    }
+    // A crash mid-append: the last line has no terminating newline.
+    appendRaw(path, "{\"trace_crc\": 7, \"config_key\": 8, \"profi");
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.entries(), 1u); // the fragment is not indexed
+        // New inserts must start a clean line, not extend the fragment.
+        store.insert(key(2, 2), "post-crash");
+    }
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.entries(), 2u);
+    std::string text;
+    ASSERT_TRUE(reopened.lookup(key(1, 1), text));
+    EXPECT_EQ(text, "whole");
+    ASSERT_TRUE(reopened.lookup(key(2, 2), text));
+    EXPECT_EQ(text, "post-crash");
+    fs::remove(path);
+}
+
+TEST(ResultStore, RejectsAForeignFile)
+{
+    std::string path = tempPath("store_foreign.jsonl");
+    fs::remove(path);
+    appendRaw(path, "{\"schema\": \"something-else\"}\n");
+    EXPECT_THROW(ResultStore{path}, FatalError);
+    fs::remove(path);
+}
+
+// --------------------------------------------------------------------------
+// Protocol
+
+TEST(ServeProtocol, SweepRequestRoundTrips)
+{
+    ServeRequest req = sweepRequest({"xlisp", "a b.ptrc"}, {16, 0});
+    req.renames = {"none", "data"};
+    req.syscalls = {"stall"};
+    req.predictors = {"perfect", "wrong"};
+    req.fus = {0, 2};
+    req.maxInstructions = 1234;
+    req.profiles = false;
+    req.small = true;
+
+    ServeRequest back;
+    std::string error;
+    ASSERT_TRUE(parseServeRequest(renderServeRequest(req), back, error))
+        << error;
+    EXPECT_EQ(back.op, ServeRequest::Op::Sweep);
+    EXPECT_EQ(back.inputs, req.inputs);
+    EXPECT_EQ(back.windows, req.windows);
+    EXPECT_EQ(back.renames, req.renames);
+    EXPECT_EQ(back.syscalls, req.syscalls);
+    EXPECT_EQ(back.predictors, req.predictors);
+    EXPECT_EQ(back.fus, req.fus);
+    EXPECT_EQ(back.maxInstructions, 1234u);
+    EXPECT_FALSE(back.profiles);
+    EXPECT_TRUE(back.small);
+
+    engine::SweepArgs args = toSweepArgs(back);
+    EXPECT_EQ(args.inputs, req.inputs);
+    EXPECT_FALSE(args.json.timing) << "served documents never carry timing";
+}
+
+TEST(ServeProtocol, RejectsBadRequests)
+{
+    ServeRequest req;
+    std::string error;
+    EXPECT_FALSE(parseServeRequest("not json", req, error));
+    EXPECT_FALSE(parseServeRequest(
+        "{\"schema\": \"wrong-schema\", \"op\": \"ping\"}", req, error));
+    EXPECT_FALSE(parseServeRequest(
+        "{\"schema\": \"paragraph-serve-v1\", \"op\": \"dance\"}", req,
+        error));
+    // A sweep with no inputs is refused at parse time.
+    EXPECT_FALSE(parseServeRequest(
+        "{\"schema\": \"paragraph-serve-v1\", \"op\": \"sweep\"}", req,
+        error));
+}
+
+TEST(ServeProtocol, ResponsesRoundTrip)
+{
+    ServeResponse resp;
+    std::string error;
+    ASSERT_TRUE(parseServeResponse(
+        renderSweepResponse(6, 1, 4, 1, "{\"cells\": []}"), resp, error))
+        << error;
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.op, "sweep");
+    EXPECT_EQ(resp.cellsTotal, 6u);
+    EXPECT_EQ(resp.cellsFailed, 1u);
+    EXPECT_EQ(resp.cellsCached, 4u);
+    EXPECT_EQ(resp.cellsComputed, 1u);
+    EXPECT_EQ(resp.document, "{\"cells\": []}");
+
+    ASSERT_TRUE(parseServeResponse(renderAckResponse("ping"), resp, error));
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.op, "ping");
+
+    ASSERT_TRUE(
+        parseServeResponse(renderErrorResponse("bad \"axis\""), resp, error));
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.error, "bad \"axis\"");
+}
+
+// --------------------------------------------------------------------------
+// Daemon end-to-end (golden traces over a real socket)
+
+TEST(ServeDaemon, AnswersPingAndStats)
+{
+    Daemon daemon("ping");
+    ServeRequest ping;
+    ping.op = ServeRequest::Op::Ping;
+    EXPECT_TRUE(ask(daemon, ping).ok());
+
+    ServeRequest stats;
+    stats.op = ServeRequest::Op::Stats;
+    ServeResponse resp = ask(daemon, stats);
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.op, "stats");
+    EXPECT_GE(resp.requests, 2u);
+}
+
+TEST(ServeDaemon, MalformedLinesGetErrorResponsesNotDisconnects)
+{
+    Daemon daemon("badline");
+    ServeClient client(daemon.socketPath);
+    std::string error;
+    ASSERT_TRUE(client.connect(error)) << error;
+    std::string line;
+    ASSERT_TRUE(client.roundTrip("definitely not json", line, error))
+        << error;
+    ServeResponse resp;
+    ASSERT_TRUE(parseServeResponse(line, resp, error)) << error;
+    EXPECT_FALSE(resp.ok());
+
+    // The connection is still usable afterwards.
+    ServeRequest ping;
+    ping.op = ServeRequest::Op::Ping;
+    ASSERT_TRUE(client.roundTrip(renderServeRequest(ping), line, error));
+    ASSERT_TRUE(parseServeResponse(line, resp, error)) << error;
+    EXPECT_TRUE(resp.ok());
+}
+
+TEST(ServeDaemon, WarmSweepIsFullyCachedAndByteIdentical)
+{
+    std::string store = tempPath("warm.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("warm", opt);
+
+    ServeRequest req =
+        sweepRequest({goldenTrace("xlisp-800.ptrc")}, {16, 64});
+    ServeResponse cold = ask(daemon, req);
+    ASSERT_TRUE(cold.ok()) << cold.error;
+    EXPECT_EQ(cold.cellsTotal, 2u);
+    EXPECT_EQ(cold.cellsComputed, 2u);
+    EXPECT_EQ(cold.cellsCached, 0u);
+    EXPECT_EQ(cold.cellsFailed, 0u);
+    EXPECT_NE(cold.document.find("\"cells\""), std::string::npos);
+
+    ServeResponse warm = ask(daemon, req);
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    EXPECT_EQ(warm.cellsCached, 2u);
+    EXPECT_EQ(warm.cellsComputed, 0u);
+    EXPECT_EQ(warm.document, cold.document)
+        << "cached cells must replay the original bytes";
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, OverlappingGridsReuseTheIntersection)
+{
+    std::string store = tempPath("overlap.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("overlap", opt);
+
+    std::string input = goldenTrace("matrix300-600.ptrc");
+    ASSERT_TRUE(ask(daemon, sweepRequest({input}, {16, 64})).ok());
+
+    // A *different* request whose grid overlaps the first: the shared
+    // cells come from the cache, only the new window is computed.
+    ServeResponse resp = ask(daemon, sweepRequest({input}, {16, 64, 256}));
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    EXPECT_EQ(resp.cellsTotal, 3u);
+    EXPECT_EQ(resp.cellsCached, 2u);
+    EXPECT_EQ(resp.cellsComputed, 1u);
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, ServesConcurrentClientsOverOneScheduler)
+{
+    std::string store = tempPath("concurrent.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("concurrent", opt);
+
+    // Both clients sweep the same trace (different grids) at once; the
+    // shared repository captures it once and both answers must be right.
+    std::string input = goldenTrace("xlisp-800.ptrc");
+    ServeResponse a, b;
+    std::thread ta([&] { a = ask(daemon, sweepRequest({input}, {16, 64})); });
+    std::thread tb(
+        [&] { b = ask(daemon, sweepRequest({input}, {256, 0})); });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_EQ(a.cellsFailed, 0u);
+    EXPECT_EQ(b.cellsFailed, 0u);
+
+    // Every computed cell is now addressable by any client.
+    ServeResponse again =
+        ask(daemon, sweepRequest({input}, {16, 64, 256, 0}));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.cellsCached, 4u);
+    EXPECT_EQ(again.cellsComputed, 0u);
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, SurvivesClientDisconnectMidJobAndKeepsTheCells)
+{
+    std::string store = tempPath("disconnect.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("disconnect", opt);
+
+    ServeRequest req =
+        sweepRequest({goldenTrace("matrix300-600.ptrc")}, {16, 64});
+    {
+        // Fire the sweep and vanish without reading the response.
+        ServeClient client(daemon.socketPath);
+        std::string error;
+        ASSERT_TRUE(client.connect(error)) << error;
+        ASSERT_TRUE(client.sendLine(renderServeRequest(req), error)) << error;
+    }
+
+    // The daemon must still be serving, and the abandoned job's completed
+    // cells stay in the store: re-asking soon costs nothing new. (The first
+    // re-ask may overlap the abandoned computation; the one after that must
+    // be fully cached.)
+    ServeRequest ping;
+    ping.op = ServeRequest::Op::Ping;
+    EXPECT_TRUE(ask(daemon, ping).ok());
+    ServeResponse first = ask(daemon, req);
+    ASSERT_TRUE(first.ok()) << first.error;
+    EXPECT_EQ(first.cellsFailed, 0u);
+    ServeResponse second = ask(daemon, req);
+    ASSERT_TRUE(second.ok()) << second.error;
+    EXPECT_EQ(second.cellsCached, 2u);
+    EXPECT_EQ(second.document, first.document);
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, RestartReServesEverythingFromTheStore)
+{
+    std::string store = tempPath("restart.store");
+    fs::remove(store);
+    ServeRequest req = sweepRequest(
+        {goldenTrace("xlisp-800.ptrc"), goldenTrace("matrix300-600.ptrc")},
+        {16, 64});
+
+    std::string coldDocument;
+    {
+        ServeServer::Options opt;
+        opt.storePath = store;
+        Daemon daemon("restart1", opt);
+        ServeResponse cold = ask(daemon, req);
+        ASSERT_TRUE(cold.ok()) << cold.error;
+        EXPECT_EQ(cold.cellsComputed, 4u);
+        coldDocument = cold.document;
+    } // daemon stops; only the store file survives
+
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("restart2", opt);
+    ServeResponse warm = ask(daemon, req);
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    EXPECT_EQ(warm.cellsCached, 4u);
+    EXPECT_EQ(warm.cellsComputed, 0u);
+    EXPECT_EQ(warm.document, coldDocument);
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, ShutdownOpStopsTheDaemon)
+{
+    Daemon daemon("shutdown");
+    ServeRequest req;
+    req.op = ServeRequest::Op::Shutdown;
+    ServeResponse resp = ask(daemon, req);
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(resp.op, "shutdown");
+    daemon.thread.join(); // run() must return on its own
+    EXPECT_FALSE(fs::exists(daemon.socketPath));
+}
+
+TEST(ServeDaemon, WorksWithoutAPersistentStore)
+{
+    Daemon daemon("nostore"); // storePath empty: every cell recomputed
+    ServeRequest req = sweepRequest({goldenTrace("xlisp-800.ptrc")}, {16});
+    ServeResponse first = ask(daemon, req);
+    ASSERT_TRUE(first.ok()) << first.error;
+    EXPECT_EQ(first.cellsComputed, 1u);
+    ServeResponse second = ask(daemon, req);
+    ASSERT_TRUE(second.ok()) << second.error;
+    EXPECT_EQ(second.cellsCached, 0u);
+    EXPECT_EQ(second.cellsComputed, 1u);
+    EXPECT_EQ(second.document, first.document)
+        << "determinism does not depend on the cache";
+}
+
+TEST(ServeDaemon, RejectsAScaleMismatch)
+{
+    ServeServer::Options opt;
+    opt.small = true;
+    Daemon daemon("scale", opt);
+    ServeRequest req = sweepRequest({"xlisp"}, {16});
+    req.small = false;
+    ServeResponse resp = ask(daemon, req);
+    EXPECT_FALSE(resp.ok());
+    EXPECT_NE(resp.error.find("small"), std::string::npos);
+}

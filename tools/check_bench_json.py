@@ -6,6 +6,8 @@ Usage:
   check_bench_json.py --sweep <paragraph-sweep binary> [sweep args...]
   check_bench_json.py --sweep-bench <bench_sweep binary> [bench args...]
   check_bench_json.py --fuzz-report <paragraph-fuzz binary> [fuzz args...]
+  check_bench_json.py --serve <paragraph-serve binary>
+      [--inputs=A,B] [--windows=16,64] [--max=N]
 
 Default mode runs the benchmark with --json and validates the
 paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
@@ -25,12 +27,22 @@ identical_json flag (every run of the matrix produced the same analysis).
 paragraph-fuzz-v1 summary: schema id, iteration/check counters that are
 internally consistent, and — when a violation was found — the failure
 object with its stage, property, and reproducer paths.
+
+--serve mode boots a paragraph-serve daemon on an ephemeral socket, runs
+the requested grid cold and then warm, and validates the
+paragraph-serve-v1 response envelope both times: cell accounting must add
+up, the embedded document must itself be a valid paragraph-sweep-v2
+document, the warm run must serve every cell from the cache, and its
+document must be byte-identical to the cold one.
 Exit status is non-zero on any mismatch, so all modes double as CTests.
 """
 
 import json
+import os
 import subprocess
 import sys
+import tempfile
+import time
 
 SCHEMA = "paragraph-bench-hotpath-v1"
 ROW_KEYS = {"input", "config", "path", "instructions", "seconds",
@@ -52,6 +64,10 @@ FUZZ_KEYS = {"schema", "iters_requested", "iters_completed",
 FUZZ_FAILURE_KEYS = {"iteration", "seed", "stage", "property", "message",
                      "records", "original_records"}
 
+SERVE_SCHEMA = "paragraph-serve-v1"
+SERVE_SWEEP_KEYS = {"cells_total", "cells_failed", "cells_cached",
+                    "cells_computed", "document"}
+
 SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v1"
 SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "cells", "instructions",
                         "seconds", "cells_per_sec", "minstr_per_sec"}
@@ -65,17 +81,8 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_sweep(argv):
-    if not argv:
-        fail("usage: check_bench_json.py --sweep <paragraph-sweep> [args...]")
-    proc = subprocess.run(argv, stdout=subprocess.PIPE)
-    if proc.returncode != 0:
-        fail(f"paragraph-sweep exited with status {proc.returncode}")
-    try:
-        doc = json.loads(proc.stdout)
-    except json.JSONDecodeError as err:
-        fail(f"output is not valid JSON: {err}")
-
+def validate_sweep_document(doc):
+    """Validate a paragraph-sweep-v2 document dict; returns (cells, failed)."""
     if doc.get("schema") != SWEEP_SCHEMA:
         fail(f"schema is {doc.get('schema')!r}, expected {SWEEP_SCHEMA!r}")
     cells = doc.get("cells")
@@ -108,7 +115,147 @@ def check_sweep(argv):
     if doc.get("cells_failed") != failed:
         fail(f"cells_failed is {doc.get('cells_failed')}, "
              f"but {failed} cells report failure")
+    return cells, failed
+
+
+def check_sweep(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --sweep <paragraph-sweep> [args...]")
+    proc = subprocess.run(argv, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"paragraph-sweep exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+    cells, failed = validate_sweep_document(doc)
     print(f"ok: {len(cells)} cells ({failed} failed), schema {SWEEP_SCHEMA}")
+
+
+def serve_round_trip(binary, socket_path, raw_line):
+    """One client round trip; returns the parsed response object."""
+    proc = subprocess.run(
+        [binary, "--client", f"--socket={socket_path}",
+         f"--raw={raw_line}", "--quiet"],
+        stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"serve client exited with status {proc.returncode}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"serve response is not valid JSON: {err}")
+
+
+def validate_serve_sweep_response(resp, expected_cells):
+    if resp.get("schema") != SERVE_SCHEMA:
+        fail(f"response schema is {resp.get('schema')!r}, "
+             f"expected {SERVE_SCHEMA!r}")
+    if resp.get("status") != "ok":
+        fail(f"daemon error: {resp.get('error')!r}")
+    if resp.get("op") != "sweep":
+        fail(f"response op is {resp.get('op')!r}, expected 'sweep'")
+    missing = SERVE_SWEEP_KEYS - resp.keys()
+    if missing:
+        fail(f"sweep response missing keys {sorted(missing)}")
+    total = resp["cells_total"]
+    if total != expected_cells:
+        fail(f"cells_total is {total}, expected {expected_cells}")
+    if resp["cells_cached"] + resp["cells_computed"] + \
+            resp["cells_failed"] != total:
+        fail("cached + computed + failed does not add up to cells_total")
+    if resp["cells_failed"] != 0:
+        fail(f"{resp['cells_failed']} cells failed")
+    try:
+        doc = json.loads(resp["document"])
+    except json.JSONDecodeError as err:
+        fail(f"embedded document is not valid JSON: {err}")
+    cells, _ = validate_sweep_document(doc)
+    if len(cells) != expected_cells:
+        fail(f"embedded document has {len(cells)} cells, "
+             f"expected {expected_cells}")
+
+
+def check_serve(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --serve <paragraph-serve> "
+             "[--inputs=A,B] [--windows=16,64] [--max=N]")
+    binary = argv[0]
+    inputs = ["xlisp"]
+    windows = [16, 64]
+    max_instructions = 0
+    small = False
+    for arg in argv[1:]:
+        if arg.startswith("--inputs="):
+            inputs = [s for s in arg[len("--inputs="):].split(",") if s]
+        elif arg.startswith("--windows="):
+            windows = [int(s) for s in arg[len("--windows="):].split(",")]
+        elif arg.startswith("--max="):
+            max_instructions = int(arg[len("--max="):])
+        elif arg == "--small":
+            small = True
+        else:
+            fail(f"unknown --serve argument {arg!r}")
+
+    request = {"schema": SERVE_SCHEMA, "op": "sweep", "inputs": inputs,
+               "windows": windows}
+    if max_instructions:
+        request["max"] = max_instructions
+    if small:
+        request["small"] = True
+    raw_line = json.dumps(request)
+    expected_cells = len(inputs) * len(windows)
+
+    tmpdir = tempfile.mkdtemp(prefix="para_serve_")
+    socket_path = os.path.join(tmpdir, "serve.sock")
+    store_path = os.path.join(tmpdir, "store.jsonl")
+    daemon_args = [binary, f"--socket={socket_path}",
+                   f"--store={store_path}", "--jobs=2", "--quiet"]
+    if small:
+        daemon_args.append("--small")
+    daemon = subprocess.Popen(daemon_args)
+    try:
+        for _ in range(1000):
+            if os.path.exists(socket_path):
+                break
+            if daemon.poll() is not None:
+                fail(f"daemon exited early with status {daemon.returncode}")
+            time.sleep(0.01)
+        else:
+            fail("daemon never bound its socket")
+
+        cold = serve_round_trip(binary, socket_path, raw_line)
+        validate_serve_sweep_response(cold, expected_cells)
+        if cold["cells_computed"] != expected_cells:
+            fail(f"cold run computed {cold['cells_computed']} cells, "
+                 f"expected {expected_cells}")
+
+        warm = serve_round_trip(binary, socket_path, raw_line)
+        validate_serve_sweep_response(warm, expected_cells)
+        if warm["cells_cached"] != expected_cells:
+            fail(f"warm run served {warm['cells_cached']} cells from the "
+                 f"cache, expected all {expected_cells}")
+        if warm["document"] != cold["document"]:
+            fail("warm document differs from the cold one")
+
+        shutdown = serve_round_trip(
+            binary, socket_path,
+            json.dumps({"schema": SERVE_SCHEMA, "op": "shutdown"}))
+        if shutdown.get("status") != "ok":
+            fail("shutdown op was not acknowledged")
+        if daemon.wait(timeout=30) != 0:
+            fail(f"daemon exited with status {daemon.returncode}")
+        daemon = None
+    finally:
+        if daemon is not None:
+            daemon.kill()
+            daemon.wait()
+        for name in ("serve.sock", "store.jsonl"):
+            path = os.path.join(tmpdir, name)
+            if os.path.exists(path):
+                os.remove(path)
+        os.rmdir(tmpdir)
+    print(f"ok: {expected_cells} cells cold+warm, warm fully cached, "
+          f"schema {SERVE_SCHEMA}")
 
 
 def check_fuzz_report(argv):
@@ -221,9 +368,12 @@ def check_sweep_bench(argv):
 def main():
     if len(sys.argv) < 2:
         fail("usage: check_bench_json.py [--sweep|--sweep-bench|"
-             "--fuzz-report] <binary> [args...]")
+             "--fuzz-report|--serve] <binary> [args...]")
     if sys.argv[1] == "--sweep":
         check_sweep(sys.argv[2:])
+        return
+    if sys.argv[1] == "--serve":
+        check_serve(sys.argv[2:])
         return
     if sys.argv[1] == "--sweep-bench":
         check_sweep_bench(sys.argv[2:])

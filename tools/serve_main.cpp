@@ -1,0 +1,366 @@
+// paragraph-serve — a sweep daemon with a content-addressed result cache.
+//
+// Daemon mode (default) listens on an AF_UNIX socket, runs every client's
+// grid cells through one shared trace-major scheduler (cells from
+// different clients fuse when they share a trace), and remembers every
+// completed cell in an append-only JSONL result store keyed by content:
+// (trace CRC-32, canonical-config CRC-32, profiles flag). Any cell ever
+// computed — by any client, before any restart — is served back
+// byte-identically without re-analysis.
+//
+// Daemon usage:
+//   paragraph-serve --socket=PATH [options]
+//     --store=FILE           persistent result store (strongly recommended;
+//                            omitting it caches nothing across requests)
+//     --jobs=N               analysis worker threads (default: hardware)
+//     --group=N              configs fused per pass (default: 8)
+//     --retries=N            extra attempts for ordinarily-failed cells
+//     --deadline=SECONDS     per-attempt cell deadline
+//     --small                serve workload inputs at reduced scale
+//     --trace-budget=BYTES   LRU byte budget for cached trace captures
+//     --store-budget=BYTES   byte budget for hot result text (the on-disk
+//                            store itself is unbounded; cold entries are
+//                            re-read on demand)
+//     --quiet                suppress per-request stderr lines
+//   SIGINT/SIGTERM shut the daemon down gracefully: queued cells fail
+//   fast, in-flight analyses stop at their next checkpoint, and the store
+//   (flushed per completed cell) loses nothing. Exit status is 0.
+//
+// Client mode sends one request and prints the response:
+//   paragraph-serve --client --socket=PATH --inputs=A,B --windows=16,64 ...
+//     sweep axes as in paragraph-sweep: --inputs/--windows/--rename/
+//     --syscalls/--predictors/--fus/--max/--small/--no-profiles
+//     --out=FILE             write the sweep JSON document to FILE
+//                            (default: stdout)
+//     --ping | --stats | --shutdown
+//                            daemon health / counters / graceful stop
+//     --raw=LINE             send LINE verbatim, print the raw response
+//     --quiet                suppress the stderr summary line
+//
+// Example (cold, then warm — the second run answers from the cache):
+//   paragraph-serve --socket=/tmp/para.sock --store=/tmp/para-store.jsonl &
+//   paragraph-serve --client --socket=/tmp/para.sock --inputs=xlisp
+//       --windows=16,64 --max=200000 --out=cold.json
+//   paragraph-serve --client --socket=/tmp/para.sock --inputs=xlisp
+//       --windows=16,64 --max=200000 --out=warm.json
+//   cmp cold.json warm.json   # byte-identical; warm run computed 0 cells
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/panic.hpp"
+#include "support/string_utils.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+serve::ServeServer *g_server = nullptr;
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+    if (g_server)
+        g_server->requestStop(); // async-signal-safe: atomic stores only
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: poll() must wake on the signal
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: paragraph-serve --socket=PATH [daemon options]\n"
+        "       paragraph-serve --client --socket=PATH [request options]\n"
+        "  daemon: --store=FILE  --jobs=N  --group=N  --retries=N\n"
+        "          --deadline=SECONDS  --small  --trace-budget=BYTES\n"
+        "          --store-budget=BYTES  --quiet\n"
+        "  client: sweep axes as paragraph-sweep (--inputs/--windows/\n"
+        "          --rename/--syscalls/--predictors/--fus/--max/--small/\n"
+        "          --no-profiles), --out=FILE,\n"
+        "          or one of --ping --stats --shutdown --raw=LINE\n");
+    std::exit(2);
+}
+
+struct ServeCliArgs
+{
+    bool client = false;
+    std::string socketPath;
+    std::string rawLine;
+    std::string outPath;
+    bool ping = false;
+    bool stats = false;
+    bool shutdown = false;
+    bool quiet = false;
+    serve::ServeRequest request;       // client sweep axes
+    serve::ServeServer::Options server; // daemon options
+};
+
+bool
+parseBytes(const std::string &value, size_t &out)
+{
+    int64_t n = 0;
+    if (!parseInt(value, n) || n < 0)
+        return false;
+    out = static_cast<size_t>(n);
+    return true;
+}
+
+ServeCliArgs
+parseArgs(int argc, char **argv)
+{
+    ServeCliArgs opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (const std::string &arg : args) {
+        int64_t n = 0;
+        if (arg == "--client") {
+            opt.client = true;
+        } else if (startsWith(arg, "--socket=")) {
+            opt.socketPath = arg.substr(9);
+        } else if (startsWith(arg, "--store=")) {
+            opt.server.storePath = arg.substr(8);
+        } else if (startsWith(arg, "--jobs=") &&
+                   parseInt(arg.substr(7), n) && n > 0) {
+            opt.server.jobs = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--group=") &&
+                   parseInt(arg.substr(8), n) && n > 0) {
+            opt.server.groupSize = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--retries=") &&
+                   parseInt(arg.substr(10), n) && n >= 0) {
+            opt.server.maxRetries = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--deadline=")) {
+            char *end = nullptr;
+            opt.server.cellDeadlineSeconds =
+                std::strtod(arg.c_str() + 11, &end);
+            if (!end || *end != '\0' ||
+                opt.server.cellDeadlineSeconds < 0.0) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --deadline value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--trace-budget=")) {
+            if (!parseBytes(arg.substr(15), opt.server.traceMemoryBudget)) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --trace-budget value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--store-budget=")) {
+            if (!parseBytes(arg.substr(15), opt.server.storeMemoryBudget)) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --store-budget value\n");
+                usage();
+            }
+        } else if (arg == "--small") {
+            opt.server.small = true;
+            opt.request.small = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+            opt.server.quiet = true;
+        } else if (arg == "--ping") {
+            opt.ping = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--shutdown") {
+            opt.shutdown = true;
+        } else if (startsWith(arg, "--raw=")) {
+            opt.rawLine = arg.substr(6);
+        } else if (startsWith(arg, "--out=")) {
+            opt.outPath = arg.substr(6);
+        } else if (startsWith(arg, "--inputs=")) {
+            for (const std::string &s : splitAndTrim(arg.substr(9), ','))
+                if (!s.empty())
+                    opt.request.inputs.push_back(s);
+        } else if (startsWith(arg, "--windows=")) {
+            for (const std::string &s : splitAndTrim(arg.substr(10), ',')) {
+                if (!parseInt(s, n) || n < 0) {
+                    std::fprintf(stderr,
+                                 "paragraph-serve: bad --windows value "
+                                 "'%s'\n",
+                                 s.c_str());
+                    usage();
+                }
+                opt.request.windows.push_back(static_cast<uint64_t>(n));
+            }
+        } else if (startsWith(arg, "--rename=")) {
+            opt.request.renames = splitAndTrim(arg.substr(9), ',');
+        } else if (startsWith(arg, "--syscalls=")) {
+            opt.request.syscalls = splitAndTrim(arg.substr(11), ',');
+        } else if (startsWith(arg, "--predictors=")) {
+            opt.request.predictors = splitAndTrim(arg.substr(13), ',');
+        } else if (startsWith(arg, "--fus=")) {
+            for (const std::string &s : splitAndTrim(arg.substr(6), ',')) {
+                if (!parseInt(s, n) || n < 0) {
+                    std::fprintf(stderr,
+                                 "paragraph-serve: bad --fus value '%s'\n",
+                                 s.c_str());
+                    usage();
+                }
+                opt.request.fus.push_back(static_cast<uint64_t>(n));
+            }
+        } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
+                   n >= 0) {
+            opt.request.maxInstructions = static_cast<uint64_t>(n);
+        } else if (arg == "--no-profiles") {
+            opt.request.profiles = false;
+        } else if (!startsWith(arg, "--")) {
+            opt.request.inputs.push_back(arg);
+        } else {
+            std::fprintf(stderr, "paragraph-serve: bad argument '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (opt.socketPath.empty()) {
+        std::fprintf(stderr, "paragraph-serve: --socket=PATH is required\n");
+        usage();
+    }
+    opt.server.socketPath = opt.socketPath;
+    return opt;
+}
+
+int
+runDaemon(const ServeCliArgs &opt)
+{
+    serve::ServeServer server(opt.server);
+    std::string error;
+    if (!server.start(error)) {
+        std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
+        return 1;
+    }
+    g_server = &server;
+    installSignalHandlers();
+    if (!opt.quiet) {
+        std::fprintf(stderr, "paragraph-serve: listening on %s%s%s\n",
+                     opt.socketPath.c_str(),
+                     opt.server.storePath.empty() ? ""
+                                                  : ", result store ",
+                     opt.server.storePath.c_str());
+    }
+    server.run();
+    g_server = nullptr;
+    if (!opt.quiet) {
+        std::fprintf(stderr, "paragraph-serve: %s\n",
+                     g_signal ? "shut down on signal" : "shut down");
+    }
+    return 0; // a graceful shutdown — signalled or client-requested — is ok
+}
+
+int
+runClient(const ServeCliArgs &opt)
+{
+    serve::ServeClient client(opt.socketPath);
+    std::string error;
+    if (!client.connect(error)) {
+        std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::string requestLine;
+    if (!opt.rawLine.empty()) {
+        requestLine = opt.rawLine;
+    } else {
+        serve::ServeRequest req = opt.request;
+        if (opt.ping)
+            req.op = serve::ServeRequest::Op::Ping;
+        else if (opt.stats)
+            req.op = serve::ServeRequest::Op::Stats;
+        else if (opt.shutdown)
+            req.op = serve::ServeRequest::Op::Shutdown;
+        else if (!req.inputs.empty())
+            req.op = serve::ServeRequest::Op::Sweep;
+        else {
+            std::fprintf(stderr,
+                         "paragraph-serve: nothing to request (give inputs "
+                         "or one of --ping --stats --shutdown --raw)\n");
+            usage();
+        }
+        requestLine = serve::renderServeRequest(req);
+    }
+
+    std::string responseLine;
+    if (!client.roundTrip(requestLine, responseLine, error)) {
+        std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (!opt.rawLine.empty()) {
+        std::printf("%s\n", responseLine.c_str());
+        return 0;
+    }
+
+    serve::ServeResponse response;
+    if (!serve::parseServeResponse(responseLine, response, error)) {
+        std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
+        return 1;
+    }
+    if (!response.ok()) {
+        std::fprintf(stderr, "paragraph-serve: daemon error: %s\n",
+                     response.error.c_str());
+        return 1;
+    }
+
+    if (response.op == "sweep") {
+        if (opt.outPath.empty()) {
+            std::fwrite(response.document.data(), 1,
+                        response.document.size(), stdout);
+        } else {
+            std::ofstream out(opt.outPath);
+            if (!out) {
+                std::fprintf(stderr, "paragraph-serve: cannot open %s\n",
+                             opt.outPath.c_str());
+                return 1;
+            }
+            out << response.document;
+        }
+        if (!opt.quiet) {
+            std::fprintf(stderr,
+                         "serve: %llu cells (%llu cached, %llu computed, "
+                         "%llu failed)\n",
+                         static_cast<unsigned long long>(
+                             response.cellsTotal),
+                         static_cast<unsigned long long>(
+                             response.cellsCached),
+                         static_cast<unsigned long long>(
+                             response.cellsComputed),
+                         static_cast<unsigned long long>(
+                             response.cellsFailed));
+        }
+    } else {
+        std::printf("%s\n", responseLine.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        ServeCliArgs opt = parseArgs(argc, argv);
+        return opt.client ? runClient(opt) : runDaemon(opt);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "paragraph-serve: %s\n", e.what());
+        return 1;
+    }
+}

@@ -55,13 +55,16 @@
 // Example — the paper's Figure 8 window sweep in one command:
 //   paragraph-sweep --inputs=cc1,espresso --windows=16,64,256,1024,0
 //       --max=2000000 --jobs=8 --out=figure8.json
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/cancel_token.hpp"
 #include "engine/journal.hpp"
 #include "engine/sweep.hpp"
 #include "engine/sweep_args.hpp"
@@ -76,6 +79,34 @@ using namespace paragraph;
 namespace {
 
 using engine::SweepArgs;
+
+// SIGINT/SIGTERM turn into a cooperative cancellation: every cell's config
+// chains this token, so in-flight analyses stop at their next checkpoint
+// (a few tens of thousands of records away), their cells journal as failed,
+// and the process exits 128+signal with the journal and output flushed —
+// a `--resume` of the same journal then redoes only what was cut short.
+core::CancelToken g_interrupt;
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int sig)
+{
+    g_signal = sig;
+    g_interrupt.cancelFromSignal(); // async-signal-safe: one atomic store
+}
+
+void
+installSignalHandlers()
+{
+    g_interrupt.setReason("interrupted by signal");
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocking calls must see the signal
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 [[noreturn]] void
 usage()
@@ -124,6 +155,7 @@ main(int argc, char **argv)
 {
     try {
         SweepArgs opt = parseArgs(argc, argv);
+        installSignalHandlers();
 
         std::vector<core::AnalysisConfig> configs;
         std::vector<std::string> labels;
@@ -132,6 +164,8 @@ main(int argc, char **argv)
             std::fprintf(stderr, "paragraph-sweep: %s\n", error.c_str());
             usage();
         }
+        for (core::AnalysisConfig &cfg : configs)
+            cfg.cancel = &g_interrupt;
 
         engine::TraceRepository::Options repoOpt;
         repoOpt.scale = opt.small ? workloads::Scale::Small
@@ -205,6 +239,16 @@ main(int argc, char **argv)
             if (!opt.quiet)
                 std::fprintf(stderr, "sweep: wrote %s\n",
                              opt.outPath.c_str());
+        }
+        // An interrupted sweep still writes its (partial) document and
+        // journal, but the exit status says so: 128+signal, the shell
+        // convention for death-by-signal.
+        if (g_signal != 0) {
+            std::fprintf(stderr,
+                         "paragraph-sweep: interrupted by signal %d "
+                         "(journal and output flushed)\n",
+                         static_cast<int>(g_signal));
+            return 128 + static_cast<int>(g_signal);
         }
         // Partial failure is a success with failed cells in the JSON; a
         // sweep where nothing at all completed is an error.
