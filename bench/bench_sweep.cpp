@@ -1,18 +1,27 @@
 // bench_sweep — throughput benchmark for trace-major fused sweeps.
 //
-// A (trace × config) sweep's cost model changed with fused grouping: a
-// group of N configs pays one pass over the shared trace (one pipelined
-// decode in streaming mode) instead of N. This harness measures that
-// directly on a single-trace, multi-config grid: the same 8-config window ×
-// renaming sweep is run solo (--group=1), mid-fused (--group=2), and fully
-// fused (--group=0, auto), over both a captured in-memory trace and a
-// streamed `.ptrz` file, at 1 and 8 worker threads. Every run's JSON
-// document (timing off) is compared against the first — the matrix is only
-// meaningful because all 12 runs produce byte-identical analysis.
+// A (trace × config) sweep's cost model changed twice: fused grouping made
+// a group of N configs pay one pass over the shared trace instead of N, and
+// the shared decode pool + firewall-point sharding changed what a streamed
+// trace costs — `.ptrc` files are mmapped and each 64K block is decoded
+// once across every consumer, and a single (trace, config) cell can split
+// at syscall firewall points across threads and stitch the exact solo
+// result. This harness measures all of it on one trace: the same 8-config
+// window × renaming grid is run solo (--group=1), mid-fused (--group=2),
+// and fully fused (--group=0, auto) over three sources — a captured
+// in-memory trace, a streamed `.ptrz` (private decoder per pass, the
+// decoder-cap scheduler's territory), and a streamed pooled `.ptrc` — at 1
+// and 8 worker threads; then a single-config cell is run unsharded and
+// sharded (--shard=8) over the pooled source. Every run's JSON document
+// (timing off) is compared per source/grid slot — the matrix is only
+// meaningful because every variant produces byte-identical analysis, the
+// sharded runs included.
 //
 // Results are written as `BENCH_sweep.json` — a stable, timestamped schema
-// (`paragraph-bench-sweep-v1`) meant to be re-run and diffed across
+// (`paragraph-bench-sweep-v2`) meant to be re-run and diffed across
 // revisions so the perf trajectory of the sweep engine is tracked in-repo.
+// The shard-scaling summary is reported, never asserted: on a 1-core
+// runner the sharded legs cannot beat solo, and the numbers say so.
 //
 // Usage:
 //   bench_sweep [options]
@@ -21,7 +30,7 @@
 //     --max=N          instructions per cell / trace records (default:
 //                      1,000,000)
 //     --repeats=N      timed repetitions, best-of (default: 2)
-//     --jobs=N         threaded leg's worker count (default: 8)
+//     --jobs=N         threaded leg's worker and shard count (default: 8)
 //     --small          use the workload's reduced test input
 //     --json           print the JSON document to stdout (suppresses table)
 //     --out=FILE       also write the JSON to FILE
@@ -33,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +54,7 @@
 #include "support/string_utils.hpp"
 #include "trace/buffer.hpp"
 #include "trace/compressed_io.hpp"
+#include "trace/file_io.hpp"
 #include "workloads/workload.hpp"
 
 using namespace paragraph;
@@ -129,9 +140,10 @@ makeConfigs(uint64_t max_instructions)
 /** One timed matrix point: a whole sweep of the grid. */
 struct Row
 {
-    std::string source; ///< "capture" or "stream"
+    std::string source; ///< "capture", "stream" (.ptrz) or "pooled" (.ptrc)
     unsigned jobs = 0;
     unsigned group = 0; ///< 0 = auto
+    unsigned shard = 1; ///< firewall-point segments per solo streamed cell
     size_t cells = 0;
     uint64_t instructions = 0;
     double seconds = 0.0;
@@ -140,7 +152,8 @@ struct Row
 };
 
 Row
-measure(const std::string &path, bool stream, unsigned jobs, unsigned group,
+measure(const std::string &path, const std::string &source, bool stream,
+        unsigned jobs, unsigned group, unsigned shard,
         const std::vector<core::AnalysisConfig> &configs,
         const Options &opt, std::string &identityJson, bool &identical)
 {
@@ -154,15 +167,17 @@ measure(const std::string &path, bool stream, unsigned jobs, unsigned group,
     engine::SweepEngine::Options engineOpt;
     engineOpt.jobs = jobs;
     engineOpt.groupSize = group;
+    engineOpt.shards = shard;
     engine::SweepEngine sweeper(engineOpt);
 
     engine::SweepJsonOptions noTiming;
     noTiming.timing = false;
 
     Row row;
-    row.source = stream ? "stream" : "capture";
+    row.source = source;
     row.jobs = jobs;
     row.group = group;
+    row.shard = shard;
     row.seconds = std::numeric_limits<double>::infinity();
     for (unsigned r = 0; r < opt.repeats; ++r) {
         engine::SweepResult sweep = sweeper.run(repo, {path}, configs);
@@ -197,25 +212,27 @@ utcTimestamp()
                      tm.tm_sec);
 }
 
-/** The stream-source row for (jobs, group); the headline solo-vs-fused
- *  comparison uses the streamed legs, where solo pays a decode per cell. */
+/** The matrix row for (source, jobs, group) at shard=1. */
 const Row *
-findStream(const std::vector<Row> &rows, unsigned jobs, unsigned group)
+findRow(const std::vector<Row> &rows, const char *source, unsigned jobs,
+        unsigned group)
 {
     for (const Row &row : rows) {
-        if (row.source == "stream" && row.jobs == jobs && row.group == group)
+        if (row.source == source && row.jobs == jobs &&
+            row.group == group && row.shard == 1)
             return &row;
     }
     return nullptr;
 }
 
-/** BENCH_sweep.json, schema paragraph-bench-sweep-v1. */
+/** BENCH_sweep.json, schema paragraph-bench-sweep-v2. */
 void
 writeJson(std::ostream &os, const Options &opt, size_t configs,
-          const std::vector<Row> &rows, bool identical)
+          const std::vector<Row> &rows, const Row &shard1, const Row &shardN,
+          bool identical)
 {
     os << "{\n"
-       << "  \"schema\": \"paragraph-bench-sweep-v1\",\n"
+       << "  \"schema\": \"paragraph-bench-sweep-v2\",\n"
        << "  \"timestamp\": " << engine::jsonString(utcTimestamp()) << ",\n"
        << "  \"input\": " << engine::jsonString(opt.input) << ",\n"
        << "  \"configs\": " << configs << ",\n"
@@ -226,6 +243,7 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
         const Row &row = rows[i];
         os << "    {\"source\": " << engine::jsonString(row.source)
            << ", \"jobs\": " << row.jobs << ", \"group\": " << row.group
+           << ", \"shard\": " << row.shard
            << ", \"cells\": " << row.cells
            << ", \"instructions\": " << row.instructions
            << ", \"seconds\": " << engine::jsonDouble(row.seconds)
@@ -233,15 +251,18 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
            << ", \"minstr_per_sec\": " << engine::jsonDouble(row.minstrPerSec)
            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    const Row *solo1 = findStream(rows, 1, 1);
-    const Row *fused1 = findStream(rows, 1, 0);
-    const Row *soloN = findStream(rows, opt.jobs, 1);
-    const Row *fusedN = findStream(rows, opt.jobs, 0);
+    const Row *solo1 = findRow(rows, "stream", 1, 1);
+    const Row *fused1 = findRow(rows, "stream", 1, 0);
+    const Row *soloN = findRow(rows, "stream", opt.jobs, 1);
+    const Row *fusedN = findRow(rows, "stream", opt.jobs, 0);
     auto speedup = [](const Row *solo, const Row *fused) {
         return solo && fused && solo->minstrPerSec > 0.0
                    ? fused->minstrPerSec / solo->minstrPerSec
                    : 0.0;
     };
+    double shardSpeedup = shard1.minstrPerSec > 0.0
+                              ? shardN.minstrPerSec / shard1.minstrPerSec
+                              : 0.0;
     os << "  ],\n"
        << "  \"summary\": {\n"
        << "    \"jobs1_solo_minstr_per_sec\": "
@@ -256,6 +277,20 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
        << engine::jsonDouble(fusedN ? fusedN->minstrPerSec : 0.0) << ",\n"
        << "    \"jobs" << opt.jobs << "_fused_speedup\": "
        << engine::jsonDouble(speedup(soloN, fusedN)) << ",\n"
+       // Single-trace scaling: ONE (trace, config) cell, unsharded vs
+       // sharded at --shard=N over the pooled source. Efficiency is
+       // speedup / shard_threads — machine-dependent, reported honestly
+       // (a 1-core runner will show ~1/N), never asserted.
+       << "    \"shard_threads\": " << opt.jobs << ",\n"
+       << "    \"shard1_minstr_per_sec\": "
+       << engine::jsonDouble(shard1.minstrPerSec) << ",\n"
+       << "    \"shardn_minstr_per_sec\": "
+       << engine::jsonDouble(shardN.minstrPerSec) << ",\n"
+       << "    \"shard_speedup\": " << engine::jsonDouble(shardSpeedup)
+       << ",\n"
+       << "    \"shard_scaling_efficiency\": "
+       << engine::jsonDouble(opt.jobs > 0 ? shardSpeedup / opt.jobs : 0.0)
+       << ",\n"
        << "    \"identical_json\": " << (identical ? "true" : "false")
        << "\n"
        << "  }\n"
@@ -271,13 +306,19 @@ main(int argc, char **argv)
     std::vector<core::AnalysisConfig> configs =
         makeConfigs(opt.maxInstructions);
 
-    // Capture the workload once and persist it as a `.ptrz` trace file, so
-    // the captured and streamed legs sweep the very same records through
-    // the very same input spec.
+    // Capture the workload once and persist it both as a `.ptrz`
+    // (compressed: private decoder per pass) and a `.ptrc` (raw: mmapped
+    // into the shared decode pool), so every leg sweeps the very same
+    // records.
     namespace fs = std::filesystem;
-    std::string path =
+    std::string zpath =
         (fs::temp_directory_path() /
          strFormat("bench_sweep_%llu.ptrz",
+                   static_cast<unsigned long long>(opt.maxInstructions)))
+            .string();
+    std::string cpath =
+        (fs::temp_directory_path() /
+         strFormat("bench_sweep_%llu.ptrc",
                    static_cast<unsigned long long>(opt.maxInstructions)))
             .string();
     {
@@ -287,42 +328,92 @@ main(int argc, char **argv)
                                                  : workloads::Scale::Full);
         trace::TraceBuffer buffer;
         buffer.capture(*src, opt.maxInstructions);
-        trace::CompressedTraceWriter writer(path);
-        trace::BufferSource replay(buffer, opt.input);
-        writer.writeAll(replay);
-        writer.close();
+        {
+            trace::CompressedTraceWriter writer(zpath);
+            trace::BufferSource replay(buffer, opt.input);
+            writer.writeAll(replay);
+            writer.close();
+        }
+        {
+            trace::TraceFileWriter writer(cpath);
+            trace::BufferSource replay(buffer, opt.input);
+            writer.writeAll(replay);
+            writer.close();
+        }
     }
 
-    std::vector<Row> rows;
-    std::string identityJson;
+    // Identity slots: every run over the same (file, grid) must render a
+    // byte-identical no-timing document — capture and pooled legs share the
+    // `.ptrc` slot, so the pooled decode path is checked against the bulk
+    // captured path too. The shard pair has its own single-config slot:
+    // sharded == unsharded is the whole point.
+    std::map<std::string, std::string> identity;
     bool identical = true;
-    for (bool stream : {false, true}) {
+
+    struct Leg
+    {
+        const char *source;
+        const std::string *path;
+        bool stream;
+    };
+    const Leg legs[] = {{"capture", &cpath, false},
+                        {"stream", &zpath, true},
+                        {"pooled", &cpath, true}};
+
+    std::vector<Row> rows;
+    auto report = [&](const Row &row) {
+        if (!opt.jsonToStdout) {
+            std::fprintf(stderr,
+                         "  %-8s jobs=%u group=%-4s shard=%-2u %7.2f "
+                         "Minstr/s\n",
+                         row.source.c_str(), row.jobs,
+                         row.group ? std::to_string(row.group).c_str()
+                                   : "auto",
+                         row.shard, row.minstrPerSec);
+        }
+    };
+    for (const Leg &leg : legs) {
+        std::string &slot = identity[*leg.path + "#grid"];
         for (unsigned jobs : {1u, opt.jobs}) {
             for (unsigned group : {1u, 2u, 0u}) { // solo, mid-fused, auto
-                rows.push_back(measure(path, stream, jobs, group, configs,
-                                       opt, identityJson, identical));
-                if (!opt.jsonToStdout) {
-                    const Row &row = rows.back();
-                    std::fprintf(
-                        stderr,
-                        "  %-8s jobs=%u group=%-4s %7.2f Minstr/s\n",
-                        row.source.c_str(), row.jobs,
-                        row.group ? std::to_string(row.group).c_str()
-                                  : "auto",
-                        row.minstrPerSec);
-                }
+                rows.push_back(measure(*leg.path, leg.source, leg.stream,
+                                       jobs, group, 1, configs, opt, slot,
+                                       identical));
+                report(rows.back());
             }
         }
     }
-    fs::remove(path);
+
+    // The single-trace scaling pair: one config, pooled source, group=1,
+    // unsharded then sharded across opt.jobs threads.
+    std::vector<core::AnalysisConfig> oneConfig;
+    {
+        core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
+        cfg.maxInstructions = opt.maxInstructions;
+        oneConfig.push_back(cfg);
+    }
+    std::string &shardSlot = identity[cpath + "#one"];
+    Row shard1 = measure(cpath, "pooled", true, 1, 1, 1, oneConfig, opt,
+                         shardSlot, identical);
+    report(shard1);
+    Row shardN = measure(cpath, "pooled", true, 1, 1, opt.jobs, oneConfig,
+                         opt, shardSlot, identical);
+    report(shardN);
+    rows.push_back(shard1);
+    rows.push_back(shardN);
+
+    fs::remove(zpath);
+    fs::remove(cpath);
 
     if (opt.jsonToStdout) {
-        writeJson(std::cout, opt, configs.size(), rows, identical);
+        writeJson(std::cout, opt, configs.size(), rows, shard1, shardN,
+                  identical);
     } else {
         AsciiTable table;
         table.addColumn("Source", AsciiTable::Align::Left);
         table.addColumn("Jobs");
         table.addColumn("Group", AsciiTable::Align::Left);
+        table.addColumn("Shard");
         table.addColumn("Cells");
         table.addColumn("Cells/s");
         table.addColumn("Minstr/s");
@@ -332,19 +423,23 @@ main(int argc, char **argv)
             table.cell(AsciiTable::withCommas(row.jobs));
             table.cell(row.group ? std::to_string(row.group)
                                  : std::string("auto"));
+            table.cell(AsciiTable::withCommas(row.shard));
             table.cell(AsciiTable::withCommas(row.cells));
             table.cell(row.cellsPerSec, 2);
             table.cell(row.minstrPerSec, 2);
         }
         table.print(std::cout);
-        const Row *solo1 = findStream(rows, 1, 1);
-        const Row *fused1 = findStream(rows, 1, 0);
+        const Row *solo1 = findRow(rows, "stream", 1, 1);
+        const Row *fused1 = findRow(rows, "stream", 1, 0);
         if (solo1 && fused1 && solo1->minstrPerSec > 0.0) {
-            std::printf("\nstream jobs=1 fused speedup: %.2fx   "
-                        "identical json: %s\n",
-                        fused1->minstrPerSec / solo1->minstrPerSec,
-                        identical ? "yes" : "NO");
+            std::printf("\nstream jobs=1 fused speedup: %.2fx   ",
+                        fused1->minstrPerSec / solo1->minstrPerSec);
         }
+        if (shard1.minstrPerSec > 0.0) {
+            std::printf("shard=%u speedup: %.2fx   ", opt.jobs,
+                        shardN.minstrPerSec / shard1.minstrPerSec);
+        }
+        std::printf("identical json: %s\n", identical ? "yes" : "NO");
     }
 
     if (!opt.outPath.empty()) {
@@ -354,7 +449,7 @@ main(int argc, char **argv)
                          opt.outPath.c_str());
             return 1;
         }
-        writeJson(out, opt, configs.size(), rows, identical);
+        writeJson(out, opt, configs.size(), rows, shard1, shardN, identical);
         if (!opt.jsonToStdout)
             std::printf("wrote %s\n", opt.outPath.c_str());
     }

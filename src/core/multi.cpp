@@ -98,12 +98,32 @@ struct FusedPass
 };
 
 std::vector<MultiOutcome>
-runFusedSource(trace::TraceSource &src,
+runFusedBlocks(trace::BlockSource &blocks,
                const std::vector<AnalysisConfig> &configs,
                bool stop_on_engine_error)
 {
     FusedPass pass(configs, stop_on_engine_error);
+    double decodeSeconds = 0.0;
+    const trace::TraceRecord *block = nullptr;
+    while (!pass.live.empty()) {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t n = blocks.next(&block); // rethrows source errors
+        decodeSeconds += secondsSince(t0);
+        if (n == 0)
+            break;
+        pass.feed(block, n);
+    }
+    pass.finishAll();
+    for (MultiOutcome &o : pass.outcomes)
+        o.decodeSeconds = decodeSeconds;
+    return std::move(pass.outcomes);
+}
 
+std::vector<MultiOutcome>
+runFusedSource(trace::TraceSource &src,
+               const std::vector<AnalysisConfig> &configs,
+               bool stop_on_engine_error)
+{
     // When every config has an instruction cap, the pass needs exactly
     // max(cap) records — don't drain the (shared) source past that.
     uint64_t capRecords = 0;
@@ -115,23 +135,16 @@ runFusedSource(trace::TraceSource &src,
             capRecords = cfg.maxInstructions;
     }
 
-    if (!pass.live.empty()) {
-        // Pipelined decode: the producer thread unpacks the next block
-        // while the engines consume the current one.
-        trace::BlockPipeline::Options popt;
-        popt.blockRecords = fusedBlockRecords;
-        popt.maxRecords = bounded ? capRecords : 0;
-        trace::BlockPipeline pipe(src, popt);
-        const trace::TraceRecord *block = nullptr;
-        while (!pass.live.empty()) {
-            size_t n = pipe.next(&block); // rethrows source errors
-            if (n == 0)
-                break;
-            pass.feed(block, n);
-        }
-    }
-    pass.finishAll();
-    return std::move(pass.outcomes);
+    if (configs.empty())
+        return {};
+
+    // Pipelined decode: the producer thread unpacks the next block
+    // while the engines consume the current one.
+    trace::BlockPipeline::Options popt;
+    popt.blockRecords = fusedBlockRecords;
+    popt.maxRecords = bounded ? capRecords : 0;
+    trace::BlockPipeline pipe(src, popt);
+    return runFusedBlocks(pipe, configs, stop_on_engine_error);
 }
 
 } // namespace
@@ -159,6 +172,13 @@ analyzeManyGuarded(trace::TraceSource &src,
                    const std::vector<AnalysisConfig> &configs)
 {
     return runFusedSource(src, configs, /*stop_on_engine_error=*/false);
+}
+
+std::vector<MultiOutcome>
+analyzeManyGuarded(trace::BlockSource &blocks,
+                   const std::vector<AnalysisConfig> &configs)
+{
+    return runFusedBlocks(blocks, configs, /*stop_on_engine_error=*/false);
 }
 
 std::vector<MultiOutcome>

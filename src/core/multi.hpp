@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/paragraph.hpp"
+#include "trace/block_source.hpp"
 #include "trace/buffer.hpp"
 #include "trace/source.hpp"
 
@@ -69,6 +70,10 @@ struct MultiOutcome
      *  per-config share of the fused pass (block decode overlaps and is
      *  not attributed). */
     double engineSeconds = 0.0;
+
+    /** Seconds the fused pass spent waiting on block decode — shared
+     *  across the whole pass, so every outcome carries the same value. */
+    double decodeSeconds = 0.0;
 };
 
 /**
@@ -88,6 +93,16 @@ analyzeManyGuarded(trace::TraceSource &src,
  */
 std::vector<MultiOutcome>
 analyzeManyGuarded(const trace::TraceBuffer &buffer,
+                   const std::vector<AnalysisConfig> &configs);
+
+/**
+ * Guarded fused pass fed straight from a BlockSource (a shared decode
+ * cursor or any block producer). Each handed-out block is consumed by
+ * every live engine before the next is requested; results are identical
+ * to the other overloads over the same records.
+ */
+std::vector<MultiOutcome>
+analyzeManyGuarded(trace::BlockSource &blocks,
                    const std::vector<AnalysisConfig> &configs);
 
 } // namespace core

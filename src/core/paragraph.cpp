@@ -60,6 +60,63 @@ Paragraph::begin()
     lastPlacedLevel_ = -1;
     done_ = false;
     finished_ = false;
+    segLog_ = nullptr;
+    segPeakWindow_ = 0;
+}
+
+void
+Paragraph::beginSegment(SegmentLog *log)
+{
+    begin();
+    log->clear();
+    segLog_ = log;
+}
+
+void
+Paragraph::noteWellInsert(uint64_t key, bool via_read)
+{
+    auto [pos, fresh] = segLog_->index.findOrInsert(
+        key, static_cast<uint32_t>(segLog_->imports.size()));
+    uint64_t size = liveWell_.size();
+    if (!fresh) {
+        // A later episode of an already-touched location: shift-identical
+        // to the solo run, so only the peak watermark advances.
+        if (size > segPeakWindow_)
+            segPeakWindow_ = size;
+        return;
+    }
+    (void)pos;
+    SegmentImport im;
+    im.key = key;
+    im.viaRead = via_read;
+    // peakBefore deliberately excludes this touch's own insert: the stitch
+    // re-bases the two sides of a first touch with different carried-well
+    // corrections (the touch may consume one carried slot).
+    im.peakBefore = segPeakWindow_;
+    im.sizeAfter = size;
+    if (!via_read) {
+        // Write-first touch: if the location carried a value across the
+        // cut, solo overwrites it here with zero segment-local reads.
+        im.died = true;
+        im.closed = true;
+    }
+    segLog_->imports.push_back(im);
+    segPeakWindow_ = size;
+}
+
+void
+Paragraph::closeImport(uint64_t key, const LiveValue &lv)
+{
+    uint32_t *pos = segLog_->index.find(key);
+    if (!pos)
+        return;
+    SegmentImport &im = segLog_->imports[*pos];
+    if (im.closed)
+        return; // episode >= 2: symmetric with solo, nothing to record
+    im.useCount = lv.useCount;
+    im.maxReadRel = lv.deepestAccess;
+    im.died = true;
+    im.closed = true;
 }
 
 bool
@@ -147,10 +204,14 @@ Paragraph::handleCondBranch(const TraceRecord &rec)
     // the live well are pre-existing values, entered with a single probe.
     int64_t resolve = highestLevel_;
     for (int s = 0; s < rec.numSrcs; ++s) {
-        auto [lv, fresh] = liveWell_.findOrCreatePreExisting(
-            locationKey(rec.srcs[s]), highestLevel_);
-        if (fresh)
+        const uint64_t key = locationKey(rec.srcs[s]);
+        auto [lv, fresh] =
+            liveWell_.findOrCreatePreExisting(key, highestLevel_);
+        if (fresh) {
             ++result_.preExistingValues;
+            if (segLog_)
+                noteWellInsert(key, /*via_read=*/true);
+        }
         if (lv->level + 1 > resolve)
             resolve = lv->level + 1;
     }
@@ -179,8 +240,11 @@ Paragraph::placeRecord(const TraceRecord &rec)
         const uint64_t key = locationKey(rec.srcs[s]);
         auto [lv, fresh] =
             liveWell_.findOrCreatePreExisting(key, highestLevel_);
-        if (fresh)
+        if (fresh) {
             ++result_.preExistingValues;
+            if (segLog_)
+                noteWellInsert(key, /*via_read=*/true);
+        }
         if (lv->level + 1 > issue)
             issue = lv->level + 1;
         srcs[s] = SrcRef{lv, key};
@@ -243,6 +307,8 @@ Paragraph::placeRecord(const TraceRecord &rec)
             if (!lv)
                 continue; // duplicate source already evicted
             retire(*lv);
+            if (segLog_ && lv->preExisting)
+                closeImport(srcs[s].key, *lv);
             liveWell_.kill(srcs[s].key);
             killedAny = true;
         }
@@ -257,14 +323,27 @@ Paragraph::placeRecord(const TraceRecord &rec)
         LiveValue *prev = killedAny ? liveWell_.find(dkey) : destPrev;
         if (prev) {
             retire(*prev);
+            if (segLog_ && prev->preExisting)
+                closeImport(dkey, *prev);
             *prev = LiveValue{ldest, ldest, 0, false};
         } else {
             liveWell_.define(dkey, ldest);
+            if (segLog_)
+                noteWellInsert(dkey, /*via_read=*/false);
         }
     }
 
     ++result_.placedOps;
     result_.profile.add(static_cast<uint64_t>(ldest));
+    if (segLog_) {
+        // Exact per-level counts for the stitch: the profile above folds
+        // its buckets once levels outgrow the bin count, which would make
+        // the stitched profile approximate (see SegmentLog::levelOps).
+        const size_t lvl = static_cast<size_t>(ldest);
+        if (lvl >= segLog_->levelOps.size())
+            segLog_->levelOps.resize(lvl + 1, 0);
+        ++segLog_->levelOps[lvl];
+    }
     if (ldest > deepestLevel_)
         deepestLevel_ = ldest;
     return ldest;
@@ -276,8 +355,33 @@ Paragraph::finish()
     PARA_ASSERT(!finished_, "finish() called twice");
     finished_ = true;
 
-    liveWell_.forEach(
-        [this](uint64_t, const LiveValue &lv) { retire(lv); });
+    if (segLog_) {
+        // Segment mode: survivors are exported, not retired — whether a
+        // value dies later (and its lifetime/sharing entry) is decided by
+        // the stitch across segments. Surviving first-touch episodes close
+        // here with their read stats but no death.
+        liveWell_.forEach([this](uint64_t key, const LiveValue &lv) {
+            if (lv.preExisting) {
+                if (uint32_t *pos = segLog_->index.find(key)) {
+                    SegmentImport &im = segLog_->imports[*pos];
+                    if (!im.closed) {
+                        im.useCount = lv.useCount;
+                        im.maxReadRel = lv.deepestAccess;
+                        im.closed = true; // died stays false: it survived
+                    }
+                }
+            }
+            segLog_->exports.emplace_back(key, lv);
+        });
+        segLog_->trailingPeak =
+            std::max(segPeakWindow_,
+                     static_cast<uint64_t>(liveWell_.size()));
+        segLog_->relHighest = highestLevel_;
+        segLog_->relDeepest = deepestLevel_;
+    } else {
+        liveWell_.forEach(
+            [this](uint64_t, const LiveValue &lv) { retire(lv); });
+    }
 
     result_.liveWellFinal = liveWell_.size();
     result_.liveWellPeak = liveWell_.peakSize();

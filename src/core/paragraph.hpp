@@ -34,6 +34,7 @@
 #include "core/fu_throttle.hpp"
 #include "core/live_well.hpp"
 #include "core/result.hpp"
+#include "core/segment_log.hpp"
 #include "core/window.hpp"
 #include "trace/buffer.hpp"
 #include "trace/record.hpp"
@@ -65,6 +66,15 @@ class Paragraph
 
     /** Reset all state for a new trace. */
     void begin();
+
+    /**
+     * Like begin(), but analyze the upcoming records as one shard segment:
+     * boundary episodes of every touched location are recorded into @p log
+     * (cleared first), and finish() exports the final live well instead of
+     * retiring it — carried values' lifetimes belong to the stitch
+     * (core/shard.hpp). @p log must outlive the run.
+     */
+    void beginSegment(SegmentLog *log);
 
     /** Consume one trace record. */
     void process(const trace::TraceRecord &rec);
@@ -114,6 +124,11 @@ class Paragraph
     bool done_ = false;
     bool finished_ = false;
 
+    /** Segment mode: boundary-episode log (null in normal runs). */
+    SegmentLog *segLog_ = nullptr;
+    /** Max well size since the last first-touch event (segment mode). */
+    uint64_t segPeakWindow_ = 0;
+
     static constexpr size_t numKinds = 4;    ///< trace::Operand::Kind values
     static constexpr size_t numSegments = 4; ///< trace::Segment values
     /** destRenamed() precomputed per (operand kind, segment); see begin(). */
@@ -157,6 +172,17 @@ class Paragraph
 
     /** Raise the firewall floor to @p level (counts a firewall if raised). */
     void raiseFloor(int64_t level);
+
+    // --- Segment-mode hooks (called only when segLog_ is set) -------------
+
+    /** A value entered the well at @p key: log a first touch (read or
+     *  write) or just advance the peak watermark for a later episode. */
+    void noteWellInsert(uint64_t key, bool via_read);
+
+    /** A pre-existing occupant of @p key died: capture its read stats into
+     *  the open first-touch episode (later episodes are shift-identical to
+     *  the solo run and need nothing). */
+    void closeImport(uint64_t key, const LiveValue &lv);
 };
 
 } // namespace core

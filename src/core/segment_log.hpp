@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SegmentLog: what a trace segment must export for the firewall stitch.
+ *
+ * A finite-window analysis whose config stalls on syscalls can be cut
+ * immediately after any stalling syscall: at that point the firewall floor
+ * sits one past the deepest level, every live value lies strictly below it,
+ * and nothing placed later can interact with anything above the floor
+ * except by *reading* a carried value (which never delays placement) or by
+ * *overwriting* it (which kills it). Each segment therefore analyzes
+ * independently — as if its first record started a fresh trace — and the
+ * stitch (core/shard.hpp) replays only the per-location boundary episodes
+ * recorded here to reproduce the solo run's counters exactly.
+ *
+ * For every storage location, only the FIRST touch in a segment can differ
+ * from the solo run: a first read enters a pre-existing value where solo
+ * would have used the carried one, and a first write kills the carried
+ * value solo-side with zero segment-local reads. Every later episode of
+ * the same location is shift-identical by induction. The log keeps one
+ * SegmentImport per touched location (in touch order), the final live well
+ * (exports), and the well-size watermarks between touches that let the
+ * stitch reconstruct the solo live-well peak exactly.
+ */
+
+#ifndef PARAGRAPH_CORE_SEGMENT_LOG_HPP
+#define PARAGRAPH_CORE_SEGMENT_LOG_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/live_well.hpp"
+#include "support/flat_hash_map.hpp"
+
+namespace paragraph {
+namespace core {
+
+/** Boundary episode of one storage location within a segment. */
+struct SegmentImport
+{
+    uint64_t key = 0; ///< location key (LiveWell encoding)
+
+    /** Reads of the first-touch value within the segment (solo: reads the
+     *  carried value would have received). */
+    uint32_t useCount = 0;
+
+    /** Deepest segment-relative read level; meaningful iff useCount > 0. */
+    int64_t maxReadRel = -1;
+
+    /** First touch was a read (the segment entered a fresh pre-existing
+     *  value; solo would have read the carried one instead). A first write
+     *  kills the carried value with no reads. */
+    bool viaRead = false;
+
+    /** The first-touch episode ended inside the segment (overwrite or
+     *  last-use eviction). When false the value survived to segment end
+     *  and its fate belongs to a later segment or the final retire. */
+    bool died = false;
+
+    /** Bookkeeping: read stats captured (close happened or write-first). */
+    bool closed = false;
+
+    /** Max segment-relative well size since the previous first touch,
+     *  excluding this touch's own insert. */
+    uint64_t peakBefore = 0;
+
+    /** Segment-relative well size just after this touch's insert. */
+    uint64_t sizeAfter = 0;
+};
+
+/** Everything one segment run exports to the stitch. */
+struct SegmentLog
+{
+    /** Boundary episodes, in first-touch order. */
+    std::vector<SegmentImport> imports;
+
+    /** key -> position in imports (touched-location set). */
+    FlatHashMap<uint64_t, uint32_t> index;
+
+    /** The segment's final live well, segment-relative levels. Carried
+     *  locations whose first-touch value is still open appear here with
+     *  the preExisting bit set; the stitch keeps the carried entry (with
+     *  the import's folded stats) instead. */
+    std::vector<std::pair<uint64_t, LiveValue>> exports;
+
+    /** Exact placed-op count per segment-relative level, dense over
+     *  [0, relDeepest]. The segment's own BucketedProfile may have folded
+     *  (bucket width > 1 once relDeepest reaches the bin count), which
+     *  loses in-bin placement; the stitch rebuilds the solo profile from
+     *  these counts instead, bit-identical at any trace length. */
+    std::vector<uint64_t> levelOps;
+
+    /** Max segment-relative well size after the last first touch. */
+    uint64_t trailingPeak = 0;
+
+    /** Firewall floor at segment end (== relDeepest + 1 at a stall cut):
+     *  the next segment's level offset delta. */
+    int64_t relHighest = 0;
+
+    /** Deepest segment-relative level (-1 when nothing placed). */
+    int64_t relDeepest = -1;
+
+    void
+    clear()
+    {
+        imports.clear();
+        index.clear();
+        exports.clear();
+        levelOps.clear();
+        trailingPeak = 0;
+        relHighest = 0;
+        relDeepest = -1;
+    }
+};
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_SEGMENT_LOG_HPP

@@ -1,0 +1,347 @@
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/flat_hash_map.hpp"
+
+namespace paragraph {
+namespace core {
+
+bool
+shardableConfig(const AnalysisConfig &cfg)
+{
+    // The cut theorem needs the conservative syscall firewall (so the
+    // floor clears the whole live well at each cut) and perfect branch
+    // prediction (a modeled predictor carries table state across cuts).
+    return cfg.sysCallsStall &&
+           cfg.branchPredictor == PredictorKind::Perfect;
+}
+
+std::vector<size_t>
+planShardCuts(const trace::TraceRecord *records, size_t n, unsigned shards)
+{
+    if (shards < 2 || n < 2)
+        return {};
+    // Candidate cuts: immediately after every syscall record (interior
+    // positions only — a cut at 0 or n would make an empty segment).
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (records[i].isSysCall)
+            candidates.push_back(i + 1);
+    }
+    return selectShardCuts(candidates, n, shards);
+}
+
+std::vector<size_t>
+selectShardCuts(const std::vector<size_t> &candidates, size_t n,
+                unsigned shards)
+{
+    std::vector<size_t> cuts;
+    if (shards < 2 || n < 2 || candidates.empty())
+        return cuts;
+    for (unsigned k = 1; k < shards; ++k) {
+        size_t target = static_cast<size_t>(
+            static_cast<uint64_t>(n) * k / shards);
+        auto it = std::lower_bound(candidates.begin(), candidates.end(),
+                                   target);
+        size_t best;
+        if (it == candidates.end())
+            best = candidates.back();
+        else if (it == candidates.begin())
+            best = *it;
+        else
+            best = (*it - target < target - *(it - 1)) ? *it : *(it - 1);
+        cuts.push_back(best);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    return cuts;
+}
+
+void
+runSegment(const AnalysisConfig &cfg, const trace::TraceRecord *records,
+           size_t n, SegmentRun &out)
+{
+    AnalysisConfig seg_cfg = cfg;
+    seg_cfg.maxInstructions = 0; // the caller slices exact spans
+    Paragraph engine(seg_cfg);
+    engine.beginSegment(&out.log);
+    engine.processAll(records, n);
+    out.result = engine.finish();
+}
+
+AnalysisResult
+stitchSegments(const AnalysisConfig &cfg, std::vector<SegmentRun> &segments)
+{
+    AnalysisResult out;
+    out.profile = BucketedProfile(cfg.profileBins);
+    out.storageProfile = IntervalProfile(cfg.profileBins);
+
+    // The carried live well: values alive across the current cut, at
+    // absolute (solo) levels. Mirrors the solo run's well contents at
+    // every segment boundary.
+    FlatHashMap<uint64_t, LiveValue> well;
+    uint64_t peak = 0;
+    uint64_t off = 0;
+    int64_t deepest = -1;
+    uint64_t peakBytes = 0;
+
+    auto retireInto = [&](const LiveValue &lv) {
+        if (lv.preExisting)
+            return;
+        if (cfg.collectLifetimes) {
+            out.lifetimes.add(
+                static_cast<uint64_t>(lv.deepestAccess - lv.level));
+        }
+        if (cfg.collectSharing)
+            out.sharing.add(lv.useCount);
+        if (cfg.collectStorageProfile && lv.level >= 0) {
+            out.storageProfile.add(
+                static_cast<uint64_t>(lv.level),
+                static_cast<uint64_t>(lv.deepestAccess));
+        }
+    };
+
+    std::vector<char> wasCarried;
+    for (SegmentRun &seg : segments) {
+        const AnalysisResult &r = seg.result;
+        out.instructions += r.instructions;
+        out.placedOps += r.placedOps;
+        out.sysCalls += r.sysCalls;
+        out.firewalls += r.firewalls;
+        out.preExistingValues += r.preExistingValues;
+        out.storageDelayedOps += r.storageDelayedOps;
+        out.fuDelayedOps += r.fuDelayedOps;
+        out.condBranches += r.condBranches;
+        out.branchMispredictions += r.branchMispredictions;
+        if (r.liveWellPeakBytes > peakBytes)
+            peakBytes = r.liveWellPeakBytes;
+
+        const SegmentLog &log = seg.log;
+
+        // Boundary-episode walk. The solo well size at any instant is
+        //   segment-relative size + carried - touchedCarried:
+        // each first touch of a carried location adds a segment-local
+        // entry where solo re-uses (read) or replaces in place (write)
+        // the carried one. The watermarks between touches therefore
+        // reconstruct the solo live-well peak exactly.
+        uint64_t carried = well.size();
+        uint64_t touched = 0;
+        wasCarried.assign(log.imports.size(), 0);
+        for (size_t i = 0; i < log.imports.size(); ++i) {
+            const SegmentImport &im = log.imports[i];
+            LiveValue *cv = well.find(im.key);
+            wasCarried[i] = cv != nullptr;
+            uint64_t cand = im.peakBefore + carried - touched;
+            if (cand > peak)
+                peak = cand;
+            if (cv)
+                ++touched;
+            cand = im.sizeAfter + carried - touched;
+            if (cand > peak)
+                peak = cand;
+            if (!cv)
+                continue;
+            if (im.viaRead) {
+                // The segment entered a fresh pre-existing value where the
+                // solo run read the carried one.
+                --out.preExistingValues;
+            }
+            cv->useCount += im.useCount; // wraparound matches solo
+            if (im.useCount > 0) {
+                int64_t abs_read =
+                    static_cast<int64_t>(off) + im.maxReadRel;
+                if (abs_read > cv->deepestAccess)
+                    cv->deepestAccess = abs_read;
+            }
+            if (im.died) {
+                retireInto(*cv);
+                well.erase(im.key);
+            }
+        }
+        uint64_t cand = log.trailingPeak + carried - touched;
+        if (cand > peak)
+            peak = cand;
+
+        // Segment-local distributions (levels re-based by the offset).
+        // The ops profile is rebuilt from the log's exact per-level
+        // counts — the segment's own BucketedProfile may have folded,
+        // and mergeShifted of a folded profile is only bin-accurate.
+        out.lifetimes.merge(r.lifetimes);
+        out.sharing.merge(r.sharing);
+        for (size_t lvl = 0; lvl < log.levelOps.size(); ++lvl) {
+            if (log.levelOps[lvl])
+                out.profile.add(off + lvl, log.levelOps[lvl]);
+        }
+        out.storageProfile.mergeShifted(r.storageProfile, off);
+
+        // Fold the segment's final well into the carried well. A carried
+        // location whose first-touch value is still open keeps its carried
+        // entry (the read stats were folded above); everything else is the
+        // solo well's content, shifted.
+        for (const auto &kv : log.exports) {
+            const uint64_t key = kv.first;
+            const LiveValue &lv = kv.second;
+            if (lv.preExisting) {
+                if (const uint32_t *pos = log.index.find(key)) {
+                    const SegmentImport &im = log.imports[*pos];
+                    if (!im.died && wasCarried[*pos])
+                        continue;
+                }
+            }
+            LiveValue shifted = lv;
+            shifted.level += static_cast<int64_t>(off);
+            shifted.deepestAccess += static_cast<int64_t>(off);
+            well.insertOrAssign(key, shifted);
+        }
+
+        if (log.relDeepest >= 0) {
+            int64_t seg_deepest =
+                static_cast<int64_t>(off) + log.relDeepest;
+            if (seg_deepest > deepest)
+                deepest = seg_deepest;
+        }
+        off += static_cast<uint64_t>(log.relHighest);
+    }
+
+    well.forEach([&](uint64_t, const LiveValue &lv) { retireInto(lv); });
+    out.liveWellFinal = well.size();
+    out.liveWellPeak = peak;
+    out.liveWellPeakBytes = peakBytes;
+    out.criticalPathLength =
+        deepest >= 0 ? static_cast<uint64_t>(deepest) + 1 : 0;
+    out.availableParallelism =
+        out.criticalPathLength
+            ? static_cast<double>(out.placedOps) /
+                  static_cast<double>(out.criticalPathLength)
+            : 0.0;
+    return out;
+}
+
+namespace {
+
+void
+appendDiff(std::string *diff, const char *field, uint64_t a, uint64_t b)
+{
+    if (!diff)
+        return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s%s: solo=%" PRIu64 " sharded=%" PRIu64,
+                  diff->empty() ? "" : "; ", field, a, b);
+    *diff += buf;
+}
+
+bool
+equalU64(uint64_t a, uint64_t b, const char *field, std::string *diff)
+{
+    if (a == b)
+        return true;
+    appendDiff(diff, field, a, b);
+    return false;
+}
+
+bool
+histogramsEqual(const Histogram &a, const Histogram &b, const char *name,
+                std::string *diff)
+{
+    std::string field(name);
+    bool ok = true;
+    ok &= equalU64(a.totalCount(), b.totalCount(),
+                   (field + ".total").c_str(), diff);
+    ok &= equalU64(a.overflowCount(), b.overflowCount(),
+                   (field + ".overflow").c_str(), diff);
+    ok &= equalU64(a.maxSample(), b.maxSample(),
+                   (field + ".maxSample").c_str(), diff);
+    size_t range = std::max(a.exactRange(), b.exactRange());
+    for (size_t v = 0; v < range; ++v) {
+        if (a.count(v) != b.count(v)) {
+            appendDiff(diff, (field + ".bin").c_str(), a.count(v),
+                       b.count(v));
+            ok = false;
+            break;
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+bool
+shardedResultsEqual(const AnalysisResult &solo,
+                    const AnalysisResult &stitched, std::string *diff)
+{
+    bool ok = true;
+    ok &= equalU64(solo.instructions, stitched.instructions,
+                   "instructions", diff);
+    ok &= equalU64(solo.placedOps, stitched.placedOps, "placedOps", diff);
+    ok &= equalU64(solo.sysCalls, stitched.sysCalls, "sysCalls", diff);
+    ok &= equalU64(solo.firewalls, stitched.firewalls, "firewalls", diff);
+    ok &= equalU64(solo.preExistingValues, stitched.preExistingValues,
+                   "preExistingValues", diff);
+    ok &= equalU64(solo.storageDelayedOps, stitched.storageDelayedOps,
+                   "storageDelayedOps", diff);
+    ok &= equalU64(solo.fuDelayedOps, stitched.fuDelayedOps,
+                   "fuDelayedOps", diff);
+    ok &= equalU64(solo.condBranches, stitched.condBranches,
+                   "condBranches", diff);
+    ok &= equalU64(solo.branchMispredictions,
+                   stitched.branchMispredictions,
+                   "branchMispredictions", diff);
+    ok &= equalU64(solo.criticalPathLength, stitched.criticalPathLength,
+                   "criticalPathLength", diff);
+    ok &= equalU64(solo.liveWellPeak, stitched.liveWellPeak,
+                   "liveWellPeak", diff);
+    ok &= equalU64(solo.liveWellFinal, stitched.liveWellFinal,
+                   "liveWellFinal", diff);
+    if (solo.availableParallelism != stitched.availableParallelism) {
+        appendDiff(diff, "availableParallelism",
+                   static_cast<uint64_t>(solo.availableParallelism * 1e6),
+                   static_cast<uint64_t>(stitched.availableParallelism *
+                                         1e6));
+        ok = false;
+    }
+    ok &= histogramsEqual(solo.lifetimes, stitched.lifetimes, "lifetimes",
+                          diff);
+    ok &= histogramsEqual(solo.sharing, stitched.sharing, "sharing", diff);
+    ok &= equalU64(solo.profile.totalOps(), stitched.profile.totalOps(),
+                   "profile.totalOps", diff);
+    ok &= equalU64(solo.profile.maxLevel(), stitched.profile.maxLevel(),
+                   "profile.maxLevel", diff);
+    {
+        // The stitched ops profile is rebuilt from exact per-level counts,
+        // so the rendered series must match the solo run bin-for-bin.
+        std::vector<BucketedProfile::Point> a = solo.profile.series();
+        std::vector<BucketedProfile::Point> b = stitched.profile.series();
+        if (a.size() != b.size()) {
+            appendDiff(diff, "profile.series.size", a.size(), b.size());
+            ok = false;
+        } else {
+            for (size_t i = 0; i < a.size(); ++i) {
+                if (a[i].firstLevel != b[i].firstLevel ||
+                    a[i].lastLevel != b[i].lastLevel ||
+                    a[i].opsPerLevel != b[i].opsPerLevel) {
+                    appendDiff(diff, "profile.series.bin",
+                               a[i].firstLevel, b[i].firstLevel);
+                    ok = false;
+                    break;
+                }
+            }
+        }
+    }
+    ok &= equalU64(solo.storageProfile.intervals(),
+                   stitched.storageProfile.intervals(),
+                   "storageProfile.intervals", diff);
+    ok &= equalU64(solo.storageProfile.totalLiveLevels(),
+                   stitched.storageProfile.totalLiveLevels(),
+                   "storageProfile.totalLiveLevels", diff);
+    ok &= equalU64(solo.storageProfile.maxLevel(),
+                   stitched.storageProfile.maxLevel(),
+                   "storageProfile.maxLevel", diff);
+    return ok;
+}
+
+} // namespace core
+} // namespace paragraph

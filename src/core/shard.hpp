@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Firewall-point trace sharding: split one trace at syscall stalls, analyze
+ * the segments independently, and stitch an exact solo-equivalent result.
+ *
+ * Under the paper's conservative syscall assumption a stalling syscall
+ * raises the firewall floor to deepestLevel + 1: at the cut immediately
+ * after the syscall record, every live value sits strictly below the floor
+ * and nothing placed later can issue above it. A segment analyzed from
+ * scratch therefore reproduces the solo run's placements shifted down by a
+ * fixed per-segment offset (the sum of preceding segments' final floors):
+ *
+ *  - data dependencies on carried values never bind (their level + 1 is at
+ *    most the floor, and a standalone segment's fresh pre-existing entry at
+ *    floor - 1 never binds either);
+ *  - storage dependencies on carried values never bind (their deepest
+ *    access is below the floor);
+ *  - the functional-unit throttle is empty at and above the floor on both
+ *    sides (first-fit placement is shift-invariant);
+ *  - window displacements of pre-cut entries only ever raise to levels at
+ *    or below the floor (no-ops), and the displacement streams coincide
+ *    once the window refills.
+ *
+ * The only divergences are per-location boundary episodes — the first
+ * touch of each storage location in each segment — which Paragraph records
+ * in segment mode (core/segment_log.hpp). stitchSegments() replays those
+ * episodes against the carried live well to reproduce the solo counters,
+ * histograms, live-well peak, critical path and ops-per-level profile
+ * exactly (the profile from the log's per-level counts, immune to bucket
+ * folding); the storage profile is re-based bin-accurately (exact at unit
+ * bucket width).
+ *
+ * Applicability: shardableConfig() — the conservative syscall assumption
+ * must hold and branch prediction must be Perfect (a modeled predictor
+ * carries table state across the cut). Any window size qualifies.
+ */
+
+#ifndef PARAGRAPH_CORE_SHARD_HPP
+#define PARAGRAPH_CORE_SHARD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/paragraph.hpp"
+#include "core/result.hpp"
+#include "core/segment_log.hpp"
+#include "trace/record.hpp"
+
+namespace paragraph {
+namespace core {
+
+/** True when @p cfg admits exact firewall-point sharding. */
+bool shardableConfig(const AnalysisConfig &cfg);
+
+/**
+ * Choose up to @p shards - 1 cut positions over @p records[0, n): each cut
+ * is a record index immediately after a stalling-syscall record, picked
+ * nearest to the equal-spacing targets k * n / shards. Returns a sorted,
+ * deduplicated list of interior cut positions (empty when the trace has no
+ * interior syscall — the caller falls back to a solo run).
+ */
+std::vector<size_t> planShardCuts(const trace::TraceRecord *records,
+                                  size_t n, unsigned shards);
+
+/**
+ * The selection half of planShardCuts() for callers that gather candidate
+ * positions themselves (e.g. scanning decoded blocks instead of one
+ * contiguous record array): pick up to @p shards - 1 cuts from the sorted
+ * @p candidates, nearest to the equal-spacing targets over @p n records.
+ */
+std::vector<size_t> selectShardCuts(const std::vector<size_t> &candidates,
+                                    size_t n, unsigned shards);
+
+/** One analyzed segment: its standalone result plus the boundary log. */
+struct SegmentRun
+{
+    AnalysisResult result;
+    SegmentLog log;
+};
+
+/**
+ * Analyze @p records[0, n) as one shard segment under @p cfg (segment
+ * instruction caps are ignored: the caller slices exact spans). Runs on
+ * the calling thread; segments are independent, so callers parallelize by
+ * invoking this from one thread per segment.
+ */
+void runSegment(const AnalysisConfig &cfg, const trace::TraceRecord *records,
+                size_t n, SegmentRun &out);
+
+/**
+ * Stitch segment results (in trace order) into the solo-equivalent
+ * AnalysisResult. All counters, the lifetime/sharing histograms, the
+ * live-well peak/final population, the critical path and the ops-per-level
+ * profile are exact; the storage profile is folded at each segment's
+ * bucket resolution. analysisSeconds is left 0 (the caller owns
+ * wall-clock attribution).
+ */
+AnalysisResult stitchSegments(const AnalysisConfig &cfg,
+                              std::vector<SegmentRun> &segments);
+
+/**
+ * Exact-equivalence check between a solo result and a stitched result:
+ * every counter and histogram must match exactly, and the ops-per-level
+ * profile must match bin-for-bin; the storage profile is compared on its
+ * exact scalar invariants (interval count, levels-lived, deepest level).
+ * On mismatch, appends a description to @p diff (when non-null) and
+ * returns false. Timing and live-well byte fields are excluded
+ * (machine-dependent).
+ */
+bool shardedResultsEqual(const AnalysisResult &solo,
+                         const AnalysisResult &stitched, std::string *diff);
+
+} // namespace core
+} // namespace paragraph
+
+#endif // PARAGRAPH_CORE_SHARD_HPP

@@ -1,11 +1,19 @@
 #include "engine/cell_exec.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "core/cancel_token.hpp"
 #include "core/multi.hpp"
+#include "core/shard.hpp"
+#include "trace/shared_decode.hpp"
 
 namespace paragraph {
 namespace engine {
@@ -18,6 +26,197 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
+}
+
+/**
+ * Wraps a streaming source, accumulating the wall time spent producing
+ * records — the decode share of a solo streamed cell without a shared
+ * decode pool (`.ptrz`: stateful delta decode, one private decoder per
+ * pass).
+ */
+class TimedSource : public trace::TraceSource
+{
+  public:
+    explicit TimedSource(std::unique_ptr<trace::TraceSource> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    bool
+    next(trace::TraceRecord &rec) override
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        bool ok = inner_->next(rec);
+        seconds_ += secondsSince(t0);
+        return ok;
+    }
+
+    size_t
+    nextBatch(trace::TraceRecord *out, size_t max) override
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t n = inner_->nextBatch(out, max);
+        seconds_ += secondsSince(t0);
+        return n;
+    }
+
+    void reset() override { inner_->reset(); }
+    std::string name() const override { return inner_->name(); }
+    double seconds() const { return seconds_; }
+
+  private:
+    std::unique_ptr<trace::TraceSource> inner_;
+    double seconds_ = 0.0;
+};
+
+/**
+ * Solo analysis fed block-by-block off the shared decode pool: zero
+ * per-record virtual dispatch, blocks decoded once across every concurrent
+ * consumer of the input. Block waits (decode or contention) accumulate
+ * into @p decodeSeconds.
+ */
+core::AnalysisResult
+analyzePooledSolo(std::shared_ptr<trace::SharedDecodePool> pool,
+                  const core::AnalysisConfig &cfg, double *decodeSeconds)
+{
+    core::Paragraph analyzer(cfg);
+    analyzer.begin();
+    trace::SharedDecodeCursor cursor(std::move(pool));
+    while (!analyzer.done()) {
+        const trace::TraceRecord *records = nullptr;
+        auto t0 = std::chrono::steady_clock::now();
+        size_t n = cursor.next(&records);
+        *decodeSeconds += secondsSince(t0);
+        if (n == 0)
+            break;
+        analyzer.processAll(records, n);
+    }
+    return analyzer.finish();
+}
+
+/**
+ * Firewall-point sharded analysis of a pooled streamed input: plan cuts
+ * after stalling syscalls, run the segments on up to @p shards threads
+ * (each engine thread-private, fed block slices from the shared pool),
+ * and stitch the exact solo-equivalent result. Returns false — leaving
+ * @p cell untouched — when the trace offers no interior cut; the caller
+ * falls back to the solo pass. Throws what a segment run throws
+ * (CancelledError included), for the caller's attempts loop.
+ */
+bool
+analyzeSharded(const std::shared_ptr<trace::SharedDecodePool> &pool,
+               const core::AnalysisConfig &cfg, unsigned shards,
+               SweepCell &cell)
+{
+    uint64_t limit = pool->recordCount();
+    if (cfg.maxInstructions && cfg.maxInstructions < limit)
+        limit = cfg.maxInstructions;
+    if (limit < 2)
+        return false;
+    const size_t blockRecords = pool->blockRecords();
+
+    // Plan pass: scan decoded blocks for candidate cuts (the record after
+    // each syscall). The scan also warms the pool's block cache for the
+    // segment runs right behind it.
+    double decode = 0.0;
+    std::vector<size_t> candidates;
+    {
+        uint64_t pos = 0;
+        size_t blockIdx = 0;
+        while (pos < limit) {
+            auto t0 = std::chrono::steady_clock::now();
+            std::shared_ptr<const trace::DecodedBlock> blk =
+                pool->block(blockIdx++);
+            decode += secondsSince(t0);
+            const size_t n = blk->records.size();
+            if (n == 0)
+                break;
+            for (size_t i = 0; i < n && pos + i + 1 < limit; ++i) {
+                if (blk->records[i].isSysCall)
+                    candidates.push_back(static_cast<size_t>(pos + i + 1));
+            }
+            pos += n;
+        }
+    }
+    std::vector<size_t> cuts = core::selectShardCuts(
+        candidates, static_cast<size_t>(limit), shards);
+    if (cuts.empty()) {
+        cell.decodeSeconds += decode; // the scan still decoded the trace
+        return false;
+    }
+
+    std::vector<uint64_t> bounds;
+    bounds.reserve(cuts.size() + 2);
+    bounds.push_back(0);
+    for (size_t c : cuts)
+        bounds.push_back(c);
+    bounds.push_back(limit);
+    const size_t nSegments = bounds.size() - 1;
+
+    std::vector<core::SegmentRun> segments(nSegments);
+    std::vector<double> segDecode(nSegments, 0.0);
+    std::atomic<size_t> nextSeg{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+
+    auto runOne = [&](size_t s) {
+        core::AnalysisConfig seg_cfg = cfg;
+        seg_cfg.maxInstructions = 0; // the bounds slice exact spans
+        core::Paragraph engine(seg_cfg);
+        engine.beginSegment(&segments[s].log);
+        uint64_t pos = bounds[s];
+        const uint64_t hi = bounds[s + 1];
+        while (pos < hi) {
+            size_t b = static_cast<size_t>(pos / blockRecords);
+            auto t0 = std::chrono::steady_clock::now();
+            std::shared_ptr<const trace::DecodedBlock> blk = pool->block(b);
+            segDecode[s] += secondsSince(t0);
+            size_t off = static_cast<size_t>(
+                pos - static_cast<uint64_t>(b) * blockRecords);
+            size_t len = static_cast<size_t>(std::min<uint64_t>(
+                hi - pos, blk->records.size() - off));
+            engine.processAll(blk->records.data() + off, len);
+            pos += len;
+        }
+        segments[s].result = engine.finish();
+    };
+
+    auto segmentWorker = [&]() {
+        for (;;) {
+            size_t s = nextSeg.fetch_add(1, std::memory_order_relaxed);
+            if (s >= nSegments)
+                return;
+            try {
+                runOne(s);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    unsigned nThreads =
+        static_cast<unsigned>(std::min<size_t>(shards, nSegments));
+    if (nThreads <= 1) {
+        segmentWorker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(nThreads);
+        for (unsigned t = 0; t < nThreads; ++t)
+            threads.emplace_back(segmentWorker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    for (double d : segDecode)
+        decode += d;
+    cell.decodeSeconds += decode;
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    cell.result = core::stitchSegments(cfg, segments);
+    cell.shardSegments = static_cast<unsigned>(nSegments);
+    return true;
 }
 
 } // namespace
@@ -38,6 +237,8 @@ runCellSolo(TraceRepository &repo, SweepCell &cell,
     unsigned maxAttempts = 1 + opt.maxRetries;
     for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
         cell.attempts = attempt;
+        cell.decodeSeconds = 0.0;
+        cell.shardSegments = 0;
         try {
             core::AnalysisConfig cfg = cell.job.config;
             core::CancelToken deadline;
@@ -46,17 +247,28 @@ runCellSolo(TraceRepository &repo, SweepCell &cell,
                 deadline.chain(cfg.cancel);
                 cfg.cancel = &deadline;
             }
-            core::Paragraph analyzer(cfg);
             auto cellStart = std::chrono::steady_clock::now();
             if (repo.streamingInput(cell.job.input)) {
-                std::unique_ptr<trace::TraceSource> src =
-                    repo.makeSource(cell.job.input);
-                cell.result = analyzer.analyze(*src);
+                std::shared_ptr<trace::SharedDecodePool> pool =
+                    repo.decodePool(cell.job.input);
+                bool done = false;
+                if (pool && opt.shards > 1 && core::shardableConfig(cfg))
+                    done = analyzeSharded(pool, cfg, opt.shards, cell);
+                if (!done && pool) {
+                    cell.result = analyzePooledSolo(std::move(pool), cfg,
+                                                    &cell.decodeSeconds);
+                } else if (!done) {
+                    TimedSource src(repo.makeSource(cell.job.input));
+                    core::Paragraph analyzer(cfg);
+                    cell.result = analyzer.analyze(src);
+                    cell.decodeSeconds = src.seconds();
+                }
             } else {
                 // Analyze the shared capture directly (bulk path): no
                 // cursor object, no virtual dispatch per record.
                 std::shared_ptr<const trace::TraceBuffer> buffer =
                     repo.get(cell.job.input);
+                core::Paragraph analyzer(cfg);
                 cell.result = analyzer.analyze(*buffer);
             }
             cell.wallSeconds = secondsSince(cellStart);
@@ -109,8 +321,19 @@ runFusedCells(TraceRepository &repo,
     bool groupFailed = false;
     try {
         if (repo.streamingInput(input)) {
-            std::unique_ptr<trace::TraceSource> src = repo.makeSource(input);
-            outcomes = core::analyzeManyGuarded(*src, cfgs);
+            // Pooled `.ptrc`: the fused pass pulls whole decoded blocks
+            // off the shared pool — blocks decoded once across every
+            // group and solo cell on this input.
+            std::shared_ptr<trace::SharedDecodePool> pool =
+                repo.decodePool(input);
+            if (pool) {
+                trace::SharedDecodeCursor cursor(std::move(pool));
+                outcomes = core::analyzeManyGuarded(cursor, cfgs);
+            } else {
+                std::unique_ptr<trace::TraceSource> src =
+                    repo.makeSource(input);
+                outcomes = core::analyzeManyGuarded(*src, cfgs);
+            }
         } else {
             std::shared_ptr<const trace::TraceBuffer> buffer =
                 repo.get(input);
@@ -128,6 +351,8 @@ runFusedCells(TraceRepository &repo,
             cell.errorMessage.clear();
             cell.attempts = 1;
             cell.wallSeconds = outcomes[k].engineSeconds;
+            cell.decodeSeconds = outcomes[k].decodeSeconds;
+            cell.shardSegments = 0;
             cell.minstrPerSec =
                 cell.wallSeconds > 0.0
                     ? static_cast<double>(cell.result.instructions) / 1e6 /

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -156,7 +157,76 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
         }
     }
 
-    std::atomic<size_t> nextGroup{0};
+    // Group claiming. A plain take-a-ticket counter let 8 workers open 8
+    // private decoders on the same compressed trace — BENCH_sweep.json
+    // showed that streamed `--jobs=8` run *slower* than `--jobs=1` (the
+    // decoders thrash each other's cache and the disk). Pooled `.ptrc`
+    // inputs share one decode and are immune; for the rest (`.ptrz`:
+    // stateful delta decode, one private decoder per pass) claiming is a
+    // mutex-guarded scan that caps concurrent passes per input at
+    // kMaxDecodersPerInput, parking surplus workers on a condvar until a
+    // pass over that input retires or an ungated group shows up.
+    constexpr unsigned kMaxDecodersPerInput = 2;
+
+    std::vector<std::string> groupInput(groups.size());
+    for (size_t g = 0; g < groups.size(); ++g)
+        groupInput[g] = jobs[groups[g].front()].input;
+
+    std::map<std::string, bool> decodeGated;
+    for (const std::string &input : groupInput) {
+        auto [it, fresh] = decodeGated.try_emplace(input, false);
+        if (!fresh || !repo.streamingInput(input))
+            continue;
+        bool pooled = false;
+        try {
+            pooled = repo.decodePool(input) != nullptr;
+        } catch (const std::exception &) {
+            // A corrupt file fails pool construction here; the per-cell
+            // attempt will re-raise it where it can be attributed.
+        }
+        it->second = !pooled;
+    }
+
+    std::mutex claimMutex;
+    std::condition_variable claimCv;
+    std::vector<char> groupTaken(groups.size(), 0);
+    std::map<std::string, unsigned> activeDecoders;
+    size_t groupsLeft = groups.size();
+
+    auto claimGroup = [&](size_t &out) {
+        std::unique_lock<std::mutex> lock(claimMutex);
+        for (;;) {
+            if (groupsLeft == 0)
+                return false;
+            for (size_t g = 0; g < groups.size(); ++g) {
+                if (groupTaken[g])
+                    continue;
+                const std::string &input = groupInput[g];
+                bool gated = decodeGated.find(input)->second;
+                if (gated &&
+                    activeDecoders[input] >= kMaxDecodersPerInput)
+                    continue;
+                groupTaken[g] = 1;
+                if (gated)
+                    ++activeDecoders[input];
+                if (--groupsLeft == 0)
+                    claimCv.notify_all(); // wake waiters so they can exit
+                out = g;
+                return true;
+            }
+            claimCv.wait(lock);
+        }
+    };
+
+    auto releaseGroup = [&](size_t g) {
+        const std::string &input = groupInput[g];
+        if (!decodeGated.find(input)->second)
+            return;
+        std::lock_guard<std::mutex> lock(claimMutex);
+        --activeDecoders[input];
+        claimCv.notify_all();
+    };
+
     std::atomic<uint64_t> instructionsDone{0};
     std::mutex progressMutex;
     size_t cellsDone = sweep.cellsSkipped;
@@ -165,6 +235,7 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     CellExecOptions execOpt;
     execOpt.maxRetries = opt_.maxRetries;
     execOpt.cellDeadlineSeconds = opt_.cellDeadlineSeconds;
+    execOpt.shards = opt_.shards;
 
     // Journal + aggregate + progress bookkeeping, exactly once per cell,
     // after its status is final.
@@ -206,10 +277,8 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     };
 
     auto worker = [&]() {
-        for (;;) {
-            size_t g = nextGroup.fetch_add(1, std::memory_order_relaxed);
-            if (g >= groups.size())
-                return;
+        size_t g;
+        while (claimGroup(g)) {
             const std::vector<size_t> &group = groups[g];
             if (group.size() == 1) {
                 size_t i = group.front();
@@ -230,6 +299,7 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
                                cell);
                 });
             }
+            releaseGroup(g);
         }
     };
 

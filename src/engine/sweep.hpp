@@ -87,6 +87,15 @@ struct SweepCell
     /** Wall-clock seconds for this cell's analysis alone. */
     double wallSeconds = 0.0;
 
+    /** Of which, seconds spent producing trace records: private stream
+     *  decode, or waits on the shared decode pool (cumulative across
+     *  shard threads). 0 for captured inputs — their capture is paid
+     *  once, up front, in SweepResult::captureSeconds. */
+    double decodeSeconds = 0.0;
+
+    /** Firewall-point shard segments this cell ran as (0 = unsharded). */
+    unsigned shardSegments = 0;
+
     /** Analysis throughput of this cell, in million instructions/sec. */
     double minstrPerSec = 0.0;
 
@@ -157,6 +166,13 @@ class SweepEngine
          *  cut off at the next cancellation checkpoint and marked Failed.
          *  0 = no deadline. */
         double cellDeadlineSeconds = 0.0;
+
+        /** Shard each solo streamed cell at syscall firewall points into
+         *  up to this many trace segments analyzed on that many threads
+         *  and stitched into the exact solo result (core/shard.hpp): how
+         *  ONE trace × ONE config uses more than one core. Applies to
+         *  shardable configs over pooled `.ptrc` inputs; 1 = off. */
+        unsigned shards = 1;
 
         /** Append one JSONL line per completed cell to this file (plus a
          *  header line when the file is new). Empty = no journal. */

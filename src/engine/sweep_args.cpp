@@ -115,6 +115,9 @@ parseSweepArgs(const std::vector<std::string> &args, SweepArgs &opt,
         } else if (startsWith(arg, "--group=") &&
                    parseInt(arg.substr(8), n) && n >= 0) {
             opt.group = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--shard=") &&
+                   parseInt(arg.substr(8), n) && n > 0) {
+            opt.shards = static_cast<unsigned>(n);
         } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
                    n >= 0) {
             opt.maxInstructions = static_cast<uint64_t>(n);
@@ -139,6 +142,8 @@ parseSweepArgs(const std::vector<std::string> &args, SweepArgs &opt,
             opt.small = true;
         } else if (arg == "--stream") {
             opt.stream = true;
+        } else if (arg == "--stats") {
+            opt.json.stats = true;
         } else if (arg == "--no-timing") {
             opt.json.timing = false;
         } else if (arg == "--no-profiles") {

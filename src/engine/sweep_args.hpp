@@ -34,7 +34,8 @@ struct SweepArgs
     std::vector<uint32_t> fus;
     uint64_t maxInstructions = 0;
     unsigned jobs = 0;
-    unsigned group = 0; // 0 = auto (one fused pass per worker share)
+    unsigned group = 0;  // 0 = auto (one fused pass per worker share)
+    unsigned shards = 1; // firewall-point segments per solo streamed cell
     unsigned retries = 0;
     double deadlineSeconds = 0.0;
     bool small = false;

@@ -157,8 +157,17 @@ writeCell(std::ostream &os, const SweepCell &cell,
         os << ",\n";
         os << "      \"timing\": {\"wall_seconds\": "
            << jsonDouble(cell.wallSeconds)
-           << ", \"minstr_per_sec\": " << jsonDouble(cell.minstrPerSec)
-           << "}";
+           << ", \"minstr_per_sec\": " << jsonDouble(cell.minstrPerSec);
+        if (opt.stats) {
+            double analyze = cell.wallSeconds - cell.decodeSeconds;
+            if (analyze < 0.0) // shard threads decode concurrently
+                analyze = 0.0;
+            os << ",\n        \"decode_seconds\": "
+               << jsonDouble(cell.decodeSeconds)
+               << ", \"analyze_seconds\": " << jsonDouble(analyze)
+               << ", \"shard_segments\": " << cell.shardSegments;
+        }
+        os << "}";
     }
     os << "\n    }";
 }
@@ -175,7 +184,7 @@ writeSweepJson(std::ostream &os, const SweepResult &sweep,
             ++failed;
     }
     os << "{\n";
-    os << "  \"schema\": \"paragraph-sweep-v2\",\n";
+    os << "  \"schema\": \"paragraph-sweep-v3\",\n";
     os << "  \"cells_total\": " << sweep.cells.size() << ",\n";
     os << "  \"cells_failed\": " << failed << ",\n";
     if (opt.timing) {
@@ -185,7 +194,14 @@ writeSweepJson(std::ostream &os, const SweepResult &sweep,
            << ", \"capture_seconds\": " << jsonDouble(sweep.captureSeconds)
            << ", \"total_instructions\": " << sweep.totalInstructions
            << ", \"aggregate_minstr_per_sec\": "
-           << jsonDouble(sweep.aggregateMinstrPerSec) << "},\n";
+           << jsonDouble(sweep.aggregateMinstrPerSec);
+        if (opt.stats) {
+            double decode = 0.0;
+            for (const SweepCell &cell : sweep.cells)
+                decode += cell.decodeSeconds;
+            os << ",\n    \"decode_seconds\": " << jsonDouble(decode);
+        }
+        os << "},\n";
     }
     os << "  \"cells\": [";
     bool first = true;

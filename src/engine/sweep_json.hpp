@@ -29,6 +29,11 @@ struct SweepJsonOptions
 
     /** Include the per-cell parallelism-profile bucket series. */
     bool profiles = true;
+
+    /** Break each cell's wall time into decode vs analyze shares and
+     *  report shard-segment counts (inside "timing", so `timing = false`
+     *  documents stay deterministic and journal splicing is unaffected). */
+    bool stats = false;
 };
 
 /** Write @p sweep as a JSON document. */

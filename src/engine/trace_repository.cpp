@@ -76,6 +76,17 @@ TraceRepository::enforceBudget()
 {
     if (opt_.memoryBudget == 0)
         return;
+    // Decoded-block pools share the budget: when captures alone would not
+    // fit, drop every pool block no analysis currently references before
+    // evicting captures. In-flight readers keep their blocks alive via
+    // shared_ptr, exactly like evicted captures.
+    size_t poolBytes = 0;
+    for (auto &kv : pools_)
+        poolBytes += kv.second->cachedBytes();
+    if (cachedBytes_ + poolBytes > opt_.memoryBudget && poolBytes > 0) {
+        for (auto &kv : pools_)
+            kv.second->trim();
+    }
     while (cachedBytes_ > opt_.memoryBudget) {
         // Drop the least-recently-used unpinned capture. In-flight
         // analyses are unaffected: they co-own the buffer via shared_ptr.
@@ -142,6 +153,38 @@ TraceRepository::streamingInput(const std::string &spec) const
            (hasSuffix(spec, ".ptrc") || hasSuffix(spec, ".ptrz"));
 }
 
+std::shared_ptr<trace::SharedDecodePool>
+TraceRepository::decodePool(const std::string &spec)
+{
+    // Only uncompressed `.ptrc` files support random block access; `.ptrz`
+    // decode is stateful (delta-coded) and stays on the pipeline path.
+    if (!streamingInput(spec) || !hasSuffix(spec, ".ptrc"))
+        return nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = pools_.find(spec);
+        if (it != pools_.end())
+            return it->second;
+    }
+    // Map and validate outside the lock: the eager payload-CRC pass over a
+    // multi-GB trace must not stall every other worker.
+    std::shared_ptr<trace::MmapTraceFile> file =
+        trace::MmapTraceFile::tryOpen(spec);
+    if (!file)
+        return nullptr;
+    trace::SharedDecodePool::Options popt;
+    popt.maxRecords = opt_.maxRecords;
+    // A capped read never reaches the final records, so (like the
+    // sequential reader, whose CRC check fires only at end-of-stream) a
+    // capped pool skips whole-payload verification.
+    popt.verifyPayload =
+        opt_.maxRecords == 0 || opt_.maxRecords >= file->recordCount();
+    auto pool =
+        std::make_shared<trace::SharedDecodePool>(std::move(file), popt);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pools_.emplace(spec, std::move(pool)).first->second;
+}
+
 uint32_t
 TraceRepository::traceCrc(const std::string &spec)
 {
@@ -185,6 +228,8 @@ void
 TraceRepository::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : pools_)
+        kv.second->trim();
     for (auto it = cache_.begin(); it != cache_.end();) {
         if (it->second.pins > 0) {
             ++it;

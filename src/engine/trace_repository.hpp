@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "trace/buffer.hpp"
+#include "trace/shared_decode.hpp"
 #include "trace/source.hpp"
 #include "workloads/workload.hpp"
 
@@ -147,6 +148,18 @@ class TraceRepository
      *  the spec names a trace file). */
     bool streamingInput(const std::string &spec) const;
 
+    /**
+     * The shared decode pool for a streamed `.ptrc` input: every consumer
+     * (fused group, solo cell, shard segment, serve client) of the same
+     * input shares one mmap and decodes each block exactly once between
+     * them. Returns nullptr when @p spec is not a streamed `.ptrc` (or
+     * cannot be mapped) — callers then fall back to makeSource().
+     * Thread-safe; the pool is cached for the repository's lifetime and
+     * its block cache counts toward the byte budget via trim().
+     */
+    std::shared_ptr<trace::SharedDecodePool>
+    decodePool(const std::string &spec);
+
     /** CRC-32 of @p spec's records in packed on-disk form (capturing the
      *  input on first request). Remembered per spec even after the capture
      *  itself is evicted. */
@@ -179,6 +192,7 @@ class TraceRepository
     Options opt_;
     mutable std::mutex mutex_;
     std::map<std::string, Entry> cache_;
+    std::map<std::string, std::shared_ptr<trace::SharedDecodePool>> pools_;
     std::map<std::string, uint32_t> crcs_;
     uint64_t useCounter_ = 0;
     size_t cachedBytes_ = 0;

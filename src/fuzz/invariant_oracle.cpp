@@ -9,6 +9,7 @@
 #include "core/baseline.hpp"
 #include "core/multi.hpp"
 #include "core/paragraph.hpp"
+#include "core/shard.hpp"
 #include "isa/op_class.hpp"
 #include "support/string_utils.hpp"
 #include "trace/compressed_io.hpp"
@@ -76,6 +77,10 @@ propertyCatalogue()
         {"file-round-trip",
          ".ptrc and .ptrz encode losslessly: write + read back must "
          "reproduce every record bit-for-bit"},
+        {"shard-stitch-identity",
+         "a trace cut immediately after stalling syscalls analyzes "
+         "segment-by-segment and stitches into the exact solo result "
+         "(any config with stalling syscalls and perfect prediction)"},
     };
     return catalogue;
 }
@@ -595,6 +600,39 @@ InvariantOracle::check(const TraceBuffer &trace) const
                            "liveWellFinal=%llu",
                            matrix[i].name, ull(res.liveWellPeak),
                            ull(res.liveWellFinal)));
+    }
+
+    // --- shard-stitch-identity --------------------------------------------
+    // Firewall-point sharding (core/shard.hpp) through the fuzzer's traces:
+    // whatever syscall pattern the generator or a mutation produced, the
+    // stitched segment analysis must equal the solo pass bit-for-bit. A
+    // trace with no interior syscall degenerates to one segment, which
+    // still exercises the segment-mode engine (beginSegment + stitch).
+    if (trace.size() > 0) {
+        const TraceRecord *records = trace.records().data();
+        size_t n = trace.size();
+        std::vector<size_t> cuts = core::planShardCuts(records, n, 4);
+        for (size_t i :
+             {size_t{kBase}, size_t{kWindowSmall}, size_t{kRenameNone},
+              size_t{kFuLimited}}) {
+            if (!core::shardableConfig(matrix[i].cfg))
+                continue;
+            std::vector<size_t> bounds;
+            bounds.push_back(0);
+            bounds.insert(bounds.end(), cuts.begin(), cuts.end());
+            bounds.push_back(n);
+            std::vector<core::SegmentRun> segments(bounds.size() - 1);
+            for (size_t k = 0; k + 1 < bounds.size(); ++k)
+                core::runSegment(matrix[i].cfg, records + bounds[k],
+                                 bounds[k + 1] - bounds[k], segments[k]);
+            AnalysisResult stitched =
+                core::stitchSegments(matrix[i].cfg, segments);
+            if (!detail::resultsEqual(solo[i], stitched, &diff))
+                fail("shard-stitch-identity",
+                     strFormat("config %s (%zu segments): %s",
+                               matrix[i].name, segments.size(),
+                               diff.c_str()));
+        }
     }
 
     // --- file-round-trip (sampled by the harness: file I/O per check) -----

@@ -68,4 +68,25 @@ BucketedProfile::merge(const BucketedProfile &other)
     }
 }
 
+void
+BucketedProfile::mergeShifted(const BucketedProfile &other, uint64_t offset)
+{
+    if (!other.any_)
+        return;
+    size_t last_bin = static_cast<size_t>(other.maxLevel_ >>
+                                          other.bucketShift_);
+    for (size_t i = 0; i <= last_bin; ++i) {
+        uint64_t c = other.bins_[i];
+        if (c > 0)
+            add((static_cast<uint64_t>(i) << other.bucketShift_) + offset, c);
+    }
+    // add() saw only bin-start levels; the true deepest level is exact.
+    // Keep the bin array covering it so series() stays in range.
+    uint64_t deepest = other.maxLevel_ + offset;
+    while ((deepest >> bucketShift_) >= bins_.size())
+        fold();
+    if (deepest > maxLevel_)
+        maxLevel_ = deepest;
+}
+
 } // namespace paragraph

@@ -86,6 +86,15 @@ class BucketedProfile
     /** Merge another profile into this one (levels are aligned at 0). */
     void merge(const BucketedProfile &other);
 
+    /**
+     * Fold @p other into this profile with every level shifted up by
+     * @p offset (the shard stitch: segment-relative levels re-based to
+     * absolute). totalOps() and maxLevel() are combined exactly; each
+     * source bin's mass lands at its first shifted level, so the in-bin
+     * distribution is approximate at the source's bucket resolution.
+     */
+    void mergeShifted(const BucketedProfile &other, uint64_t offset);
+
   private:
     std::vector<uint64_t> bins_;
     uint32_t bucketShift_ = 0; ///< log2 of the bucket width

@@ -22,6 +22,25 @@ Histogram::percentile(double fraction) const
     return maxSample_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t v = 0; v < other.counts_.size(); ++v) {
+        uint64_t c = other.counts_[v];
+        if (c == 0)
+            continue;
+        if (v < counts_.size())
+            counts_[v] += c;
+        else
+            overflow_ += c;
+    }
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.maxSample_ > maxSample_)
+        maxSample_ = other.maxSample_;
+}
+
 size_t
 Log2Histogram::highestUsedBucket() const
 {

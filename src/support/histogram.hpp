@@ -74,6 +74,13 @@ class Histogram
     /** Number of exact buckets. */
     size_t exactRange() const { return counts_.size(); }
 
+    /**
+     * Fold @p other into this histogram, bin by bin. Exact when the exact
+     * ranges match (the only way it is used); samples beyond this
+     * histogram's range land in the overflow bucket.
+     */
+    void merge(const Histogram &other);
+
   private:
     std::vector<uint64_t> counts_;
     uint64_t overflow_ = 0;

@@ -88,4 +88,37 @@ IntervalProfile::meanLive() const
            static_cast<double>(maxLevel_ + 1);
 }
 
+void
+IntervalProfile::mergeShifted(const IntervalProfile &other, uint64_t offset)
+{
+    if (!other.any_)
+        return;
+    uint64_t deepest = other.maxLevel_ + offset;
+    while ((deepest >> bucketShift_) >= bins_.size())
+        fold();
+    size_t last_bin = static_cast<size_t>(other.maxLevel_ >>
+                                          other.bucketShift_);
+    for (size_t b = 0; b <= last_bin; ++b) {
+        const Bin &src = other.bins_[b];
+        if (src.starts == 0 && src.ends == 0 && src.edgeMass == 0)
+            continue;
+        uint64_t lo =
+            (static_cast<uint64_t>(b) << other.bucketShift_) + offset;
+        uint64_t hi = lo + other.bucketWidth() - 1;
+        if (hi > deepest)
+            hi = deepest;
+        // Starts at the source bucket's first level, ends at its last:
+        // every interval keeps start bucket <= end bucket, so the series
+        // prefix sums stay consistent.
+        bins_[lo >> bucketShift_].starts += src.starts;
+        bins_[hi >> bucketShift_].ends += src.ends;
+        bins_[lo >> bucketShift_].edgeMass += src.edgeMass;
+    }
+    intervals_ += other.intervals_;
+    totalLiveLevels_ += other.totalLiveLevels_;
+    if (deepest > maxLevel_)
+        maxLevel_ = deepest;
+    any_ = true;
+}
+
 } // namespace paragraph

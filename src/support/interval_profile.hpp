@@ -100,6 +100,19 @@ class IntervalProfile
     /** Mean live count over the whole level range. */
     double meanLive() const;
 
+    /** Exact sum of interval lengths (levels-lived across all values). */
+    uint64_t totalLiveLevels() const { return totalLiveLevels_; }
+
+    /**
+     * Fold @p other into this profile with every level shifted up by
+     * @p offset (the shard stitch). intervals(), totalLiveLevels() and
+     * maxLevel() are combined exactly; per-bucket starts/ends/edge mass
+     * are re-attributed at the source's bucket resolution (starts at the
+     * bucket's first shifted level, ends at its last), so the rendered
+     * series is approximate within one source bucket.
+     */
+    void mergeShifted(const IntervalProfile &other, uint64_t offset);
+
   private:
     /** Per-bucket counters, kept together for cache locality on add(). */
     struct Bin

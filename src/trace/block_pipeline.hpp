@@ -30,13 +30,14 @@
 #include <thread>
 #include <vector>
 
+#include "trace/block_source.hpp"
 #include "trace/record.hpp"
 #include "trace/source.hpp"
 
 namespace paragraph {
 namespace trace {
 
-class BlockPipeline
+class BlockPipeline : public BlockSource
 {
   public:
     struct Options
@@ -52,7 +53,7 @@ class BlockPipeline
     BlockPipeline(TraceSource &src, Options opt);
 
     /** Stops the producer and joins it; safe mid-trace. */
-    ~BlockPipeline();
+    ~BlockPipeline() override;
 
     BlockPipeline(const BlockPipeline &) = delete;
     BlockPipeline &operator=(const BlockPipeline &) = delete;
@@ -64,7 +65,7 @@ class BlockPipeline
      *        the next call. @return 0 at end of trace. Rethrows any
      *        exception the producer hit while reading the source.
      */
-    size_t next(const TraceRecord **records);
+    size_t next(const TraceRecord **records) override;
 
   private:
     struct Slot

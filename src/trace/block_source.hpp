@@ -1,0 +1,40 @@
+/**
+ * @file
+ * BlockSource: the block-granular pull interface fused consumers share.
+ *
+ * BlockPipeline's next(const TraceRecord **) protocol turned out to be the
+ * natural feeding contract for block-major analysis; the shared decode pool
+ * serves the same protocol from refcounted cached blocks. This interface
+ * lets core::analyzeManyGuarded feed engines from either without caring
+ * which is behind it.
+ */
+
+#ifndef PARAGRAPH_TRACE_BLOCK_SOURCE_HPP
+#define PARAGRAPH_TRACE_BLOCK_SOURCE_HPP
+
+#include <cstddef>
+
+#include "trace/record.hpp"
+
+namespace paragraph {
+namespace trace {
+
+class BlockSource
+{
+  public:
+    virtual ~BlockSource() = default;
+
+    /**
+     * Produce the next block of records.
+     *
+     * @param records receives a pointer valid until the next call (or until
+     *        the source is destroyed). @return the block's record count;
+     *        0 at end of trace. May throw decode errors.
+     */
+    virtual size_t next(const TraceRecord **records) = 0;
+};
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_BLOCK_SOURCE_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bulk PackedRecord validation + unpack for block decoders.
+ *
+ * unpackRecord() range-checks one record at a time; at streaming rates the
+ * per-record branches dominate the decode loop and defeat vectorization.
+ * The bulk path splits the work: a SIMD scan proves every record in a block
+ * passes the same field checks (the eight leading bytes of a PackedRecord
+ * carry every range-checked field), then an unchecked transform loop the
+ * compiler can vectorize produces the TraceRecords. If the scan finds any
+ * bad byte the block is re-run through the scalar checked path so the
+ * FatalError names the exact record and byte offset, identical to
+ * TraceFileReader's diagnostics.
+ *
+ * SSE2 / NEON variants are selected under the PARAGRAPH_SIMD build option;
+ * without it (or on other architectures) a scalar 64-bit scan runs the same
+ * checks. Output is byte-identical across all variants — the equivalence
+ * and corruption suites hold every path to TraceFileReader's behavior.
+ */
+
+#ifndef PARAGRAPH_TRACE_BULK_UNPACK_HPP
+#define PARAGRAPH_TRACE_BULK_UNPACK_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "trace/file_io.hpp"
+#include "trace/record.hpp"
+
+namespace paragraph {
+namespace trace {
+
+/**
+ * True iff all @p n packed records pass unpackRecord's range checks
+ * (operation class, flag bits, source count, last-use mask, operand
+ * kinds and segments). SIMD-accelerated when built with PARAGRAPH_SIMD.
+ */
+bool packedRecordsValid(const PackedRecord *in, size_t n);
+
+/**
+ * Unpack @p n packed records into @p out.
+ *
+ * On any invalid record throws FatalError formatted exactly like
+ * TraceFileReader: "<path>: bad ... (record <index> at offset <offset>)",
+ * where the index counts from @p firstIndex within the named file.
+ */
+void unpackRecords(const PackedRecord *in, TraceRecord *out, size_t n,
+                   const std::string &path, uint64_t firstIndex);
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_BULK_UNPACK_HPP

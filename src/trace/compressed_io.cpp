@@ -4,6 +4,7 @@
 
 #include "support/panic.hpp"
 #include "trace/file_io.hpp"
+#include "trace/mmap_io.hpp"
 
 namespace paragraph {
 namespace trace {
@@ -370,8 +371,15 @@ openTraceFile(const std::string &path)
         PARA_FATAL("trace file too short: %s", path.c_str());
     if (magic == compressedTraceMagic)
         return std::make_unique<CompressedTraceReader>(path);
-    if (magic == traceFileMagic)
+    if (magic == traceFileMagic) {
+        // Prefer the mapped reader (zero read syscalls, bulk SIMD unpack,
+        // page-cache sharing across consumers); validation failures throw
+        // the same errors either way. Fall back to stdio only when the
+        // platform refuses the mapping.
+        if (auto mapped = MmapTraceFile::tryOpen(path))
+            return std::make_unique<MmapTraceSource>(std::move(mapped));
         return std::make_unique<TraceFileReader>(path);
+    }
     PARA_FATAL("unrecognized trace file format: %s", path.c_str());
 }
 

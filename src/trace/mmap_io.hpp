@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Memory-mapped `.ptrc` trace access: random-access decode, zero read syscalls.
+ *
+ * TraceFileReader pulls records through buffered stdio — fine for one
+ * sequential pass, but a fused sweep group or a sharded single-trace run
+ * wants many readers over the same bytes. MmapTraceFile maps the file once
+ * and validates the header exactly like TraceFileReader (same order, same
+ * FatalError texts, same v1 warning), then serves bounds-checked random
+ * access to the packed records; decode goes through the bulk SIMD unpack.
+ * The kernel page cache shares the mapped bytes across every pool, cursor,
+ * and process touching the trace.
+ *
+ * MmapTraceSource is the sequential TraceSource view used by streamed solo
+ * cells: byte-for-byte the same observable behavior as TraceFileReader,
+ * including the payload-CRC check firing only when the stream is read to
+ * its end (a capped read never reaches it, exactly as before).
+ */
+
+#ifndef PARAGRAPH_TRACE_MMAP_IO_HPP
+#define PARAGRAPH_TRACE_MMAP_IO_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/file_io.hpp"
+#include "trace/record.hpp"
+#include "trace/source.hpp"
+
+namespace paragraph {
+namespace trace {
+
+class MmapTraceFile
+{
+  public:
+    /**
+     * Map @p path read-only and validate its header; throws FatalError for
+     * the same conditions, in the same order, with the same messages as
+     * TraceFileReader (missing file, short file, bad magic, bad version,
+     * v2 header-CRC mismatch) and warns identically on v1 files.
+     */
+    explicit MmapTraceFile(const std::string &path);
+    ~MmapTraceFile();
+
+    MmapTraceFile(const MmapTraceFile &) = delete;
+    MmapTraceFile &operator=(const MmapTraceFile &) = delete;
+
+    /**
+     * Map @p path if the platform allows it; returns nullptr when the file
+     * exists but cannot be mapped (so callers fall back to stdio), and
+     * throws FatalError for validation failures exactly like the
+     * throwing constructor.
+     */
+    static std::shared_ptr<MmapTraceFile> tryOpen(const std::string &path);
+
+    /** Records promised by the header. */
+    uint64_t recordCount() const { return count_; }
+
+    /** Records actually backed by file bytes (less when truncated). */
+    uint64_t availableRecords() const { return avail_; }
+
+    uint32_t formatVersion() const { return version_; }
+    const std::string &path() const { return path_; }
+
+    /** Raw mapped record; @p index must be < availableRecords(). */
+    const PackedRecord *packed(uint64_t index) const;
+
+    /**
+     * Decode records [@p first, @p first + @p n) into @p out.
+     *
+     * Throws the reader-identical truncation FatalError if the range runs
+     * past the mapped bytes, and reader-identical located errors for any
+     * corrupt record (via the bulk unpack).
+     */
+    void decode(uint64_t first, size_t n, TraceRecord *out) const;
+
+    /**
+     * CRC-32 the whole payload against the header's stored value (v2).
+     * Throws the reader's payload-mismatch FatalError on disagreement;
+     * no-op for v1 files. One linear pass over the mapped bytes.
+     */
+    void verifyPayload() const;
+
+    /** Fold records [@p first, @p first + @p n) into a running CRC-32. */
+    uint32_t crcRange(uint64_t first, uint64_t n, uint32_t crc) const;
+
+    uint32_t storedPayloadCrc() const { return payloadCrc_; }
+
+  private:
+    MmapTraceFile() = default;
+
+    /** Shared open path; @p throwOnMapFailure selects ctor vs tryOpen. */
+    bool open(const std::string &path, bool throwOnMapFailure);
+
+    std::string path_;
+    void *map_ = nullptr;
+    size_t mapSize_ = 0;
+    const uint8_t *payload_ = nullptr;
+    uint64_t count_ = 0;
+    uint64_t avail_ = 0;
+    uint32_t version_ = traceFileVersion;
+    uint32_t payloadCrc_ = 0;
+};
+
+/** Sequential TraceSource over a mapped trace (reader-equivalent). */
+class MmapTraceSource : public TraceSource
+{
+  public:
+    explicit MmapTraceSource(std::shared_ptr<const MmapTraceFile> file)
+        : file_(std::move(file))
+    {
+    }
+
+    bool next(TraceRecord &rec) override;
+    size_t nextBatch(TraceRecord *out, size_t max) override;
+    void reset() override;
+    std::string name() const override { return file_->path(); }
+
+    const MmapTraceFile &file() const { return *file_; }
+
+  private:
+    std::shared_ptr<const MmapTraceFile> file_;
+    uint64_t pos_ = 0;
+    uint32_t runningCrc_ = 0;
+};
+
+} // namespace trace
+} // namespace paragraph
+
+#endif // PARAGRAPH_TRACE_MMAP_IO_HPP

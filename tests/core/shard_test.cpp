@@ -1,0 +1,207 @@
+// Firewall-point sharding: segments analyzed independently and stitched
+// must reproduce the solo run exactly (core/shard.hpp).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "core/shard.hpp"
+#include "trace/last_use.hpp"
+
+#include "trace_helpers.hpp"
+
+namespace paragraph {
+namespace core {
+namespace {
+
+using testhelpers::randomTrace;
+using trace::TraceBuffer;
+using trace::TraceRecord;
+
+AnalysisResult
+analyzeSolo(const AnalysisConfig &cfg, const TraceBuffer &buf)
+{
+    Paragraph engine(cfg);
+    return engine.analyze(buf);
+}
+
+AnalysisResult
+analyzeViaShards(const AnalysisConfig &cfg, const TraceBuffer &buf,
+                 unsigned shards)
+{
+    const TraceRecord *records = buf.records().data();
+    size_t n = buf.records().size();
+    std::vector<size_t> cuts = planShardCuts(records, n, shards);
+    std::vector<size_t> bounds;
+    bounds.push_back(0);
+    bounds.insert(bounds.end(), cuts.begin(), cuts.end());
+    bounds.push_back(n);
+    std::vector<SegmentRun> segments(bounds.size() - 1);
+    for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+        runSegment(cfg, records + bounds[k], bounds[k + 1] - bounds[k],
+                   segments[k]);
+    }
+    return stitchSegments(cfg, segments);
+}
+
+void
+expectShardExact(const AnalysisConfig &cfg, const TraceBuffer &buf,
+                 unsigned shards, const char *what)
+{
+    AnalysisResult solo = analyzeSolo(cfg, buf);
+    AnalysisResult stitched = analyzeViaShards(cfg, buf, shards);
+    std::string diff;
+    EXPECT_TRUE(shardedResultsEqual(solo, stitched, &diff))
+        << what << " (shards=" << shards << "): " << diff;
+}
+
+TEST(ShardGate, RequiresStallingSyscallsAndPerfectPrediction)
+{
+    AnalysisConfig cfg;
+    EXPECT_TRUE(shardableConfig(cfg));
+    cfg.windowSize = 64;
+    EXPECT_TRUE(shardableConfig(cfg));
+    cfg.sysCallsStall = false;
+    EXPECT_FALSE(shardableConfig(cfg));
+    cfg.sysCallsStall = true;
+    cfg.branchPredictor = PredictorKind::Bimodal;
+    EXPECT_FALSE(shardableConfig(cfg));
+}
+
+TEST(ShardPlan, CutsFollowSyscalls)
+{
+    TraceBuffer buf = randomTrace(11, 4000);
+    const TraceRecord *records = buf.records().data();
+    size_t n = buf.records().size();
+    std::vector<size_t> cuts = planShardCuts(records, n, 8);
+    EXPECT_LE(cuts.size(), 7u);
+    EXPECT_FALSE(cuts.empty()); // 1% syscall rate: ~40 candidates
+    size_t prev = 0;
+    for (size_t cut : cuts) {
+        ASSERT_GT(cut, 0u);
+        ASSERT_LT(cut, n);
+        EXPECT_GT(cut, prev);
+        EXPECT_TRUE(records[cut - 1].isSysCall)
+            << "cut " << cut << " not after a syscall";
+        prev = cut;
+    }
+}
+
+TEST(ShardPlan, NoSyscallsMeansNoCuts)
+{
+    TraceBuffer buf = randomTrace(12, 1000, /*with_syscalls=*/false);
+    EXPECT_TRUE(
+        planShardCuts(buf.records().data(), buf.records().size(), 4)
+            .empty());
+}
+
+TEST(ShardStitch, MatchesSoloUnboundedWindow)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 3000);
+        expectShardExact(AnalysisConfig::dataflowConservative(), buf, 4,
+                         "unbounded conservative");
+    }
+}
+
+TEST(ShardStitch, MatchesSoloFiniteWindows)
+{
+    for (uint64_t seed = 21; seed <= 26; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 3000);
+        expectShardExact(AnalysisConfig::windowed(16), buf, 4,
+                         "windowed(16)");
+        expectShardExact(AnalysisConfig::windowed(64), buf, 3,
+                         "windowed(64)");
+    }
+}
+
+TEST(ShardStitch, ProfileExactWhenSegmentBucketsFold)
+{
+    // Regression: a segment's BucketedProfile folds (bucket width > 1)
+    // once its critical path reaches the bin count, and merging a folded
+    // profile is only bin-accurate — the stitch must rebuild the profile
+    // from SegmentLog's exact per-level counts. Tiny bins force folding
+    // at unit-test trace sizes; at the default 4096 bins the same
+    // divergence appeared only past ~400K-record traces.
+    for (uint64_t seed = 31; seed <= 34; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 4000);
+        AnalysisConfig cfg = AnalysisConfig::dataflowConservative();
+        cfg.profileBins = 16;
+        expectShardExact(cfg, buf, 4, "folded profile, conservative");
+        AnalysisConfig narrow = AnalysisConfig::windowed(16);
+        narrow.profileBins = 16;
+        expectShardExact(narrow, buf, 3, "folded profile, windowed(16)");
+    }
+}
+
+TEST(ShardStitch, MatchesSoloWithoutRenaming)
+{
+    for (uint64_t seed = 31; seed <= 36; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 3000);
+        AnalysisConfig cfg = AnalysisConfig::noRenaming();
+        expectShardExact(cfg, buf, 4, "no renaming");
+        expectShardExact(AnalysisConfig::regsRenamed(), buf, 4,
+                         "regs renamed");
+    }
+}
+
+TEST(ShardStitch, MatchesSoloWithFuLimits)
+{
+    for (uint64_t seed = 41; seed <= 44; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 2500);
+        AnalysisConfig cfg;
+        cfg.totalFuLimit = 2;
+        expectShardExact(cfg, buf, 4, "fu limit 2");
+        cfg.totalFuLimit = 0;
+        cfg.fuLimit[static_cast<size_t>(isa::OpClass::IntAlu)] = 3;
+        cfg.windowSize = 32;
+        expectShardExact(cfg, buf, 4, "per-class fu limit + window");
+    }
+}
+
+TEST(ShardStitch, MatchesSoloWithLastUseEviction)
+{
+    for (uint64_t seed = 51; seed <= 54; ++seed) {
+        TraceBuffer buf = randomTrace(seed, 2500);
+        trace::annotateLastUses(buf);
+        AnalysisConfig cfg;
+        cfg.useLastUseEviction = true;
+        expectShardExact(cfg, buf, 4, "last-use eviction");
+        cfg.windowSize = 16;
+        expectShardExact(cfg, buf, 4, "last-use eviction + window");
+    }
+}
+
+TEST(ShardStitch, ManyShardsAndDegenerateCounts)
+{
+    TraceBuffer buf = randomTrace(61, 4000);
+    AnalysisConfig cfg = AnalysisConfig::windowed(32);
+    expectShardExact(cfg, buf, 1, "one shard (solo fallback)");
+    expectShardExact(cfg, buf, 2, "two shards");
+    expectShardExact(cfg, buf, 16, "sixteen shards");
+    expectShardExact(cfg, buf, 64, "more shards than syscalls");
+}
+
+TEST(ShardStitch, SyscallAdjacentCuts)
+{
+    // Back-to-back syscalls produce adjacent candidate cuts and
+    // near-empty segments; the stitch must still be exact.
+    TraceBuffer buf;
+    using namespace testhelpers;
+    buf.push(alu(3, {1, 2}));
+    buf.push(syscall());
+    buf.push(syscall());
+    buf.push(alu(4, {3}));
+    buf.push(syscall());
+    buf.push(store(0x1000, 4));
+    buf.push(load(5, 0x1000));
+    AnalysisConfig cfg;
+    for (unsigned shards = 2; shards <= 6; ++shards)
+        expectShardExact(cfg, buf, shards, "adjacent syscalls");
+}
+
+} // namespace
+} // namespace core
+} // namespace paragraph

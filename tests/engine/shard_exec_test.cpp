@@ -1,0 +1,173 @@
+// Engine-level firewall sharding: a streamed `.ptrc` cell run with
+// --shard=N must render the byte-identical JSON document of the unsharded
+// run — the stitch equivalence proved record-by-record in
+// tests/core/shard_test.cpp, here end-to-end through TraceRepository's
+// shared decode pool, the sweep scheduler, and the JSON writer. Plus the
+// CLI surface: --shard / --stats argument parsing and the --stats timing
+// fields.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/paragraph.hpp"
+#include "engine/sweep.hpp"
+#include "engine/sweep_args.hpp"
+#include "engine/sweep_json.hpp"
+#include "engine/trace_repository.hpp"
+#include "trace/buffer.hpp"
+#include "trace/file_io.hpp"
+
+#include "../core/trace_helpers.hpp"
+
+using namespace paragraph;
+using namespace paragraph::engine;
+
+namespace {
+
+/** A syscall-bearing random trace persisted as a `.ptrc` file. */
+class ShardExec : public ::testing::Test
+{
+  protected:
+    std::string path_;
+
+    void SetUp() override
+    {
+        // Per-test file name: ctest runs each test as its own process, so
+        // sibling tests of this fixture can be live at the same instant.
+        path_ = (std::filesystem::temp_directory_path() /
+                 (std::string("para_shard_exec_") +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+                  ".ptrc"))
+                    .string();
+        trace::TraceBuffer buf = testhelpers::randomTrace(17, 20000);
+        trace::TraceFileWriter writer(path_);
+        trace::BufferSource replay(buf, "shard-exec");
+        writer.writeAll(replay);
+        writer.close();
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /** One streamed sweep over the file; returns its no-timing document. */
+    std::string
+    runSweep(unsigned shards, const std::vector<core::AnalysisConfig> &cfgs,
+             SweepResult *outResult = nullptr)
+    {
+        TraceRepository::Options repoOpt;
+        repoOpt.streamFiles = true;
+        TraceRepository repo(repoOpt);
+
+        SweepEngine::Options opt;
+        opt.jobs = 1;
+        opt.groupSize = 1;
+        opt.shards = shards;
+        SweepEngine sweeper(opt);
+        SweepResult result = sweeper.run(repo, {path_}, cfgs);
+
+        SweepJsonOptions json;
+        json.timing = false;
+        std::string doc = sweepToJson(result, json);
+        if (outResult)
+            *outResult = std::move(result);
+        return doc;
+    }
+};
+
+} // namespace
+
+TEST_F(ShardExec, ShardedSweepIsByteIdenticalToSolo)
+{
+    std::vector<core::AnalysisConfig> cfgs;
+    cfgs.push_back(core::AnalysisConfig::dataflowConservative());
+    core::AnalysisConfig windowed = core::AnalysisConfig::dataflowConservative();
+    windowed.windowSize = 64;
+    cfgs.push_back(windowed);
+    core::AnalysisConfig plain; // no renaming defaults, still shardable
+    cfgs.push_back(plain);
+
+    SweepResult sharded;
+    std::string solo = runSweep(1, cfgs);
+    std::string split = runSweep(4, cfgs, &sharded);
+    EXPECT_EQ(solo, split);
+
+    // And the sharded run really did shard: a 1%-syscall 20K trace has
+    // hundreds of firewall candidates, so every cell splits.
+    ASSERT_EQ(sharded.cells.size(), cfgs.size());
+    for (const SweepCell &cell : sharded.cells) {
+        EXPECT_TRUE(cell.ok()) << cell.errorMessage;
+        EXPECT_GE(cell.shardSegments, 2u);
+        EXPECT_LE(cell.shardSegments, 4u);
+    }
+}
+
+TEST_F(ShardExec, NonShardableConfigFallsBackToSolo)
+{
+    core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
+    cfg.branchPredictor = core::PredictorKind::Bimodal; // kills the gate
+    std::vector<core::AnalysisConfig> cfgs{cfg};
+
+    SweepResult sharded;
+    std::string solo = runSweep(1, cfgs);
+    std::string split = runSweep(4, cfgs, &sharded);
+    EXPECT_EQ(solo, split);
+    ASSERT_EQ(sharded.cells.size(), 1u);
+    EXPECT_TRUE(sharded.cells[0].ok());
+    EXPECT_EQ(sharded.cells[0].shardSegments, 0u); // fell back, no stitch
+}
+
+TEST_F(ShardExec, StatsEmitDecodeAnalyzeSplitAndSegments)
+{
+    std::vector<core::AnalysisConfig> cfgs;
+    cfgs.push_back(core::AnalysisConfig::dataflowConservative());
+
+    TraceRepository::Options repoOpt;
+    repoOpt.streamFiles = true;
+    TraceRepository repo(repoOpt);
+    SweepEngine::Options opt;
+    opt.jobs = 1;
+    opt.shards = 2;
+    SweepEngine sweeper(opt);
+    SweepResult result = sweeper.run(repo, {path_}, cfgs);
+
+    SweepJsonOptions json;
+    json.stats = true;
+    std::string doc = sweepToJson(result, json);
+    EXPECT_NE(doc.find("\"decode_seconds\""), std::string::npos);
+    EXPECT_NE(doc.find("\"analyze_seconds\""), std::string::npos);
+    EXPECT_NE(doc.find("\"shard_segments\""), std::string::npos);
+
+    // --no-timing still wins: stats ride inside the timing object.
+    json.timing = false;
+    doc = sweepToJson(result, json);
+    EXPECT_EQ(doc.find("decode_seconds"), std::string::npos);
+    EXPECT_EQ(doc.find("shard_segments"), std::string::npos);
+}
+
+TEST(ShardArgs, ShardAndStatsFlagsParse)
+{
+    SweepArgs opt;
+    std::string error;
+    EXPECT_TRUE(parseSweepArgs({"--shard=4", "--stats", "xlisp"}, opt,
+                               error))
+        << error;
+    EXPECT_EQ(opt.shards, 4u);
+    EXPECT_TRUE(opt.json.stats);
+
+    SweepArgs bad;
+    EXPECT_FALSE(parseSweepArgs({"--shard=0", "xlisp"}, bad, error));
+    EXPECT_FALSE(parseSweepArgs({"--shard=none", "xlisp"}, bad, error));
+}
+
+TEST(ShardArgs, DefaultIsUnsharded)
+{
+    SweepArgs opt;
+    std::string error;
+    ASSERT_TRUE(parseSweepArgs({"xlisp"}, opt, error)) << error;
+    EXPECT_EQ(opt.shards, 1u);
+    EXPECT_FALSE(opt.json.stats);
+}

@@ -54,7 +54,7 @@ TEST(SweepCli, EmitsTheGridAsJson)
     CliResult r = runSweep("--inputs=xlisp --small --windows=16,0 "
                            "--quiet --no-profiles");
     EXPECT_EQ(r.status, 0);
-    EXPECT_NE(r.output.find("\"schema\": \"paragraph-sweep-v2\""),
+    EXPECT_NE(r.output.find("\"schema\": \"paragraph-sweep-v3\""),
               std::string::npos);
     EXPECT_NE(r.output.find("\"cells_total\": 2"), std::string::npos);
     EXPECT_NE(r.output.find("\"critical_path\""), std::string::npos);
@@ -102,7 +102,7 @@ TEST(SweepCli, WritesToAFile)
     ASSERT_TRUE(in.good());
     std::ostringstream oss;
     oss << in.rdbuf();
-    EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v2\""),
+    EXPECT_NE(oss.str().find("\"schema\": \"paragraph-sweep-v3\""),
               std::string::npos);
     fs::remove(path);
 }
@@ -154,7 +154,7 @@ TEST(SweepCli, SigintFlushesTheJournalAndExits130)
     ASSERT_TRUE(din.good());
     std::ostringstream doc;
     doc << din.rdbuf();
-    EXPECT_NE(doc.str().find("\"schema\": \"paragraph-sweep-v2\""),
+    EXPECT_NE(doc.str().find("\"schema\": \"paragraph-sweep-v3\""),
               std::string::npos);
     fs::remove(journal);
     fs::remove(out);

@@ -299,7 +299,7 @@ TEST(SweepEngine, JsonIsIdenticalForAnyWorkerCount)
         SweepEngine(threadedOpt).run(repo8, inputs, configs), json);
 
     EXPECT_EQ(serial, threaded);
-    EXPECT_NE(serial.find("\"schema\": \"paragraph-sweep-v2\""),
+    EXPECT_NE(serial.find("\"schema\": \"paragraph-sweep-v3\""),
               std::string::npos);
     EXPECT_EQ(serial.find("wall_seconds"), std::string::npos);
 }

@@ -1,0 +1,243 @@
+// SharedDecodePool: each 64K block of a mapped trace is decoded exactly
+// once no matter how many cursors walk it — concurrently or in sequence —
+// with an LRU keeping unreferenced blocks warm, trim() reclaiming them,
+// and the v2 payload CRC verified eagerly at construction (random-access
+// consumers may never reach the final block where the sequential reader
+// checks it).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/panic.hpp"
+#include "trace/file_io.hpp"
+#include "trace/shared_decode.hpp"
+
+using namespace paragraph;
+using namespace paragraph::trace;
+
+namespace {
+
+std::string
+tempPath(const std::string &stem)
+{
+    return (std::filesystem::temp_directory_path() / stem).string();
+}
+
+TraceRecord
+simpleRecord(unsigned i)
+{
+    TraceRecord rec;
+    rec.cls = isa::OpClass::IntAlu;
+    rec.createsValue = true;
+    rec.dest = Operand::intReg(static_cast<uint8_t>(i % 32));
+    rec.addSrc(Operand::intReg(static_cast<uint8_t>((i + 1) % 32)));
+    rec.pc = 0x1000 + i;
+    return rec;
+}
+
+void
+writeTrace(const std::string &path, unsigned n)
+{
+    TraceFileWriter writer(path);
+    for (unsigned i = 0; i < n; ++i)
+        writer.write(simpleRecord(i));
+    writer.close();
+}
+
+void
+flipByte(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+/** Walk one cursor to exhaustion; checks pc continuity, returns records. */
+uint64_t
+drainCursor(SharedDecodeCursor &cursor)
+{
+    uint64_t n = 0;
+    const TraceRecord *records = nullptr;
+    size_t got = 0;
+    while ((got = cursor.next(&records)) != 0) {
+        for (size_t i = 0; i < got; ++i)
+            EXPECT_EQ(records[i].pc, 0x1000 + n + i);
+        n += got;
+    }
+    return n;
+}
+
+class SharedDecode : public ::testing::Test
+{
+  protected:
+    std::string path_;
+
+    // Per-test file name: ctest runs each test as its own process, so
+    // sibling tests of this fixture can be live at the same instant.
+    void SetUp() override
+    {
+        path_ = tempPath(std::string("para_pool_") +
+                         ::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name() +
+                         ".ptrc");
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::shared_ptr<SharedDecodePool>
+    makePool(unsigned records, SharedDecodePool::Options opt)
+    {
+        writeTrace(path_, records);
+        return std::make_shared<SharedDecodePool>(
+            std::make_shared<MmapTraceFile>(path_), opt);
+    }
+};
+
+} // namespace
+
+TEST_F(SharedDecode, SequentialCursorsDecodeEachBlockOnce)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    auto pool = makePool(100, opt); // 7 blocks, cache cap 8 holds them all
+    EXPECT_EQ(pool->recordCount(), 100u);
+    EXPECT_EQ(pool->blockCount(), 7u);
+
+    SharedDecodeCursor first(pool), second(pool);
+    EXPECT_EQ(drainCursor(first), 100u);
+    EXPECT_EQ(drainCursor(second), 100u);
+    EXPECT_EQ(pool->blocksDecoded(), 7u); // the whole point
+}
+
+TEST_F(SharedDecode, ConcurrentCursorsDecodeEachBlockOnce)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    auto pool = makePool(100, opt);
+
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> seen(4, 0);
+    for (size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&, t] {
+            SharedDecodeCursor cursor(pool);
+            seen[t] = drainCursor(cursor);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (uint64_t n : seen)
+        EXPECT_EQ(n, 100u);
+    EXPECT_EQ(pool->blocksDecoded(), pool->blockCount());
+}
+
+TEST_F(SharedDecode, BlocksCarryCorrectBoundsAndContents)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    auto pool = makePool(50, opt);
+
+    auto blk = pool->block(2);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_EQ(blk->firstRecord, 32u);
+    ASSERT_EQ(blk->records.size(), 16u);
+    for (size_t i = 0; i < blk->records.size(); ++i)
+        EXPECT_EQ(blk->records[i].pc, 0x1000 + 32 + i);
+
+    auto tail = pool->block(3); // 50 = 3*16 + 2: a partial final block
+    ASSERT_NE(tail, nullptr);
+    EXPECT_EQ(tail->firstRecord, 48u);
+    EXPECT_EQ(tail->records.size(), 2u);
+}
+
+TEST_F(SharedDecode, LruEvictsUnreferencedBlocksBeyondTheCap)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    opt.maxCachedBlocks = 2;
+    auto pool = makePool(160, opt); // 10 blocks through a 2-block cache
+
+    SharedDecodeCursor cursor(pool);
+    EXPECT_EQ(drainCursor(cursor), 160u);
+    EXPECT_EQ(pool->blocksDecoded(), 10u);
+    EXPECT_LE(pool->cachedBlocks(), 3u); // cap + the one the cursor held
+
+    // A second walk must re-decode what the LRU dropped.
+    SharedDecodeCursor again(pool);
+    EXPECT_EQ(drainCursor(again), 160u);
+    EXPECT_GT(pool->blocksDecoded(), 10u);
+}
+
+TEST_F(SharedDecode, MaxRecordsClipsTheServedTrace)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    opt.maxRecords = 40;
+    auto pool = makePool(100, opt);
+    EXPECT_EQ(pool->recordCount(), 40u);
+    EXPECT_EQ(pool->blockCount(), 3u); // 16 + 16 + 8
+
+    SharedDecodeCursor cursor(pool);
+    EXPECT_EQ(drainCursor(cursor), 40u);
+    auto tail = pool->block(2);
+    EXPECT_EQ(tail->records.size(), 8u);
+}
+
+TEST_F(SharedDecode, TrimDropsUnreferencedAndKeepsHeldBlocks)
+{
+    SharedDecodePool::Options opt;
+    opt.blockRecords = 16;
+    auto pool = makePool(100, opt);
+
+    std::shared_ptr<const DecodedBlock> held = pool->block(0);
+    SharedDecodeCursor cursor(pool);
+    drainCursor(cursor);
+    EXPECT_GT(pool->cachedBlocks(), 1u);
+
+    pool->trim();
+    EXPECT_EQ(pool->cachedBlocks(), 1u); // only the held block survives
+    EXPECT_EQ(held->firstRecord, 0u);    // and stays readable
+
+    held.reset();
+    pool->trim();
+    EXPECT_EQ(pool->cachedBlocks(), 0u);
+    EXPECT_EQ(pool->cachedBytes(), 0u);
+}
+
+TEST_F(SharedDecode, PayloadCrcVerifiedEagerlyAtConstruction)
+{
+    writeTrace(path_, 100);
+    // In-range bit flip: only the payload CRC can catch it, and the pool
+    // must do so at construction, not at whatever block gets read last.
+    flipByte(path_, static_cast<long>(sizeof(TraceFileHeader)) +
+                        60 * static_cast<long>(sizeof(PackedRecord)) + 8);
+    try {
+        SharedDecodePool pool(std::make_shared<MmapTraceFile>(path_), {});
+        FAIL() << "corrupt payload was accepted";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("payload checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Opting out of the eager check serves the bytes as mapped (the flip
+    // kept every field in range, so decode itself succeeds).
+    SharedDecodePool::Options opt;
+    opt.verifyPayload = false;
+    auto pool = std::make_shared<SharedDecodePool>(
+        std::make_shared<MmapTraceFile>(path_), opt);
+    auto blk = pool->block(0);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_EQ(blk->records.size(), pool->recordCount());
+}

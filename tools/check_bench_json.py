@@ -13,15 +13,17 @@ Default mode runs the benchmark with --json and validates the
 paragraph-bench-hotpath-v1 document shape: schema id, timestamp, a
 non-empty results array with the per-row fields, and the geomean summary.
 
---sweep mode runs paragraph-sweep and validates the paragraph-sweep-v2
+--sweep mode runs paragraph-sweep and validates the paragraph-sweep-v3
 document: schema id, cell counters that agree with the cells array, an
 ok/failed status on every cell, metrics on ok cells, and error/attempts
 fields on failed ones.
 
 --sweep-bench mode runs bench_sweep with --json and validates the
-paragraph-bench-sweep-v1 document: schema id, the source × jobs × group
-matrix rows with positive throughput, the solo/fused summary, and the
-identical_json flag (every run of the matrix produced the same analysis).
+paragraph-bench-sweep-v2 document: schema id, the source × jobs × group ×
+shard matrix rows with positive throughput (sources capture, stream, and
+pooled), the solo/fused summary, the single-trace shard-scaling summary,
+and the identical_json flag (every run of the matrix produced the same
+analysis).
 
 --fuzz-report mode runs paragraph-fuzz with --json and validates the
 paragraph-fuzz-v1 summary: schema id, iteration/check counters that are
@@ -31,7 +33,7 @@ object with its stage, property, and reproducer paths.
 --serve mode boots a paragraph-serve daemon on an ephemeral socket, runs
 the requested grid cold and then warm, and validates the
 paragraph-serve-v1 response envelope both times: cell accounting must add
-up, the embedded document must itself be a valid paragraph-sweep-v2
+up, the embedded document must itself be a valid paragraph-sweep-v3
 document, the warm run must serve every cell from the cache, and its
 document must be byte-identical to the cold one.
 Exit status is non-zero on any mismatch, so all modes double as CTests.
@@ -50,7 +52,7 @@ ROW_KEYS = {"input", "config", "path", "instructions", "seconds",
 SUMMARY_KEYS = {"stream_geomean_minstr_per_sec",
                 "bulk_geomean_minstr_per_sec"}
 
-SWEEP_SCHEMA = "paragraph-sweep-v2"
+SWEEP_SCHEMA = "paragraph-sweep-v3"
 SWEEP_CELL_KEYS = {"input", "input_index", "config_index", "config",
                    "status"}
 SWEEP_OK_KEYS = {"instructions", "critical_path", "available_parallelism"}
@@ -68,12 +70,17 @@ SERVE_SCHEMA = "paragraph-serve-v1"
 SERVE_SWEEP_KEYS = {"cells_total", "cells_failed", "cells_cached",
                     "cells_computed", "document"}
 
-SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v1"
-SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "cells", "instructions",
-                        "seconds", "cells_per_sec", "minstr_per_sec"}
+SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v2"
+SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "shard", "cells",
+                        "instructions", "seconds", "cells_per_sec",
+                        "minstr_per_sec"}
+SWEEP_BENCH_SOURCES = {"capture", "stream", "pooled"}
 SWEEP_BENCH_SUMMARY_KEYS = {"jobs1_solo_minstr_per_sec",
                             "jobs1_fused_minstr_per_sec",
-                            "jobs1_fused_speedup", "identical_json"}
+                            "jobs1_fused_speedup", "shard_threads",
+                            "shard1_minstr_per_sec",
+                            "shardn_minstr_per_sec", "shard_speedup",
+                            "shard_scaling_efficiency", "identical_json"}
 
 
 def fail(msg):
@@ -82,7 +89,7 @@ def fail(msg):
 
 
 def validate_sweep_document(doc):
-    """Validate a paragraph-sweep-v2 document dict; returns (cells, failed)."""
+    """Validate a paragraph-sweep-v3 document dict; returns (cells, failed)."""
     if doc.get("schema") != SWEEP_SCHEMA:
         fail(f"schema is {doc.get('schema')!r}, expected {SWEEP_SCHEMA!r}")
     cells = doc.get("cells")
@@ -342,27 +349,41 @@ def check_sweep_bench(argv):
         missing = SWEEP_BENCH_ROW_KEYS - row.keys()
         if missing:
             fail(f"results[{i}] missing keys {sorted(missing)}")
-        if row["source"] not in ("capture", "stream"):
+        if row["source"] not in SWEEP_BENCH_SOURCES:
             fail(f"results[{i}] has unknown source {row['source']!r}")
         sources.add(row["source"])
+        if row["shard"] <= 0:
+            fail(f"results[{i}] has non-positive shard count")
         if row["cells"] <= 0 or row["instructions"] <= 0:
             fail(f"results[{i}] swept no work")
         if row["minstr_per_sec"] <= 0 or row["cells_per_sec"] <= 0:
             fail(f"results[{i}] reports non-positive throughput")
-    if sources != {"capture", "stream"}:
+    if sources != SWEEP_BENCH_SOURCES:
         fail(f"matrix covers sources {sorted(sources)}, "
-             "expected capture and stream")
+             f"expected {sorted(SWEEP_BENCH_SOURCES)}")
     summary = doc.get("summary")
     if not isinstance(summary, dict) or \
             SWEEP_BENCH_SUMMARY_KEYS - summary.keys():
-        fail("summary must contain the solo/fused throughput comparison "
-             "and identical_json")
+        fail("summary must contain the solo/fused throughput comparison, "
+             "the shard-scaling block, and identical_json")
     if summary["identical_json"] is not True:
-        fail("identical_json is not true: the fused matrix diverged")
+        fail("identical_json is not true: the matrix diverged")
     if summary["jobs1_fused_speedup"] <= 0:
         fail("jobs1_fused_speedup is non-positive")
+    if summary["shard_threads"] <= 0:
+        fail("shard_threads is non-positive")
+    # Shard scaling efficiency is reported, not asserted: its magnitude is
+    # machine-dependent (on a 1-core runner the sharded legs cannot beat
+    # solo), but the measurement must at least exist and be positive.
+    if summary["shard1_minstr_per_sec"] <= 0 or \
+            summary["shardn_minstr_per_sec"] <= 0:
+        fail("shard throughput legs are non-positive")
+    if summary["shard_scaling_efficiency"] <= 0:
+        fail("shard_scaling_efficiency is non-positive")
     print(f"ok: {len(results)} rows, schema {SWEEP_BENCH_SCHEMA}, "
-          f"jobs1 fused speedup {summary['jobs1_fused_speedup']:.2f}x")
+          f"jobs1 fused speedup {summary['jobs1_fused_speedup']:.2f}x, "
+          f"shard speedup {summary['shard_speedup']:.2f}x at "
+          f"{summary['shard_threads']} threads")
 
 
 def main():

@@ -32,11 +32,22 @@
 //                          auto, each worker's share of the grid becomes a
 //                          single pass (default: auto)
 //   --stream               stream *.ptrc/*.ptrz inputs per pass instead of
-//                          capturing them in memory; fused groups then pay
-//                          one pipelined decode for the whole group
+//                          capturing them in memory; `.ptrc` files are then
+//                          mmapped into a shared decode pool (each block
+//                          decoded once across all workers), fused groups
+//                          pay one decode for the whole group
+//   --shard=N              split each solo streamed cell at syscall
+//                          firewall points into up to N trace segments
+//                          analyzed on N threads and stitched into the
+//                          exact single-threaded result — how ONE trace x
+//                          ONE config uses more than one core (needs
+//                          --syscalls=stall and a perfect predictor;
+//                          other cells fall back to the normal solo pass)
 //   --max=N                analyze at most N instructions per cell
 //                          (also caps the shared trace capture)
 //   --out=FILE             write the JSON document to FILE
+//   --stats                add decode/analyze wall-time split and shard
+//                          segment counts to the "timing" fields
 //   --no-timing            omit wall-clock fields (deterministic output)
 //   --no-profiles          omit per-cell parallelism-profile buckets
 //   --quiet                suppress the stderr progress line
@@ -119,9 +130,9 @@ usage()
         "          --syscalls=stall,ignore\n"
         "          --predictors=perfect,bimodal,taken,nottaken,wrong\n"
         "          --fus=0,2,8\n"
-        "  run:    --jobs=N  --group=N (0=auto)  --max=N  --small\n"
-        "          --stream  --out=FILE\n"
-        "          --no-timing  --no-profiles  --quiet  --list\n"
+        "  run:    --jobs=N  --group=N (0=auto)  --shard=N  --max=N\n"
+        "          --small  --stream  --out=FILE\n"
+        "          --stats  --no-timing  --no-profiles  --quiet  --list\n"
         "  fault:  --retries=N  --deadline=SECONDS\n"
         "          --journal=FILE  --resume=FILE\n");
     std::exit(2);
@@ -177,6 +188,7 @@ main(int argc, char **argv)
         engine::SweepEngine::Options engineOpt;
         engineOpt.jobs = opt.jobs;
         engineOpt.groupSize = opt.group;
+        engineOpt.shards = opt.shards;
         engineOpt.maxRetries = opt.retries;
         engineOpt.cellDeadlineSeconds = opt.deadlineSeconds;
         engineOpt.journalPath = opt.journalPath;
