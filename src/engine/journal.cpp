@@ -4,6 +4,7 @@
 
 #include "engine/config_key.hpp"
 #include "engine/sweep_json.hpp"
+#include "support/failpoint.hpp"
 #include "support/json_line.hpp"
 #include "support/panic.hpp"
 
@@ -158,7 +159,8 @@ SweepJournal::record(size_t index, const SweepCell &cell,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!file_ || writeFailed_)
         return;
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+    if (PARA_FAILPOINT("journal.write") ||
+        std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fflush(file_) != 0) {
         writeFailed_ = true;
         PARA_WARN("sweep journal write failed: %s (checkpointing disabled "

@@ -1,7 +1,9 @@
 #include "engine/scheduler.hpp"
 
+#include <system_error>
 #include <utility>
 
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
@@ -24,8 +26,29 @@ SweepScheduler::SweepScheduler(TraceRepository &repo, Options opt)
     execOpt_.maxRetries = opt_.maxRetries;
     execOpt_.cellDeadlineSeconds = opt_.cellDeadlineSeconds;
     pool_.reserve(workers_);
-    for (unsigned t = 0; t < workers_; ++t)
-        pool_.emplace_back([this] { workerLoop(); });
+    for (unsigned t = 0; t < workers_; ++t) {
+        // Worker-startup fault containment: a thread that cannot start
+        // (resource exhaustion, or the injected site) shrinks the pool
+        // instead of killing the scheduler. The first worker is exempt so
+        // the pool can always make progress.
+        if (t > 0 && PARA_FAILPOINT("scheduler.worker.start")) {
+            PARA_WARN("scheduler: worker %u failed to start (injected); "
+                      "continuing with %zu workers",
+                      t, pool_.size());
+            continue;
+        }
+        try {
+            pool_.emplace_back([this] { workerLoop(); });
+        } catch (const std::system_error &e) {
+            if (pool_.empty())
+                throw; // zero workers would deadlock every submit
+            PARA_WARN("scheduler: worker %u failed to start (%s); "
+                      "continuing with %zu workers",
+                      t, e.what(), pool_.size());
+            break;
+        }
+    }
+    workers_ = static_cast<unsigned>(pool_.size());
 }
 
 SweepScheduler::~SweepScheduler() { stop(); }
@@ -97,6 +120,16 @@ SweepScheduler::stop()
     for (std::thread &t : pool_)
         t.join();
     pool_.clear();
+}
+
+size_t
+SweepScheduler::pendingCells() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t pending = 0;
+    for (const auto &bucket : pendingByInput_)
+        pending += bucket.second.size();
+    return pending;
 }
 
 void

@@ -130,6 +130,9 @@ class SweepScheduler
     /** Worker threads in the pool. */
     unsigned workers() const { return workers_; }
 
+    /** Cells queued but not yet picked up by a worker (health probe). */
+    size_t pendingCells() const;
+
   private:
     /** One queued cell: which batch, which slot. */
     struct Item
@@ -146,7 +149,7 @@ class SweepScheduler
     unsigned workers_;
     CellExecOptions execOpt_;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
 

@@ -1,0 +1,510 @@
+#include "fuzz/chaos_harness.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <thread>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "support/panic.hpp"
+#include "support/prng.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace fuzz {
+
+namespace {
+
+void
+sleepMs(unsigned ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/** Failpoint sites safe to arm inside a serving daemon. Store and decode
+ *  sites may use any policy; socket sites stay probabilistic so a round
+ *  can always make *some* progress. */
+constexpr const char *kStoreSites[] = {
+    "store.append.fail", "store.append.torn", "store.sync",
+    "store.compact",     "trace.decode.block",
+};
+constexpr const char *kSocketSites[] = {
+    "serve.read",
+    "serve.write",
+    "serve.accept",
+};
+
+std::string
+randomPolicy(Prng &rng, bool socketSite)
+{
+    unsigned kind = static_cast<unsigned>(rng.nextBelow(socketSite ? 2 : 4));
+    switch (kind) {
+      case 0:
+        return strFormat("prob:0.%02u",
+                         static_cast<unsigned>(rng.nextBelow(31) + 5));
+      case 1:
+        return strFormat("once:%u",
+                         static_cast<unsigned>(rng.nextBelow(8)));
+      case 2:
+        return strFormat("after:%u",
+                         static_cast<unsigned>(rng.nextBelow(16) + 4));
+      default:
+        return "once";
+    }
+}
+
+std::string
+randomSpec(Prng &rng)
+{
+    unsigned count = 2 + static_cast<unsigned>(rng.nextBelow(2));
+    std::string spec;
+    for (unsigned i = 0; i < count; ++i) {
+        bool socketSite = rng.nextBelow(3) == 0; // sockets chaos, sparingly
+        const char *site =
+            socketSite
+                ? kSocketSites[rng.nextBelow(std::size(kSocketSites))]
+                : kStoreSites[rng.nextBelow(std::size(kStoreSites))];
+        if (spec.find(site) != std::string::npos)
+            continue; // one policy per site
+        if (!spec.empty())
+            spec += ';';
+        spec += site;
+        spec += '=';
+        spec += randomPolicy(rng, socketSite);
+    }
+    return spec;
+}
+
+/** The forked paragraph-serve daemon under test. */
+struct DaemonProc
+{
+    std::string binary;
+    std::string socketPath;
+    std::string storePath;
+    pid_t pid = -1;
+
+    /** Fork + exec the daemon, optionally with startup failpoints in its
+     *  environment, and wait for it to bind its socket. */
+    bool
+    start(const std::string &envSpec, uint64_t envSeed, std::string &error)
+    {
+        ::unlink(socketPath.c_str());
+        pid = ::fork();
+        if (pid < 0) {
+            error = "fork failed";
+            return false;
+        }
+        if (pid == 0) {
+            if (envSpec.empty()) {
+                ::unsetenv("PARAGRAPH_FAILPOINTS");
+                ::unsetenv("PARAGRAPH_FAILPOINT_SEED");
+            } else {
+                ::setenv("PARAGRAPH_FAILPOINTS", envSpec.c_str(), 1);
+                ::setenv("PARAGRAPH_FAILPOINT_SEED",
+                         std::to_string(envSeed).c_str(), 1);
+            }
+            std::string sockArg = "--socket=" + socketPath;
+            std::string storeArg = "--store=" + storePath;
+            ::execl(binary.c_str(), binary.c_str(), sockArg.c_str(),
+                    storeArg.c_str(), "--jobs=2", "--quiet",
+                    "--allow-failpoints", "--store-sync=interval",
+                    "--store-sync-interval=0.05", "--store-compact-every=64",
+                    "--io-timeout=30", "--max-request=1048576",
+                    "--max-pending=8", "--max-clients=16",
+                    static_cast<char *>(nullptr));
+            _exit(127); // exec failed
+        }
+        struct stat st;
+        for (int i = 0; i < 1000; ++i) {
+            if (::stat(socketPath.c_str(), &st) == 0)
+                return true;
+            int status = 0;
+            if (::waitpid(pid, &status, WNOHANG) == pid) {
+                pid = -1;
+                error = strFormat("daemon exited during startup "
+                                  "(status 0x%x)",
+                                  status);
+                return false;
+            }
+            sleepMs(10);
+        }
+        error = "daemon never bound its socket";
+        return false;
+    }
+
+    bool
+    alive()
+    {
+        if (pid < 0)
+            return false;
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+            pid = -1;
+            return false;
+        }
+        return true;
+    }
+
+    void
+    kill9()
+    {
+        if (pid < 0)
+            return;
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        pid = -1;
+    }
+
+    /** SIGTERM and reap; true iff the daemon exited cleanly (status 0)
+     *  within ~10 seconds. */
+    bool
+    stopGracefully()
+    {
+        if (pid < 0)
+            return true;
+        ::kill(pid, SIGTERM);
+        int status = 0;
+        for (int i = 0; i < 1000; ++i) {
+            pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid) {
+                pid = -1;
+                return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+            }
+            sleepMs(10);
+        }
+        kill9(); // wedged past the deadline: that is itself a failure
+        return false;
+    }
+
+    ~DaemonProc()
+    {
+        kill9();
+        ::unlink(socketPath.c_str());
+    }
+};
+
+enum class Outcome { Ok, Busy, Error, Dropped };
+
+/** One request/response round trip on a fresh connection. Busy responses
+ *  are retried with the daemon's own hint, a few times. */
+Outcome
+request(const std::string &socketPath, const std::string &line,
+        serve::ServeResponse &resp, unsigned *busySeen = nullptr)
+{
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        serve::ServeClient client(socketPath);
+        client.setTimeout(60.0);
+        std::string error;
+        if (!client.connect(error))
+            return Outcome::Dropped;
+        std::string respLine;
+        if (!client.roundTrip(line, respLine, error))
+            return Outcome::Dropped;
+        if (!serve::parseServeResponse(respLine, resp, error))
+            return Outcome::Error;
+        if (resp.busy()) {
+            if (busySeen)
+                ++*busySeen;
+            uint64_t waitMs = resp.retryAfterMs > 200 ? 200
+                                                      : resp.retryAfterMs;
+            sleepMs(static_cast<unsigned>(waitMs ? waitMs : 50));
+            continue;
+        }
+        return resp.ok() ? Outcome::Ok : Outcome::Error;
+    }
+    return Outcome::Busy; // still shedding load after every retry
+}
+
+} // namespace
+
+ChaosReport
+runChaos(const ChaosOptions &opt)
+{
+    if (opt.inputs.empty())
+        PARA_FATAL("chaos: no trace inputs to sweep");
+    if (::access(opt.serveBinary.c_str(), X_OK) != 0)
+        PARA_FATAL("chaos: cannot execute serve binary: %s",
+                   opt.serveBinary.c_str());
+    if (::mkdir(opt.workDir.c_str(), 0755) != 0 && errno != EEXIST)
+        PARA_FATAL("chaos: cannot create work dir: %s", opt.workDir.c_str());
+
+    DaemonProc daemon;
+    daemon.binary = opt.serveBinary;
+    daemon.socketPath = opt.workDir + "/chaos.sock";
+    daemon.storePath = opt.workDir + "/chaos-store.jsonl";
+    std::remove(daemon.storePath.c_str()); // every run starts cold
+
+    // The grid pool: single- and double-input requests over a few window
+    // sets, all instruction-capped so chaos cells stay cheap.
+    std::vector<serve::ServeRequest> grids;
+    const std::vector<std::vector<uint64_t>> windowSets = {
+        {16}, {64}, {16, 64}};
+    for (size_t i = 0; i < opt.inputs.size(); ++i) {
+        for (const auto &windows : windowSets) {
+            serve::ServeRequest req;
+            req.op = serve::ServeRequest::Op::Sweep;
+            req.inputs = {opt.inputs[i]};
+            if (windows.size() > 1 && opt.inputs.size() > 1)
+                req.inputs.push_back(
+                    opt.inputs[(i + 1) % opt.inputs.size()]);
+            req.windows = windows;
+            req.maxInstructions = opt.maxInstructions;
+            grids.push_back(std::move(req));
+        }
+    }
+
+    Prng rng(opt.seed);
+    ChaosReport report;
+    std::map<std::string, std::string> reference; // grid key -> clean doc
+    std::map<std::string, bool> durable; // proven fully stored once
+    auto violation = [&](const std::string &what) {
+        if (report.firstFailure.empty())
+            report.firstFailure = what;
+        if (opt.verbose)
+            std::fprintf(stderr, "chaos: VIOLATION: %s\n", what.c_str());
+    };
+    unsigned mismatchDumps = 0;
+    auto dumpMismatch = [&](const std::string &expected,
+                            const std::string &actual) {
+        // Keep the diverging documents around for post-mortem diffing.
+        std::string base =
+            strFormat("%s/mismatch-%u", opt.workDir.c_str(), mismatchDumps++);
+        for (const auto &side :
+             {std::make_pair(base + ".ref.json", &expected),
+              std::make_pair(base + ".got.json", &actual)}) {
+            if (std::FILE *f = std::fopen(side.first.c_str(), "w")) {
+                std::fwrite(side.second->data(), 1, side.second->size(), f);
+                std::fclose(f);
+            }
+        }
+        if (opt.verbose)
+            std::fprintf(stderr, "chaos: dumped %s.{ref,got}.json\n",
+                         base.c_str());
+    };
+
+    auto restart = [&](bool allowStartupChaos) -> bool {
+        // A quarter of the restarts also stress worker-pool startup.
+        std::string envSpec;
+        if (allowStartupChaos && rng.nextBelow(4) == 0)
+            envSpec = "scheduler.worker.start=prob:0.50";
+        std::string error;
+        if (!daemon.start(envSpec, rng.next(), error)) {
+            ++report.corruptRestarts;
+            violation("daemon restart failed: " + error);
+            return false;
+        }
+        ++report.restarts;
+        return true;
+    };
+
+    // SIGKILL also discards the daemon's failpoint counters, so fold them
+    // into the report while it is still breathing.
+    auto probeFires = [&]() {
+        serve::ServeRequest probe;
+        probe.op = serve::ServeRequest::Op::Health;
+        serve::ServeResponse health;
+        if (request(daemon.socketPath, serve::renderServeRequest(probe),
+                    health) == Outcome::Ok)
+            report.failpointFires += health.failpointFires;
+    };
+
+    if (!restart(true))
+        return report;
+
+    unsigned done = 0;
+    while (done < opt.iterations && report.ok()) {
+        // ---- chaos segment: armed failpoints, tolerated failures ----
+        std::string spec = randomSpec(rng);
+        {
+            serve::ServeRequest arm;
+            arm.op = serve::ServeRequest::Op::Failpoint;
+            arm.failpointSpec = spec;
+            arm.failpointSeed = rng.next();
+            arm.hasFailpointSeed = true;
+            serve::ServeResponse resp;
+            if (request(daemon.socketPath, serve::renderServeRequest(arm),
+                        resp) != Outcome::Ok)
+                ++report.requestErrors; // round runs unarmed; still valid
+            else if (opt.verbose)
+                std::fprintf(stderr, "chaos: armed [%s]\n", spec.c_str());
+        }
+
+        unsigned n = opt.roundLength;
+        if (n > opt.iterations - done)
+            n = opt.iterations - done;
+        for (unsigned i = 0; i < n && report.ok(); ++i) {
+            const serve::ServeRequest &grid =
+                grids[rng.nextBelow(grids.size())];
+            std::string key = serve::renderServeRequest(grid);
+            serve::ServeResponse resp;
+            ++done;
+            ++report.iterations;
+            switch (request(daemon.socketPath, key, resp,
+                            &report.busyResponses)) {
+              case Outcome::Ok:
+                if (resp.cellsFailed == 0) {
+                    auto it = reference.find(key);
+                    if (it == reference.end()) {
+                        reference.emplace(key, resp.document);
+                        ++report.referenceGrids;
+                    } else if (resp.document != it->second) {
+                        ++report.mismatches;
+                        dumpMismatch(it->second, resp.document);
+                        violation("clean sweep diverged from its "
+                                  "reference document: " +
+                                  key);
+                    }
+                    ++report.cleanSweeps;
+                } else {
+                    ++report.faultedSweeps;
+                }
+                break;
+              case Outcome::Busy:
+                break; // already counted per busy line
+              case Outcome::Error:
+              case Outcome::Dropped:
+                ++report.requestErrors;
+                break;
+            }
+
+            if (!daemon.alive()) {
+                // No injected fault is allowed to take the process down.
+                ++report.corruptRestarts;
+                violation("daemon died under failpoint chaos");
+                break;
+            }
+
+            if (rng.nextDouble() < opt.killProbability) {
+                // Fire a sweep and kill the daemon mid-job: whatever the
+                // store absorbed must survive, whatever it lost must be
+                // recomputable.
+                serve::ServeClient mid(daemon.socketPath);
+                std::string error;
+                if (mid.connect(error)) {
+                    mid.sendLine(
+                        serve::renderServeRequest(
+                            grids[rng.nextBelow(grids.size())]),
+                        error);
+                    sleepMs(static_cast<unsigned>(rng.nextBelow(30)));
+                }
+                probeFires();
+                daemon.kill9();
+                ++report.kills;
+                if (!restart(true))
+                    break;
+                break; // re-arm at the top of the next segment
+            }
+        }
+        if (!report.ok())
+            break;
+
+        // ---- verification segment: fresh fault-free daemon ----
+        probeFires();
+        bool killRestart = rng.nextBelow(2) == 0;
+        if (killRestart) {
+            daemon.kill9();
+            ++report.kills;
+        } else if (!daemon.stopGracefully()) {
+            ++report.corruptRestarts;
+            violation("daemon did not exit cleanly on SIGTERM");
+            break;
+        }
+        if (!restart(false))
+            break;
+
+        for (auto &kv : reference) {
+            serve::ServeResponse resp;
+            if (request(daemon.socketPath, kv.first, resp,
+                        &report.busyResponses) != Outcome::Ok ||
+                resp.cellsFailed != 0) {
+                ++report.lostEntries;
+                violation("fault-free verification sweep failed: " +
+                          kv.first);
+                continue;
+            }
+            if (resp.document != kv.second) {
+                ++report.mismatches;
+                dumpMismatch(kv.second, resp.document);
+                violation("re-served document is not byte-identical: " +
+                          kv.first);
+                continue;
+            }
+            ++report.verifiedGrids;
+            if (durable[kv.first]) {
+                // This grid was fully stored by an earlier round; a fresh
+                // daemon over the surviving store must not recompute any
+                // of it.
+                if (resp.cellsComputed != 0) {
+                    ++report.lostEntries;
+                    violation(strFormat(
+                        "store lost %llu acknowledged cells of a durable "
+                        "grid",
+                        static_cast<unsigned long long>(
+                            resp.cellsComputed)));
+                }
+            } else {
+                // First clean pass appended everything; an immediate
+                // re-serve proves the store round-trip before we rely on
+                // it across restarts.
+                serve::ServeResponse again;
+                if (request(daemon.socketPath, kv.first, again,
+                            &report.busyResponses) == Outcome::Ok &&
+                    again.cellsFailed == 0 && again.cellsComputed == 0 &&
+                    again.document == kv.second) {
+                    durable[kv.first] = true;
+                } else {
+                    ++report.lostEntries;
+                    violation("immediate re-serve was not fully cached: " +
+                              kv.first);
+                }
+            }
+        }
+        if (opt.verbose)
+            std::fprintf(stderr,
+                         "chaos: %u/%u sweeps, %u refs, %u durable, "
+                         "%llu fires\n",
+                         done, opt.iterations, report.referenceGrids,
+                         static_cast<unsigned>(durable.size()),
+                         static_cast<unsigned long long>(
+                             report.failpointFires));
+    }
+
+    if (!daemon.stopGracefully() && report.ok()) {
+        ++report.corruptRestarts;
+        violation("daemon did not exit cleanly on final SIGTERM");
+    }
+    return report;
+}
+
+std::string
+chaosReportJson(const ChaosOptions &opt, const ChaosReport &report)
+{
+    return strFormat(
+        "{\"schema\": \"paragraph-chaos-v1\", \"seed\": %llu, "
+        "\"iterations\": %u, \"clean_sweeps\": %u, \"faulted_sweeps\": %u, "
+        "\"request_errors\": %u, \"busy_responses\": %u, \"kills\": %u, "
+        "\"restarts\": %u, \"reference_grids\": %u, \"verified_grids\": %u, "
+        "\"failpoint_fires\": %llu, \"mismatches\": %u, "
+        "\"lost_entries\": %u, \"corrupt_restarts\": %u, \"ok\": %s}",
+        static_cast<unsigned long long>(opt.seed), report.iterations,
+        report.cleanSweeps, report.faultedSweeps, report.requestErrors,
+        report.busyResponses, report.kills, report.restarts,
+        report.referenceGrids, report.verifiedGrids,
+        static_cast<unsigned long long>(report.failpointFires),
+        report.mismatches, report.lostEntries, report.corruptRestarts,
+        report.ok() ? "true" : "false");
+}
+
+} // namespace fuzz
+} // namespace paragraph

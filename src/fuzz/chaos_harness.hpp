@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ChaosHarness: randomized failure-injection runs against a real
+ * paragraph-serve daemon.
+ *
+ * Each round forks the actual daemon binary onto an ephemeral socket —
+ * sometimes with startup failpoints in its environment — arms a random
+ * failpoint schedule over the store/decode/socket sites through the
+ * protocol's failpoint op, and drives a stream of sweep requests at it.
+ * Injected failures are allowed to fail individual requests; what they are
+ * never allowed to do is corrupt state. Between rounds the harness
+ * restarts the daemon (gracefully or with SIGKILL mid-job, including
+ * after a simulated crash) and verifies the durability contract:
+ *
+ *   - every clean serve of a grid is byte-identical to the first clean
+ *     serve of that grid, across any number of faults and restarts;
+ *   - once a grid has been served cleanly by a fault-free daemon, every
+ *     later daemon serves it entirely from the store (zero recomputed
+ *     cells) — i.e. no acknowledged store entry is ever lost;
+ *   - a daemon killed at an arbitrary point always restarts over the
+ *     store it left behind (torn appends seal; damage never spreads).
+ *
+ * The failpoint schedule is a pure function of the run seed, so a failing
+ * run replays from its seed. Kill *timing* is wall-clock and jitters, but
+ * the invariants hold for every interleaving, so replay still fails if
+ * the underlying bug is real.
+ */
+
+#ifndef PARAGRAPH_FUZZ_CHAOS_HARNESS_HPP
+#define PARAGRAPH_FUZZ_CHAOS_HARNESS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paragraph {
+namespace fuzz {
+
+struct ChaosOptions
+{
+    /** Run seed; the failpoint schedule derives from it deterministically. */
+    uint64_t seed = 1;
+
+    /** Total chaos sweep requests across the run. */
+    unsigned iterations = 200;
+
+    /** Sweeps per round; each round ends in a restart + verification
+     *  pass over every reference grid. */
+    unsigned roundLength = 50;
+
+    /** Path to the paragraph-serve binary to fork. */
+    std::string serveBinary;
+
+    /** Directory for the socket, store, and scratch files. */
+    std::string workDir;
+
+    /** Trace inputs (file paths or workload specs) the grids draw from. */
+    std::vector<std::string> inputs;
+
+    /** Per-sweep probability of a SIGKILL mid-job + restart. */
+    double killProbability = 0.1;
+
+    /** Instruction cap per cell, keeps chaos cells cheap. */
+    uint64_t maxInstructions = 20000;
+
+    /** Log each round's progress to stderr. */
+    bool verbose = false;
+};
+
+struct ChaosReport
+{
+    unsigned iterations = 0;     ///< chaos sweeps attempted
+    unsigned cleanSweeps = 0;    ///< sweeps that completed with 0 failures
+    unsigned faultedSweeps = 0;  ///< sweeps with injected cell failures
+    unsigned requestErrors = 0;  ///< dropped connections / error responses
+    unsigned busyResponses = 0;  ///< admission-control rejections observed
+    unsigned kills = 0;          ///< SIGKILLs delivered mid-job
+    unsigned restarts = 0;       ///< daemon (re)starts, all causes
+    unsigned referenceGrids = 0; ///< distinct grids with a recorded doc
+    unsigned verifiedGrids = 0;  ///< byte-identity re-checks that passed
+    uint64_t failpointFires = 0; ///< totalFires reported by health probes
+
+    /** Invariant violations — all must stay zero. */
+    unsigned mismatches = 0;     ///< clean doc differed from the reference
+    unsigned lostEntries = 0;    ///< durable grid needed recomputation
+    unsigned corruptRestarts = 0; ///< daemon failed to restart on its store
+
+    std::string firstFailure; ///< description of the first violation
+
+    bool
+    ok() const
+    {
+        return mismatches == 0 && lostEntries == 0 && corruptRestarts == 0;
+    }
+};
+
+/** Run the chaos schedule; throws FatalError on harness-level errors
+ *  (missing binary, unusable work dir), never on invariant violations —
+ *  those are reported in the ChaosReport. */
+ChaosReport runChaos(const ChaosOptions &opt);
+
+/** One-line paragraph-chaos-v1 JSON rendering of @p report. */
+std::string chaosReportJson(const ChaosOptions &opt,
+                            const ChaosReport &report);
+
+} // namespace fuzz
+} // namespace paragraph
+
+#endif // PARAGRAPH_FUZZ_CHAOS_HARNESS_HPP

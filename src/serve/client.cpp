@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -35,6 +36,36 @@ ServeClient::connect(std::string &error)
         fd_ = -1;
         return false;
     }
+    if (!applyTimeout(error)) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::setTimeout(double seconds)
+{
+    timeoutSeconds_ = seconds > 0 ? seconds : 0.0;
+    if (fd_ >= 0) {
+        std::string ignored;
+        applyTimeout(ignored);
+    }
+}
+
+bool
+ServeClient::applyTimeout(std::string &error)
+{
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeoutSeconds_);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeoutSeconds_ - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+        error = std::string("setsockopt: ") + std::strerror(errno);
+        return false;
+    }
     return true;
 }
 
@@ -53,6 +84,10 @@ ServeClient::sendLine(const std::string &line, std::string &error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                error = "timed out sending to the daemon";
+                return false;
+            }
             error = std::string("send: ") + std::strerror(errno);
             return false;
         }
@@ -65,8 +100,12 @@ bool
 ServeClient::roundTrip(const std::string &line, std::string &responseLine,
                        std::string &error)
 {
-    if (!sendLine(line, error))
-        return false;
+    // A daemon shedding at accept writes its busy response and closes
+    // before ever reading the request, so the send can fail with EPIPE
+    // while a complete response line sits queued on the socket. Attempt
+    // the read either way and prefer a real response over the send error.
+    std::string sendError;
+    bool sendOk = sendLine(line, sendError);
     char chunk[4096];
     for (;;) {
         size_t nl = buffer_.find('\n');
@@ -79,11 +118,17 @@ ServeClient::roundTrip(const std::string &line, std::string &responseLine,
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            error = std::string("recv: ") + std::strerror(errno);
+            if (!sendOk)
+                error = sendError;
+            else if (errno == EAGAIN || errno == EWOULDBLOCK)
+                error = "timed out waiting for the daemon's response";
+            else
+                error = std::string("recv: ") + std::strerror(errno);
             return false;
         }
         if (n == 0) {
-            error = "daemon closed the connection mid-response";
+            error = sendOk ? "daemon closed the connection mid-response"
+                           : sendError;
             return false;
         }
         buffer_.append(chunk, static_cast<size_t>(n));

@@ -33,6 +33,15 @@ class ServeClient
     bool connect(std::string &error);
 
     /**
+     * Give every subsequent send/recv at most @p seconds to make progress
+     * (SO_SNDTIMEO/SO_RCVTIMEO); 0 restores blocking forever. May be
+     * called before or after connect(). A hung or wedged daemon then
+     * fails the round trip with a "timed out" error instead of hanging
+     * the client for good.
+     */
+    void setTimeout(double seconds);
+
+    /**
      * Send @p line (a newline is appended) and block for one response
      * line. Requires a successful connect().
      */
@@ -47,9 +56,12 @@ class ServeClient
     bool connected() const { return fd_ >= 0; }
 
   private:
+    bool applyTimeout(std::string &error);
+
     std::string socketPath_;
     std::string buffer_;
     int fd_ = -1;
+    double timeoutSeconds_ = 0.0;
 };
 
 } // namespace serve

@@ -19,6 +19,10 @@ opName(ServeRequest::Op op)
         return "ping";
       case ServeRequest::Op::Stats:
         return "stats";
+      case ServeRequest::Op::Health:
+        return "health";
+      case ServeRequest::Op::Failpoint:
+        return "failpoint";
       case ServeRequest::Op::Shutdown:
         return "shutdown";
     }
@@ -86,6 +90,10 @@ parseServeRequest(const std::string &line, ServeRequest &out,
         out.op = ServeRequest::Op::Ping;
     else if (*op == "stats")
         out.op = ServeRequest::Op::Stats;
+    else if (*op == "health")
+        out.op = ServeRequest::Op::Health;
+    else if (*op == "failpoint")
+        out.op = ServeRequest::Op::Failpoint;
     else if (*op == "shutdown")
         out.op = ServeRequest::Op::Shutdown;
     else {
@@ -108,6 +116,9 @@ parseServeRequest(const std::string &line, ServeRequest &out,
     p.num("max", out.maxInstructions);
     p.boolean("profiles", out.profiles);
     p.boolean("small", out.small);
+    if (const std::string *spec = p.str("spec"))
+        out.failpointSpec = *spec;
+    out.hasFailpointSeed = p.num("seed", out.failpointSeed);
 
     if (out.op == ServeRequest::Op::Sweep && out.inputs.empty()) {
         error = "sweep request has no inputs";
@@ -133,6 +144,11 @@ renderServeRequest(const ServeRequest &req)
         s += ", \"profiles\": false";
     if (req.small)
         s += ", \"small\": true";
+    if (req.op == ServeRequest::Op::Failpoint) {
+        s += ", \"spec\": " + engine::jsonString(req.failpointSpec);
+        if (req.hasFailpointSeed)
+            s += ", \"seed\": " + std::to_string(req.failpointSeed);
+    }
     s += '}';
     return s;
 }
@@ -192,6 +208,18 @@ parseServeResponse(const std::string &line, ServeResponse &out,
     p.num("trace_cached_bytes", out.traceCachedBytes);
     p.num("total_cells_cached", out.totalCellsCached);
     p.num("total_cells_computed", out.totalCellsComputed);
+    p.num("retry_after_ms", out.retryAfterMs);
+    p.num("pending_cells", out.pendingCells);
+    p.num("active_sweeps", out.activeSweeps);
+    p.num("workers", out.workers);
+    p.num("store_disk_bytes", out.storeDiskBytes);
+    p.num("store_appends", out.storeAppends);
+    p.num("store_syncs", out.storeSyncs);
+    p.num("store_compactions", out.storeCompactions);
+    p.num("failpoints_active", out.failpointsActive);
+    p.num("failpoint_fires", out.failpointFires);
+    if (const std::string *sync = p.str("store_sync"))
+        out.storeSync = *sync;
     return true;
 }
 
@@ -232,6 +260,37 @@ renderStatsResponse(const ServeResponse &stats)
            std::to_string(stats.totalCellsCached) +
            ", \"total_cells_computed\": " +
            std::to_string(stats.totalCellsComputed) + '}';
+}
+
+std::string
+renderHealthResponse(const ServeResponse &health)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"ok\", \"op\": \"health\", " +
+           "\"pending_cells\": " + std::to_string(health.pendingCells) +
+           ", \"active_sweeps\": " + std::to_string(health.activeSweeps) +
+           ", \"workers\": " + std::to_string(health.workers) +
+           ", \"store_entries\": " + std::to_string(health.storeEntries) +
+           ", \"store_disk_bytes\": " +
+           std::to_string(health.storeDiskBytes) +
+           ", \"store_appends\": " + std::to_string(health.storeAppends) +
+           ", \"store_syncs\": " + std::to_string(health.storeSyncs) +
+           ", \"store_compactions\": " +
+           std::to_string(health.storeCompactions) +
+           ", \"store_sync\": " + engine::jsonString(health.storeSync) +
+           ", \"failpoints_active\": " +
+           std::to_string(health.failpointsActive) +
+           ", \"failpoint_fires\": " +
+           std::to_string(health.failpointFires) + '}';
+}
+
+std::string
+renderBusyResponse(uint64_t retryAfterMs)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"busy\", \"error\": \"server overloaded\", "
+           "\"retry_after_ms\": " +
+           std::to_string(retryAfterMs) + '}';
 }
 
 std::string

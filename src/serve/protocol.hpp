@@ -33,7 +33,7 @@ constexpr const char *protocolSchema = "paragraph-serve-v1";
 /** One parsed client request. */
 struct ServeRequest
 {
-    enum class Op { Sweep, Ping, Stats, Shutdown };
+    enum class Op { Sweep, Ping, Stats, Health, Failpoint, Shutdown };
 
     Op op = Op::Ping;
 
@@ -47,6 +47,13 @@ struct ServeRequest
     uint64_t maxInstructions = 0;
     bool profiles = true;
     bool small = false;
+
+    /** Failpoint control (Op::Failpoint only, daemon must allow it):
+     *  spec is "site=policy;..." as in PARAGRAPH_FAILPOINTS; empty spec
+     *  resets every site. seed reseeds the schedule when hasSeed. */
+    std::string failpointSpec;
+    uint64_t failpointSeed = 0;
+    bool hasFailpointSeed = false;
 };
 
 /**
@@ -67,9 +74,13 @@ engine::SweepArgs toSweepArgs(const ServeRequest &req);
 /** One parsed server response. */
 struct ServeResponse
 {
-    std::string status; ///< "ok" or "error"
+    std::string status; ///< "ok", "error", or "busy"
     std::string op;     ///< echo of the request op
     std::string error;  ///< status == "error" only
+
+    /** Overload hint (status == "busy" only): wait roughly this long
+     *  before retrying. */
+    uint64_t retryAfterMs = 0;
 
     /** Sweep accounting (op == "sweep" only). */
     uint64_t cellsTotal = 0;
@@ -89,7 +100,20 @@ struct ServeResponse
     uint64_t totalCellsCached = 0;
     uint64_t totalCellsComputed = 0;
 
+    /** Health probe (op == "health" only). */
+    uint64_t pendingCells = 0;
+    uint64_t activeSweeps = 0;
+    uint64_t workers = 0;
+    uint64_t storeDiskBytes = 0;
+    uint64_t storeAppends = 0;
+    uint64_t storeSyncs = 0;
+    uint64_t storeCompactions = 0;
+    uint64_t failpointsActive = 0;
+    uint64_t failpointFires = 0;
+    std::string storeSync; ///< daemon's fsync policy name
+
     bool ok() const { return status == "ok"; }
+    bool busy() const { return status == "busy"; }
 };
 
 /** Parse one response line; false with @p error on malformed input. */
@@ -106,6 +130,12 @@ std::string renderAckResponse(const char *op);
 
 /** Render a stats response line from the daemon counters. */
 std::string renderStatsResponse(const ServeResponse &stats);
+
+/** Render a health response line from the daemon probe fields. */
+std::string renderHealthResponse(const ServeResponse &health);
+
+/** Render an overload rejection line with a retry hint. */
+std::string renderBusyResponse(uint64_t retryAfterMs);
 
 /** Render an error response line. */
 std::string renderErrorResponse(const std::string &message);

@@ -1,9 +1,14 @@
 #include "serve/result_store.hpp"
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "engine/sweep_json.hpp"
+#include "support/failpoint.hpp"
 #include "support/json_line.hpp"
 #include "support/panic.hpp"
 
@@ -53,7 +58,8 @@ ResultStore::ResultStore(std::string path)
 }
 
 ResultStore::ResultStore(std::string path, Options opt)
-    : path_(std::move(path)), opt_(opt)
+    : path_(std::move(path)), opt_(opt),
+      lastSync_(std::chrono::steady_clock::now())
 {
     // a+ creates the file if needed without truncating an existing store;
     // the separate read handle keeps appends and lookups independent.
@@ -139,10 +145,38 @@ ResultStore::ResultStore(std::string path, Options opt)
 
 ResultStore::~ResultStore()
 {
-    if (append_)
-        std::fclose(append_);
+    // Buffered stdio reports a full disk only at flush/close; losing that
+    // here would silently drop the final appends of the daemon's lifetime.
+    if (append_) {
+        if (std::fflush(append_) != 0)
+            PARA_WARN("result store %s: flush failed on close; recent "
+                      "entries may be lost",
+                      path_.c_str());
+        else if (opt_.syncPolicy != SyncPolicy::None &&
+                 ::fsync(::fileno(append_)) != 0)
+            PARA_WARN("result store %s: fsync failed on close; recent "
+                      "entries may not be on the device",
+                      path_.c_str());
+        if (std::fclose(append_) != 0)
+            PARA_WARN("result store %s: close failed; recent entries may "
+                      "be lost",
+                      path_.c_str());
+    }
     if (read_)
         std::fclose(read_);
+}
+
+void
+ResultStore::syncLocked()
+{
+    if (PARA_FAILPOINT("store.sync") || ::fsync(::fileno(append_)) != 0) {
+        PARA_WARN("result store %s: fsync failed; acknowledged entries "
+                  "may not survive a machine crash",
+                  path_.c_str());
+        return;
+    }
+    ++syncs_;
+    lastSync_ = std::chrono::steady_clock::now();
 }
 
 void
@@ -231,7 +265,20 @@ ResultStore::insert(const ResultKey &key, const std::string &cellJson)
         return;
     }
     long offset = std::ftell(append_);
-    if (offset < 0 ||
+    if (PARA_FAILPOINT("store.append.torn")) {
+        // Simulated crash mid-append: half the line reaches the file with
+        // no terminating newline, exactly what a power cut during fwrite
+        // leaves behind. The fragment is never indexed; the next open
+        // seals and skips it.
+        std::fwrite(entryLine.data(), 1, entryLine.size() / 2, append_);
+        std::fflush(append_);
+        writeFailed_ = true;
+        PARA_WARN("result store %s: torn append (injected); caching "
+                  "disabled",
+                  path_.c_str());
+        return;
+    }
+    if (offset < 0 || PARA_FAILPOINT("store.append.fail") ||
         std::fwrite(entryLine.data(), 1, entryLine.size(), append_) !=
             entryLine.size() ||
         std::fflush(append_) != 0) {
@@ -240,10 +287,153 @@ ResultStore::insert(const ResultKey &key, const std::string &cellJson)
                   path_.c_str());
         return;
     }
+    ++appends_;
+    if (opt_.syncPolicy == SyncPolicy::Cell) {
+        syncLocked();
+    } else if (opt_.syncPolicy == SyncPolicy::Interval) {
+        auto now = std::chrono::steady_clock::now();
+        std::chrono::duration<double> since = now - lastSync_;
+        if (since.count() >= opt_.syncIntervalSeconds)
+            syncLocked();
+    }
     Entry &entry = index_[key];
     entry.offset = offset;
     entry.length = entryLine.size() - 1; // exclude the newline
     touch(entry, cellJson);
+    if (opt_.compactEveryAppends != 0 &&
+        ++appendsSinceCompact_ >= opt_.compactEveryAppends) {
+        std::string error;
+        if (!compactLocked(error))
+            PARA_WARN("result store %s: compaction failed (%s); store "
+                      "kept as-is",
+                      path_.c_str(), error.c_str());
+    }
+}
+
+bool
+ResultStore::compact(std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compactLocked(error);
+}
+
+bool
+ResultStore::compactLocked(std::string &error)
+{
+    appendsSinceCompact_ = 0;
+
+    // Stage 1: collect every live entry's text. Hot entries come from
+    // memory; cold ones re-read through the old file handle. Unreadable
+    // entries are dropped — compaction is the designated place to shed
+    // damage, and lookup() already treats them as misses.
+    std::vector<std::pair<ResultKey, std::string>> live;
+    live.reserve(index_.size());
+    for (auto it = index_.begin(); it != index_.end();) {
+        Entry &entry = it->second;
+        std::string cellJson;
+        bool ok;
+        if (entry.hot) {
+            cellJson = entry.hotText;
+            ok = true;
+        } else {
+            std::string line(entry.length, '\0');
+            ResultKey diskKey;
+            ok = std::fseek(read_, entry.offset, SEEK_SET) == 0 &&
+                 std::fread(line.data(), 1, line.size(), read_) ==
+                     line.size() &&
+                 parseEntry(line, diskKey, cellJson) &&
+                 !(diskKey < it->first) && !(it->first < diskKey);
+        }
+        if (!ok) {
+            PARA_WARN("result store %s: entry at offset %ld is unreadable; "
+                      "dropped by compaction",
+                      path_.c_str(), entry.offset);
+            if (entry.hot)
+                hotBytes_ -= entry.hotText.size();
+            it = index_.erase(it);
+            continue;
+        }
+        live.emplace_back(it->first, std::move(cellJson));
+        ++it;
+    }
+
+    // Stage 2: write header + live entries to a temp file and push it to
+    // the device before it can replace anything.
+    std::string tmpPath = path_ + ".compact.tmp";
+    std::FILE *tmp = std::fopen(tmpPath.c_str(), "wb");
+    if (!tmp) {
+        error = "cannot create " + tmpPath;
+        return false;
+    }
+    std::vector<long> offsets(live.size(), 0);
+    std::string header = std::string("{\"schema\": \"") + storeSchema +
+                         "\"}\n";
+    bool failed =
+        PARA_FAILPOINT("store.compact") ||
+        std::fwrite(header.data(), 1, header.size(), tmp) != header.size();
+    long offset = static_cast<long>(header.size());
+    std::vector<std::string> lines(live.size());
+    for (size_t i = 0; !failed && i < live.size(); ++i) {
+        lines[i] = renderEntry(live[i].first, live[i].second);
+        offsets[i] = offset;
+        failed = std::fwrite(lines[i].data(), 1, lines[i].size(), tmp) !=
+                 lines[i].size();
+        offset += static_cast<long>(lines[i].size());
+    }
+    if (!failed)
+        failed = std::fflush(tmp) != 0 || ::fsync(::fileno(tmp)) != 0;
+    if (std::fclose(tmp) != 0)
+        failed = true;
+    if (failed) {
+        std::remove(tmpPath.c_str());
+        error = "cannot write " + tmpPath;
+        return false;
+    }
+
+    // Stage 3: atomically replace the store, then reopen both handles on
+    // the new file (the old descriptors still reference the old inode) and
+    // fsync the directory so the rename itself survives a machine crash.
+    if (std::rename(tmpPath.c_str(), path_.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        error = "cannot rename " + tmpPath + " over " + path_;
+        return false;
+    }
+    size_t slash = path_.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path_.substr(0, slash ? slash : 1);
+    int dirFd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (dirFd >= 0) {
+        ::fsync(dirFd);
+        ::close(dirFd);
+    }
+    std::fclose(append_);
+    std::fclose(read_);
+    append_ = std::fopen(path_.c_str(), "ab");
+    read_ = append_ ? std::fopen(path_.c_str(), "rb") : nullptr;
+    if (!append_ || !read_) {
+        // The compacted file is on disk and intact; only this process can
+        // no longer write to it.
+        if (append_) {
+            std::fclose(append_);
+            append_ = nullptr;
+        }
+        writeFailed_ = true;
+        error = "cannot reopen " + path_ + " after compaction";
+        return false;
+    }
+
+    // Stage 4: point the index at the rewritten lines. The rewrite also
+    // repairs append failures: the new file is clean and the handle fresh.
+    size_t i = 0;
+    for (auto &kv : index_) {
+        kv.second.offset = offsets[i];
+        kv.second.length = lines[i].size() - 1; // exclude the newline
+        ++i;
+    }
+    writeFailed_ = false;
+    ++compactions_;
+    return true;
 }
 
 size_t
@@ -258,6 +448,36 @@ ResultStore::hotBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return hotBytes_;
+}
+
+uint64_t
+ResultStore::appends() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appends_;
+}
+
+uint64_t
+ResultStore::syncs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return syncs_;
+}
+
+uint64_t
+ResultStore::compactions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compactions_;
+}
+
+long
+ResultStore::diskBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!read_ || std::fseek(read_, 0, SEEK_END) != 0)
+        return -1;
+    return std::ftell(read_);
 }
 
 } // namespace serve

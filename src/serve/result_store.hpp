@@ -23,6 +23,7 @@
 #ifndef PARAGRAPH_SERVE_RESULT_STORE_HPP
 #define PARAGRAPH_SERVE_RESULT_STORE_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -31,6 +32,19 @@
 
 namespace paragraph {
 namespace serve {
+
+/**
+ * When appended entries are pushed past the OS page cache to the device.
+ * Every policy flushes stdio buffers per entry (a daemon crash never loses
+ * an acknowledged append); the policy only controls fsync, i.e. what a
+ * *machine* crash can take with it.
+ */
+enum class SyncPolicy
+{
+    None,     ///< never fsync; machine crash may lose recent entries
+    Interval, ///< fsync at most once per syncIntervalSeconds, on append
+    Cell,     ///< fsync after every appended entry
+};
 
 /** Content address of one cell result. */
 struct ResultKey
@@ -58,6 +72,16 @@ class ResultStore
         /** Byte budget for hot entry text; 0 = keep everything resident.
          *  The index (a few dozen bytes per entry) is never evicted. */
         size_t memoryBudget = 0;
+
+        /** Device-durability policy for appended entries. */
+        SyncPolicy syncPolicy = SyncPolicy::None;
+
+        /** Minimum seconds between fsyncs under SyncPolicy::Interval. */
+        double syncIntervalSeconds = 5.0;
+
+        /** Compact automatically after this many appends; 0 = only when
+         *  compact() is called explicitly. */
+        size_t compactEveryAppends = 0;
     };
 
     /**
@@ -88,11 +112,35 @@ class ResultStore
      */
     void insert(const ResultKey &key, const std::string &cellJson);
 
+    /**
+     * Rewrite the store as exactly one line per indexed key — dropping
+     * superseded duplicates, damaged lines, and sealed torn fragments —
+     * via a temp file that is fsynced and atomically renamed over the
+     * store, so a crash at any point leaves either the old file or the
+     * new one, never a mixture. Entries whose on-disk line can no longer
+     * be read are dropped from the index with a warning.
+     * @return false (with @p error set) if compaction could not complete;
+     *         the existing store is untouched and stays in service.
+     */
+    bool compact(std::string &error);
+
     /** Entries indexed. */
     size_t entries() const;
 
     /** Bytes of entry text currently hot. */
     size_t hotBytes() const;
+
+    /** Entries appended since open (survives compaction). */
+    uint64_t appends() const;
+
+    /** fsync calls issued by the durability policy. */
+    uint64_t syncs() const;
+
+    /** Completed compactions. */
+    uint64_t compactions() const;
+
+    /** Current size of the store file in bytes, or -1 if unknown. */
+    long diskBytes() const;
 
   private:
     struct Entry
@@ -106,6 +154,8 @@ class ResultStore
 
     void touch(Entry &entry, std::string text);
     void enforceBudget();
+    void syncLocked();
+    bool compactLocked(std::string &error);
 
     std::string path_;
     Options opt_;
@@ -116,6 +166,11 @@ class ResultStore
     size_t hotBytes_ = 0;
     uint64_t useCounter_ = 0;
     bool writeFailed_ = false;
+    uint64_t appends_ = 0;
+    uint64_t syncs_ = 0;
+    uint64_t compactions_ = 0;
+    size_t appendsSinceCompact_ = 0;
+    std::chrono::steady_clock::time_point lastSync_{};
 };
 
 } // namespace serve

@@ -12,6 +12,7 @@
 
 #include "engine/config_key.hpp"
 #include "engine/sweep_json.hpp"
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
@@ -30,13 +31,38 @@ repoOptions(const ServeServer::Options &opt)
     return ro;
 }
 
+/** Wait for @p events on @p fd; 0 on deadline expiry, <0 on error. */
+int
+pollFor(int fd, short events, double timeoutSeconds)
+{
+    pollfd pfd{fd, events, 0};
+    int timeoutMs = timeoutSeconds > 0
+                        ? static_cast<int>(timeoutSeconds * 1000.0)
+                        : -1;
+    int n;
+    do {
+        n = ::poll(&pfd, 1, timeoutMs);
+    } while (n < 0 && errno == EINTR);
+    return n;
+}
+
+/**
+ * Send all of @p data, giving the peer at most @p timeoutSeconds (0 =
+ * forever) to drain each burst. A stalled reader fails the send instead of
+ * wedging the handler thread.
+ */
 bool
-sendAll(int fd, const std::string &data)
+sendAll(int fd, const std::string &data, double timeoutSeconds)
 {
     size_t sent = 0;
     while (sent < data.size()) {
+        if (timeoutSeconds > 0 &&
+            pollFor(fd, POLLOUT, timeoutSeconds) <= 0)
+            return false;
         ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                            MSG_NOSIGNAL);
+        if (PARA_FAILPOINT("serve.write") && n > 0)
+            n = -1; // simulated peer reset mid-response
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -45,6 +71,44 @@ sendAll(int fd, const std::string &data)
         sent += static_cast<size_t>(n);
     }
     return true;
+}
+
+const char *
+syncPolicyName(SyncPolicy policy)
+{
+    switch (policy) {
+      case SyncPolicy::None:
+        return "none";
+      case SyncPolicy::Interval:
+        return "interval";
+      case SyncPolicy::Cell:
+        return "cell";
+    }
+    return "none";
+}
+
+/**
+ * Rewrite the "input_index"/"config_index" fields of a stored cell
+ * fragment to this grid's coordinates. The newline-anchored patterns are
+ * unambiguous: JSON strings never contain a raw newline, so the anchors
+ * can only match the fields writeCell itself rendered.
+ */
+void
+rebindSpliceIndices(std::string &cellJson, size_t inputIndex,
+                    size_t configIndex)
+{
+    auto rewrite = [&cellJson](const char *anchor, size_t value) {
+        size_t at = cellJson.find(anchor);
+        if (at == std::string::npos)
+            return;
+        size_t start = at + std::strlen(anchor);
+        size_t end = cellJson.find_first_not_of("0123456789", start);
+        if (end == std::string::npos)
+            return;
+        cellJson.replace(start, end - start, std::to_string(value));
+    };
+    rewrite("\n      \"input_index\": ", inputIndex);
+    rewrite("\n      \"config_index\": ", configIndex);
 }
 
 } // namespace
@@ -60,6 +124,9 @@ ServeServer::ServeServer(Options opt) : opt_(std::move(opt)), repo_(repoOptions(
     if (!opt_.storePath.empty()) {
         ResultStore::Options ro;
         ro.memoryBudget = opt_.storeMemoryBudget;
+        ro.syncPolicy = opt_.storeSyncPolicy;
+        ro.syncIntervalSeconds = opt_.storeSyncIntervalSeconds;
+        ro.compactEveryAppends = opt_.storeCompactEvery;
         store_ = std::make_unique<ResultStore>(opt_.storePath, ro);
     }
     cancel_.setReason("daemon shutting down");
@@ -134,10 +201,32 @@ ServeServer::run()
         if (n == 0 || !(pfd.revents & POLLIN))
             continue;
         int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (PARA_FAILPOINT("serve.accept") && fd >= 0) {
+            // Simulated fd exhaustion: surrender the descriptor and take
+            // the same branch a real EMFILE would.
+            ::close(fd);
+            fd = -1;
+            errno = EMFILE;
+        }
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
             PARA_WARN("serve: accept failed (%s)", std::strerror(errno));
+            continue;
+        }
+        size_t clients;
+        {
+            std::lock_guard<std::mutex> lock(clientMutex_);
+            clients = clientFds_.size();
+        }
+        if (opt_.maxClients != 0 && clients >= opt_.maxClients) {
+            // Turn the connection away at the door with a retry hint —
+            // a full house must degrade to a polite "busy", never to an
+            // unbounded connection backlog.
+            rejectedBusy_.fetch_add(1, std::memory_order_relaxed);
+            sendAll(fd, renderBusyResponse(busyRetryHintMs()) + "\n",
+                    opt_.ioTimeoutSeconds);
+            ::close(fd);
             continue;
         }
         {
@@ -182,7 +271,15 @@ ServeServer::handleClient(int fd)
     char chunk[4096];
     bool shutdownRequested = false;
     while (!shutdownRequested) {
+        if (opt_.ioTimeoutSeconds > 0 &&
+            pollFor(fd, POLLIN, opt_.ioTimeoutSeconds) <= 0) {
+            // Idle past the deadline (or poll error): a stalled client
+            // must not pin a handler thread forever.
+            break;
+        }
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (PARA_FAILPOINT("serve.read") && n > 0)
+            n = 0; // simulated peer hangup mid-request
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -191,6 +288,18 @@ ServeServer::handleClient(int fd)
         if (n == 0)
             break; // client closed; any partial line is abandoned
         buffer.append(chunk, static_cast<size_t>(n));
+        if (opt_.maxRequestBytes != 0 &&
+            buffer.size() > opt_.maxRequestBytes &&
+            buffer.find('\n') == std::string::npos) {
+            // An unterminated line past the cap would otherwise grow
+            // without bound on daemon memory.
+            sendAll(fd,
+                    renderErrorResponse("request exceeds the daemon's "
+                                        "max request size") +
+                        "\n",
+                    opt_.ioTimeoutSeconds);
+            break;
+        }
         size_t nl;
         while (!shutdownRequested &&
                (nl = buffer.find('\n')) != std::string::npos) {
@@ -198,9 +307,15 @@ ServeServer::handleClient(int fd)
             buffer.erase(0, nl + 1);
             if (line.empty())
                 continue;
-            std::string response =
-                handleRequestLine(line, shutdownRequested);
-            if (!sendAll(fd, response + "\n")) {
+            std::string response;
+            if (opt_.maxRequestBytes != 0 &&
+                line.size() > opt_.maxRequestBytes) {
+                response = renderErrorResponse(
+                    "request exceeds the daemon's max request size");
+            } else {
+                response = handleRequestLine(line, shutdownRequested);
+            }
+            if (!sendAll(fd, response + "\n", opt_.ioTimeoutSeconds)) {
                 // Client went away mid-response. Completed cells are
                 // already in the store; nothing to unwind.
                 shutdownRequested = shutdownRequested || false;
@@ -234,6 +349,10 @@ ServeServer::handleRequestLine(const std::string &line, bool &shutdown)
         return renderAckResponse("ping");
       case ServeRequest::Op::Stats:
         return statsLine();
+      case ServeRequest::Op::Health:
+        return healthLine();
+      case ServeRequest::Op::Failpoint:
+        return failpointLine(req);
       case ServeRequest::Op::Shutdown:
         shutdown = true;
         if (!opt_.quiet)
@@ -250,10 +369,30 @@ ServeServer::handleRequestLine(const std::string &line, bool &shutdown)
                        : "daemon serves full-scale workloads; drop "
                          "\"small\" or restart the daemon with --small");
     }
+
+    // Admission control: past the cap a sweep is refused with a retry
+    // hint, so overload sheds load at the edge instead of growing the
+    // scheduler queue without bound.
+    unsigned active = activeSweeps_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (opt_.maxPendingSweeps != 0 && active >= opt_.maxPendingSweeps) {
+            rejectedBusy_.fetch_add(1, std::memory_order_relaxed);
+            return renderBusyResponse(busyRetryHintMs());
+        }
+        if (activeSweeps_.compare_exchange_weak(active, active + 1,
+                                                std::memory_order_relaxed))
+            break;
+    }
     try {
-        return handleSweep(req);
+        std::string response = handleSweep(req);
+        activeSweeps_.fetch_sub(1, std::memory_order_relaxed);
+        return response;
     } catch (const std::exception &e) {
+        activeSweeps_.fetch_sub(1, std::memory_order_relaxed);
         return renderErrorResponse(e.what());
+    } catch (...) {
+        activeSweeps_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
     }
 }
 
@@ -309,6 +448,12 @@ ServeServer::handleSweep(const ServeRequest &req)
                 slotKey[slot] = key;
                 std::string cellJson;
                 if (store_ && store_->lookup(key, cellJson)) {
+                    // The fragment is shared across grids by content
+                    // address, but its index fields belong to whichever
+                    // sweep computed it first: rebind them to this grid's
+                    // coordinates so the spliced document stays
+                    // byte-identical to a fresh computation.
+                    rebindSpliceIndices(cellJson, i, j);
                     engine::SweepCell &cell = sweep.cells[slot];
                     cell.job = std::move(job);
                     cell.status = engine::SweepCell::Status::Skipped;
@@ -381,6 +526,59 @@ ServeServer::statsLine()
     stats.totalCellsComputed =
         cellsComputed_.load(std::memory_order_relaxed);
     return renderStatsResponse(stats);
+}
+
+std::string
+ServeServer::healthLine()
+{
+    ServeResponse health;
+    health.pendingCells = scheduler_->pendingCells();
+    health.activeSweeps = activeSweeps_.load(std::memory_order_relaxed);
+    health.workers = scheduler_->workers();
+    health.storeEntries = store_ ? store_->entries() : 0;
+    long disk = store_ ? store_->diskBytes() : 0;
+    health.storeDiskBytes = disk > 0 ? static_cast<uint64_t>(disk) : 0;
+    health.storeAppends = store_ ? store_->appends() : 0;
+    health.storeSyncs = store_ ? store_->syncs() : 0;
+    health.storeCompactions = store_ ? store_->compactions() : 0;
+    health.storeSync = syncPolicyName(opt_.storeSyncPolicy);
+    health.failpointsActive = failpoint::activeSites();
+    health.failpointFires = failpoint::totalFires();
+    return renderHealthResponse(health);
+}
+
+std::string
+ServeServer::failpointLine(const ServeRequest &req)
+{
+    if (!opt_.allowFailpoints) {
+        return renderErrorResponse(
+            "failpoint control is disabled (start the daemon with "
+            "--allow-failpoints)");
+    }
+    if (req.hasFailpointSeed)
+        failpoint::setSeed(req.failpointSeed);
+    if (req.failpointSpec.empty()) {
+        failpoint::reset();
+    } else {
+        std::string error;
+        if (!failpoint::configureList(req.failpointSpec, error))
+            return renderErrorResponse("bad failpoint spec: " + error);
+    }
+    if (!opt_.quiet)
+        PARA_WARN("serve: failpoints now [%s]",
+                  failpoint::describe().c_str());
+    return renderAckResponse("failpoint");
+}
+
+uint64_t
+ServeServer::busyRetryHintMs()
+{
+    // Rough hint scaled to the backlog: an empty queue suggests a quick
+    // retry, a deep one pushes clients further out. Clamped so a client
+    // never waits more than a few seconds before re-probing.
+    uint64_t pending = scheduler_->pendingCells();
+    uint64_t hint = 100 + 50 * pending;
+    return hint > 5000 ? 5000 : hint;
 }
 
 } // namespace serve

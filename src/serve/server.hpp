@@ -80,6 +80,34 @@ class ServeServer
 
         /** Suppress per-request log lines on stderr. */
         bool quiet = false;
+
+        /** Device-durability policy for the result store. */
+        SyncPolicy storeSyncPolicy = SyncPolicy::None;
+
+        /** Minimum seconds between store fsyncs under Interval. */
+        double storeSyncIntervalSeconds = 5.0;
+
+        /** Compact the store after this many appends; 0 = never. */
+        size_t storeCompactEvery = 0;
+
+        /** Per-connection I/O deadline in seconds; 0 = none. A client
+         *  that stalls mid-request or mid-response is disconnected. */
+        double ioTimeoutSeconds = 0.0;
+
+        /** Largest accepted request line in bytes; 0 = unlimited. */
+        size_t maxRequestBytes = 0;
+
+        /** Sweeps admitted concurrently; one more gets a "busy" line
+         *  with a retry hint instead of queueing. 0 = unlimited. */
+        unsigned maxPendingSweeps = 0;
+
+        /** Concurrent client connections; one more is turned away at
+         *  accept with a "busy" line. 0 = unlimited. */
+        unsigned maxClients = 0;
+
+        /** Honor failpoint-control requests from clients (chaos tests
+         *  only; never enable on a shared daemon). */
+        bool allowFailpoints = false;
     };
 
     explicit ServeServer(Options opt);
@@ -110,6 +138,9 @@ class ServeServer
     std::string handleRequestLine(const std::string &line, bool &shutdown);
     std::string handleSweep(const ServeRequest &req);
     std::string statsLine();
+    std::string healthLine();
+    std::string failpointLine(const ServeRequest &req);
+    uint64_t busyRetryHintMs();
     void closeAllClients();
 
     Options opt_;
@@ -128,6 +159,8 @@ class ServeServer
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> cellsCached_{0};
     std::atomic<uint64_t> cellsComputed_{0};
+    std::atomic<unsigned> activeSweeps_{0};
+    std::atomic<uint64_t> rejectedBusy_{0};
 };
 
 } // namespace serve

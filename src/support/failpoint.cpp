@@ -1,0 +1,311 @@
+#include "support/failpoint.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "support/prng.hpp"
+#include "support/string_utils.hpp"
+
+namespace paragraph {
+namespace failpoint {
+
+namespace {
+
+enum class Policy { Once, After, Prob };
+
+struct Site
+{
+    Policy policy = Policy::Once;
+    uint64_t threshold = 0; ///< evaluations to pass before firing
+    double probability = 0; ///< Policy::Prob only
+    Prng rng{0};            ///< per-site stream (Policy::Prob)
+    uint64_t evals = 0;
+    uint64_t fires = 0;
+    bool exhausted = false; ///< a fired `once` site never fires again
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site> sites;
+    std::atomic<size_t> configured{0};
+    std::atomic<uint64_t> totalFires{0};
+    uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    std::once_flag envOnce;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** FNV-1a, so each site gets its own deterministic PRNG stream. */
+uint64_t
+siteHash(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name)
+        h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+    return h;
+}
+
+/** Parse "policy" into @p site; false with @p error on a bad spec. */
+bool
+parsePolicy(const std::string &name, const std::string &policy, Site &site,
+            std::string &error)
+{
+    int64_t n = 0;
+    if (policy == "once") {
+        site.policy = Policy::Once;
+        site.threshold = 0;
+    } else if (startsWith(policy, "once:") &&
+               parseInt(policy.substr(5), n) && n >= 0) {
+        site.policy = Policy::Once;
+        site.threshold = static_cast<uint64_t>(n);
+    } else if (startsWith(policy, "after:") &&
+               parseInt(policy.substr(6), n) && n >= 0) {
+        site.policy = Policy::After;
+        site.threshold = static_cast<uint64_t>(n);
+    } else if (startsWith(policy, "prob:")) {
+        char *end = nullptr;
+        double p = std::strtod(policy.c_str() + 5, &end);
+        if (!end || *end != '\0' || !(p > 0.0) || p > 1.0) {
+            error = "failpoint " + name + ": probability must be in (0, 1]";
+            return false;
+        }
+        site.policy = Policy::Prob;
+        site.probability = p;
+    } else {
+        error = "failpoint " + name + ": unknown policy '" + policy +
+                "' (expected off, once[:N], after:N, or prob:P)";
+        return false;
+    }
+    return true;
+}
+
+/** Parsed form of one "site=policy" spec; policy absent means `off`. */
+struct ParsedSpec
+{
+    std::string name;
+    bool off = false;
+    Site site;
+};
+
+bool
+parseSpec(const std::string &spec, ParsedSpec &out, std::string &error)
+{
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        error = "failpoint spec '" + spec + "' is not site=policy";
+        return false;
+    }
+    out.name = spec.substr(0, eq);
+    std::string policy = spec.substr(eq + 1);
+    if (policy == "off") {
+        out.off = true;
+        return true;
+    }
+    return parsePolicy(out.name, policy, out.site, error);
+}
+
+void
+applyLocked(Registry &r, const ParsedSpec &spec)
+{
+    if (spec.off) {
+        if (r.sites.erase(spec.name))
+            r.configured.store(r.sites.size(), std::memory_order_relaxed);
+        return;
+    }
+    Site site = spec.site;
+    site.rng = Prng(r.seed ^ siteHash(spec.name));
+    r.sites[spec.name] = site;
+    r.configured.store(r.sites.size(), std::memory_order_relaxed);
+}
+
+void
+loadEnvLocked(Registry &r)
+{
+    if (const char *seedEnv = std::getenv("PARAGRAPH_FAILPOINT_SEED")) {
+        int64_t n = 0;
+        if (parseInt(seedEnv, n) && n >= 0)
+            r.seed = static_cast<uint64_t>(n);
+    }
+    const char *specs = std::getenv("PARAGRAPH_FAILPOINTS");
+    if (!specs || !*specs)
+        return;
+    for (const std::string &spec : splitAndTrim(specs, ';')) {
+        if (spec.empty())
+            continue;
+        ParsedSpec parsed;
+        std::string error;
+        if (parseSpec(spec, parsed, error)) {
+            applyLocked(r, parsed);
+        } else {
+            // Environment parsing cannot return an error to anyone; an
+            // unusable spec must not silently disarm a chaos run.
+            std::fprintf(stderr, "paragraph: PARAGRAPH_FAILPOINTS: %s\n",
+                         error.c_str());
+        }
+    }
+}
+
+void
+ensureEnvLoaded(Registry &r)
+{
+    std::call_once(r.envOnce, [&r] {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        loadEnvLocked(r);
+    });
+}
+
+} // namespace
+
+bool
+shouldFire(const char *siteName)
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    if (r.configured.load(std::memory_order_relaxed) == 0)
+        return false;
+
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(siteName);
+    if (it == r.sites.end())
+        return false;
+    Site &site = it->second;
+    uint64_t index = site.evals++;
+    if (site.exhausted)
+        return false;
+
+    bool fire = false;
+    switch (site.policy) {
+      case Policy::Once:
+        fire = index >= site.threshold;
+        if (fire)
+            site.exhausted = true;
+        break;
+      case Policy::After:
+        fire = index >= site.threshold;
+        break;
+      case Policy::Prob:
+        fire = site.rng.nextDouble() < site.probability;
+        break;
+    }
+    if (fire) {
+        ++site.fires;
+        r.totalFires.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fire;
+}
+
+bool
+configure(const std::string &spec, std::string &error)
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    ParsedSpec parsed;
+    if (!parseSpec(spec, parsed, error))
+        return false;
+    std::lock_guard<std::mutex> lock(r.mutex);
+    applyLocked(r, parsed);
+    return true;
+}
+
+bool
+configureList(const std::string &specs, std::string &error)
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    std::vector<ParsedSpec> parsed;
+    for (const std::string &spec : splitAndTrim(specs, ';')) {
+        if (spec.empty())
+            continue;
+        ParsedSpec p;
+        if (!parseSpec(spec, p, error))
+            return false; // nothing applied: all-or-nothing
+        parsed.push_back(std::move(p));
+    }
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const ParsedSpec &p : parsed)
+        applyLocked(r, p);
+    return true;
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r); // so a reset() sticks even before first evaluation
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.clear();
+    r.configured.store(0, std::memory_order_relaxed);
+    r.totalFires.store(0, std::memory_order_relaxed);
+}
+
+void
+setSeed(uint64_t seed)
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.seed = seed;
+}
+
+size_t
+activeSites()
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    std::lock_guard<std::mutex> lock(r.mutex);
+    size_t active = 0;
+    for (const auto &kv : r.sites)
+        active += kv.second.exhausted ? 0 : 1;
+    return active;
+}
+
+uint64_t
+totalFires()
+{
+    Registry &r = registry();
+    return r.totalFires.load(std::memory_order_relaxed);
+}
+
+std::string
+describe()
+{
+    Registry &r = registry();
+    ensureEnvLoaded(r);
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::string out;
+    for (const auto &kv : r.sites) {
+        const Site &site = kv.second;
+        if (!out.empty())
+            out += ';';
+        out += kv.first;
+        out += '=';
+        switch (site.policy) {
+          case Policy::Once:
+            out += site.threshold ? "once:" + std::to_string(site.threshold)
+                                  : std::string("once");
+            break;
+          case Policy::After:
+            out += "after:" + std::to_string(site.threshold);
+            break;
+          case Policy::Prob:
+            out += "prob:" + strFormat("%g", site.probability);
+            break;
+        }
+        out += ':' + std::to_string(site.evals) + '/' +
+               std::to_string(site.fires);
+    }
+    return out;
+}
+
+} // namespace failpoint
+} // namespace paragraph

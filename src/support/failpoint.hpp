@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic fault injection: named failpoint sites for error-path
+ * testing.
+ *
+ * Every I/O and scheduling layer that can fail in production registers a
+ * *site* — a string like "store.append.torn" evaluated through the
+ * PARA_FAILPOINT(site) macro at the exact place the native failure would be
+ * detected. A site that "fires" makes the caller take its real error branch
+ * (short read, failed fwrite, dropped connection, ...), so the chaos tests
+ * exercise the same recovery code a real fault would, not a parallel
+ * simulation of it.
+ *
+ * Sites are inert until configured. Control is either programmatic
+ * (failpoint::configure) or via the PARAGRAPH_FAILPOINTS environment
+ * variable, parsed on first evaluation:
+ *
+ *     PARAGRAPH_FAILPOINTS="store.append.fail=prob:0.01;trace.decode.block=once"
+ *     PARAGRAPH_FAILPOINT_SEED=42
+ *
+ * Policies:
+ *     off        never fire (remove the site's configuration)
+ *     once       fire on the first evaluation, then never again
+ *     once:N     pass N evaluations, fire the next one, then never again
+ *     after:N    pass N evaluations, then fire on every one after that
+ *     prob:P     fire each evaluation with probability P (0 < P <= 1),
+ *                drawn from a per-site SplitMix64 stream seeded by the
+ *                global seed and the site name — the schedule is a pure
+ *                function of (seed, site, evaluation index), so seeded
+ *                chaos runs replay exactly
+ *
+ * The whole subsystem compiles out when the PARAGRAPH_FAILPOINTS macro is
+ * not defined (CMake option PARAGRAPH_FAILPOINTS=OFF): PARA_FAILPOINT
+ * becomes the constant false and every call site folds to its normal path.
+ * When compiled in but unconfigured, the cost per evaluation is one relaxed
+ * atomic load.
+ */
+
+#ifndef PARAGRAPH_SUPPORT_FAILPOINT_HPP
+#define PARAGRAPH_SUPPORT_FAILPOINT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace paragraph {
+namespace failpoint {
+
+/**
+ * True if the named site fires on this evaluation. Prefer the
+ * PARA_FAILPOINT macro, which compiles to `false` when failpoints are
+ * compiled out.
+ */
+bool shouldFire(const char *site);
+
+/**
+ * Configure one site from "site=policy" (or clear it with "site=off").
+ * @return false with @p error set on a malformed spec.
+ */
+bool configure(const std::string &spec, std::string &error);
+
+/**
+ * Configure a ';'-separated list of "site=policy" specs atomically: either
+ * every spec applies or none does. An empty list is a no-op.
+ */
+bool configureList(const std::string &specs, std::string &error);
+
+/** Remove every configured site and reset all counters. */
+void reset();
+
+/** Reseed the per-site PRNG streams (applies to sites configured after). */
+void setSeed(uint64_t seed);
+
+/** Number of sites currently armed (configured and still able to fire). */
+size_t activeSites();
+
+/** Total fires across all sites since the last reset(). */
+uint64_t totalFires();
+
+/**
+ * Human/machine-readable state: ';'-separated
+ * "site=policy:evals/fires" for every configured site, sorted by name.
+ * Empty string when nothing is configured.
+ */
+std::string describe();
+
+} // namespace failpoint
+} // namespace paragraph
+
+#ifdef PARAGRAPH_FAILPOINTS
+/** Evaluate the named failpoint site; true = simulate the failure. */
+#define PARA_FAILPOINT(site) (::paragraph::failpoint::shouldFire(site))
+#else
+#define PARA_FAILPOINT(site) false
+#endif
+
+#endif // PARAGRAPH_SUPPORT_FAILPOINT_HPP

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/crc32.hpp"
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
@@ -138,7 +139,8 @@ TraceFileWriter::write(const TraceRecord &rec)
 {
     PARA_ASSERT(file_, "write after close");
     PackedRecord p = packRecord(rec);
-    if (std::fwrite(&p, sizeof(p), 1, file_) != 1)
+    if (PARA_FAILPOINT("trace.file.write") ||
+        std::fwrite(&p, sizeof(p), 1, file_) != 1)
         PARA_FATAL("trace file record write failed: %s", path_.c_str());
     payloadCrc_ = crc32Update(payloadCrc_, &p, sizeof(p));
     ++count_;
@@ -246,7 +248,8 @@ TraceFileReader::next(TraceRecord &rec)
     if (pos_ >= count_)
         return false;
     PackedRecord p;
-    if (std::fread(&p, sizeof(p), 1, file_) != 1) {
+    if (PARA_FAILPOINT("trace.file.read") ||
+        std::fread(&p, sizeof(p), 1, file_) != 1) {
         PARA_FATAL("trace file truncated: %s (record %llu at offset %llu)",
                    path_.c_str(), static_cast<unsigned long long>(pos_),
                    static_cast<unsigned long long>(recordOffset(pos_)));

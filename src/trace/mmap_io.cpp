@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "support/crc32.hpp"
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 #include "trace/bulk_unpack.hpp"
 
@@ -69,6 +70,12 @@ MmapTraceFile::open(const std::string &path, bool throwOnMapFailure)
 
     void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd); // the mapping keeps its own reference to the file
+    if (PARA_FAILPOINT("trace.mmap.map") && map != MAP_FAILED) {
+        // Simulated ENOMEM: release the real mapping and take the same
+        // branch a genuine mmap failure would.
+        ::munmap(map, size);
+        map = MAP_FAILED;
+    }
     if (map == MAP_FAILED) {
         if (throwOnMapFailure)
             PARA_FATAL("cannot mmap trace file: %s", path.c_str());
@@ -147,6 +154,8 @@ MmapTraceFile::verifyPayload() const
     if (avail_ < count_)
         throwTruncated(path_, avail_);
     uint32_t crc = crcRange(0, count_, 0);
+    if (PARA_FAILPOINT("trace.mmap.crc"))
+        crc ^= 1; // simulated flipped payload bit
     if (crc != payloadCrc_) {
         PARA_FATAL("trace file payload checksum mismatch in %s "
                    "(stored %08x, computed %08x over %llu records); "

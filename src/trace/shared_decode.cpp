@@ -1,8 +1,10 @@
 #include "trace/shared_decode.hpp"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 
 namespace paragraph {
@@ -53,6 +55,8 @@ SharedDecodePool::block(size_t index)
         std::min<uint64_t>(opt_.blockRecords, count_ - blk->firstRecord));
     blk->records.resize(n);
     try {
+        if (PARA_FAILPOINT("trace.decode.block"))
+            throw std::bad_alloc(); // simulated decode-time ENOMEM
         file_->decode(blk->firstRecord, n, blk->records.data());
     } catch (...) {
         lock.lock();

@@ -1,0 +1,57 @@
+// Randomized failure-injection run against the real paragraph-serve
+// binary: forks daemons, arms seeded failpoint schedules over the
+// store/decode/socket sites, SIGKILLs them mid-job, and verifies after
+// every restart that no acknowledged store entry is lost and every clean
+// re-serve is byte-identical (src/fuzz/chaos_harness.hpp). A failing seed
+// replays with `paragraph-fuzz --chaos --seed=N`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "fuzz/chaos_harness.hpp"
+#include "support/test_seed.hpp"
+
+using namespace paragraph;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+goldenTrace(const std::string &name)
+{
+    return std::string(PARAGRAPH_GOLDEN_DIR) + "/" + name;
+}
+
+} // namespace
+
+TEST(ServeChaos, InjectedFailuresNeverLoseOrCorruptAcknowledgedState)
+{
+    fuzz::ChaosOptions opt;
+    opt.seed = testSeed(1);
+    opt.iterations = 80;
+    opt.roundLength = 20;
+    opt.killProbability = 0.1;
+    opt.serveBinary = PARAGRAPH_SERVE_CLI_PATH;
+    opt.workDir = (fs::temp_directory_path() /
+                   ("ps_chaos_" + std::to_string(::getpid())))
+                      .string();
+    opt.inputs = {goldenTrace("xlisp-800.ptrc"),
+                  goldenTrace("matrix300-600.ptrc")};
+
+    fuzz::ChaosReport report = fuzz::runChaos(opt);
+
+    EXPECT_TRUE(report.ok())
+        << report.firstFailure << "\nreplay: paragraph-fuzz --chaos --seed="
+        << opt.seed << "\n"
+        << fuzz::chaosReportJson(opt, report);
+    EXPECT_EQ(report.iterations, opt.iterations);
+    EXPECT_GT(report.kills + report.restarts, 1u)
+        << "the schedule must actually crash and restart the daemon";
+    EXPECT_GT(report.verifiedGrids, 0u)
+        << "verification must re-serve at least one reference grid";
+    fs::remove_all(opt.workDir);
+}

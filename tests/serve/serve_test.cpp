@@ -6,19 +6,24 @@
 // overlapping grids, concurrent clients, disconnects, and restarts.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_store.hpp"
 #include "serve/server.hpp"
+#include "support/failpoint.hpp"
 #include "support/panic.hpp"
 
 using namespace paragraph;
@@ -258,6 +263,119 @@ TEST(ResultStore, RejectsAForeignFile)
     fs::remove(path);
 }
 
+TEST(ResultStore, SyncPolicyControlsFsyncCadence)
+{
+    std::string path = tempPath("store_sync.jsonl");
+    fs::remove(path);
+    {
+        ResultStore::Options opt;
+        opt.syncPolicy = SyncPolicy::Cell;
+        ResultStore store(path, opt);
+        store.insert(key(1, 1), "a");
+        store.insert(key(2, 2), "b");
+        EXPECT_EQ(store.appends(), 2u);
+        EXPECT_EQ(store.syncs(), 2u); // one fsync per acknowledged entry
+    }
+    fs::remove(path);
+    {
+        ResultStore::Options opt;
+        opt.syncPolicy = SyncPolicy::Interval;
+        opt.syncIntervalSeconds = 3600.0; // never inside this test
+        ResultStore store(path, opt);
+        store.insert(key(1, 1), "a");
+        EXPECT_EQ(store.syncs(), 0u);
+    }
+    fs::remove(path);
+}
+
+TEST(ResultStore, CompactionDropsDamageAndKeepsEveryLiveEntry)
+{
+    std::string path = tempPath("store_compact.jsonl");
+    fs::remove(path);
+    {
+        ResultStore store(path);
+        store.insert(key(1, 1), "first");
+        store.insert(key(2, 2), "second");
+    }
+    appendRaw(path, "damage that every future load would re-skip\n");
+    appendRaw(path, "{\"trace_crc\": 9}\n");
+
+    ResultStore store(path);
+    ASSERT_EQ(store.entries(), 2u);
+    long before = store.diskBytes();
+    std::string error;
+    ASSERT_TRUE(store.compact(error)) << error;
+    EXPECT_EQ(store.compactions(), 1u);
+    EXPECT_LT(store.diskBytes(), before) << "dead bytes must be gone";
+    EXPECT_EQ(store.entries(), 2u);
+
+    // Live entries survive in place and the store keeps appending.
+    std::string text;
+    ASSERT_TRUE(store.lookup(key(1, 1), text));
+    EXPECT_EQ(text, "first");
+    store.insert(key(3, 3), "post-compact");
+    ASSERT_TRUE(store.lookup(key(3, 3), text));
+    EXPECT_EQ(text, "post-compact");
+
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.entries(), 3u);
+    ASSERT_TRUE(reopened.lookup(key(2, 2), text));
+    EXPECT_EQ(text, "second");
+    fs::remove(path);
+}
+
+TEST(ResultStore, CompactionRepairsAFailedAppend)
+{
+    std::string path = tempPath("store_repair.jsonl");
+    fs::remove(path);
+    failpoint::reset();
+    ResultStore store(path);
+    store.insert(key(1, 1), "good");
+
+    // A torn append flips the store into its degraded no-caching mode...
+    std::string error;
+    ASSERT_TRUE(failpoint::configure("store.append.torn=once", error))
+        << error;
+    store.insert(key(2, 2), "torn");
+    failpoint::reset();
+    std::string text;
+    EXPECT_FALSE(store.lookup(key(2, 2), text));
+    store.insert(key(3, 3), "while degraded"); // dropped, not appended
+    EXPECT_FALSE(store.lookup(key(3, 3), text));
+
+    // ...and a successful compaction is the repair path: the fragment is
+    // rewritten away and appends work again.
+    ASSERT_TRUE(store.compact(error)) << error;
+    store.insert(key(3, 3), "after repair");
+    ASSERT_TRUE(store.lookup(key(3, 3), text));
+    EXPECT_EQ(text, "after repair");
+    ASSERT_TRUE(store.lookup(key(1, 1), text));
+    EXPECT_EQ(text, "good");
+
+    ResultStore reopened(path);
+    EXPECT_EQ(reopened.entries(), 2u);
+    fs::remove(path);
+}
+
+TEST(ResultStore, AutoCompactionTriggersOnTheConfiguredCadence)
+{
+    std::string path = tempPath("store_autocompact.jsonl");
+    fs::remove(path);
+    ResultStore::Options opt;
+    opt.compactEveryAppends = 3;
+    ResultStore store(path, opt);
+    store.insert(key(1, 1), "a");
+    store.insert(key(2, 2), "b");
+    EXPECT_EQ(store.compactions(), 0u);
+    store.insert(key(3, 3), "c");
+    EXPECT_EQ(store.compactions(), 1u);
+    EXPECT_EQ(store.entries(), 3u);
+    std::string text;
+    ASSERT_TRUE(store.lookup(key(2, 2), text));
+    EXPECT_EQ(text, "b");
+    fs::remove(path);
+}
+
 // --------------------------------------------------------------------------
 // Protocol
 
@@ -331,6 +449,63 @@ TEST(ServeProtocol, ResponsesRoundTrip)
         parseServeResponse(renderErrorResponse("bad \"axis\""), resp, error));
     EXPECT_FALSE(resp.ok());
     EXPECT_EQ(resp.error, "bad \"axis\"");
+}
+
+TEST(ServeProtocol, HealthAndBusyResponsesRoundTrip)
+{
+    ServeResponse health;
+    health.status = "ok";
+    health.op = "health";
+    health.pendingCells = 3;
+    health.activeSweeps = 1;
+    health.workers = 4;
+    health.storeEntries = 10;
+    health.storeDiskBytes = 4096;
+    health.storeAppends = 12;
+    health.storeSyncs = 5;
+    health.storeCompactions = 2;
+    health.failpointsActive = 1;
+    health.failpointFires = 7;
+    health.storeSync = "interval";
+
+    ServeResponse back;
+    std::string error;
+    ASSERT_TRUE(
+        parseServeResponse(renderHealthResponse(health), back, error))
+        << error;
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ(back.op, "health");
+    EXPECT_EQ(back.pendingCells, 3u);
+    EXPECT_EQ(back.activeSweeps, 1u);
+    EXPECT_EQ(back.workers, 4u);
+    EXPECT_EQ(back.storeEntries, 10u);
+    EXPECT_EQ(back.storeDiskBytes, 4096u);
+    EXPECT_EQ(back.storeAppends, 12u);
+    EXPECT_EQ(back.storeSyncs, 5u);
+    EXPECT_EQ(back.storeCompactions, 2u);
+    EXPECT_EQ(back.failpointsActive, 1u);
+    EXPECT_EQ(back.failpointFires, 7u);
+    EXPECT_EQ(back.storeSync, "interval");
+
+    ASSERT_TRUE(parseServeResponse(renderBusyResponse(250), back, error));
+    EXPECT_FALSE(back.ok());
+    EXPECT_TRUE(back.busy());
+    EXPECT_EQ(back.retryAfterMs, 250u);
+
+    // Failpoint request lines round-trip their spec and seed.
+    ServeRequest arm;
+    arm.op = ServeRequest::Op::Failpoint;
+    arm.failpointSpec = "store.sync=prob:0.25;serve.read=once:2";
+    arm.failpointSeed = 42;
+    arm.hasFailpointSeed = true;
+    ServeRequest parsed;
+    ASSERT_TRUE(
+        parseServeRequest(renderServeRequest(arm), parsed, error))
+        << error;
+    EXPECT_EQ(parsed.op, ServeRequest::Op::Failpoint);
+    EXPECT_EQ(parsed.failpointSpec, arm.failpointSpec);
+    EXPECT_TRUE(parsed.hasFailpointSeed);
+    EXPECT_EQ(parsed.failpointSeed, 42u);
 }
 
 // --------------------------------------------------------------------------
@@ -553,4 +728,197 @@ TEST(ServeDaemon, RejectsAScaleMismatch)
     ServeResponse resp = ask(daemon, req);
     EXPECT_FALSE(resp.ok());
     EXPECT_NE(resp.error.find("small"), std::string::npos);
+}
+
+TEST(ServeDaemon, CachedCellsRebindGridCoordinates)
+{
+    // A store entry is shared by content address across *different* grids,
+    // where the same cell can sit at different input/config coordinates.
+    // The spliced fragment must carry the requesting grid's indices, not
+    // the indices of whichever sweep computed it first (regression: the
+    // chaos harness caught cache hits leaking foreign input_index /
+    // config_index values into otherwise clean documents).
+    std::string store = tempPath("rebind.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    Daemon daemon("rebind", opt);
+
+    std::string xlisp = goldenTrace("xlisp-800.ptrc");
+    std::string matrix = goldenTrace("matrix300-600.ptrc");
+
+    // Populate the store from a grid where matrix/window=64 sits at
+    // input_index 1, config_index 1.
+    ASSERT_TRUE(ask(daemon, sweepRequest({xlisp, matrix}, {16, 64})).ok());
+
+    // The same cell served at coordinates (0, 0) must be byte-identical
+    // to a cache-less computation of that one-cell grid.
+    Daemon fresh("rebind.fresh"); // no store: computes from scratch
+    ServeResponse want = ask(fresh, sweepRequest({matrix}, {64}));
+    ASSERT_TRUE(want.ok()) << want.error;
+
+    ServeResponse got = ask(daemon, sweepRequest({matrix}, {64}));
+    ASSERT_TRUE(got.ok()) << got.error;
+    EXPECT_EQ(got.cellsCached, 1u);
+    EXPECT_EQ(got.document, want.document)
+        << "cache hits must rebind input_index/config_index to the "
+           "requesting grid";
+    fs::remove(store);
+}
+
+namespace {
+void
+onAlarmTick(int)
+{
+    // Nothing: the point is the EINTR the delivery inflicts on whatever
+    // syscall the serve stack is blocked in.
+}
+} // namespace
+
+TEST(ServeDaemon, SurvivesAnEintrStorm)
+{
+    // A 5ms SIGALRM ticker (installed *without* SA_RESTART) peppers every
+    // blocking syscall on both sides of the socket with EINTR for the
+    // whole round trip; the client retries, the server's poll loop
+    // retries, and the sweep must come back clean and byte-identical to
+    // an undisturbed run.
+    Daemon daemon("eintr");
+    ServeRequest req = sweepRequest({goldenTrace("xlisp-800.ptrc")}, {16});
+    ServeResponse calm = ask(daemon, req);
+    ASSERT_TRUE(calm.ok()) << calm.error;
+
+    struct sigaction sa, oldsa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onAlarmTick;
+    sa.sa_flags = 0; // no SA_RESTART: every delivery is a real EINTR
+    ASSERT_EQ(::sigaction(SIGALRM, &sa, &oldsa), 0);
+    itimerval ticker = {};
+    ticker.it_interval.tv_usec = 5000;
+    ticker.it_value.tv_usec = 5000;
+    ASSERT_EQ(::setitimer(ITIMER_REAL, &ticker, nullptr), 0);
+
+    ServeResponse stormy = ask(daemon, req);
+
+    itimerval off = {};
+    ::setitimer(ITIMER_REAL, &off, nullptr);
+    ::sigaction(SIGALRM, &oldsa, nullptr);
+
+    ASSERT_TRUE(stormy.ok()) << stormy.error;
+    EXPECT_EQ(stormy.cellsFailed, 0u);
+    EXPECT_EQ(stormy.document, calm.document);
+}
+
+TEST(ServeDaemon, HealthReportsDurabilityAndLoadCounters)
+{
+    std::string store = tempPath("health.store");
+    fs::remove(store);
+    ServeServer::Options opt;
+    opt.storePath = store;
+    opt.storeSyncPolicy = SyncPolicy::Cell;
+    Daemon daemon("health", opt);
+
+    ASSERT_TRUE(
+        ask(daemon, sweepRequest({goldenTrace("xlisp-800.ptrc")}, {16}))
+            .ok());
+
+    ServeRequest probe;
+    probe.op = ServeRequest::Op::Health;
+    ServeResponse health = ask(daemon, probe);
+    ASSERT_TRUE(health.ok()) << health.error;
+    EXPECT_EQ(health.op, "health");
+    EXPECT_EQ(health.workers, 2u);
+    EXPECT_EQ(health.activeSweeps, 0u);
+    EXPECT_EQ(health.storeEntries, 1u);
+    EXPECT_EQ(health.storeAppends, 1u);
+    EXPECT_EQ(health.storeSyncs, 1u) << "Cell policy fsyncs per append";
+    EXPECT_GT(health.storeDiskBytes, 0u);
+    EXPECT_EQ(health.storeSync, "cell");
+    fs::remove(store);
+}
+
+TEST(ServeDaemon, FailpointOpIsGatedAndResets)
+{
+    failpoint::reset();
+    {
+        Daemon locked("fp.locked"); // allowFailpoints defaults to off
+        ServeRequest arm;
+        arm.op = ServeRequest::Op::Failpoint;
+        arm.failpointSpec = "serve.read=once";
+        ServeResponse resp = ask(locked, arm);
+        EXPECT_FALSE(resp.ok());
+        EXPECT_NE(resp.error.find("failpoint"), std::string::npos);
+        EXPECT_EQ(failpoint::activeSites(), 0u);
+    }
+    {
+        ServeServer::Options opt;
+        opt.allowFailpoints = true;
+        Daemon open("fp.open", opt);
+        ServeRequest arm;
+        arm.op = ServeRequest::Op::Failpoint;
+        arm.failpointSpec = "store.sync=after:1000000";
+        ASSERT_TRUE(ask(open, arm).ok());
+        EXPECT_EQ(failpoint::activeSites(), 1u);
+
+        arm.failpointSpec.clear(); // empty spec = reset every site
+        ASSERT_TRUE(ask(open, arm).ok());
+        EXPECT_EQ(failpoint::activeSites(), 0u);
+
+        arm.failpointSpec = "no.such.site=nonsense-policy";
+        EXPECT_FALSE(ask(open, arm).ok());
+    }
+    failpoint::reset();
+}
+
+TEST(ServeDaemon, ShedsClientsPastTheConnectionCap)
+{
+    ServeServer::Options opt;
+    opt.maxClients = 1;
+    Daemon daemon("shed", opt);
+
+    // First client occupies the only slot...
+    ServeClient holder(daemon.socketPath);
+    std::string error;
+    ASSERT_TRUE(holder.connect(error)) << error;
+    ServeRequest ping;
+    std::string line;
+    ASSERT_TRUE(
+        holder.roundTrip(renderServeRequest(ping), line, error))
+        << error;
+
+    // ...so the second is turned away at accept with a retry hint.
+    ServeResponse shed = ask(daemon, ping);
+    EXPECT_TRUE(shed.busy());
+    EXPECT_GT(shed.retryAfterMs, 0u);
+
+    // Once the slot frees, service resumes.
+    holder.close();
+    for (int i = 0; i < 100; ++i) {
+        ServeResponse again = ask(daemon, ping);
+        if (again.ok())
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "daemon never recovered after the held connection closed";
+}
+
+TEST(ServeDaemon, RefusesOversizedRequestLines)
+{
+    ServeServer::Options opt;
+    opt.maxRequestBytes = 256;
+    Daemon daemon("cap", opt);
+
+    ServeClient client(daemon.socketPath);
+    std::string error;
+    ASSERT_TRUE(client.connect(error)) << error;
+    std::string huge(4096, 'x');
+    std::string line;
+    ASSERT_TRUE(client.roundTrip(huge, line, error)) << error;
+    ServeResponse resp;
+    ASSERT_TRUE(parseServeResponse(line, resp, error)) << error;
+    EXPECT_FALSE(resp.ok());
+    EXPECT_NE(resp.error.find("request"), std::string::npos);
+
+    // A well-formed request on a fresh connection still serves.
+    ServeRequest ping;
+    EXPECT_TRUE(ask(daemon, ping).ok());
 }

@@ -1,0 +1,160 @@
+// Unit tests for the deterministic failpoint registry
+// (support/failpoint.hpp): policy semantics, seeded replayability, spec
+// parsing, and the describe/activeSites introspection the daemon's
+// --health query reports.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/failpoint.hpp"
+
+namespace {
+
+using namespace paragraph;
+
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+
+    std::string
+    mustConfigure(const std::string &spec)
+    {
+        std::string error;
+        EXPECT_TRUE(failpoint::configure(spec, error)) << error;
+        return error;
+    }
+};
+
+TEST_F(FailpointTest, UnconfiguredSiteNeverFires)
+{
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(failpoint::shouldFire("no.such.site"));
+    EXPECT_EQ(failpoint::activeSites(), 0u);
+    EXPECT_EQ(failpoint::totalFires(), 0u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce)
+{
+    mustConfigure("a.site=once");
+    EXPECT_TRUE(failpoint::shouldFire("a.site"));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(failpoint::shouldFire("a.site"));
+    EXPECT_EQ(failpoint::totalFires(), 1u);
+    EXPECT_EQ(failpoint::activeSites(), 0u); // exhausted
+}
+
+TEST_F(FailpointTest, OnceWithOffsetPassesNThenFiresOnce)
+{
+    mustConfigure("a.site=once:3");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(failpoint::shouldFire("a.site")) << "eval " << i;
+    EXPECT_TRUE(failpoint::shouldFire("a.site"));
+    EXPECT_FALSE(failpoint::shouldFire("a.site"));
+    EXPECT_EQ(failpoint::totalFires(), 1u);
+}
+
+TEST_F(FailpointTest, AfterFiresOnEveryEvaluationPastN)
+{
+    mustConfigure("a.site=after:2");
+    EXPECT_FALSE(failpoint::shouldFire("a.site"));
+    EXPECT_FALSE(failpoint::shouldFire("a.site"));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(failpoint::shouldFire("a.site"));
+    EXPECT_EQ(failpoint::totalFires(), 5u);
+    EXPECT_EQ(failpoint::activeSites(), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysFires)
+{
+    mustConfigure("a.site=prob:1.0");
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(failpoint::shouldFire("a.site"));
+}
+
+TEST_F(FailpointTest, ProbabilityScheduleReplaysFromTheSeed)
+{
+    auto sample = [this](uint64_t seed) {
+        failpoint::reset();
+        failpoint::setSeed(seed);
+        mustConfigure("a.site=prob:0.5");
+        std::vector<bool> fires;
+        for (int i = 0; i < 64; ++i)
+            fires.push_back(failpoint::shouldFire("a.site"));
+        return fires;
+    };
+    std::vector<bool> first = sample(42);
+    std::vector<bool> again = sample(42);
+    std::vector<bool> other = sample(43);
+    EXPECT_EQ(first, again);
+    EXPECT_NE(first, other);
+    // A fair-ish coin over 64 draws: both outcomes must appear.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FailpointTest, SitesDrawIndependentStreams)
+{
+    failpoint::setSeed(7);
+    mustConfigure("site.one=prob:0.5");
+    mustConfigure("site.two=prob:0.5");
+    std::vector<bool> one, two;
+    for (int i = 0; i < 64; ++i) {
+        one.push_back(failpoint::shouldFire("site.one"));
+        two.push_back(failpoint::shouldFire("site.two"));
+    }
+    EXPECT_NE(one, two); // distinct per-site streams from the same seed
+}
+
+TEST_F(FailpointTest, OffRemovesASite)
+{
+    mustConfigure("a.site=after:0");
+    EXPECT_TRUE(failpoint::shouldFire("a.site"));
+    mustConfigure("a.site=off");
+    EXPECT_FALSE(failpoint::shouldFire("a.site"));
+    EXPECT_EQ(failpoint::activeSites(), 0u);
+}
+
+TEST_F(FailpointTest, ConfigureListIsAllOrNothing)
+{
+    std::string error;
+    EXPECT_FALSE(failpoint::configureList(
+        "good.site=once;bad.site=banana", error));
+    EXPECT_NE(error.find("bad.site"), std::string::npos);
+    // The good spec before the bad one must not have been applied.
+    EXPECT_FALSE(failpoint::shouldFire("good.site"));
+
+    EXPECT_TRUE(failpoint::configureList(
+        "good.site=once; other.site=after:1", error))
+        << error;
+    EXPECT_EQ(failpoint::activeSites(), 2u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected)
+{
+    std::string error;
+    for (const char *bad :
+         {"nopolicy", "=once", "a.site=prob:0", "a.site=prob:1.5",
+          "a.site=prob:x", "a.site=after:-1", "a.site=once:x",
+          "a.site=sometimes"}) {
+        error.clear();
+        EXPECT_FALSE(failpoint::configure(bad, error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST_F(FailpointTest, DescribeReportsPolicyAndCounters)
+{
+    mustConfigure("b.site=prob:0.25");
+    mustConfigure("a.site=once:1");
+    (void)failpoint::shouldFire("a.site");
+    (void)failpoint::shouldFire("a.site");
+    EXPECT_EQ(failpoint::describe(),
+              "a.site=once:1:2/1;b.site=prob:0.25:0/0");
+    failpoint::reset();
+    EXPECT_EQ(failpoint::describe(), "");
+}
+
+} // namespace

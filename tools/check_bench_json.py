@@ -35,7 +35,10 @@ the requested grid cold and then warm, and validates the
 paragraph-serve-v1 response envelope both times: cell accounting must add
 up, the embedded document must itself be a valid paragraph-sweep-v3
 document, the warm run must serve every cell from the cache, and its
-document must be byte-identical to the cold one.
+document must be byte-identical to the cold one. It then validates the
+health envelope (durability and load counters, fsync policy) and — by
+holding a connection against --max-clients=1 — the busy envelope with
+its retry_after_ms hint.
 Exit status is non-zero on any mismatch, so all modes double as CTests.
 """
 
@@ -69,6 +72,11 @@ FUZZ_FAILURE_KEYS = {"iteration", "seed", "stage", "property", "message",
 SERVE_SCHEMA = "paragraph-serve-v1"
 SERVE_SWEEP_KEYS = {"cells_total", "cells_failed", "cells_cached",
                     "cells_computed", "document"}
+SERVE_HEALTH_KEYS = {"pending_cells", "active_sweeps", "workers",
+                     "store_entries", "store_disk_bytes", "store_appends",
+                     "store_syncs", "store_compactions", "store_sync",
+                     "failpoints_active", "failpoint_fires"}
+SERVE_BUSY_KEYS = {"error", "retry_after_ms"}
 
 SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v2"
 SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "shard", "cells",
@@ -182,6 +190,70 @@ def validate_serve_sweep_response(resp, expected_cells):
              f"expected {expected_cells}")
 
 
+def validate_serve_health_response(resp, expected_entries, expected_sync):
+    if resp.get("schema") != SERVE_SCHEMA:
+        fail(f"health schema is {resp.get('schema')!r}")
+    if resp.get("status") != "ok" or resp.get("op") != "health":
+        fail(f"health probe failed: {resp!r}")
+    missing = SERVE_HEALTH_KEYS - resp.keys()
+    if missing:
+        fail(f"health response missing keys {sorted(missing)}")
+    for key in SERVE_HEALTH_KEYS - {"store_sync"}:
+        if not isinstance(resp[key], int) or resp[key] < 0:
+            fail(f"health field {key} is {resp[key]!r}, "
+                 "expected a non-negative integer")
+    if resp["store_entries"] != expected_entries:
+        fail(f"health reports {resp['store_entries']} store entries, "
+             f"expected {expected_entries}")
+    if resp["store_sync"] != expected_sync:
+        fail(f"health reports store_sync {resp['store_sync']!r}, "
+             f"expected {expected_sync!r}")
+    if resp["workers"] == 0:
+        fail("health reports zero workers")
+
+
+def raw_unix_round_trip(socket_path, line, hold=None):
+    """Send one line over a raw AF_UNIX connection and read one line back.
+
+    The optional held connection (`hold`) stays open across the call so the
+    daemon's connection cap can be exercised deterministically.
+    """
+    import socket as socketlib
+    conn = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    conn.settimeout(30)
+    conn.connect(socket_path)
+    try:
+        try:
+            conn.sendall(line.encode() + b"\n")
+        except BrokenPipeError:
+            # A daemon shedding at accept writes its busy line and closes
+            # before reading; the response is still queued for us to read.
+            pass
+        buf = b""
+        while b"\n" not in buf:
+            chunk = conn.recv(4096)
+            if not chunk:
+                fail("daemon closed the raw connection mid-response")
+            buf += chunk
+        return json.loads(buf.split(b"\n", 1)[0])
+    finally:
+        conn.close()
+
+
+def validate_serve_busy_response(resp):
+    if resp.get("schema") != SERVE_SCHEMA:
+        fail(f"busy schema is {resp.get('schema')!r}")
+    if resp.get("status") != "busy":
+        fail(f"expected a busy response, got {resp!r}")
+    missing = SERVE_BUSY_KEYS - resp.keys()
+    if missing:
+        fail(f"busy response missing keys {sorted(missing)}")
+    retry = resp["retry_after_ms"]
+    if not isinstance(retry, int) or retry <= 0:
+        fail(f"busy retry_after_ms is {retry!r}, expected a positive "
+             "integer hint")
+
+
 def check_serve(argv):
     if not argv:
         fail("usage: check_bench_json.py --serve <paragraph-serve> "
@@ -216,7 +288,8 @@ def check_serve(argv):
     socket_path = os.path.join(tmpdir, "serve.sock")
     store_path = os.path.join(tmpdir, "store.jsonl")
     daemon_args = [binary, f"--socket={socket_path}",
-                   f"--store={store_path}", "--jobs=2", "--quiet"]
+                   f"--store={store_path}", "--jobs=2", "--quiet",
+                   "--store-sync=cell", "--max-clients=1"]
     if small:
         daemon_args.append("--small")
     daemon = subprocess.Popen(daemon_args)
@@ -244,6 +317,36 @@ def check_serve(argv):
         if warm["document"] != cold["document"]:
             fail("warm document differs from the cold one")
 
+        health = serve_round_trip(
+            binary, socket_path,
+            json.dumps({"schema": SERVE_SCHEMA, "op": "health"}))
+        validate_serve_health_response(health, expected_cells, "cell")
+
+        # A connection held open exhausts --max-clients=1; the next
+        # client must be shed at accept with a busy envelope.
+        import socket as socketlib
+        hold = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        hold.settimeout(30)
+        hold.connect(socket_path)
+        try:
+            busy = raw_unix_round_trip(
+                socket_path,
+                json.dumps({"schema": SERVE_SCHEMA, "op": "ping"}))
+            validate_serve_busy_response(busy)
+        finally:
+            hold.close()
+
+        # The slot frees asynchronously; wait for service to resume.
+        for _ in range(100):
+            resumed = raw_unix_round_trip(
+                socket_path,
+                json.dumps({"schema": SERVE_SCHEMA, "op": "ping"}))
+            if resumed.get("status") == "ok":
+                break
+            time.sleep(0.01)
+        else:
+            fail("daemon never recovered after the held connection closed")
+
         shutdown = serve_round_trip(
             binary, socket_path,
             json.dumps({"schema": SERVE_SCHEMA, "op": "shutdown"}))
@@ -262,7 +365,7 @@ def check_serve(argv):
                 os.remove(path)
         os.rmdir(tmpdir)
     print(f"ok: {expected_cells} cells cold+warm, warm fully cached, "
-          f"schema {SERVE_SCHEMA}")
+          f"health + busy envelopes valid, schema {SERVE_SCHEMA}")
 
 
 def check_fuzz_report(argv):

@@ -28,6 +28,16 @@
 //                     re-check a reproducer dump; exits 1 if the violation
 //                     reproduces (the expected outcome for a real dump)
 //
+// Chaos (daemon failure injection, src/fuzz/chaos_harness.hpp):
+//   --chaos           run the serve chaos harness instead of trace fuzzing
+//   --input=PATH      trace input for chaos grids (repeatable, required)
+//   --serve-bin=PATH  paragraph-serve binary (default: next to this binary)
+//   --work-dir=DIR    socket/store scratch directory (default ".")
+//   --round-length=N  sweeps between restarts + verification (default 50)
+//   --kill-prob=P     per-sweep mid-job SIGKILL probability (default 0.1)
+//   --chaos-verbose   per-round progress on stderr
+//   (--seed, --iters, --json, --quiet apply; schema paragraph-chaos-v1)
+//
 // Exit codes: 0 = no violations, 1 = violation found (or reproduced),
 // 2 = usage error.
 #include <cstdio>
@@ -35,6 +45,7 @@
 #include <cstring>
 #include <string>
 
+#include "fuzz/chaos_harness.hpp"
 #include "fuzz/harness.hpp"
 #include "support/panic.hpp"
 #include "support/string_utils.hpp"
@@ -52,6 +63,8 @@ struct Options
     bool quiet = false;
     std::string replayTrace;
     std::string replayConfig;
+    bool chaos = false;
+    fuzz::ChaosOptions chaosOpt;
 };
 
 [[noreturn]] void
@@ -61,8 +74,11 @@ usage()
         stderr,
         "usage: paragraph-fuzz [options]\n"
         "       paragraph-fuzz --replay=TRACE --config=JSON\n"
+        "       paragraph-fuzz --chaos --input=TRACE [options]\n"
         "  --seed=N  --iters=N  --min-length=N  --max-length=N\n"
         "  --minimize  --repro-dir=DIR  --force-failure\n"
+        "  --chaos  --input=PATH  --serve-bin=PATH  --work-dir=DIR\n"
+        "  --round-length=N  --kill-prob=P  --chaos-verbose\n"
         "  --json[=FILE]  --quiet\n");
     std::exit(2);
 }
@@ -72,15 +88,18 @@ parseArgs(int argc, char **argv)
 {
     Options opt;
     opt.harness.seed = testSeed(1);
+    opt.chaosOpt.seed = opt.harness.seed;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         int64_t n = 0;
         if (startsWith(arg, "--seed=") && parseInt(arg.substr(7), n) &&
             n >= 0) {
             opt.harness.seed = static_cast<uint64_t>(n);
+            opt.chaosOpt.seed = opt.harness.seed;
         } else if (startsWith(arg, "--iters=") &&
                    parseInt(arg.substr(8), n) && n > 0) {
             opt.harness.iters = static_cast<uint64_t>(n);
+            opt.chaosOpt.iterations = static_cast<unsigned>(n);
         } else if (startsWith(arg, "--min-length=") &&
                    parseInt(arg.substr(13), n) && n > 0) {
             opt.harness.minLength = static_cast<size_t>(n);
@@ -105,6 +124,25 @@ parseArgs(int argc, char **argv)
             opt.replayTrace = arg.substr(9);
         } else if (startsWith(arg, "--config=")) {
             opt.replayConfig = arg.substr(9);
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
+        } else if (startsWith(arg, "--input=")) {
+            opt.chaosOpt.inputs.push_back(arg.substr(8));
+        } else if (startsWith(arg, "--serve-bin=")) {
+            opt.chaosOpt.serveBinary = arg.substr(12);
+        } else if (startsWith(arg, "--work-dir=")) {
+            opt.chaosOpt.workDir = arg.substr(11);
+        } else if (startsWith(arg, "--round-length=") &&
+                   parseInt(arg.substr(15), n) && n > 0) {
+            opt.chaosOpt.roundLength = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--kill-prob=")) {
+            char *end = nullptr;
+            double p = std::strtod(arg.c_str() + 12, &end);
+            if (!end || *end != '\0' || p < 0.0 || p > 1.0)
+                usage();
+            opt.chaosOpt.killProbability = p;
+        } else if (arg == "--chaos-verbose") {
+            opt.chaosOpt.verbose = true;
         } else {
             std::fprintf(stderr, "paragraph-fuzz: bad argument '%s'\n",
                          arg.c_str());
@@ -115,6 +153,25 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr,
                      "paragraph-fuzz: --replay and --config go together\n");
         usage();
+    }
+    if (opt.chaos) {
+        if (opt.chaosOpt.inputs.empty()) {
+            std::fprintf(stderr,
+                         "paragraph-fuzz: --chaos needs at least one "
+                         "--input=TRACE\n");
+            usage();
+        }
+        if (opt.chaosOpt.serveBinary.empty()) {
+            // Default to the paragraph-serve built next to this binary.
+            std::string self = argv[0];
+            size_t slash = self.rfind('/');
+            opt.chaosOpt.serveBinary =
+                (slash == std::string::npos ? std::string(".")
+                                            : self.substr(0, slash)) +
+                "/paragraph-serve";
+        }
+        if (opt.chaosOpt.workDir.empty())
+            opt.chaosOpt.workDir.assign(1, '.');
     }
     return opt;
 }
@@ -165,6 +222,39 @@ replayMain(const Options &opt)
     return 1;
 }
 
+int
+chaosMain(const Options &opt)
+{
+    fuzz::ChaosReport report = fuzz::runChaos(opt.chaosOpt);
+    if (opt.json)
+        writeJson(opt, fuzz::chaosReportJson(opt.chaosOpt, report) + "\n");
+    if (report.ok()) {
+        if (!opt.quiet)
+            std::fprintf(
+                stderr,
+                "chaos: %u sweeps (%u clean, %u faulted, %u errors, %u "
+                "busy), %u kills, %u restarts, %llu failpoint fires, "
+                "%u grids verified — no violations\n",
+                report.iterations, report.cleanSweeps, report.faultedSweeps,
+                report.requestErrors, report.busyResponses, report.kills,
+                report.restarts,
+                static_cast<unsigned long long>(report.failpointFires),
+                report.verifiedGrids);
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "chaos: VIOLATION (seed %llu): %s\n"
+                 "chaos: %u mismatches, %u lost entries, %u corrupt "
+                 "restarts after %u sweeps\n"
+                 "chaos: replay with: paragraph-fuzz --chaos --seed=%llu\n",
+                 static_cast<unsigned long long>(opt.chaosOpt.seed),
+                 report.firstFailure.c_str(), report.mismatches,
+                 report.lostEntries, report.corruptRestarts,
+                 report.iterations,
+                 static_cast<unsigned long long>(opt.chaosOpt.seed));
+    return 1;
+}
+
 } // namespace
 
 int
@@ -174,6 +264,8 @@ main(int argc, char **argv)
         Options opt = parseArgs(argc, argv);
         if (!opt.replayTrace.empty())
             return replayMain(opt);
+        if (opt.chaos)
+            return chaosMain(opt);
 
         if (!opt.quiet) {
             opt.harness.progress = [](uint64_t done, uint64_t total) {

@@ -21,6 +21,27 @@
 //     --store-budget=BYTES   byte budget for hot result text (the on-disk
 //                            store itself is unbounded; cold entries are
 //                            re-read on demand)
+//     --store-sync=POLICY    none (default) | interval | cell: when store
+//                            appends are fsynced to the device (every
+//                            policy still flushes per entry, so a daemon
+//                            crash loses nothing; the policy bounds what a
+//                            machine crash can take)
+//     --store-sync-interval=SECONDS
+//                            minimum seconds between fsyncs under
+//                            --store-sync=interval (default: 5)
+//     --store-compact-every=N
+//                            rewrite the store (dropping superseded and
+//                            damaged lines) after every N appends, via
+//                            tmp file + fsync + atomic rename
+//     --io-timeout=SECONDS   per-connection read/write deadline; a client
+//                            that stalls mid-line is disconnected
+//     --max-request=BYTES    reject request lines larger than this
+//     --max-pending=N        sweeps admitted concurrently; one more gets
+//                            a "busy" response with a retry_after_ms hint
+//     --max-clients=N        concurrent connections; one more is turned
+//                            away at accept with a "busy" line
+//     --allow-failpoints     honor failpoint-control requests (chaos
+//                            tests only; never on a shared daemon)
 //     --quiet                suppress per-request stderr lines
 //   SIGINT/SIGTERM shut the daemon down gracefully: queued cells fail
 //   fast, in-flight analyses stop at their next checkpoint, and the store
@@ -32,10 +53,18 @@
 //     --syscalls/--predictors/--fus/--max/--small/--no-profiles
 //     --out=FILE             write the sweep JSON document to FILE
 //                            (default: stdout)
-//     --ping | --stats | --shutdown
-//                            daemon health / counters / graceful stop
+//     --ping | --stats | --health | --shutdown
+//                            liveness / counters / queue+store+failpoint
+//                            probe / graceful stop
+//     --failpoint=SPEC       arm "site=policy;..." failpoints in the
+//                            daemon (empty SPEC resets); needs a daemon
+//                            started with --allow-failpoints
+//     --timeout=SECONDS      client-side socket deadline; a wedged daemon
+//                            fails the request instead of hanging forever
 //     --raw=LINE             send LINE verbatim, print the raw response
 //     --quiet                suppress the stderr summary line
+//   A "busy" response (daemon over --max-pending/--max-clients) prints
+//   the daemon's retry hint and exits 3.
 //
 // Example (cold, then warm — the second run answers from the cache):
 //   paragraph-serve --socket=/tmp/para.sock --store=/tmp/para-store.jsonl &
@@ -94,11 +123,16 @@ usage()
         "       paragraph-serve --client --socket=PATH [request options]\n"
         "  daemon: --store=FILE  --jobs=N  --group=N  --retries=N\n"
         "          --deadline=SECONDS  --small  --trace-budget=BYTES\n"
-        "          --store-budget=BYTES  --quiet\n"
+        "          --store-budget=BYTES  --store-sync=none|interval|cell\n"
+        "          --store-sync-interval=SECONDS  --store-compact-every=N\n"
+        "          --io-timeout=SECONDS  --max-request=BYTES\n"
+        "          --max-pending=N  --max-clients=N  --allow-failpoints\n"
+        "          --quiet\n"
         "  client: sweep axes as paragraph-sweep (--inputs/--windows/\n"
         "          --rename/--syscalls/--predictors/--fus/--max/--small/\n"
-        "          --no-profiles), --out=FILE,\n"
-        "          or one of --ping --stats --shutdown --raw=LINE\n");
+        "          --no-profiles), --out=FILE, --timeout=SECONDS,\n"
+        "          or one of --ping --stats --health --shutdown\n"
+        "          --failpoint=SPEC --raw=LINE\n");
     std::exit(2);
 }
 
@@ -110,8 +144,12 @@ struct ServeCliArgs
     std::string outPath;
     bool ping = false;
     bool stats = false;
+    bool health = false;
     bool shutdown = false;
     bool quiet = false;
+    bool hasFailpointSpec = false;
+    std::string failpointSpec;
+    double clientTimeout = 0.0;
     serve::ServeRequest request;       // client sweep axes
     serve::ServeServer::Options server; // daemon options
 };
@@ -124,6 +162,14 @@ parseBytes(const std::string &value, size_t &out)
         return false;
     out = static_cast<size_t>(n);
     return true;
+}
+
+bool
+parseSeconds(const std::string &value, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(value.c_str(), &end);
+    return end && *end == '\0' && !value.empty() && out >= 0.0;
 }
 
 ServeCliArgs
@@ -170,6 +216,63 @@ parseArgs(int argc, char **argv)
                              "paragraph-serve: bad --store-budget value\n");
                 usage();
             }
+        } else if (startsWith(arg, "--store-sync-interval=")) {
+            if (!parseSeconds(arg.substr(22),
+                              opt.server.storeSyncIntervalSeconds)) {
+                std::fprintf(
+                    stderr,
+                    "paragraph-serve: bad --store-sync-interval value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--store-sync=")) {
+            std::string policy = arg.substr(13);
+            if (policy == "none") {
+                opt.server.storeSyncPolicy = serve::SyncPolicy::None;
+            } else if (policy == "interval") {
+                opt.server.storeSyncPolicy = serve::SyncPolicy::Interval;
+            } else if (policy == "cell") {
+                opt.server.storeSyncPolicy = serve::SyncPolicy::Cell;
+            } else {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --store-sync value "
+                             "'%s' (none|interval|cell)\n",
+                             policy.c_str());
+                usage();
+            }
+        } else if (startsWith(arg, "--store-compact-every=")) {
+            if (!parseBytes(arg.substr(22), opt.server.storeCompactEvery)) {
+                std::fprintf(
+                    stderr,
+                    "paragraph-serve: bad --store-compact-every value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--io-timeout=")) {
+            if (!parseSeconds(arg.substr(13),
+                              opt.server.ioTimeoutSeconds)) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --io-timeout value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--max-request=")) {
+            if (!parseBytes(arg.substr(14), opt.server.maxRequestBytes)) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --max-request value\n");
+                usage();
+            }
+        } else if (startsWith(arg, "--max-pending=") &&
+                   parseInt(arg.substr(14), n) && n >= 0) {
+            opt.server.maxPendingSweeps = static_cast<unsigned>(n);
+        } else if (startsWith(arg, "--max-clients=") &&
+                   parseInt(arg.substr(14), n) && n >= 0) {
+            opt.server.maxClients = static_cast<unsigned>(n);
+        } else if (arg == "--allow-failpoints") {
+            opt.server.allowFailpoints = true;
+        } else if (startsWith(arg, "--timeout=")) {
+            if (!parseSeconds(arg.substr(10), opt.clientTimeout)) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --timeout value\n");
+                usage();
+            }
         } else if (arg == "--small") {
             opt.server.small = true;
             opt.request.small = true;
@@ -180,8 +283,13 @@ parseArgs(int argc, char **argv)
             opt.ping = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--health") {
+            opt.health = true;
         } else if (arg == "--shutdown") {
             opt.shutdown = true;
+        } else if (startsWith(arg, "--failpoint=")) {
+            opt.hasFailpointSpec = true;
+            opt.failpointSpec = arg.substr(12);
         } else if (startsWith(arg, "--raw=")) {
             opt.rawLine = arg.substr(6);
         } else if (startsWith(arg, "--out=")) {
@@ -269,6 +377,7 @@ int
 runClient(const ServeCliArgs &opt)
 {
     serve::ServeClient client(opt.socketPath);
+    client.setTimeout(opt.clientTimeout);
     std::string error;
     if (!client.connect(error)) {
         std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
@@ -284,14 +393,20 @@ runClient(const ServeCliArgs &opt)
             req.op = serve::ServeRequest::Op::Ping;
         else if (opt.stats)
             req.op = serve::ServeRequest::Op::Stats;
-        else if (opt.shutdown)
+        else if (opt.health)
+            req.op = serve::ServeRequest::Op::Health;
+        else if (opt.hasFailpointSpec) {
+            req.op = serve::ServeRequest::Op::Failpoint;
+            req.failpointSpec = opt.failpointSpec;
+        } else if (opt.shutdown)
             req.op = serve::ServeRequest::Op::Shutdown;
         else if (!req.inputs.empty())
             req.op = serve::ServeRequest::Op::Sweep;
         else {
             std::fprintf(stderr,
                          "paragraph-serve: nothing to request (give inputs "
-                         "or one of --ping --stats --shutdown --raw)\n");
+                         "or one of --ping --stats --health --shutdown "
+                         "--failpoint --raw)\n");
             usage();
         }
         requestLine = serve::renderServeRequest(req);
@@ -312,6 +427,13 @@ runClient(const ServeCliArgs &opt)
     if (!serve::parseServeResponse(responseLine, response, error)) {
         std::fprintf(stderr, "paragraph-serve: %s\n", error.c_str());
         return 1;
+    }
+    if (response.busy()) {
+        std::fprintf(stderr,
+                     "paragraph-serve: daemon busy, retry in ~%llums\n",
+                     static_cast<unsigned long long>(
+                         response.retryAfterMs));
+        return 3;
     }
     if (!response.ok()) {
         std::fprintf(stderr, "paragraph-serve: daemon error: %s\n",
