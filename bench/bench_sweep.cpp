@@ -1,24 +1,25 @@
 // bench_sweep — throughput benchmark for trace-major fused sweeps.
 //
-// A (trace × config) sweep's cost model changed twice: fused grouping made
-// a group of N configs pay one pass over the shared trace instead of N, and
-// the shared decode pool + firewall-point sharding changed what a streamed
-// trace costs — `.ptrc` files are mmapped and each 64K block is decoded
-// once across every consumer, and a single (trace, config) cell can split
-// at syscall firewall points across threads and stitch the exact solo
-// result. This harness measures all of it on one trace: the same 8-config
-// window × renaming grid is run solo (--group=1), mid-fused (--group=2),
-// and fully fused (--group=0, auto) over three sources — a captured
-// in-memory trace, a streamed `.ptrz` (private decoder per pass, the
-// decoder-cap scheduler's territory), and a streamed pooled `.ptrc` — at 1
-// and 8 worker threads; then a single-config cell is run unsharded and
-// sharded (--shard=8) over the pooled source. Every run's JSON document
-// (timing off) is compared per source/grid slot — the matrix is only
-// meaningful because every variant produces byte-identical analysis, the
-// sharded runs included.
+// A (trace × config) sweep's cost model changed three times: fused
+// grouping made a group of N configs pay one pass over the shared trace
+// instead of N, the shared decode pool changed what a streamed trace
+// costs — `.ptrc` files are mmapped and each 64K block is decoded once
+// across every consumer — and split-and-patch sharding lets a single
+// (trace, config) cell split at arbitrary boundaries across threads and
+// patch the exact solo result for EVERY config. This harness measures all
+// of it on one trace: the same 8-config window × renaming grid is run
+// solo (--group=1), mid-fused (--group=2), and fully fused (--group=0,
+// auto) over three sources — a captured in-memory trace, a streamed
+// `.ptrz` (private decoder per pass, the decoder-cap scheduler's
+// territory), and a streamed pooled `.ptrc` — at 1 and 8 worker threads;
+// then a single-config cell is run at --shard={1,2,4,8} over both the
+// captured source (buffer split-and-patch) and the pooled stream (block
+// split-and-patch). Every run's JSON document (timing off) is compared
+// per source/grid slot — the matrix is only meaningful because every
+// variant produces byte-identical analysis, every sharded point included.
 //
 // Results are written as `BENCH_sweep.json` — a stable, timestamped schema
-// (`paragraph-bench-sweep-v2`) meant to be re-run and diffed across
+// (`paragraph-bench-sweep-v3`) meant to be re-run and diffed across
 // revisions so the perf trajectory of the sweep engine is tracked in-repo.
 // The shard-scaling summary is reported, never asserted: on a 1-core
 // runner the sharded legs cannot beat solo, and the numbers say so.
@@ -30,7 +31,8 @@
 //     --max=N          instructions per cell / trace records (default:
 //                      1,000,000)
 //     --repeats=N      timed repetitions, best-of (default: 2)
-//     --jobs=N         threaded leg's worker and shard count (default: 8)
+//     --jobs=N         threaded leg's worker count (default: 8); the
+//                      shard-scaling leg always runs shard={1,2,4,8}
 //     --small          use the workload's reduced test input
 //     --json           print the JSON document to stdout (suppresses table)
 //     --out=FILE       also write the JSON to FILE
@@ -143,7 +145,7 @@ struct Row
     std::string source; ///< "capture", "stream" (.ptrz) or "pooled" (.ptrc)
     unsigned jobs = 0;
     unsigned group = 0; ///< 0 = auto
-    unsigned shard = 1; ///< firewall-point segments per solo streamed cell
+    unsigned shard = 1; ///< split-and-patch segments per (trace, config) cell
     size_t cells = 0;
     uint64_t instructions = 0;
     double seconds = 0.0;
@@ -225,14 +227,27 @@ findRow(const std::vector<Row> &rows, const char *source, unsigned jobs,
     return nullptr;
 }
 
-/** BENCH_sweep.json, schema paragraph-bench-sweep-v2. */
+/** The scaling-leg row for (source, shard): single config, jobs=1,
+ *  group=1. */
+const Row *
+findShardRow(const std::vector<Row> &shardRows, const char *source,
+             unsigned shard)
+{
+    for (const Row &row : shardRows) {
+        if (row.source == source && row.shard == shard)
+            return &row;
+    }
+    return nullptr;
+}
+
+/** BENCH_sweep.json, schema paragraph-bench-sweep-v3. */
 void
 writeJson(std::ostream &os, const Options &opt, size_t configs,
-          const std::vector<Row> &rows, const Row &shard1, const Row &shardN,
-          bool identical)
+          const std::vector<Row> &rows, const std::vector<Row> &shardRows,
+          unsigned maxShard, bool identical)
 {
     os << "{\n"
-       << "  \"schema\": \"paragraph-bench-sweep-v2\",\n"
+       << "  \"schema\": \"paragraph-bench-sweep-v3\",\n"
        << "  \"timestamp\": " << engine::jsonString(utcTimestamp()) << ",\n"
        << "  \"input\": " << engine::jsonString(opt.input) << ",\n"
        << "  \"configs\": " << configs << ",\n"
@@ -260,9 +275,12 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
                    ? fused->minstrPerSec / solo->minstrPerSec
                    : 0.0;
     };
-    double shardSpeedup = shard1.minstrPerSec > 0.0
-                              ? shardN.minstrPerSec / shard1.minstrPerSec
-                              : 0.0;
+    const Row *pooledShard1 = findShardRow(shardRows, "pooled", 1);
+    const Row *pooledShardN = findShardRow(shardRows, "pooled", maxShard);
+    const Row *captureShard1 = findShardRow(shardRows, "capture", 1);
+    const Row *captureShardN = findShardRow(shardRows, "capture", maxShard);
+    double shardSpeedup = speedup(pooledShard1, pooledShardN);
+    double captureShardSpeedup = speedup(captureShard1, captureShardN);
     os << "  ],\n"
        << "  \"summary\": {\n"
        << "    \"jobs1_solo_minstr_per_sec\": "
@@ -277,20 +295,26 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
        << engine::jsonDouble(fusedN ? fusedN->minstrPerSec : 0.0) << ",\n"
        << "    \"jobs" << opt.jobs << "_fused_speedup\": "
        << engine::jsonDouble(speedup(soloN, fusedN)) << ",\n"
-       // Single-trace scaling: ONE (trace, config) cell, unsharded vs
-       // sharded at --shard=N over the pooled source. Efficiency is
-       // speedup / shard_threads — machine-dependent, reported honestly
-       // (a 1-core runner will show ~1/N), never asserted.
-       << "    \"shard_threads\": " << opt.jobs << ",\n"
+       // Single-trace scaling: ONE (trace, config) cell at
+       // --shard={1,2,4,...} over the pooled stream (block
+       // split-and-patch) and the captured buffer. The headline pair is
+       // the pooled leg at shard=1 vs shard=max; efficiency is speedup /
+       // shard_threads — machine-dependent, reported honestly (a 1-core
+       // runner will show ~1/N), never asserted.
+       << "    \"shard_threads\": " << maxShard << ",\n"
        << "    \"shard1_minstr_per_sec\": "
-       << engine::jsonDouble(shard1.minstrPerSec) << ",\n"
+       << engine::jsonDouble(pooledShard1 ? pooledShard1->minstrPerSec : 0.0)
+       << ",\n"
        << "    \"shardn_minstr_per_sec\": "
-       << engine::jsonDouble(shardN.minstrPerSec) << ",\n"
+       << engine::jsonDouble(pooledShardN ? pooledShardN->minstrPerSec : 0.0)
+       << ",\n"
        << "    \"shard_speedup\": " << engine::jsonDouble(shardSpeedup)
        << ",\n"
        << "    \"shard_scaling_efficiency\": "
-       << engine::jsonDouble(opt.jobs > 0 ? shardSpeedup / opt.jobs : 0.0)
+       << engine::jsonDouble(maxShard > 0 ? shardSpeedup / maxShard : 0.0)
        << ",\n"
+       << "    \"capture_shard_speedup\": "
+       << engine::jsonDouble(captureShardSpeedup) << ",\n"
        << "    \"identical_json\": " << (identical ? "true" : "false")
        << "\n"
        << "  }\n"
@@ -345,8 +369,9 @@ main(int argc, char **argv)
     // Identity slots: every run over the same (file, grid) must render a
     // byte-identical no-timing document — capture and pooled legs share the
     // `.ptrc` slot, so the pooled decode path is checked against the bulk
-    // captured path too. The shard pair has its own single-config slot:
-    // sharded == unsharded is the whole point.
+    // captured path too. The shard-scaling leg has its own single-config
+    // slot shared across both sources and every shard count: sharded ==
+    // unsharded is the whole point.
     std::map<std::string, std::string> identity;
     bool identical = true;
 
@@ -384,29 +409,40 @@ main(int argc, char **argv)
         }
     }
 
-    // The single-trace scaling pair: one config, pooled source, group=1,
-    // unsharded then sharded across opt.jobs threads.
+    // The single-trace scaling leg: ONE (trace, config) cell at
+    // --shard={1,2,4,8} over the captured buffer and the pooled stream
+    // (`.ptrz` cells have no block index, so they cannot shard). Both
+    // sources sweep the same records and share one identity slot: every
+    // point, sharded or not, must render the same document — byte-exact
+    // split-and-patch is the whole point.
     std::vector<core::AnalysisConfig> oneConfig;
     {
         core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
         cfg.maxInstructions = opt.maxInstructions;
         oneConfig.push_back(cfg);
     }
+    constexpr unsigned kShardPoints[] = {1, 2, 4, 8};
+    constexpr unsigned kMaxShard =
+        kShardPoints[sizeof(kShardPoints) / sizeof(kShardPoints[0]) - 1];
+    const Leg shardLegs[] = {{"capture", &cpath, false},
+                             {"pooled", &cpath, true}};
+    std::vector<Row> shardRows;
     std::string &shardSlot = identity[cpath + "#one"];
-    Row shard1 = measure(cpath, "pooled", true, 1, 1, 1, oneConfig, opt,
-                         shardSlot, identical);
-    report(shard1);
-    Row shardN = measure(cpath, "pooled", true, 1, 1, opt.jobs, oneConfig,
-                         opt, shardSlot, identical);
-    report(shardN);
-    rows.push_back(shard1);
-    rows.push_back(shardN);
+    for (const Leg &leg : shardLegs) {
+        for (unsigned shard : kShardPoints) {
+            shardRows.push_back(measure(*leg.path, leg.source, leg.stream, 1,
+                                        1, shard, oneConfig, opt, shardSlot,
+                                        identical));
+            report(shardRows.back());
+        }
+    }
+    rows.insert(rows.end(), shardRows.begin(), shardRows.end());
 
     fs::remove(zpath);
     fs::remove(cpath);
 
     if (opt.jsonToStdout) {
-        writeJson(std::cout, opt, configs.size(), rows, shard1, shardN,
+        writeJson(std::cout, opt, configs.size(), rows, shardRows, kMaxShard,
                   identical);
     } else {
         AsciiTable table;
@@ -435,9 +471,11 @@ main(int argc, char **argv)
             std::printf("\nstream jobs=1 fused speedup: %.2fx   ",
                         fused1->minstrPerSec / solo1->minstrPerSec);
         }
-        if (shard1.minstrPerSec > 0.0) {
-            std::printf("shard=%u speedup: %.2fx   ", opt.jobs,
-                        shardN.minstrPerSec / shard1.minstrPerSec);
+        const Row *pooled1 = findShardRow(shardRows, "pooled", 1);
+        const Row *pooledN = findShardRow(shardRows, "pooled", kMaxShard);
+        if (pooled1 && pooledN && pooled1->minstrPerSec > 0.0) {
+            std::printf("pooled shard=%u speedup: %.2fx   ", kMaxShard,
+                        pooledN->minstrPerSec / pooled1->minstrPerSec);
         }
         std::printf("identical json: %s\n", identical ? "yes" : "NO");
     }
@@ -449,7 +487,8 @@ main(int argc, char **argv)
                          opt.outPath.c_str());
             return 1;
         }
-        writeJson(out, opt, configs.size(), rows, shard1, shardN, identical);
+        writeJson(out, opt, configs.size(), rows, shardRows, kMaxShard,
+                  identical);
         if (!opt.jsonToStdout)
             std::printf("wrote %s\n", opt.outPath.c_str());
     }

@@ -130,6 +130,49 @@ FuThrottle::place(isa::OpClass cls, int64_t min_issue, uint32_t span)
     return issue;
 }
 
+std::vector<uint32_t>
+FuThrottle::snapshotSpan(int64_t from, int64_t count) const
+{
+    std::vector<uint32_t> rows;
+    if (!enabled_ || count <= 0)
+        return rows;
+    PARA_ASSERT(from >= 0);
+    rows.assign(static_cast<size_t>(count) * rowWidth, 0);
+    for (int64_t i = 0; i < count; ++i) {
+        size_t base = static_cast<size_t>(i) * rowWidth;
+        for (size_t c = 0; c < isa::numOpClasses; ++c)
+            rows[base + c] = at(usage_[c], from + i);
+        rows[base + isa::numOpClasses] = at(totalUsage_, from + i);
+    }
+    return rows;
+}
+
+void
+FuThrottle::seedSpan(int64_t from, const std::vector<uint32_t> &rows)
+{
+    reset();
+    if (!enabled_ || rows.empty())
+        return;
+    PARA_ASSERT(from >= 0 && rows.size() % rowWidth == 0);
+    int64_t count = static_cast<int64_t>(rows.size() / rowWidth);
+    auto put = [](std::vector<uint32_t> &v, int64_t level, uint32_t n) {
+        if (n == 0)
+            return;
+        size_t idx = static_cast<size_t>(level);
+        if (idx >= v.size())
+            v.resize(idx + 1, 0);
+        v[idx] = n;
+    };
+    for (int64_t i = 0; i < count; ++i) {
+        size_t base = static_cast<size_t>(i) * rowWidth;
+        for (size_t c = 0; c < isa::numOpClasses; ++c)
+            put(usage_[c], from + i, rows[base + c]);
+        put(totalUsage_, from + i, rows[base + isa::numOpClasses]);
+    }
+    // Frontiers and skip pointers stay at reset(): both are lower bounds
+    // that searches re-derive, so zeroing them is correctness-neutral.
+}
+
 void
 FuThrottle::reset()
 {

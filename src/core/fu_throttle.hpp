@@ -44,6 +44,26 @@ class FuThrottle
     /** Reset occupancy for a fresh analysis. */
     void reset();
 
+    /** Row stride of snapshotSpan()/seedSpan(): per-class counts + total. */
+    static constexpr size_t rowWidth = isa::numOpClasses + 1;
+
+    /**
+     * Export occupancy rows for levels [@p from, @p from + @p count): one
+     * rowWidth-wide row per level (class counts then the total count).
+     * Split-and-patch carries these across a segment boundary so a
+     * sequential replay resuming below the deepest level sees the exact
+     * solo occupancy (core/shard.hpp).
+     */
+    std::vector<uint32_t> snapshotSpan(int64_t from, int64_t count) const;
+
+    /**
+     * Restore occupancy from snapshotSpan() rows, re-based so the first
+     * row lands at level @p from. All other levels become empty — exact
+     * when every level outside the seeded span is either fully drained
+     * (below the resume floor, never probed again) or untouched.
+     */
+    void seedSpan(int64_t from, const std::vector<uint32_t> &rows);
+
   private:
     bool enabled_ = false;
     bool pipelined_ = false;

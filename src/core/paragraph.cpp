@@ -62,6 +62,51 @@ Paragraph::begin()
     finished_ = false;
     segLog_ = nullptr;
     segPeakWindow_ = 0;
+    segSeen_ = 0;
+    misBits_ = nullptr;
+    misCursor_ = 0;
+}
+
+void
+Paragraph::resumeSpan(AnalysisResult &&acc, PatchCarry &&carry)
+{
+    begin();
+    if (throttle_.enabled() && carry.floor <= carry.deepest) {
+        PARA_ASSERT(carry.fuRows.size() ==
+                        static_cast<size_t>(carry.deepest - carry.floor + 1) *
+                            FuThrottle::rowWidth,
+                    "FU-limited replay below the deepest level needs the "
+                    "throttle rows for [floor, deepest]");
+        throttle_.seedSpan(carry.floor, carry.fuRows);
+    }
+    result_ = std::move(acc);
+    liveWell_ = std::move(carry.well);
+    highestLevel_ = carry.floor;
+    deepestLevel_ = carry.deepest;
+    if (window_)
+        window_->seed(carry.windowRing);
+}
+
+void
+Paragraph::suspendSpan(AnalysisResult &acc, PatchCarry &carry)
+{
+    PARA_ASSERT(!finished_, "suspendSpan on a hollow engine");
+    carry.floor = highestLevel_;
+    carry.deepest = deepestLevel_;
+    carry.windowRing =
+        window_ ? window_->snapshot() : std::vector<int64_t>();
+    carry.well = std::move(liveWell_);
+    acc = std::move(result_);
+    // Leave a usable (empty) well behind: the moved-from map has no slot
+    // storage until the next rehash.
+    liveWell_ = LiveWell();
+    finished_ = true; // hollow until the next begin()/resumeSpan()
+}
+
+std::vector<int64_t>
+Paragraph::windowRing() const
+{
+    return window_ ? window_->snapshot() : std::vector<int64_t>();
 }
 
 void
@@ -73,7 +118,7 @@ Paragraph::beginSegment(SegmentLog *log)
 }
 
 void
-Paragraph::noteWellInsert(uint64_t key, bool via_read)
+Paragraph::noteWellInsert(uint64_t key, bool via_read, int64_t close_issue)
 {
     auto [pos, fresh] = segLog_->index.findOrInsert(
         key, static_cast<uint32_t>(segLog_->imports.size()));
@@ -89,6 +134,7 @@ Paragraph::noteWellInsert(uint64_t key, bool via_read)
     SegmentImport im;
     im.key = key;
     im.viaRead = via_read;
+    im.floorAtTouch = highestLevel_;
     // peakBefore deliberately excludes this touch's own insert: the stitch
     // re-bases the two sides of a first touch with different carried-well
     // corrections (the touch may consume one carried slot).
@@ -96,16 +142,18 @@ Paragraph::noteWellInsert(uint64_t key, bool via_read)
     im.sizeAfter = size;
     if (!via_read) {
         // Write-first touch: if the location carried a value across the
-        // cut, solo overwrites it here with zero segment-local reads.
+        // cut, solo overwrites it here with zero segment-local reads — and
+        // this op faces the carried value's storage dependency.
         im.died = true;
         im.closed = true;
+        im.closeIssue = close_issue;
     }
     segLog_->imports.push_back(im);
     segPeakWindow_ = size;
 }
 
 void
-Paragraph::closeImport(uint64_t key, const LiveValue &lv)
+Paragraph::closeImport(uint64_t key, const LiveValue &lv, int64_t close_issue)
 {
     uint32_t *pos = segLog_->index.find(key);
     if (!pos)
@@ -117,6 +165,7 @@ Paragraph::closeImport(uint64_t key, const LiveValue &lv)
     im.maxReadRel = lv.deepestAccess;
     im.died = true;
     im.closed = true;
+    im.closeIssue = close_issue;
 }
 
 bool
@@ -152,6 +201,15 @@ Paragraph::process(const TraceRecord &rec)
 void
 Paragraph::processBody(const TraceRecord &rec)
 {
+    // Segment mode, finite window: while the fresh window is still
+    // filling, the solo run displaces pre-cut entries this run cannot see.
+    // Log the floor before each head record (and its level below) so the
+    // patch can verify those displacement raises are no-ops.
+    const bool logHead =
+        segLog_ && window_ && segSeen_ < window_->capacity();
+    if (logHead)
+        segLog_->headFloors.push_back(highestLevel_);
+
     // The incoming record displaces the oldest window entry before it is
     // placed; the displaced operation's level becomes a firewall.
     if (window_) {
@@ -180,11 +238,18 @@ Paragraph::processBody(const TraceRecord &rec)
     // Conservative assumption: the syscall modified every live value. A
     // firewall goes immediately after the deepest computation so far; no
     // later operation may be placed above it.
-    if (rec.isSysCall && cfg_.sysCallsStall)
+    if (rec.isSysCall && cfg_.sysCallsStall) {
+        if (segLog_ && segLog_->firstStallDeepest == SegmentLog::noStall)
+            segLog_->firstStallDeepest = deepestLevel_;
         raiseFloor(deepestLevel_ + 1);
+    }
 
     if (window_)
         window_->entered(level);
+    if (logHead)
+        segLog_->headLevels.push_back(level);
+    if (segLog_)
+        ++segSeen_;
 }
 
 void
@@ -195,7 +260,15 @@ Paragraph::handleCondBranch(const TraceRecord &rec)
         // Fast path: the paper's default assumption — perfect control flow.
         return;
     }
-    bool correct = predictor_.predictAndUpdate(rec.pc, rec.branchTaken);
+    bool correct;
+    if (misBits_) {
+        // Split-and-patch feed: the sequential predictor pre-pass already
+        // decided every branch; consume the precomputed bit.
+        correct = !((misBits_[misCursor_ >> 6] >> (misCursor_ & 63)) & 1);
+        ++misCursor_;
+    } else {
+        correct = predictor_.predictAndUpdate(rec.pc, rec.branchTaken);
+    }
     if (correct)
         return;
     ++result_.branchMispredictions;
@@ -209,8 +282,10 @@ Paragraph::handleCondBranch(const TraceRecord &rec)
             liveWell_.findOrCreatePreExisting(key, highestLevel_);
         if (fresh) {
             ++result_.preExistingValues;
-            if (segLog_)
-                noteWellInsert(key, /*via_read=*/true);
+            if (segLog_) {
+                noteWellInsert(key, /*via_read=*/true,
+                               SegmentImport::unconstrained);
+            }
         }
         if (lv->level + 1 > resolve)
             resolve = lv->level + 1;
@@ -242,8 +317,10 @@ Paragraph::placeRecord(const TraceRecord &rec)
             liveWell_.findOrCreatePreExisting(key, highestLevel_);
         if (fresh) {
             ++result_.preExistingValues;
-            if (segLog_)
-                noteWellInsert(key, /*via_read=*/true);
+            if (segLog_) {
+                noteWellInsert(key, /*via_read=*/true,
+                               SegmentImport::unconstrained);
+            }
         }
         if (lv->level + 1 > issue)
             issue = lv->level + 1;
@@ -258,6 +335,11 @@ Paragraph::placeRecord(const TraceRecord &rec)
                 srcs[s].lv = liveWell_.find(srcs[s].key);
         }
     }
+
+    // The post-data-dependency issue level: if a first-touch value is
+    // overwritten by this op, the carried value's storage dependency
+    // applies against exactly this level solo-side (segment mode).
+    const int64_t dataIssue = issue;
 
     // Phase 2: the destination is resolved once, here — its previous
     // occupant both bounds the issue level (storage dependency, when the
@@ -307,8 +389,10 @@ Paragraph::placeRecord(const TraceRecord &rec)
             if (!lv)
                 continue; // duplicate source already evicted
             retire(*lv);
-            if (segLog_ && lv->preExisting)
-                closeImport(srcs[s].key, *lv);
+            if (segLog_ && lv->preExisting) {
+                closeImport(srcs[s].key, *lv,
+                            SegmentImport::unconstrained);
+            }
             liveWell_.kill(srcs[s].key);
             killedAny = true;
         }
@@ -320,16 +404,19 @@ Paragraph::placeRecord(const TraceRecord &rec)
     // change, so the map structure is untouched) unless a phase-5 eviction
     // moved or removed it.
     if (has_dest) {
+        const int64_t overwriteIssue = destRenamed(rec.dest)
+                                           ? SegmentImport::unconstrained
+                                           : dataIssue;
         LiveValue *prev = killedAny ? liveWell_.find(dkey) : destPrev;
         if (prev) {
             retire(*prev);
             if (segLog_ && prev->preExisting)
-                closeImport(dkey, *prev);
+                closeImport(dkey, *prev, overwriteIssue);
             *prev = LiveValue{ldest, ldest, 0, false};
         } else {
             liveWell_.define(dkey, ldest);
             if (segLog_)
-                noteWellInsert(dkey, /*via_read=*/false);
+                noteWellInsert(dkey, /*via_read=*/false, overwriteIssue);
         }
     }
 
@@ -378,6 +465,12 @@ Paragraph::finish()
                      static_cast<uint64_t>(liveWell_.size()));
         segLog_->relHighest = highestLevel_;
         segLog_->relDeepest = deepestLevel_;
+        if (window_)
+            segLog_->windowTail = window_->snapshot();
+        if (throttle_.enabled() && deepestLevel_ >= highestLevel_) {
+            segLog_->fuTail = throttle_.snapshotSpan(
+                highestLevel_, deepestLevel_ - highestLevel_ + 1);
+        }
     } else {
         liveWell_.forEach(
             [this](uint64_t, const LiveValue &lv) { retire(lv); });

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/branch_predictor.hpp"
 #include "core/config.hpp"
@@ -42,6 +43,25 @@
 
 namespace paragraph {
 namespace core {
+
+/**
+ * Carried true-run state at a split-and-patch boundary (core/shard.hpp):
+ * everything a sequential replay needs to continue a solo-equivalent
+ * analysis mid-trace. Levels are absolute (solo) levels.
+ */
+struct PatchCarry
+{
+    LiveWell well;        ///< live values at absolute levels
+    int64_t floor = 0;    ///< firewall floor (highestLevel)
+    int64_t deepest = -1; ///< deepest DDG level so far
+    /** Last min(W, records seen) levels, oldest first (finite windows). */
+    std::vector<int64_t> windowRing;
+    /** FU-limited configs only: throttle occupancy rows for absolute
+     *  levels [floor, deepest] (FuThrottle::snapshotSpan layout). Empty
+     *  at a total firewall, where no occupied level is ever probed
+     *  again. */
+    std::vector<uint32_t> fuRows;
+};
 
 class Paragraph
 {
@@ -75,6 +95,46 @@ class Paragraph
      * (core/shard.hpp). @p log must outlive the run.
      */
     void beginSegment(SegmentLog *log);
+
+    /**
+     * Consume precomputed branch-predictor outcomes instead of the live
+     * model: bit @p next_ordinal of @p bits (LSB-first within each 64-bit
+     * word, one bit per conditional branch in trace order, 1 = mispredict)
+     * decides the next conditional branch. Predictors are deterministic
+     * functions of the branch-record stream alone, so a sequential pre-pass
+     * over the whole trace makes predictor state cut-invariant for
+     * split-and-patch (core/shard.hpp). Call after begin(), beginSegment()
+     * or resumeSpan(); each of those clears the feed. @p bits must outlive
+     * the run.
+     */
+    void
+    feedMispredicts(const uint64_t *bits, uint64_t next_ordinal)
+    {
+        misBits_ = bits;
+        misCursor_ = next_ordinal;
+    }
+
+    /**
+     * Like begin(), but continue a solo-equivalent analysis from carried
+     * mid-trace state: @p acc holds the metrics accumulated so far (at
+     * absolute levels) and @p carry the live well, firewall floor, deepest
+     * level and window ring at the boundary. Used by the split-and-patch
+     * replay of segments whose splice conditions fail. With functional-unit
+     * limits the boundary must either be a total firewall (floor ==
+     * deepest + 1: all throttle occupancy sits strictly below the floor
+     * and is never probed again, so an empty throttle is exact) or carry
+     * the occupancy rows for [floor, deepest] in carry.fuRows — issue
+     * levels never probe below the floor, so those rows are the entire
+     * reachable throttle state.
+     */
+    void resumeSpan(AnalysisResult &&acc, PatchCarry &&carry);
+
+    /**
+     * Inverse of resumeSpan(): hand the accumulated metrics and carried
+     * state back without retiring the live well. The engine is hollow
+     * until the next begin()/beginSegment()/resumeSpan().
+     */
+    void suspendSpan(AnalysisResult &acc, PatchCarry &carry);
 
     /** Consume one trace record. */
     void process(const trace::TraceRecord &rec);
@@ -110,6 +170,10 @@ class Paragraph
     /** The live well (read-only). */
     const LiveWell &liveWell() const { return liveWell_; }
 
+    /** Window ring: last min(W, seen) levels, oldest first; empty for
+     *  unbounded windows. */
+    std::vector<int64_t> windowRing() const;
+
   private:
     AnalysisConfig cfg_;
     LiveWell liveWell_;
@@ -128,6 +192,13 @@ class Paragraph
     SegmentLog *segLog_ = nullptr;
     /** Max well size since the last first-touch event (segment mode). */
     uint64_t segPeakWindow_ = 0;
+    /** Records consumed since beginSegment() (head-window logging). */
+    uint64_t segSeen_ = 0;
+
+    /** Precomputed mispredict bitvector (null: live predictor model). */
+    const uint64_t *misBits_ = nullptr;
+    /** Ordinal of the next conditional branch within misBits_. */
+    uint64_t misCursor_ = 0;
 
     static constexpr size_t numKinds = 4;    ///< trace::Operand::Kind values
     static constexpr size_t numSegments = 4; ///< trace::Segment values
@@ -176,13 +247,18 @@ class Paragraph
     // --- Segment-mode hooks (called only when segLog_ is set) -------------
 
     /** A value entered the well at @p key: log a first touch (read or
-     *  write) or just advance the peak watermark for a later episode. */
-    void noteWellInsert(uint64_t key, bool via_read);
+     *  write) or just advance the peak watermark for a later episode. For
+     *  a write-first touch, @p close_issue is the touching op's
+     *  post-data-dependency issue level (the carried value's storage
+     *  dependency applies to it solo-side), or
+     *  SegmentImport::unconstrained when the destination is renamed. */
+    void noteWellInsert(uint64_t key, bool via_read, int64_t close_issue);
 
     /** A pre-existing occupant of @p key died: capture its read stats into
      *  the open first-touch episode (later episodes are shift-identical to
-     *  the solo run and need nothing). */
-    void closeImport(uint64_t key, const LiveValue &lv);
+     *  the solo run and need nothing). @p close_issue as above, for the
+     *  overwriting op (unconstrained for eviction deaths). */
+    void closeImport(uint64_t key, const LiveValue &lv, int64_t close_issue);
 };
 
 } // namespace core

@@ -1,31 +1,41 @@
 /**
  * @file
- * SegmentLog: what a trace segment must export for the firewall stitch.
+ * SegmentLog: what a trace segment must export for split-and-patch.
  *
- * A finite-window analysis whose config stalls on syscalls can be cut
- * immediately after any stalling syscall: at that point the firewall floor
- * sits one past the deepest level, every live value lies strictly below it,
- * and nothing placed later can interact with anything above the floor
- * except by *reading* a carried value (which never delays placement) or by
- * *overwriting* it (which kills it). Each segment therefore analyzes
- * independently — as if its first record started a fresh trace — and the
- * stitch (core/shard.hpp) replays only the per-location boundary episodes
- * recorded here to reproduce the solo run's counters exactly.
+ * A segment analyzed from scratch ("fresh") reproduces the solo run's
+ * placements shifted down by the true firewall floor F at its cut whenever
+ * the carried state cannot reach above that shift. At a total-firewall cut
+ * (immediately after a stalling syscall, where the floor sits one past the
+ * deepest level) this holds unconditionally; at an arbitrary cut it holds
+ * exactly when a small set of per-boundary-event conditions is met, and
+ * every datum those conditions need is recorded here by the fresh run:
  *
- * For every storage location, only the FIRST touch in a segment can differ
- * from the solo run: a first read enters a pre-existing value where solo
- * would have used the carried one, and a first write kills the carried
- * value solo-side with zero segment-local reads. Every later episode of
- * the same location is shift-identical by induction. The log keeps one
- * SegmentImport per touched location (in touch order), the final live well
- * (exports), and the well-size watermarks between touches that let the
- * stitch reconstruct the solo live-well peak exactly.
+ *  - For every storage location, only the FIRST touch in a segment can
+ *    differ from the solo run: a first read enters a pre-existing value
+ *    where solo would have read the carried one (divergence impossible iff
+ *    the carried level never binds: carried.level + 1 <= floorAtTouch + F),
+ *    and the episode's closing overwrite faces the carried value's storage
+ *    dependency solo-side (never binds iff carried.deepestAccess + 1 <=
+ *    closeIssue + F). Every later episode of the location is
+ *    shift-identical by induction.
+ *  - For finite windows, the first min(W, n) records displace pre-cut
+ *    window entries solo-side while the fresh window is still filling;
+ *    headFloors/headLevels let the patch verify each displacement raise is
+ *    a no-op, and windowTail seeds the next boundary's true ring.
+ *  - The first stalling syscall re-anchors the floor at deepest + 1 in
+ *    both runs; firstStallDeepest lets the patch verify the two anchors
+ *    coincide (after which alignment is unconditional).
+ *
+ * The log also keeps the final live well (exports), exact per-level op
+ * counts, and the well-size watermarks between touches that let the patch
+ * reconstruct the solo live-well peak exactly (core/shard.hpp).
  */
 
 #ifndef PARAGRAPH_CORE_SEGMENT_LOG_HPP
 #define PARAGRAPH_CORE_SEGMENT_LOG_HPP
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -38,6 +48,12 @@ namespace core {
 /** Boundary episode of one storage location within a segment. */
 struct SegmentImport
 {
+    /** closeIssue value meaning "no storage dependency solo-side": the
+     *  destination class is renamed, the episode died by last-use
+     *  eviction, or the first-touch value survived the segment. */
+    static constexpr int64_t unconstrained =
+        std::numeric_limits<int64_t>::max();
+
     uint64_t key = 0; ///< location key (LiveWell encoding)
 
     /** Reads of the first-touch value within the segment (solo: reads the
@@ -66,11 +82,26 @@ struct SegmentImport
 
     /** Segment-relative well size just after this touch's insert. */
     uint64_t sizeAfter = 0;
+
+    /** Fresh firewall floor when the location was first touched. The
+     *  carried value's read never binds solo-side iff
+     *  carried.level + 1 <= floorAtTouch + F. */
+    int64_t floorAtTouch = 0;
+
+    /** Post-data-dependency, pre-storage/FU issue level of the operation
+     *  that overwrote the first-touch value (the op that faces the carried
+     *  value's storage dependency solo-side), or unconstrained. The
+     *  carried storage dependency never binds iff
+     *  carried.deepestAccess + 1 <= closeIssue + F. */
+    int64_t closeIssue = unconstrained;
 };
 
-/** Everything one segment run exports to the stitch. */
+/** Everything one segment run exports to the patch. */
 struct SegmentLog
 {
+    /** firstStallDeepest value meaning "no stalling syscall in segment". */
+    static constexpr int64_t noStall = std::numeric_limits<int64_t>::min();
+
     /** Boundary episodes, in first-touch order. */
     std::vector<SegmentImport> imports;
 
@@ -79,22 +110,53 @@ struct SegmentLog
 
     /** The segment's final live well, segment-relative levels. Carried
      *  locations whose first-touch value is still open appear here with
-     *  the preExisting bit set; the stitch keeps the carried entry (with
+     *  the preExisting bit set; the patch keeps the carried entry (with
      *  the import's folded stats) instead. */
     std::vector<std::pair<uint64_t, LiveValue>> exports;
 
     /** Exact placed-op count per segment-relative level, dense over
      *  [0, relDeepest]. The segment's own BucketedProfile may have folded
      *  (bucket width > 1 once relDeepest reaches the bin count), which
-     *  loses in-bin placement; the stitch rebuilds the solo profile from
+     *  loses in-bin placement; the patch rebuilds the solo profile from
      *  these counts instead, bit-identical at any trace length. */
     std::vector<uint64_t> levelOps;
+
+    /** Fresh floor immediately before each of the first min(W, n) records
+     *  (finite-window configs only): while the fresh window is still
+     *  filling, the solo run may displace pre-cut entries, and each such
+     *  raise must be a no-op for the shift to hold. */
+    std::vector<int64_t> headFloors;
+
+    /** Fresh level (SlidingWindow::notPlaced for unplaced records) of the
+     *  first min(W, n) records: when the cut sits less than W records into
+     *  the trace, the solo run displaces these segment-own entries while
+     *  the fresh window is still filling. */
+    std::vector<int64_t> headLevels;
+
+    /** Fresh levels of the last min(W, n) records, oldest first: seeds the
+     *  true window ring carried to the next boundary. */
+    std::vector<int64_t> windowTail;
+
+    /** Fresh deepest level immediately before the first stalling-syscall
+     *  floor raise (noStall when the segment has none): the raise anchors
+     *  at deepest + 1 in both runs, and the anchors coincide iff
+     *  F + firstStallDeepest >= trueDeepest at the cut. */
+    int64_t firstStallDeepest = noStall;
+
+    /** FU-limited configs only: final throttle occupancy rows for fresh
+     *  levels [relHighest, relDeepest] (FuThrottle::snapshotSpan layout;
+     *  empty when the segment ends at a total firewall). A sequential
+     *  replay resuming at the next boundary seeds its throttle from these
+     *  rows: an FU-limited splice requires its cut be a total firewall, so
+     *  every level at or above the next boundary's floor was occupied by
+     *  this segment alone, and issue levels never probe below the floor. */
+    std::vector<uint32_t> fuTail;
 
     /** Max segment-relative well size after the last first touch. */
     uint64_t trailingPeak = 0;
 
-    /** Firewall floor at segment end (== relDeepest + 1 at a stall cut):
-     *  the next segment's level offset delta. */
+    /** Fresh firewall floor at segment end: the next boundary's floor
+     *  delta (== relDeepest + 1 at a stall cut). */
     int64_t relHighest = 0;
 
     /** Deepest segment-relative level (-1 when nothing placed). */
@@ -107,9 +169,27 @@ struct SegmentLog
         index.clear();
         exports.clear();
         levelOps.clear();
+        headFloors.clear();
+        headLevels.clear();
+        windowTail.clear();
+        firstStallDeepest = noStall;
+        fuTail.clear();
         trailingPeak = 0;
         relHighest = 0;
         relDeepest = -1;
+    }
+
+    /**
+     * Preallocate for a segment of @p records records (the cut plan knows
+     * every span size up front): the import set and per-level counts then
+     * grow without reallocation on the segment hot path.
+     */
+    void
+    reserve(size_t records)
+    {
+        size_t cap = records < 4096 ? records : 4096;
+        imports.reserve(cap);
+        levelOps.reserve(records < 65536 ? records : 65536);
     }
 };
 

@@ -78,6 +78,37 @@ class SlidingWindow
         count_ = 0;
     }
 
+    /**
+     * The levels of the last min(W, records seen) entries, oldest first —
+     * the window state a split-and-patch boundary must carry.
+     */
+    std::vector<int64_t>
+    snapshot() const
+    {
+        std::vector<int64_t> out;
+        out.reserve(count_);
+        size_t start =
+            count_ < ring_.size() ? 0 : head_; // head_ is oldest when full
+        for (size_t i = 0; i < count_; ++i)
+            out.push_back(ring_[(start + i) % ring_.size()]);
+        return out;
+    }
+
+    /**
+     * Restore the state captured by snapshot(): the window behaves as if
+     * exactly @p levels.size() records (at those levels, oldest first) had
+     * entered since reset. @p levels must hold at most W entries.
+     */
+    void
+    seed(const std::vector<int64_t> &levels)
+    {
+        PARA_ASSERT(levels.size() <= ring_.size(),
+                    "window seed larger than capacity");
+        reset();
+        for (int64_t lvl : levels)
+            entered(lvl);
+    }
+
   private:
     std::vector<int64_t> ring_;
     size_t head_ = 0;

@@ -35,12 +35,13 @@ struct CellExecOptions
     /** Per-attempt cooperative deadline in seconds; 0 = none. */
     double cellDeadlineSeconds = 0.0;
 
-    /** Shard a solo streamed cell at syscall firewall points into up to
-     *  this many independently-analyzed trace segments, run on that many
-     *  threads and stitched into the exact solo result (core/shard.hpp).
-     *  Applies only to shardable configs over pooled `.ptrc` inputs; a
-     *  trace with no interior syscall falls back to the solo pass.
-     *  1 = off. */
+    /** Split a solo cell's trace into up to this many independently-
+     *  analyzed segments, run on that many threads and patched into the
+     *  exact solo result (core/shard.hpp split-and-patch). Applies to
+     *  every config — cuts are planned at stall syscalls and mispredicted
+     *  branches (plain tiles when the trace offers neither), and each
+     *  boundary is validated and spliced, or replayed sequentially when
+     *  its splice conditions fail. 1 = off. */
     unsigned shards = 1;
 };
 

@@ -118,17 +118,36 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
     }
     sweep.captureSeconds = secondsSince(sweepStart);
 
+    // Decoder cap for the group claiming below. A plain take-a-ticket
+    // counter let 8 workers open 8 private decoders on the same compressed
+    // trace — BENCH_sweep.json showed that streamed `--jobs=8` run
+    // *slower* than `--jobs=1` (the decoders thrash each other's cache and
+    // the disk). Pooled `.ptrc` inputs share one decode and are immune;
+    // for the rest (`.ptrz`: stateful delta decode, one private decoder
+    // per pass) concurrent passes per input are capped at this.
+    constexpr unsigned kMaxDecodersPerInput = 2;
+
     // Trace-major grouping: bucket pending cells by input spec (first-seen
-    // order) and cut each bucket into fused groups of at most groupTarget
-    // configs, cutting early rather than exceeding the memory budget. A
+    // order) and cut each bucket into fused groups of at most a per-input
+    // target, cutting early rather than exceeding the memory budget. A
     // group's cells run as one block-major pass over the shared trace.
-    size_t groupTarget = opt_.groupSize;
-    if (groupTarget == 0) // auto: one pass per worker's share of the grid
-        groupTarget = (pending.size() + jobs_ - 1) / jobs_;
-    if (groupTarget == 0)
-        groupTarget = 1;
+    //
+    // Auto target (--group=0): one pass per worker's share of the grid —
+    // except over decode-gated inputs, where at most kMaxDecodersPerInput
+    // passes can run at once no matter how many workers exist. Dividing
+    // such a bucket among all workers yields near-solo passes that
+    // serialize cap-at-a-time behind the decoder gate, each paying a full
+    // decode for a sliver of analysis (streamed --jobs=8 --group=0 ran at
+    // 0.74x of --group=2); dividing it among the decoders that can
+    // actually run restores full fusion per pass.
+    size_t autoTarget = (pending.size() + jobs_ - 1) / jobs_;
+    if (autoTarget == 0)
+        autoTarget = 1;
+    const size_t gatedShare =
+        std::max<size_t>(std::min<size_t>(jobs_, kMaxDecodersPerInput), 1);
 
     std::vector<std::vector<size_t>> groups;
+    std::map<std::string, bool> decodeGated;
     {
         std::vector<const std::string *> inputOrder;
         std::map<std::string, std::vector<size_t>> byInput;
@@ -139,9 +158,28 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
             it->second.push_back(i);
         }
         for (const std::string *input : inputOrder) {
+            const std::vector<size_t> &bucket = byInput[*input];
+            bool gated = false;
+            if (repo.streamingInput(*input)) {
+                try {
+                    gated = repo.decodePool(*input) == nullptr;
+                } catch (const std::exception &) {
+                    // A corrupt file fails pool construction here; the
+                    // per-cell attempt will re-raise it where it can be
+                    // attributed.
+                    gated = true;
+                }
+            }
+            decodeGated[*input] = gated;
+            size_t groupTarget = opt_.groupSize;
+            if (groupTarget == 0) {
+                groupTarget =
+                    gated ? (bucket.size() + gatedShare - 1) / gatedShare
+                          : autoTarget;
+            }
             std::vector<size_t> group;
             size_t bytes = 0;
-            for (size_t i : byInput[*input]) {
+            for (size_t i : bucket) {
                 size_t need = configFootprint(jobs[i].config);
                 if (!group.empty() && (group.size() >= groupTarget ||
                                        bytes + need > opt_.groupMemoryBudget)) {
@@ -157,35 +195,14 @@ SweepEngine::runJobs(TraceRepository &repo, std::vector<SweepJob> jobs) const
         }
     }
 
-    // Group claiming. A plain take-a-ticket counter let 8 workers open 8
-    // private decoders on the same compressed trace — BENCH_sweep.json
-    // showed that streamed `--jobs=8` run *slower* than `--jobs=1` (the
-    // decoders thrash each other's cache and the disk). Pooled `.ptrc`
-    // inputs share one decode and are immune; for the rest (`.ptrz`:
-    // stateful delta decode, one private decoder per pass) claiming is a
-    // mutex-guarded scan that caps concurrent passes per input at
-    // kMaxDecodersPerInput, parking surplus workers on a condvar until a
-    // pass over that input retires or an ungated group shows up.
-    constexpr unsigned kMaxDecodersPerInput = 2;
+    sweep.fusedGroups = groups.size();
 
+    // Group claiming: a mutex-guarded scan against the per-input decoder
+    // cap, parking surplus workers on a condvar until a pass over that
+    // input retires or an ungated group shows up.
     std::vector<std::string> groupInput(groups.size());
     for (size_t g = 0; g < groups.size(); ++g)
         groupInput[g] = jobs[groups[g].front()].input;
-
-    std::map<std::string, bool> decodeGated;
-    for (const std::string &input : groupInput) {
-        auto [it, fresh] = decodeGated.try_emplace(input, false);
-        if (!fresh || !repo.streamingInput(input))
-            continue;
-        bool pooled = false;
-        try {
-            pooled = repo.decodePool(input) != nullptr;
-        } catch (const std::exception &) {
-            // A corrupt file fails pool construction here; the per-cell
-            // attempt will re-raise it where it can be attributed.
-        }
-        it->second = !pooled;
-    }
 
     std::mutex claimMutex;
     std::condition_variable claimCv;

@@ -93,8 +93,15 @@ struct SweepCell
      *  once, up front, in SweepResult::captureSeconds. */
     double decodeSeconds = 0.0;
 
-    /** Firewall-point shard segments this cell ran as (0 = unsharded). */
+    /** Split-and-patch shard segments this cell ran as (0 = unsharded). */
     unsigned shardSegments = 0;
+
+    /** Of the shard segments, how many the patch merged with the
+     *  O(boundary episodes) splice vs replayed sequentially
+     *  (core/shard.hpp validate-or-replay). Spliced + replayed ==
+     *  shardSegments when the cell was sharded. */
+    unsigned shardSpliced = 0;
+    unsigned shardReplayed = 0;
 
     /** Analysis throughput of this cell, in million instructions/sec. */
     double minstrPerSec = 0.0;
@@ -125,6 +132,10 @@ struct SweepResult
     /** Total instructions analyzed across all cells. */
     uint64_t totalInstructions = 0;
 
+    /** Fused groups the pending cells were scheduled as (passes over the
+     *  inputs, before any mid-group fault demotes cells to solo). */
+    size_t fusedGroups = 0;
+
     /** Aggregate throughput: totalInstructions / wallSeconds / 1e6. */
     double aggregateMinstrPerSec = 0.0;
 };
@@ -149,7 +160,9 @@ class SweepEngine
         /** Configs fused into one pass over a shared trace. 1 = no fusion
          *  (every cell is its own pass, the pre-grouping behavior);
          *  0 = auto, ceil(pending / jobs) so each worker's share of an
-         *  input becomes a single pass. Always clamped by
+         *  input becomes a single pass — except over decode-gated
+         *  streamed inputs, where the share is taken over the decoder
+         *  cap instead of the worker count. Always clamped by
          *  groupMemoryBudget. */
         unsigned groupSize = 1;
 
@@ -167,11 +180,11 @@ class SweepEngine
          *  0 = no deadline. */
         double cellDeadlineSeconds = 0.0;
 
-        /** Shard each solo streamed cell at syscall firewall points into
-         *  up to this many trace segments analyzed on that many threads
-         *  and stitched into the exact solo result (core/shard.hpp): how
-         *  ONE trace × ONE config uses more than one core. Applies to
-         *  shardable configs over pooled `.ptrc` inputs; 1 = off. */
+        /** Split each solo cell's trace into up to this many segments
+         *  analyzed on that many threads and patched into the exact solo
+         *  result (core/shard.hpp split-and-patch): how ONE trace × ONE
+         *  config uses more than one core. Applies to every config, over
+         *  pooled `.ptrc` inputs and shared captures alike; 1 = off. */
         unsigned shards = 1;
 
         /** Append one JSONL line per completed cell to this file (plus a

@@ -165,7 +165,9 @@ writeCell(std::ostream &os, const SweepCell &cell,
             os << ",\n        \"decode_seconds\": "
                << jsonDouble(cell.decodeSeconds)
                << ", \"analyze_seconds\": " << jsonDouble(analyze)
-               << ", \"shard_segments\": " << cell.shardSegments;
+               << ", \"shard_segments\": " << cell.shardSegments
+               << ", \"shard_spliced\": " << cell.shardSpliced
+               << ", \"shard_replayed\": " << cell.shardReplayed;
         }
         os << "}";
     }

@@ -81,6 +81,12 @@ propertyCatalogue()
          "a trace cut immediately after stalling syscalls analyzes "
          "segment-by-segment and stitches into the exact solo result "
          "(any config with stalling syscalls and perfect prediction)"},
+        {"split-and-patch-identity",
+         "a trace cut at arbitrary planner-chosen boundaries analyzes "
+         "segment-by-segment and patches (splice where the boundary "
+         "conditions hold, replay where they fail) into the exact solo "
+         "result under every matrix config — modeled predictors, ignored "
+         "syscalls, finite windows, and FU limits included"},
     };
     return catalogue;
 }
@@ -631,6 +637,50 @@ InvariantOracle::check(const TraceBuffer &trace) const
                 fail("shard-stitch-identity",
                      strFormat("config %s (%zu segments): %s",
                                matrix[i].name, segments.size(),
+                               diff.c_str()));
+        }
+    }
+
+    // --- split-and-patch-identity -----------------------------------------
+    // Arbitrary-boundary sharding (core/shard.hpp patchSegments) across the
+    // FULL config matrix — modeled predictors, ignored syscalls, finite
+    // windows, FU limits: whatever cuts the planner picked (stall points,
+    // mispredict points, or plain tiles), the validate-or-replay patch must
+    // equal the solo pass bit-for-bit.
+    if (trace.size() > 0) {
+        const TraceRecord *records = trace.records().data();
+        size_t n = trace.size();
+        for (size_t i = 0; i < matrix.size(); ++i) {
+            const AnalysisConfig &cfg = matrix[i].cfg;
+            core::PatchPlan plan = core::planPatchPlan(cfg, records, n, 4);
+            const bool modeled =
+                cfg.branchPredictor != core::PredictorKind::Perfect;
+            std::vector<size_t> bounds;
+            bounds.push_back(0);
+            bounds.insert(bounds.end(), plan.cuts.begin(), plan.cuts.end());
+            bounds.push_back(n);
+            std::vector<core::SegmentRun> segments(bounds.size() - 1);
+            for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+                core::runSegment(cfg, records + bounds[k],
+                                 bounds[k + 1] - bounds[k], segments[k],
+                                 modeled ? &plan.bits : nullptr,
+                                 modeled ? plan.branchBase[k] : 0);
+            }
+            core::PatchOutcome outcome;
+            AnalysisResult patched = core::patchSegments(
+                cfg, segments,
+                [&](core::Paragraph &engine, size_t k) {
+                    engine.processAll(records + bounds[k],
+                                      bounds[k + 1] - bounds[k]);
+                },
+                modeled ? &plan.bits : nullptr,
+                modeled ? &plan.branchBase : nullptr, &outcome);
+            if (!core::shardedResultsEqual(solo[i], patched, &diff))
+                fail("split-and-patch-identity",
+                     strFormat("config %s (%zu segments, %u spliced, "
+                               "%u replayed): %s",
+                               matrix[i].name, segments.size(),
+                               outcome.spliced, outcome.replayed,
                                diff.c_str()));
         }
     }

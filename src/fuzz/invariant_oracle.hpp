@@ -31,6 +31,11 @@
  *   critical-path-lower-bound  cp >= max placed latency; peak >= final
  *   file-round-trip            .ptrc and .ptrz round-trip to identical
  *                              records
+ *   shard-stitch-identity      firewall-cut segments stitch to the exact
+ *                              solo result (stall + perfect prediction)
+ *   split-and-patch-identity   arbitrary-cut segments patch
+ *                              (validate-or-replay) to the exact solo
+ *                              result under EVERY matrix config
  *
  * check() runs one trace through core::Paragraph (solo, streamed, fused via
  * core::analyzeMany) and core::CriticalPathAnalyzer under a fixed config

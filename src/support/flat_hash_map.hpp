@@ -17,6 +17,7 @@
 #ifndef PARAGRAPH_SUPPORT_FLAT_HASH_MAP_HPP
 #define PARAGRAPH_SUPPORT_FLAT_HASH_MAP_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -222,19 +223,24 @@ class FlatHashMap
             idx = (idx + 1) & mask;
             ++dist;
         }
-        // Backward-shift the following cluster into the hole.
-        size_t hole = idx;
-        size_t next = (hole + 1) & mask;
-        while (slots_[next].key != EmptyKey &&
-               probeDistance(slots_[next].key, next) > 0) {
-            slots_[hole] = slots_[next];
-            hole = next;
-            next = (next + 1) & mask;
-            ++epoch_; // an entry moved; held pointers are stale
-        }
-        slots_[hole].key = EmptyKey;
-        --size_;
+        removeAt(idx);
         return true;
+    }
+
+    /**
+     * Erase the entry holding @p value — a pointer obtained from find() /
+     * findOrInsert() at the current epoch(). Skips the probe sequence a
+     * keyed erase would re-walk.
+     */
+    void
+    eraseFound(Value *value)
+    {
+        Slot *slot = reinterpret_cast<Slot *>(
+            reinterpret_cast<char *>(value) - offsetof(Slot, value));
+        PARA_ASSERT(slot >= slots_.data() &&
+                        slot < slots_.data() + slots_.size(),
+                    "eraseFound pointer outside the table");
+        removeAt(static_cast<size_t>(slot - slots_.data()));
     }
 
     /**
@@ -273,6 +279,23 @@ class FlatHashMap
     size_t size_ = 0;
     size_t peakSize_ = 0;
     uint64_t epoch_ = 0;
+
+    /** Backward-shift deletion of the entry at slot @p hole. */
+    void
+    removeAt(size_t hole)
+    {
+        size_t mask = slots_.size() - 1;
+        size_t next = (hole + 1) & mask;
+        while (slots_[next].key != EmptyKey &&
+               probeDistance(slots_[next].key, next) > 0) {
+            slots_[hole] = slots_[next];
+            hole = next;
+            next = (next + 1) & mask;
+            ++epoch_; // an entry moved; held pointers are stale
+        }
+        slots_[hole].key = EmptyKey;
+        --size_;
+    }
 
     size_t
     indexFor(Key key) const

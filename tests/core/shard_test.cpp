@@ -1,4 +1,5 @@
-// Firewall-point sharding: segments analyzed independently and stitched
+// Split-and-patch sharding: segments analyzed independently and stitched
+// (firewall cuts) or validated-and-patched (arbitrary cuts, every config)
 // must reproduce the solo run exactly (core/shard.hpp).
 
 #include <gtest/gtest.h>
@@ -8,6 +9,8 @@
 
 #include "core/paragraph.hpp"
 #include "core/shard.hpp"
+#include "support/prng.hpp"
+#include "support/test_seed.hpp"
 #include "trace/last_use.hpp"
 
 #include "trace_helpers.hpp"
@@ -20,11 +23,80 @@ using testhelpers::randomTrace;
 using trace::TraceBuffer;
 using trace::TraceRecord;
 
+/** randomTrace with its control records turned into predictable-and-
+ *  mispredictable conditional branches (folded PCs alias bimodal
+ *  counters), so modeled predictors actually fire. */
+TraceBuffer
+branchyTrace(uint64_t seed, size_t length, bool with_syscalls = true)
+{
+    TraceBuffer buf = randomTrace(seed, length, with_syscalls);
+    Prng prng(testSeed(seed + 7919));
+    for (TraceRecord &rec : buf.records()) {
+        if (rec.cls == isa::OpClass::Control && !rec.isSysCall) {
+            rec.isCondBranch = true;
+            rec.branchTaken = prng.nextBelow(3) != 0; // taken-biased
+            rec.pc %= 61; // alias counters: hits and misses both occur
+        }
+    }
+    return buf;
+}
+
 AnalysisResult
 analyzeSolo(const AnalysisConfig &cfg, const TraceBuffer &buf)
 {
     Paragraph engine(cfg);
     return engine.analyze(buf);
+}
+
+/** Run the full plan → parallel-segment → validate-or-replay patch over
+ *  explicit @p bounds (segment k spans [bounds[k], bounds[k+1])). */
+AnalysisResult
+patchOverBounds(const AnalysisConfig &cfg, const TraceBuffer &buf,
+                const std::vector<size_t> &bounds, const PatchPlan &plan,
+                PatchOutcome *outcome = nullptr)
+{
+    const TraceRecord *records = buf.records().data();
+    const bool modeled = cfg.branchPredictor != PredictorKind::Perfect;
+    std::vector<SegmentRun> segments(bounds.size() - 1);
+    for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+        runSegment(cfg, records + bounds[k], bounds[k + 1] - bounds[k],
+                   segments[k], modeled ? &plan.bits : nullptr,
+                   modeled ? plan.branchBase[k] : 0);
+    }
+    auto replay = [&](Paragraph &engine, size_t s) {
+        engine.processAll(records + bounds[s],
+                          bounds[s + 1] - bounds[s]);
+    };
+    return patchSegments(cfg, segments, replay,
+                         modeled ? &plan.bits : nullptr,
+                         modeled ? &plan.branchBase : nullptr, outcome);
+}
+
+AnalysisResult
+analyzeViaPatch(const AnalysisConfig &cfg, const TraceBuffer &buf,
+                unsigned shards, PatchOutcome *outcome = nullptr)
+{
+    size_t n = buf.records().size();
+    PatchPlan plan = planPatchPlan(cfg, buf.records().data(), n, shards);
+    std::vector<size_t> bounds;
+    bounds.push_back(0);
+    bounds.insert(bounds.end(), plan.cuts.begin(), plan.cuts.end());
+    bounds.push_back(n);
+    return patchOverBounds(cfg, buf, bounds, plan, outcome);
+}
+
+void
+expectPatchExact(const AnalysisConfig &cfg, const TraceBuffer &buf,
+                 unsigned shards, const char *what)
+{
+    AnalysisResult solo = analyzeSolo(cfg, buf);
+    PatchOutcome outcome;
+    AnalysisResult patched = analyzeViaPatch(cfg, buf, shards, &outcome);
+    std::string diff;
+    EXPECT_TRUE(shardedResultsEqual(solo, patched, &diff))
+        << what << " (shards=" << shards
+        << ", spliced=" << outcome.spliced
+        << ", replayed=" << outcome.replayed << "): " << diff;
 }
 
 AnalysisResult
@@ -182,6 +254,192 @@ TEST(ShardStitch, ManyShardsAndDegenerateCounts)
     expectShardExact(cfg, buf, 2, "two shards");
     expectShardExact(cfg, buf, 16, "sixteen shards");
     expectShardExact(cfg, buf, 64, "more shards than syscalls");
+}
+
+TEST(PatchPlan, FallsBackToPlainTilesWithoutCandidates)
+{
+    // No syscalls and a perfect predictor: no natural boundary anywhere,
+    // so the plan cuts plain interior tiles instead of going solo.
+    TraceBuffer buf = randomTrace(71, 1000, /*with_syscalls=*/false);
+    PatchPlan plan =
+        planPatchPlan(AnalysisConfig(), buf.records().data(),
+                      buf.records().size(), 4);
+    ASSERT_EQ(plan.cuts.size(), 3u);
+    size_t prev = 0;
+    for (size_t cut : plan.cuts) {
+        EXPECT_GT(cut, prev);
+        EXPECT_LT(cut, buf.records().size());
+        prev = cut;
+    }
+}
+
+TEST(PatchPlan, ModeledPredictorCutsAfterMispredictsWithBranchBase)
+{
+    TraceBuffer buf = branchyTrace(72, 4000);
+    AnalysisConfig cfg;
+    cfg.branchPredictor = PredictorKind::Bimodal;
+    const TraceRecord *records = buf.records().data();
+    size_t n = buf.records().size();
+    PatchPlan plan = planPatchPlan(cfg, records, n, 8);
+    ASSERT_FALSE(plan.cuts.empty());
+    ASSERT_EQ(plan.branchBase.size(), plan.segments());
+    EXPECT_EQ(plan.branchBase[0], 0u);
+    // branchBase[k] must count the conditional branches before segment k.
+    for (size_t k = 0; k < plan.cuts.size(); ++k) {
+        uint64_t count = 0;
+        for (size_t i = 0; i < plan.cuts[k]; ++i) {
+            if (records[i].isCondBranch)
+                ++count;
+        }
+        EXPECT_EQ(plan.branchBase[k + 1], count) << "cut " << k;
+    }
+    // The bitvector holds one bit per conditional branch of the trace.
+    uint64_t branches = 0;
+    for (size_t i = 0; i < n; ++i)
+        branches += records[i].isCondBranch ? 1 : 0;
+    EXPECT_EQ(plan.bits.count, branches);
+}
+
+TEST(SplitAndPatch, MatchesSoloAcrossConfigMatrix)
+{
+    // The full switch matrix, including every previously-unshardable
+    // config: optimistic syscalls, modeled predictors, and their
+    // combinations with windows, renaming, and FU limits.
+    std::vector<std::pair<AnalysisConfig, const char *>> matrix;
+    matrix.emplace_back(AnalysisConfig::dataflowConservative(),
+                        "conservative");
+    matrix.emplace_back(AnalysisConfig::dataflowOptimistic(),
+                        "optimistic (no stall)");
+    matrix.emplace_back(AnalysisConfig::noRenaming(), "no renaming");
+    matrix.emplace_back(AnalysisConfig::windowed(16), "windowed(16)");
+    {
+        AnalysisConfig cfg;
+        cfg.branchPredictor = PredictorKind::Bimodal;
+        matrix.emplace_back(cfg, "bimodal");
+    }
+    {
+        AnalysisConfig cfg;
+        cfg.sysCallsStall = false;
+        cfg.branchPredictor = PredictorKind::AlwaysWrong;
+        cfg.windowSize = 32;
+        matrix.emplace_back(cfg, "no stall + always-wrong + window");
+    }
+    {
+        AnalysisConfig cfg;
+        cfg.branchPredictor = PredictorKind::NeverTaken;
+        cfg.renameRegisters = false;
+        cfg.renameData = false;
+        cfg.renameStack = false;
+        matrix.emplace_back(cfg, "never-taken, no renaming");
+    }
+    {
+        AnalysisConfig cfg;
+        cfg.sysCallsStall = false;
+        cfg.totalFuLimit = 2;
+        matrix.emplace_back(cfg, "no stall + fu limit");
+    }
+    for (uint64_t seed = 81; seed <= 83; ++seed) {
+        TraceBuffer buf = branchyTrace(seed, 3000);
+        for (const auto &[cfg, what] : matrix)
+            expectPatchExact(cfg, buf, 4, what);
+    }
+}
+
+TEST(SplitAndPatch, StallCutsSpliceWithoutReplay)
+{
+    // At total-firewall cuts every splice condition holds: the patch must
+    // merge all segments without a single sequential replay.
+    TraceBuffer buf = randomTrace(84, 3000);
+    AnalysisConfig cfg = AnalysisConfig::dataflowConservative();
+    AnalysisResult solo = analyzeSolo(cfg, buf);
+    PatchOutcome outcome;
+    AnalysisResult patched = analyzeViaPatch(cfg, buf, 4, &outcome);
+    std::string diff;
+    EXPECT_TRUE(shardedResultsEqual(solo, patched, &diff)) << diff;
+    EXPECT_EQ(outcome.replayed, 0u);
+    EXPECT_GE(outcome.spliced, 2u);
+}
+
+TEST(SplitAndPatch, PlainTilesStayExactViaReplay)
+{
+    // No natural boundaries at all (no syscalls, perfect prediction, no
+    // renaming): tiles cut mid-dependence-chain, most splices fail, and
+    // the sequential replay must still patch the exact solo result.
+    TraceBuffer buf = randomTrace(85, 2000, /*with_syscalls=*/false);
+    AnalysisConfig cfg = AnalysisConfig::noRenaming();
+    expectPatchExact(cfg, buf, 4, "plain tiles, no renaming");
+    AnalysisConfig windowed = AnalysisConfig::windowed(16);
+    expectPatchExact(windowed, buf, 4, "plain tiles, windowed");
+    AnalysisConfig fu;
+    fu.totalFuLimit = 2;
+    expectPatchExact(fu, buf, 4, "plain tiles, fu limit");
+}
+
+TEST(SplitAndPatch, EmptyAndAdjacentSegments)
+{
+    // Degenerate explicit bounds: empty segments at the very start and
+    // end, adjacent cuts producing an empty middle segment, and a
+    // one-record segment. The patch must be exact through all of them.
+    TraceBuffer buf = branchyTrace(86, 400);
+    const size_t n = buf.records().size();
+    for (const AnalysisConfig &cfg :
+         {AnalysisConfig(), AnalysisConfig::windowed(8)}) {
+        AnalysisResult solo = analyzeSolo(cfg, buf);
+        PatchPlan plan; // no precomputed bits: Perfect predictor
+        std::vector<size_t> bounds{0,     0,     7,     8,     150,
+                                   150,   n - 1, n,     n};
+        AnalysisResult patched = patchOverBounds(cfg, buf, bounds, plan);
+        std::string diff;
+        EXPECT_TRUE(shardedResultsEqual(solo, patched, &diff)) << diff;
+    }
+}
+
+TEST(SplitAndPatch, WindowStraddlingChain)
+{
+    // A dependence chain threaded through a finite window, cut mid-chain:
+    // the fresh segment's head records are displaced by pre-cut window
+    // entries solo-side, exercising the head-floor validation and the
+    // carried-ring reconstruction.
+    using namespace testhelpers;
+    TraceBuffer buf;
+    for (int i = 0; i < 64; ++i)
+        buf.push(alu(static_cast<uint8_t>(1 + (i % 7)),
+                     {static_cast<uint8_t>(1 + ((i + 1) % 7))}));
+    AnalysisConfig cfg = AnalysisConfig::windowed(4);
+    AnalysisResult solo = analyzeSolo(cfg, buf);
+    for (size_t cut : {size_t(1), size_t(2), size_t(31), size_t(62)}) {
+        PatchPlan plan;
+        std::vector<size_t> bounds{0, cut, buf.records().size()};
+        AnalysisResult patched = patchOverBounds(cfg, buf, bounds, plan);
+        std::string diff;
+        EXPECT_TRUE(shardedResultsEqual(solo, patched, &diff))
+            << "cut=" << cut << ": " << diff;
+    }
+}
+
+TEST(SplitAndPatch, MoreShardsThanRecords)
+{
+    TraceBuffer buf = branchyTrace(87, 40);
+    AnalysisConfig cfg;
+    cfg.branchPredictor = PredictorKind::Bimodal;
+    expectPatchExact(cfg, buf, 64, "more shards than records");
+    expectPatchExact(cfg, buf, 2, "two shards, tiny trace");
+}
+
+TEST(SplitAndPatch, ConsecutiveReplaysShareOneSession)
+{
+    // FU-limited configs only splice at total firewalls; a no-syscall
+    // trace tiled into 8 segments replays every boundary, exercising the
+    // shared sequential engine session across consecutive failures.
+    TraceBuffer buf = randomTrace(88, 1500, /*with_syscalls=*/false);
+    AnalysisConfig cfg;
+    cfg.totalFuLimit = 1;
+    AnalysisResult solo = analyzeSolo(cfg, buf);
+    PatchOutcome outcome;
+    AnalysisResult patched = analyzeViaPatch(cfg, buf, 8, &outcome);
+    std::string diff;
+    EXPECT_TRUE(shardedResultsEqual(solo, patched, &diff)) << diff;
+    EXPECT_GT(outcome.replayed, 0u);
 }
 
 TEST(ShardStitch, SyscallAdjacentCuts)

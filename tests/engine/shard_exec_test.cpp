@@ -1,10 +1,10 @@
-// Engine-level firewall sharding: a streamed `.ptrc` cell run with
+// Engine-level split-and-patch sharding: a streamed `.ptrc` cell run with
 // --shard=N must render the byte-identical JSON document of the unsharded
-// run — the stitch equivalence proved record-by-record in
-// tests/core/shard_test.cpp, here end-to-end through TraceRepository's
-// shared decode pool, the sweep scheduler, and the JSON writer. Plus the
-// CLI surface: --shard / --stats argument parsing and the --stats timing
-// fields.
+// run for EVERY config — the splice/replay equivalence proved
+// record-by-record in tests/core/shard_test.cpp, here end-to-end through
+// TraceRepository's shared decode pool, the sweep scheduler, and the JSON
+// writer. Plus the CLI surface: --shard / --stats argument parsing and
+// the --stats timing fields.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -105,19 +105,53 @@ TEST_F(ShardExec, ShardedSweepIsByteIdenticalToSolo)
     }
 }
 
-TEST_F(ShardExec, NonShardableConfigFallsBackToSolo)
+TEST_F(ShardExec, FormerlyGatedConfigsShardByteIdentically)
 {
-    core::AnalysisConfig cfg = core::AnalysisConfig::dataflowConservative();
-    cfg.branchPredictor = core::PredictorKind::Bimodal; // kills the gate
-    std::vector<core::AnalysisConfig> cfgs{cfg};
+    // Every config the old firewall-only gate excluded: modeled
+    // predictors, non-stalling syscalls, and FU limits all shard now via
+    // split-and-patch, still byte-identical to solo.
+    std::vector<core::AnalysisConfig> cfgs;
+    core::AnalysisConfig bimodal = core::AnalysisConfig::dataflowConservative();
+    bimodal.branchPredictor = core::PredictorKind::Bimodal;
+    cfgs.push_back(bimodal);
+    core::AnalysisConfig nostall = core::AnalysisConfig::dataflowConservative();
+    nostall.sysCallsStall = false;
+    cfgs.push_back(nostall);
+    core::AnalysisConfig fu = core::AnalysisConfig::dataflowConservative();
+    fu.totalFuLimit = 2;
+    cfgs.push_back(fu);
 
     SweepResult sharded;
     std::string solo = runSweep(1, cfgs);
     std::string split = runSweep(4, cfgs, &sharded);
     EXPECT_EQ(solo, split);
-    ASSERT_EQ(sharded.cells.size(), 1u);
-    EXPECT_TRUE(sharded.cells[0].ok());
-    EXPECT_EQ(sharded.cells[0].shardSegments, 0u); // fell back, no stitch
+    ASSERT_EQ(sharded.cells.size(), cfgs.size());
+    for (const SweepCell &cell : sharded.cells) {
+        EXPECT_TRUE(cell.ok()) << cell.errorMessage;
+        EXPECT_GE(cell.shardSegments, 2u);
+        EXPECT_LE(cell.shardSegments, 4u);
+        EXPECT_EQ(cell.shardSpliced + cell.shardReplayed,
+                  cell.shardSegments);
+    }
+}
+
+TEST_F(ShardExec, MoreShardsThanSegmentsClampAndStayExact)
+{
+    std::vector<core::AnalysisConfig> cfgs;
+    cfgs.push_back(core::AnalysisConfig::dataflowConservative());
+    core::AnalysisConfig bimodal = cfgs[0];
+    bimodal.branchPredictor = core::PredictorKind::Bimodal;
+    cfgs.push_back(bimodal);
+
+    SweepResult sharded;
+    std::string solo = runSweep(1, cfgs);
+    std::string split = runSweep(64, cfgs, &sharded);
+    EXPECT_EQ(solo, split);
+    for (const SweepCell &cell : sharded.cells) {
+        EXPECT_TRUE(cell.ok()) << cell.errorMessage;
+        EXPECT_GE(cell.shardSegments, 2u);
+        EXPECT_LE(cell.shardSegments, 64u);
+    }
 }
 
 TEST_F(ShardExec, StatsEmitDecodeAnalyzeSplitAndSegments)

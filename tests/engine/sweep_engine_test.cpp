@@ -220,6 +220,71 @@ TEST(SweepEngine, StreamingSweepJsonMatchesCapturedSweep)
     fs::remove(path);
 }
 
+TEST(SweepEngine, AutoGroupRespectsDecoderCapOnGatedStreams)
+{
+    // Auto grouping (--group=0) over a decode-gated stream (`.ptrz`: one
+    // private decoder per pass, at most two concurrent) must divide the
+    // bucket among the decoders that can run, not among all workers:
+    // ceil(pending / jobs) at --jobs=8 gave eight near-solo passes that
+    // serialized two-at-a-time, each paying a full decode.
+    namespace fs = std::filesystem;
+    std::string path =
+        (fs::temp_directory_path() / "sweep_autogroup.ptrz").string();
+    {
+        TraceRepository seed(smallScale());
+        trace::SharedBufferSource src(seed.get("xlisp"), "xlisp");
+        trace::CompressedTraceWriter writer(path);
+        writer.writeAll(src);
+        writer.close();
+    }
+
+    std::vector<core::AnalysisConfig> configs;
+    for (uint64_t w : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 0u}) {
+        configs.push_back(w ? core::AnalysisConfig::windowed(w)
+                            : core::AnalysisConfig::dataflowConservative());
+    }
+    SweepJsonOptions json;
+    json.timing = false;
+
+    TraceRepository::Options capOpt = smallScale();
+    capOpt.maxRecords = 1500;
+    TraceRepository capRepo(capOpt);
+    SweepEngine::Options soloOpt;
+    soloOpt.jobs = 2;
+    std::string captured = sweepToJson(
+        SweepEngine(soloOpt).run(capRepo, {path}, configs), json);
+
+    TraceRepository::Options streamOpt = capOpt;
+    streamOpt.streamFiles = true;
+    TraceRepository streamRepo(streamOpt);
+    SweepEngine::Options opt;
+    opt.jobs = 8;
+    opt.groupSize = 0; // auto
+    SweepResult sweep = SweepEngine(opt).run(streamRepo, {path}, configs);
+    // Two decoders' shares of eight configs: two fused passes of four —
+    // not eight near-solo passes (the old ceil(8 / jobs) target).
+    EXPECT_EQ(sweep.fusedGroups, 2u);
+    EXPECT_EQ(sweepToJson(sweep, json), captured);
+    fs::remove(path);
+}
+
+TEST(SweepEngine, AutoGroupKeepsWorkerSharesOnCapturedInputs)
+{
+    // Captured inputs share the repository cache and are never
+    // decode-gated: the auto target stays one pass per worker's share.
+    std::vector<core::AnalysisConfig> configs;
+    for (uint64_t w : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 0u}) {
+        configs.push_back(w ? core::AnalysisConfig::windowed(w)
+                            : core::AnalysisConfig::dataflowConservative());
+    }
+    TraceRepository repo(smallScale());
+    SweepEngine::Options opt;
+    opt.jobs = 8;
+    opt.groupSize = 0; // auto: ceil(8 / 8) = 1 config per pass
+    SweepResult sweep = SweepEngine(opt).run(repo, {"xlisp"}, configs);
+    EXPECT_EQ(sweep.fusedGroups, configs.size());
+}
+
 TEST(SweepEngine, CellsMatchSoloAnalyzeRunsByteForByte)
 {
     // The acceptance grid shape: window sizes crossed with two workloads,

@@ -19,9 +19,10 @@ ok/failed status on every cell, metrics on ok cells, and error/attempts
 fields on failed ones.
 
 --sweep-bench mode runs bench_sweep with --json and validates the
-paragraph-bench-sweep-v2 document: schema id, the source × jobs × group ×
+paragraph-bench-sweep-v3 document: schema id, the source × jobs × group ×
 shard matrix rows with positive throughput (sources capture, stream, and
-pooled), the solo/fused summary, the single-trace shard-scaling summary,
+pooled), the solo/fused summary, the single-trace shard-scaling leg
+(shard={1,2,4,8} over both the captured buffer and the pooled stream),
 and the identical_json flag (every run of the matrix produced the same
 analysis).
 
@@ -78,17 +79,22 @@ SERVE_HEALTH_KEYS = {"pending_cells", "active_sweeps", "workers",
                      "failpoints_active", "failpoint_fires"}
 SERVE_BUSY_KEYS = {"error", "retry_after_ms"}
 
-SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v2"
+SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v3"
 SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "shard", "cells",
                         "instructions", "seconds", "cells_per_sec",
                         "minstr_per_sec"}
 SWEEP_BENCH_SOURCES = {"capture", "stream", "pooled"}
+# The shard-scaling leg runs both split-and-patch paths: the captured
+# buffer and the pooled stream (`.ptrz` cells have no block index and
+# cannot shard).
+SWEEP_BENCH_SHARD_SOURCES = {"capture", "pooled"}
 SWEEP_BENCH_SUMMARY_KEYS = {"jobs1_solo_minstr_per_sec",
                             "jobs1_fused_minstr_per_sec",
                             "jobs1_fused_speedup", "shard_threads",
                             "shard1_minstr_per_sec",
                             "shardn_minstr_per_sec", "shard_speedup",
-                            "shard_scaling_efficiency", "identical_json"}
+                            "shard_scaling_efficiency",
+                            "capture_shard_speedup", "identical_json"}
 
 
 def fail(msg):
@@ -448,6 +454,7 @@ def check_sweep_bench(argv):
     if not isinstance(results, list) or not results:
         fail("results must be a non-empty array")
     sources = set()
+    shard_points = {}
     for i, row in enumerate(results):
         missing = SWEEP_BENCH_ROW_KEYS - row.keys()
         if missing:
@@ -457,6 +464,7 @@ def check_sweep_bench(argv):
         sources.add(row["source"])
         if row["shard"] <= 0:
             fail(f"results[{i}] has non-positive shard count")
+        shard_points.setdefault(row["source"], set()).add(row["shard"])
         if row["cells"] <= 0 or row["instructions"] <= 0:
             fail(f"results[{i}] swept no work")
         if row["minstr_per_sec"] <= 0 or row["cells_per_sec"] <= 0:
@@ -464,6 +472,11 @@ def check_sweep_bench(argv):
     if sources != SWEEP_BENCH_SOURCES:
         fail(f"matrix covers sources {sorted(sources)}, "
              f"expected {sorted(SWEEP_BENCH_SOURCES)}")
+    for source in sorted(SWEEP_BENCH_SHARD_SOURCES):
+        points = shard_points.get(source, set())
+        if len(points) < 2 or max(points) <= 1:
+            fail(f"source {source!r} has no sharded scaling points "
+                 f"(shards seen: {sorted(points)})")
     summary = doc.get("summary")
     if not isinstance(summary, dict) or \
             SWEEP_BENCH_SUMMARY_KEYS - summary.keys():
@@ -483,10 +496,13 @@ def check_sweep_bench(argv):
         fail("shard throughput legs are non-positive")
     if summary["shard_scaling_efficiency"] <= 0:
         fail("shard_scaling_efficiency is non-positive")
+    if summary["capture_shard_speedup"] <= 0:
+        fail("capture_shard_speedup is non-positive")
     print(f"ok: {len(results)} rows, schema {SWEEP_BENCH_SCHEMA}, "
           f"jobs1 fused speedup {summary['jobs1_fused_speedup']:.2f}x, "
-          f"shard speedup {summary['shard_speedup']:.2f}x at "
-          f"{summary['shard_threads']} threads")
+          f"pooled shard speedup {summary['shard_speedup']:.2f}x / capture "
+          f"{summary['capture_shard_speedup']:.2f}x at "
+          f"{summary['shard_threads']} shards")
 
 
 def main():

@@ -36,18 +36,21 @@
 //                          mmapped into a shared decode pool (each block
 //                          decoded once across all workers), fused groups
 //                          pay one decode for the whole group
-//   --shard=N              split each solo streamed cell at syscall
-//                          firewall points into up to N trace segments
-//                          analyzed on N threads and stitched into the
+//   --shard=N              split each solo cell (captured or pooled
+//                          .ptrc stream) into up to N trace segments
+//                          analyzed on N threads and patched into the
 //                          exact single-threaded result — how ONE trace x
-//                          ONE config uses more than one core (needs
-//                          --syscalls=stall and a perfect predictor;
-//                          other cells fall back to the normal solo pass)
+//                          ONE config uses more than one core; works for
+//                          every config (firewall cuts under
+//                          --syscalls=stall + perfect prediction,
+//                          validate-or-replay split-and-patch otherwise;
+//                          .ptrz cells run solo)
 //   --max=N                analyze at most N instructions per cell
 //                          (also caps the shared trace capture)
 //   --out=FILE             write the JSON document to FILE
 //   --stats                add decode/analyze wall-time split and shard
-//                          segment counts to the "timing" fields
+//                          segment/splice/replay counts to the "timing"
+//                          fields
 //   --no-timing            omit wall-clock fields (deterministic output)
 //   --no-profiles          omit per-cell parallelism-profile buckets
 //   --quiet                suppress the stderr progress line
