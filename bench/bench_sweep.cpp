@@ -18,8 +18,15 @@
 // per source/grid slot — the matrix is only meaningful because every
 // variant produces byte-identical analysis, every sharded point included.
 //
+// A final explore-vs-grid leg runs the adaptive explorer (--explore)
+// against the full grid on a plateau-heavy window × rename axis: the explorer
+// must reproduce the exact full-grid Pareto frontier (checked cell-for-
+// cell with engine::verifyExploreAgainstGrid) while executing a fraction
+// of the cells; the fraction and both wall times go into the summary and
+// the frontier identity is asserted like identical_json.
+//
 // Results are written as `BENCH_sweep.json` — a stable, timestamped schema
-// (`paragraph-bench-sweep-v3`) meant to be re-run and diffed across
+// (`paragraph-bench-sweep-v4`) meant to be re-run and diffed across
 // revisions so the perf trajectory of the sweep engine is tracked in-repo.
 // The shard-scaling summary is reported, never asserted: on a 1-core
 // runner the sharded legs cannot beat solo, and the numbers say so.
@@ -49,7 +56,9 @@
 #include <vector>
 
 #include "core/paragraph.hpp"
+#include "engine/explorer.hpp"
 #include "engine/sweep.hpp"
+#include "engine/sweep_args.hpp"
 #include "engine/sweep_json.hpp"
 #include "engine/trace_repository.hpp"
 #include "support/ascii_table.hpp"
@@ -203,6 +212,90 @@ measure(const std::string &path, const std::string &source, bool stream,
     return row;
 }
 
+/** The explore-vs-grid leg's measurements. */
+struct ExploreLeg
+{
+    size_t cellsTotal = 0;
+    size_t cellsExecuted = 0;
+    size_t cellsPruned = 0;
+    double gridSeconds = 0.0;
+    double exploreSeconds = 0.0;
+    bool identicalFrontier = false;
+    std::string diag;
+};
+
+/**
+ * Adaptive explorer vs the full grid over the captured trace. The axis is
+ * deliberately plateau-heavy — a sparse window knee region followed by a
+ * deep chain of windows at and beyond the instruction cap (which cannot
+ * bind, so their cells equal the unlimited-window cell exactly) is
+ * exactly the regime the explorer's knee bisection and dominance pruning
+ * are built for — and the frontier identity is verified cell-for-cell
+ * against the grid run. FUs stay unlimited: under a finite FU limit the
+ * dominance order offers no window bounds (the Graham-anomaly gate in
+ * engine/explorer.cpp), so those strata would simply be enumerated.
+ */
+ExploreLeg
+measureExplore(const std::string &path, const Options &opt)
+{
+    engine::SweepArgs args;
+    args.inputs = {path};
+    args.windows = {1,         16,        256,       1024,      4096,
+                    16384,     65536,     262144,    1u << 20u, 1u << 21u,
+                    1u << 22u, 1u << 23u, 1u << 24u, 1u << 25u, 1u << 26u,
+                    0};
+    args.renames = {"none", "data"};
+    args.maxInstructions = opt.maxInstructions;
+    engine::SweepAxes axes = engine::defaultedSweepAxes(args);
+    std::vector<core::AnalysisConfig> configs;
+    std::vector<std::string> labels;
+    ExploreLeg leg;
+    if (!engine::buildSweepConfigAxis(args, configs, labels, leg.diag))
+        return leg;
+
+    engine::TraceRepository::Options repoOpt;
+    repoOpt.maxRecords = opt.maxInstructions;
+    engine::TraceRepository repo(repoOpt);
+    repo.get(path);
+
+    engine::SweepEngine::Options engineOpt;
+    engineOpt.jobs = opt.jobs;
+    engine::SweepEngine sweeper(engineOpt);
+
+    leg.gridSeconds = std::numeric_limits<double>::infinity();
+    engine::SweepResult grid;
+    for (unsigned r = 0; r < opt.repeats; ++r) {
+        engine::SweepResult sweep = sweeper.run(repo, {path}, configs,
+                                                labels);
+        if (sweep.wallSeconds < leg.gridSeconds)
+            leg.gridSeconds = sweep.wallSeconds;
+        grid = std::move(sweep); // deterministic: any repeat serves
+    }
+
+    engine::Explorer explorer; // exact mode, fixed default seed
+    leg.exploreSeconds = std::numeric_limits<double>::infinity();
+    engine::ExploreResult explored;
+    for (unsigned r = 0; r < opt.repeats; ++r) {
+        engine::ExploreResult result = explorer.explore(
+            {path}, axes, configs, labels,
+            [&](std::vector<engine::SweepJob> jobs) {
+                return sweeper.runJobs(repo, std::move(jobs)).cells;
+            });
+        if (result.wallSeconds < leg.exploreSeconds)
+            leg.exploreSeconds = result.wallSeconds;
+        explored = std::move(result);
+    }
+
+    leg.cellsTotal = explored.cellsTotal;
+    leg.cellsExecuted = explored.cellsExecuted;
+    leg.cellsPruned = explored.cellsPruned;
+    engine::SweepJsonOptions noTiming;
+    noTiming.timing = false;
+    leg.identicalFrontier =
+        engine::verifyExploreAgainstGrid(explored, grid, noTiming, leg.diag);
+    return leg;
+}
+
 std::string
 utcTimestamp()
 {
@@ -240,14 +333,14 @@ findShardRow(const std::vector<Row> &shardRows, const char *source,
     return nullptr;
 }
 
-/** BENCH_sweep.json, schema paragraph-bench-sweep-v3. */
+/** BENCH_sweep.json, schema paragraph-bench-sweep-v4. */
 void
 writeJson(std::ostream &os, const Options &opt, size_t configs,
           const std::vector<Row> &rows, const std::vector<Row> &shardRows,
-          unsigned maxShard, bool identical)
+          unsigned maxShard, bool identical, const ExploreLeg &explore)
 {
     os << "{\n"
-       << "  \"schema\": \"paragraph-bench-sweep-v3\",\n"
+       << "  \"schema\": \"paragraph-bench-sweep-v4\",\n"
        << "  \"timestamp\": " << engine::jsonString(utcTimestamp()) << ",\n"
        << "  \"input\": " << engine::jsonString(opt.input) << ",\n"
        << "  \"configs\": " << configs << ",\n"
@@ -315,6 +408,32 @@ writeJson(std::ostream &os, const Options &opt, size_t configs,
        << ",\n"
        << "    \"capture_shard_speedup\": "
        << engine::jsonDouble(captureShardSpeedup) << ",\n"
+       // Explore-vs-grid: the fraction of cells the explorer had to run
+       // is deterministic (seeded), so it IS asserted downstream; the
+       // wall-time speedup is machine noise and only reported.
+       << "    \"explore_cells_total\": " << explore.cellsTotal << ",\n"
+       << "    \"explore_cells_executed\": " << explore.cellsExecuted
+       << ",\n"
+       << "    \"explore_cells_pruned\": " << explore.cellsPruned << ",\n"
+       << "    \"explore_fraction_executed\": "
+       << engine::jsonDouble(
+              explore.cellsTotal
+                  ? static_cast<double>(explore.cellsExecuted) /
+                        static_cast<double>(explore.cellsTotal)
+                  : 0.0)
+       << ",\n"
+       << "    \"explore_grid_seconds\": "
+       << engine::jsonDouble(explore.gridSeconds) << ",\n"
+       << "    \"explore_seconds\": "
+       << engine::jsonDouble(explore.exploreSeconds) << ",\n"
+       << "    \"explore_speedup\": "
+       << engine::jsonDouble(explore.exploreSeconds > 0.0
+                                 ? explore.gridSeconds /
+                                       explore.exploreSeconds
+                                 : 0.0)
+       << ",\n"
+       << "    \"identical_frontier\": "
+       << (explore.identicalFrontier ? "true" : "false") << ",\n"
        << "    \"identical_json\": " << (identical ? "true" : "false")
        << "\n"
        << "  }\n"
@@ -438,12 +557,26 @@ main(int argc, char **argv)
     }
     rows.insert(rows.end(), shardRows.begin(), shardRows.end());
 
+    // Explore-vs-grid over the captured trace.
+    ExploreLeg explore = measureExplore(cpath, opt);
+    if (!opt.jsonToStdout) {
+        std::fprintf(stderr,
+                     "  explore  %zu/%zu cells (%zu pruned), grid %.3fs "
+                     "vs explore %.3fs\n",
+                     explore.cellsExecuted, explore.cellsTotal,
+                     explore.cellsPruned, explore.gridSeconds,
+                     explore.exploreSeconds);
+    }
+    if (!explore.identicalFrontier && !explore.diag.empty())
+        std::fprintf(stderr, "bench_sweep: explore verification: %s\n",
+                     explore.diag.c_str());
+
     fs::remove(zpath);
     fs::remove(cpath);
 
     if (opt.jsonToStdout) {
         writeJson(std::cout, opt, configs.size(), rows, shardRows, kMaxShard,
-                  identical);
+                  identical, explore);
     } else {
         AsciiTable table;
         table.addColumn("Source", AsciiTable::Align::Left);
@@ -478,6 +611,9 @@ main(int argc, char **argv)
                         pooledN->minstrPerSec / pooled1->minstrPerSec);
         }
         std::printf("identical json: %s\n", identical ? "yes" : "NO");
+        std::printf("explore: %zu/%zu cells, identical frontier: %s\n",
+                    explore.cellsExecuted, explore.cellsTotal,
+                    explore.identicalFrontier ? "yes" : "NO");
     }
 
     if (!opt.outPath.empty()) {
@@ -488,9 +624,9 @@ main(int argc, char **argv)
             return 1;
         }
         writeJson(out, opt, configs.size(), rows, shardRows, kMaxShard,
-                  identical);
+                  identical, explore);
         if (!opt.jsonToStdout)
             std::printf("wrote %s\n", opt.outPath.c_str());
     }
-    return identical ? 0 : 1;
+    return identical && explore.identicalFrontier ? 0 : 1;
 }

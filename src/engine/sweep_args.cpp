@@ -138,6 +138,17 @@ parseSweepArgs(const std::vector<std::string> &args, SweepArgs &opt,
             opt.journalPath = arg.substr(10);
         } else if (startsWith(arg, "--resume=")) {
             opt.resumePath = arg.substr(9);
+        } else if (arg == "--explore") {
+            opt.explore = true;
+        } else if (startsWith(arg, "--knee-tol=")) {
+            char *end = nullptr;
+            opt.kneeTol = std::strtod(arg.c_str() + 11, &end);
+            if (!end || *end != '\0' || opt.kneeTol < 0.0 ||
+                opt.kneeTol != opt.kneeTol) {
+                error = strFormat("bad --knee-tol value '%s'",
+                                  arg.c_str() + 11);
+                return false;
+            }
         } else if (arg == "--small") {
             opt.small = true;
         } else if (arg == "--stream") {
@@ -164,23 +175,34 @@ parseSweepArgs(const std::vector<std::string> &args, SweepArgs &opt,
     return true;
 }
 
+SweepAxes
+defaultedSweepAxes(const SweepArgs &opt)
+{
+    SweepAxes axes;
+    axes.windows =
+        opt.windows.empty() ? std::vector<uint64_t>{0} : opt.windows;
+    axes.renames =
+        opt.renames.empty() ? std::vector<std::string>{"data"} : opt.renames;
+    axes.syscalls = opt.syscalls.empty() ? std::vector<std::string>{"stall"}
+                                         : opt.syscalls;
+    axes.predictors = opt.predictors.empty()
+                          ? std::vector<std::string>{"perfect"}
+                          : opt.predictors;
+    axes.fus = opt.fus.empty() ? std::vector<uint32_t>{0} : opt.fus;
+    return axes;
+}
+
 bool
 buildSweepConfigAxis(const SweepArgs &opt,
                      std::vector<core::AnalysisConfig> &configs,
                      std::vector<std::string> &labels, std::string &error)
 {
-    std::vector<uint64_t> windows =
-        opt.windows.empty() ? std::vector<uint64_t>{0} : opt.windows;
-    std::vector<std::string> renames =
-        opt.renames.empty() ? std::vector<std::string>{"data"} : opt.renames;
-    std::vector<std::string> syscalls =
-        opt.syscalls.empty() ? std::vector<std::string>{"stall"}
-                             : opt.syscalls;
-    std::vector<std::string> predictors =
-        opt.predictors.empty() ? std::vector<std::string>{"perfect"}
-                               : opt.predictors;
-    std::vector<uint32_t> fus =
-        opt.fus.empty() ? std::vector<uint32_t>{0} : opt.fus;
+    SweepAxes axes = defaultedSweepAxes(opt);
+    const std::vector<uint64_t> &windows = axes.windows;
+    const std::vector<std::string> &renames = axes.renames;
+    const std::vector<std::string> &syscalls = axes.syscalls;
+    const std::vector<std::string> &predictors = axes.predictors;
+    const std::vector<uint32_t> &fus = axes.fus;
 
     for (uint64_t w : windows) {
         for (const std::string &ren : renames) {

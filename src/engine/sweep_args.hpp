@@ -42,11 +42,42 @@ struct SweepArgs
     bool stream = false;
     bool quiet = false;
     bool listRequested = false; ///< --list: print workloads and exit
+    bool explore = false;       ///< adaptive exploration instead of the grid
+    double kneeTol = 0.0;       ///< --knee-tol: parallelism tolerance for
+                                ///< window-knee bracket collapse (0 = exact)
     std::string outPath;
     std::string journalPath;
     std::string resumePath;
     SweepJsonOptions json;
 };
+
+/**
+ * The defaulted axis point lists behind one sweep grid: what
+ * buildSweepConfigAxis crosses, in cross-product nesting order
+ * (windows → renames → syscalls → predictors → fus). The explorer needs
+ * the individual axes — not just the flattened config list — to decompose
+ * a config index back into axis coordinates for its monotonicity
+ * reasoning.
+ */
+struct SweepAxes
+{
+    std::vector<uint64_t> windows;
+    std::vector<std::string> renames;
+    std::vector<std::string> syscalls;
+    std::vector<std::string> predictors;
+    std::vector<uint32_t> fus;
+
+    /** Grid size: the product of the axis lengths. */
+    size_t points() const
+    {
+        return windows.size() * renames.size() * syscalls.size() *
+               predictors.size() * fus.size();
+    }
+};
+
+/** The axis lists @p opt expands to, with unspecified axes replaced by
+ *  their single default point (the lists buildSweepConfigAxis crosses). */
+SweepAxes defaultedSweepAxes(const SweepArgs &opt);
 
 /**
  * Parse @p args (argv[1..]) into @p out. Never prints or exits.

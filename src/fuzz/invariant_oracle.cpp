@@ -10,6 +10,9 @@
 #include "core/multi.hpp"
 #include "core/paragraph.hpp"
 #include "core/shard.hpp"
+#include "engine/explorer.hpp"
+#include "engine/sweep.hpp"
+#include "engine/sweep_args.hpp"
 #include "isa/op_class.hpp"
 #include "support/string_utils.hpp"
 #include "trace/compressed_io.hpp"
@@ -87,6 +90,12 @@ propertyCatalogue()
          "conditions hold, replay where they fail) into the exact solo "
          "result under every matrix config — modeled predictors, ignored "
          "syscalls, finite windows, and FU limits included"},
+        {"explore-soundness",
+         "the adaptive explorer prunes a cell only when the monotonicity "
+         "theorems above prove a measured cell dominates it, so on any "
+         "trace its Pareto frontier must equal the full grid's frontier "
+         "and every dominance certificate must re-verify against the "
+         "measured cells"},
     };
     return catalogue;
 }
@@ -580,6 +589,34 @@ InvariantOracle::check(const TraceBuffer &trace) const
              strFormat("cp(always-wrong)=%llu < cp(perfect)=%llu",
                        ull(solo[kAlwaysWrong].criticalPathLength),
                        ull(solo[kBase].criticalPathLength)));
+    // The explorer's pruner orders modeled predictors between the two
+    // extremes (its mispredict set is a subset of always-wrong's and a
+    // superset of perfect's, and firewalls are antitone in that set) — a
+    // relation the fixed matrix alone never exercised. Check it with one
+    // extra solo run so the pruning contract rests on a tested theorem.
+    {
+        AnalysisConfig bm = matrix[kBase].cfg;
+        bm.branchPredictor = core::PredictorKind::Bimodal;
+        AnalysisResult bimodal = core::Paragraph(bm).analyze(trace);
+        if (bimodal.criticalPathLength < solo[kBase].criticalPathLength ||
+            solo[kAlwaysWrong].criticalPathLength <
+                bimodal.criticalPathLength)
+            fail("predictor-bound",
+                 strFormat("predictor chain broken: cp(perfect)=%llu "
+                           "cp(bimodal)=%llu cp(always-wrong)=%llu",
+                           ull(solo[kBase].criticalPathLength),
+                           ull(bimodal.criticalPathLength),
+                           ull(solo[kAlwaysWrong].criticalPathLength)));
+        if (bimodal.placedOps != solo[kBase].placedOps ||
+            bimodal.branchMispredictions > condBranches)
+            fail("predictor-bound",
+                 strFormat("bimodal: placedOps=%llu (perfect %llu), "
+                           "mispredictions=%llu of %llu branches",
+                           ull(bimodal.placedOps),
+                           ull(solo[kBase].placedOps),
+                           ull(bimodal.branchMispredictions),
+                           ull(condBranches)));
+    }
 
     // --- critical-path-lower-bound ---------------------------------------
     for (size_t i = 0; i < matrix.size(); ++i) {
@@ -682,6 +719,80 @@ InvariantOracle::check(const TraceBuffer &trace) const
                                matrix[i].name, segments.size(),
                                outcome.spliced, outcome.replayed,
                                diff.c_str()));
+        }
+    }
+
+    // --- explore-soundness -------------------------------------------------
+    // The adaptive explorer's dominance pruning is built ON TOP of the
+    // monotonicity theorems above; run it in anger against this trace. A
+    // grid over the matrix's axis values is solo-analyzed, the explorer is
+    // driven by a runner that serves cells from that grid (zero extra
+    // analyses), and then: every dominance certificate must re-verify
+    // against the measured cells, the explorer's Pareto frontier must
+    // equal the grid frontier, and no pruned cell may beat its certified
+    // parallelism bound.
+    {
+        engine::SweepArgs sweepArgs;
+        sweepArgs.inputs = {"fuzz"};
+        sweepArgs.windows = {opt_.windowSmall, opt_.windowLarge, 0};
+        sweepArgs.renames = {"none", "all"};
+        sweepArgs.predictors = {"wrong", "perfect"};
+        sweepArgs.fus = {opt_.fuLimit, 0};
+        engine::SweepAxes axes = engine::defaultedSweepAxes(sweepArgs);
+        std::vector<AnalysisConfig> configs;
+        std::vector<std::string> labels;
+        std::string err;
+        if (!engine::buildSweepConfigAxis(sweepArgs, configs, labels, err)) {
+            fail("explore-soundness", "grid build failed: " + err);
+        } else {
+            std::vector<engine::SweepCell> grid(configs.size());
+            std::vector<int> costs;
+            std::vector<double> pars;
+            for (size_t j = 0; j < configs.size(); ++j) {
+                engine::SweepCell &cell = grid[j];
+                cell.job.input = "fuzz";
+                cell.job.config = configs[j];
+                cell.job.configLabel = labels[j];
+                cell.job.configIndex = j;
+                cell.result = core::Paragraph(configs[j]).analyze(trace);
+                costs.push_back(engine::exploreCost(configs[j]));
+                pars.push_back(cell.result.availableParallelism);
+            }
+            engine::Explorer explorer;
+            engine::ExploreResult explored = explorer.explore(
+                {"fuzz"}, axes, configs, labels,
+                [&grid](std::vector<engine::SweepJob> jobs) {
+                    std::vector<engine::SweepCell> out;
+                    out.reserve(jobs.size());
+                    for (const engine::SweepJob &job : jobs)
+                        out.push_back(grid[job.configIndex]);
+                    return out;
+                });
+            std::string exploreDiag;
+            if (!engine::verifyExploreCertificates(explored, exploreDiag))
+                fail("explore-soundness", exploreDiag);
+            std::vector<size_t> gridFrontier = engine::paretoFrontier(
+                costs, pars, std::vector<bool>(configs.size(), true));
+            if (explored.traces.size() != 1 ||
+                explored.traces[0].frontier != gridFrontier)
+                fail("explore-soundness",
+                     strFormat("explorer frontier has %zu cells, grid "
+                               "frontier has %zu",
+                               explored.traces.empty()
+                                   ? size_t{0}
+                                   : explored.traces[0].frontier.size(),
+                               gridFrontier.size()));
+            else
+                for (const engine::ExplorePruned &p :
+                     explored.traces[0].pruned)
+                    if (pars[p.configIndex] >
+                        p.certificate.boundParallelism)
+                        fail("explore-soundness",
+                             strFormat("pruned config %zu has parallelism "
+                                       "%.17g above its certified bound "
+                                       "%.17g",
+                                       p.configIndex, pars[p.configIndex],
+                                       p.certificate.boundParallelism));
         }
     }
 

@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <cstdlib>
+
 #include "engine/sweep_json.hpp"
 #include "support/json_line.hpp"
 #include "support/string_utils.hpp"
@@ -15,6 +17,8 @@ opName(ServeRequest::Op op)
     switch (op) {
       case ServeRequest::Op::Sweep:
         return "sweep";
+      case ServeRequest::Op::Explore:
+        return "explore";
       case ServeRequest::Op::Ping:
         return "ping";
       case ServeRequest::Op::Stats:
@@ -86,6 +90,8 @@ parseServeRequest(const std::string &line, ServeRequest &out,
     }
     if (*op == "sweep")
         out.op = ServeRequest::Op::Sweep;
+    else if (*op == "explore")
+        out.op = ServeRequest::Op::Explore;
     else if (*op == "ping")
         out.op = ServeRequest::Op::Ping;
     else if (*op == "stats")
@@ -119,9 +125,20 @@ parseServeRequest(const std::string &line, ServeRequest &out,
     if (const std::string *spec = p.str("spec"))
         out.failpointSpec = *spec;
     out.hasFailpointSeed = p.num("seed", out.failpointSeed);
+    if (const std::string *tol = p.str("knee_tol")) {
+        char *end = nullptr;
+        double v = std::strtod(tol->c_str(), &end);
+        if (!end || *end != '\0' || v < 0.0 || v != v) {
+            error = strFormat("bad knee_tol value '%s'", tol->c_str());
+            return false;
+        }
+        out.kneeTol = v;
+    }
 
-    if (out.op == ServeRequest::Op::Sweep && out.inputs.empty()) {
-        error = "sweep request has no inputs";
+    if ((out.op == ServeRequest::Op::Sweep ||
+         out.op == ServeRequest::Op::Explore) &&
+        out.inputs.empty()) {
+        error = strFormat("%s request has no inputs", opName(out.op));
         return false;
     }
     return true;
@@ -144,6 +161,8 @@ renderServeRequest(const ServeRequest &req)
         s += ", \"profiles\": false";
     if (req.small)
         s += ", \"small\": true";
+    if (req.op == ServeRequest::Op::Explore && req.kneeTol != 0.0)
+        s += ", \"knee_tol\": \"" + engine::jsonDouble(req.kneeTol) + '"';
     if (req.op == ServeRequest::Op::Failpoint) {
         s += ", \"spec\": " + engine::jsonString(req.failpointSpec);
         if (req.hasFailpointSeed)
@@ -166,6 +185,8 @@ toSweepArgs(const ServeRequest &req)
         args.fus.push_back(static_cast<uint32_t>(fu));
     args.maxInstructions = req.maxInstructions;
     args.small = req.small;
+    args.explore = req.op == ServeRequest::Op::Explore;
+    args.kneeTol = req.kneeTol;
     args.json.timing = false; // served documents are always deterministic
     args.json.profiles = req.profiles;
     return args;
@@ -201,6 +222,8 @@ parseServeResponse(const std::string &line, ServeResponse &out,
     p.num("cells_failed", out.cellsFailed);
     p.num("cells_cached", out.cellsCached);
     p.num("cells_computed", out.cellsComputed);
+    p.num("cells_executed", out.cellsExecuted);
+    p.num("cells_pruned", out.cellsPruned);
     p.num("requests", out.requests);
     p.num("store_entries", out.storeEntries);
     p.num("store_hot_bytes", out.storeHotBytes);
@@ -231,6 +254,24 @@ renderSweepResponse(uint64_t cellsTotal, uint64_t cellsFailed,
     return std::string("{\"schema\": \"") + protocolSchema +
            "\", \"status\": \"ok\", \"op\": \"sweep\", \"cells_total\": " +
            std::to_string(cellsTotal) +
+           ", \"cells_failed\": " + std::to_string(cellsFailed) +
+           ", \"cells_cached\": " + std::to_string(cellsCached) +
+           ", \"cells_computed\": " + std::to_string(cellsComputed) +
+           ", \"document\": " + engine::jsonString(document) + '}';
+}
+
+std::string
+renderExploreResponse(uint64_t cellsTotal, uint64_t cellsExecuted,
+                      uint64_t cellsPruned, uint64_t cellsFailed,
+                      uint64_t cellsCached, uint64_t cellsComputed,
+                      const std::string &document)
+{
+    return std::string("{\"schema\": \"") + protocolSchema +
+           "\", \"status\": \"ok\", \"op\": \"explore\", "
+           "\"cells_total\": " +
+           std::to_string(cellsTotal) +
+           ", \"cells_executed\": " + std::to_string(cellsExecuted) +
+           ", \"cells_pruned\": " + std::to_string(cellsPruned) +
            ", \"cells_failed\": " + std::to_string(cellsFailed) +
            ", \"cells_cached\": " + std::to_string(cellsCached) +
            ", \"cells_computed\": " + std::to_string(cellsComputed) +

@@ -33,7 +33,7 @@ constexpr const char *protocolSchema = "paragraph-serve-v1";
 /** One parsed client request. */
 struct ServeRequest
 {
-    enum class Op { Sweep, Ping, Stats, Health, Failpoint, Shutdown };
+    enum class Op { Sweep, Explore, Ping, Stats, Health, Failpoint, Shutdown };
 
     Op op = Op::Ping;
 
@@ -47,6 +47,11 @@ struct ServeRequest
     uint64_t maxInstructions = 0;
     bool profiles = true;
     bool small = false;
+
+    /** Knee tolerance for Op::Explore (0 = exact frontier). Carried on the
+     *  wire as a string rendered by jsonDouble, so the daemon explores with
+     *  bit-for-bit the tolerance the client asked for. */
+    double kneeTol = 0.0;
 
     /** Failpoint control (Op::Failpoint only, daemon must allow it):
      *  spec is "site=policy;..." as in PARAGRAPH_FAILPOINTS; empty spec
@@ -82,13 +87,19 @@ struct ServeResponse
      *  before retrying. */
     uint64_t retryAfterMs = 0;
 
-    /** Sweep accounting (op == "sweep" only). */
+    /** Sweep accounting (op == "sweep" / "explore"). */
     uint64_t cellsTotal = 0;
     uint64_t cellsFailed = 0;
     uint64_t cellsCached = 0;
     uint64_t cellsComputed = 0;
 
-    /** The full sweep JSON document (op == "sweep" only). */
+    /** Explore accounting (op == "explore" only): cells_executed counts
+     *  measured cells (cached + computed), cells_pruned the certificate-
+     *  skipped remainder of the grid. */
+    uint64_t cellsExecuted = 0;
+    uint64_t cellsPruned = 0;
+
+    /** The full sweep/explore JSON document (op == "sweep" / "explore"). */
     std::string document;
 
     /** Daemon counters (op == "stats" only). */
@@ -124,6 +135,13 @@ bool parseServeResponse(const std::string &line, ServeResponse &out,
 std::string renderSweepResponse(uint64_t cellsTotal, uint64_t cellsFailed,
                                 uint64_t cellsCached, uint64_t cellsComputed,
                                 const std::string &document);
+
+/** Render an explore response line (no trailing newline). */
+std::string renderExploreResponse(uint64_t cellsTotal, uint64_t cellsExecuted,
+                                  uint64_t cellsPruned, uint64_t cellsFailed,
+                                  uint64_t cellsCached,
+                                  uint64_t cellsComputed,
+                                  const std::string &document);
 
 /** Render a ping/shutdown acknowledgement line. */
 std::string renderAckResponse(const char *op);

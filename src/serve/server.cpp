@@ -11,9 +11,11 @@
 #include <unistd.h>
 
 #include "engine/config_key.hpp"
+#include "engine/explorer.hpp"
 #include "engine/sweep_json.hpp"
 #include "support/failpoint.hpp"
 #include "support/panic.hpp"
+#include "support/test_seed.hpp"
 
 namespace paragraph {
 namespace serve {
@@ -359,6 +361,7 @@ ServeServer::handleRequestLine(const std::string &line, bool &shutdown)
             PARA_WARN("serve: shutdown requested by client");
         return renderAckResponse("shutdown");
       case ServeRequest::Op::Sweep:
+      case ServeRequest::Op::Explore:
         break;
     }
 
@@ -384,7 +387,9 @@ ServeServer::handleRequestLine(const std::string &line, bool &shutdown)
             break;
     }
     try {
-        std::string response = handleSweep(req);
+        std::string response = req.op == ServeRequest::Op::Explore
+                                   ? handleExplore(req)
+                                   : handleSweep(req);
         activeSweeps_.fetch_sub(1, std::memory_order_relaxed);
         return response;
     } catch (const std::exception &e) {
@@ -511,6 +516,114 @@ ServeServer::handleSweep(const ServeRequest &req)
 
     return renderSweepResponse(sweep.cells.size(), failed, cached, computed,
                                sweepToJson(sweep, jsonOpt));
+}
+
+std::string
+ServeServer::handleExplore(const ServeRequest &req)
+{
+    engine::SweepArgs args = toSweepArgs(req);
+    std::vector<core::AnalysisConfig> configs;
+    std::vector<std::string> labels;
+    std::string error;
+    if (!engine::buildSweepConfigAxis(args, configs, labels, error))
+        return renderErrorResponse(error);
+
+    engine::SweepJsonOptions jsonOpt;
+    jsonOpt.timing = false;
+    jsonOpt.profiles = req.profiles;
+
+    // The explorer drives measurement round by round; each round resolves
+    // against the content-addressed store first (previous sweeps *and*
+    // previous explores of overlapping grids serve their cells for free)
+    // and submits only the misses through the standing scheduler.
+    uint64_t cached = 0;
+    uint64_t computed = 0;
+    auto runner = [&](std::vector<engine::SweepJob> jobs)
+        -> std::vector<engine::SweepCell> {
+        std::vector<engine::SweepCell> cells(jobs.size());
+        std::vector<engine::SweepJob> misses;
+        std::vector<size_t> missAt; // position per submitted job
+        // Content address per grid coordinate: explore rounds carry
+        // arbitrary grid subsets, so the store callback maps a finished
+        // cell back to its key by (input, config) coordinate.
+        std::map<std::pair<size_t, size_t>, ResultKey> coordKey;
+        for (size_t k = 0; k < jobs.size(); ++k) {
+            engine::SweepJob job = jobs[k];
+            job.config.cancel = &cancel_;
+            bool haveCrc = false;
+            ResultKey key;
+            try {
+                key.traceCrc = repo_.traceCrc(job.input);
+                haveCrc = true;
+            } catch (const std::exception &) {
+                // Unknown input: let the scheduler attribute the error.
+            }
+            if (haveCrc) {
+                key.configKey = engine::configKey(job.config);
+                key.profiles = req.profiles;
+                coordKey[{job.inputIndex, job.configIndex}] = key;
+                std::string cellJson;
+                if (store_ && store_->lookup(key, cellJson)) {
+                    rebindSpliceIndices(cellJson, job.inputIndex,
+                                        job.configIndex);
+                    cells[k].job = std::move(job);
+                    cells[k].status = engine::SweepCell::Status::Skipped;
+                    cells[k].journalText = std::move(cellJson);
+                    ++cached;
+                    continue;
+                }
+            }
+            ++computed;
+            missAt.push_back(k);
+            misses.push_back(std::move(job));
+        }
+        if (!misses.empty()) {
+            // Store each Ok cell the moment it is final, exactly as a
+            // sweep would: a client gone mid-explore still leaves every
+            // finished cell behind for the next asker.
+            auto batch = scheduler_->submit(
+                std::move(misses), [&](engine::SweepCell &cell) {
+                    if (cell.status != engine::SweepCell::Status::Ok ||
+                        !store_)
+                        return;
+                    auto it = coordKey.find(
+                        {cell.job.inputIndex, cell.job.configIndex});
+                    if (it == coordKey.end())
+                        return; // input CRC unavailable: uncacheable
+                    store_->insert(it->second, cellToJson(cell, jsonOpt));
+                });
+            batch->wait();
+            std::vector<engine::SweepCell> &done = batch->cells();
+            for (size_t k = 0; k < done.size(); ++k)
+                cells[missAt[k]] = std::move(done[k]);
+        }
+        return cells;
+    };
+
+    engine::Explorer::Options exOpt;
+    exOpt.kneeTol = req.kneeTol;
+    exOpt.seed = testSeed(exOpt.seed);
+    engine::Explorer explorer(exOpt);
+    engine::SweepAxes axes = engine::defaultedSweepAxes(args);
+    engine::ExploreResult explored =
+        explorer.explore(req.inputs, axes, configs, labels, runner);
+    explored.jobs = scheduler_->workers();
+
+    cellsCached_.fetch_add(cached, std::memory_order_relaxed);
+    cellsComputed_.fetch_add(computed, std::memory_order_relaxed);
+    if (!opt_.quiet) {
+        PARA_WARN("serve: explore %zu/%zu cells (%llu cached, %llu "
+                  "computed, %zu pruned, %zu failed)",
+                  explored.cellsExecuted, explored.cellsTotal,
+                  static_cast<unsigned long long>(cached),
+                  static_cast<unsigned long long>(computed),
+                  explored.cellsPruned, explored.cellsFailed);
+    }
+
+    return renderExploreResponse(explored.cellsTotal, explored.cellsExecuted,
+                                 explored.cellsPruned, explored.cellsFailed,
+                                 cached, computed,
+                                 exploreToJson(explored, jsonOpt));
 }
 
 std::string

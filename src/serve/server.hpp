@@ -137,6 +137,7 @@ class ServeServer
     void handleClient(int fd);
     std::string handleRequestLine(const std::string &line, bool &shutdown);
     std::string handleSweep(const ServeRequest &req);
+    std::string handleExplore(const ServeRequest &req);
     std::string statsLine();
     std::string healthLine();
     std::string failpointLine(const ServeRequest &req);

@@ -107,4 +107,17 @@ TEST(GoldenCli, SweepJsonDocument)
                 "sweep-small.golden", /*viaStdout=*/false);
 }
 
+TEST(GoldenCli, ExploreJsonDocument)
+{
+    // The frontier is seed-independent but the executed-cell set is not:
+    // strip any PARAGRAPH_TEST_SEED override so the snapshot compares the
+    // default exploration order.
+    checkGolden(std::string("env -u PARAGRAPH_TEST_SEED ") +
+                    PARAGRAPH_SWEEP_CLI_PATH,
+                "--explore --inputs=matrix300,xlisp --small --max=600 "
+                "--windows=4,16,64,0 --rename=none,data --fus=2,0 "
+                "--no-timing --quiet --jobs=1",
+                "explore-small.golden", /*viaStdout=*/false);
+}
+
 } // namespace

@@ -4,6 +4,7 @@
 Usage:
   check_bench_json.py <bench_hotpath binary> [extra bench args...]
   check_bench_json.py --sweep <paragraph-sweep binary> [sweep args...]
+  check_bench_json.py --explore <paragraph-sweep binary> [sweep args...]
   check_bench_json.py --sweep-bench <bench_sweep binary> [bench args...]
   check_bench_json.py --fuzz-report <paragraph-fuzz binary> [fuzz args...]
   check_bench_json.py --serve <paragraph-serve binary>
@@ -18,13 +19,26 @@ document: schema id, cell counters that agree with the cells array, an
 ok/failed status on every cell, metrics on ok cells, and error/attempts
 fields on failed ones.
 
+--explore mode runs paragraph-sweep with --explore and validates the
+paragraph-explore-v1 document: schema id, per-trace cell accounting
+(executed + pruned == total, executed and pruned config sets disjoint and
+jointly exhaustive), the Pareto frontier recomputed independently in
+Python from the executed cells' (cost, parallelism) points with the cost
+model mirrored from engine/explorer.cpp, and every dominance certificate
+re-verified against measured bounding cells: the bound and dominator must
+be executed ok cells, their recorded parallelism/cost must match the
+cells byte-for-byte (both sides render doubles shortest-round-trip, so
+equality is exact), and the dominance inequalities must hold — strictly
+somewhere for exact certificates, within knee_tol for approximate ones.
+
 --sweep-bench mode runs bench_sweep with --json and validates the
-paragraph-bench-sweep-v3 document: schema id, the source × jobs × group ×
+paragraph-bench-sweep-v4 document: schema id, the source × jobs × group ×
 shard matrix rows with positive throughput (sources capture, stream, and
 pooled), the solo/fused summary, the single-trace shard-scaling leg
 (shard={1,2,4,8} over both the captured buffer and the pooled stream),
-and the identical_json flag (every run of the matrix produced the same
-analysis).
+the identical_json flag (every run of the matrix produced the same
+analysis), and the explore-vs-grid leg: identical_frontier must be true
+and the explorer must have executed at most half the grid's cells.
 
 --fuzz-report mode runs paragraph-fuzz with --json and validates the
 paragraph-fuzz-v1 summary: schema id, iteration/check counters that are
@@ -79,7 +93,7 @@ SERVE_HEALTH_KEYS = {"pending_cells", "active_sweeps", "workers",
                      "failpoints_active", "failpoint_fires"}
 SERVE_BUSY_KEYS = {"error", "retry_after_ms"}
 
-SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v3"
+SWEEP_BENCH_SCHEMA = "paragraph-bench-sweep-v4"
 SWEEP_BENCH_ROW_KEYS = {"source", "jobs", "group", "shard", "cells",
                         "instructions", "seconds", "cells_per_sec",
                         "minstr_per_sec"}
@@ -94,7 +108,14 @@ SWEEP_BENCH_SUMMARY_KEYS = {"jobs1_solo_minstr_per_sec",
                             "shard1_minstr_per_sec",
                             "shardn_minstr_per_sec", "shard_speedup",
                             "shard_scaling_efficiency",
-                            "capture_shard_speedup", "identical_json"}
+                            "capture_shard_speedup",
+                            "explore_cells_total",
+                            "explore_cells_executed",
+                            "explore_cells_pruned",
+                            "explore_fraction_executed",
+                            "explore_grid_seconds", "explore_seconds",
+                            "explore_speedup", "identical_frontier",
+                            "identical_json"}
 
 
 def fail(msg):
@@ -151,6 +172,189 @@ def check_sweep(argv):
         fail(f"output is not valid JSON: {err}")
     cells, failed = validate_sweep_document(doc)
     print(f"ok: {len(cells)} cells ({failed} failed), schema {SWEEP_SCHEMA}")
+
+
+EXPLORE_SCHEMA = "paragraph-explore-v1"
+EXPLORE_TRACE_KEYS = {"input", "input_index", "cells_total",
+                      "cells_executed", "cells_pruned", "cells_failed",
+                      "cells", "frontier", "pruned"}
+EXPLORE_CERT_KEYS = {"axes", "direction", "bound_config_index",
+                     "bound_parallelism", "dominator_config_index",
+                     "dominator_cost", "dominator_parallelism",
+                     "approximate"}
+EXPLORE_AXES = {"window", "rename", "syscalls", "predictor", "fus"}
+EXPLORE_PREDICTOR_COST = {"perfect": 8, "bimodal": 2, "always-taken": 1,
+                          "never-taken": 1, "always-wrong": 0}
+
+
+def explore_cost(config):
+    """Mirror of engine::exploreCost (explorer.cpp): integer cost so the
+    frontier and certificate arithmetic can be re-derived exactly."""
+    window = config["window"]
+    window_cost = 64 if window == 0 else window.bit_length()
+    fus = config["total_fus"]
+    fu_cost = 32 if fus == 0 else fus.bit_length()
+    rename_cost = 2 * (int(config["rename_regs"]) +
+                       int(config["rename_stack"]) +
+                       int(config["rename_data"]))
+    return (window_cost + fu_cost + rename_cost +
+            EXPLORE_PREDICTOR_COST[config["predictor"]])
+
+
+def explore_frontier(points):
+    """Mirror of engine::paretoFrontier over {index: (cost, par)}:
+    non-dominated indices sorted by (cost, index)."""
+    front = []
+    for i, (cost, par) in points.items():
+        dominated = any(
+            c2 <= cost and p2 >= par and (c2 < cost or p2 > par)
+            for j, (c2, p2) in points.items() if j != i)
+        if not dominated:
+            front.append(i)
+    return sorted(front, key=lambda i: (points[i][0], i))
+
+
+def validate_explore_trace(t, doc, n_configs):
+    """Validate one per-trace block; returns (executed, pruned) counts."""
+    ti = t["input_index"]
+    if t.get("cells_total") != n_configs:
+        fail(f"trace {ti}: cells_total is {t.get('cells_total')}, "
+             f"expected {n_configs}")
+    cells = t["cells"]
+    pruned = t["pruned"]
+    if t["cells_executed"] != len(cells) or t["cells_pruned"] != len(pruned):
+        fail(f"trace {ti}: executed/pruned counters disagree with arrays")
+    if len(cells) + len(pruned) != n_configs:
+        fail(f"trace {ti}: {len(cells)} executed + {len(pruned)} pruned "
+             f"!= {n_configs} configs")
+
+    # Executed cells are full sweep cells; re-derive their cost and
+    # parallelism points and the failure count.
+    points = {}
+    failed = 0
+    for i, cell in enumerate(cells):
+        missing = SWEEP_CELL_KEYS - cell.keys()
+        if missing:
+            fail(f"trace {ti} cells[{i}] missing keys {sorted(missing)}")
+        j = cell["config_index"]
+        if j in points or any(p["config_index"] == j for p in pruned):
+            fail(f"trace {ti}: config {j} appears more than once")
+        if cell["status"] == "ok":
+            points[j] = (explore_cost(cell["config"]),
+                         cell["available_parallelism"])
+        else:
+            failed += 1
+            points[j] = None
+    if t["cells_failed"] != failed:
+        fail(f"trace {ti}: cells_failed is {t['cells_failed']}, "
+             f"but {failed} cells report failure")
+    ok_points = {j: p for j, p in points.items() if p is not None}
+
+    # The frontier must match an independent Python recomputation.
+    front = t["frontier"]
+    if [f["config_index"] for f in front] != explore_frontier(ok_points):
+        fail(f"trace {ti}: frontier disagrees with the recomputed "
+             f"Pareto frontier")
+    for f in front:
+        cost, par = ok_points[f["config_index"]]
+        if f["cost"] != cost or f["parallelism"] != par:
+            fail(f"trace {ti}: frontier entry {f['config_index']} "
+                 f"disagrees with its executed cell")
+
+    # Every pruned cell carries a certificate that re-verifies against
+    # measured bounding cells.
+    tol = doc["knee_tol"]
+    for p in pruned:
+        j = p["config_index"]
+        cert = p["certificate"]
+        missing = EXPLORE_CERT_KEYS - cert.keys()
+        if missing:
+            fail(f"trace {ti} pruned {j}: certificate missing "
+                 f"{sorted(missing)}")
+        if cert["direction"] != "up":
+            fail(f"trace {ti} pruned {j}: direction "
+                 f"{cert['direction']!r}, expected 'up'")
+        bad_axes = set(cert["axes"]) - EXPLORE_AXES
+        if bad_axes:
+            fail(f"trace {ti} pruned {j}: unknown axes {sorted(bad_axes)}")
+        bound = cert["bound_config_index"]
+        dom = cert["dominator_config_index"]
+        if bound not in ok_points or dom not in ok_points:
+            fail(f"trace {ti} pruned {j}: certificate references "
+                 f"unmeasured cells ({bound}, {dom})")
+        if cert["bound_parallelism"] != ok_points[bound][1]:
+            fail(f"trace {ti} pruned {j}: bound_parallelism disagrees "
+                 f"with measured cell {bound}")
+        if (cert["dominator_cost"] != ok_points[dom][0] or
+                cert["dominator_parallelism"] != ok_points[dom][1]):
+            fail(f"trace {ti} pruned {j}: dominator fields disagree "
+                 f"with measured cell {dom}")
+        d_cost, d_par = ok_points[dom]
+        b_par = cert["bound_parallelism"]
+        if cert["approximate"]:
+            if doc["exact"]:
+                fail(f"trace {ti} pruned {j}: approximate certificate "
+                     f"inside an exact document")
+            sound = d_cost < p["cost"] and d_par >= b_par - tol
+        else:
+            sound = (d_cost <= p["cost"] and d_par >= b_par and
+                     (d_cost < p["cost"] or d_par > b_par))
+        if not sound:
+            fail(f"trace {ti} pruned {j}: dominance does not hold "
+                 f"(cost {d_cost} vs {p['cost']}, par {d_par} vs "
+                 f"bound {b_par})")
+    return len(cells), len(pruned)
+
+
+def check_explore(argv):
+    if not argv:
+        fail("usage: check_bench_json.py --explore <paragraph-sweep> "
+             "[args...]")
+    if "--explore" not in argv:
+        argv = argv + ["--explore"]
+    proc = subprocess.run(argv, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail(f"paragraph-sweep exited with status {proc.returncode}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        fail(f"output is not valid JSON: {err}")
+
+    if doc.get("schema") != EXPLORE_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {EXPLORE_SCHEMA!r}")
+    for key in ("knee_tol", "exact", "inputs", "configs", "cells_total",
+                "cells_executed", "cells_pruned", "cells_failed", "rounds",
+                "traces"):
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+    if doc["knee_tol"] < 0:
+        fail(f"negative knee_tol {doc['knee_tol']}")
+    if doc["knee_tol"] == 0 and doc["exact"] is not True:
+        fail("knee_tol is 0 but the document is not exact")
+    traces = doc["traces"]
+    n_configs = doc["configs"]
+    if not isinstance(traces, list) or len(traces) != doc["inputs"]:
+        fail(f"traces has {len(traces)} entries, inputs says "
+             f"{doc['inputs']}")
+    if doc["cells_total"] != doc["inputs"] * n_configs:
+        fail(f"cells_total is {doc['cells_total']}, expected "
+             f"{doc['inputs']} x {n_configs}")
+
+    executed = pruned = failed = 0
+    for t in traces:
+        missing = EXPLORE_TRACE_KEYS - t.keys()
+        if missing:
+            fail(f"trace missing keys {sorted(missing)}")
+        e, p = validate_explore_trace(t, doc, n_configs)
+        executed += e
+        pruned += p
+        failed += t["cells_failed"]
+    if (doc["cells_executed"] != executed or
+            doc["cells_pruned"] != pruned or doc["cells_failed"] != failed):
+        fail("top-level cell counters disagree with the per-trace sums")
+    print(f"ok: {executed}/{doc['cells_total']} cells executed, "
+          f"{pruned} pruned with verified certificates, "
+          f"{len(traces)} frontiers recomputed, schema {EXPLORE_SCHEMA}")
 
 
 def serve_round_trip(binary, socket_path, raw_line):
@@ -498,19 +702,44 @@ def check_sweep_bench(argv):
         fail("shard_scaling_efficiency is non-positive")
     if summary["capture_shard_speedup"] <= 0:
         fail("capture_shard_speedup is non-positive")
+    # Explore-vs-grid leg: the frontier identity and the executed-cell
+    # fraction are deterministic (seeded exploration over a fixed grid),
+    # so both ARE asserted; the wall-time speedup is machine-dependent
+    # and only required to exist.
+    if summary["identical_frontier"] is not True:
+        fail("identical_frontier is not true: the explorer's Pareto "
+             "frontier diverged from the full grid's")
+    ex_total = summary["explore_cells_total"]
+    ex_run = summary["explore_cells_executed"]
+    if ex_total <= 0 or ex_run <= 0:
+        fail("explore leg ran no cells")
+    if ex_run + summary["explore_cells_pruned"] != ex_total:
+        fail("explore executed + pruned does not add up to the grid size")
+    if ex_run * 2 > ex_total:
+        fail(f"explore executed {ex_run}/{ex_total} cells, more than "
+             "half the grid — pruning regressed")
+    if abs(summary["explore_fraction_executed"] - ex_run / ex_total) > 1e-12:
+        fail("explore_fraction_executed disagrees with the cell counts")
+    if summary["explore_grid_seconds"] <= 0 or \
+            summary["explore_seconds"] <= 0:
+        fail("explore timing legs are non-positive")
     print(f"ok: {len(results)} rows, schema {SWEEP_BENCH_SCHEMA}, "
           f"jobs1 fused speedup {summary['jobs1_fused_speedup']:.2f}x, "
           f"pooled shard speedup {summary['shard_speedup']:.2f}x / capture "
           f"{summary['capture_shard_speedup']:.2f}x at "
-          f"{summary['shard_threads']} shards")
+          f"{summary['shard_threads']} shards, explore {ex_run}/{ex_total} "
+          f"cells with an identical frontier")
 
 
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_bench_json.py [--sweep|--sweep-bench|"
+        fail("usage: check_bench_json.py [--sweep|--explore|--sweep-bench|"
              "--fuzz-report|--serve] <binary> [args...]")
     if sys.argv[1] == "--sweep":
         check_sweep(sys.argv[2:])
+        return
+    if sys.argv[1] == "--explore":
+        check_explore(sys.argv[2:])
         return
     if sys.argv[1] == "--serve":
         check_serve(sys.argv[2:])

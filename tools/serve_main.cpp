@@ -51,6 +51,13 @@
 //   paragraph-serve --client --socket=PATH --inputs=A,B --windows=16,64 ...
 //     sweep axes as in paragraph-sweep: --inputs/--windows/--rename/
 //     --syscalls/--predictors/--fus/--max/--small/--no-profiles
+//     --explore              adaptive exploration instead of the full
+//                            grid (engine::Explorer): the daemon measures
+//                            only the cells the frontier needs, re-serving
+//                            previously computed ones from the result
+//                            store, and returns a "paragraph-explore-v1"
+//                            document with dominance certificates
+//     --knee-tol=T           explore knee tolerance (0 = exact frontier)
 //     --out=FILE             write the sweep JSON document to FILE
 //                            (default: stdout)
 //     --ping | --stats | --health | --shutdown
@@ -130,7 +137,8 @@ usage()
         "          --quiet\n"
         "  client: sweep axes as paragraph-sweep (--inputs/--windows/\n"
         "          --rename/--syscalls/--predictors/--fus/--max/--small/\n"
-        "          --no-profiles), --out=FILE, --timeout=SECONDS,\n"
+        "          --no-profiles), --explore, --knee-tol=T,\n"
+        "          --out=FILE, --timeout=SECONDS,\n"
         "          or one of --ping --stats --health --shutdown\n"
         "          --failpoint=SPEC --raw=LINE\n");
     std::exit(2);
@@ -147,6 +155,7 @@ struct ServeCliArgs
     bool health = false;
     bool shutdown = false;
     bool quiet = false;
+    bool explore = false;
     bool hasFailpointSpec = false;
     std::string failpointSpec;
     double clientTimeout = 0.0;
@@ -328,6 +337,17 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--max=") && parseInt(arg.substr(6), n) &&
                    n >= 0) {
             opt.request.maxInstructions = static_cast<uint64_t>(n);
+        } else if (arg == "--explore") {
+            opt.explore = true;
+        } else if (startsWith(arg, "--knee-tol=")) {
+            char *end = nullptr;
+            double v = std::strtod(arg.c_str() + 11, &end);
+            if (!end || *end != '\0' || v < 0.0 || v != v) {
+                std::fprintf(stderr,
+                             "paragraph-serve: bad --knee-tol value\n");
+                usage();
+            }
+            opt.request.kneeTol = v;
         } else if (arg == "--no-profiles") {
             opt.request.profiles = false;
         } else if (!startsWith(arg, "--")) {
@@ -401,7 +421,8 @@ runClient(const ServeCliArgs &opt)
         } else if (opt.shutdown)
             req.op = serve::ServeRequest::Op::Shutdown;
         else if (!req.inputs.empty())
-            req.op = serve::ServeRequest::Op::Sweep;
+            req.op = opt.explore ? serve::ServeRequest::Op::Explore
+                                 : serve::ServeRequest::Op::Sweep;
         else {
             std::fprintf(stderr,
                          "paragraph-serve: nothing to request (give inputs "
@@ -441,7 +462,7 @@ runClient(const ServeCliArgs &opt)
         return 1;
     }
 
-    if (response.op == "sweep") {
+    if (response.op == "sweep" || response.op == "explore") {
         if (opt.outPath.empty()) {
             std::fwrite(response.document.data(), 1,
                         response.document.size(), stdout);
@@ -454,7 +475,23 @@ runClient(const ServeCliArgs &opt)
             }
             out << response.document;
         }
-        if (!opt.quiet) {
+        if (!opt.quiet && response.op == "explore") {
+            std::fprintf(stderr,
+                         "serve: explore %llu/%llu cells (%llu cached, "
+                         "%llu computed, %llu pruned, %llu failed)\n",
+                         static_cast<unsigned long long>(
+                             response.cellsExecuted),
+                         static_cast<unsigned long long>(
+                             response.cellsTotal),
+                         static_cast<unsigned long long>(
+                             response.cellsCached),
+                         static_cast<unsigned long long>(
+                             response.cellsComputed),
+                         static_cast<unsigned long long>(
+                             response.cellsPruned),
+                         static_cast<unsigned long long>(
+                             response.cellsFailed));
+        } else if (!opt.quiet) {
             std::fprintf(stderr,
                          "serve: %llu cells (%llu cached, %llu computed, "
                          "%llu failed)\n",

@@ -55,6 +55,19 @@
 //   --no-profiles          omit per-cell parallelism-profile buckets
 //   --quiet                suppress the stderr progress line
 //
+// Adaptive exploration (engine::Explorer, src/engine/explorer.hpp):
+//   --explore              instead of running the full grid, locate each
+//                          trace's Pareto frontier (parallelism vs. cost)
+//                          with window-knee bisection, successive halving,
+//                          and provably sound dominance pruning; emits a
+//                          "paragraph-explore-v1" document where every
+//                          executed cell is byte-identical to its
+//                          full-grid twin and every skipped cell carries
+//                          a dominance certificate
+//   --knee-tol=T           parallelism tolerance for bracket collapse
+//                          (default 0 = exact: the frontier equals the
+//                          full grid's frontier cell-for-cell)
+//
 // Fault tolerance (failed cells are reported in the JSON; the exit code
 // stays 0 unless every cell failed, which exits 1):
 //   --retries=N            re-run a failed cell up to N extra times
@@ -79,6 +92,7 @@
 #include <vector>
 
 #include "core/cancel_token.hpp"
+#include "engine/explorer.hpp"
 #include "engine/journal.hpp"
 #include "engine/sweep.hpp"
 #include "engine/sweep_args.hpp"
@@ -86,6 +100,7 @@
 #include "engine/trace_repository.hpp"
 #include "support/panic.hpp"
 #include "support/string_utils.hpp"
+#include "support/test_seed.hpp"
 #include "workloads/workload.hpp"
 
 using namespace paragraph;
@@ -136,6 +151,7 @@ usage()
         "  run:    --jobs=N  --group=N (0=auto)  --shard=N  --max=N\n"
         "          --small  --stream  --out=FILE\n"
         "          --stats  --no-timing  --no-profiles  --quiet  --list\n"
+        "  explore: --explore  --knee-tol=T (0 = exact frontier)\n"
         "  fault:  --retries=N  --deadline=SECONDS\n"
         "          --journal=FILE  --resume=FILE\n");
     std::exit(2);
@@ -197,6 +213,13 @@ main(int argc, char **argv)
         engineOpt.journalPath = opt.journalPath;
         engineOpt.journalProfiles = opt.json.profiles;
 
+        if (opt.explore &&
+            (!opt.journalPath.empty() || !opt.resumePath.empty())) {
+            PARA_FATAL("--explore chooses its own cells round by round and "
+                       "cannot journal or resume a fixed grid; drop "
+                       "--journal/--resume");
+        }
+
         engine::JournalData resume;
         if (!opt.resumePath.empty()) {
             resume = engine::loadJournal(opt.resumePath);
@@ -222,6 +245,61 @@ main(int argc, char **argv)
             };
         }
         engine::SweepEngine sweeper(engineOpt);
+
+        if (opt.explore) {
+            engine::Explorer::Options exOpt;
+            exOpt.kneeTol = opt.kneeTol;
+            // PARAGRAPH_TEST_SEED steers the (frontier-invariant)
+            // measurement order, so golden snapshots stay byte-stable.
+            exOpt.seed = testSeed(exOpt.seed);
+            engine::Explorer explorer(exOpt);
+
+            engine::SweepAxes axes = engine::defaultedSweepAxes(opt);
+            if (!opt.quiet) {
+                std::fprintf(stderr,
+                             "explore: %zu inputs x %zu configs on "
+                             "%u worker(s), knee-tol %g\n",
+                             opt.inputs.size(), configs.size(),
+                             sweeper.jobs(), opt.kneeTol);
+            }
+            engine::ExploreResult explored = explorer.explore(
+                opt.inputs, axes, configs, labels,
+                [&](std::vector<engine::SweepJob> jobs) {
+                    return sweeper.runJobs(repo, std::move(jobs)).cells;
+                });
+            explored.jobs = sweeper.jobs();
+
+            if (!opt.quiet) {
+                std::fprintf(stderr,
+                             "explore: %zu/%zu cells executed (%zu pruned "
+                             "with certificates, %zu failed) in %zu "
+                             "round(s)\n",
+                             explored.cellsExecuted, explored.cellsTotal,
+                             explored.cellsPruned, explored.cellsFailed,
+                             explored.rounds);
+            }
+
+            if (opt.outPath.empty()) {
+                engine::writeExploreJson(std::cout, explored, opt.json);
+            } else {
+                std::ofstream out(opt.outPath);
+                if (!out)
+                    PARA_FATAL("cannot open %s", opt.outPath.c_str());
+                engine::writeExploreJson(out, explored, opt.json);
+                if (!opt.quiet)
+                    std::fprintf(stderr, "sweep: wrote %s\n",
+                                 opt.outPath.c_str());
+            }
+            if (g_signal != 0) {
+                std::fprintf(stderr,
+                             "paragraph-sweep: interrupted by signal %d\n",
+                             static_cast<int>(g_signal));
+                return 128 + static_cast<int>(g_signal);
+            }
+            bool totalLoss = explored.cellsExecuted > 0 &&
+                             explored.cellsFailed == explored.cellsExecuted;
+            return totalLoss ? 1 : 0;
+        }
 
         if (!opt.quiet) {
             std::fprintf(stderr,
